@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the pricing game's hot paths: the
+//! bisection water-filling scheduler (Lemma IV.1), one best response
+//! (Lemma IV.3), and full convergence runs at the paper's scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oes_game::{
+    best_response, GameBuilder, LogSatisfaction, NonlinearPricing, OverloadPenalty,
+    PricingPolicy, Scheduler, SectionCost, UpdateOrder,
+};
+use oes_units::Kilowatts;
+use std::hint::black_box;
+
+fn nl_cost() -> SectionCost {
+    SectionCost::new(
+        PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+        OverloadPenalty::new(0.15),
+        0.9,
+    )
+}
+
+fn loads(c: usize) -> Vec<f64> {
+    (0..c).map(|i| (i % 7) as f64 * 5.0).collect()
+}
+
+fn bench_waterfill(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("waterfill");
+    let cost = nl_cost();
+    for c in [10usize, 100, 1000] {
+        let caps = vec![60.0; c];
+        let ld = loads(c);
+        group.bench_with_input(BenchmarkId::new("marginal", c), &c, |b, _| {
+            b.iter(|| {
+                Scheduler::WaterFilling.allocate(
+                    black_box(&cost),
+                    black_box(&caps),
+                    black_box(&ld),
+                    black_box(40.0),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("load_level", c), &c, |b, _| {
+            b.iter(|| oes_game::waterfill(black_box(&ld), black_box(40.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_response(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("best_response");
+    let cost = nl_cost();
+    let sat = LogSatisfaction::new(1.0);
+    for c in [10usize, 100] {
+        let caps = vec![60.0; c];
+        let ld = loads(c);
+        group.bench_with_input(BenchmarkId::from_parameter(c), &c, |b, _| {
+            b.iter(|| {
+                best_response(
+                    black_box(&sat),
+                    black_box(&cost),
+                    black_box(&caps),
+                    black_box(&ld),
+                    black_box(80.0),
+                    Scheduler::WaterFilling,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_game(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("game_convergence");
+    group.sample_size(10);
+    for (c, n) in [(20usize, 10usize), (100, 50)] {
+        group.bench_with_input(BenchmarkId::new("run", format!("C{c}_N{n}")), &c, |b, _| {
+            b.iter(|| {
+                let mut g = GameBuilder::new()
+                    .sections(c, Kilowatts::new(35.0))
+                    .olevs_weighted(n, Kilowatts::new(60.0), 2.0)
+                    .build()
+                    .expect("valid");
+                g.run(UpdateOrder::RoundRobin, 10_000).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_runtime(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("distributed_runtime");
+    group.sample_size(10);
+    group.bench_function("threads_C20_N10", |b| {
+        b.iter(|| {
+            let mut g = GameBuilder::new()
+                .sections(20, Kilowatts::new(35.0))
+                .olevs_weighted(10, Kilowatts::new(60.0), 2.0)
+                .build()
+                .expect("valid");
+            oes_game::DistributedGame::new(&mut g).run(10_000).expect("runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_waterfill,
+    bench_best_response,
+    bench_full_game,
+    bench_distributed_runtime
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the substrates: traffic-simulation step
+//! throughput, a full simulated corridor hour, and a grid-operator day.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oes_grid::{dispatch, nyiso_like_fleet, GridOperator, OperatorConfig};
+use oes_traffic::{
+    shortest_path, CorridorBuilder, EnergyModel, GridNetworkBuilder, HourlyCounts,
+    SectionPlacement,
+};
+use oes_traffic::NodeId;
+use oes_units::{Hours, Megawatts, Meters, SectionId, Seconds, StateOfCharge};
+use oes_wpt::{ChargingSection, ChargingSpan, CoSimulation, OlevSpec};
+use std::hint::black_box;
+
+fn bench_traffic_step(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("traffic_step");
+    for demand in [300u32, 900] {
+        // Warm a corridor up to steady state, then measure step cost.
+        group.bench_with_input(BenchmarkId::from_parameter(demand), &demand, |b, &d| {
+            let mut builder = CorridorBuilder::new();
+            builder.hourly_counts(vec![d]).seed(1);
+            let mut sim = builder.build();
+            sim.run_for(Seconds::new(600.0));
+            b.iter(|| {
+                sim.step();
+                black_box(sim.active_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_corridor_hour(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("corridor_hour");
+    group.sample_size(10);
+    group.bench_function("signalized_600vph", |b| {
+        b.iter(|| {
+            let mut builder = CorridorBuilder::new();
+            builder
+                .hourly_counts(vec![600])
+                .detector(SectionPlacement::BeforeLight, Meters::new(200.0))
+                .seed(2);
+            let mut sim = builder.build();
+            sim.run_for(Seconds::new(3600.0));
+            black_box(sim.detectors()[0].total_occupancy())
+        });
+    });
+    group.finish();
+}
+
+fn bench_grid_day(criterion: &mut Criterion) {
+    criterion.bench_function("grid_simulate_day", |b| {
+        let operator = GridOperator::new(OperatorConfig::nyiso_like(), 42);
+        b.iter(|| black_box(operator.simulate_day()));
+    });
+}
+
+fn bench_cosim_step(criterion: &mut Criterion) {
+    criterion.bench_function("cosim_step_600vph", |b| {
+        let mut builder = CorridorBuilder::new();
+        builder.hourly_counts(vec![600]).seed(3);
+        let sim = builder.build();
+        let mut co = CoSimulation::new(
+            sim,
+            EnergyModel::chevy_spark_ev(),
+            OlevSpec::chevy_spark_default(),
+            0.5,
+            StateOfCharge::saturating(0.5),
+            3,
+        );
+        co.add_span(ChargingSpan {
+            edge: oes_traffic::EdgeId(0),
+            start: Meters::new(50.0),
+            end: Meters::new(250.0),
+            section: ChargingSection::paper_default(SectionId(0)),
+        });
+        co.run_for(Seconds::new(600.0));
+        b.iter(|| {
+            co.step();
+            black_box(co.total_received())
+        });
+    });
+}
+
+fn bench_dispatch_day(criterion: &mut Criterion) {
+    criterion.bench_function("dispatch_288_intervals", |b| {
+        let fleet = nyiso_like_fleet();
+        let day = GridOperator::new(OperatorConfig::nyiso_like(), 42).simulate_day();
+        let demand: Vec<Megawatts> =
+            day.points().iter().map(|p| p.integrated_load / Hours::new(1.0)).collect();
+        b.iter(|| black_box(dispatch(&fleet, &demand, 24.0 / 288.0)));
+    });
+}
+
+fn bench_shortest_path(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("shortest_path");
+    for side in [4usize, 10, 20] {
+        let grid = GridNetworkBuilder::new().size(side, side).build();
+        let net = grid.network().clone();
+        let from = NodeId(0);
+        let to = NodeId(side * side - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
+            b.iter(|| black_box(shortest_path(&net, from, to)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_network_step(criterion: &mut Criterion) {
+    criterion.bench_function("grid_network_5x5_step", |b| {
+        let mut g = GridNetworkBuilder::new().size(5, 5).seed(2).build();
+        for (o, d) in [((0, 0), (4, 4)), ((0, 2), (4, 2)), ((1, 0), (3, 4))] {
+            assert!(g.add_od_demand(o, d, HourlyCounts::new(vec![500])));
+        }
+        g.sim.run_for(Seconds::new(600.0));
+        b.iter(|| {
+            g.sim.step();
+            black_box(g.sim.active_count())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_traffic_step,
+    bench_corridor_hour,
+    bench_grid_day,
+    bench_cosim_step,
+    bench_dispatch_day,
+    bench_shortest_path,
+    bench_grid_network_step
+);
+criterion_main!(benches);

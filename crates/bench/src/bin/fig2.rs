@@ -1,0 +1,75 @@
+//! Regenerates Fig. 2 of the paper: one day of grid-operator data —
+//! (a) integrated vs forecast load, (b) power deficiency, (c) LBMP,
+//! (d) ancillary-service prices.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin fig2
+//! ```
+
+use oes_bench::table::{fmt, print_table};
+use oes_grid::{GridOperator, OperatorConfig};
+
+fn main() {
+    let day = GridOperator::new(OperatorConfig::nyiso_like(), 42).simulate_day();
+
+    println!("=== Fig2: simulated NYISO-like day (hourly samples of the 5-min series) ===\n");
+    let mut rows = Vec::new();
+    for h in 0..24 {
+        let p = day.at_hour(h as f64 + 0.5);
+        rows.push(vec![
+            h.to_string(),
+            fmt(p.integrated_load.value(), 1),
+            fmt(p.forecast_load.value(), 1),
+            fmt(p.deficiency.value(), 1),
+            fmt(p.lbmp.value(), 2),
+            fmt(p.ancillary.ten_min_sync.value(), 2),
+            fmt(p.ancillary.regulation_capacity.value(), 2),
+            fmt(p.ancillary.regulation_movement.value(), 2),
+        ]);
+    }
+    print_table(
+        &[
+            "hour",
+            "(a) load MWh",
+            "(a) forecast",
+            "(b) deficiency",
+            "(c) LBMP $/MWh",
+            "(d) 10min sync",
+            "(d) reg cap",
+            "(d) reg move",
+        ],
+        &rows,
+    );
+
+    let (lo, hi) = day.lbmp_range();
+    println!();
+    print_table(
+        &["series", "measured", "paper (May 12 2016)"],
+        &[
+            vec![
+                "load band MWh".into(),
+                format!(
+                    "{} .. {}",
+                    fmt(day.min_integrated_load().value(), 1),
+                    fmt(day.max_integrated_load().value(), 1)
+                ),
+                "4017.1 .. 6657.8".into(),
+            ],
+            vec![
+                "max |deficiency| MWh".into(),
+                fmt(day.max_abs_deficiency().value(), 1),
+                "167.8".into(),
+            ],
+            vec![
+                "LBMP range $/MWh".into(),
+                format!("{} .. {}", fmt(lo.value(), 2), fmt(hi.value(), 2)),
+                "12.52 .. 244.04".into(),
+            ],
+            vec![
+                "mean ancillary $/MW".into(),
+                fmt(day.mean_ancillary_price().value(), 2),
+                "13.41".into(),
+            ],
+        ],
+    );
+}

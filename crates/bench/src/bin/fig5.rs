@@ -1,0 +1,9 @@
+//! Regenerates Fig. 5 of the paper: the pricing-game evaluation at 60 mph.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin fig5
+//! ```
+
+fn main() {
+    oes_bench::report::run_fig56("Fig5", 60.0, 15.0);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6 of the paper: the pricing-game evaluation at 80 mph.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin fig6
+//! ```
+
+fn main() {
+    oes_bench::report::run_fig56("Fig6", 80.0, 15.0);
+}

@@ -1,0 +1,14 @@
+//! The benchmark harness: scenario runners and table printing shared by the
+//! figure-regeneration binaries (`fig2`, `fig3`, `fig5`, `fig6`, `ablation`)
+//! and the Criterion micro-benchmarks.
+//!
+//! Each binary regenerates one figure family of the paper's evaluation and
+//! prints the same series the paper plots; `EXPERIMENTS.md` at the workspace
+//! root records paper-vs-measured for every panel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenarios;
+pub mod table;

@@ -1,0 +1,115 @@
+//! Shared report printing for the Fig. 5 / Fig. 6 binaries (same panels,
+//! different vehicle velocity).
+
+use crate::scenarios::{
+    convergence_trajectory, payment_vs_congestion, power_distribution, section_capacity_kw,
+    welfare_vs_sections, FLEET_SIZES,
+};
+use crate::table::{fmt, print_table};
+
+/// Regenerates and prints all four panels of Fig. 5 (60 mph) or Fig. 6
+/// (80 mph).
+pub fn run_fig56(figure: &str, velocity_mph: f64, beta: f64) {
+    println!("=== {figure}: game results at {velocity_mph:.0} mph ===");
+    println!(
+        "section capacity (Eq. 1 @ {velocity_mph:.0} mph): {:.1} kW, beta = ${beta:.2}/MWh\n",
+        section_capacity_kw(velocity_mph)
+    );
+
+    // Panel (a): payment vs congestion degree.
+    println!("--- ({figure}a) unit payment vs congestion degree ---");
+    let rows: Vec<Vec<String>> = payment_vs_congestion(velocity_mph, beta)
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.weight, 2),
+                fmt(p.congestion_nonlinear, 2),
+                fmt(p.payment_nonlinear, 2),
+                fmt(p.congestion_linear, 2),
+                fmt(p.payment_linear, 2),
+            ]
+        })
+        .collect();
+    print_table(
+        &["demand w", "congestion(NL)", "$/MWh(NL)", "congestion(LIN)", "$/MWh(LIN)"],
+        &rows,
+    );
+    println!(
+        "paper shape: nonlinear rises with congestion (≈13→22), linear flat at β.\n"
+    );
+
+    // Panel (b): social welfare vs number of charging sections.
+    println!("--- ({figure}b) social welfare vs number of charging sections ---");
+    let rows: Vec<Vec<String>> = welfare_vs_sections(velocity_mph, beta)
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.sections.to_string()];
+            row.extend(p.welfare.iter().map(|w| fmt(*w, 1)));
+            row
+        })
+        .collect();
+    let headers: Vec<String> =
+        std::iter::once("sections".to_string())
+            .chain(FLEET_SIZES.iter().map(|n| format!("W(N={n})")))
+            .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&headers_ref, &rows);
+    println!("paper shape: welfare grows with C and with N (0→~250).\n");
+
+    // Panel (c): per-section power distribution.
+    println!("--- ({figure}c) total power per charging section (N=50, C=100, 1000 updates) ---");
+    let (nl, lin) = power_distribution(velocity_mph, beta);
+    let stats = |v: &[f64]| {
+        let min = v.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+        let max = v.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        (min, mean, max)
+    };
+    let (n_min, n_mean, n_max) = stats(&nl);
+    let (l_min, l_mean, l_max) = stats(&lin);
+    let rows = vec![
+        vec![
+            "nonlinear".to_string(),
+            fmt(n_min, 2),
+            fmt(n_mean, 2),
+            fmt(n_max, 2),
+            fmt(n_max - n_min, 2),
+        ],
+        vec![
+            "linear".to_string(),
+            fmt(l_min, 2),
+            fmt(l_mean, 2),
+            fmt(l_max, 2),
+            fmt(l_max - l_min, 2),
+        ],
+    ];
+    print_table(&["policy", "min kW", "mean kW", "max kW", "spread kW"], &rows);
+    println!("per-section loads, every 10th section:");
+    let mut rows = Vec::new();
+    for c in (0..nl.len()).step_by(10) {
+        rows.push(vec![c.to_string(), fmt(nl[c], 2), fmt(lin[c], 2)]);
+    }
+    print_table(&["section", "nonlinear kW", "linear kW"], &rows);
+    println!("paper shape: nonlinear flat (balanced), linear jagged (unbalanced).\n");
+
+    // Panel (d): convergence of the congestion degree.
+    println!("--- ({figure}d) congestion degree vs number of updates (target 0.9, mean of 50 runs) ---");
+    let trajectories: Vec<Vec<f64>> = FLEET_SIZES
+        .iter()
+        .map(|&n| convergence_trajectory(velocity_mph, beta, n, 100, 50))
+        .collect();
+    let mut rows = Vec::new();
+    for u in (0..100).step_by(5) {
+        let mut row = vec![(u + 1).to_string()];
+        for t in &trajectories {
+            row.push(fmt(t[u], 3));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("update".to_string())
+        .chain(FLEET_SIZES.iter().map(|n| format!("congestion(N={n})")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&headers_ref, &rows);
+    println!("paper shape: ramps from 0 toward the 0.9 target within tens of updates.");
+}

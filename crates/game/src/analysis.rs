@@ -1,0 +1,224 @@
+//! Mechanism analysis: what the pricing policy buys, quantified.
+//!
+//! Compares four regimes on the same physical scenario:
+//!
+//! 1. **centralized** — the welfare maximizer (no game, no privacy);
+//! 2. **nonlinear game** — the paper's mechanism;
+//! 3. **linear game** — the flat-price baseline;
+//! 4. **free-for-all** — no pricing at all: every OLEV grabs its Eq. 2
+//!    maximum and the grid greedily hosts it.
+//!
+//! The gap between 1 and 2 is the mechanism's price of anarchy (≈ 0 by
+//! Theorem IV.1); the gap between 2 and 4 is what the mechanism is worth.
+
+use oes_units::{Kilowatts, OlevId};
+
+use crate::builder::GameBuilder;
+use crate::centralized::solve_centralized;
+use crate::engine::UpdateOrder;
+use crate::error::GameError;
+use crate::payment::Scheduler;
+use crate::potential::social_welfare;
+use crate::pricing::{LinearPricing, NonlinearPricing, PricingPolicy};
+use crate::schedule::PowerSchedule;
+
+/// The physical scenario under comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonScenario {
+    /// Number of charging sections.
+    pub sections: usize,
+    /// Per-section capacity (kW).
+    pub section_capacity: Kilowatts,
+    /// Fleet size.
+    pub olevs: usize,
+    /// Per-OLEV Eq. 2 bound (kW).
+    pub olev_p_max: Kilowatts,
+    /// Satisfaction weight.
+    pub weight: f64,
+    /// LBMP β, $/MWh.
+    pub beta: f64,
+    /// Safety factor η.
+    pub eta: f64,
+}
+
+impl Default for ComparisonScenario {
+    fn default() -> Self {
+        Self {
+            sections: 20,
+            section_capacity: Kilowatts::new(30.0),
+            olevs: 15,
+            olev_p_max: Kilowatts::new(60.0),
+            weight: 1.0,
+            beta: 15.0,
+            eta: 0.9,
+        }
+    }
+}
+
+/// One regime's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeOutcome {
+    /// Social welfare.
+    pub welfare: f64,
+    /// System congestion degree.
+    pub congestion: f64,
+    /// Max − min section load (kW): the balance measure of Fig. 5(c).
+    pub load_spread: f64,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelfareComparison {
+    /// Centralized welfare maximizer.
+    pub centralized: RegimeOutcome,
+    /// The paper's nonlinear pricing game.
+    pub nonlinear: RegimeOutcome,
+    /// The linear baseline game.
+    pub linear: RegimeOutcome,
+    /// No mechanism at all.
+    pub free_for_all: RegimeOutcome,
+}
+
+impl WelfareComparison {
+    /// `1 − W_nonlinear / W_centralized`: the mechanism's efficiency loss
+    /// (≈ 0 by Theorem IV.1).
+    #[must_use]
+    pub fn price_of_anarchy_gap(&self) -> f64 {
+        1.0 - self.nonlinear.welfare / self.centralized.welfare
+    }
+
+    /// `W_nonlinear − W_free_for_all`: what the mechanism is worth.
+    #[must_use]
+    pub fn mechanism_value(&self) -> f64 {
+        self.nonlinear.welfare - self.free_for_all.welfare
+    }
+}
+
+fn outcome_of_game(game: &crate::engine::Game) -> RegimeOutcome {
+    let loads = game.section_loads();
+    let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+    let max = loads.iter().fold(f64::NEG_INFINITY, |m, &l| m.max(l));
+    RegimeOutcome {
+        welfare: game.welfare(),
+        congestion: game.system_congestion(),
+        load_spread: max - min,
+    }
+}
+
+/// Runs all four regimes on the scenario.
+///
+/// # Errors
+///
+/// Propagates [`GameError`] from the game runs.
+pub fn compare_regimes(s: &ComparisonScenario) -> Result<WelfareComparison, GameError> {
+    let build = |policy: PricingPolicy| {
+        GameBuilder::new()
+            .sections(s.sections, s.section_capacity)
+            .olevs_weighted(s.olevs, s.olev_p_max, s.weight)
+            .pricing(policy)
+            .eta(s.eta)
+            .build()
+    };
+    let nonlinear_policy = PricingPolicy::Nonlinear(NonlinearPricing::paper_default(s.beta));
+    let linear_policy = PricingPolicy::Linear(LinearPricing::paper_default(s.beta));
+
+    // 1. Centralized ground truth (uses the nonlinear Z as the social cost).
+    let reference = build(nonlinear_policy)?;
+    let central = solve_centralized(&reference, 40_000);
+    let centralized = {
+        let loads = central.schedule.section_loads();
+        let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+        let max = loads.iter().fold(f64::NEG_INFINITY, |m, &l| m.max(l));
+        RegimeOutcome {
+            welfare: central.welfare,
+            congestion: central.schedule.system_congestion(reference.caps()),
+            load_spread: max - min,
+        }
+    };
+
+    // 2. The nonlinear game.
+    let mut nl = build(nonlinear_policy)?;
+    nl.run(UpdateOrder::RoundRobin, 60_000)?;
+    let nonlinear = outcome_of_game(&nl);
+
+    // 3. The linear game.
+    let mut lin = build(linear_policy)?;
+    lin.run(UpdateOrder::RoundRobin, 60_000)?;
+    let linear = outcome_of_game(&lin);
+
+    // 4. Free-for-all: everyone demands the maximum, greedily hosted; the
+    // welfare is still evaluated against the social cost Z.
+    let free_for_all = {
+        let reference = build(nonlinear_policy)?;
+        let mut schedule = PowerSchedule::zeros(s.olevs, s.sections);
+        for n in 0..s.olevs {
+            let loads = schedule.loads_excluding(OlevId(n));
+            let allocation = Scheduler::Greedy.allocate(
+                reference.cost(),
+                reference.caps(),
+                &loads,
+                s.olev_p_max.value(),
+            );
+            schedule.set_row(OlevId(n), &allocation.shares);
+        }
+        let welfare = social_welfare(
+            reference.satisfactions(),
+            reference.cost(),
+            reference.caps(),
+            &schedule,
+        );
+        let loads = schedule.section_loads();
+        let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+        let max = loads.iter().fold(f64::NEG_INFINITY, |m, &l| m.max(l));
+        RegimeOutcome {
+            welfare,
+            congestion: schedule.system_congestion(reference.caps()),
+            load_spread: max - min,
+        }
+    };
+
+    Ok(WelfareComparison { centralized, nonlinear, linear, free_for_all })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn game_is_near_centralized_and_beats_free_for_all() {
+        let cmp = compare_regimes(&ComparisonScenario::default()).unwrap();
+        assert!(
+            cmp.price_of_anarchy_gap().abs() < 5e-3,
+            "PoA gap {} too large",
+            cmp.price_of_anarchy_gap()
+        );
+        assert!(
+            cmp.mechanism_value() > 0.0,
+            "pricing should beat free-for-all: {} vs {}",
+            cmp.nonlinear.welfare,
+            cmp.free_for_all.welfare
+        );
+    }
+
+    #[test]
+    fn free_for_all_overloads_the_lane() {
+        let cmp = compare_regimes(&ComparisonScenario::default()).unwrap();
+        // 15 × 60 kW demanded into 20 × 30 kW of sections: congestion 1.5
+        // without a mechanism, ≤ ~η with one.
+        assert!(cmp.free_for_all.congestion > 1.2);
+        assert!(cmp.nonlinear.congestion < 1.0);
+    }
+
+    #[test]
+    fn nonlinear_balances_linear_does_not() {
+        // Interior demand so greedy's imbalance shows.
+        let s = ComparisonScenario {
+            weight: 0.4,
+            olev_p_max: Kilowatts::new(40.0),
+            ..ComparisonScenario::default()
+        };
+        let cmp = compare_regimes(&s).unwrap();
+        assert!(cmp.nonlinear.load_spread < 1e-6);
+        assert!(cmp.linear.load_spread > 1.0);
+    }
+}

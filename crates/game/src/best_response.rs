@@ -1,0 +1,180 @@
+//! The OLEV's best response (Lemma IV.3).
+//!
+//! Facing the posted payment function `Ψ_n`, OLEV `n` maximizes its utility
+//! `F_n(p_n) = U_n(p_n) − Ψ_n(p_n)` over `[0, P_OLEV]`. `U_n` is strictly
+//! concave and `Ψ_n` convex with non-decreasing marginal (the water level
+//! rises with the request), so the first-order condition
+//! `U'_n(p_n) = Ψ'_n(p_n)` has at most one root; the three cases of Eq. 22
+//! are exactly the boundary/interior split below. The marginal of the quote,
+//! `Ψ'_n(p_n)`, is `Z'` at the water level `λ*(p_n)` — the grid never needs
+//! to reveal the other OLEVs' schedules.
+
+use crate::payment::{quote, Scheduler};
+use crate::pricing::SectionCost;
+use crate::satisfaction::Satisfaction;
+use crate::waterfill::Allocation;
+
+/// Bisection iterations for the interior root of Eq. 22.
+const BISECT_ITERS: usize = 60;
+
+/// The outcome of one best response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestResponse {
+    /// The optimal total request `p*_n`.
+    pub total: f64,
+    /// The grid's schedule for it.
+    pub allocation: Allocation,
+    /// The payment `Ψ_n(p*_n)`.
+    pub payment: f64,
+    /// The achieved utility `F_n = U_n − Ψ_n`.
+    pub utility: f64,
+}
+
+/// Computes OLEV `n`'s best response (Lemma IV.3 / Eq. 22).
+///
+/// `loads_excl` is `P_{-n,c}`; `p_max` is the Eq. 2/3 capacity bound.
+///
+/// # Panics
+///
+/// Panics if `p_max` is negative or inputs are inconsistent lengths.
+#[must_use]
+pub fn best_response(
+    satisfaction: &dyn Satisfaction,
+    cost: &SectionCost,
+    caps: &[f64],
+    loads_excl: &[f64],
+    p_max: f64,
+    scheduler: Scheduler,
+) -> BestResponse {
+    assert!(p_max >= 0.0 && p_max.is_finite(), "p_max must be non-negative");
+    assert_eq!(caps.len(), loads_excl.len(), "caps/loads length mismatch");
+
+    let marginal_at = |p: f64| scheduler.allocate(cost, caps, loads_excl, p).marginal;
+    let foc = |p: f64| satisfaction.derivative(p) - marginal_at(p);
+
+    // Eq. 22, case 1: already unprofitable at zero.
+    let total = if p_max == 0.0 || foc(0.0) <= 0.0 {
+        0.0
+    } else if foc(p_max) >= 0.0 {
+        // Case 2: still profitable at the capacity bound.
+        p_max
+    } else {
+        // Case 3: interior root by bisection (U' decreasing, Ψ' increasing).
+        let (mut lo, mut hi) = (0.0, p_max);
+        for _ in 0..BISECT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            if foc(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    let q = quote(cost, caps, loads_excl, scheduler, total);
+    let utility = satisfaction.value(total) - q.payment;
+    BestResponse { total, allocation: q.allocation, payment: q.payment, utility }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::{LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy};
+    use crate::satisfaction::LogSatisfaction;
+
+    fn nl_cost() -> SectionCost {
+        SectionCost::new(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        )
+    }
+
+    #[test]
+    fn interior_root_satisfies_foc() {
+        let sat = LogSatisfaction::new(1.0);
+        let cost = nl_cost();
+        let caps = [60.0; 4];
+        let loads = [0.0; 4];
+        let br = best_response(&sat, &cost, &caps, &loads, 500.0, Scheduler::WaterFilling);
+        assert!(br.total > 0.0 && br.total < 500.0);
+        let marginal = Scheduler::WaterFilling.allocate(&cost, &caps, &loads, br.total).marginal;
+        assert!(
+            (sat.derivative(br.total) - marginal).abs() < 1e-6,
+            "FOC residual at p*={}",
+            br.total
+        );
+    }
+
+    #[test]
+    fn capacity_bound_binds_for_eager_olev() {
+        // A huge satisfaction weight: always worth taking the maximum.
+        let sat = LogSatisfaction::new(1000.0);
+        let br = best_response(&sat, &nl_cost(), &[60.0; 4], &[0.0; 4], 30.0, Scheduler::WaterFilling);
+        assert_eq!(br.total, 30.0);
+    }
+
+    #[test]
+    fn zero_response_when_price_exceeds_marginal_satisfaction() {
+        // Congested sections and a lukewarm OLEV: requesting is unprofitable.
+        let sat = LogSatisfaction::new(0.001);
+        let cost = nl_cost();
+        let loads = [55.0; 4]; // past the knee, Z' is steep
+        let br = best_response(&sat, &cost, &[60.0; 4], &loads, 30.0, Scheduler::WaterFilling);
+        assert_eq!(br.total, 0.0);
+        assert_eq!(br.payment, 0.0);
+        assert_eq!(br.utility, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_yields_zero() {
+        let sat = LogSatisfaction::new(10.0);
+        let br = best_response(&sat, &nl_cost(), &[60.0], &[0.0], 0.0, Scheduler::WaterFilling);
+        assert_eq!(br.total, 0.0);
+    }
+
+    #[test]
+    fn best_response_is_a_maximizer() {
+        // Sample the utility curve: no sampled request may beat p*.
+        let sat = LogSatisfaction::new(2.0);
+        let cost = nl_cost();
+        let caps = [60.0; 3];
+        let loads = [12.0, 40.0, 3.0];
+        let br = best_response(&sat, &cost, &caps, &loads, 200.0, Scheduler::WaterFilling);
+        for i in 0..=40 {
+            let p = i as f64 * 5.0;
+            let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, p);
+            let u = sat.value(p) - q.payment;
+            assert!(u <= br.utility + 1e-6, "p={p} gives {u} > {}", br.utility);
+        }
+    }
+
+    #[test]
+    fn linear_policy_has_closed_form_response() {
+        // Under linear pricing below the knees, Ψ' = β̃, so the interior
+        // optimum is U'(p) = β̃ ⇒ p = w/β̃ − 1.
+        let sat = LogSatisfaction::new(1.0);
+        let lin = SectionCost::new(
+            PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        );
+        // Plenty of knee headroom so the overload never engages.
+        let caps = [2000.0; 4];
+        let loads = [0.0; 4];
+        let br = best_response(&sat, &lin, &caps, &loads, 5000.0, Scheduler::Greedy);
+        let expected = 1.0 / 0.015 - 1.0;
+        assert!((br.total - expected).abs() < 1e-3, "{} vs {expected}", br.total);
+    }
+
+    #[test]
+    fn congestion_lowers_the_response() {
+        let sat = LogSatisfaction::new(1.0);
+        let cost = nl_cost();
+        let caps = [60.0; 4];
+        let idle = best_response(&sat, &cost, &caps, &[0.0; 4], 500.0, Scheduler::WaterFilling);
+        let busy = best_response(&sat, &cost, &caps, &[45.0; 4], 500.0, Scheduler::WaterFilling);
+        assert!(busy.total < idle.total, "{} !< {}", busy.total, idle.total);
+    }
+}

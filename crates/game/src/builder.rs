@@ -1,0 +1,351 @@
+//! Scenario construction.
+
+use oes_units::Kilowatts;
+use oes_wpt::{ChargingSection, Olev};
+
+use crate::engine::Game;
+use crate::error::GameError;
+use crate::payment::Scheduler;
+use crate::pricing::{NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost};
+use crate::satisfaction::{LogSatisfaction, Satisfaction};
+use crate::schedule::PowerSchedule;
+
+/// Builds a [`Game`].
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub struct GameBuilder {
+    caps: Vec<f64>,
+    olevs: Vec<(f64, Box<dyn Satisfaction>)>,
+    policy: PricingPolicy,
+    kappa: Option<f64>,
+    eta: f64,
+    tolerance: f64,
+    scheduler_override: Option<Scheduler>,
+}
+
+impl core::fmt::Debug for GameBuilder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GameBuilder")
+            .field("sections", &self.caps.len())
+            .field("olevs", &self.olevs.len())
+            .field("eta", &self.eta)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GameBuilder {
+    /// Starts a builder with the paper's defaults: nonlinear pricing at an
+    /// LBMP of $15/MWh, `η = 0.9`, overload stiffness `κ = β̃`.
+    ///
+    /// The default κ is deliberately *moderate*: a stiffer overload penalty
+    /// pins congestion harder to the Eq. 4 knee but ill-conditions the
+    /// best-response dynamics (the knee's curvature ratio governs the
+    /// Gauss–Seidel rate) — the `ablation` bench quantifies the trade-off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            caps: Vec::new(),
+            olevs: Vec::new(),
+            policy: PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            kappa: None,
+            eta: 0.9,
+            tolerance: 1e-7,
+            scheduler_override: None,
+        }
+    }
+
+    /// Adds `count` identical sections of the given capacity.
+    #[must_use]
+    pub fn sections(mut self, count: usize, capacity: Kilowatts) -> Self {
+        self.caps.extend(std::iter::repeat_n(capacity.value(), count));
+        self
+    }
+
+    /// Adds one section of the given capacity.
+    #[must_use]
+    pub fn section(mut self, capacity: Kilowatts) -> Self {
+        self.caps.push(capacity.value());
+        self
+    }
+
+    /// Adds `count` identical OLEVs with capacity bound `p_max` and unit-
+    /// weight log satisfaction.
+    #[must_use]
+    pub fn olevs(self, count: usize, p_max: Kilowatts) -> Self {
+        self.olevs_weighted(count, p_max, 1.0)
+    }
+
+    /// Adds `count` identical OLEVs with the given satisfaction weight.
+    #[must_use]
+    pub fn olevs_weighted(mut self, count: usize, p_max: Kilowatts, weight: f64) -> Self {
+        for _ in 0..count {
+            self.olevs.push((p_max.value(), Box::new(LogSatisfaction::new(weight))));
+        }
+        self
+    }
+
+    /// Adds one OLEV with a custom satisfaction function.
+    #[must_use]
+    pub fn olev_with(mut self, p_max: Kilowatts, satisfaction: Box<dyn Satisfaction>) -> Self {
+        self.olevs.push((p_max.value(), satisfaction));
+        self
+    }
+
+    /// Sets the pricing policy (default: nonlinear at $15/MWh).
+    #[must_use]
+    pub fn pricing(mut self, policy: PricingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the safety factor `η` of Eq. 4 (default 0.9).
+    #[must_use]
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Sets the overload stiffness κ (default `β̃`).
+    #[must_use]
+    pub fn overload(mut self, kappa: f64) -> Self {
+        self.kappa = Some(kappa);
+        self
+    }
+
+    /// Sets the convergence tolerance on `|Δp_n|` (default `1e-7` kW).
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Forces a specific scheduler instead of the one the pricing policy
+    /// admits — an ablation knob (e.g. nonlinear pricing *with greedy
+    /// filling* shows the load balance of Fig. 5(c) needs the water-filling
+    /// scheduler, not just the convex prices).
+    ///
+    /// Forcing water-filling onto the linear policy is rejected at build
+    /// time since Lemma IV.1 needs strict convexity.
+    #[must_use]
+    pub fn force_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler_override = Some(scheduler);
+        self
+    }
+
+    /// Populates sections and OLEVs from WPT-substrate objects: section
+    /// capacities come from Eq. 1 at each OLEV's common velocity and the
+    /// given traffic flow; OLEV bounds come from Eq. 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `olevs` is empty (the common velocity is their mean).
+    #[must_use]
+    pub fn from_wpt(mut self, olevs: &[Olev], sections: &[ChargingSection], passes_per_hour: f64) -> Self {
+        assert!(!olevs.is_empty(), "need at least one OLEV for a velocity");
+        let mean_vel = olevs.iter().map(|o| o.velocity().value()).sum::<f64>() / olevs.len() as f64;
+        let vel = oes_units::MetersPerSecond::new(mean_vel);
+        for s in sections {
+            self.caps.push(s.sustained_capacity(vel, passes_per_hour).value());
+        }
+        for o in olevs {
+            self.olevs
+                .push((o.receivable_power().value(), Box::new(LogSatisfaction::new(1.0))));
+        }
+        self
+    }
+
+    /// Builds the game with an all-zero initial schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::NoSections`] / [`GameError::NoOlevs`] for empty
+    /// scenarios and [`GameError::InvalidParameter`] for non-positive
+    /// capacities, non-finite bounds, or an out-of-range `η`/κ/tolerance.
+    pub fn build(self) -> Result<Game, GameError> {
+        if self.caps.is_empty() {
+            return Err(GameError::NoSections);
+        }
+        if self.olevs.is_empty() {
+            return Err(GameError::NoOlevs);
+        }
+        for &cap in &self.caps {
+            if !(cap > 0.0 && cap.is_finite()) {
+                return Err(GameError::InvalidParameter { name: "section capacity", value: cap });
+            }
+        }
+        for (p_max, _) in &self.olevs {
+            if !(*p_max >= 0.0 && p_max.is_finite()) {
+                return Err(GameError::InvalidParameter { name: "olev p_max", value: *p_max });
+            }
+        }
+        if !(self.eta > 0.0 && self.eta <= 1.0) {
+            return Err(GameError::InvalidParameter { name: "eta", value: self.eta });
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(GameError::InvalidParameter { name: "tolerance", value: self.tolerance });
+        }
+        let beta = match &self.policy {
+            PricingPolicy::Nonlinear(p) => p.beta,
+            PricingPolicy::Linear(p) => p.beta,
+        };
+        let kappa = self.kappa.unwrap_or(beta);
+        if !(kappa >= 0.0 && kappa.is_finite()) {
+            return Err(GameError::InvalidParameter { name: "kappa", value: kappa });
+        }
+        let cost = SectionCost::new(self.policy, OverloadPenalty::new(kappa), self.eta);
+        let scheduler = match self.scheduler_override {
+            Some(Scheduler::WaterFilling) if !cost.supports_waterfilling() => {
+                return Err(GameError::InvalidParameter {
+                    name: "scheduler (water-filling needs strictly convex Z)",
+                    value: 0.0,
+                });
+            }
+            Some(s) => s,
+            None => Scheduler::for_cost(&cost),
+        };
+        let (p_max, satisfactions): (Vec<f64>, Vec<Box<dyn Satisfaction>>) =
+            self.olevs.into_iter().unzip();
+        let schedule = PowerSchedule::zeros(p_max.len(), self.caps.len());
+        Ok(Game {
+            satisfactions,
+            p_max,
+            caps: self.caps,
+            cost,
+            scheduler,
+            schedule,
+            tolerance: self.tolerance,
+        })
+    }
+}
+
+impl Default for GameBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::LinearPricing;
+    use oes_units::{MetersPerSecond, OlevId, SectionId, StateOfCharge};
+    use oes_wpt::OlevSpec;
+
+    #[test]
+    fn builds_a_valid_game() {
+        let g = GameBuilder::new()
+            .sections(5, Kilowatts::new(60.0))
+            .olevs(3, Kilowatts::new(40.0))
+            .build()
+            .unwrap();
+        assert_eq!(g.olev_count(), 3);
+        assert_eq!(g.section_count(), 5);
+        assert_eq!(g.schedule().total(), 0.0);
+        assert_eq!(g.scheduler(), Scheduler::WaterFilling);
+    }
+
+    #[test]
+    fn linear_policy_selects_greedy_scheduler() {
+        let g = GameBuilder::new()
+            .sections(2, Kilowatts::new(60.0))
+            .olevs(1, Kilowatts::new(40.0))
+            .pricing(PricingPolicy::Linear(LinearPricing::paper_default(20.0)))
+            .build()
+            .unwrap();
+        assert_eq!(g.scheduler(), Scheduler::Greedy);
+    }
+
+    #[test]
+    fn empty_scenarios_rejected() {
+        assert_eq!(
+            GameBuilder::new().olevs(1, Kilowatts::new(1.0)).build().unwrap_err(),
+            GameError::NoSections
+        );
+        assert_eq!(
+            GameBuilder::new().sections(1, Kilowatts::new(1.0)).build().unwrap_err(),
+            GameError::NoOlevs
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let err = GameBuilder::new()
+            .section(Kilowatts::new(-5.0))
+            .olevs(1, Kilowatts::new(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GameError::InvalidParameter { name: "section capacity", .. }));
+
+        let err = GameBuilder::new()
+            .sections(1, Kilowatts::new(10.0))
+            .olevs(1, Kilowatts::new(1.0))
+            .eta(0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GameError::InvalidParameter { name: "eta", .. }));
+    }
+
+    #[test]
+    fn from_wpt_wires_eq1_and_eq2() {
+        let spec = OlevSpec::chevy_spark_default();
+        let mut olevs: Vec<Olev> = (0..3)
+            .map(|i| {
+                Olev::new(
+                    OlevId(i),
+                    spec,
+                    StateOfCharge::saturating(0.4),
+                    StateOfCharge::saturating(0.8),
+                )
+            })
+            .collect();
+        for o in &mut olevs {
+            o.set_velocity(MetersPerSecond::new(26.8224));
+        }
+        let sections: Vec<ChargingSection> =
+            (0..4).map(|i| ChargingSection::paper_default(SectionId(i))).collect();
+        let g = GameBuilder::new().from_wpt(&olevs, &sections, 300.0).build().unwrap();
+        assert_eq!(g.olev_count(), 3);
+        assert_eq!(g.section_count(), 4);
+        // Eq. 2 with (0.8 − 0.4 + 0.2): 0.6 × 95.76 × 0.85 / 0.9.
+        let expected = 0.6 * 95.76 * 0.85 / 0.9;
+        assert!((g.p_max()[0] - expected).abs() < 1e-9);
+        // Eq. 1-derived sustained capacity is positive and uniform.
+        assert!(g.caps()[0] > 0.0);
+        assert_eq!(g.caps()[0], g.caps()[3]);
+    }
+
+    #[test]
+    fn force_scheduler_ablation_knob() {
+        // Nonlinear pricing with greedy filling is allowed (ablation)...
+        let g = GameBuilder::new()
+            .sections(2, Kilowatts::new(60.0))
+            .olevs(1, Kilowatts::new(40.0))
+            .force_scheduler(Scheduler::Greedy)
+            .build()
+            .unwrap();
+        assert_eq!(g.scheduler(), Scheduler::Greedy);
+        // ...but water-filling on the linear policy violates Lemma IV.1.
+        let err = GameBuilder::new()
+            .sections(2, Kilowatts::new(60.0))
+            .olevs(1, Kilowatts::new(40.0))
+            .pricing(PricingPolicy::Linear(LinearPricing::paper_default(15.0)))
+            .force_scheduler(Scheduler::WaterFilling)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GameError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn heterogeneous_olevs_supported() {
+        let g = GameBuilder::new()
+            .sections(2, Kilowatts::new(60.0))
+            .olev_with(Kilowatts::new(20.0), Box::new(LogSatisfaction::new(5.0)))
+            .olevs_weighted(2, Kilowatts::new(40.0), 0.5)
+            .build()
+            .unwrap();
+        assert_eq!(g.olev_count(), 3);
+        assert_eq!(g.p_max(), &[20.0, 40.0, 40.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! A centralized ground-truth solver.
+//!
+//! Theorem IV.1 claims the decentralized best-response dynamics reach the
+//! maximizer of the social welfare `W`. This module maximizes `W` directly —
+//! projected gradient ascent on the full `N × C` schedule — with no game,
+//! no payments, and no privacy, purely as an independent check that the
+//! decentralized engine lands on the same optimum (tested in the
+//! integration suite).
+
+use oes_units::OlevId;
+
+use crate::engine::Game;
+use crate::potential::social_welfare;
+use crate::schedule::PowerSchedule;
+
+/// The solver's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentralizedSolution {
+    /// The welfare-maximizing schedule found.
+    pub schedule: PowerSchedule,
+    /// `W` at that schedule.
+    pub welfare: f64,
+    /// Gradient iterations performed.
+    pub iterations: usize,
+    /// Whether the welfare improvement fell below tolerance before the
+    /// iteration budget ran out.
+    pub converged: bool,
+}
+
+/// Maximizes `W` by projected gradient ascent over
+/// `{p ≥ 0, Σ_c p_{n,c} ≤ P_OLEV_n}`.
+///
+/// `∂W/∂p_{n,c} = U'_n(p_n) − Z'(P_c)`; after each ascent step every row is
+/// projected onto its capped simplex.
+#[must_use]
+pub fn solve_centralized(game: &Game, max_iterations: usize) -> CentralizedSolution {
+    let n_olevs = game.olev_count();
+    let n_sections = game.section_count();
+    let caps = game.caps();
+    let cost = game.cost();
+    let mut schedule = PowerSchedule::zeros(n_olevs, n_sections);
+
+    // A conservative step size from the objective's curvature bounds:
+    // |U''| ≤ max weight (≤ U'(0)) and Z'' is β̃/K plus the overload term.
+    let max_u_curvature: f64 = game
+        .satisfactions()
+        .iter()
+        .map(|s| s.derivative(0.0))
+        .fold(1.0, f64::max);
+    let max_z_curvature: f64 = caps
+        .iter()
+        .map(|&cap| {
+            let knee = cost.knee(cap);
+            // Finite-difference curvature just past the knee (worst case).
+            let h = 1e-3;
+            (cost.z_prime(knee + h, cap) - cost.z_prime(knee, cap)) / h
+        })
+        .fold(0.0, f64::max);
+    let lipschitz = max_u_curvature + max_z_curvature * n_olevs as f64;
+    let step = 0.9 / lipschitz.max(1e-9);
+
+    let mut welfare = social_welfare(game.satisfactions(), cost, caps, &schedule);
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut row = vec![0.0; n_sections];
+    for it in 0..max_iterations {
+        iterations = it + 1;
+        let loads = schedule.section_loads();
+        for n in 0..n_olevs {
+            let id = OlevId(n);
+            let p_n = schedule.olev_total(id);
+            let u_prime = game.satisfactions()[n].derivative(p_n);
+            for c in 0..n_sections {
+                let grad = u_prime - cost.z_prime(loads[c], caps[c]);
+                row[c] = schedule.get(id, oes_units::SectionId(c)) + step * grad;
+            }
+            project_capped_simplex(&mut row, game.p_max()[n]);
+            schedule.set_row(id, &row);
+        }
+        let new_welfare = social_welfare(game.satisfactions(), cost, caps, &schedule);
+        if (new_welfare - welfare).abs() < 1e-9 * welfare.abs().max(1.0) && it > 10 {
+            welfare = new_welfare;
+            converged = true;
+            break;
+        }
+        welfare = new_welfare;
+    }
+    CentralizedSolution { schedule, welfare, iterations, converged }
+}
+
+/// Euclidean projection onto `{x ≥ 0, Σx ≤ budget}` in place.
+///
+/// If clamping negatives already satisfies the budget, that is the
+/// projection; otherwise project onto the simplex `Σx = budget` via the
+/// standard water-shift `x_i = max(0, v_i − θ)` with θ found by bisection.
+fn project_capped_simplex(v: &mut [f64], budget: f64) {
+    let clamped_sum: f64 = v.iter().map(|x| x.max(0.0)).sum();
+    if clamped_sum <= budget {
+        for x in v.iter_mut() {
+            *x = x.max(0.0);
+        }
+        return;
+    }
+    let (mut lo, mut hi) = (0.0, v.iter().fold(0.0f64, |m, &x| m.max(x)));
+    for _ in 0..100 {
+        let theta = 0.5 * (lo + hi);
+        let s: f64 = v.iter().map(|&x| (x - theta).max(0.0)).sum();
+        if s > budget {
+            lo = theta;
+        } else {
+            hi = theta;
+        }
+    }
+    let theta = 0.5 * (lo + hi);
+    for x in v.iter_mut() {
+        *x = (*x - theta).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GameBuilder;
+    use crate::engine::UpdateOrder;
+    use oes_units::Kilowatts;
+
+    #[test]
+    fn projection_is_identity_inside_the_set() {
+        let mut v = vec![1.0, 2.0, -0.5];
+        project_capped_simplex(&mut v, 10.0);
+        assert_eq!(v, vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_hits_the_budget_exactly_when_binding() {
+        let mut v = vec![5.0, 5.0, 5.0];
+        project_capped_simplex(&mut v, 6.0);
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 6.0).abs() < 1e-6);
+        // Symmetric input stays symmetric.
+        assert!((v[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_preserves_ordering() {
+        let mut v = vec![9.0, 1.0, 4.0];
+        project_capped_simplex(&mut v, 5.0);
+        assert!(v[0] > v[2] && v[2] >= v[1]);
+    }
+
+    #[test]
+    fn centralized_matches_decentralized_welfare() {
+        // The headline check on Theorem IV.1 at unit-test scale.
+        let build = || {
+            GameBuilder::new()
+                .sections(6, Kilowatts::new(60.0))
+                .olevs(3, Kilowatts::new(80.0))
+                .build()
+                .unwrap()
+        };
+        let mut game = build();
+        game.run(UpdateOrder::RoundRobin, 3000).unwrap();
+        let decentralized = game.welfare();
+        let central = solve_centralized(&build(), 20_000);
+        assert!(
+            (decentralized - central.welfare).abs() < 1e-3 * decentralized.abs().max(1.0),
+            "decentralized {decentralized} vs centralized {}",
+            central.welfare
+        );
+    }
+
+    #[test]
+    fn centralized_respects_bounds() {
+        let game = GameBuilder::new()
+            .sections(4, Kilowatts::new(60.0))
+            .olevs(2, Kilowatts::new(10.0))
+            .build()
+            .unwrap();
+        let sol = solve_centralized(&game, 5000);
+        for n in 0..2 {
+            let total = sol.schedule.olev_total(OlevId(n));
+            assert!(total <= 10.0 + 1e-6, "row {n} exceeds p_max: {total}");
+        }
+    }
+}

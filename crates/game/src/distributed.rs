@@ -1,0 +1,383 @@
+//! The decentralized runtime: real threads exchanging V2I-style messages.
+//!
+//! [`crate::engine::Game::run`] simulates the asynchronous protocol inside
+//! one thread. This module runs it for real: every OLEV is a worker thread
+//! holding its satisfaction function *privately* (the grid never sees it —
+//! the paper's key informational constraint), and the grid coordinator talks
+//! to workers over channels. Per update the grid sends the data defining the
+//! OLEV's payment function — the other OLEVs' aggregate loads `P_{-n,c}` —
+//! and receives back the best-response total request, which it schedules by
+//! Lemma IV.1 exactly as the in-process engine does. Both paths must agree;
+//! the test suite asserts it.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::best_response::best_response;
+use crate::engine::{Game, Outcome, Snapshot};
+use crate::error::GameError;
+
+/// What the grid sends an OLEV: everything Ψ_n depends on.
+#[derive(Debug, Clone)]
+struct Offer {
+    loads_excl: Vec<f64>,
+}
+
+/// What the OLEV returns: its best-response total request (Eq. 21).
+#[derive(Debug, Clone, Copy)]
+struct Reply {
+    olev: usize,
+    total: f64,
+}
+
+/// Runs a [`Game`] on the thread-per-OLEV runtime.
+///
+/// # Examples
+///
+/// ```
+/// use oes_game::{DistributedGame, GameBuilder};
+/// use oes_units::Kilowatts;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut game = GameBuilder::new()
+///     .sections(4, Kilowatts::new(60.0))
+///     .olevs(3, Kilowatts::new(40.0))
+///     .build()?;
+/// let outcome = DistributedGame::new(&mut game).run(500)?;
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DistributedGame<'g> {
+    game: &'g mut Game,
+}
+
+impl<'g> DistributedGame<'g> {
+    /// Wraps a game for distributed execution.
+    pub fn new(game: &'g mut Game) -> Self {
+        Self { game }
+    }
+
+    /// Runs round-robin asynchronous best responses across worker threads
+    /// until convergence or `max_updates`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::WorkerFailed`] if a worker thread dies.
+    pub fn run(self, max_updates: usize) -> Result<Outcome, GameError> {
+        let game = self.game;
+        let n_olevs = game.olev_count();
+        let cost = game.cost;
+        let scheduler = game.scheduler;
+        let caps = game.caps.clone();
+        let p_max = game.p_max.clone();
+        let tolerance = game.tolerance;
+
+        let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+        let mut offer_txs: Vec<Sender<Offer>> = Vec::with_capacity(n_olevs);
+        let mut offer_rxs: Vec<Receiver<Offer>> = Vec::with_capacity(n_olevs);
+        for _ in 0..n_olevs {
+            let (tx, rx) = unbounded();
+            offer_txs.push(tx);
+            offer_rxs.push(rx);
+        }
+
+        let satisfactions = &game.satisfactions;
+        let schedule = &mut game.schedule;
+        let caps_ref = &caps;
+
+        std::thread::scope(|scope| -> Result<Outcome, GameError> {
+            // Workers: privately-held satisfaction, public price signal in.
+            for (n, offer_rx) in offer_rxs.into_iter().enumerate() {
+                let reply_tx = reply_tx.clone();
+                let sat = satisfactions[n].as_ref();
+                let p_max_n = p_max[n];
+                scope.spawn(move || {
+                    while let Ok(offer) = offer_rx.recv() {
+                        let br = best_response(
+                            sat,
+                            &cost,
+                            caps_ref,
+                            &offer.loads_excl,
+                            p_max_n,
+                            scheduler,
+                        );
+                        if reply_tx.send(Reply { olev: n, total: br.total }).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            let mut trajectory = Vec::new();
+            let mut calm_streak = 0usize;
+            let mut updates = 0usize;
+            let mut converged = false;
+            while updates < max_updates {
+                let n = updates % n_olevs;
+                let loads_excl = schedule.loads_excluding(oes_units::OlevId(n));
+                offer_txs[n]
+                    .send(Offer { loads_excl: loads_excl.clone() })
+                    .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
+                let reply = reply_rx
+                    .recv()
+                    .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
+                debug_assert_eq!(reply.olev, n, "single outstanding offer");
+                // The grid schedules the request cost-minimally (Lemma IV.1)
+                // and re-derives the payment — no trust in the worker needed.
+                let allocation = scheduler.allocate(&cost, caps_ref, &loads_excl, reply.total);
+                let before = schedule.olev_total(oes_units::OlevId(n));
+                schedule.set_row(oes_units::OlevId(n), &allocation.shares);
+                let change = (reply.total - before).abs();
+                updates += 1;
+
+                let congestion = schedule.system_congestion(caps_ref);
+                let welfare = crate::potential::social_welfare(
+                    satisfactions,
+                    &cost,
+                    caps_ref,
+                    schedule,
+                );
+                trajectory.push(Snapshot { update: updates, congestion, welfare, change });
+                if change < tolerance {
+                    calm_streak += 1;
+                } else {
+                    calm_streak = 0;
+                }
+                if calm_streak >= n_olevs {
+                    converged = true;
+                    break;
+                }
+            }
+            // Dropping the offer senders terminates the workers.
+            drop(offer_txs);
+            Ok(Outcome { converged, updates, trajectory })
+        })
+    }
+}
+
+/// A pipelined variant: the grid keeps up to `window` offers outstanding at
+/// once, so an OLEV's best response is computed against loads that may be up
+/// to `window − 1` updates stale — real V2I latency, modeled. Theorem IV.1's
+/// asynchronous convergence claim covers exactly this regime (bounded
+/// staleness), and the tests confirm the same optimum is reached.
+#[derive(Debug)]
+pub struct StaleDistributedGame<'g> {
+    game: &'g mut Game,
+    window: usize,
+}
+
+impl<'g> StaleDistributedGame<'g> {
+    /// Wraps a game; `window` is the number of concurrently outstanding
+    /// offers (1 = the fully synchronous protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(game: &'g mut Game, window: usize) -> Self {
+        assert!(window > 0, "need at least one outstanding offer");
+        Self { game, window }
+    }
+
+    /// Runs round-robin best responses with pipelined (stale) offers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::WorkerFailed`] if a worker thread dies.
+    pub fn run(self, max_updates: usize) -> Result<Outcome, GameError> {
+        let game = self.game;
+        let window = self.window.min(game.olev_count());
+        let n_olevs = game.olev_count();
+        let cost = game.cost;
+        let scheduler = game.scheduler;
+        let caps = game.caps.clone();
+        let p_max = game.p_max.clone();
+        let tolerance = game.tolerance;
+
+        let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
+        let mut offer_txs: Vec<Sender<Offer>> = Vec::with_capacity(n_olevs);
+        let mut offer_rxs: Vec<Receiver<Offer>> = Vec::with_capacity(n_olevs);
+        for _ in 0..n_olevs {
+            let (tx, rx) = unbounded();
+            offer_txs.push(tx);
+            offer_rxs.push(rx);
+        }
+        let satisfactions = &game.satisfactions;
+        let schedule = &mut game.schedule;
+        let caps_ref = &caps;
+
+        std::thread::scope(|scope| -> Result<Outcome, GameError> {
+            for (n, offer_rx) in offer_rxs.into_iter().enumerate() {
+                let reply_tx = reply_tx.clone();
+                let sat = satisfactions[n].as_ref();
+                let p_max_n = p_max[n];
+                scope.spawn(move || {
+                    while let Ok(offer) = offer_rx.recv() {
+                        let br = best_response(
+                            sat,
+                            &cost,
+                            caps_ref,
+                            &offer.loads_excl,
+                            p_max_n,
+                            scheduler,
+                        );
+                        if reply_tx.send(Reply { olev: n, total: br.total }).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            let mut trajectory = Vec::new();
+            let mut calm_streak = 0usize;
+            let mut updates = 0usize;
+            let mut converged = false;
+            let mut issued = 0usize;
+            let mut outstanding = 0usize;
+            while updates < max_updates {
+                // Fill the pipeline: offers computed against *current* state,
+                // applied only when the (stale) reply returns.
+                while outstanding < window && issued < max_updates {
+                    let n = issued % n_olevs;
+                    let loads_excl = schedule.loads_excluding(oes_units::OlevId(n));
+                    offer_txs[n]
+                        .send(Offer { loads_excl })
+                        .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
+                    issued += 1;
+                    outstanding += 1;
+                }
+                let reply = reply_rx
+                    .recv()
+                    .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
+                outstanding -= 1;
+                // Re-schedule against the *fresh* loads (the grid always
+                // allocates consistently; only the OLEV's total is stale).
+                let fresh_loads = schedule.loads_excluding(oes_units::OlevId(reply.olev));
+                let allocation = scheduler.allocate(&cost, caps_ref, &fresh_loads, reply.total);
+                let before = schedule.olev_total(oes_units::OlevId(reply.olev));
+                schedule.set_row(oes_units::OlevId(reply.olev), &allocation.shares);
+                let change = (reply.total - before).abs();
+                updates += 1;
+                trajectory.push(Snapshot {
+                    update: updates,
+                    congestion: schedule.system_congestion(caps_ref),
+                    welfare: crate::potential::social_welfare(
+                        satisfactions,
+                        &cost,
+                        caps_ref,
+                        schedule,
+                    ),
+                    change,
+                });
+                if change < tolerance {
+                    calm_streak += 1;
+                } else {
+                    calm_streak = 0;
+                }
+                if calm_streak >= n_olevs + window {
+                    converged = true;
+                    break;
+                }
+            }
+            drop(offer_txs);
+            // Drain any stale replies so workers can exit cleanly.
+            while reply_rx.recv().is_ok() {}
+            Ok(Outcome { converged, updates, trajectory })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GameBuilder;
+    use crate::engine::UpdateOrder;
+    use oes_units::Kilowatts;
+
+    fn build() -> Game {
+        GameBuilder::new()
+            .sections(6, Kilowatts::new(60.0))
+            .olevs(4, Kilowatts::new(50.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn distributed_converges() {
+        let mut g = build();
+        let out = DistributedGame::new(&mut g).run(1000).unwrap();
+        assert!(out.converged());
+        assert!(out.updates() < 1000);
+    }
+
+    #[test]
+    fn distributed_matches_in_process_engine() {
+        // Same protocol, different runtime ⇒ same equilibrium.
+        let mut a = build();
+        let mut b = build();
+        a.run(UpdateOrder::RoundRobin, 2000).unwrap();
+        DistributedGame::new(&mut b).run(2000).unwrap();
+        assert!((a.welfare() - b.welfare()).abs() < 1e-9);
+        for (la, lb) in a.section_loads().iter().zip(b.section_loads()) {
+            assert!((la - lb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stale_offers_still_converge_to_the_same_optimum() {
+        // Bounded staleness (Theorem IV.1's asynchronous regime): windows of
+        // 1, 2, and 4 outstanding offers must all land on the synchronous
+        // optimum.
+        let mut reference = build();
+        reference.run(UpdateOrder::RoundRobin, 2000).unwrap();
+        for window in [1usize, 2, 4] {
+            let mut g = build();
+            let out = StaleDistributedGame::new(&mut g, window).run(5000).unwrap();
+            assert!(out.converged(), "window {window} did not converge");
+            assert!(
+                (g.welfare() - reference.welfare()).abs() < 1e-6,
+                "window {window}: welfare {} vs {}",
+                g.welfare(),
+                reference.welfare()
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_costs_updates_but_not_quality() {
+        let mut sync_game = build();
+        let sync_updates =
+            DistributedGame::new(&mut sync_game).run(5000).unwrap().updates();
+        let mut stale_game = build();
+        let stale_out = StaleDistributedGame::new(&mut stale_game, 4).run(5000).unwrap();
+        assert!(stale_out.converged());
+        // Stale information can only slow the protocol down, never corrupt
+        // the fixed point.
+        assert!(stale_out.updates() + 8 >= sync_updates);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outstanding offer")]
+    fn zero_window_panics() {
+        let mut g = build();
+        let _ = StaleDistributedGame::new(&mut g, 0);
+    }
+
+    #[test]
+    fn distributed_with_heterogeneous_olevs() {
+        let mut g = GameBuilder::new()
+            .sections(5, Kilowatts::new(40.0))
+            .olevs_weighted(2, Kilowatts::new(30.0), 2.0)
+            .olevs_weighted(3, Kilowatts::new(60.0), 0.7)
+            .build()
+            .unwrap();
+        let out = DistributedGame::new(&mut g).run(2000).unwrap();
+        assert!(out.converged());
+        // Eager OLEVs (higher weight) take more power.
+        let p0 = g.schedule().olev_total(oes_units::OlevId(0));
+        let p4 = g.schedule().olev_total(oes_units::OlevId(4));
+        assert!(p0 > p4, "eager {p0} vs lukewarm {p4}");
+    }
+}

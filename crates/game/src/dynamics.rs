@@ -1,0 +1,218 @@
+//! Temporal dynamics: the pricing game repeated as batteries fill.
+//!
+//! The single-shot game treats each OLEV's Eq. 2 bound as fixed. Over a
+//! charging lane, it is not: every round of transfer raises the SOC, which
+//! shrinks `P_OLEV = (SOC_req − SOC + SOC_min) · P_max · η_E / η_OLEV`, so
+//! demand decays as the fleet fills and the lane's congestion relaxes on its
+//! own — the temporal counterpart of the static equilibrium the paper
+//! analyzes. [`SocCoupledGame`] runs that loop: solve the game, transfer the
+//! scheduled power for one interval, update the batteries, repeat.
+
+use oes_units::{Hours, Kilowatts, KilowattHours, OlevId, StateOfCharge};
+use oes_wpt::Olev;
+
+use crate::builder::GameBuilder;
+use crate::engine::UpdateOrder;
+use crate::error::GameError;
+use crate::pricing::PricingPolicy;
+
+/// One round of the coupled dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Round index.
+    pub round: usize,
+    /// Aggregate demand bound `Σ P_OLEV` entering the round (kW).
+    pub total_demand_bound: f64,
+    /// Power scheduled at the round's equilibrium (kW).
+    pub total_power: f64,
+    /// System congestion degree at equilibrium.
+    pub congestion: f64,
+    /// Mean fleet SOC after the transfer.
+    pub mean_soc: f64,
+    /// Energy transferred this round (kWh).
+    pub energy_kwh: f64,
+}
+
+/// A fleet of OLEVs repeatedly playing the pricing game while charging.
+#[derive(Debug)]
+pub struct SocCoupledGame {
+    fleet: Vec<Olev>,
+    sections: usize,
+    section_capacity: Kilowatts,
+    policy: PricingPolicy,
+    eta: f64,
+    /// Interval each round's scheduled power flows for.
+    pub round_hours: f64,
+    seed: u64,
+}
+
+impl SocCoupledGame {
+    /// Creates the coupled dynamics over a fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty or `round_hours` is not positive.
+    #[must_use]
+    pub fn new(
+        fleet: Vec<Olev>,
+        sections: usize,
+        section_capacity: Kilowatts,
+        policy: PricingPolicy,
+        eta: f64,
+        round_hours: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!fleet.is_empty(), "need at least one OLEV");
+        assert!(round_hours > 0.0, "round duration must be positive");
+        Self { fleet, sections, section_capacity, policy, eta, round_hours, seed }
+    }
+
+    /// The fleet (current battery states included).
+    #[must_use]
+    pub fn fleet(&self) -> &[Olev] {
+        &self.fleet
+    }
+
+    /// Mean fleet SOC.
+    #[must_use]
+    pub fn mean_soc(&self) -> f64 {
+        self.fleet.iter().map(|o| o.battery().soc().fraction()).sum::<f64>()
+            / self.fleet.len() as f64
+    }
+
+    /// Runs one round: rebuild the game from current SOCs, converge it,
+    /// transfer the scheduled energy into the batteries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GameError`] from the game run.
+    pub fn round(&mut self, index: usize) -> Result<RoundOutcome, GameError> {
+        let mut builder = GameBuilder::new()
+            .sections(self.sections, self.section_capacity)
+            .pricing(self.policy)
+            .eta(self.eta);
+        let mut total_bound = 0.0;
+        for olev in &self.fleet {
+            let bound = olev.receivable_power();
+            total_bound += bound.value();
+            builder = builder.olevs(1, bound);
+        }
+        let mut game = builder.build()?;
+        game.run(UpdateOrder::Random { seed: self.seed.wrapping_add(index as u64) }, 50_000)?;
+
+        let mut energy_total = 0.0;
+        for (n, olev) in self.fleet.iter_mut().enumerate() {
+            let power = game.schedule().olev_total(OlevId(n));
+            let energy = Kilowatts::new(power) * Hours::new(self.round_hours);
+            let eff = olev.spec().transfer_efficiency.fraction();
+            // Respect the SOC_max safety ceiling, not just the physical pack.
+            let headroom = olev.soc_headroom() * olev.spec().battery.energy_capacity().value();
+            let intake = (energy.value() * eff).min(headroom.max(0.0));
+            let absorbed = olev.battery_mut().charge(KilowattHours::new(intake));
+            energy_total += absorbed.value();
+        }
+        Ok(RoundOutcome {
+            round: index,
+            total_demand_bound: total_bound,
+            total_power: game.schedule().total(),
+            congestion: game.system_congestion(),
+            mean_soc: self.mean_soc(),
+            energy_kwh: energy_total,
+        })
+    }
+
+    /// Runs `rounds` rounds and returns their outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GameError`] from any round.
+    pub fn run(&mut self, rounds: usize) -> Result<Vec<RoundOutcome>, GameError> {
+        (0..rounds).map(|i| self.round(i)).collect()
+    }
+}
+
+/// Builds a uniform fleet at a common SOC for the coupled dynamics.
+#[must_use]
+pub fn uniform_fleet(count: usize, soc: StateOfCharge, soc_required: StateOfCharge) -> Vec<Olev> {
+    (0..count)
+        .map(|i| Olev::new(OlevId(i), oes_wpt::OlevSpec::chevy_spark_default(), soc, soc_required))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::NonlinearPricing;
+
+    fn dynamics(count: usize) -> SocCoupledGame {
+        SocCoupledGame::new(
+            uniform_fleet(count, StateOfCharge::saturating(0.4), StateOfCharge::saturating(0.9)),
+            8,
+            Kilowatts::new(30.0),
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            0.9,
+            0.05, // 3-minute rounds
+            5,
+        )
+    }
+
+    #[test]
+    fn soc_rises_and_demand_decays() {
+        let mut d = dynamics(6);
+        let rounds = d.run(12).unwrap();
+        for w in rounds.windows(2) {
+            assert!(w[1].mean_soc >= w[0].mean_soc - 1e-12, "SOC fell");
+            assert!(
+                w[1].total_demand_bound <= w[0].total_demand_bound + 1e-9,
+                "demand bound rose as batteries filled"
+            );
+        }
+        assert!(rounds.last().unwrap().mean_soc > rounds[0].mean_soc);
+    }
+
+    #[test]
+    fn congestion_relaxes_as_the_fleet_fills() {
+        let mut d = dynamics(12);
+        let rounds = d.run(40).unwrap();
+        let early = rounds[0].congestion;
+        let late = rounds.last().unwrap().congestion;
+        assert!(late < early, "congestion should decay: {early} -> {late}");
+    }
+
+    #[test]
+    fn transfer_stops_once_trip_requirement_is_met() {
+        let mut d = dynamics(4);
+        let rounds = d.run(60).unwrap();
+        let last = rounds.last().unwrap();
+        // Eq. 2 bound shrinks toward its SOC_min floor; scheduled power and
+        // congestion end far below where they started.
+        assert!(last.total_power < rounds[0].total_power * 0.7);
+        // SOC approaches the requirement/ceiling without crossing it.
+        for o in d.fleet() {
+            assert!(o.battery().soc() <= StateOfCharge::saturating(0.9));
+        }
+    }
+
+    #[test]
+    fn energy_accounting_matches_power_and_duration() {
+        let mut d = dynamics(3);
+        let r = d.round(0).unwrap();
+        // energy = power × round_hours × η_E, unless the SOC ceiling bit.
+        let expected = r.total_power * 0.05 * 0.85;
+        assert!((r.energy_kwh - expected).abs() < 1e-6, "{} vs {expected}", r.energy_kwh);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one OLEV")]
+    fn empty_fleet_panics() {
+        let _ = SocCoupledGame::new(
+            vec![],
+            4,
+            Kilowatts::new(30.0),
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            0.9,
+            0.1,
+            0,
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! The asynchronous best-response engine (Sections IV.D–IV.G).
+//!
+//! The smart grid repeatedly picks one OLEV, posts it the updated payment
+//! function (Eq. 20), receives its best-response request (Eq. 21), and
+//! re-schedules it cost-minimally (Lemma IV.1). Theorem IV.1 guarantees the
+//! process converges to the socially optimal schedule; the engine detects
+//! convergence when a full cycle of updates moves nobody by more than the
+//! tolerance.
+
+use oes_units::{OlevId, SectionId};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::best_response::best_response;
+use crate::error::GameError;
+use crate::payment::{payment_for_schedule, Scheduler};
+use crate::potential::social_welfare;
+use crate::pricing::SectionCost;
+use crate::satisfaction::Satisfaction;
+use crate::schedule::PowerSchedule;
+
+/// The order in which the grid polls OLEVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOrder {
+    /// Cyclic polling (the paper's cycle-length-`N` guarantee).
+    RoundRobin,
+    /// Uniformly random polling, seeded for reproducibility (the paper's
+    /// "randomly chosen OLEV").
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// One recorded point of a run's trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Update counter (1-based).
+    pub update: usize,
+    /// System congestion degree: total load over total capacity.
+    pub congestion: f64,
+    /// Social welfare at this point.
+    pub welfare: f64,
+    /// `|Δp_n|` of the update that produced this snapshot.
+    pub change: f64,
+}
+
+/// The result of running the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    pub(crate) converged: bool,
+    pub(crate) updates: usize,
+    /// One snapshot per update, in order.
+    pub trajectory: Vec<Snapshot>,
+}
+
+impl Outcome {
+    /// Whether a full cycle of updates moved nobody by more than the
+    /// tolerance before the update budget ran out.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// How many single-OLEV updates ran.
+    #[must_use]
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// The welfare at the end of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run performed no updates.
+    #[must_use]
+    pub fn final_welfare(&self) -> f64 {
+        self.trajectory.last().expect("at least one update").welfare
+    }
+
+    /// The first update index at which congestion reached `fraction` of its
+    /// final value — the convergence-speed measure of Figs. 5(d)/6(d).
+    #[must_use]
+    pub fn updates_to_reach(&self, fraction: f64) -> Option<usize> {
+        let target = self.trajectory.last()?.congestion * fraction;
+        self.trajectory.iter().find(|s| s.congestion >= target).map(|s| s.update)
+    }
+}
+
+/// A configured pricing game between `N` OLEVs and `C` charging sections.
+///
+/// Build one with [`crate::GameBuilder`]. The state is the current power
+/// schedule; [`Game::run`] advances it by asynchronous best responses.
+pub struct Game {
+    pub(crate) satisfactions: Vec<Box<dyn Satisfaction>>,
+    pub(crate) p_max: Vec<f64>,
+    pub(crate) caps: Vec<f64>,
+    pub(crate) cost: SectionCost,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) schedule: PowerSchedule,
+    pub(crate) tolerance: f64,
+}
+
+impl core::fmt::Debug for Game {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Game")
+            .field("olevs", &self.p_max.len())
+            .field("sections", &self.caps.len())
+            .field("scheduler", &self.scheduler)
+            .field("tolerance", &self.tolerance)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Game {
+    /// Number of OLEVs.
+    #[must_use]
+    pub fn olev_count(&self) -> usize {
+        self.p_max.len()
+    }
+
+    /// Number of charging sections.
+    #[must_use]
+    pub fn section_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Per-section capacities `P_line` (kW).
+    #[must_use]
+    pub fn caps(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Per-OLEV capacity bounds `P_OLEV` (kW).
+    #[must_use]
+    pub fn p_max(&self) -> &[f64] {
+        &self.p_max
+    }
+
+    /// The section cost `Z`.
+    #[must_use]
+    pub fn cost(&self) -> &SectionCost {
+        &self.cost
+    }
+
+    /// The grid's scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// The satisfaction functions (grid-side code never calls these in the
+    /// decentralized path; they are exposed for analysis and ground truth).
+    #[must_use]
+    pub fn satisfactions(&self) -> &[Box<dyn Satisfaction>] {
+        &self.satisfactions
+    }
+
+    /// The current power schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &PowerSchedule {
+        &self.schedule
+    }
+
+    /// Replaces the current schedule (e.g. to warm-start from a solution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions mismatch.
+    pub fn set_schedule(&mut self, schedule: PowerSchedule) {
+        assert_eq!(schedule.olev_count(), self.olev_count(), "OLEV count mismatch");
+        assert_eq!(schedule.section_count(), self.section_count(), "section count mismatch");
+        self.schedule = schedule;
+    }
+
+    /// Resets the schedule to all-zero.
+    pub fn reset(&mut self) {
+        self.schedule = PowerSchedule::zeros(self.olev_count(), self.section_count());
+    }
+
+    /// Current per-section loads `P_c`.
+    #[must_use]
+    pub fn section_loads(&self) -> Vec<f64> {
+        self.schedule.section_loads()
+    }
+
+    /// System congestion degree (total load over total capacity).
+    #[must_use]
+    pub fn system_congestion(&self) -> f64 {
+        self.schedule.system_congestion(&self.caps)
+    }
+
+    /// Current social welfare `W(p)` (Eq. 7).
+    #[must_use]
+    pub fn welfare(&self) -> f64 {
+        social_welfare(&self.satisfactions, &self.cost, &self.caps, &self.schedule)
+    }
+
+    /// Total payment `Σ_n ξ_n` collected at the current schedule.
+    #[must_use]
+    pub fn total_payment(&self) -> f64 {
+        (0..self.olev_count())
+            .map(|n| {
+                let id = OlevId(n);
+                let loads_excl = self.schedule.loads_excluding(id);
+                payment_for_schedule(&self.cost, &self.caps, &loads_excl, self.schedule.row(id))
+            })
+            .sum()
+    }
+
+    /// The average unit payment in $/MWh (total payment over total energy,
+    /// with the crate's kWh-scale costs converted back to the LBMP scale) —
+    /// the y-axis of Figs. 5(a)/6(a). Returns zero with no allocation.
+    #[must_use]
+    pub fn unit_payment_dollars_per_mwh(&self) -> f64 {
+        let power = self.schedule.total();
+        if power <= 0.0 {
+            return 0.0;
+        }
+        self.total_payment() / power * 1000.0
+    }
+
+    /// Runs one best-response update for OLEV `n` (Eqs. 20–21) and returns
+    /// `|Δp_n|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::UnknownOlev`] if `n` is out of range.
+    pub fn update_olev(&mut self, n: usize) -> Result<f64, GameError> {
+        if n >= self.olev_count() {
+            return Err(GameError::UnknownOlev(n));
+        }
+        let id = OlevId(n);
+        let loads_excl = self.schedule.loads_excluding(id);
+        let before = self.schedule.olev_total(id);
+        let br = best_response(
+            self.satisfactions[n].as_ref(),
+            &self.cost,
+            &self.caps,
+            &loads_excl,
+            self.p_max[n],
+            self.scheduler,
+        );
+        self.schedule.set_row(id, &br.allocation.shares);
+        Ok((br.total - before).abs())
+    }
+
+    /// Runs asynchronous best responses until convergence or `max_updates`.
+    ///
+    /// Convergence: `N` consecutive updates (one full cycle) each changed an
+    /// OLEV's total by less than the tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] if the scenario is degenerate (cannot happen for
+    /// builder-constructed games).
+    pub fn run(&mut self, order: UpdateOrder, max_updates: usize) -> Result<Outcome, GameError> {
+        let n_olevs = self.olev_count();
+        let mut rng = match order {
+            UpdateOrder::Random { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
+            UpdateOrder::RoundRobin => None,
+        };
+        let mut trajectory = Vec::with_capacity(max_updates.min(4096));
+        let mut calm_streak = 0usize;
+        let mut updates = 0usize;
+        while updates < max_updates {
+            let n = match &mut rng {
+                Some(r) => r.gen_range(0..n_olevs),
+                None => updates % n_olevs,
+            };
+            let change = self.update_olev(n)?;
+            updates += 1;
+            trajectory.push(Snapshot {
+                update: updates,
+                congestion: self.system_congestion(),
+                welfare: self.welfare(),
+                change,
+            });
+            if change < self.tolerance {
+                calm_streak += 1;
+            } else {
+                calm_streak = 0;
+            }
+            // A full calm cycle: with round-robin that provably covers every
+            // OLEV; with random polling we require a longer streak so that
+            // every OLEV has overwhelming probability of being included.
+            let needed = match order {
+                UpdateOrder::RoundRobin => n_olevs,
+                UpdateOrder::Random { .. } => 4 * n_olevs,
+            };
+            if calm_streak >= needed {
+                return Ok(Outcome { converged: true, updates, trajectory });
+            }
+        }
+        Ok(Outcome { converged: false, updates, trajectory })
+    }
+
+    /// Congestion degree of one section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn section_congestion(&self, c: usize) -> f64 {
+        self.schedule.congestion_degree(SectionId(c), self.caps[c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GameBuilder;
+    use crate::pricing::{LinearPricing, NonlinearPricing, PricingPolicy};
+    use oes_units::Kilowatts;
+
+    fn small_game() -> Game {
+        GameBuilder::new()
+            .sections(8, Kilowatts::new(60.0))
+            .olevs(4, Kilowatts::new(50.0))
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+            .build()
+            .expect("valid scenario")
+    }
+
+    #[test]
+    fn run_converges_round_robin() {
+        let mut g = small_game();
+        let out = g.run(UpdateOrder::RoundRobin, 1000).unwrap();
+        assert!(out.converged());
+        assert!(out.updates() < 1000);
+        assert!(out.final_welfare().is_finite());
+    }
+
+    #[test]
+    fn run_converges_random_order_to_same_welfare() {
+        let mut a = small_game();
+        let mut b = small_game();
+        let wa = a.run(UpdateOrder::RoundRobin, 2000).unwrap().final_welfare();
+        let wb = b.run(UpdateOrder::Random { seed: 9 }, 2000).unwrap().final_welfare();
+        // Theorem IV.1: the optimum is unique, so the order cannot matter.
+        assert!((wa - wb).abs() < 1e-6, "{wa} vs {wb}");
+    }
+
+    #[test]
+    fn welfare_is_monotone_along_best_responses() {
+        // The exact-potential property in action: every best response can
+        // only raise W.
+        let mut g = small_game();
+        let mut last = g.welfare();
+        for k in 0..40 {
+            g.update_olev(k % 4).unwrap();
+            let w = g.welfare();
+            assert!(w >= last - 1e-9, "welfare dropped at update {k}: {last} -> {w}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn nonlinear_equilibrium_is_load_balanced() {
+        let mut g = small_game();
+        g.run(UpdateOrder::RoundRobin, 2000).unwrap();
+        let loads = g.section_loads();
+        let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+        let max = loads.iter().fold(0.0f64, |m, &l| m.max(l));
+        assert!(max - min < 1e-6, "imbalance {min}..{max}");
+    }
+
+    #[test]
+    fn linear_equilibrium_is_unbalanced() {
+        let mut g = GameBuilder::new()
+            .sections(8, Kilowatts::new(60.0))
+            .olevs(4, Kilowatts::new(50.0))
+            .pricing(PricingPolicy::Linear(LinearPricing::paper_default(15.0)))
+            .build()
+            .unwrap();
+        g.run(UpdateOrder::RoundRobin, 2000).unwrap();
+        let loads = g.section_loads();
+        let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+        let max = loads.iter().fold(0.0f64, |m, &l| m.max(l));
+        assert!(max - min > 1.0, "greedy filling should be uneven: {loads:?}");
+    }
+
+    #[test]
+    fn unknown_olev_rejected() {
+        let mut g = small_game();
+        assert_eq!(g.update_olev(99), Err(GameError::UnknownOlev(99)));
+    }
+
+    #[test]
+    fn reset_zeroes_the_schedule() {
+        let mut g = small_game();
+        g.run(UpdateOrder::RoundRobin, 100).unwrap();
+        assert!(g.schedule().total() > 0.0);
+        g.reset();
+        assert_eq!(g.schedule().total(), 0.0);
+        assert_eq!(g.system_congestion(), 0.0);
+    }
+
+    #[test]
+    fn unit_payment_zero_without_allocation() {
+        let g = small_game();
+        assert_eq!(g.unit_payment_dollars_per_mwh(), 0.0);
+    }
+
+    #[test]
+    fn trajectory_congestion_is_nondecreasing_from_cold_start() {
+        // From the all-zero schedule, requests only grow toward equilibrium
+        // in a symmetric scenario (Figs. 5(d)/6(d) show this ramp).
+        let mut g = small_game();
+        let out = g.run(UpdateOrder::RoundRobin, 500).unwrap();
+        let first = out.trajectory.first().unwrap().congestion;
+        let last = out.trajectory.last().unwrap().congestion;
+        assert!(last >= first);
+        assert!(out.updates_to_reach(0.95).is_some());
+    }
+
+    #[test]
+    fn outcome_updates_to_reach_handles_thresholds() {
+        let mut g = small_game();
+        let out = g.run(UpdateOrder::RoundRobin, 500).unwrap();
+        let early = out.updates_to_reach(0.5).unwrap();
+        let late = out.updates_to_reach(0.99).unwrap();
+        assert!(early <= late);
+    }
+}

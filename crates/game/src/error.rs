@@ -1,0 +1,52 @@
+//! Errors of the game crate.
+
+use core::fmt;
+
+/// Errors from building or running a pricing game.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameError {
+    /// The scenario has no charging sections.
+    NoSections,
+    /// The scenario has no OLEVs.
+    NoOlevs,
+    /// A capacity, weight, or price parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An OLEV index was out of range.
+    UnknownOlev(usize),
+    /// The distributed engine lost a worker thread.
+    WorkerFailed(String),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSections => write!(f, "scenario has no charging sections"),
+            Self::NoOlevs => write!(f, "scenario has no OLEVs"),
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+            Self::UnknownOlev(n) => write!(f, "unknown OLEV index {n}"),
+            Self::WorkerFailed(msg) => write!(f, "distributed worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(GameError::NoSections.to_string(), "scenario has no charging sections");
+        let e = GameError::InvalidParameter { name: "eta", value: -1.0 };
+        assert!(e.to_string().contains("eta"));
+        assert!(GameError::UnknownOlev(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,190 @@
+//! The power payment function ξ/Ψ (Eqs. 8–16) and the grid's scheduler
+//! choice.
+//!
+//! An OLEV is billed the *increment* its schedule adds to the total charging
+//! cost: `ξ_n(p_{-n}, p_n) = Σ_c [Z(P_{-n,c} + p_{n,c}) − Z(P_{-n,c})]`
+//! (Eq. 9). It is unbiased — requesting nothing costs nothing — and it is
+//! exactly what makes the game an exact potential game (see
+//! [`crate::potential`]). `Ψ_n(p_n)` (Eq. 16) is ξ evaluated at the grid's
+//! cost-minimizing schedule for the request `p_n`.
+
+use crate::pricing::SectionCost;
+use crate::waterfill::{greedy_fill, marginal_waterfill, Allocation};
+
+/// How the grid schedules a total request across sections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Scheduler {
+    /// Lemma IV.1 water-filling (requires strictly convex `Z`).
+    WaterFilling,
+    /// Sequential greedy filling (the linear baseline's behavior).
+    Greedy,
+}
+
+impl Scheduler {
+    /// The scheduler a cost policy admits: water-filling when `Z` is strictly
+    /// convex, greedy otherwise.
+    #[must_use]
+    pub fn for_cost(cost: &SectionCost) -> Self {
+        if cost.supports_waterfilling() {
+            Self::WaterFilling
+        } else {
+            Self::Greedy
+        }
+    }
+
+    /// Allocates `total` across sections given the other OLEVs' loads.
+    #[must_use]
+    pub fn allocate(
+        &self,
+        cost: &SectionCost,
+        caps: &[f64],
+        loads_excl: &[f64],
+        total: f64,
+    ) -> Allocation {
+        match self {
+            Self::WaterFilling => marginal_waterfill(cost, caps, loads_excl, total),
+            Self::Greedy => greedy_fill(cost, caps, loads_excl, total),
+        }
+    }
+}
+
+/// Eq. 9: the payment for a concrete schedule row.
+///
+/// # Panics
+///
+/// Panics if the slice lengths mismatch.
+#[must_use]
+pub fn payment_for_schedule(
+    cost: &SectionCost,
+    caps: &[f64],
+    loads_excl: &[f64],
+    shares: &[f64],
+) -> f64 {
+    assert!(
+        caps.len() == loads_excl.len() && caps.len() == shares.len(),
+        "caps/loads/shares length mismatch"
+    );
+    (0..caps.len())
+        .map(|c| cost.z(loads_excl[c] + shares[c], caps[c]) - cost.z(loads_excl[c], caps[c]))
+        .sum()
+}
+
+/// A priced offer from the grid: `Ψ_n(p_n)` with the schedule behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaymentQuote {
+    /// The schedule `p̂_n(p_n)` the grid would run (Eq. 11).
+    pub allocation: Allocation,
+    /// The payment `Ψ_n(p_n)` (Eq. 16).
+    pub payment: f64,
+}
+
+/// Eq. 16: quotes the payment for a total request `p_n`, scheduling it
+/// cost-minimally first.
+#[must_use]
+pub fn quote(
+    cost: &SectionCost,
+    caps: &[f64],
+    loads_excl: &[f64],
+    scheduler: Scheduler,
+    total: f64,
+) -> PaymentQuote {
+    let allocation = scheduler.allocate(cost, caps, loads_excl, total);
+    let payment = payment_for_schedule(cost, caps, loads_excl, &allocation.shares);
+    PaymentQuote { allocation, payment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::{LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy};
+
+    fn nl_cost() -> SectionCost {
+        SectionCost::new(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        )
+    }
+
+    #[test]
+    fn zero_request_costs_nothing() {
+        // Eq. 9's unbiasedness: ξ_n(p_{-n}, 0) = 0.
+        let cost = nl_cost();
+        let caps = [60.0; 3];
+        let loads = [10.0, 20.0, 5.0];
+        let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, 0.0);
+        assert_eq!(q.payment, 0.0);
+        assert_eq!(q.allocation.total(), 0.0);
+    }
+
+    #[test]
+    fn payment_is_increment_of_total_cost() {
+        let cost = nl_cost();
+        let caps = [60.0; 2];
+        let loads = [10.0, 30.0];
+        let shares = [8.0, 2.0];
+        let xi = payment_for_schedule(&cost, &caps, &loads, &shares);
+        let before: f64 = (0..2).map(|c| cost.z(loads[c], caps[c])).sum();
+        let after: f64 = (0..2).map(|c| cost.z(loads[c] + shares[c], caps[c])).sum();
+        assert!((xi - (after - before)).abs() < 1e-12);
+        assert!(xi > 0.0);
+    }
+
+    #[test]
+    fn waterfilled_quote_is_cheapest() {
+        // Lemma IV.2: the grid's schedule minimizes the OLEV's payment among
+        // all feasible splits of the same total.
+        let cost = nl_cost();
+        let caps = [60.0; 3];
+        let loads = [0.0, 25.0, 50.0];
+        let total = 12.0;
+        let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, total);
+        // Compare against a few arbitrary same-total splits.
+        for split in [[12.0, 0.0, 0.0], [0.0, 0.0, 12.0], [4.0, 4.0, 4.0], [6.0, 6.0, 0.0]] {
+            let alt = payment_for_schedule(&cost, &caps, &loads, &split);
+            assert!(
+                q.payment <= alt + 1e-9,
+                "waterfill {} beaten by {split:?} at {alt}",
+                q.payment
+            );
+        }
+    }
+
+    #[test]
+    fn quote_payment_increases_with_request() {
+        let cost = nl_cost();
+        let caps = [60.0; 3];
+        let loads = [5.0, 10.0, 15.0];
+        let mut last = 0.0;
+        for i in 1..10 {
+            let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, i as f64 * 3.0);
+            assert!(q.payment > last);
+            last = q.payment;
+        }
+    }
+
+    #[test]
+    fn scheduler_selection_follows_convexity() {
+        assert_eq!(Scheduler::for_cost(&nl_cost()), Scheduler::WaterFilling);
+        let lin = SectionCost::new(
+            PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        );
+        assert_eq!(Scheduler::for_cost(&lin), Scheduler::Greedy);
+    }
+
+    #[test]
+    fn greedy_quote_charges_beta_per_unit_below_knee() {
+        let lin = SectionCost::new(
+            PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        );
+        let caps = [60.0; 4];
+        let loads = [0.0; 4];
+        let q = quote(&lin, &caps, &loads, Scheduler::Greedy, 40.0);
+        // β̃ = 0.015 $/kWh ⇒ 40 kW costs 0.6.
+        assert!((q.payment - 0.015 * 40.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Social welfare and the exact-potential property.
+//!
+//! The incremental payment ξ (Eq. 9) aligns private utilities with the social
+//! welfare: for any unilateral deviation of one OLEV,
+//! `ΔF_n = ΔW` exactly — the game is an *exact potential game* with potential
+//! `W`. That identity is the engine behind Theorem IV.1: best-response
+//! dynamics ascend `W`, which is strictly concave on a compact set, so they
+//! converge to its unique maximizer. [`potential_discrepancy`] measures the
+//! identity numerically and is property-tested.
+
+use oes_units::OlevId;
+
+use crate::payment::payment_for_schedule;
+use crate::pricing::SectionCost;
+use crate::satisfaction::Satisfaction;
+use crate::schedule::PowerSchedule;
+
+/// Eq. 7: `W(p) = Σ_n U_n(p_n) − Σ_c [Z(P_c) − Z(0)]`.
+///
+/// The charging cost enters as the *increment over idle* so that
+/// `W(0) = 0`: the nonlinear `V` has a positive constant offset `V(0)`
+/// (the grid's standing margin) that cancels out of every payment and every
+/// best response, and subtracting it keeps the welfare axis anchored at zero
+/// exactly as the paper's Fig. 5(b)/6(b) plots are. The shift is constant in
+/// `p`, so the exact-potential identity is untouched.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+#[must_use]
+pub fn social_welfare(
+    satisfactions: &[Box<dyn Satisfaction>],
+    cost: &SectionCost,
+    caps: &[f64],
+    schedule: &PowerSchedule,
+) -> f64 {
+    assert_eq!(satisfactions.len(), schedule.olev_count(), "satisfaction count mismatch");
+    assert_eq!(caps.len(), schedule.section_count(), "capacity count mismatch");
+    let satisfaction: f64 = satisfactions
+        .iter()
+        .enumerate()
+        .map(|(n, s)| s.value(schedule.olev_total(OlevId(n))))
+        .sum();
+    let charging_cost: f64 = schedule
+        .section_loads()
+        .iter()
+        .zip(caps)
+        .map(|(&load, &cap)| cost.z(load, cap) - cost.z(0.0, cap))
+        .sum();
+    satisfaction - charging_cost
+}
+
+/// Eq. 18: `F_n(p_{-n}, p_n) = U_n(p_n) − ξ_n(p_{-n}, p_n)`.
+#[must_use]
+pub fn olev_utility(
+    n: OlevId,
+    satisfaction: &dyn Satisfaction,
+    cost: &SectionCost,
+    caps: &[f64],
+    schedule: &PowerSchedule,
+) -> f64 {
+    let loads_excl = schedule.loads_excluding(n);
+    let shares = schedule.row(n);
+    satisfaction.value(schedule.olev_total(n)) - payment_for_schedule(cost, caps, &loads_excl, shares)
+}
+
+/// Measures `|ΔF_n − ΔW|` for replacing OLEV `n`'s row by `new_row` while
+/// everyone else stays put. Exactly zero (up to float noise) for every
+/// schedule and deviation — the exact-potential identity.
+///
+/// # Panics
+///
+/// Panics if `new_row` has the wrong length.
+#[must_use]
+pub fn potential_discrepancy(
+    n: OlevId,
+    satisfactions: &[Box<dyn Satisfaction>],
+    cost: &SectionCost,
+    caps: &[f64],
+    schedule: &PowerSchedule,
+    new_row: &[f64],
+) -> f64 {
+    let w_before = social_welfare(satisfactions, cost, caps, schedule);
+    let f_before = olev_utility(n, satisfactions[n.index()].as_ref(), cost, caps, schedule);
+    let mut deviated = schedule.clone();
+    deviated.set_row(n, new_row);
+    let w_after = social_welfare(satisfactions, cost, caps, &deviated);
+    let f_after = olev_utility(n, satisfactions[n.index()].as_ref(), cost, caps, &deviated);
+    ((w_after - w_before) - (f_after - f_before)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::{NonlinearPricing, OverloadPenalty, PricingPolicy};
+    use crate::satisfaction::LogSatisfaction;
+
+    fn cost() -> SectionCost {
+        SectionCost::new(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        )
+    }
+
+    fn sats(n: usize) -> Vec<Box<dyn Satisfaction>> {
+        (0..n)
+            .map(|i| Box::new(LogSatisfaction::new(1.0 + i as f64 * 0.5)) as Box<dyn Satisfaction>)
+            .collect()
+    }
+
+    #[test]
+    fn welfare_of_zero_schedule_is_zero() {
+        let c = cost();
+        let caps = [60.0; 3];
+        let s = PowerSchedule::zeros(2, 3);
+        assert!(social_welfare(&sats(2), &c, &caps, &s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welfare_rises_when_cheap_power_is_taken() {
+        let c = cost();
+        let caps = [60.0; 3];
+        let mut s = PowerSchedule::zeros(2, 3);
+        let w0 = social_welfare(&sats(2), &c, &caps, &s);
+        s.set_row(OlevId(0), &[5.0, 5.0, 5.0]);
+        let w1 = social_welfare(&sats(2), &c, &caps, &s);
+        assert!(w1 > w0, "taking cheap power must raise welfare");
+    }
+
+    #[test]
+    fn exact_potential_identity_holds() {
+        let c = cost();
+        let caps = [60.0, 45.0, 70.0];
+        let ss = sats(3);
+        let mut s = PowerSchedule::zeros(3, 3);
+        s.set_row(OlevId(0), &[1.0, 7.0, 2.0]);
+        s.set_row(OlevId(1), &[0.0, 3.0, 9.0]);
+        s.set_row(OlevId(2), &[4.0, 4.0, 4.0]);
+        for n in 0..3 {
+            let d = potential_discrepancy(
+                OlevId(n),
+                &ss,
+                &c,
+                &caps,
+                &s,
+                &[2.5, 0.0, 6.0],
+            );
+            assert!(d < 1e-9, "ΔF ≠ ΔW for OLEV {n}: {d}");
+        }
+    }
+
+    #[test]
+    fn utility_of_idle_olev_is_zero() {
+        // Unbiasedness again, through the F_n lens.
+        let c = cost();
+        let caps = [60.0; 2];
+        let ss = sats(2);
+        let mut s = PowerSchedule::zeros(2, 2);
+        s.set_row(OlevId(1), &[10.0, 20.0]);
+        let f0 = olev_utility(OlevId(0), ss[0].as_ref(), &c, &caps, &s);
+        assert_eq!(f0, 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Grid-side revenue accounting for the pricing mechanism.
+//!
+//! Each OLEV pays the *increment* its schedule adds to the charging cost
+//! (Eq. 9). Because `Z` is convex, the sum of individual increments weakly
+//! exceeds the joint increment — every OLEV is charged "the top slice" of
+//! the cost curve — so the mechanism is **revenue adequate**: collected
+//! payments always cover the grid's actual charging cost, with the surplus
+//! being the congestion rent the nonlinear policy was designed to extract
+//! (the α "profit" knob of Section V.A). This module computes those
+//! quantities and the tests pin the inequality down.
+
+use oes_units::OlevId;
+
+use crate::engine::Game;
+use crate::payment::payment_for_schedule;
+
+/// The grid's books at a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevenueReport {
+    /// Total collected payments `Σ_n ξ_n` ($ per settlement round).
+    pub collected: f64,
+    /// The grid's actual incremental cost `Σ_c [Z(P_c) − Z(0)]`.
+    pub incurred_cost: f64,
+    /// `collected − incurred_cost`: the congestion rent.
+    pub surplus: f64,
+    /// `collected / incurred_cost` (∞-safe: 1.0 when both are zero).
+    pub markup: f64,
+}
+
+/// Computes the revenue report at the game's current schedule.
+#[must_use]
+pub fn revenue_report(game: &Game) -> RevenueReport {
+    let collected: f64 = (0..game.olev_count())
+        .map(|n| {
+            let id = OlevId(n);
+            let loads_excl = game.schedule().loads_excluding(id);
+            payment_for_schedule(game.cost(), game.caps(), &loads_excl, game.schedule().row(id))
+        })
+        .sum();
+    let incurred_cost: f64 = game
+        .schedule()
+        .section_loads()
+        .iter()
+        .zip(game.caps())
+        .map(|(&load, &cap)| game.cost().z(load, cap) - game.cost().z(0.0, cap))
+        .sum();
+    let surplus = collected - incurred_cost;
+    let markup = if incurred_cost > 0.0 { collected / incurred_cost } else { 1.0 };
+    RevenueReport { collected, incurred_cost, surplus, markup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GameBuilder;
+    use crate::engine::UpdateOrder;
+    use crate::pricing::{LinearPricing, NonlinearPricing, PricingPolicy};
+    use oes_units::Kilowatts;
+
+    fn converged(policy: PricingPolicy, weight: f64) -> Game {
+        let mut g = GameBuilder::new()
+            .sections(15, Kilowatts::new(30.0))
+            .olevs_weighted(10, Kilowatts::new(50.0), weight)
+            .pricing(policy)
+            .build()
+            .unwrap();
+        g.run(UpdateOrder::RoundRobin, 20_000).unwrap();
+        g
+    }
+
+    #[test]
+    fn nonlinear_mechanism_is_revenue_adequate() {
+        for weight in [0.3, 1.0, 3.0] {
+            let g = converged(
+                PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+                weight,
+            );
+            let r = revenue_report(&g);
+            assert!(
+                r.surplus >= -1e-9,
+                "weight {weight}: payments {:.6} below cost {:.6}",
+                r.collected,
+                r.incurred_cost
+            );
+            assert!(r.markup >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_mechanism_is_exactly_break_even_below_the_knee() {
+        // With a linear Z, increments are exact: no congestion rent exists.
+        let g = converged(PricingPolicy::Linear(LinearPricing::paper_default(15.0)), 0.3);
+        let r = revenue_report(&g);
+        assert!(r.surplus.abs() < 1e-9, "linear surplus {:.3e}", r.surplus);
+        assert!((r.markup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_rent_grows_with_demand() {
+        let lo = revenue_report(&converged(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            0.3,
+        ));
+        let hi = revenue_report(&converged(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            3.0,
+        ));
+        assert!(hi.surplus > lo.surplus, "{} !> {}", hi.surplus, lo.surplus);
+    }
+
+    #[test]
+    fn empty_schedule_is_all_zero() {
+        let g = GameBuilder::new()
+            .sections(5, Kilowatts::new(30.0))
+            .olevs(3, Kilowatts::new(50.0))
+            .build()
+            .unwrap();
+        let r = revenue_report(&g);
+        assert_eq!(r.collected, 0.0);
+        assert_eq!(r.incurred_cost, 0.0);
+        assert_eq!(r.surplus, 0.0);
+        assert_eq!(r.markup, 1.0);
+    }
+}

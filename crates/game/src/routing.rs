@@ -1,0 +1,220 @@
+//! OLEV path planning under charging-lane pricing — the second item on the
+//! paper's future-work list ("the effect charging section placement will
+//! have on OLEV path planning").
+//!
+//! A fleet chooses between a charging route (longer or slower, but equipped
+//! with charging sections priced by the game) and a plain route. Each OLEV
+//! weighs the value of the energy it would receive against the detour time
+//! and the game's payment. Because the payment rises with congestion (the
+//! nonlinear policy), the route choice has a self-limiting equilibrium: a
+//! stable fleet split where the marginal OLEV is indifferent. The fixed
+//! point is computed by running the pricing game for each candidate split.
+
+use oes_units::Kilowatts;
+
+use crate::builder::GameBuilder;
+use crate::engine::UpdateOrder;
+use crate::error::GameError;
+use crate::pricing::PricingPolicy;
+
+/// A route option for the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RouteOption {
+    /// Travel time in hours.
+    pub travel_hours: f64,
+    /// Number of charging sections installed along the route.
+    pub charging_sections: usize,
+}
+
+/// Economic parameters of the route choice.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoutingEconomics {
+    /// Value of travel time, $ per hour.
+    pub time_value: f64,
+    /// Private value of received energy, $ per kWh (what charging elsewhere
+    /// would cost the OLEV).
+    pub energy_value: f64,
+}
+
+impl Default for RoutingEconomics {
+    fn default() -> Self {
+        Self { time_value: 20.0, energy_value: 0.30 }
+    }
+}
+
+/// The equilibrium of the route-choice game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingEquilibrium {
+    /// OLEVs taking the charging route.
+    pub on_charging_route: usize,
+    /// OLEVs taking the plain route.
+    pub on_plain_route: usize,
+    /// Per-OLEV net benefit of the charging route at the split ($).
+    pub marginal_benefit: f64,
+    /// Congestion degree of the charging lane at the split.
+    pub lane_congestion: f64,
+}
+
+/// Configuration of the route-choice study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteChoice {
+    /// The route with charging sections.
+    pub charging_route: RouteOption,
+    /// The plain alternative.
+    pub plain_route: RouteOption,
+    /// Fleet size.
+    pub fleet: usize,
+    /// Per-section capacity (kW) on the charging lane.
+    pub section_capacity: Kilowatts,
+    /// Per-OLEV receivable bound (kW), Eq. 2.
+    pub olev_p_max: Kilowatts,
+    /// The lane's pricing policy.
+    pub policy: PricingPolicy,
+    /// Economic weights.
+    pub economics: RoutingEconomics,
+}
+
+impl RouteChoice {
+    /// Net benefit per OLEV of taking the charging route when `k` OLEVs do:
+    /// energy value minus game payment minus detour cost. `k = 0` prices the
+    /// lane as empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GameError`] from the underlying game run.
+    pub fn benefit_at_split(&self, k: usize) -> Result<(f64, f64), GameError> {
+        let detour =
+            (self.charging_route.travel_hours - self.plain_route.travel_hours).max(0.0);
+        let detour_cost = detour * self.economics.time_value;
+        if k == 0 {
+            // An empty lane: price the first entrant against zero load.
+            let mut g = GameBuilder::new()
+                .sections(self.charging_route.charging_sections, self.section_capacity)
+                .olevs(1, self.olev_p_max)
+                .pricing(self.policy)
+                .build()?;
+            g.run(UpdateOrder::RoundRobin, 1000)?;
+            let energy = g.schedule().total();
+            let value = energy * self.economics.energy_value - g.total_payment() - detour_cost;
+            return Ok((value, g.system_congestion()));
+        }
+        let mut g = GameBuilder::new()
+            .sections(self.charging_route.charging_sections, self.section_capacity)
+            .olevs(k, self.olev_p_max)
+            .pricing(self.policy)
+            .build()?;
+        g.run(UpdateOrder::RoundRobin, 20_000)?;
+        let energy_per_olev = g.schedule().total() / k as f64;
+        let payment_per_olev = g.total_payment() / k as f64;
+        let benefit =
+            energy_per_olev * self.economics.energy_value - payment_per_olev - detour_cost;
+        Ok((benefit, g.system_congestion()))
+    }
+
+    /// Finds the stable fleet split: the largest `k` whose per-OLEV benefit
+    /// is still non-negative (the marginal OLEV is willing). Benefit is
+    /// non-increasing in `k` (more sharing, higher congestion price), so a
+    /// binary search over `k` suffices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GameError`] from the underlying game runs.
+    pub fn equilibrium(&self) -> Result<RoutingEquilibrium, GameError> {
+        let (b0, c0) = self.benefit_at_split(1)?;
+        if b0 < 0.0 {
+            return Ok(RoutingEquilibrium {
+                on_charging_route: 0,
+                on_plain_route: self.fleet,
+                marginal_benefit: b0,
+                lane_congestion: 0.0,
+            });
+        }
+        let (mut lo, mut hi) = (1usize, self.fleet);
+        let (b_all, c_all) = self.benefit_at_split(self.fleet)?;
+        if b_all >= 0.0 {
+            return Ok(RoutingEquilibrium {
+                on_charging_route: self.fleet,
+                on_plain_route: 0,
+                marginal_benefit: b_all,
+                lane_congestion: c_all,
+            });
+        }
+        // Invariant: benefit(lo) ≥ 0 > benefit(hi).
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let (b, _) = self.benefit_at_split(mid)?;
+            if b >= 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (b, c) = self.benefit_at_split(lo)?;
+        Ok(RoutingEquilibrium {
+            on_charging_route: lo,
+            on_plain_route: self.fleet - lo,
+            marginal_benefit: b,
+            lane_congestion: if lo == 1 { c0.max(c) } else { c },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::NonlinearPricing;
+
+    fn study(detour_hours: f64, sections: usize) -> RouteChoice {
+        RouteChoice {
+            charging_route: RouteOption {
+                travel_hours: 0.5 + detour_hours,
+                charging_sections: sections,
+            },
+            plain_route: RouteOption { travel_hours: 0.5, charging_sections: 0 },
+            fleet: 12,
+            section_capacity: Kilowatts::new(35.0),
+            olev_p_max: Kilowatts::new(60.0),
+            policy: PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            economics: RoutingEconomics::default(),
+        }
+    }
+
+    #[test]
+    fn benefit_decreases_with_crowding() {
+        let s = study(0.05, 6);
+        let (b2, _) = s.benefit_at_split(2).unwrap();
+        let (b10, _) = s.benefit_at_split(10).unwrap();
+        assert!(b2 > b10, "crowding must erode the benefit: {b2} vs {b10}");
+    }
+
+    #[test]
+    fn huge_detour_empties_the_lane() {
+        let s = study(10.0, 6);
+        let eq = s.equilibrium().unwrap();
+        assert_eq!(eq.on_charging_route, 0);
+        assert_eq!(eq.on_plain_route, 12);
+        assert!(eq.marginal_benefit < 0.0);
+    }
+
+    #[test]
+    fn free_detour_fills_the_lane_or_splits() {
+        let s = study(0.0, 6);
+        let eq = s.equilibrium().unwrap();
+        assert!(eq.on_charging_route >= 1);
+        assert_eq!(eq.on_charging_route + eq.on_plain_route, 12);
+        assert!(eq.marginal_benefit >= 0.0);
+    }
+
+    #[test]
+    fn more_sections_attract_more_olevs() {
+        // The placement → path-planning interaction the paper anticipates.
+        let small = study(0.12, 3).equilibrium().unwrap();
+        let large = study(0.12, 12).equilibrium().unwrap();
+        assert!(
+            large.on_charging_route >= small.on_charging_route,
+            "{} vs {}",
+            large.on_charging_route,
+            small.on_charging_route
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! OLEV satisfaction functions `U_n`.
+//!
+//! The paper requires each `U_n` to be strictly increasing, strictly concave,
+//! and twice continuously differentiable (Section IV.B): more power is always
+//! better, but with saturating returns as the battery fills. The evaluation
+//! instantiates `U_n(p) = log(1 + p)`; the trait keeps the mechanism
+//! independent of that choice.
+
+/// A strictly increasing, strictly concave satisfaction function.
+///
+/// Implementations must guarantee `derivative` is positive and strictly
+/// decreasing on `p ≥ 0` — every convergence result in this crate leans on
+/// it.
+pub trait Satisfaction: Send + Sync {
+    /// `U(p)` for total received power `p ≥ 0` (kW).
+    fn value(&self, p: f64) -> f64;
+
+    /// `U'(p)`, the marginal satisfaction.
+    fn derivative(&self, p: f64) -> f64;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's evaluation choice: `U(p) = w · ln(1 + p)`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LogSatisfaction {
+    /// Multiplicative weight `w > 0` (heterogeneous OLEV eagerness).
+    pub weight: f64,
+}
+
+impl LogSatisfaction {
+    /// Creates a log satisfaction with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        Self { weight }
+    }
+}
+
+impl Default for LogSatisfaction {
+    fn default() -> Self {
+        Self { weight: 1.0 }
+    }
+}
+
+impl Satisfaction for LogSatisfaction {
+    fn value(&self, p: f64) -> f64 {
+        self.weight * (1.0 + p.max(0.0)).ln()
+    }
+
+    fn derivative(&self, p: f64) -> f64 {
+        self.weight / (1.0 + p.max(0.0))
+    }
+
+    fn name(&self) -> &str {
+        "log"
+    }
+}
+
+/// An alternative concave satisfaction: `U(p) = w · (√(1 + p) − 1)`.
+///
+/// Saturates slower than [`LogSatisfaction`]; used to check the mechanism is
+/// not tied to the paper's specific choice.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SqrtSatisfaction {
+    /// Multiplicative weight `w > 0`.
+    pub weight: f64,
+}
+
+impl SqrtSatisfaction {
+    /// Creates a square-root satisfaction with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        Self { weight }
+    }
+}
+
+impl Satisfaction for SqrtSatisfaction {
+    fn value(&self, p: f64) -> f64 {
+        self.weight * ((1.0 + p.max(0.0)).sqrt() - 1.0)
+    }
+
+    fn derivative(&self, p: f64) -> f64 {
+        self.weight * 0.5 / (1.0 + p.max(0.0)).sqrt()
+    }
+
+    fn name(&self) -> &str {
+        "sqrt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_concave_increasing(s: &dyn Satisfaction) {
+        let mut last_v = s.value(0.0);
+        let mut last_d = s.derivative(0.0);
+        for i in 1..100 {
+            let p = i as f64 * 0.7;
+            let v = s.value(p);
+            let d = s.derivative(p);
+            assert!(v > last_v, "{} not increasing at {p}", s.name());
+            assert!(d > 0.0, "{} derivative non-positive at {p}", s.name());
+            assert!(d < last_d, "{} not strictly concave at {p}", s.name());
+            last_v = v;
+            last_d = d;
+        }
+    }
+
+    #[test]
+    fn log_is_concave_increasing() {
+        check_concave_increasing(&LogSatisfaction::default());
+        check_concave_increasing(&LogSatisfaction::new(3.0));
+    }
+
+    #[test]
+    fn sqrt_is_concave_increasing() {
+        check_concave_increasing(&SqrtSatisfaction::new(1.0));
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let s = LogSatisfaction::new(2.0);
+        let h = 1e-6;
+        for p in [0.0, 1.0, 10.0, 100.0] {
+            let fd = (s.value(p + h) - s.value((p - h).max(0.0))) / (if p == 0.0 { h } else { 2.0 * h });
+            assert!((s.derivative(p) - fd).abs() < 1e-4, "at {p}");
+        }
+    }
+
+    #[test]
+    fn zero_value_at_origin() {
+        assert_eq!(LogSatisfaction::default().value(0.0), 0.0);
+        assert_eq!(SqrtSatisfaction::new(1.0).value(0.0), 0.0);
+    }
+
+    #[test]
+    fn negative_power_clamps_to_zero() {
+        assert_eq!(LogSatisfaction::default().value(-5.0), 0.0);
+        assert_eq!(LogSatisfaction::default().derivative(-5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_panics() {
+        let _ = LogSatisfaction::new(0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The power-schedule matrix `p = (p_{n,c})`.
+
+use oes_units::{OlevId, SectionId};
+
+/// An `N × C` matrix of non-negative power allocations: row `n` is OLEV `n`'s
+/// schedule `p_n` across all sections.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerSchedule {
+    olevs: usize,
+    sections: usize,
+    /// Row-major `olevs × sections` entries, kW.
+    entries: Vec<f64>,
+}
+
+impl PowerSchedule {
+    /// Creates the all-zero schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(olevs: usize, sections: usize) -> Self {
+        assert!(olevs > 0 && sections > 0, "schedule dimensions must be nonzero");
+        Self { olevs, sections, entries: vec![0.0; olevs * sections] }
+    }
+
+    /// Number of OLEVs (rows).
+    #[must_use]
+    pub fn olev_count(&self) -> usize {
+        self.olevs
+    }
+
+    /// Number of sections (columns).
+    #[must_use]
+    pub fn section_count(&self) -> usize {
+        self.sections
+    }
+
+    /// `p_{n,c}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn get(&self, n: OlevId, c: SectionId) -> f64 {
+        assert!(n.index() < self.olevs && c.index() < self.sections, "index out of range");
+        self.entries[n.index() * self.sections + c.index()]
+    }
+
+    /// Sets `p_{n,c}`, clamping negatives to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or the value is not finite.
+    pub fn set(&mut self, n: OlevId, c: SectionId, value: f64) {
+        assert!(n.index() < self.olevs && c.index() < self.sections, "index out of range");
+        assert!(value.is_finite(), "schedule entries must be finite");
+        self.entries[n.index() * self.sections + c.index()] = value.max(0.0);
+    }
+
+    /// OLEV `n`'s row.
+    #[must_use]
+    pub fn row(&self, n: OlevId) -> &[f64] {
+        &self.entries[n.index() * self.sections..(n.index() + 1) * self.sections]
+    }
+
+    /// Replaces OLEV `n`'s row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length mismatches or any entry is negative/NaN.
+    pub fn set_row(&mut self, n: OlevId, row: &[f64]) {
+        assert_eq!(row.len(), self.sections, "row length mismatch");
+        assert!(
+            row.iter().all(|v| v.is_finite() && *v >= -1e-12),
+            "schedule rows must be non-negative"
+        );
+        let start = n.index() * self.sections;
+        for (i, &v) in row.iter().enumerate() {
+            self.entries[start + i] = v.max(0.0);
+        }
+    }
+
+    /// `p_n = Σ_c p_{n,c}` — OLEV `n`'s total power.
+    #[must_use]
+    pub fn olev_total(&self, n: OlevId) -> f64 {
+        self.row(n).iter().sum()
+    }
+
+    /// `P_c = Σ_n p_{n,c}` — section `c`'s load.
+    #[must_use]
+    pub fn section_load(&self, c: SectionId) -> f64 {
+        (0..self.olevs).map(|n| self.entries[n * self.sections + c.index()]).sum()
+    }
+
+    /// All section loads as a vector.
+    #[must_use]
+    pub fn section_loads(&self) -> Vec<f64> {
+        let mut loads = vec![0.0; self.sections];
+        for n in 0..self.olevs {
+            for (c, load) in loads.iter_mut().enumerate() {
+                *load += self.entries[n * self.sections + c];
+            }
+        }
+        loads
+    }
+
+    /// Section loads excluding OLEV `n` (`P_{-n,c}` of Eq. 8).
+    #[must_use]
+    pub fn loads_excluding(&self, n: OlevId) -> Vec<f64> {
+        let mut loads = self.section_loads();
+        for (c, load) in loads.iter_mut().enumerate() {
+            *load -= self.entries[n.index() * self.sections + c];
+            if *load < 0.0 {
+                *load = 0.0;
+            }
+        }
+        loads
+    }
+
+    /// Total allocated power across the whole system.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.entries.iter().sum()
+    }
+
+    /// Congestion degree of section `c`: `P_c / cap_c` (the paper's
+    /// `P_c / P_line`).
+    #[must_use]
+    pub fn congestion_degree(&self, c: SectionId, cap: f64) -> f64 {
+        self.section_load(c) / cap
+    }
+
+    /// System congestion degree: total load over total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caps` length mismatches the section count.
+    #[must_use]
+    pub fn system_congestion(&self, caps: &[f64]) -> f64 {
+        assert_eq!(caps.len(), self.sections, "capacity vector length mismatch");
+        let cap: f64 = caps.iter().sum();
+        self.total() / cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> PowerSchedule {
+        let mut s = PowerSchedule::zeros(2, 3);
+        s.set_row(OlevId(0), &[1.0, 2.0, 3.0]);
+        s.set_row(OlevId(1), &[4.0, 0.0, 6.0]);
+        s
+    }
+
+    #[test]
+    fn totals_and_loads() {
+        let s = sched();
+        assert_eq!(s.olev_total(OlevId(0)), 6.0);
+        assert_eq!(s.olev_total(OlevId(1)), 10.0);
+        assert_eq!(s.section_load(SectionId(0)), 5.0);
+        assert_eq!(s.section_loads(), vec![5.0, 2.0, 9.0]);
+        assert_eq!(s.total(), 16.0);
+    }
+
+    #[test]
+    fn loads_excluding_removes_row() {
+        let s = sched();
+        assert_eq!(s.loads_excluding(OlevId(0)), vec![4.0, 0.0, 6.0]);
+        assert_eq!(s.loads_excluding(OlevId(1)), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn congestion_degrees() {
+        let s = sched();
+        assert_eq!(s.congestion_degree(SectionId(2), 18.0), 0.5);
+        assert_eq!(s.system_congestion(&[10.0, 10.0, 12.0]), 0.5);
+    }
+
+    #[test]
+    fn set_clamps_negatives() {
+        let mut s = PowerSchedule::zeros(1, 1);
+        s.set(OlevId(0), SectionId(0), -4.0);
+        assert_eq!(s.get(OlevId(0), SectionId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_get_panics() {
+        let _ = sched().get(OlevId(5), SectionId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn wrong_row_length_panics() {
+        sched().set_row(OlevId(0), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zero_dimensions_panic() {
+        let _ = PowerSchedule::zeros(0, 3);
+    }
+}

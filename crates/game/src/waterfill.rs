@@ -1,0 +1,366 @@
+//! The smart grid's cost-minimizing schedulers.
+//!
+//! **Water-filling (Lemma IV.1).** For a strictly convex `Z`, the schedule
+//! minimizing `Σ_c Z(P_{-n,c} + p_{n,c})` subject to `Σ_c p_{n,c} = p_n`
+//! equalizes marginal costs across the touched sections: there is a unique
+//! level such that `p_{n,c} = [x_c(μ*) − P_{-n,c}]⁺` with `Z'(x_c(μ*)) = μ*`.
+//! With identical sections this reduces to the paper's load-level form
+//! `p_{n,c} = [λ* − P_{-n,c}]⁺` (Eq. 12), and the level is found by bisection
+//! exactly as Section IV.F prescribes, since `Y(λ) = Σ_c [λ − P_{-n,c}]⁺`
+//! (Eq. 24) is strictly increasing past the smallest load.
+//!
+//! **Greedy filling.** Under the linear baseline `Z'` is flat below the knee,
+//! the minimizer is not unique, and nothing pushes the grid to balance; this
+//! fallback fills sections in index order — producing the load imbalance the
+//! paper observes in Figs. 5(c)/6(c).
+
+use crate::pricing::SectionCost;
+
+/// Bisection iteration budget; enough for ~1e-18 relative precision.
+const BISECT_ITERS: usize = 60;
+
+/// One grid-side allocation of a total request across sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-section shares (kW), summing to the requested total.
+    pub shares: Vec<f64>,
+    /// The marginal price of the last unit allocated — `Z'` at the water
+    /// level for water-filling, `Z'` at the last touched section for greedy.
+    pub marginal: f64,
+}
+
+impl Allocation {
+    /// Total allocated power.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.shares.iter().sum()
+    }
+}
+
+/// The paper's `Y(x) = Σ_c [x − P_{-n,c}]⁺` (Eq. 24).
+#[must_use]
+pub fn y_function(loads: &[f64], level: f64) -> f64 {
+    loads.iter().map(|&l| (level - l).max(0.0)).sum()
+}
+
+/// Finds the unique load level `λ*` with `Y(λ*) = total` by bisection
+/// (Section IV.F).
+///
+/// # Panics
+///
+/// Panics if `loads` is empty, `total` is negative, or any value is not
+/// finite.
+#[must_use]
+pub fn water_level(loads: &[f64], total: f64) -> f64 {
+    assert!(!loads.is_empty(), "need at least one section");
+    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
+    assert!(loads.iter().all(|l| l.is_finite() && *l >= 0.0), "loads must be non-negative");
+    let lo0 = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+    if total == 0.0 {
+        return lo0;
+    }
+    let (mut lo, mut hi) = (lo0, loads.iter().fold(0.0f64, |m, &l| m.max(l)) + total);
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if y_function(loads, mid) < total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Eq. 12: the load-level water-filling schedule `[λ* − P_{-n,c}]⁺` for
+/// identical sections.
+#[must_use]
+pub fn waterfill(loads: &[f64], total: f64) -> Vec<f64> {
+    let level = water_level(loads, total);
+    let mut shares: Vec<f64> = loads.iter().map(|&l| (level - l).max(0.0)).collect();
+    renormalize(&mut shares, total);
+    shares
+}
+
+/// Marginal-cost water-filling for (possibly) heterogeneous sections: finds
+/// `μ*` such that `Σ_c [x_c(μ*) − load_c]⁺ = total`, where `Z'(x_c) = μ*`.
+///
+/// Requires a strictly convex cost ([`SectionCost::supports_waterfilling`]).
+///
+/// # Panics
+///
+/// Panics on empty inputs, mismatched lengths, a negative total, or a cost
+/// without strict convexity.
+#[must_use]
+pub fn marginal_waterfill(
+    cost: &SectionCost,
+    caps: &[f64],
+    loads: &[f64],
+    total: f64,
+) -> Allocation {
+    assert!(!caps.is_empty(), "need at least one section");
+    assert_eq!(caps.len(), loads.len(), "caps/loads length mismatch");
+    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
+    assert!(cost.supports_waterfilling(), "water-filling needs a strictly convex cost");
+
+    let mu_at = |c: usize, x: f64| cost.z_prime(x, caps[c]);
+    let mu_lo = (0..caps.len()).map(|c| mu_at(c, loads[c])).fold(f64::INFINITY, f64::min);
+    if total == 0.0 {
+        return Allocation { shares: vec![0.0; caps.len()], marginal: mu_lo };
+    }
+    let mu_hi = (0..caps.len()).map(|c| mu_at(c, loads[c] + total)).fold(0.0f64, f64::max);
+
+    // x_c(μ): the load at which section c's marginal cost reaches μ,
+    // clamped to [load_c, load_c + total]. Uses the closed-form Z'⁻¹ when
+    // the cost admits one, falling back to bisection.
+    let x_of_mu = |c: usize, mu: f64| -> f64 {
+        if mu_at(c, loads[c]) >= mu {
+            return loads[c];
+        }
+        if let Some(x) = cost.z_prime_inverse(mu, caps[c]) {
+            return x.clamp(loads[c], loads[c] + total);
+        }
+        let (mut lo, mut hi) = (loads[c], loads[c] + total);
+        for _ in 0..BISECT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            if mu_at(c, mid) < mu {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let allocated = |mu: f64| -> f64 {
+        (0..caps.len()).map(|c| x_of_mu(c, mu) - loads[c]).sum()
+    };
+
+    let (mut lo, mut hi) = (mu_lo, mu_hi);
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if allocated(mid) < total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mu = 0.5 * (lo + hi);
+    let mut shares: Vec<f64> = (0..caps.len()).map(|c| x_of_mu(c, mu) - loads[c]).collect();
+    renormalize(&mut shares, total);
+    Allocation { shares, marginal: mu }
+}
+
+/// Greedy sequential filling for the linear baseline: fill each section in
+/// index order up to its knee; spill any remainder evenly beyond the knees.
+///
+/// # Panics
+///
+/// Panics on empty inputs, mismatched lengths, or a negative total.
+#[must_use]
+pub fn greedy_fill(cost: &SectionCost, caps: &[f64], loads: &[f64], total: f64) -> Allocation {
+    assert!(!caps.is_empty(), "need at least one section");
+    assert_eq!(caps.len(), loads.len(), "caps/loads length mismatch");
+    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
+
+    let mut shares = vec![0.0; caps.len()];
+    let mut remaining = total;
+    let mut last_touched = 0;
+    for c in 0..caps.len() {
+        if remaining <= 0.0 {
+            break;
+        }
+        let headroom = (cost.knee(caps[c]) - loads[c]).max(0.0);
+        let take = headroom.min(remaining);
+        if take > 0.0 {
+            shares[c] = take;
+            remaining -= take;
+            last_touched = c;
+        }
+    }
+    if remaining > 1e-12 {
+        // Every knee is full: spill evenly (the overload cost then punishes
+        // everyone alike, and the next best responses shrink requests).
+        let spill = remaining / caps.len() as f64;
+        for s in shares.iter_mut() {
+            *s += spill;
+        }
+        last_touched = (0..caps.len())
+            .max_by(|&a, &b| {
+                let za = cost.z_prime(loads[a] + shares[a], caps[a]);
+                let zb = cost.z_prime(loads[b] + shares[b], caps[b]);
+                za.partial_cmp(&zb).expect("costs are finite")
+            })
+            .expect("nonempty");
+    }
+    let marginal = cost.z_prime(loads[last_touched] + shares[last_touched], caps[last_touched]);
+    Allocation { shares, marginal }
+}
+
+/// Scales shares so they sum to exactly `total` (bisection leaves ~1e-12
+/// residue that would otherwise accumulate over thousands of updates).
+fn renormalize(shares: &mut [f64], total: f64) {
+    let sum: f64 = shares.iter().sum();
+    if sum > 0.0 && total > 0.0 {
+        let scale = total / sum;
+        for s in shares.iter_mut() {
+            *s *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::{LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy};
+
+    fn nl_cost() -> SectionCost {
+        SectionCost::new(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        )
+    }
+
+    fn lin_cost() -> SectionCost {
+        SectionCost::new(
+            PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        )
+    }
+
+    #[test]
+    fn y_function_is_piecewise_linear() {
+        let loads = [1.0, 3.0];
+        assert_eq!(y_function(&loads, 0.5), 0.0);
+        assert_eq!(y_function(&loads, 2.0), 1.0);
+        assert_eq!(y_function(&loads, 4.0), 4.0);
+    }
+
+    #[test]
+    fn water_level_solves_y() {
+        let loads = [0.0, 2.0, 5.0];
+        let total = 4.0;
+        let lambda = water_level(&loads, total);
+        assert!((y_function(&loads, lambda) - total).abs() < 1e-9);
+        // Hand calculation: λ = 3 gives (3) + (1) + 0 = 4.
+        assert!((lambda - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_tops_up_lowest_loads_first() {
+        let shares = waterfill(&[0.0, 2.0, 5.0], 4.0);
+        assert!((shares[0] - 3.0).abs() < 1e-9);
+        assert!((shares[1] - 1.0).abs() < 1e-9);
+        assert!((shares[2] - 0.0).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waterfill_equalizes_equal_loads() {
+        let shares = waterfill(&[1.0, 1.0, 1.0, 1.0], 8.0);
+        for s in &shares {
+            assert!((s - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_total_allocates_nothing() {
+        assert_eq!(waterfill(&[1.0, 2.0], 0.0), vec![0.0, 0.0]);
+        let a = marginal_waterfill(&nl_cost(), &[60.0, 60.0], &[1.0, 2.0], 0.0);
+        assert_eq!(a.shares, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn marginal_waterfill_matches_load_level_form_for_identical_sections() {
+        // With identical sections, equal marginals ⇔ equal loads, so the
+        // generalized scheduler must reproduce Eq. 12 exactly.
+        let cost = nl_cost();
+        let caps = [60.0; 4];
+        let loads = [5.0, 20.0, 11.0, 0.0];
+        let total = 30.0;
+        let a = marginal_waterfill(&cost, &caps, &loads, total);
+        let expected = waterfill(&loads, total);
+        for (got, want) in a.shares.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert!((a.total() - total).abs() < 1e-9);
+        // The reported marginal equals Z' at the water level.
+        let level = water_level(&loads, total);
+        assert!((a.marginal - cost.z_prime(level, 60.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marginal_waterfill_equalizes_marginals_for_heterogeneous_caps() {
+        let cost = nl_cost();
+        let caps = [40.0, 80.0, 120.0];
+        let loads = [0.0, 0.0, 0.0];
+        let a = marginal_waterfill(&cost, &caps, &loads, 60.0);
+        // Every section that received power sits at (nearly) the same Z'.
+        let margins: Vec<f64> = (0..3)
+            .filter(|&c| a.shares[c] > 1e-9)
+            .map(|c| cost.z_prime(loads[c] + a.shares[c], caps[c]))
+            .collect();
+        for m in &margins {
+            assert!((m - a.marginal).abs() < 1e-6, "marginal {m} vs μ {}", a.marginal);
+        }
+        // Bigger sections absorb more at equal marginal cost.
+        assert!(a.shares[2] > a.shares[1]);
+        assert!(a.shares[1] > a.shares[0]);
+    }
+
+    #[test]
+    fn greedy_fill_is_sequential_and_unbalanced() {
+        let cost = lin_cost();
+        let caps = [60.0; 3];
+        let loads = [0.0; 3];
+        let a = greedy_fill(&cost, &caps, &loads, 70.0);
+        // Knee is 54: first section fills to 54, second takes the rest.
+        assert!((a.shares[0] - 54.0).abs() < 1e-9);
+        assert!((a.shares[1] - 16.0).abs() < 1e-9);
+        assert_eq!(a.shares[2], 0.0);
+        assert!((a.total() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_fill_spills_evenly_past_all_knees() {
+        let cost = lin_cost();
+        let caps = [10.0; 2];
+        let loads = [9.0; 2]; // knees at 9.0: zero headroom everywhere
+        let a = greedy_fill(&cost, &caps, &loads, 4.0);
+        assert!((a.shares[0] - 2.0).abs() < 1e-12);
+        assert!((a.shares[1] - 2.0).abs() < 1e-12);
+        // The marginal reflects the overload region.
+        assert!(a.marginal > cost.z_prime(9.0, 10.0));
+    }
+
+    #[test]
+    fn marginal_is_monotone_in_total() {
+        let cost = nl_cost();
+        let caps = [60.0; 5];
+        let loads = [3.0, 9.0, 1.0, 4.0, 7.0];
+        let mut last = 0.0;
+        for i in 1..20 {
+            let a = marginal_waterfill(&cost, &caps, &loads, i as f64 * 5.0);
+            assert!(a.marginal >= last, "marginal must not decrease");
+            last = a.marginal;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly convex")]
+    fn marginal_waterfill_rejects_linear_cost() {
+        let _ = marginal_waterfill(&lin_cost(), &[60.0], &[0.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn empty_loads_panic() {
+        let _ = water_level(&[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_total_panics() {
+        let _ = water_level(&[1.0], -1.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Ancillary-service pricing: 10-minute synchronized reserve and frequency
+//! regulation (capacity and movement).
+//!
+//! The paper notes that ancillary services — the fast-response products that
+//! keep supply and demand balanced — cost 5–10% of total electricity cost,
+//! and shows their prices over the motivating day in Fig. 2(d) (NYISO paid
+//! $13.41/MW on average that day). Prices here respond to the same driver as
+//! in practice: scarcity, i.e. the positive part of the deficiency, on top of
+//! a small load-following component.
+
+use oes_units::{DollarsPerMegawattHour, MegawattHours, Megawatts};
+
+/// The three ancillary prices of one interval, in dollars per MW of the
+/// service (plotted directly in Fig. 2(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct AncillaryPrices {
+    /// 10-minute synchronized (spinning) reserve price.
+    pub ten_min_sync: DollarsPerMegawattHour,
+    /// Regulation capacity price.
+    pub regulation_capacity: DollarsPerMegawattHour,
+    /// Regulation movement price.
+    pub regulation_movement: DollarsPerMegawattHour,
+}
+
+impl AncillaryPrices {
+    /// The mean of the three service prices, the summary statistic the paper
+    /// reports (average $13.41 on May 12 2016).
+    #[must_use]
+    pub fn mean(&self) -> DollarsPerMegawattHour {
+        DollarsPerMegawattHour::new(
+            (self.ten_min_sync.value()
+                + self.regulation_capacity.value()
+                + self.regulation_movement.value())
+                / 3.0,
+        )
+    }
+}
+
+/// Prices ancillary services from system conditions.
+///
+/// Reserve and regulation prices follow scarcity: a base price, a mild
+/// load-following term, and a steep response to positive deficiency (a
+/// shortfall must be covered by fast-responding resources *now*).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AncillaryMarket {
+    base_reserve: f64,
+    base_regulation_capacity: f64,
+    base_regulation_movement: f64,
+    /// $/MW added per MW of demand above `load_pivot`.
+    load_slope: f64,
+    load_pivot: f64,
+    /// $/MW added per MWh of positive deficiency.
+    scarcity_slope: f64,
+}
+
+impl AncillaryMarket {
+    /// Calibration reproducing Fig. 2(d): quiet-hour prices of a few dollars,
+    /// deficiency-driven spikes into the tens–hundreds, daily mean near
+    /// $13.41.
+    #[must_use]
+    pub fn nyiso_like() -> Self {
+        Self {
+            base_reserve: 4.4,
+            base_regulation_capacity: 7.5,
+            base_regulation_movement: 0.6,
+            load_slope: 0.004,
+            load_pivot: 5200.0,
+            scarcity_slope: 0.55,
+        }
+    }
+
+    /// Prices one interval from its demand and deficiency.
+    #[must_use]
+    pub fn price(&self, demand: Megawatts, deficiency: MegawattHours) -> AncillaryPrices {
+        let load_term = self.load_slope * (demand.value() - self.load_pivot).max(0.0);
+        let scarcity_term = self.scarcity_slope * deficiency.value().max(0.0);
+        AncillaryPrices {
+            // Reserves respond hardest to scarcity.
+            ten_min_sync: DollarsPerMegawattHour::new(
+                self.base_reserve + load_term + 1.6 * scarcity_term,
+            ),
+            regulation_capacity: DollarsPerMegawattHour::new(
+                self.base_regulation_capacity + 0.8 * load_term + scarcity_term,
+            ),
+            // Movement (mileage) barely moves with conditions.
+            regulation_movement: DollarsPerMegawattHour::new(
+                self.base_regulation_movement + 0.1 * scarcity_term,
+            ),
+        }
+    }
+}
+
+impl Default for AncillaryMarket {
+    fn default() -> Self {
+        Self::nyiso_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mw(v: f64) -> Megawatts {
+        Megawatts::new(v)
+    }
+    fn mwh(v: f64) -> MegawattHours {
+        MegawattHours::new(v)
+    }
+
+    #[test]
+    fn quiet_hours_price_near_base() {
+        let m = AncillaryMarket::nyiso_like();
+        let p = m.price(mw(4100.0), mwh(0.0));
+        assert_eq!(p.ten_min_sync.value(), 4.4);
+        assert_eq!(p.regulation_capacity.value(), 7.5);
+        assert_eq!(p.regulation_movement.value(), 0.6);
+    }
+
+    #[test]
+    fn scarcity_spikes_reserves_hardest() {
+        let m = AncillaryMarket::nyiso_like();
+        let calm = m.price(mw(6000.0), mwh(0.0));
+        let short = m.price(mw(6000.0), mwh(100.0));
+        let d_reserve = short.ten_min_sync.value() - calm.ten_min_sync.value();
+        let d_reg = short.regulation_capacity.value() - calm.regulation_capacity.value();
+        let d_mov = short.regulation_movement.value() - calm.regulation_movement.value();
+        assert!(d_reserve > d_reg && d_reg > d_mov);
+        assert!(d_mov > 0.0);
+    }
+
+    #[test]
+    fn surplus_does_not_lower_prices_below_base() {
+        let m = AncillaryMarket::nyiso_like();
+        let p = m.price(mw(4100.0), mwh(-150.0));
+        assert_eq!(p.ten_min_sync.value(), 4.4);
+    }
+
+    #[test]
+    fn mean_averages_three_services() {
+        let p = AncillaryPrices {
+            ten_min_sync: DollarsPerMegawattHour::new(9.0),
+            regulation_capacity: DollarsPerMegawattHour::new(6.0),
+            regulation_movement: DollarsPerMegawattHour::new(3.0),
+        };
+        assert_eq!(p.mean().value(), 6.0);
+    }
+}

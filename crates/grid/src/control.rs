@@ -1,0 +1,116 @@
+//! The four electricity control periods the paper's background section
+//! describes, and a classifier over system conditions.
+
+use core::fmt;
+
+use oes_units::{MegawattHours, Megawatts};
+
+/// The control period (market segment) a unit of power is procured in.
+///
+/// The paper (Section III) distinguishes four: baseload power from large
+/// plants, peak power at high-demand hours, spinning reserve for immediate
+/// needs, and frequency control to match generation to load. Spinning
+/// reserve and frequency control together form the "ancillary services".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ControlPeriod {
+    /// Steady demand served by large, slow plants.
+    Baseload,
+    /// High-demand hours served by dispatchable peakers.
+    Peak,
+    /// Immediate shortfall covered by synchronized spinning reserves.
+    SpinningReserve,
+    /// Fine-grained generation/load matching.
+    FrequencyControl,
+}
+
+impl ControlPeriod {
+    /// Whether this period is an ancillary service.
+    #[must_use]
+    pub fn is_ancillary(self) -> bool {
+        matches!(self, Self::SpinningReserve | Self::FrequencyControl)
+    }
+
+    /// Classifies how the marginal megawatt is being procured given current
+    /// demand relative to the baseload level, and the deficiency.
+    ///
+    /// Large positive deficiency ⇒ spinning reserve; small nonzero
+    /// deficiency ⇒ frequency control; otherwise peak vs baseload by the
+    /// demand level.
+    #[must_use]
+    pub fn classify(
+        demand: Megawatts,
+        baseload_level: Megawatts,
+        deficiency: MegawattHours,
+        reserve_threshold: MegawattHours,
+    ) -> Self {
+        if deficiency.value() >= reserve_threshold.value().abs() {
+            Self::SpinningReserve
+        } else if deficiency.value().abs() > 0.0 {
+            Self::FrequencyControl
+        } else if demand > baseload_level {
+            Self::Peak
+        } else {
+            Self::Baseload
+        }
+    }
+}
+
+impl fmt::Display for ControlPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Baseload => "baseload",
+            Self::Peak => "peak",
+            Self::SpinningReserve => "spinning reserve",
+            Self::FrequencyControl => "frequency control",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mw(v: f64) -> Megawatts {
+        Megawatts::new(v)
+    }
+    fn mwh(v: f64) -> MegawattHours {
+        MegawattHours::new(v)
+    }
+
+    #[test]
+    fn ancillary_flags() {
+        assert!(ControlPeriod::SpinningReserve.is_ancillary());
+        assert!(ControlPeriod::FrequencyControl.is_ancillary());
+        assert!(!ControlPeriod::Baseload.is_ancillary());
+        assert!(!ControlPeriod::Peak.is_ancillary());
+    }
+
+    #[test]
+    fn classification_priorities() {
+        let base = mw(4500.0);
+        let thresh = mwh(50.0);
+        assert_eq!(
+            ControlPeriod::classify(mw(6000.0), base, mwh(80.0), thresh),
+            ControlPeriod::SpinningReserve
+        );
+        assert_eq!(
+            ControlPeriod::classify(mw(6000.0), base, mwh(10.0), thresh),
+            ControlPeriod::FrequencyControl
+        );
+        assert_eq!(
+            ControlPeriod::classify(mw(6000.0), base, mwh(0.0), thresh),
+            ControlPeriod::Peak
+        );
+        assert_eq!(
+            ControlPeriod::classify(mw(4000.0), base, mwh(0.0), thresh),
+            ControlPeriod::Baseload
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ControlPeriod::SpinningReserve.to_string(), "spinning reserve");
+        assert_eq!(ControlPeriod::Baseload.to_string(), "baseload");
+    }
+}

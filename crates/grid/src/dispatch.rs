@@ -1,0 +1,271 @@
+//! Ramp-constrained economic dispatch.
+//!
+//! The merit-order [supply stack](crate::market::SupplyStack) prices energy
+//! as if any generator could jump to any output instantly. Real fleets ramp
+//! slowly — which is exactly why the paper's *spinning reserve* and
+//! *frequency control* products exist: when demand moves faster than the
+//! fleet can follow, fast-response resources (or, in the paper's vision,
+//! OLEVs) must fill the gap. This module dispatches a generator fleet
+//! against a demand series under per-interval ramp limits and reports the
+//! shortfall that ancillary services would have to cover.
+
+use oes_units::{Dollars, DollarsPerMegawattHour, Megawatts};
+
+/// One dispatchable generator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Generator {
+    /// Name for reports.
+    pub name: String,
+    /// Maximum output.
+    pub capacity: Megawatts,
+    /// Minimum stable output while committed (0 = can switch off freely).
+    pub min_output: Megawatts,
+    /// Marginal cost of energy.
+    pub marginal_cost: DollarsPerMegawattHour,
+    /// Maximum output change per interval (up or down).
+    pub ramp_per_interval: Megawatts,
+}
+
+impl Generator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity, ramp, or cost is negative, or `min_output`
+    /// exceeds capacity.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        capacity: Megawatts,
+        min_output: Megawatts,
+        marginal_cost: DollarsPerMegawattHour,
+        ramp_per_interval: Megawatts,
+    ) -> Self {
+        assert!(capacity.value() >= 0.0, "negative capacity");
+        assert!(ramp_per_interval.value() >= 0.0, "negative ramp");
+        assert!(min_output.value() >= 0.0 && min_output <= capacity, "bad min output");
+        Self { name: name.into(), capacity, min_output, marginal_cost, ramp_per_interval }
+    }
+}
+
+/// A NYISO-shaped fleet mirroring [`crate::market::SupplyStack::nyiso_like`]
+/// with realistic ramp classes: baseload barely moves, gas follows, peakers
+/// sprint.
+#[must_use]
+pub fn nyiso_like_fleet() -> Vec<Generator> {
+    let g = |name: &str, cap: f64, min: f64, cost: f64, ramp: f64| {
+        Generator::new(
+            name,
+            Megawatts::new(cap),
+            Megawatts::new(min),
+            DollarsPerMegawattHour::new(cost),
+            Megawatts::new(ramp),
+        )
+    };
+    vec![
+        g("hydro+nuclear", 4100.0, 2500.0, 12.52, 80.0),
+        g("ccgt-a", 800.0, 0.0, 24.0, 120.0),
+        g("ccgt-b", 550.0, 0.0, 33.0, 120.0),
+        g("ccgt-c", 500.0, 0.0, 45.0, 100.0),
+        g("steam", 400.0, 0.0, 70.0, 60.0),
+        g("steam-old", 250.0, 0.0, 110.0, 50.0),
+        g("peaker-a", 200.0, 0.0, 160.0, 200.0),
+        g("peaker-b", 150.0, 0.0, 244.04, 150.0),
+    ]
+}
+
+/// One interval of the dispatch solution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DispatchInterval {
+    /// Output per generator (fleet order).
+    pub output: Vec<Megawatts>,
+    /// Demand the fleet could not follow this interval (ramp/capacity
+    /// bound) — the gap ancillary services must cover.
+    pub shortfall: Megawatts,
+    /// Energy cost of the interval (output × marginal costs × interval).
+    pub cost: Dollars,
+}
+
+/// The full dispatch solution.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct DispatchPlan {
+    /// Per-interval results, in time order.
+    pub intervals: Vec<DispatchInterval>,
+}
+
+impl DispatchPlan {
+    /// Total cost over the horizon.
+    #[must_use]
+    pub fn total_cost(&self) -> Dollars {
+        self.intervals.iter().map(|i| i.cost).sum()
+    }
+
+    /// Largest shortfall over the horizon.
+    #[must_use]
+    pub fn max_shortfall(&self) -> Megawatts {
+        Megawatts::new(
+            self.intervals.iter().map(|i| i.shortfall.value()).fold(0.0, f64::max),
+        )
+    }
+
+    /// Intervals with any shortfall.
+    #[must_use]
+    pub fn shortfall_intervals(&self) -> usize {
+        self.intervals.iter().filter(|i| i.shortfall.value() > 1e-9).count()
+    }
+}
+
+/// Greedy merit-order dispatch under ramp limits.
+///
+/// Per interval, cheapest-first, each generator moves toward its target but
+/// no faster than its ramp; leftover demand is shortfall. Surplus (demand
+/// below committed minimums) is clipped at the minimums — the fleet cannot
+/// back down instantly either, which is the over-forecast half of the
+/// deficiency story.
+///
+/// # Panics
+///
+/// Panics if `fleet` is empty.
+#[must_use]
+pub fn dispatch(fleet: &[Generator], demand: &[Megawatts], interval_hours: f64) -> DispatchPlan {
+    assert!(!fleet.is_empty(), "need at least one generator");
+    let mut order: Vec<usize> = (0..fleet.len()).collect();
+    order.sort_by(|&a, &b| {
+        fleet[a]
+            .marginal_cost
+            .partial_cmp(&fleet[b].marginal_cost)
+            .expect("costs are finite")
+    });
+
+    let mut output: Vec<f64> = fleet.iter().map(|g| g.min_output.value()).collect();
+    let mut intervals = Vec::with_capacity(demand.len());
+    for (k, &d) in demand.iter().enumerate() {
+        let mut remaining = d.value();
+        // Cheapest-first targets subject to ramps. The first interval is a
+        // warm start (the fleet was already following demand before the
+        // horizon began); ramps bind between intervals.
+        let mut new_output = vec![0.0f64; fleet.len()];
+        for &gi in &order {
+            let g = &fleet[gi];
+            let (lo, hi) = if k == 0 {
+                (g.min_output.value(), g.capacity.value())
+            } else {
+                (
+                    (output[gi] - g.ramp_per_interval.value()).max(g.min_output.value()),
+                    (output[gi] + g.ramp_per_interval.value()).min(g.capacity.value()),
+                )
+            };
+            let take = remaining.clamp(lo, hi);
+            new_output[gi] = take;
+            remaining -= take;
+        }
+        let shortfall = remaining.max(0.0);
+        let cost: f64 = fleet
+            .iter()
+            .zip(&new_output)
+            .map(|(g, &o)| g.marginal_cost.value() * o * interval_hours)
+            .sum();
+        output = new_output.clone();
+        intervals.push(DispatchInterval {
+            output: new_output.into_iter().map(Megawatts::new).collect(),
+            shortfall: Megawatts::new(shortfall),
+            cost: Dollars::new(cost),
+        });
+    }
+    DispatchPlan { intervals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mw(v: f64) -> Megawatts {
+        Megawatts::new(v)
+    }
+
+    #[test]
+    fn flat_demand_is_served_exactly() {
+        let fleet = nyiso_like_fleet();
+        let demand = vec![mw(4500.0); 6];
+        let plan = dispatch(&fleet, &demand, 1.0);
+        for i in &plan.intervals {
+            assert!(i.shortfall.value() < 1e-9);
+            let total: f64 = i.output.iter().map(|o| o.value()).sum();
+            assert!((total - 4500.0).abs() < 1e-6, "served {total}");
+        }
+    }
+
+    #[test]
+    fn ramp_limit_creates_shortfall_on_a_step() {
+        // A demand step far beyond one interval's aggregate ramp.
+        let fleet = nyiso_like_fleet();
+        let demand = vec![mw(4200.0), mw(6200.0)];
+        let plan = dispatch(&fleet, &demand, 1.0);
+        assert_eq!(plan.intervals[0].shortfall.value(), 0.0);
+        assert!(
+            plan.intervals[1].shortfall.value() > 100.0,
+            "step should outrun the fleet: {}",
+            plan.intervals[1].shortfall.value()
+        );
+        assert_eq!(plan.shortfall_intervals(), 1);
+    }
+
+    #[test]
+    fn gradual_ramp_is_followed_without_shortfall() {
+        let fleet = nyiso_like_fleet();
+        let demand: Vec<Megawatts> = (0..10).map(|i| mw(4200.0 + 150.0 * i as f64)).collect();
+        let plan = dispatch(&fleet, &demand, 1.0);
+        assert_eq!(plan.shortfall_intervals(), 0, "{:?}", plan.max_shortfall());
+    }
+
+    #[test]
+    fn cheap_generators_dispatch_first() {
+        let fleet = nyiso_like_fleet();
+        let plan = dispatch(&fleet, &[mw(4200.0)], 1.0);
+        let out = &plan.intervals[0].output;
+        // Baseload carries nearly everything; peakers idle.
+        assert!(out[0].value() > 2500.0);
+        assert_eq!(out[7].value(), 0.0);
+    }
+
+    #[test]
+    fn respects_per_generator_ramp() {
+        let fleet = nyiso_like_fleet();
+        let demand = vec![mw(4200.0), mw(6800.0), mw(6800.0)];
+        let plan = dispatch(&fleet, &demand, 1.0);
+        for w in plan.intervals.windows(2) {
+            for (gi, g) in fleet.iter().enumerate() {
+                let delta = (w[1].output[gi].value() - w[0].output[gi].value()).abs();
+                assert!(
+                    delta <= g.ramp_per_interval.value() + 1e-9,
+                    "{} ramped {delta} > {}",
+                    g.name,
+                    g.ramp_per_interval.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_output_floors_are_kept() {
+        let fleet = nyiso_like_fleet();
+        // Demand below the baseload minimum: the fleet cannot back down.
+        let plan = dispatch(&fleet, &[mw(1000.0)], 1.0);
+        assert!(plan.intervals[0].output[0].value() >= 2420.0 - 1e-9);
+    }
+
+    #[test]
+    fn cost_accumulates() {
+        let fleet = nyiso_like_fleet();
+        let plan = dispatch(&fleet, &[mw(4500.0), mw(4500.0)], 0.5);
+        let one = plan.intervals[0].cost.value();
+        assert!(one > 0.0);
+        assert!((plan.total_cost().value() - 2.0 * one).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one generator")]
+    fn empty_fleet_panics() {
+        let _ = dispatch(&[], &[mw(1.0)], 1.0);
+    }
+}

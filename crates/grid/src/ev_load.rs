@@ -1,0 +1,126 @@
+//! OLEV load feedback — the paper's Section III motivation, made
+//! quantitative.
+//!
+//! The paper argues that WPT charging adds *unforecastable* load: the
+//! operator's day-ahead model knows nothing about how many OLEVs will be on
+//! the road, so everything they draw lands in the deficiency, and through
+//! the deficiency in the LBMP and ancillary prices. [`overlay_ev_load`]
+//! re-prices a simulated day with an hourly OLEV demand profile added to
+//! the *integrated* load only (the forecast stays blind), reproducing
+//! exactly that mechanism.
+
+use oes_units::{Hours, MegawattHours, Megawatts};
+
+use crate::operator::{DayPoint, DaySeries, OperatorConfig};
+
+/// Re-prices a day with OLEV charging demand added on top.
+///
+/// `ev_hourly_mwh[h]` is the OLEV energy drawn during hour `h` (wrapped if
+/// shorter than 24). The overlay raises each interval's integrated load,
+/// recomputes the deficiency against the *unchanged* forecast, and re-prices
+/// LBMP and ancillary services with the given configuration's stack and
+/// ancillary market.
+///
+/// # Panics
+///
+/// Panics if `ev_hourly_mwh` is empty.
+#[must_use]
+pub fn overlay_ev_load(
+    day: &DaySeries,
+    ev_hourly_mwh: &[f64],
+    config: &OperatorConfig,
+) -> DaySeries {
+    assert!(!ev_hourly_mwh.is_empty(), "need at least one hourly EV load");
+    let points = day
+        .points()
+        .iter()
+        .map(|p| {
+            let hour = p.hour as usize % 24;
+            let ev = MegawattHours::new(ev_hourly_mwh[hour % ev_hourly_mwh.len()].max(0.0));
+            let integrated = p.integrated_load + ev;
+            let deficiency = integrated - p.forecast_load;
+            let demand: Megawatts = integrated / Hours::new(1.0);
+            let lbmp = config.stack.lbmp(demand, deficiency, 1.0);
+            let ancillary = config.ancillary.price(demand, deficiency);
+            DayPoint {
+                hour: p.hour,
+                integrated_load: integrated,
+                forecast_load: p.forecast_load,
+                deficiency,
+                lbmp,
+                ancillary,
+            }
+        })
+        .collect();
+    DaySeries::from_points(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::GridOperator;
+
+    fn base() -> (DaySeries, OperatorConfig) {
+        let config = OperatorConfig::nyiso_like();
+        (GridOperator::new(config.clone(), 42).simulate_day(), config)
+    }
+
+    #[test]
+    fn zero_overlay_is_identity() {
+        let (day, config) = base();
+        let same = overlay_ev_load(&day, &[0.0], &config);
+        assert_eq!(day, same);
+    }
+
+    #[test]
+    fn ev_load_raises_deficiency_everywhere() {
+        let (day, config) = base();
+        let loaded = overlay_ev_load(&day, &[80.0], &config);
+        for (a, b) in day.points().iter().zip(loaded.points()) {
+            assert!((b.deficiency.value() - (a.deficiency.value() + 80.0)).abs() < 1e-9);
+            assert!(b.integrated_load > a.integrated_load);
+            assert_eq!(b.forecast_load, a.forecast_load, "forecast must stay blind");
+        }
+    }
+
+    #[test]
+    fn ev_load_never_lowers_prices() {
+        let (day, config) = base();
+        let loaded = overlay_ev_load(&day, &[120.0], &config);
+        for (a, b) in day.points().iter().zip(loaded.points()) {
+            assert!(b.lbmp >= a.lbmp);
+            assert!(b.ancillary.mean() >= a.ancillary.mean());
+        }
+        // And somewhere it actually bites.
+        let raised = day
+            .points()
+            .iter()
+            .zip(loaded.points())
+            .any(|(a, b)| b.lbmp > a.lbmp);
+        assert!(raised, "120 MWh of surprise load should move some price");
+    }
+
+    #[test]
+    fn hourly_profile_is_wrapped_and_indexed() {
+        let (day, config) = base();
+        // EV demand only in the evening peak hours.
+        let mut profile = vec![0.0; 24];
+        for slot in profile.iter_mut().take(20).skip(17) {
+            *slot = 150.0;
+        }
+        let loaded = overlay_ev_load(&day, &profile, &config);
+        let evening = loaded.at_hour(18.0);
+        let base_evening = day.at_hour(18.0);
+        assert!(evening.deficiency.value() > base_evening.deficiency.value() + 100.0);
+        let night = loaded.at_hour(3.0);
+        let base_night = day.at_hour(3.0);
+        assert!((night.deficiency.value() - base_night.deficiency.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_entries_clamp_to_zero() {
+        let (day, config) = base();
+        let loaded = overlay_ev_load(&day, &[-50.0], &config);
+        assert_eq!(day, loaded);
+    }
+}

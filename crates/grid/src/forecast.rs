@@ -1,0 +1,282 @@
+//! Load forecasting and power deficiency.
+//!
+//! The paper defines *power deficiency* as integrated (actual) load minus
+//! forecast load — Fig. 2(b) shows it swinging ±168 MWh over the motivating
+//! day. A [`Forecaster`] predicts the next observation from the history seen
+//! so far; the operator (see [`crate::operator`]) pairs one with the noisy
+//! integrated load to produce the deficiency series.
+
+use oes_units::MegawattHours;
+
+/// Predicts the next load observation from the history so far.
+///
+/// Implementations are deliberately simple time-series models: the point of
+/// the substrate is that *some* forecast error exists (that is what creates
+/// deficiency and price volatility), not that forecasting is hard.
+pub trait Forecaster {
+    /// Predicts the load for the upcoming interval.
+    ///
+    /// `history` holds all integrated loads observed so far, oldest first;
+    /// it may be empty at the start of a day.
+    fn predict(&self, history: &[MegawattHours]) -> MegawattHours;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Predicts that the next interval equals the most recent observation
+/// (the "naive" or persistence model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistenceForecaster {
+    /// Fallback prediction before any observation exists.
+    initial: Option<MegawattHoursWrapper>,
+}
+
+// A tiny private wrapper so the struct can derive Eq (f64 itself is not Eq);
+// equality on the bit pattern is fine for a config value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MegawattHoursWrapper(u64);
+
+impl MegawattHoursWrapper {
+    fn from_quantity(q: MegawattHours) -> Self {
+        Self(q.value().to_bits())
+    }
+    fn to_quantity(self) -> MegawattHours {
+        MegawattHours::new(f64::from_bits(self.0))
+    }
+}
+
+impl PersistenceForecaster {
+    /// Creates a persistence forecaster that predicts `initial` until the
+    /// first observation arrives.
+    #[must_use]
+    pub fn new(initial: MegawattHours) -> Self {
+        Self { initial: Some(MegawattHoursWrapper::from_quantity(initial)) }
+    }
+}
+
+impl Forecaster for PersistenceForecaster {
+    fn predict(&self, history: &[MegawattHours]) -> MegawattHours {
+        history
+            .last()
+            .copied()
+            .or_else(|| self.initial.map(MegawattHoursWrapper::to_quantity))
+            .unwrap_or(MegawattHours::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "persistence"
+    }
+}
+
+/// Predicts the mean of the last `window` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovingAverageForecaster {
+    window: usize,
+}
+
+impl MovingAverageForecaster {
+    /// Creates a moving-average forecaster over the last `window` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "moving-average window must be nonzero");
+        Self { window }
+    }
+}
+
+impl Forecaster for MovingAverageForecaster {
+    fn predict(&self, history: &[MegawattHours]) -> MegawattHours {
+        if history.is_empty() {
+            return MegawattHours::ZERO;
+        }
+        let tail = &history[history.len().saturating_sub(self.window)..];
+        let sum: MegawattHours = tail.iter().sum();
+        sum / tail.len() as f64
+    }
+
+    fn name(&self) -> &str {
+        "moving-average"
+    }
+}
+
+/// Predicts from a fitted smooth diurnal model — what a real operator's
+/// day-ahead forecast looks like. The model is supplied as a closure over the
+/// interval index so the operator can hand it its own [`crate::LoadProfile`].
+pub struct SmoothModelForecaster {
+    model: Box<dyn Fn(usize) -> MegawattHours + Send + Sync>,
+    /// How many observations have been consumed (the next index to predict).
+    label: String,
+}
+
+impl core::fmt::Debug for SmoothModelForecaster {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SmoothModelForecaster").field("label", &self.label).finish()
+    }
+}
+
+impl SmoothModelForecaster {
+    /// Creates a model-based forecaster; `model(i)` is the day-ahead forecast
+    /// for interval `i` (the interval about to be observed when `history`
+    /// has length `i`).
+    pub fn new<F>(model: F) -> Self
+    where
+        F: Fn(usize) -> MegawattHours + Send + Sync + 'static,
+    {
+        Self { model: Box::new(model), label: "smooth-model".to_owned() }
+    }
+}
+
+impl Forecaster for SmoothModelForecaster {
+    fn predict(&self, history: &[MegawattHours]) -> MegawattHours {
+        (self.model)(history.len())
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Holt's double exponential smoothing: tracks a level and a trend, so it
+/// anticipates the diurnal ramps the moving average lags behind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltForecaster {
+    /// Level smoothing factor α ∈ (0, 1].
+    pub alpha: f64,
+    /// Trend smoothing factor β ∈ (0, 1].
+    pub beta: f64,
+}
+
+impl HoltForecaster {
+    /// Creates a Holt forecaster.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both factors lie in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Self { alpha, beta }
+    }
+}
+
+impl Default for HoltForecaster {
+    fn default() -> Self {
+        Self { alpha: 0.5, beta: 0.3 }
+    }
+}
+
+impl Forecaster for HoltForecaster {
+    fn predict(&self, history: &[MegawattHours]) -> MegawattHours {
+        match history {
+            [] => MegawattHours::ZERO,
+            [only] => *only,
+            _ => {
+                // Replay the smoothing over the history (stateless trait, so
+                // the filter is reconstructed; histories are day-length).
+                let mut level = history[0].value();
+                let mut trend = history[1].value() - history[0].value();
+                for obs in &history[1..] {
+                    let prev_level = level;
+                    level = self.alpha * obs.value() + (1.0 - self.alpha) * (level + trend);
+                    trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+                }
+                MegawattHours::new(level + trend)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "holt"
+    }
+}
+
+/// The power deficiency of one interval: integrated (actual) minus forecast.
+///
+/// Positive deficiency means demand exceeded the forecast (the grid is
+/// short); negative means the forecast over-shot.
+#[must_use]
+pub fn deficiency(integrated: MegawattHours, forecast: MegawattHours) -> MegawattHours {
+    integrated - forecast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mwh(v: f64) -> MegawattHours {
+        MegawattHours::new(v)
+    }
+
+    #[test]
+    fn persistence_repeats_last_observation() {
+        let f = PersistenceForecaster::default();
+        assert_eq!(f.predict(&[]), MegawattHours::ZERO);
+        assert_eq!(f.predict(&[mwh(10.0), mwh(20.0)]), mwh(20.0));
+    }
+
+    #[test]
+    fn persistence_uses_initial_before_data() {
+        let f = PersistenceForecaster::new(mwh(4000.0));
+        assert_eq!(f.predict(&[]), mwh(4000.0));
+        assert_eq!(f.predict(&[mwh(5.0)]), mwh(5.0));
+    }
+
+    #[test]
+    fn moving_average_windows_correctly() {
+        let f = MovingAverageForecaster::new(2);
+        assert_eq!(f.predict(&[]), MegawattHours::ZERO);
+        assert_eq!(f.predict(&[mwh(10.0)]), mwh(10.0));
+        assert_eq!(f.predict(&[mwh(10.0), mwh(20.0), mwh(40.0)]), mwh(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn zero_window_panics() {
+        let _ = MovingAverageForecaster::new(0);
+    }
+
+    #[test]
+    fn smooth_model_predicts_next_index() {
+        let f = SmoothModelForecaster::new(|i| mwh(i as f64));
+        assert_eq!(f.predict(&[]), mwh(0.0));
+        assert_eq!(f.predict(&[mwh(99.0), mwh(98.0)]), mwh(2.0));
+        assert_eq!(f.name(), "smooth-model");
+    }
+
+    #[test]
+    fn deficiency_signs() {
+        assert_eq!(deficiency(mwh(110.0), mwh(100.0)), mwh(10.0));
+        assert_eq!(deficiency(mwh(90.0), mwh(100.0)), mwh(-10.0));
+    }
+
+    #[test]
+    fn holt_extrapolates_a_linear_ramp() {
+        // On a perfect ramp, level+trend tracking should nail the next step
+        // while a moving average lags by half its window.
+        let ramp: Vec<MegawattHours> = (0..20).map(|i| mwh(1000.0 + 50.0 * i as f64)).collect();
+        let holt = HoltForecaster::new(0.8, 0.5).predict(&ramp).value();
+        let ma = MovingAverageForecaster::new(5).predict(&ramp).value();
+        let truth = 1000.0 + 50.0 * 20.0;
+        assert!((holt - truth).abs() < 20.0, "holt {holt} vs truth {truth}");
+        assert!((ma - truth).abs() > 90.0, "the MA should lag: {ma}");
+    }
+
+    #[test]
+    fn holt_degenerate_histories() {
+        let f = HoltForecaster::default();
+        assert_eq!(f.predict(&[]), MegawattHours::ZERO);
+        assert_eq!(f.predict(&[mwh(42.0)]), mwh(42.0));
+        assert_eq!(f.name(), "holt");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn holt_rejects_bad_alpha() {
+        let _ = HoltForecaster::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,54 @@
+//! A NYISO-substitute power-grid and market simulator.
+//!
+//! The paper motivates its pricing policy with one day of New York
+//! Independent System Operator data (May 12 2016): integrated vs forecast
+//! load, the resulting *power deficiency*, the location-based marginal price
+//! (LBMP), and ancillary-service prices (Fig. 2). Those feeds are not
+//! available offline, so this crate rebuilds the producing system: a grid
+//! operator with a diurnal [load profile](profile::LoadProfile), a
+//! [forecaster](forecast::Forecaster), a marginal-price
+//! [supply stack](market::SupplyStack), and an
+//! [ancillary-service market](ancillary::AncillaryMarket). The synthetic
+//! operator is calibrated to the extremes the paper reports:
+//!
+//! - load between 4 017.1 and 6 657.8 MWh,
+//! - deficiency up to ±167.8 MWh,
+//! - LBMP between $12.52 and $244.04 per MWh,
+//! - mean ancillary price ≈ $13.41.
+//!
+//! # Examples
+//!
+//! Simulate the paper's motivating day and read off β for the pricing game:
+//!
+//! ```
+//! use oes_grid::{GridOperator, OperatorConfig};
+//!
+//! let operator = GridOperator::new(OperatorConfig::nyiso_like(), 42);
+//! let day = operator.simulate_day();
+//! let noon = day.at_hour(12.0);
+//! assert!(noon.lbmp.value() > 0.0);
+//! assert!(day.max_integrated_load().value() > day.min_integrated_load().value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ancillary;
+pub mod control;
+pub mod dispatch;
+pub mod ev_load;
+pub mod forecast;
+pub mod market;
+pub mod operator;
+pub mod profile;
+pub mod settlement;
+
+pub use ancillary::{AncillaryMarket, AncillaryPrices};
+pub use control::ControlPeriod;
+pub use dispatch::{dispatch, nyiso_like_fleet, DispatchPlan, Generator};
+pub use ev_load::overlay_ev_load;
+pub use forecast::{Forecaster, HoltForecaster, MovingAverageForecaster, PersistenceForecaster, SmoothModelForecaster};
+pub use market::{SupplyStack, Tranche};
+pub use operator::{DayPoint, DaySeries, GridOperator, OperatorConfig};
+pub use profile::LoadProfile;
+pub use settlement::{settle_day, Settlement};

@@ -1,0 +1,218 @@
+//! The energy market: a merit-order supply stack and the location-based
+//! marginal price (LBMP).
+//!
+//! NYISO settles energy at the marginal cost of the last generator dispatched
+//! to meet regional demand, plus scarcity adders when the region is short.
+//! Fig. 2(c) of the paper shows the LBMP swinging between $12.52 and $244.04
+//! per MWh over one day; this module reproduces the producing mechanism with
+//! a merit-order stack of generation tranches.
+
+use oes_units::{DollarsPerMegawattHour, MegawattHours, Megawatts};
+
+/// One tranche of the merit-order supply stack: `capacity` megawatts offered
+/// at a flat `marginal_cost`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tranche {
+    /// Offered capacity of this tranche.
+    pub capacity: Megawatts,
+    /// Offer price of this tranche.
+    pub marginal_cost: DollarsPerMegawattHour,
+}
+
+impl Tranche {
+    /// Creates a tranche.
+    #[must_use]
+    pub fn new(capacity: Megawatts, marginal_cost: DollarsPerMegawattHour) -> Self {
+        Self { capacity, marginal_cost }
+    }
+}
+
+/// A merit-order supply stack: tranches sorted by marginal cost, dispatched
+/// cheapest-first until demand is met. The clearing price is the marginal
+/// cost of the last dispatched tranche; demand beyond total capacity clears
+/// at a scarcity price.
+///
+/// # Examples
+///
+/// ```
+/// use oes_grid::{SupplyStack, Tranche};
+/// use oes_units::{DollarsPerMegawattHour, Megawatts};
+///
+/// let stack = SupplyStack::new(
+///     vec![
+///         Tranche::new(Megawatts::new(100.0), DollarsPerMegawattHour::new(20.0)),
+///         Tranche::new(Megawatts::new(50.0), DollarsPerMegawattHour::new(80.0)),
+///     ],
+///     DollarsPerMegawattHour::new(500.0),
+/// );
+/// assert_eq!(stack.clearing_price(Megawatts::new(90.0)).value(), 20.0);
+/// assert_eq!(stack.clearing_price(Megawatts::new(120.0)).value(), 80.0);
+/// assert_eq!(stack.clearing_price(Megawatts::new(999.0)).value(), 500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SupplyStack {
+    tranches: Vec<Tranche>,
+    scarcity_price: DollarsPerMegawattHour,
+}
+
+impl SupplyStack {
+    /// Creates a stack from tranches (sorted internally by marginal cost) and
+    /// the price that applies once every tranche is exhausted.
+    #[must_use]
+    pub fn new(mut tranches: Vec<Tranche>, scarcity_price: DollarsPerMegawattHour) -> Self {
+        tranches.sort_by(|a, b| {
+            a.marginal_cost
+                .partial_cmp(&b.marginal_cost)
+                .expect("tranche costs must not be NaN")
+        });
+        Self { tranches, scarcity_price }
+    }
+
+    /// A stack shaped like the New York fleet, calibrated so the clearing
+    /// price spans the paper's observed $12.52–$244.04 band across the
+    /// calibrated load profile (with deficiency adders).
+    #[must_use]
+    pub fn nyiso_like() -> Self {
+        let t = |cap: f64, cost: f64| {
+            Tranche::new(Megawatts::new(cap), DollarsPerMegawattHour::new(cost))
+        };
+        Self::new(
+            vec![
+                // Hydro + nuclear baseload block: covers the overnight trough
+                // so quiet hours clear at the paper's observed $12.52 floor.
+                t(4100.0, 12.52),
+                // Efficient combined-cycle gas.
+                t(800.0, 24.0),
+                t(550.0, 33.0),
+                t(500.0, 45.0),
+                // Older steam turbines.
+                t(400.0, 70.0),
+                t(250.0, 110.0),
+                // Peakers; the most expensive sets the paper's $244.04 peak.
+                t(200.0, 160.0),
+                t(150.0, 244.04),
+            ],
+            DollarsPerMegawattHour::new(300.0),
+        )
+    }
+
+    /// Total offered capacity across all tranches.
+    #[must_use]
+    pub fn total_capacity(&self) -> Megawatts {
+        self.tranches.iter().map(|t| t.capacity).sum()
+    }
+
+    /// The tranches in merit order (cheapest first).
+    #[must_use]
+    pub fn tranches(&self) -> &[Tranche] {
+        &self.tranches
+    }
+
+    /// The clearing price for a given instantaneous demand: the marginal cost
+    /// of the last tranche needed, or the scarcity price if demand exceeds
+    /// total capacity. Zero or negative demand clears at the cheapest offer.
+    #[must_use]
+    pub fn clearing_price(&self, demand: Megawatts) -> DollarsPerMegawattHour {
+        let mut remaining = demand.value();
+        for tranche in &self.tranches {
+            remaining -= tranche.capacity.value();
+            if remaining <= 0.0 {
+                return tranche.marginal_cost;
+            }
+        }
+        self.scarcity_price
+    }
+
+    /// The LBMP for an interval: the clearing price at `demand`, shifted up
+    /// the stack by any positive deficiency (the operator must buy the
+    /// shortfall at the margin), plus nothing when the deficiency is
+    /// negative (surplus does not refund the margin).
+    ///
+    /// `interval_hours` converts the MWh deficiency into an equivalent MW
+    /// demand adjustment.
+    #[must_use]
+    pub fn lbmp(
+        &self,
+        demand: Megawatts,
+        deficiency: MegawattHours,
+        interval_hours: f64,
+    ) -> DollarsPerMegawattHour {
+        let shortfall_mw = (deficiency.value().max(0.0)) / interval_hours.max(f64::EPSILON);
+        self.clearing_price(demand + Megawatts::new(shortfall_mw))
+    }
+}
+
+impl Default for SupplyStack {
+    fn default() -> Self {
+        Self::nyiso_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mw(v: f64) -> Megawatts {
+        Megawatts::new(v)
+    }
+
+    #[test]
+    fn tranches_sorted_by_cost() {
+        let stack = SupplyStack::new(
+            vec![
+                Tranche::new(mw(1.0), DollarsPerMegawattHour::new(50.0)),
+                Tranche::new(mw(1.0), DollarsPerMegawattHour::new(10.0)),
+            ],
+            DollarsPerMegawattHour::new(99.0),
+        );
+        assert_eq!(stack.tranches()[0].marginal_cost.value(), 10.0);
+    }
+
+    #[test]
+    fn clearing_price_walks_merit_order() {
+        let stack = SupplyStack::nyiso_like();
+        // Below the first tranche: cheapest offer.
+        assert_eq!(stack.clearing_price(mw(100.0)).value(), 12.52);
+        // Mid-stack demand lands on an intermediate tranche.
+        let mid = stack.clearing_price(mw(5500.0)).value();
+        assert!(mid > 12.52 && mid < 244.04);
+        // Near total capacity hits the most expensive peaker.
+        let cap = stack.total_capacity().value();
+        assert_eq!(stack.clearing_price(mw(cap - 1.0)).value(), 244.04);
+        // Beyond capacity: scarcity.
+        assert_eq!(stack.clearing_price(mw(cap + 1.0)).value(), 300.0);
+    }
+
+    #[test]
+    fn zero_demand_clears_at_floor() {
+        let stack = SupplyStack::nyiso_like();
+        assert_eq!(stack.clearing_price(mw(0.0)).value(), 12.52);
+        assert_eq!(stack.clearing_price(mw(-5.0)).value(), 12.52);
+    }
+
+    #[test]
+    fn lbmp_rises_with_positive_deficiency_only() {
+        let stack = SupplyStack::nyiso_like();
+        let base = stack.lbmp(mw(6600.0), MegawattHours::ZERO, 1.0);
+        let short = stack.lbmp(mw(6600.0), MegawattHours::new(150.0), 1.0);
+        let long = stack.lbmp(mw(6600.0), MegawattHours::new(-150.0), 1.0);
+        assert!(short.value() >= base.value());
+        assert_eq!(long, base);
+    }
+
+    #[test]
+    fn paper_band_is_reachable() {
+        // Fig. 2(c): LBMP from $12.52 to $244.04.
+        let stack = SupplyStack::nyiso_like();
+        let lo = stack.clearing_price(mw(1000.0)).value();
+        let hi = stack.lbmp(mw(6650.0), MegawattHours::new(160.0), 1.0).value();
+        assert_eq!(lo, 12.52);
+        assert_eq!(hi, 244.04);
+    }
+
+    #[test]
+    fn total_capacity_sums_tranches() {
+        let stack = SupplyStack::nyiso_like();
+        assert_eq!(stack.total_capacity().value(), 6950.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The grid operator: ties the load profile, forecaster, supply stack, and
+//! ancillary market into one simulated day (the producer of Fig. 2).
+
+use oes_units::{DollarsPerMegawattHour, Hours, MegawattHours, Megawatts};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::ancillary::{AncillaryMarket, AncillaryPrices};
+use crate::forecast::{Forecaster, SmoothModelForecaster};
+use crate::market::SupplyStack;
+use crate::profile::LoadProfile;
+
+/// Configuration of a [`GridOperator`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OperatorConfig {
+    /// Deterministic demand shape.
+    pub profile: LoadProfile,
+    /// Merit-order supply stack for LBMP.
+    pub stack: SupplyStack,
+    /// Ancillary-service pricing.
+    pub ancillary: AncillaryMarket,
+    /// Number of settlement intervals per day (NYISO posts 5-minute real-time
+    /// prices, i.e. 288).
+    pub intervals_per_day: usize,
+    /// AR(1) persistence of the regional demand noise, in `[0, 1)`.
+    pub noise_persistence: f64,
+    /// Stationary standard deviation of the demand noise as a fraction of the
+    /// deterministic load.
+    pub noise_sigma: f64,
+}
+
+impl OperatorConfig {
+    /// The calibration used throughout the reproduction. Noise is sized so
+    /// the deficiency peaks near the paper's ±168 MWh over a day.
+    #[must_use]
+    pub fn nyiso_like() -> Self {
+        Self {
+            profile: LoadProfile::nyiso_like(),
+            stack: SupplyStack::nyiso_like(),
+            ancillary: AncillaryMarket::nyiso_like(),
+            intervals_per_day: 288,
+            noise_persistence: 0.85,
+            noise_sigma: 0.010,
+        }
+    }
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        Self::nyiso_like()
+    }
+}
+
+/// One settlement interval of a simulated day.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DayPoint {
+    /// Hour of day at the start of the interval, in `[0, 24)`.
+    pub hour: f64,
+    /// Actual (integrated) load of the interval.
+    pub integrated_load: MegawattHours,
+    /// Forecast load of the interval.
+    pub forecast_load: MegawattHours,
+    /// `integrated_load − forecast_load` (Fig. 2(b)).
+    pub deficiency: MegawattHours,
+    /// Location-based marginal price of the interval (Fig. 2(c)).
+    pub lbmp: DollarsPerMegawattHour,
+    /// Ancillary-service prices of the interval (Fig. 2(d)).
+    pub ancillary: AncillaryPrices,
+}
+
+/// A full simulated day: the series behind all four panels of Fig. 2.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct DaySeries {
+    points: Vec<DayPoint>,
+}
+
+impl DaySeries {
+    /// Builds a series from raw points (used by overlays and tests).
+    #[must_use]
+    pub fn from_points(points: Vec<DayPoint>) -> Self {
+        Self { points }
+    }
+
+    /// The settlement intervals, in time order.
+    #[must_use]
+    pub fn points(&self) -> &[DayPoint] {
+        &self.points
+    }
+
+    /// The interval containing the given hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn at_hour(&self, hour: f64) -> &DayPoint {
+        assert!(!self.points.is_empty(), "empty day series");
+        let h = hour.rem_euclid(24.0);
+        let idx = ((h / 24.0) * self.points.len() as f64) as usize;
+        &self.points[idx.min(self.points.len() - 1)]
+    }
+
+    /// Minimum integrated load over the day.
+    #[must_use]
+    pub fn min_integrated_load(&self) -> MegawattHours {
+        MegawattHours::new(
+            self.points.iter().map(|p| p.integrated_load.value()).fold(f64::INFINITY, f64::min),
+        )
+    }
+
+    /// Maximum integrated load over the day.
+    #[must_use]
+    pub fn max_integrated_load(&self) -> MegawattHours {
+        MegawattHours::new(
+            self.points
+                .iter()
+                .map(|p| p.integrated_load.value())
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Largest absolute deficiency over the day.
+    #[must_use]
+    pub fn max_abs_deficiency(&self) -> MegawattHours {
+        MegawattHours::new(
+            self.points.iter().map(|p| p.deficiency.value().abs()).fold(0.0, f64::max),
+        )
+    }
+
+    /// The (min, max) LBMP over the day.
+    #[must_use]
+    pub fn lbmp_range(&self) -> (DollarsPerMegawattHour, DollarsPerMegawattHour) {
+        let lo = self.points.iter().map(|p| p.lbmp.value()).fold(f64::INFINITY, f64::min);
+        let hi = self.points.iter().map(|p| p.lbmp.value()).fold(f64::NEG_INFINITY, f64::max);
+        (DollarsPerMegawattHour::new(lo), DollarsPerMegawattHour::new(hi))
+    }
+
+    /// Mean of the per-interval mean ancillary price — the paper's "$13.41 on
+    /// average" statistic.
+    #[must_use]
+    pub fn mean_ancillary_price(&self) -> DollarsPerMegawattHour {
+        if self.points.is_empty() {
+            return DollarsPerMegawattHour::ZERO;
+        }
+        let sum: f64 = self.points.iter().map(|p| p.ancillary.mean().value()).sum();
+        DollarsPerMegawattHour::new(sum / self.points.len() as f64)
+    }
+}
+
+/// The simulated grid operator.
+///
+/// Deterministic under its seed: the same `(config, seed)` always produces
+/// the same day.
+#[derive(Debug, Clone)]
+pub struct GridOperator {
+    config: OperatorConfig,
+    seed: u64,
+}
+
+impl GridOperator {
+    /// Creates an operator with the given configuration and noise seed.
+    #[must_use]
+    pub fn new(config: OperatorConfig, seed: u64) -> Self {
+        Self { config, seed }
+    }
+
+    /// The operator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &OperatorConfig {
+        &self.config
+    }
+
+    /// Simulates one day of operation.
+    ///
+    /// For each interval: the deterministic profile plus AR(1) regional noise
+    /// yields the integrated load; the day-ahead smooth-model forecaster
+    /// yields the forecast; their difference is the deficiency; the supply
+    /// stack prices the LBMP (demand shifted by any shortfall); the ancillary
+    /// market prices reserves and regulation.
+    #[must_use]
+    pub fn simulate_day(&self) -> DaySeries {
+        let n = self.config.intervals_per_day.max(1);
+        let dt_hours = 24.0 / n as f64;
+        let profile = self.config.profile.clone();
+        let forecaster = {
+            let profile = profile.clone();
+            SmoothModelForecaster::new(move |i| profile.load_at(i as f64 * dt_hours))
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let phi = self.config.noise_persistence.clamp(0.0, 0.999_999);
+        // Innovation sigma chosen so the stationary sigma equals noise_sigma.
+        let innovation_sigma = self.config.noise_sigma * (1.0 - phi * phi).sqrt();
+        let mut noise = 0.0_f64;
+
+        let mut history: Vec<MegawattHours> = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+        for i in 0..n {
+            let hour = i as f64 * dt_hours;
+            let base = self.config.profile.load_at(hour);
+            noise = phi * noise + innovation_sigma * sample_standard_normal(&mut rng);
+            let integrated = MegawattHours::new(base.value() * (1.0 + noise));
+            let forecast = forecaster.predict(&history);
+            history.push(integrated);
+            let deficiency = integrated - forecast;
+            // Interval energy → average demand over the interval.
+            let demand: Megawatts = integrated / Hours::new(1.0);
+            // Loads are hourly rates sampled every interval, so the
+            // deficiency is already a rate: convert 1:1 (not per-interval).
+            let lbmp = self.config.stack.lbmp(demand, deficiency, 1.0);
+            let ancillary = self.config.ancillary.price(demand, deficiency);
+            points.push(DayPoint { hour, integrated_load: integrated, forecast_load: forecast, deficiency, lbmp, ancillary });
+        }
+        DaySeries { points }
+    }
+}
+
+/// Samples a standard normal via Box–Muller (avoids a `rand_distr`
+/// dependency; two uniforms per sample, one discarded, keeps it simple).
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(seed: u64) -> DaySeries {
+        GridOperator::new(OperatorConfig::nyiso_like(), seed).simulate_day()
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(day(7), day(7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(day(1), day(2));
+    }
+
+    #[test]
+    fn load_band_matches_paper() {
+        // Fig. 2(a): 4017.1–6657.8 MWh. Allow noise slack around the band.
+        let d = day(42);
+        let lo = d.min_integrated_load().value();
+        let hi = d.max_integrated_load().value();
+        assert!((3800.0..=4300.0).contains(&lo), "trough {lo}");
+        assert!((6300.0..=6900.0).contains(&hi), "peak {hi}");
+    }
+
+    #[test]
+    fn deficiency_band_matches_paper() {
+        // Fig. 2(b): deficiency up to ±167.8 MWh. Check the same order of
+        // magnitude: above 60, below 350 for this calibration.
+        let d = day(42);
+        let m = d.max_abs_deficiency().value();
+        assert!((60.0..=350.0).contains(&m), "max |deficiency| = {m}");
+    }
+
+    #[test]
+    fn lbmp_band_matches_paper() {
+        // Fig. 2(c): $12.52 to $244.04. The floor must be exact (quiet hours
+        // clear on the cheapest tranche); the ceiling must exceed $100.
+        let d = day(42);
+        let (lo, hi) = d.lbmp_range();
+        assert_eq!(lo.value(), 12.52);
+        assert!(hi.value() >= 100.0, "peak LBMP {hi}");
+        assert!(hi.value() <= 300.0);
+    }
+
+    #[test]
+    fn mean_ancillary_near_paper() {
+        // Fig. 2(d): $13.41 average. Accept the right regime (5–25).
+        let d = day(42);
+        let m = d.mean_ancillary_price().value();
+        assert!((5.0..=25.0).contains(&m), "mean ancillary {m}");
+    }
+
+    #[test]
+    fn at_hour_indexes_correctly() {
+        let d = day(3);
+        assert_eq!(d.at_hour(0.0).hour, 0.0);
+        let p = d.at_hour(12.0);
+        assert!((p.hour - 12.0).abs() < 24.0 / 288.0 + 1e-12);
+        // Wrapping.
+        assert_eq!(d.at_hour(24.0).hour, d.at_hour(0.0).hour);
+    }
+
+    #[test]
+    fn forecast_tracks_profile_not_noise() {
+        let d = day(42);
+        let profile = LoadProfile::nyiso_like();
+        for p in d.points().iter().step_by(24) {
+            let model = profile.load_at(p.hour).value();
+            assert!((p.forecast_load.value() - model).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty day series")]
+    fn at_hour_on_empty_series_panics() {
+        let empty = DaySeries::default();
+        let _ = empty.at_hour(1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Diurnal load profiles.
+//!
+//! The deterministic "shape" of a day's demand. The *integrated* (actual)
+//! load the operator observes is this shape plus stochastic regional demand
+//! noise; the forecaster tries to predict it back (see
+//! [`crate::forecast`]).
+
+use oes_units::MegawattHours;
+
+/// A smooth diurnal load profile: an overnight trough plus a morning and an
+/// evening demand hump, evaluated at any hour of day in `[0, 24)`.
+///
+/// The default calibration reproduces the paper's Fig. 2(a) envelope
+/// (≈ 4 000 MWh overnight to ≈ 6 650 MWh at the evening peak).
+///
+/// # Examples
+///
+/// ```
+/// use oes_grid::LoadProfile;
+///
+/// let profile = LoadProfile::nyiso_like();
+/// let trough = profile.load_at(4.0);
+/// let peak = profile.load_at(17.5);
+/// assert!(peak.value() > 1.5 * trough.value());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadProfile {
+    /// Overnight base demand.
+    trough: f64,
+    /// Morning hump: (amplitude, center hour, width in hours).
+    morning: (f64, f64, f64),
+    /// Evening hump: (amplitude, center hour, width in hours).
+    evening: (f64, f64, f64),
+}
+
+impl LoadProfile {
+    /// Creates a profile from a trough level and two Gaussian demand humps.
+    ///
+    /// Each hump is `(amplitude, center_hour, width_hours)`; widths must be
+    /// positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is not strictly positive.
+    #[must_use]
+    pub fn new(trough: MegawattHours, morning: (f64, f64, f64), evening: (f64, f64, f64)) -> Self {
+        assert!(morning.2 > 0.0 && evening.2 > 0.0, "hump widths must be positive");
+        Self { trough: trough.value(), morning, evening }
+    }
+
+    /// The calibration used throughout the reproduction: trough ≈ 4 020 MWh
+    /// near 04:00, evening peak ≈ 6 650 MWh near 17:30.
+    #[must_use]
+    pub fn nyiso_like() -> Self {
+        Self {
+            trough: 3800.0,
+            morning: (1400.0, 9.0, 3.0),
+            evening: (2830.0, 17.5, 3.0),
+        }
+    }
+
+    /// The deterministic load at an hour of day.
+    ///
+    /// `hour` is wrapped into `[0, 24)`, so `25.0` evaluates as `1.0`; the
+    /// humps are likewise evaluated periodically so the profile is continuous
+    /// across midnight.
+    #[must_use]
+    pub fn load_at(&self, hour: f64) -> MegawattHours {
+        let h = hour.rem_euclid(24.0);
+        let bump = |(a, c, w): (f64, f64, f64)| {
+            // Evaluate the Gaussian at the wrapped distance so the tail of an
+            // evening hump still contributes just after midnight.
+            let mut d = (h - c).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            a * (-0.5 * (d / w).powi(2)).exp()
+        };
+        MegawattHours::new(self.trough + bump(self.morning) + bump(self.evening))
+    }
+
+    /// The minimum of the deterministic profile over a day, on a fine grid.
+    #[must_use]
+    pub fn min_load(&self) -> MegawattHours {
+        self.scan().0
+    }
+
+    /// The maximum of the deterministic profile over a day, on a fine grid.
+    #[must_use]
+    pub fn max_load(&self) -> MegawattHours {
+        self.scan().1
+    }
+
+    fn scan(&self) -> (MegawattHours, MegawattHours) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..(24 * 60) {
+            let v = self.load_at(i as f64 / 60.0).value();
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (MegawattHours::new(lo), MegawattHours::new(hi))
+    }
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        Self::nyiso_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_envelope_matches_paper_band() {
+        // Fig. 2(a): load varied from 4017.1 MWh to 6657.8 MWh.
+        let p = LoadProfile::nyiso_like();
+        let lo = p.min_load().value();
+        let hi = p.max_load().value();
+        assert!((3900.0..=4150.0).contains(&lo), "trough {lo} outside paper band");
+        assert!((6400.0..=6800.0).contains(&hi), "peak {hi} outside paper band");
+    }
+
+    #[test]
+    fn evening_peak_exceeds_morning_peak() {
+        let p = LoadProfile::nyiso_like();
+        assert!(p.load_at(17.5).value() > p.load_at(9.0).value());
+    }
+
+    #[test]
+    fn profile_is_continuous_across_midnight() {
+        let p = LoadProfile::nyiso_like();
+        let before = p.load_at(23.999).value();
+        let after = p.load_at(0.0).value();
+        assert!((before - after).abs() < 5.0, "midnight jump: {before} vs {after}");
+    }
+
+    #[test]
+    fn hour_wraps() {
+        let p = LoadProfile::nyiso_like();
+        assert_eq!(p.load_at(25.0), p.load_at(1.0));
+        assert_eq!(p.load_at(-1.0), p.load_at(23.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "hump widths")]
+    fn zero_width_hump_panics() {
+        let _ = LoadProfile::new(MegawattHours::new(4000.0), (1.0, 9.0, 0.0), (1.0, 17.0, 1.0));
+    }
+}

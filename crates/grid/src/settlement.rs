@@ -1,0 +1,123 @@
+//! Two-settlement accounting: what the deficiency actually costs.
+//!
+//! The paper motivates its mechanism with money: ancillary services cost
+//! "5–10% of total electricity cost, about $12 billion per year in the
+//! U.S.". This module prices a simulated day the way a two-settlement
+//! market does — forecast energy clears day-ahead at the day-ahead price,
+//! the deficiency clears in real time at the (higher, scarcity-driven)
+//! real-time LBMP, and reserves/regulation are paid on top — so the cost of
+//! *being wrong about the load* is a number, and the cost added by
+//! unforecast OLEV charging (see [`crate::ev_load`]) becomes measurable.
+
+use oes_units::{Dollars, MegawattHours};
+
+use crate::operator::DaySeries;
+
+/// One day's settlement.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Settlement {
+    /// Day-ahead energy cost: forecast load at the day-ahead price.
+    pub day_ahead: Dollars,
+    /// Real-time balancing cost: positive deficiency bought at the
+    /// real-time LBMP (negative deficiency is sold back at the same price).
+    pub real_time: Dollars,
+    /// Ancillary-service cost: the mean service price applied to the
+    /// procured regulation band.
+    pub ancillary: Dollars,
+}
+
+impl Settlement {
+    /// Total cost of the day.
+    #[must_use]
+    pub fn total(&self) -> Dollars {
+        self.day_ahead + self.real_time + self.ancillary
+    }
+
+    /// The ancillary share of total cost (the paper's 5–10% figure).
+    #[must_use]
+    pub fn ancillary_share(&self) -> f64 {
+        self.ancillary.value() / self.total().value()
+    }
+}
+
+/// Settles a day.
+///
+/// `day_ahead_price` is the fixed forward price ($/MWh); `regulation_band`
+/// is the MW of regulation the operator procures every interval.
+#[must_use]
+pub fn settle_day(
+    day: &DaySeries,
+    day_ahead_price: f64,
+    regulation_band: f64,
+) -> Settlement {
+    let n = day.points().len().max(1);
+    let interval_hours = 24.0 / n as f64;
+    let mut day_ahead = 0.0;
+    let mut real_time = 0.0;
+    let mut ancillary = 0.0;
+    for p in day.points() {
+        // Loads are hourly rates; scale to interval energy.
+        let forecast_mwh = p.forecast_load.value() * interval_hours;
+        day_ahead += forecast_mwh * day_ahead_price;
+        let deficiency_mwh: MegawattHours = p.deficiency * interval_hours;
+        real_time += deficiency_mwh.value() * p.lbmp.value();
+        ancillary += regulation_band * p.ancillary.mean().value() * interval_hours;
+    }
+    Settlement {
+        day_ahead: Dollars::new(day_ahead),
+        real_time: Dollars::new(real_time),
+        ancillary: Dollars::new(ancillary),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ev_load::overlay_ev_load;
+    use crate::operator::{GridOperator, OperatorConfig};
+
+    fn day() -> crate::operator::DaySeries {
+        GridOperator::new(OperatorConfig::nyiso_like(), 42).simulate_day()
+    }
+
+    #[test]
+    fn settlement_magnitudes_are_sane() {
+        let s = settle_day(&day(), 30.0, 250.0);
+        // ~125 GWh/day at $30 ⇒ ~$3.7M day-ahead.
+        assert!((2.0e6..=6.0e6).contains(&s.day_ahead.value()), "{:?}", s.day_ahead);
+        // Real-time balancing is a small signed correction.
+        assert!(s.real_time.value().abs() < 0.2 * s.day_ahead.value());
+        assert!(s.ancillary.value() > 0.0);
+    }
+
+    #[test]
+    fn ancillary_share_matches_paper_band() {
+        // The paper: ancillary services cost about 5–10% of total.
+        // A 250 MW regulation band on this synthetic day lands inside it.
+        let s = settle_day(&day(), 30.0, 250.0);
+        let share = s.ancillary_share();
+        assert!((0.005..=0.12).contains(&share), "ancillary share {share}");
+    }
+
+    #[test]
+    fn unforecast_ev_load_raises_the_bill() {
+        let base = day();
+        let config = OperatorConfig::nyiso_like();
+        let loaded = overlay_ev_load(&base, &[100.0], &config);
+        let s_base = settle_day(&base, 30.0, 250.0);
+        let s_loaded = settle_day(&loaded, 30.0, 250.0);
+        // Day-ahead is unchanged (the forecast was blind to the EVs)...
+        assert_eq!(s_base.day_ahead, s_loaded.day_ahead);
+        // ...so everything lands in real-time + ancillary, which must rise.
+        assert!(s_loaded.real_time > s_base.real_time);
+        assert!(s_loaded.ancillary >= s_base.ancillary);
+        assert!(s_loaded.total() > s_base.total());
+    }
+
+    #[test]
+    fn zero_band_means_zero_ancillary() {
+        let s = settle_day(&day(), 30.0, 0.0);
+        assert_eq!(s.ancillary, Dollars::new(0.0));
+        assert_eq!(s.ancillary_share(), 0.0);
+    }
+}

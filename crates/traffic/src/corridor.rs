@@ -1,0 +1,262 @@
+//! A builder for signalized-arterial scenarios — the Flatlands-Avenue-like
+//! corridor of the paper's Fig. 3 study.
+//!
+//! The corridor is a chain of `blocks` equal-length edges with a fixed-cycle
+//! traffic signal at every interior intersection. Charging-section detectors
+//! can be placed immediately before the first light or in the middle of the
+//! central block — the two placements Fig. 3 compares.
+
+use oes_units::{Meters, MetersPerSecond, Seconds};
+
+use crate::counts::HourlyCounts;
+use crate::demand::PoissonArrivals;
+use crate::detector::SpanDetector;
+use crate::network::{NodeId, RoadNetwork};
+use crate::signal::SignalPlan;
+use crate::sim::{Simulation, SimulationConfig};
+use crate::vehicle::VehicleParams;
+
+/// Where a charging-section span detector sits on the corridor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SectionPlacement {
+    /// The span ends exactly at the first signalized stop line (the paper's
+    /// "at traffic light" placement — it accumulates red-phase queues).
+    BeforeLight,
+    /// The span is centered on the final block, away from any downstream
+    /// stop line (the paper's "at middle" placement).
+    MidBlock,
+}
+
+/// Builds a signalized corridor [`Simulation`].
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct CorridorBuilder {
+    blocks: usize,
+    block_length: Meters,
+    speed_limit: MetersPerSecond,
+    signal_green: Seconds,
+    signal_red: Seconds,
+    detectors: Vec<(SectionPlacement, Meters)>,
+    counts: HourlyCounts,
+    params: VehicleParams,
+    config: SimulationConfig,
+    lanes: u32,
+    seed: u64,
+}
+
+impl CorridorBuilder {
+    /// Starts a corridor with the defaults of the Fig. 3 study: three 250 m
+    /// blocks, 30 mph limit, 35 s green / 45 s red signals, an NYC-like
+    /// diurnal count profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            blocks: 3,
+            block_length: Meters::new(250.0),
+            speed_limit: MetersPerSecond::new(13.4),
+            signal_green: Seconds::new(35.0),
+            signal_red: Seconds::new(45.0),
+            detectors: Vec::new(),
+            counts: HourlyCounts::nyc_arterial_like(800, 0),
+            params: VehicleParams::passenger_car(),
+            config: SimulationConfig::default(),
+            lanes: 1,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of blocks and their common length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `length` is not positive.
+    pub fn blocks(&mut self, count: usize, length: Meters) -> &mut Self {
+        assert!(count > 0, "corridor needs at least one block");
+        assert!(length.value() > 0.0, "block length must be positive");
+        self.blocks = count;
+        self.block_length = length;
+        self
+    }
+
+    /// Sets the posted speed limit for every block.
+    pub fn speed_limit(&mut self, limit: MetersPerSecond) -> &mut Self {
+        self.speed_limit = limit;
+        self
+    }
+
+    /// Sets the number of parallel lanes on every block (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn lanes(&mut self, lanes: u32) -> &mut Self {
+        assert!(lanes > 0, "corridor needs at least one lane");
+        self.lanes = lanes;
+        self
+    }
+
+    /// Sets the green/red durations of every interior signal.
+    pub fn signal(&mut self, green: Seconds, red: Seconds) -> &mut Self {
+        self.signal_green = green;
+        self.signal_red = red;
+        self
+    }
+
+    /// Adds a charging-section span detector of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` exceeds the block length (checked at build).
+    pub fn detector(&mut self, placement: SectionPlacement, length: Meters) -> &mut Self {
+        self.detectors.push((placement, length));
+        self
+    }
+
+    /// Uses raw hourly counts (vehicles per hour entering the corridor).
+    pub fn hourly_counts(&mut self, counts: Vec<u32>) -> &mut Self {
+        self.counts = HourlyCounts::new(counts);
+        self
+    }
+
+    /// Uses a prepared count profile.
+    pub fn counts(&mut self, counts: HourlyCounts) -> &mut Self {
+        self.counts = counts;
+        self
+    }
+
+    /// Sets the vehicle parameter set for all spawned vehicles.
+    pub fn vehicle_params(&mut self, params: VehicleParams) -> &mut Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn engine(&mut self, config: SimulationConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the randomness seed (demand and driver imperfection).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detector is longer than a block.
+    #[must_use]
+    pub fn build(&self) -> Simulation {
+        let mut net = RoadNetwork::new();
+        let nodes: Vec<NodeId> = (0..=self.blocks).map(|_| net.add_node()).collect();
+        let edges: Vec<_> = nodes
+            .windows(2)
+            .map(|w| {
+                net.add_edge_with_lanes(w[0], w[1], self.block_length, self.speed_limit, self.lanes)
+                    .expect("corridor edges are valid")
+            })
+            .collect();
+
+        let mut sim = Simulation::new(net, self.config, self.seed);
+        // Signals at every interior intersection, synchronized.
+        if self.signal_red.value() > 0.0 {
+            for node in nodes.iter().take(self.blocks).skip(1) {
+                sim.add_signal(*node, SignalPlan::new(self.signal_green, self.signal_red, Seconds::ZERO));
+            }
+        }
+        for (placement, len) in &self.detectors {
+            assert!(
+                len.value() <= self.block_length.value(),
+                "detector ({len}) longer than a block ({})",
+                self.block_length
+            );
+            let det = match placement {
+                SectionPlacement::BeforeLight => SpanDetector::new(
+                    "at traffic light",
+                    edges[0],
+                    self.block_length - *len,
+                    self.block_length,
+                ),
+                SectionPlacement::MidBlock => {
+                    let mid_edge = *edges.last().expect("at least one block");
+                    let start = (self.block_length.value() - len.value()) / 2.0;
+                    SpanDetector::new(
+                        "at middle",
+                        mid_edge,
+                        Meters::new(start),
+                        Meters::new(start + len.value()),
+                    )
+                }
+            };
+            sim.add_detector(det);
+        }
+        let arrivals = PoissonArrivals::new(self.counts.clone(), self.seed.wrapping_add(1));
+        sim.add_demand(arrivals, edges, self.params);
+        sim
+    }
+}
+
+impl Default for CorridorBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_defaults() {
+        let mut sim = CorridorBuilder::new().build();
+        sim.run_for(Seconds::new(60.0));
+        // Demand flows (defaults have a nonzero overnight count).
+        assert!(sim.spawned() + sim.insertion_backlog() as u64 > 0 || sim.time().value() >= 60.0);
+    }
+
+    #[test]
+    fn at_light_dwell_exceeds_mid_block_dwell() {
+        // The heart of Fig. 3(b): queues at the light dominate dwell time.
+        let mut sim = CorridorBuilder::new()
+            .blocks(3, Meters::new(250.0))
+            .detector(SectionPlacement::BeforeLight, Meters::new(200.0))
+            .detector(SectionPlacement::MidBlock, Meters::new(200.0))
+            .hourly_counts(vec![700])
+            .seed(13)
+            .build();
+        sim.run_for(Seconds::new(3600.0));
+        let at_light = sim.detectors()[0].total_occupancy().value();
+        let mid = sim.detectors()[1].total_occupancy().value();
+        assert!(at_light > 1.5 * mid, "at_light={at_light}, mid={mid}");
+    }
+
+    #[test]
+    fn no_signals_when_red_is_zero() {
+        let mut sim = CorridorBuilder::new()
+            .signal(Seconds::new(30.0), Seconds::ZERO)
+            .hourly_counts(vec![300])
+            .build();
+        sim.run_for(Seconds::new(300.0));
+        assert!(sim.exited() > 0, "free flow without signals");
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than a block")]
+    fn oversized_detector_panics() {
+        let _ = CorridorBuilder::new()
+            .blocks(2, Meters::new(100.0))
+            .detector(SectionPlacement::BeforeLight, Meters::new(200.0))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = CorridorBuilder::new().blocks(0, Meters::new(100.0));
+    }
+}

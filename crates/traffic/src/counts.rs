@@ -1,0 +1,125 @@
+//! Hourly traffic counts — the demand input of the paper's Fig. 3 study.
+//!
+//! The paper drives SUMO with NYC DOT hourly counts for Flatlands Avenue,
+//! Brooklyn (Jan 31 2013). The trace is not available offline, so
+//! [`HourlyCounts::nyc_arterial_like`] synthesizes a diurnal profile with the
+//! same structure: a deep overnight trough, an AM peak near 08:00, a PM peak
+//! near 17:00, and a midday plateau, with seeded day-to-day jitter.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Vehicles entering a road section during each hour of a day.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HourlyCounts {
+    counts: Vec<u32>,
+}
+
+impl HourlyCounts {
+    /// Creates counts from one value per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn new(counts: Vec<u32>) -> Self {
+        assert!(!counts.is_empty(), "at least one hourly count required");
+        Self { counts }
+    }
+
+    /// A synthetic 24-hour profile shaped like an NYC arterial: AM/PM peaks,
+    /// midday plateau, overnight trough. `peak` is the busiest hour's count;
+    /// `seed` adds ±5% multiplicative jitter per hour.
+    #[must_use]
+    pub fn nyc_arterial_like(peak: u32, seed: u64) -> Self {
+        // Fraction of the peak for each hour 0..24.
+        const SHAPE: [f64; 24] = [
+            0.10, 0.07, 0.05, 0.05, 0.07, 0.16, 0.38, 0.72, 0.95, 0.82, 0.68, 0.66, //
+            0.68, 0.70, 0.74, 0.84, 0.94, 1.00, 0.90, 0.70, 0.52, 0.38, 0.26, 0.16,
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let counts = SHAPE
+            .iter()
+            .map(|f| {
+                let jitter: f64 = rng.gen_range(0.95..1.05);
+                (f * peak as f64 * jitter).round().max(0.0) as u32
+            })
+            .collect();
+        Self { counts }
+    }
+
+    /// The count for hour `h` (wrapped modulo the profile length).
+    #[must_use]
+    pub fn at(&self, hour: usize) -> u32 {
+        self.counts[hour % self.counts.len()]
+    }
+
+    /// Number of hours in the profile.
+    #[must_use]
+    pub fn hours(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total vehicles over the whole profile.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// The raw per-hour counts.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The busiest hour (index, count).
+    #[must_use]
+    pub fn peak_hour(&self) -> (usize, u32) {
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, c)| c)
+            .expect("profile is nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_profile_has_diurnal_structure() {
+        let c = HourlyCounts::nyc_arterial_like(1000, 1);
+        // Overnight trough far below the peaks.
+        assert!(c.at(3) < c.at(8) / 5);
+        // Two peaks: morning around 8, evening around 17.
+        let (peak_hour, _) = c.peak_hour();
+        assert!((7..=9).contains(&peak_hour) || (16..=18).contains(&peak_hour));
+        // Midday plateau between the peaks.
+        assert!(c.at(12) > c.at(3));
+        assert!(c.at(12) < c.at(17));
+        assert_eq!(c.hours(), 24);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(HourlyCounts::nyc_arterial_like(800, 9), HourlyCounts::nyc_arterial_like(800, 9));
+        assert_ne!(HourlyCounts::nyc_arterial_like(800, 9), HourlyCounts::nyc_arterial_like(800, 10));
+    }
+
+    #[test]
+    fn wrapping_and_total() {
+        let c = HourlyCounts::new(vec![1, 2, 3]);
+        assert_eq!(c.at(0), 1);
+        assert_eq!(c.at(4), 2);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hourly count")]
+    fn empty_counts_panic() {
+        let _ = HourlyCounts::new(vec![]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Span detectors: the "intersection time" instrument.
+//!
+//! A span detector covers a stretch `[start, end]` of one edge — exactly
+//! where a charging section would be embedded — and accumulates, per hour of
+//! simulation time, the total vehicle-seconds spent over the span. Summed
+//! over all vehicles this is the paper's *intersection time* (Fig. 3(b)).
+
+use oes_units::{Meters, Seconds};
+
+use crate::network::EdgeId;
+
+/// Accumulates occupancy time over a fixed span of one edge.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanDetector {
+    /// A label for reports (e.g. `"at traffic light"`).
+    pub label: String,
+    edge: EdgeId,
+    start: Meters,
+    end: Meters,
+    /// Occupancy per hour bucket, vehicle-seconds.
+    hourly: Vec<f64>,
+    /// Vehicles that touched the span at least once.
+    touches: u64,
+}
+
+impl SpanDetector {
+    /// Creates a detector over `[start, end]` of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or either bound is negative.
+    #[must_use]
+    pub fn new(label: impl Into<String>, edge: EdgeId, start: Meters, end: Meters) -> Self {
+        assert!(
+            start.value() >= 0.0 && end.value() > start.value(),
+            "detector span must be a forward interval"
+        );
+        Self { label: label.into(), edge, start, end, hourly: Vec::new(), touches: 0 }
+    }
+
+    /// The covered edge.
+    #[must_use]
+    pub fn edge(&self) -> EdgeId {
+        self.edge
+    }
+
+    /// The covered span `(start, end)`.
+    #[must_use]
+    pub fn span(&self) -> (Meters, Meters) {
+        (self.start, self.end)
+    }
+
+    /// Span length.
+    #[must_use]
+    pub fn length(&self) -> Meters {
+        self.end - self.start
+    }
+
+    /// Records one simulation step: a vehicle on `edge` at `position`
+    /// (front-bumper) of length `veh_len` overlapping the span during a step
+    /// of `dt` at absolute time `now` contributes `dt` of occupancy.
+    ///
+    /// Called by the engine for every vehicle every step; cheap rejection
+    /// first.
+    pub fn observe(
+        &mut self,
+        edge: EdgeId,
+        position: Meters,
+        veh_len: Meters,
+        now: Seconds,
+        dt: Seconds,
+        first_touch: bool,
+    ) {
+        if edge != self.edge {
+            return;
+        }
+        let front = position.value();
+        let rear = front - veh_len.value();
+        if front < self.start.value() || rear > self.end.value() {
+            return;
+        }
+        let hour = (now.value() / 3600.0) as usize;
+        if self.hourly.len() <= hour {
+            self.hourly.resize(hour + 1, 0.0);
+        }
+        self.hourly[hour] += dt.value();
+        if first_touch {
+            self.touches += 1;
+        }
+    }
+
+    /// Total accumulated occupancy (the paper's total intersection time).
+    #[must_use]
+    pub fn total_occupancy(&self) -> Seconds {
+        Seconds::new(self.hourly.iter().sum())
+    }
+
+    /// Occupancy of hour `h` (zero if never observed).
+    #[must_use]
+    pub fn hourly_occupancy(&self, hour: usize) -> Seconds {
+        Seconds::new(self.hourly.get(hour).copied().unwrap_or(0.0))
+    }
+
+    /// All hourly buckets observed so far.
+    #[must_use]
+    pub fn hourly_series(&self) -> Vec<Seconds> {
+        self.hourly.iter().map(|&s| Seconds::new(s)).collect()
+    }
+
+    /// How many distinct vehicles touched the span.
+    #[must_use]
+    pub fn vehicle_touches(&self) -> u64 {
+        self.touches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
+    fn det() -> SpanDetector {
+        SpanDetector::new("test", EdgeId(0), m(100.0), m(300.0))
+    }
+
+    #[test]
+    fn accumulates_when_overlapping() {
+        let mut d = det();
+        d.observe(EdgeId(0), m(150.0), m(5.0), s(10.0), s(1.0), true);
+        d.observe(EdgeId(0), m(160.0), m(5.0), s(11.0), s(1.0), false);
+        assert_eq!(d.total_occupancy(), s(2.0));
+        assert_eq!(d.vehicle_touches(), 1);
+    }
+
+    #[test]
+    fn ignores_other_edges_and_outside_positions() {
+        let mut d = det();
+        d.observe(EdgeId(1), m(150.0), m(5.0), s(0.0), s(1.0), true);
+        d.observe(EdgeId(0), m(50.0), m(5.0), s(0.0), s(1.0), true);
+        d.observe(EdgeId(0), m(400.0), m(5.0), s(0.0), s(1.0), true);
+        assert_eq!(d.total_occupancy(), Seconds::ZERO);
+        assert_eq!(d.vehicle_touches(), 0);
+    }
+
+    #[test]
+    fn partial_overlap_counts() {
+        let mut d = det();
+        // Front just past start.
+        d.observe(EdgeId(0), m(101.0), m(5.0), s(0.0), s(1.0), true);
+        // Rear still inside the end.
+        d.observe(EdgeId(0), m(303.0), m(5.0), s(1.0), s(1.0), false);
+        assert_eq!(d.total_occupancy(), s(2.0));
+    }
+
+    #[test]
+    fn hourly_bucketing() {
+        let mut d = det();
+        d.observe(EdgeId(0), m(150.0), m(5.0), s(100.0), s(1.0), true);
+        d.observe(EdgeId(0), m(150.0), m(5.0), s(3700.0), s(1.0), false);
+        d.observe(EdgeId(0), m(150.0), m(5.0), s(3701.0), s(1.0), false);
+        assert_eq!(d.hourly_occupancy(0), s(1.0));
+        assert_eq!(d.hourly_occupancy(1), s(2.0));
+        assert_eq!(d.hourly_occupancy(5), Seconds::ZERO);
+        assert_eq!(d.hourly_series().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward interval")]
+    fn inverted_span_panics() {
+        let _ = SpanDetector::new("bad", EdgeId(0), m(10.0), m(5.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Longitudinal vehicle energy model.
+//!
+//! The paper's Eq. 2 needs each OLEV's state of charge, which drains as the
+//! vehicle drives. This module supplies the physics: traction power from the
+//! standard road-load equation (inertia + rolling resistance + aerodynamic
+//! drag), drivetrain efficiency on propulsion, partial recuperation on
+//! braking, and a constant auxiliary load. Combined with the simulator's
+//! speed traces it closes the traffic → battery loop used by the WPT
+//! co-simulation.
+
+use oes_units::{KilowattHours, Kilowatts, MetersPerSecond, Seconds};
+
+/// Standard gravity, m/s².
+const GRAVITY: f64 = 9.81;
+/// Air density at sea level, kg/m³.
+const AIR_DENSITY: f64 = 1.225;
+
+/// Road-load parameters of one vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EnergyModel {
+    /// Vehicle mass in kilograms (including payload).
+    pub mass_kg: f64,
+    /// Aerodynamic drag coefficient `C_d`.
+    pub drag_coefficient: f64,
+    /// Frontal area in square meters.
+    pub frontal_area_m2: f64,
+    /// Rolling-resistance coefficient `C_rr`.
+    pub rolling_resistance: f64,
+    /// Battery-to-wheel efficiency on propulsion, in `(0, 1]`.
+    pub drivetrain_efficiency: f64,
+    /// Wheel-to-battery efficiency on regenerative braking, in `[0, 1]`.
+    pub regen_efficiency: f64,
+    /// Constant auxiliary draw (HVAC, electronics), kW.
+    pub auxiliary_kw: f64,
+}
+
+impl EnergyModel {
+    /// The Chevy Spark EV preset matching the paper's battery choice:
+    /// ≈1 360 kg curb weight, `C_d` 0.326, 2.17 m² frontal area.
+    #[must_use]
+    pub fn chevy_spark_ev() -> Self {
+        Self {
+            mass_kg: 1360.0,
+            drag_coefficient: 0.326,
+            frontal_area_m2: 2.17,
+            rolling_resistance: 0.009,
+            drivetrain_efficiency: 0.88,
+            regen_efficiency: 0.60,
+            auxiliary_kw: 0.4,
+        }
+    }
+
+    /// Validates physical plausibility.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.mass_kg > 0.0
+            && self.drag_coefficient > 0.0
+            && self.frontal_area_m2 > 0.0
+            && self.rolling_resistance >= 0.0
+            && self.drivetrain_efficiency > 0.0
+            && self.drivetrain_efficiency <= 1.0
+            && (0.0..=1.0).contains(&self.regen_efficiency)
+            && self.auxiliary_kw >= 0.0
+    }
+
+    /// Tractive force at the wheels for speed `v` and acceleration `a`
+    /// (newtons; negative while braking).
+    #[must_use]
+    pub fn tractive_force(&self, v: MetersPerSecond, accel_mps2: f64) -> f64 {
+        let v = v.value().max(0.0);
+        let inertial = self.mass_kg * accel_mps2;
+        let rolling = if v > 0.0 { self.mass_kg * GRAVITY * self.rolling_resistance } else { 0.0 };
+        let aero = 0.5 * AIR_DENSITY * self.drag_coefficient * self.frontal_area_m2 * v * v;
+        inertial + rolling + aero
+    }
+
+    /// Battery-side power demand for speed `v` and acceleration `a`.
+    ///
+    /// Positive while propelling (wheel power inflated by drivetrain
+    /// losses), negative while recuperating (wheel power deflated by regen
+    /// losses), always offset by the auxiliary draw.
+    #[must_use]
+    pub fn power_demand(&self, v: MetersPerSecond, accel_mps2: f64) -> Kilowatts {
+        let wheel_watts = self.tractive_force(v, accel_mps2) * v.value().max(0.0);
+        let battery_watts = if wheel_watts >= 0.0 {
+            wheel_watts / self.drivetrain_efficiency
+        } else {
+            wheel_watts * self.regen_efficiency
+        };
+        Kilowatts::new(battery_watts / 1000.0 + self.auxiliary_kw)
+    }
+
+    /// Battery energy drawn over one simulation step in which the vehicle
+    /// went from `v_before` to `v_after` (mean-value integration).
+    ///
+    /// Negative values are net recuperation.
+    #[must_use]
+    pub fn energy_over_step(
+        &self,
+        v_before: MetersPerSecond,
+        v_after: MetersPerSecond,
+        dt: Seconds,
+    ) -> KilowattHours {
+        let accel = (v_after.value() - v_before.value()) / dt.value().max(f64::EPSILON);
+        let v_mid = MetersPerSecond::new(0.5 * (v_before.value() + v_after.value()));
+        self.power_demand(v_mid, accel) * dt.to_hours()
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::chevy_spark_ev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> EnergyModel {
+        EnergyModel::chevy_spark_ev()
+    }
+
+    fn mps(v: f64) -> MetersPerSecond {
+        MetersPerSecond::new(v)
+    }
+
+    #[test]
+    fn preset_is_valid() {
+        assert!(m().is_valid());
+    }
+
+    #[test]
+    fn invalid_models_detected() {
+        let mut bad = m();
+        bad.drivetrain_efficiency = 0.0;
+        assert!(!bad.is_valid());
+        let mut bad = m();
+        bad.regen_efficiency = 1.5;
+        assert!(!bad.is_valid());
+        let mut bad = m();
+        bad.mass_kg = -1.0;
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn cruise_power_is_plausible() {
+        // Steady 60 mph (26.8 m/s): a small EV draws roughly 10–20 kW.
+        let p = m().power_demand(mps(26.8224), 0.0);
+        assert!((8.0..=25.0).contains(&p.value()), "cruise power {p}");
+    }
+
+    #[test]
+    fn power_grows_superlinearly_with_speed() {
+        // Aerodynamic drag: doubling speed should far more than double power.
+        let p1 = m().power_demand(mps(15.0), 0.0).value();
+        let p2 = m().power_demand(mps(30.0), 0.0).value();
+        assert!(p2 > 3.0 * p1, "p(30)={p2} vs p(15)={p1}");
+    }
+
+    #[test]
+    fn standstill_draw_is_auxiliary_only() {
+        let p = m().power_demand(mps(0.0), 0.0);
+        assert!((p.value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_braking_recuperates() {
+        let p = m().power_demand(mps(20.0), -3.0);
+        assert!(p.value() < 0.0, "expected net regen, got {p}");
+        // Regen returns less than the wheel energy (60% efficiency).
+        let wheel_kw = m().tractive_force(mps(20.0), -3.0) * 20.0 / 1000.0;
+        assert!(p.value() > wheel_kw, "regen must not exceed wheel power");
+    }
+
+    #[test]
+    fn acceleration_costs_more_than_cruise() {
+        let cruise = m().power_demand(mps(15.0), 0.0).value();
+        let accel = m().power_demand(mps(15.0), 2.0).value();
+        assert!(accel > cruise + 30.0, "inertia term missing: {accel} vs {cruise}");
+    }
+
+    #[test]
+    fn energy_over_step_integrates_midpoint() {
+        // One second at a steady 20 m/s equals power(20)/3600 kWh.
+        let e = m().energy_over_step(mps(20.0), mps(20.0), Seconds::new(1.0));
+        let expected = m().power_demand(mps(20.0), 0.0).value() / 3600.0;
+        assert!((e.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stop_and_go_costs_more_than_steady_distance() {
+        // Accelerate 0→14 then brake 14→0 vs holding 7 m/s for the same
+        // time: stop-and-go must cost net more despite regen.
+        let model = m();
+        let dt = Seconds::new(10.0);
+        let surge = model.energy_over_step(mps(0.0), mps(14.0), dt)
+            + model.energy_over_step(mps(14.0), mps(0.0), dt);
+        let steady = model.energy_over_step(mps(7.0), mps(7.0), dt)
+            + model.energy_over_step(mps(7.0), mps(7.0), dt);
+        assert!(surge.value() > steady.value(), "{surge:?} vs {steady:?}");
+    }
+}

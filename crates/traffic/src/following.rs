@@ -1,0 +1,218 @@
+//! Car-following models: Krauss (SUMO's default) and the Intelligent Driver
+//! Model (IDM).
+//!
+//! A model computes the speed a vehicle adopts for the next step from its
+//! current speed, its desired speed, and the situation ahead (bumper gap and
+//! leader speed). Models are pure: the driver-imperfection noise sample is
+//! passed in by the engine so every model stays deterministic under a seeded
+//! RNG.
+
+use oes_units::{Meters, MetersPerSecond, Seconds};
+
+use crate::vehicle::VehicleParams;
+
+/// The situation ahead of a vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ahead {
+    /// Net (bumper-to-bumper) gap to the obstacle ahead.
+    pub gap: Meters,
+    /// Speed of the obstacle ahead (zero for a red light's stop line).
+    pub leader_speed: MetersPerSecond,
+}
+
+/// A car-following model.
+pub trait CarFollowing {
+    /// The speed adopted for the next step of length `dt`.
+    ///
+    /// `desired` is the free-flow target (min of the vehicle's max speed and
+    /// the edge limit); `ahead` is `None` on an open road. `noise` is a
+    /// uniform sample in `[0, 1]` used for driver imperfection.
+    fn next_speed(
+        &self,
+        params: &VehicleParams,
+        speed: MetersPerSecond,
+        desired: MetersPerSecond,
+        ahead: Option<Ahead>,
+        dt: Seconds,
+        noise: f64,
+    ) -> MetersPerSecond;
+
+    /// A short model name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The Krauss (1997) model, SUMO's default.
+///
+/// `v_safe = v_l + (g − v_l·τ) / (v̄/b + τ)` with `v̄ = (v + v_l)/2`;
+/// `v_des = min(v_max, v + a·Δt, v_safe)`;
+/// `v' = max(0, v_des − σ·a·Δt·η)` with `η ~ U[0, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Krauss;
+
+impl CarFollowing for Krauss {
+    fn next_speed(
+        &self,
+        params: &VehicleParams,
+        speed: MetersPerSecond,
+        desired: MetersPerSecond,
+        ahead: Option<Ahead>,
+        dt: Seconds,
+        noise: f64,
+    ) -> MetersPerSecond {
+        let v = speed.value();
+        let v_safe = match ahead {
+            Some(a) => {
+                let g = (a.gap - params.min_gap).value().max(0.0);
+                let vl = a.leader_speed.value();
+                let v_bar = 0.5 * (v + vl);
+                vl + (g - vl * params.tau) / (v_bar / params.decel + params.tau)
+            }
+            None => f64::INFINITY,
+        };
+        let v_des = desired.value().min(v + params.accel * dt.value()).min(v_safe);
+        let dawdled = v_des - params.sigma * params.accel * dt.value() * noise.clamp(0.0, 1.0);
+        MetersPerSecond::new(dawdled.max(0.0))
+    }
+
+    fn name(&self) -> &str {
+        "krauss"
+    }
+}
+
+/// The Intelligent Driver Model (Treiber, Hennecke, Helbing 2000).
+///
+/// `dv/dt = a·[1 − (v/v₀)^δ − (s*/s)²]` with desired dynamic gap
+/// `s* = s₀ + max(0, v·T + v·Δv / (2√(a·b)))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Idm {
+    /// Free-acceleration exponent δ (4.0 in the original paper).
+    pub delta: f64,
+}
+
+impl Default for Idm {
+    fn default() -> Self {
+        Self { delta: 4.0 }
+    }
+}
+
+impl CarFollowing for Idm {
+    fn next_speed(
+        &self,
+        params: &VehicleParams,
+        speed: MetersPerSecond,
+        desired: MetersPerSecond,
+        ahead: Option<Ahead>,
+        dt: Seconds,
+        _noise: f64,
+    ) -> MetersPerSecond {
+        let v = speed.value();
+        let v0 = desired.value().max(f64::EPSILON);
+        let free = 1.0 - (v / v0).powf(self.delta);
+        let interaction = match ahead {
+            Some(a) => {
+                let s = a.gap.value().max(0.01);
+                let dv = v - a.leader_speed.value();
+                let s_star = params.min_gap.value()
+                    + (v * params.tau + v * dv / (2.0 * (params.accel * params.decel).sqrt()))
+                        .max(0.0);
+                (s_star / s).powi(2)
+            }
+            None => 0.0,
+        };
+        let accel = params.accel * (free - interaction);
+        MetersPerSecond::new((v + accel * dt.value()).max(0.0))
+    }
+
+    fn name(&self) -> &str {
+        "idm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> VehicleParams {
+        VehicleParams::deterministic()
+    }
+
+    fn mps(v: f64) -> MetersPerSecond {
+        MetersPerSecond::new(v)
+    }
+
+    const DT: Seconds = Seconds::new(1.0);
+
+    #[test]
+    fn krauss_accelerates_on_open_road() {
+        let v = Krauss.next_speed(&p(), mps(0.0), mps(13.9), None, DT, 0.0);
+        assert!((v.value() - p().accel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn krauss_respects_desired_speed() {
+        let v = Krauss.next_speed(&p(), mps(13.9), mps(13.9), None, DT, 0.0);
+        assert_eq!(v, mps(13.9));
+    }
+
+    #[test]
+    fn krauss_stops_for_standing_obstacle_at_zero_gap() {
+        let ahead = Ahead { gap: p().min_gap, leader_speed: mps(0.0) };
+        let v = Krauss.next_speed(&p(), mps(10.0), mps(13.9), Some(ahead), DT, 0.0);
+        assert_eq!(v, mps(0.0));
+    }
+
+    #[test]
+    fn krauss_slows_when_approaching_stopped_leader() {
+        let ahead = Ahead { gap: Meters::new(20.0), leader_speed: mps(0.0) };
+        let v = Krauss.next_speed(&p(), mps(15.0), mps(15.0), Some(ahead), DT, 0.0);
+        assert!(v.value() < 15.0);
+        assert!(v.value() > 0.0);
+    }
+
+    #[test]
+    fn krauss_dawdling_reduces_speed() {
+        let mut params = p();
+        params.sigma = 0.5;
+        let calm = Krauss.next_speed(&params, mps(5.0), mps(13.9), None, DT, 0.0);
+        let dawdle = Krauss.next_speed(&params, mps(5.0), mps(13.9), None, DT, 1.0);
+        assert!(dawdle.value() < calm.value());
+        assert!((calm.value() - dawdle.value() - 0.5 * params.accel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn krauss_never_negative() {
+        let ahead = Ahead { gap: Meters::ZERO, leader_speed: mps(0.0) };
+        let v = Krauss.next_speed(&p(), mps(0.0), mps(13.9), Some(ahead), DT, 1.0);
+        assert_eq!(v, mps(0.0));
+    }
+
+    #[test]
+    fn krauss_follows_moving_leader_at_its_speed_when_spaced() {
+        // With a leader at the same speed and a comfortable gap, the follower
+        // may exceed the leader slightly but never brake to a halt.
+        let ahead = Ahead { gap: Meters::new(30.0), leader_speed: mps(10.0) };
+        let v = Krauss.next_speed(&p(), mps(10.0), mps(13.9), Some(ahead), DT, 0.0);
+        assert!(v.value() > 9.0);
+    }
+
+    #[test]
+    fn idm_accelerates_on_open_road_and_saturates() {
+        let v1 = Idm::default().next_speed(&p(), mps(0.0), mps(13.9), None, DT, 0.0);
+        assert!((v1.value() - p().accel).abs() < 1e-9);
+        let v2 = Idm::default().next_speed(&p(), mps(13.9), mps(13.9), None, DT, 0.0);
+        assert!((v2.value() - 13.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idm_brakes_near_stopped_leader() {
+        let ahead = Ahead { gap: Meters::new(5.0), leader_speed: mps(0.0) };
+        let v = Idm::default().next_speed(&p(), mps(10.0), mps(13.9), Some(ahead), DT, 0.0);
+        assert!(v.value() < 10.0);
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(Krauss.name(), "krauss");
+        assert_eq!(Idm::default().name(), "idm");
+    }
+}

@@ -1,0 +1,275 @@
+//! The road network: a directed graph of edges with lengths and speed
+//! limits, the substrate vehicles move over.
+
+use core::fmt;
+
+use oes_units::{Meters, MetersPerSecond};
+
+/// Identifies a node (intersection or dead end) in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub usize);
+
+/// Identifies a directed edge (one-way road segment) in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge#{}", self.0)
+    }
+}
+
+/// A directed road segment between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Edge {
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Segment length.
+    pub length: Meters,
+    /// Posted speed limit; vehicles never exceed it.
+    pub speed_limit: MetersPerSecond,
+    /// Number of parallel lanes (≥ 1); lane 0 is the rightmost.
+    pub lanes: u32,
+}
+
+/// Errors from network construction and lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkError {
+    /// An edge referenced a node id that does not exist.
+    UnknownNode(NodeId),
+    /// A lookup referenced an edge id that does not exist.
+    UnknownEdge(EdgeId),
+    /// An edge had a non-positive length or speed limit.
+    InvalidEdge(EdgeId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Self::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            Self::InvalidEdge(e) => write!(f, "invalid geometry on edge {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A directed road graph.
+///
+/// Nodes are created implicitly by [`RoadNetwork::add_node`]; edges connect
+/// them. The network is append-only — scenarios are built once, then
+/// simulated.
+///
+/// # Examples
+///
+/// ```
+/// use oes_traffic::network::RoadNetwork;
+/// use oes_units::{Meters, MetersPerSecond};
+///
+/// let mut net = RoadNetwork::new();
+/// let a = net.add_node();
+/// let b = net.add_node();
+/// let e = net.add_edge(a, b, Meters::new(300.0), MetersPerSecond::new(13.9))?;
+/// assert_eq!(net.edge(e)?.length, Meters::new(300.0));
+/// # Ok::<(), oes_traffic::network::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoadNetwork {
+    node_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl RoadNetwork {
+    /// Creates an empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Adds a single-lane directed edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownNode`] if either endpoint does not
+    /// exist, or [`NetworkError::InvalidEdge`] if `length` or `speed_limit`
+    /// is not strictly positive and finite.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        length: Meters,
+        speed_limit: MetersPerSecond,
+    ) -> Result<EdgeId, NetworkError> {
+        self.add_edge_with_lanes(from, to, length, speed_limit, 1)
+    }
+
+    /// Adds a directed edge with `lanes` parallel lanes.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoadNetwork::add_edge`]; additionally rejects `lanes == 0`.
+    pub fn add_edge_with_lanes(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        length: Meters,
+        speed_limit: MetersPerSecond,
+        lanes: u32,
+    ) -> Result<EdgeId, NetworkError> {
+        if from.0 >= self.node_count {
+            return Err(NetworkError::UnknownNode(from));
+        }
+        if to.0 >= self.node_count {
+            return Err(NetworkError::UnknownNode(to));
+        }
+        let id = EdgeId(self.edges.len());
+        let geometry_ok = length.value() > 0.0
+            && length.is_finite()
+            && speed_limit.value() > 0.0
+            && speed_limit.is_finite()
+            && lanes > 0;
+        if !geometry_ok {
+            return Err(NetworkError::InvalidEdge(id));
+        }
+        self.edges.push(Edge { from, to, length, speed_limit, lanes });
+        Ok(id)
+    }
+
+    /// Looks up an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownEdge`] for an out-of-range id.
+    pub fn edge(&self, id: EdgeId) -> Result<&Edge, NetworkError> {
+        self.edges.get(id.0).ok_or(NetworkError::UnknownEdge(id))
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges, indexed by `EdgeId`.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Total length of a route (a sequence of edge ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownEdge`] if any id is out of range.
+    pub fn route_length(&self, route: &[EdgeId]) -> Result<Meters, NetworkError> {
+        let mut total = Meters::ZERO;
+        for &e in route {
+            total += self.edge(e)?.length;
+        }
+        Ok(total)
+    }
+
+    /// Checks that a route is connected: each edge starts where the previous
+    /// one ended.
+    #[must_use]
+    pub fn route_is_connected(&self, route: &[EdgeId]) -> bool {
+        route.windows(2).all(|w| {
+            match (self.edge(w[0]), self.edge(w[1])) {
+                (Ok(a), Ok(b)) => a.to == b.from,
+                _ => false,
+            }
+        }) && route.iter().all(|&e| self.edge(e).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net3() -> (RoadNetwork, Vec<EdgeId>) {
+        let mut net = RoadNetwork::new();
+        let nodes: Vec<_> = (0..4).map(|_| net.add_node()).collect();
+        let edges = nodes
+            .windows(2)
+            .map(|w| {
+                net.add_edge(w[0], w[1], Meters::new(100.0), MetersPerSecond::new(10.0)).unwrap()
+            })
+            .collect();
+        (net, edges)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (net, edges) = net3();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.edge_count(), 3);
+        assert_eq!(net.edge(edges[1]).unwrap().from, NodeId(1));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let err = net
+            .add_edge(a, NodeId(9), Meters::new(1.0), MetersPerSecond::new(1.0))
+            .unwrap_err();
+        assert_eq!(err, NetworkError::UnknownNode(NodeId(9)));
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        assert!(net.add_edge(a, b, Meters::new(0.0), MetersPerSecond::new(1.0)).is_err());
+        assert!(net.add_edge(a, b, Meters::new(1.0), MetersPerSecond::new(-1.0)).is_err());
+        assert!(net
+            .add_edge(a, b, Meters::new(f64::INFINITY), MetersPerSecond::new(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_edge_lookup() {
+        let (net, _) = net3();
+        assert_eq!(net.edge(EdgeId(99)).unwrap_err(), NetworkError::UnknownEdge(EdgeId(99)));
+    }
+
+    #[test]
+    fn route_length_and_connectivity() {
+        let (net, edges) = net3();
+        assert_eq!(net.route_length(&edges).unwrap(), Meters::new(300.0));
+        assert!(net.route_is_connected(&edges));
+        let reversed: Vec<_> = edges.iter().rev().copied().collect();
+        assert!(!net.route_is_connected(&reversed));
+        assert!(net.route_is_connected(&[]));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(NetworkError::UnknownEdge(EdgeId(2)).to_string(), "unknown edge edge#2");
+    }
+}

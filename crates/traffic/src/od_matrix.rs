@@ -1,0 +1,263 @@
+//! Origin–destination demand matrices and the gravity model.
+//!
+//! Corridor scenarios take raw hourly counts; network scenarios need trip
+//! tables. This module provides the standard pipeline: a doubly-constrained
+//! **gravity model** (trips ∝ production × attraction × impedance) balanced
+//! by iterative proportional fitting (Furness), yielding an [`OdMatrix`]
+//! whose row/column sums match the given productions and attractions. The
+//! matrix splits into per-pair hourly counts for
+//! [`crate::grid_network::GridNetwork::add_od_demand`].
+
+use crate::counts::HourlyCounts;
+
+/// A trip table: `trips[i][j]` trips per hour from origin `i` to
+/// destination `j`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OdMatrix {
+    trips: Vec<Vec<f64>>,
+}
+
+impl OdMatrix {
+    /// Creates a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged, or any cell is negative/NaN.
+    #[must_use]
+    pub fn new(trips: Vec<Vec<f64>>) -> Self {
+        assert!(!trips.is_empty() && !trips[0].is_empty(), "matrix must be non-empty");
+        let cols = trips[0].len();
+        for row in &trips {
+            assert_eq!(row.len(), cols, "ragged OD matrix");
+            assert!(row.iter().all(|t| t.is_finite() && *t >= 0.0), "invalid trip cell");
+        }
+        Self { trips }
+    }
+
+    /// Number of origins (rows).
+    #[must_use]
+    pub fn origins(&self) -> usize {
+        self.trips.len()
+    }
+
+    /// Number of destinations (columns).
+    #[must_use]
+    pub fn destinations(&self) -> usize {
+        self.trips[0].len()
+    }
+
+    /// Trips from `i` to `j` per hour.
+    #[must_use]
+    pub fn trips(&self, i: usize, j: usize) -> f64 {
+        self.trips[i][j]
+    }
+
+    /// Row sums (trip productions per origin).
+    #[must_use]
+    pub fn productions(&self) -> Vec<f64> {
+        self.trips.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Column sums (trip attractions per destination).
+    #[must_use]
+    pub fn attractions(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.destinations()];
+        for row in &self.trips {
+            for (j, t) in row.iter().enumerate() {
+                out[j] += t;
+            }
+        }
+        out
+    }
+
+    /// Total trips per hour.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.trips.iter().flatten().sum()
+    }
+
+    /// An hourly count profile for one OD pair: the pair's hourly rate
+    /// modulated by a 24-value diurnal shape (each shape value multiplies
+    /// the base rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or the shape is empty.
+    #[must_use]
+    pub fn hourly_counts(&self, i: usize, j: usize, diurnal_shape: &[f64]) -> HourlyCounts {
+        assert!(!diurnal_shape.is_empty(), "need a diurnal shape");
+        let base = self.trips(i, j);
+        HourlyCounts::new(
+            diurnal_shape.iter().map(|f| (base * f).round().max(0.0) as u32).collect(),
+        )
+    }
+}
+
+/// Doubly-constrained gravity model:
+/// `T_ij = a_i · b_j · P_i · A_j · f(c_ij)` with balancing factors found by
+/// iterative proportional fitting until row/column sums match `productions`
+/// and `attractions` within `tolerance`.
+///
+/// `impedance[i][j]` is the deterrence `f(c_ij)` (e.g. `exp(−c/c₀)`).
+/// Attractions are rescaled to the production total first (the standard
+/// consistency fix).
+///
+/// # Panics
+///
+/// Panics on dimension mismatches, non-positive totals, or non-finite
+/// inputs.
+#[must_use]
+pub fn gravity_model(
+    productions: &[f64],
+    attractions: &[f64],
+    impedance: &[Vec<f64>],
+    tolerance: f64,
+) -> OdMatrix {
+    let n = productions.len();
+    let m = attractions.len();
+    assert!(n > 0 && m > 0, "need at least one origin and destination");
+    assert_eq!(impedance.len(), n, "impedance rows mismatch");
+    assert!(impedance.iter().all(|r| r.len() == m), "impedance cols mismatch");
+    let p_total: f64 = productions.iter().sum();
+    let a_total: f64 = attractions.iter().sum();
+    assert!(p_total > 0.0 && a_total > 0.0, "totals must be positive");
+    // Rescale attractions to match the production total.
+    let attractions: Vec<f64> = attractions.iter().map(|a| a * p_total / a_total).collect();
+
+    // Seed: T_ij = P_i A_j f_ij / total, then Furness-balance.
+    let mut trips: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..m)
+                .map(|j| productions[i] * attractions[j] * impedance[i][j].max(0.0) / p_total)
+                .collect()
+        })
+        .collect();
+    for _ in 0..200 {
+        // Row scaling.
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let sum: f64 = trips[i].iter().sum();
+            if sum > 0.0 {
+                let scale = productions[i] / sum;
+                worst = worst.max((scale - 1.0).abs());
+                for t in &mut trips[i] {
+                    *t *= scale;
+                }
+            }
+        }
+        // Column scaling.
+        for j in 0..m {
+            let sum: f64 = trips.iter().map(|row| row[j]).sum();
+            if sum > 0.0 {
+                let scale = attractions[j] / sum;
+                worst = worst.max((scale - 1.0).abs());
+                for row in &mut trips {
+                    row[j] *= scale;
+                }
+            }
+        }
+        if worst < tolerance {
+            break;
+        }
+    }
+    OdMatrix::new(trips)
+}
+
+/// The classic negative-exponential deterrence `f(c) = exp(−c / scale)` over
+/// a cost matrix.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[must_use]
+pub fn exponential_impedance(costs: &[Vec<f64>], scale: f64) -> Vec<Vec<f64>> {
+    assert!(scale > 0.0, "impedance scale must be positive");
+    costs.iter().map(|row| row.iter().map(|c| (-c / scale).exp()).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_impedance(n: usize, m: usize) -> Vec<Vec<f64>> {
+        vec![vec![1.0; m]; n]
+    }
+
+    #[test]
+    fn gravity_matches_marginals() {
+        let p = [300.0, 500.0, 200.0];
+        let a = [400.0, 600.0];
+        let costs = vec![vec![2.0, 5.0], vec![4.0, 1.0], vec![3.0, 3.0]];
+        let od = gravity_model(&p, &a, &exponential_impedance(&costs, 3.0), 1e-9);
+        for (i, prod) in od.productions().iter().enumerate() {
+            assert!((prod - p[i]).abs() < 1e-6, "row {i}: {prod} vs {}", p[i]);
+        }
+        for (j, attr) in od.attractions().iter().enumerate() {
+            assert!((attr - a[j]).abs() < 1e-6, "col {j}: {attr} vs {}", a[j]);
+        }
+        assert!((od.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attractions_are_rescaled_when_inconsistent() {
+        // Attractions sum to 2000 but productions only to 1000: the model
+        // scales attractions down and still balances.
+        let od = gravity_model(
+            &[600.0, 400.0],
+            &[800.0, 1200.0],
+            &uniform_impedance(2, 2),
+            1e-9,
+        );
+        assert!((od.total() - 1000.0).abs() < 1e-6);
+        let attr = od.attractions();
+        assert!((attr[0] - 400.0).abs() < 1e-6);
+        assert!((attr[1] - 600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impedance_steers_trips_to_nearby_destinations() {
+        // Origin 0 is close to destination 0 and far from 1; vice versa for
+        // origin 1. Trips should concentrate on the near pairs.
+        let costs = vec![vec![1.0, 10.0], vec![10.0, 1.0]];
+        let od = gravity_model(
+            &[500.0, 500.0],
+            &[500.0, 500.0],
+            &exponential_impedance(&costs, 3.0),
+            1e-9,
+        );
+        assert!(od.trips(0, 0) > 3.0 * od.trips(0, 1));
+        assert!(od.trips(1, 1) > 3.0 * od.trips(1, 0));
+    }
+
+    #[test]
+    fn uniform_impedance_gives_proportional_split() {
+        let od = gravity_model(
+            &[100.0, 300.0],
+            &[200.0, 200.0],
+            &uniform_impedance(2, 2),
+            1e-9,
+        );
+        // Each origin splits its production in the attraction ratio (1:1).
+        assert!((od.trips(0, 0) - 50.0).abs() < 1e-6);
+        assert!((od.trips(1, 1) - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hourly_counts_modulate_by_shape() {
+        let od = OdMatrix::new(vec![vec![100.0]]);
+        let counts = od.hourly_counts(0, 0, &[0.5, 1.0, 2.0]);
+        assert_eq!(counts.as_slice(), &[50, 100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged OD matrix")]
+    fn ragged_matrix_panics() {
+        let _ = OdMatrix::new(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "totals must be positive")]
+    fn zero_productions_panic() {
+        let _ = gravity_model(&[0.0], &[1.0], &uniform_impedance(1, 1), 1e-9);
+    }
+}

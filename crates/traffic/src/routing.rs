@@ -1,0 +1,197 @@
+//! Route planning over a [`RoadNetwork`]: free-flow shortest paths and
+//! origin–destination demand.
+//!
+//! The corridor scenarios hard-code their routes; general networks need a
+//! planner. [`shortest_path`] runs Dijkstra on free-flow travel time
+//! (`length / speed_limit` per edge), which is also the natural base for
+//! the OLEV path-planning experiments (see `oes-game`'s routing module).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use oes_units::Seconds;
+
+use crate::network::{EdgeId, NetworkError, NodeId, RoadNetwork};
+
+/// Free-flow traversal time of one edge.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::UnknownEdge`] for an invalid id.
+pub fn edge_travel_time(net: &RoadNetwork, edge: EdgeId) -> Result<Seconds, NetworkError> {
+    let e = net.edge(edge)?;
+    Ok(e.length / e.speed_limit)
+}
+
+/// Free-flow travel time of a whole route.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::UnknownEdge`] if any id is invalid.
+pub fn route_travel_time(net: &RoadNetwork, route: &[EdgeId]) -> Result<Seconds, NetworkError> {
+    let mut total = Seconds::ZERO;
+    for &e in route {
+        total += edge_travel_time(net, e)?;
+    }
+    Ok(total)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost, tie-broken by node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path by free-flow travel time.
+///
+/// Returns the edge sequence from `from` to `to`, or `None` when `to` is
+/// unreachable. An empty route is returned when `from == to`.
+#[must_use]
+pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<EdgeId>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let n = net.node_count();
+    if from.0 >= n || to.0 >= n {
+        return None;
+    }
+    // Adjacency: outgoing (edge index, target, cost) per node.
+    let mut adjacency: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); n];
+    for (idx, e) in net.edges().iter().enumerate() {
+        let cost = (e.length / e.speed_limit).value();
+        adjacency[e.from.0].push((idx, e.to.0, cost));
+    }
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut incoming: Vec<Option<usize>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.0] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: from.0 });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node] {
+            continue;
+        }
+        if node == to.0 {
+            break;
+        }
+        for &(edge_idx, next, edge_cost) in &adjacency[node] {
+            let candidate = cost + edge_cost;
+            if candidate < dist[next] {
+                dist[next] = candidate;
+                incoming[next] = Some(edge_idx);
+                heap.push(HeapEntry { cost: candidate, node: next });
+            }
+        }
+    }
+    if dist[to.0].is_infinite() {
+        return None;
+    }
+    // Walk the incoming edges back to the origin.
+    let mut route = Vec::new();
+    let mut node = to.0;
+    while node != from.0 {
+        let edge_idx = incoming[node].expect("reached nodes have an incoming edge");
+        route.push(EdgeId(edge_idx));
+        node = net.edges()[edge_idx].from.0;
+    }
+    route.reverse();
+    Some(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oes_units::{Meters, MetersPerSecond};
+
+    /// A diamond: a → b (fast) → d, a → c (slow but short) → d.
+    fn diamond() -> (RoadNetwork, [NodeId; 4], [EdgeId; 4]) {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        let d = net.add_node();
+        let ab = net.add_edge(a, b, Meters::new(1000.0), MetersPerSecond::new(25.0)).unwrap();
+        let bd = net.add_edge(b, d, Meters::new(1000.0), MetersPerSecond::new(25.0)).unwrap();
+        let ac = net.add_edge(a, c, Meters::new(700.0), MetersPerSecond::new(8.0)).unwrap();
+        let cd = net.add_edge(c, d, Meters::new(700.0), MetersPerSecond::new(8.0)).unwrap();
+        (net, [a, b, c, d], [ab, bd, ac, cd])
+    }
+
+    #[test]
+    fn picks_the_faster_route_not_the_shorter() {
+        let (net, nodes, edges) = diamond();
+        // Fast: 2000 m / 25 = 80 s; short: 1400 m / 8 = 175 s.
+        let route = shortest_path(&net, nodes[0], nodes[3]).unwrap();
+        assert_eq!(route, vec![edges[0], edges[1]]);
+        let t = route_travel_time(&net, &route).unwrap();
+        assert!((t.value() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let (mut net, nodes, _) = diamond();
+        let island = net.add_node();
+        assert_eq!(shortest_path(&net, nodes[0], island), None);
+        // Edges are directed: d cannot reach a.
+        assert_eq!(shortest_path(&net, nodes[3], nodes[0]), None);
+    }
+
+    #[test]
+    fn same_node_is_empty_route() {
+        let (net, nodes, _) = diamond();
+        assert_eq!(shortest_path(&net, nodes[0], nodes[0]), Some(vec![]));
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_none() {
+        let (net, nodes, _) = diamond();
+        assert_eq!(shortest_path(&net, nodes[0], NodeId(99)), None);
+        assert_eq!(shortest_path(&net, NodeId(99), nodes[0]), None);
+    }
+
+    #[test]
+    fn routes_are_connected_and_timed() {
+        let (net, nodes, _) = diamond();
+        let route = shortest_path(&net, nodes[0], nodes[3]).unwrap();
+        assert!(net.route_is_connected(&route));
+        assert!(route_travel_time(&net, &route).unwrap().value() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_on_exact_ties() {
+        // Two identical parallel paths: the planner must pick the same one
+        // every time (lowest edge index wins through the relaxation order).
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let b1 = net.add_node();
+        let b2 = net.add_node();
+        let d = net.add_node();
+        for mid in [b1, b2] {
+            net.add_edge(a, mid, Meters::new(500.0), MetersPerSecond::new(10.0)).unwrap();
+            net.add_edge(mid, d, Meters::new(500.0), MetersPerSecond::new(10.0)).unwrap();
+        }
+        let first = shortest_path(&net, a, d).unwrap();
+        for _ in 0..10 {
+            assert_eq!(shortest_path(&net, a, d).unwrap(), first);
+        }
+    }
+}

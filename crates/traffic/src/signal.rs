@@ -1,0 +1,136 @@
+//! Fixed-cycle traffic signals.
+//!
+//! A signal guards the downstream end of an edge: when red, vehicles treat
+//! the stop line as a standing obstacle. The queues red phases build are what
+//! separates the paper's "at traffic light" from "at middle" charging-section
+//! placements in Fig. 3.
+
+use oes_units::Seconds;
+
+/// A fixed two-phase signal plan: green for `green`, then red for `red`,
+/// repeating, shifted by `offset` into the cycle at time zero.
+///
+/// # Examples
+///
+/// ```
+/// use oes_traffic::signal::SignalPlan;
+/// use oes_units::Seconds;
+///
+/// let plan = SignalPlan::new(Seconds::new(30.0), Seconds::new(30.0), Seconds::ZERO);
+/// assert!(plan.is_green(Seconds::new(10.0)));
+/// assert!(!plan.is_green(Seconds::new(40.0)));
+/// assert!(plan.is_green(Seconds::new(70.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SignalPlan {
+    green: f64,
+    red: f64,
+    offset: f64,
+}
+
+impl SignalPlan {
+    /// Creates a plan with the given green and red durations and offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is negative or the cycle is empty.
+    #[must_use]
+    pub fn new(green: Seconds, red: Seconds, offset: Seconds) -> Self {
+        assert!(green.value() >= 0.0 && red.value() >= 0.0, "negative signal phase");
+        assert!(green.value() + red.value() > 0.0, "empty signal cycle");
+        Self { green: green.value(), red: red.value(), offset: offset.value() }
+    }
+
+    /// A plan that is always green (an unsignalized node).
+    #[must_use]
+    pub fn always_green() -> Self {
+        Self { green: 1.0, red: 0.0, offset: 0.0 }
+    }
+
+    /// Cycle length.
+    #[must_use]
+    pub fn cycle(&self) -> Seconds {
+        Seconds::new(self.green + self.red)
+    }
+
+    /// Whether the signal shows green at simulation time `t`.
+    #[must_use]
+    pub fn is_green(&self, t: Seconds) -> bool {
+        let phase = (t.value() + self.offset).rem_euclid(self.green + self.red);
+        phase < self.green
+    }
+
+    /// Time until the next green onset at time `t`; zero if already green.
+    #[must_use]
+    pub fn time_to_green(&self, t: Seconds) -> Seconds {
+        if self.is_green(t) {
+            return Seconds::ZERO;
+        }
+        let cycle = self.green + self.red;
+        let phase = (t.value() + self.offset).rem_euclid(cycle);
+        Seconds::new(cycle - phase)
+    }
+
+    /// Fraction of the cycle that is green.
+    #[must_use]
+    pub fn green_ratio(&self) -> f64 {
+        self.green / (self.green + self.red)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let p = SignalPlan::new(s(30.0), s(45.0), Seconds::ZERO);
+        assert!(p.is_green(s(0.0)));
+        assert!(p.is_green(s(29.9)));
+        assert!(!p.is_green(s(30.0)));
+        assert!(!p.is_green(s(74.9)));
+        assert!(p.is_green(s(75.0)));
+        assert_eq!(p.cycle(), s(75.0));
+    }
+
+    #[test]
+    fn offset_shifts_the_cycle() {
+        let p = SignalPlan::new(s(30.0), s(30.0), s(30.0));
+        // At t = 0 the shifted phase is 30 s in, i.e. red.
+        assert!(!p.is_green(s(0.0)));
+        assert!(p.is_green(s(30.0)));
+    }
+
+    #[test]
+    fn time_to_green_counts_down() {
+        let p = SignalPlan::new(s(30.0), s(30.0), Seconds::ZERO);
+        assert_eq!(p.time_to_green(s(10.0)), Seconds::ZERO);
+        assert_eq!(p.time_to_green(s(30.0)), s(30.0));
+        assert_eq!(p.time_to_green(s(45.0)), s(15.0));
+    }
+
+    #[test]
+    fn always_green_never_reds() {
+        let p = SignalPlan::always_green();
+        for t in 0..1000 {
+            assert!(p.is_green(s(t as f64 * 0.37)));
+        }
+        assert_eq!(p.green_ratio(), 1.0);
+    }
+
+    #[test]
+    fn green_ratio() {
+        let p = SignalPlan::new(s(20.0), s(60.0), Seconds::ZERO);
+        assert_eq!(p.green_ratio(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty signal cycle")]
+    fn empty_cycle_panics() {
+        let _ = SignalPlan::new(Seconds::ZERO, Seconds::ZERO, Seconds::ZERO);
+    }
+}

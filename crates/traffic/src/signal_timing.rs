@@ -1,0 +1,222 @@
+//! Fixed-time signal optimization: Webster's method.
+//!
+//! The corridor scenarios use hand-picked green/red splits. Webster (1958)
+//! gives the classic closed forms for an isolated fixed-time intersection:
+//! the delay-minimizing cycle length `C₀ = (1.5·L + 5) / (1 − Y)` and green
+//! splits proportional to each phase's flow ratio, plus the uniform-delay
+//! estimate used to compare timings. The paper's future work ("placing
+//! charging sections at traffic lights") makes signal timing a first-class
+//! knob: it shapes exactly the queues a charging section harvests.
+
+use oes_units::Seconds;
+
+use crate::signal::SignalPlan;
+
+/// One signal phase's demand: arriving flow and the saturation flow the
+/// stop line can discharge at.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseDemand {
+    /// Arrival flow, vehicles/hour.
+    pub flow: f64,
+    /// Saturation flow, vehicles/hour of green (≈ 1 800–1 900 per lane).
+    pub saturation_flow: f64,
+}
+
+impl PhaseDemand {
+    /// The phase's flow ratio `y = q/s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saturation flow is not strictly positive.
+    #[must_use]
+    pub fn flow_ratio(&self) -> f64 {
+        assert!(self.saturation_flow > 0.0, "saturation flow must be positive");
+        (self.flow / self.saturation_flow).max(0.0)
+    }
+}
+
+/// A Webster-optimized timing for a two-phase (or more) intersection.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WebsterTiming {
+    /// Optimal cycle length.
+    pub cycle: Seconds,
+    /// Effective green per phase, in input order.
+    pub greens: Vec<Seconds>,
+    /// Total lost time used.
+    pub lost_time: Seconds,
+}
+
+impl WebsterTiming {
+    /// The [`SignalPlan`] for phase `i`: green for its split, red for the
+    /// rest of the cycle, offset so phases follow one another.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn plan_for_phase(&self, i: usize) -> SignalPlan {
+        let green = self.greens[i];
+        let red = self.cycle - green;
+        let offset: f64 = self.greens[..i].iter().map(|g| g.value()).sum();
+        SignalPlan::new(green, red, Seconds::new(-offset))
+    }
+}
+
+/// Errors from Webster optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingError {
+    /// No phases were supplied.
+    NoPhases,
+    /// Total flow ratio ≥ 1: the intersection is oversaturated and no fixed
+    /// cycle can serve the demand.
+    Oversaturated,
+}
+
+impl core::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoPhases => write!(f, "no signal phases supplied"),
+            Self::Oversaturated => write!(f, "total flow ratio at or above saturation"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// Webster's optimal fixed-time plan.
+///
+/// `lost_time_per_phase` covers start-up and clearance (≈ 4 s typical). The
+/// cycle is clamped into `[30 s, 180 s]` as practice does.
+///
+/// # Errors
+///
+/// [`TimingError::NoPhases`] on empty input; [`TimingError::Oversaturated`]
+/// when `Σ y ≥ 0.95` (no finite cycle works).
+pub fn webster_timing(
+    phases: &[PhaseDemand],
+    lost_time_per_phase: Seconds,
+) -> Result<WebsterTiming, TimingError> {
+    if phases.is_empty() {
+        return Err(TimingError::NoPhases);
+    }
+    let y: Vec<f64> = phases.iter().map(PhaseDemand::flow_ratio).collect();
+    let y_total: f64 = y.iter().sum();
+    if y_total >= 0.95 {
+        return Err(TimingError::Oversaturated);
+    }
+    let lost = lost_time_per_phase.value() * phases.len() as f64;
+    let cycle = ((1.5 * lost + 5.0) / (1.0 - y_total)).clamp(30.0, 180.0);
+    let green_total = cycle - lost;
+    let greens = y
+        .iter()
+        .map(|&yi| {
+            let share = if y_total > 0.0 { yi / y_total } else { 1.0 / phases.len() as f64 };
+            Seconds::new(green_total * share)
+        })
+        .collect();
+    Ok(WebsterTiming { cycle: Seconds::new(cycle), greens, lost_time: Seconds::new(lost) })
+}
+
+/// Webster's uniform-delay term for one phase (seconds per vehicle):
+/// `d₁ = C(1 − λ)² / (2(1 − λx))` with `λ = g/C` and `x = y/λ` the degree of
+/// saturation. Returns `None` when the phase is oversaturated (`x ≥ 1`),
+/// where the uniform term diverges.
+#[must_use]
+pub fn uniform_delay(cycle: Seconds, green: Seconds, demand: &PhaseDemand) -> Option<f64> {
+    let lambda = green.value() / cycle.value();
+    if lambda <= 0.0 {
+        return None;
+    }
+    let x = demand.flow_ratio() / lambda;
+    if x >= 1.0 {
+        return None;
+    }
+    Some(cycle.value() * (1.0 - lambda).powi(2) / (2.0 * (1.0 - lambda * x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(flow: f64) -> PhaseDemand {
+        PhaseDemand { flow, saturation_flow: 1800.0 }
+    }
+
+    #[test]
+    fn textbook_two_phase_example() {
+        // y = 0.25 each, Y = 0.5, L = 8 s ⇒ C₀ = (1.5·8 + 5)/0.5 = 34 s.
+        let t = webster_timing(&[phase(450.0), phase(450.0)], Seconds::new(4.0)).unwrap();
+        assert!((t.cycle.value() - 34.0).abs() < 1e-9);
+        // Equal flows split the 26 s of green evenly.
+        assert!((t.greens[0].value() - 13.0).abs() < 1e-9);
+        assert_eq!(t.greens.len(), 2);
+    }
+
+    #[test]
+    fn heavier_phase_gets_more_green() {
+        let t = webster_timing(&[phase(900.0), phase(300.0)], Seconds::new(4.0)).unwrap();
+        assert!(t.greens[0].value() > 2.5 * t.greens[1].value());
+        let total: f64 = t.greens.iter().map(|g| g.value()).sum();
+        assert!((total + t.lost_time.value() - t.cycle.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_grows_toward_saturation() {
+        let light = webster_timing(&[phase(300.0), phase(300.0)], Seconds::new(4.0)).unwrap();
+        let heavy = webster_timing(&[phase(800.0), phase(700.0)], Seconds::new(4.0)).unwrap();
+        assert!(heavy.cycle > light.cycle);
+    }
+
+    #[test]
+    fn oversaturation_is_rejected() {
+        assert_eq!(
+            webster_timing(&[phase(1000.0), phase(900.0)], Seconds::new(4.0)),
+            Err(TimingError::Oversaturated)
+        );
+        assert_eq!(webster_timing(&[], Seconds::new(4.0)), Err(TimingError::NoPhases));
+    }
+
+    #[test]
+    fn plans_tile_the_cycle() {
+        let t = webster_timing(&[phase(600.0), phase(400.0)], Seconds::new(4.0)).unwrap();
+        let p0 = t.plan_for_phase(0);
+        let p1 = t.plan_for_phase(1);
+        assert_eq!(p0.cycle(), t.cycle);
+        assert_eq!(p1.cycle(), t.cycle);
+        // Phase 0 green at the cycle start; phase 1 green right after.
+        assert!(p0.is_green(Seconds::new(1.0)));
+        assert!(!p1.is_green(Seconds::new(1.0)));
+        assert!(p1.is_green(t.greens[0] + Seconds::new(1.0)));
+    }
+
+    #[test]
+    fn webster_green_split_lowers_delay_vs_even_split() {
+        // Asymmetric demand: the optimized split must beat a 50/50 split on
+        // total flow-weighted uniform delay. (Asymmetry kept mild enough
+        // that the even split is not outright oversaturated.)
+        let demands = [phase(700.0), phase(350.0)];
+        let t = webster_timing(&demands, Seconds::new(4.0)).unwrap();
+        let optimized: f64 = demands
+            .iter()
+            .zip(&t.greens)
+            .map(|(d, g)| d.flow * uniform_delay(t.cycle, *g, d).unwrap())
+            .sum();
+        let even_green = Seconds::new((t.cycle.value() - t.lost_time.value()) / 2.0);
+        let even: f64 = demands
+            .iter()
+            .map(|d| d.flow * uniform_delay(t.cycle, even_green, d).unwrap())
+            .sum();
+        assert!(optimized < even, "webster {optimized} !< even {even}");
+    }
+
+    #[test]
+    fn uniform_delay_edge_cases() {
+        let d = phase(450.0);
+        assert!(uniform_delay(Seconds::new(60.0), Seconds::ZERO, &d).is_none());
+        // Oversaturated phase: y = 0.25, λ = 0.2 ⇒ x = 1.25.
+        assert!(uniform_delay(Seconds::new(60.0), Seconds::new(12.0), &d).is_none());
+        // A sane point: y = 0.25, λ = 0.5 ⇒ x = 0.5.
+        let delay = uniform_delay(Seconds::new(60.0), Seconds::new(30.0), &d).unwrap();
+        assert!((5.0..=15.0).contains(&delay), "delay {delay}");
+    }
+}

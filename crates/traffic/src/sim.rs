@@ -1,0 +1,901 @@
+//! The discrete-time simulation engine.
+//!
+//! A synchronous-update microscopic simulation: each step, every vehicle
+//! computes its next speed from the *previous* step's state (leader gap, red
+//! stop lines) through the configured car-following model, then all vehicles
+//! move. Two invariants are enforced as safety nets after movement and
+//! checked by tests:
+//!
+//! 1. **no collision** — a vehicle never overlaps its same-edge leader;
+//! 2. **no red-light running** — a vehicle never crosses a stop line while
+//!    its signal shows red.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use oes_units::{Meters, MetersPerSecond, Seconds};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::demand::PoissonArrivals;
+use crate::detector::SpanDetector;
+use crate::following::{Ahead, CarFollowing, Krauss};
+use crate::network::{EdgeId, NodeId, RoadNetwork};
+use crate::signal::SignalPlan;
+use crate::stats::HourlyAccumulator;
+use crate::vehicle::{Vehicle, VehicleId, VehicleParams};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimulationConfig {
+    /// Step length (SUMO's default is 1 s).
+    pub step: Seconds,
+    /// How far ahead (across edges) a vehicle looks for obstacles.
+    pub lookahead: Meters,
+    /// Clear space required behind the entry point to insert a new vehicle.
+    pub insertion_headway: Meters,
+    /// Minimum prospective speed gain (m/s) that makes a lane change worth
+    /// taking.
+    pub lane_change_gain: f64,
+    /// Cool-down between lane changes of one vehicle, seconds.
+    pub lane_change_cooldown: f64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            step: Seconds::new(1.0),
+            lookahead: Meters::new(150.0),
+            insertion_headway: Meters::new(8.0),
+            lane_change_gain: 0.8,
+            lane_change_cooldown: 5.0,
+        }
+    }
+}
+
+/// One demand stream: a Poisson arrival process that spawns vehicles with a
+/// given route and parameter set.
+#[derive(Debug)]
+struct DemandStream {
+    arrivals: PoissonArrivals,
+    route: Vec<EdgeId>,
+    params: VehicleParams,
+    /// The next arrival not yet released into the insertion queue.
+    pending: Option<Seconds>,
+}
+
+/// The microscopic traffic simulation.
+pub struct Simulation {
+    network: RoadNetwork,
+    signals: BTreeMap<usize, SignalPlan>,
+    model: Box<dyn CarFollowing + Send>,
+    config: SimulationConfig,
+    vehicles: BTreeMap<VehicleId, Vehicle>,
+    detectors: Vec<SpanDetector>,
+    detector_touched: HashSet<(VehicleId, usize)>,
+    demands: Vec<DemandStream>,
+    insert_queue: VecDeque<(Vec<EdgeId>, VehicleParams)>,
+    time: Seconds,
+    rng: ChaCha8Rng,
+    last_lane_change: BTreeMap<VehicleId, f64>,
+    next_vehicle_id: u64,
+    spawned: u64,
+    exited: u64,
+    spawns_per_hour: HourlyAccumulator,
+    exits_per_hour: HourlyAccumulator,
+}
+
+impl core::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("active", &self.vehicles.len())
+            .field("spawned", &self.spawned)
+            .field("exited", &self.exited)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation over `network` with the Krauss model and a
+    /// deterministic seed.
+    #[must_use]
+    pub fn new(network: RoadNetwork, config: SimulationConfig, seed: u64) -> Self {
+        Self {
+            network,
+            signals: BTreeMap::new(),
+            model: Box::new(Krauss),
+            config,
+            vehicles: BTreeMap::new(),
+            detectors: Vec::new(),
+            detector_touched: HashSet::new(),
+            demands: Vec::new(),
+            insert_queue: VecDeque::new(),
+            time: Seconds::ZERO,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            last_lane_change: BTreeMap::new(),
+            next_vehicle_id: 0,
+            spawned: 0,
+            exited: 0,
+            spawns_per_hour: HourlyAccumulator::new(),
+            exits_per_hour: HourlyAccumulator::new(),
+        }
+    }
+
+    /// Replaces the car-following model (default: [`Krauss`]).
+    pub fn set_model(&mut self, model: Box<dyn CarFollowing + Send>) {
+        self.model = model;
+    }
+
+    /// Installs a fixed signal at `node`; it guards the downstream end of
+    /// every edge whose `to` is this node.
+    pub fn add_signal(&mut self, node: NodeId, plan: SignalPlan) {
+        self.signals.insert(node.0, plan);
+    }
+
+    /// Installs a span detector and returns its index.
+    pub fn add_detector(&mut self, detector: SpanDetector) -> usize {
+        self.detectors.push(detector);
+        self.detectors.len() - 1
+    }
+
+    /// Attaches a Poisson demand stream spawning vehicles on `route`.
+    pub fn add_demand(&mut self, arrivals: PoissonArrivals, route: Vec<EdgeId>, params: VehicleParams) {
+        self.demands.push(DemandStream { arrivals, route, params, pending: None });
+    }
+
+    /// Immediately queues one vehicle for insertion.
+    pub fn queue_vehicle(&mut self, route: Vec<EdgeId>, params: VehicleParams) {
+        self.insert_queue.push_back((route, params));
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Vehicles currently on the road, in id order.
+    pub fn vehicles(&self) -> impl Iterator<Item = &Vehicle> {
+        self.vehicles.values()
+    }
+
+    /// Number of vehicles currently on the road.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// Total vehicles inserted so far.
+    #[must_use]
+    pub fn spawned(&self) -> u64 {
+        self.spawned
+    }
+
+    /// Total vehicles that completed their route.
+    #[must_use]
+    pub fn exited(&self) -> u64 {
+        self.exited
+    }
+
+    /// Vehicles waiting in the insertion queue (blocked entrances).
+    #[must_use]
+    pub fn insertion_backlog(&self) -> usize {
+        self.insert_queue.len()
+    }
+
+    /// The installed detectors.
+    #[must_use]
+    pub fn detectors(&self) -> &[SpanDetector] {
+        &self.detectors
+    }
+
+    /// Per-hour spawn counts.
+    #[must_use]
+    pub fn spawns_per_hour(&self) -> &HourlyAccumulator {
+        &self.spawns_per_hour
+    }
+
+    /// Per-hour exit counts.
+    #[must_use]
+    pub fn exits_per_hour(&self) -> &HourlyAccumulator {
+        &self.exits_per_hour
+    }
+
+    /// Mean speed of active vehicles; zero when the road is empty.
+    #[must_use]
+    pub fn mean_speed(&self) -> MetersPerSecond {
+        if self.vehicles.is_empty() {
+            return MetersPerSecond::ZERO;
+        }
+        let sum: f64 = self.vehicles.values().map(|v| v.speed.value()).sum();
+        MetersPerSecond::new(sum / self.vehicles.len() as f64)
+    }
+
+    /// Runs whole steps until at least `duration` has elapsed.
+    pub fn run_for(&mut self, duration: Seconds) {
+        let end = self.time + duration;
+        while self.time < end {
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one step.
+    pub fn step(&mut self) {
+        let dt = self.config.step;
+        self.release_due_arrivals();
+        self.try_insertions();
+        self.perform_lane_changes();
+
+        // Phase 1: next speeds from the previous state, in id order.
+        let ids: Vec<VehicleId> = self.vehicles.keys().copied().collect();
+        let mut next_speeds: Vec<(VehicleId, MetersPerSecond)> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let veh = &self.vehicles[&id];
+            let edge = self.network.edge(veh.current_edge()).expect("route edges exist");
+            let desired = MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
+            let ahead = self.obstacle_ahead(veh);
+            let noise: f64 = self.rng.gen_range(0.0..1.0);
+            let v = self.model.next_speed(&veh.params, veh.speed, desired, ahead, dt, noise);
+            next_speeds.push((id, v));
+        }
+
+        // Phase 2: move.
+        let mut exited: Vec<VehicleId> = Vec::new();
+        let time = self.time;
+        let network = &self.network;
+        let signals = &self.signals;
+        for (id, v) in next_speeds {
+            let red_stop = |edge_id: EdgeId| -> bool {
+                let edge = network.edge(edge_id).expect("route edges exist");
+                signals.get(&edge.to.0).map(|p| !p.is_green(time)).unwrap_or(false)
+            };
+            let veh = self.vehicles.get_mut(&id).expect("vehicle present");
+            veh.speed = v;
+            let mut advance = v.value() * dt.value();
+            loop {
+                let edge_id = veh.current_edge();
+                let edge_len = network.edge(edge_id).expect("route edges exist").length;
+                let room = edge_len.value() - veh.position.value();
+                if advance < room {
+                    veh.position += Meters::new(advance);
+                    break;
+                }
+                // Reaching (or passing) the end of the edge: a red stop line
+                // must not be crossed — clamp just before it (invariant 2).
+                if red_stop(edge_id) {
+                    veh.position = edge_len - Meters::new(0.1);
+                    veh.speed = MetersPerSecond::ZERO;
+                    break;
+                }
+                if veh.on_final_edge() {
+                    exited.push(id);
+                    break;
+                }
+                advance -= room;
+                veh.route_index += 1;
+                veh.position = Meters::ZERO;
+                // A narrower downstream edge merges outer lanes inward.
+                let next_lanes =
+                    network.edge(veh.current_edge()).expect("route edges exist").lanes;
+                veh.lane = veh.lane.min(next_lanes - 1);
+            }
+        }
+        for id in exited {
+            self.vehicles.remove(&id);
+            self.last_lane_change.remove(&id);
+            self.exited += 1;
+            self.exits_per_hour.add(self.time, 1.0);
+        }
+
+        self.resolve_overlaps();
+        self.observe_detectors(dt);
+        self.time += dt;
+    }
+
+    /// Releases arrivals whose time has come into the insertion queue.
+    fn release_due_arrivals(&mut self) {
+        let now = self.time;
+        for d in &mut self.demands {
+            loop {
+                let next = match d.pending.take() {
+                    Some(t) => t,
+                    None => d.arrivals.next_arrival(),
+                };
+                if next <= now {
+                    self.insert_queue.push_back((d.route.clone(), d.params));
+                } else {
+                    d.pending = Some(next);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Attempts FIFO insertion of queued vehicles, choosing the entry lane
+    /// with the most clear space behind its start.
+    fn try_insertions(&mut self) {
+        while let Some((route, params)) = self.insert_queue.front() {
+            let entry_edge = route[0];
+            let lanes = self.network.edge(entry_edge).expect("route edges exist").lanes;
+            // Per lane: the nearest vehicle's rear bounds the free space
+            // (f64::INFINITY for an empty lane).
+            let (lane, clearance, nearest_rear) = (0..lanes)
+                .map(|lane| {
+                    let rear = self
+                        .vehicles
+                        .values()
+                        .filter(|v| v.current_edge() == entry_edge && v.lane == lane)
+                        .map(|v| v.position.value() - v.params.length.value())
+                        .fold(f64::INFINITY, f64::min);
+                    (lane, rear - params.length.value(), rear)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gaps are finite or inf"))
+                .expect("at least one lane");
+            if clearance < self.config.insertion_headway.value() {
+                break;
+            }
+            let (route, params) = self.insert_queue.pop_front().expect("checked front");
+            let limit = self
+                .network
+                .edge(route[0])
+                .expect("route edges exist")
+                .speed_limit
+                .value()
+                .min(params.max_speed.value());
+            // Depart at full speed on an open entrance, at rest behind queue
+            // spillback.
+            let depart = if nearest_rear < limit * params.tau + params.min_gap.value() {
+                0.0
+            } else {
+                limit
+            };
+            let id = VehicleId(self.next_vehicle_id);
+            self.next_vehicle_id += 1;
+            let mut veh = Vehicle::new(id, params, route);
+            veh.position = params.length;
+            veh.lane = lane;
+            veh.speed = MetersPerSecond::new(depart);
+            self.vehicles.insert(id, veh);
+            self.spawned += 1;
+            self.spawns_per_hour.add(self.time, 1.0);
+        }
+    }
+
+    /// Finds the nearest obstacle (leader vehicle or red stop line) within
+    /// the lookahead along the vehicle's route, in the vehicle's own lane.
+    fn obstacle_ahead(&self, veh: &Vehicle) -> Option<Ahead> {
+        self.obstacle_ahead_in_lane(veh, veh.lane)
+    }
+
+    /// As [`Self::obstacle_ahead`], but as if the vehicle occupied `lane` on
+    /// its current edge (the lane-change model probes neighbor lanes with
+    /// this).
+    fn obstacle_ahead_in_lane(&self, veh: &Vehicle, lane: u32) -> Option<Ahead> {
+        let lookahead = self.config.lookahead.value();
+        let mut traveled = 0.0; // distance from veh front to the start of the scanned edge
+        let mut scan_from = veh.position.value();
+        for idx in veh.route_index..veh.route.len() {
+            let edge_id = veh.route[idx];
+            let edge = self.network.edge(edge_id).expect("route edges exist");
+            // The lane this vehicle would occupy on the scanned edge.
+            let scan_lane = lane.min(edge.lanes - 1);
+            // Nearest same-edge leader beyond `scan_from`.
+            let leader = self
+                .vehicles
+                .values()
+                .filter(|o| {
+                    o.id != veh.id
+                        && o.current_edge() == edge_id
+                        && o.lane == scan_lane
+                        && if idx == veh.route_index {
+                            // Same edge: only vehicles whose rear is ahead of
+                            // our front bumper count as leaders.
+                            o.position.value() - o.params.length.value() >= scan_from - 1e-9
+                        } else {
+                            // A later edge: every vehicle on it is ahead of
+                            // us, including one still straddling the
+                            // boundary (rear < 0).
+                            true
+                        }
+                })
+                .min_by(|a, b| {
+                    (a.position.value(), a.id)
+                        .partial_cmp(&(b.position.value(), b.id))
+                        .expect("positions are finite")
+                });
+            if let Some(l) = leader {
+                // `traveled` measures from this vehicle's front bumper to the
+                // start of the scanned edge (zero while scanning its own
+                // edge, where the leader's rear offset is relative instead).
+                let leader_rear = l.position.value() - l.params.length.value();
+                let gap = if idx == veh.route_index {
+                    leader_rear - veh.position.value()
+                } else {
+                    traveled + leader_rear
+                };
+                if gap <= lookahead {
+                    return Some(Ahead { gap: Meters::new(gap.max(0.0)), leader_speed: l.speed });
+                }
+                return None;
+            }
+            // Red stop line at the end of this edge?
+            let red = self
+                .signals
+                .get(&edge.to.0)
+                .map(|p| !p.is_green(self.time))
+                .unwrap_or(false);
+            let dist_to_end = traveled + (edge.length.value() - if idx == veh.route_index { veh.position.value() } else { 0.0 });
+            if red {
+                if dist_to_end <= lookahead {
+                    return Some(Ahead {
+                        gap: Meters::new(dist_to_end.max(0.0)),
+                        leader_speed: MetersPerSecond::ZERO,
+                    });
+                }
+                return None;
+            }
+            traveled = dist_to_end;
+            scan_from = 0.0;
+            if traveled > lookahead || idx + 1 == veh.route.len() {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// The lane-change phase: each vehicle may move one lane sideways when
+    /// the neighbor lane promises a real speed gain and both the new leader
+    /// and the new follower gaps are safe (an LC2013-style incentive/safety
+    /// split). Deterministic: vehicles are considered in id order and
+    /// changes apply immediately.
+    fn perform_lane_changes(&mut self) {
+        let dt = self.config.step;
+        let ids: Vec<VehicleId> = self.vehicles.keys().copied().collect();
+        for id in ids {
+            let veh = self.vehicles[&id].clone();
+            let edge = self.network.edge(veh.current_edge()).expect("route edges exist");
+            if edge.lanes < 2 {
+                continue;
+            }
+            if let Some(&last) = self.last_lane_change.get(&id) {
+                if self.time.value() - last < self.config.lane_change_cooldown {
+                    continue;
+                }
+            }
+            let desired =
+                MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
+            let prospect = |lane: u32| {
+                let ahead = self.obstacle_ahead_in_lane(&veh, lane);
+                self.model.next_speed(&veh.params, veh.speed, desired, ahead, dt, 0.0).value()
+            };
+            let current = prospect(veh.lane);
+            let mut candidates: Vec<u32> = Vec::with_capacity(2);
+            if veh.lane + 1 < edge.lanes {
+                candidates.push(veh.lane + 1);
+            }
+            if veh.lane > 0 {
+                candidates.push(veh.lane - 1);
+            }
+            let best = candidates
+                .into_iter()
+                .map(|lane| (lane, prospect(lane)))
+                .filter(|&(lane, v)| {
+                    v >= current + self.config.lane_change_gain && self.lane_is_safe(&veh, lane)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("speeds are finite"));
+            if let Some((lane, _)) = best {
+                let now = self.time.value();
+                self.vehicles.get_mut(&id).expect("id valid").lane = lane;
+                self.last_lane_change.insert(id, now);
+            }
+        }
+    }
+
+    /// Safety criterion for entering `lane`: the nearest vehicle behind our
+    /// rear bumper in that lane must keep a gap it could brake across, and
+    /// we must not land on top of anyone.
+    fn lane_is_safe(&self, veh: &Vehicle, lane: u32) -> bool {
+        let my_rear = veh.position.value() - veh.params.length.value();
+        for o in self.vehicles.values() {
+            if o.id == veh.id || o.current_edge() != veh.current_edge() || o.lane != lane {
+                continue;
+            }
+            let o_rear = o.position.value() - o.params.length.value();
+            // Overlap with anyone in the target lane is disqualifying.
+            if o_rear < veh.position.value() && my_rear < o.position.value() {
+                return false;
+            }
+            // A follower (front behind our rear) needs reaction headroom.
+            if o.position.value() <= my_rear {
+                let gap = my_rear - o.position.value();
+                let needed = o.speed.value() * o.params.tau + o.params.min_gap.value();
+                if gap < needed {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Safety net for invariant 1: clamp same-lane followers out of their
+    /// leaders (synchronous updates can very occasionally overshoot).
+    fn resolve_overlaps(&mut self) {
+        let mut by_edge: BTreeMap<(usize, u32), Vec<VehicleId>> = BTreeMap::new();
+        for v in self.vehicles.values() {
+            by_edge.entry((v.current_edge().0, v.lane)).or_default().push(v.id);
+        }
+        for ids in by_edge.values_mut() {
+            ids.sort_by(|a, b| {
+                let pa = self.vehicles[a].position.value();
+                let pb = self.vehicles[b].position.value();
+                pb.partial_cmp(&pa).expect("positions are finite").then(a.cmp(b))
+            });
+            // Front-to-back: each follower is clamped against the (already
+            // final) leader position.
+            for i in 1..ids.len() {
+                let leader = &self.vehicles[&ids[i - 1]];
+                let limit = leader.position.value() - leader.params.length.value() - 0.1;
+                let leader_speed = leader.speed;
+                let follower = self.vehicles.get_mut(&ids[i]).expect("id valid");
+                if follower.position.value() > limit {
+                    follower.position = Meters::new(limit.max(follower.params.length.value() * 0.0));
+                    follower.speed = MetersPerSecond::new(follower.speed.value().min(leader_speed.value()));
+                }
+            }
+        }
+    }
+
+    /// Feeds every detector with this step's occupancy.
+    fn observe_detectors(&mut self, dt: Seconds) {
+        if self.detectors.is_empty() {
+            return;
+        }
+        for veh in self.vehicles.values() {
+            for (di, det) in self.detectors.iter_mut().enumerate() {
+                let key = (veh.id, di);
+                let first = !self.detector_touched.contains(&key);
+                let before = det.total_occupancy();
+                det.observe(veh.current_edge(), veh.position, veh.params.length, self.time, dt, first);
+                if first && det.total_occupancy() > before {
+                    self.detector_touched.insert(key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::HourlyCounts;
+
+    /// A 3-edge straight corridor, 200 m each, 15 m/s limit.
+    fn corridor() -> (RoadNetwork, Vec<EdgeId>, Vec<NodeId>) {
+        let mut net = RoadNetwork::new();
+        let nodes: Vec<NodeId> = (0..4).map(|_| net.add_node()).collect();
+        let edges = nodes
+            .windows(2)
+            .map(|w| {
+                net.add_edge(w[0], w[1], Meters::new(200.0), MetersPerSecond::new(15.0)).unwrap()
+            })
+            .collect();
+        (net, edges, nodes)
+    }
+
+    fn sim_with(seed: u64) -> (Simulation, Vec<EdgeId>, Vec<NodeId>) {
+        let (net, edges, nodes) = corridor();
+        (Simulation::new(net, SimulationConfig::default(), seed), edges, nodes)
+    }
+
+    #[test]
+    fn single_vehicle_traverses_and_exits() {
+        let (mut sim, edges, _) = sim_with(1);
+        sim.queue_vehicle(edges.clone(), VehicleParams::deterministic());
+        sim.run_for(Seconds::new(120.0));
+        assert_eq!(sim.spawned(), 1);
+        assert_eq!(sim.exited(), 1);
+        assert_eq!(sim.active_count(), 0);
+    }
+
+    #[test]
+    fn vehicle_reaches_speed_limit_not_max_speed() {
+        let (mut sim, edges, _) = sim_with(1);
+        let mut p = VehicleParams::deterministic();
+        p.max_speed = MetersPerSecond::new(40.0);
+        sim.queue_vehicle(edges, p);
+        sim.run_for(Seconds::new(15.0));
+        let v = sim.vehicles().next().expect("still driving");
+        assert!(v.speed.value() <= 15.0 + 1e-9);
+        assert!(v.speed.value() > 13.0);
+    }
+
+    #[test]
+    fn red_light_stops_vehicle() {
+        let (mut sim, edges, nodes) = sim_with(1);
+        // Permanently red at the end of edge 0 (node 1).
+        sim.add_signal(nodes[1], SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO));
+        sim.queue_vehicle(edges, VehicleParams::deterministic());
+        sim.run_for(Seconds::new(120.0));
+        assert_eq!(sim.exited(), 0);
+        let v = sim.vehicles().next().expect("vehicle waits");
+        assert_eq!(v.current_edge(), EdgeId(0));
+        assert!(v.position.value() <= 200.0);
+        assert!(v.speed.value() < 0.5, "speed {} at pos {}", v.speed.value(), v.position.value());
+    }
+
+    #[test]
+    fn green_wave_lets_vehicle_through() {
+        let (mut sim, edges, nodes) = sim_with(1);
+        sim.add_signal(nodes[1], SignalPlan::new(Seconds::new(1e9), Seconds::ZERO, Seconds::ZERO));
+        sim.queue_vehicle(edges, VehicleParams::deterministic());
+        sim.run_for(Seconds::new(120.0));
+        assert_eq!(sim.exited(), 1);
+    }
+
+    #[test]
+    fn queue_forms_behind_red_and_discharges_on_green() {
+        let (mut sim, edges, nodes) = sim_with(2);
+        // Red for the first 60 s, then green forever (offset lands time zero
+        // at the start of the red phase).
+        sim.add_signal(
+            nodes[1],
+            SignalPlan::new(Seconds::new(1e9), Seconds::new(60.0), Seconds::new(1e9)),
+        );
+        for _ in 0..5 {
+            sim.queue_vehicle(edges.clone(), VehicleParams::deterministic());
+        }
+        sim.run_for(Seconds::new(55.0));
+        // All inserted vehicles wait on edge 0, none exited.
+        assert_eq!(sim.exited(), 0);
+        assert!(sim.active_count() >= 2, "at least a couple inserted");
+        for v in sim.vehicles() {
+            assert_eq!(v.current_edge(), EdgeId(0));
+        }
+        sim.run_for(Seconds::new(120.0));
+        assert_eq!(sim.exited(), sim.spawned());
+    }
+
+    #[test]
+    fn no_collisions_under_congestion() {
+        let (mut sim, edges, nodes) = sim_with(3);
+        sim.add_signal(nodes[2], SignalPlan::new(Seconds::new(20.0), Seconds::new(40.0), Seconds::ZERO));
+        let counts = HourlyCounts::new(vec![1400]);
+        sim.add_demand(PoissonArrivals::new(counts, 7), edges, VehicleParams::passenger_car());
+        for _ in 0..900 {
+            sim.step();
+            // Invariant 1: strictly ordered, non-overlapping per lane.
+            let mut per_edge: BTreeMap<(usize, u32), Vec<(f64, f64)>> = BTreeMap::new();
+            for v in sim.vehicles() {
+                per_edge
+                    .entry((v.current_edge().0, v.lane))
+                    .or_default()
+                    .push((v.position.value(), v.params.length.value()));
+            }
+            for list in per_edge.values_mut() {
+                list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for w in list.windows(2) {
+                    let (follower_front, _) = w[0];
+                    let (leader_front, leader_len) = w[1];
+                    assert!(
+                        follower_front <= leader_front - leader_len + 1e-6,
+                        "overlap: follower at {follower_front}, leader rear at {}",
+                        leader_front - leader_len
+                    );
+                }
+            }
+        }
+        assert!(sim.spawned() > 50, "demand actually spawned ({})", sim.spawned());
+    }
+
+    #[test]
+    fn conservation_spawned_equals_active_plus_exited() {
+        let (mut sim, edges, _) = sim_with(4);
+        let counts = HourlyCounts::new(vec![800]);
+        sim.add_demand(PoissonArrivals::new(counts, 9), edges, VehicleParams::passenger_car());
+        sim.run_for(Seconds::new(600.0));
+        assert_eq!(sim.spawned(), sim.active_count() as u64 + sim.exited());
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let run = |seed| {
+            let (mut sim, edges, nodes) = sim_with(seed);
+            sim.add_signal(nodes[1], SignalPlan::new(Seconds::new(30.0), Seconds::new(30.0), Seconds::ZERO));
+            let counts = HourlyCounts::new(vec![700]);
+            sim.add_demand(PoissonArrivals::new(counts, 1), edges, VehicleParams::passenger_car());
+            sim.run_for(Seconds::new(400.0));
+            let positions: Vec<(u64, usize, f64)> = sim
+                .vehicles()
+                .map(|v| (v.id.0, v.route_index, v.position.value()))
+                .collect();
+            (sim.spawned(), sim.exited(), positions)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn detector_sees_queued_vehicles_longer() {
+        let (mut sim, edges, nodes) = sim_with(6);
+        // Signal at node 1; detector A just before the light, detector B on
+        // the middle edge.
+        sim.add_signal(nodes[1], SignalPlan::new(Seconds::new(25.0), Seconds::new(55.0), Seconds::ZERO));
+        sim.add_detector(SpanDetector::new("at light", edges[0], Meters::new(100.0), Meters::new(200.0)));
+        sim.add_detector(SpanDetector::new("mid-block", edges[1], Meters::new(50.0), Meters::new(150.0)));
+        let counts = HourlyCounts::new(vec![900]);
+        sim.add_demand(PoissonArrivals::new(counts, 2), edges, VehicleParams::passenger_car());
+        sim.run_for(Seconds::new(1800.0));
+        let at_light = sim.detectors()[0].total_occupancy().value();
+        let mid = sim.detectors()[1].total_occupancy().value();
+        assert!(at_light > 2.0 * mid, "at_light={at_light}, mid={mid}");
+        assert!(sim.detectors()[0].vehicle_touches() > 0);
+    }
+
+    /// A 2-lane single-edge road with a slow leader parked mid-lane 0.
+    fn two_lane_sim() -> (Simulation, EdgeId) {
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let e = net
+            .add_edge_with_lanes(a, b, Meters::new(600.0), MetersPerSecond::new(15.0), 2)
+            .unwrap();
+        (Simulation::new(net, SimulationConfig::default(), 11), e)
+    }
+
+    #[test]
+    fn fast_vehicle_overtakes_slow_leader_via_lane_change() {
+        let (mut sim, e) = two_lane_sim();
+        // A crawler in lane 0...
+        let mut slow = VehicleParams::deterministic();
+        slow.max_speed = MetersPerSecond::new(3.0);
+        sim.queue_vehicle(vec![e], slow);
+        sim.run_for(Seconds::new(20.0));
+        // ...then a fast vehicle enters behind it (lane choice picks the
+        // emptier lane 1 at insertion, so force the interesting case by
+        // letting the crawler advance well past the entrance first).
+        sim.queue_vehicle(vec![e], VehicleParams::deterministic());
+        sim.run_for(Seconds::new(50.0));
+        // The fast vehicle must have exited (overtaken), the crawler not.
+        assert_eq!(sim.exited(), 1);
+        let remaining = sim.vehicles().next().expect("crawler still driving");
+        assert!(remaining.params.max_speed.value() < 4.0);
+    }
+
+    #[test]
+    fn lane_changes_only_into_safe_gaps() {
+        let (mut sim, e) = two_lane_sim();
+        let counts = HourlyCounts::new(vec![2200]);
+        sim.add_demand(PoissonArrivals::new(counts, 3), vec![e], VehicleParams::passenger_car());
+        for _ in 0..600 {
+            sim.step();
+            let mut per_lane: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+            for v in sim.vehicles() {
+                assert!(v.lane < 2, "lane index out of range");
+                per_lane.entry(v.lane).or_default().push((v.position.value(), v.params.length.value()));
+            }
+            for list in per_lane.values_mut() {
+                list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for w in list.windows(2) {
+                    assert!(
+                        w[0].0 <= w[1].0 - w[1].1 + 1e-6,
+                        "lane-change created an overlap"
+                    );
+                }
+            }
+        }
+        assert!(sim.spawned() > 100);
+    }
+
+    #[test]
+    fn two_lanes_carry_more_than_one() {
+        let throughput = |lanes: u32| {
+            let mut net = RoadNetwork::new();
+            let a = net.add_node();
+            let b = net.add_node();
+            let e = net
+                .add_edge_with_lanes(a, b, Meters::new(400.0), MetersPerSecond::new(14.0), lanes)
+                .unwrap();
+            let mut sim = Simulation::new(net, SimulationConfig::default(), 5);
+            let counts = HourlyCounts::new(vec![4000]);
+            sim.add_demand(PoissonArrivals::new(counts, 5), vec![e], VehicleParams::passenger_car());
+            sim.run_for(Seconds::new(900.0));
+            sim.exited()
+        };
+        let one = throughput(1);
+        let two = throughput(2);
+        assert!(
+            two as f64 > 1.5 * one as f64,
+            "two lanes should carry much more: {two} vs {one}"
+        );
+    }
+
+    #[test]
+    fn lane_merges_at_narrowing_edge() {
+        // 2-lane edge feeding a 1-lane edge: everyone must end on lane 0 and
+        // still exit.
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        let wide = net
+            .add_edge_with_lanes(a, b, Meters::new(300.0), MetersPerSecond::new(14.0), 2)
+            .unwrap();
+        let narrow = net.add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(14.0)).unwrap();
+        let mut sim = Simulation::new(net, SimulationConfig::default(), 6);
+        let counts = HourlyCounts::new(vec![1000]);
+        sim.add_demand(
+            PoissonArrivals::new(counts, 6),
+            vec![wide, narrow],
+            VehicleParams::passenger_car(),
+        );
+        sim.run_for(Seconds::new(600.0));
+        for v in sim.vehicles() {
+            if v.current_edge() == narrow {
+                assert_eq!(v.lane, 0, "merged vehicles must be on lane 0");
+            }
+        }
+        assert!(sim.exited() > 20);
+    }
+
+    #[test]
+    fn mixed_fleet_cuts_signalized_throughput() {
+        // Long, slow-accelerating vehicles lower a stop line's saturation
+        // flow: a half-bus fleet must move fewer vehicles through the same
+        // signal than an all-car fleet.
+        let exits = |bus_share: bool| {
+            let (net, edges, nodes) = corridor();
+            let mut sim = Simulation::new(net, SimulationConfig::default(), 5);
+            sim.add_signal(
+                nodes[1],
+                SignalPlan::new(Seconds::new(20.0), Seconds::new(40.0), Seconds::ZERO),
+            );
+            if bus_share {
+                sim.add_demand(
+                    PoissonArrivals::new(HourlyCounts::new(vec![700]), 5),
+                    edges.clone(),
+                    VehicleParams::passenger_car(),
+                );
+                sim.add_demand(
+                    PoissonArrivals::new(HourlyCounts::new(vec![700]), 6),
+                    edges,
+                    VehicleParams::bus(),
+                );
+            } else {
+                sim.add_demand(
+                    PoissonArrivals::new(HourlyCounts::new(vec![1400]), 5),
+                    edges,
+                    VehicleParams::passenger_car(),
+                );
+            }
+            sim.run_for(Seconds::new(1200.0));
+            sim.exited()
+        };
+        let cars_only = exits(false);
+        let mixed = exits(true);
+        assert!(
+            (mixed as f64) < 0.9 * cars_only as f64,
+            "mixed {mixed} !< cars {cars_only}"
+        );
+    }
+
+    #[test]
+    fn insertion_blocks_when_entrance_jammed() {
+        let (mut sim, edges, nodes) = sim_with(7);
+        // Permanently red: edge 0 fills up, then insertions must queue.
+        sim.add_signal(nodes[1], SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO));
+        for _ in 0..60 {
+            sim.queue_vehicle(edges.clone(), VehicleParams::deterministic());
+        }
+        sim.run_for(Seconds::new(300.0));
+        // 200 m of road fits ~26 cars of 7.5 m effective length.
+        assert!(sim.active_count() < 30);
+        assert!(sim.insertion_backlog() > 0);
+        assert_eq!(sim.spawned() as usize, sim.active_count());
+    }
+}

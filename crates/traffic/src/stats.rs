@@ -1,0 +1,65 @@
+//! Hour-bucketed accumulation of simulation statistics.
+
+use oes_units::Seconds;
+
+/// Accumulates a quantity into per-hour buckets, with totals.
+///
+/// Used for throughput (vehicles spawned/exited per hour), delay, and any
+/// other per-hour series the figures need.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HourlyAccumulator {
+    buckets: Vec<f64>,
+}
+
+impl HourlyAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` at absolute time `now`.
+    pub fn add(&mut self, now: Seconds, amount: f64) {
+        let hour = (now.value() / 3600.0) as usize;
+        if self.buckets.len() <= hour {
+            self.buckets.resize(hour + 1, 0.0);
+        }
+        self.buckets[hour] += amount;
+    }
+
+    /// The value of hour `h` (zero if never touched).
+    #[must_use]
+    pub fn at(&self, hour: usize) -> f64 {
+        self.buckets.get(hour).copied().unwrap_or(0.0)
+    }
+
+    /// Sum over all hours.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// All buckets observed so far.
+    #[must_use]
+    pub fn series(&self) -> &[f64] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_hour() {
+        let mut a = HourlyAccumulator::new();
+        a.add(Seconds::new(10.0), 1.0);
+        a.add(Seconds::new(3599.0), 2.0);
+        a.add(Seconds::new(3600.0), 4.0);
+        assert_eq!(a.at(0), 3.0);
+        assert_eq!(a.at(1), 4.0);
+        assert_eq!(a.at(9), 0.0);
+        assert_eq!(a.total(), 7.0);
+        assert_eq!(a.series().len(), 2);
+    }
+}

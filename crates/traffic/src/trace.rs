@@ -1,0 +1,262 @@
+//! Trajectory recording and queue analysis.
+//!
+//! A [`TrajectoryRecorder`] is driven externally — call
+//! [`TrajectoryRecorder::observe`] after each [`crate::sim::Simulation`]
+//! step — and builds per-vehicle time–space traces plus the derived
+//! statistics the corridor studies need: travel times, stopped delay, and
+//! stop-line queue lengths (the quantity that explains the at-light vs
+//! mid-block dwell gap of Fig. 3).
+
+use std::collections::BTreeMap;
+
+use oes_units::{Meters, MetersPerSecond, Seconds};
+
+use crate::network::EdgeId;
+use crate::sim::Simulation;
+use crate::vehicle::VehicleId;
+
+/// One sampled point of a vehicle's trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TracePoint {
+    /// Simulation time of the sample.
+    pub time: Seconds,
+    /// Edge occupied.
+    pub edge: EdgeId,
+    /// Lane occupied.
+    pub lane: u32,
+    /// Front-bumper position along the edge.
+    pub position: Meters,
+    /// Speed.
+    pub speed: MetersPerSecond,
+}
+
+/// Records vehicle trajectories by polling a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryRecorder {
+    traces: BTreeMap<VehicleId, Vec<TracePoint>>,
+    /// Vehicles seen at least once that are no longer active (finished).
+    finished: Vec<VehicleId>,
+    stop_threshold: f64,
+}
+
+impl TrajectoryRecorder {
+    /// Creates a recorder; speeds below `stop_threshold` count as stopped.
+    #[must_use]
+    pub fn new(stop_threshold: MetersPerSecond) -> Self {
+        Self {
+            traces: BTreeMap::new(),
+            finished: Vec::new(),
+            stop_threshold: stop_threshold.value(),
+        }
+    }
+
+    /// Samples every active vehicle. Call once per simulation step (or at
+    /// any coarser cadence).
+    pub fn observe(&mut self, sim: &Simulation) {
+        let now = sim.time();
+        let mut seen: Vec<VehicleId> = Vec::new();
+        for v in sim.vehicles() {
+            seen.push(v.id);
+            self.traces.entry(v.id).or_default().push(TracePoint {
+                time: now,
+                edge: v.current_edge(),
+                lane: v.lane,
+                position: v.position,
+                speed: v.speed,
+            });
+        }
+        // Anything traced before but absent now has finished its route.
+        for id in self.traces.keys() {
+            if !seen.contains(id) && !self.finished.contains(id) {
+                self.finished.push(*id);
+            }
+        }
+    }
+
+    /// The trace of one vehicle, if it was ever observed.
+    #[must_use]
+    pub fn trace(&self, id: VehicleId) -> Option<&[TracePoint]> {
+        self.traces.get(&id).map(Vec::as_slice)
+    }
+
+    /// Number of vehicles ever observed.
+    #[must_use]
+    pub fn vehicles_observed(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Observed travel time (first to last sample) of a finished vehicle.
+    #[must_use]
+    pub fn travel_time(&self, id: VehicleId) -> Option<Seconds> {
+        let t = self.traces.get(&id)?;
+        let first = t.first()?;
+        let last = t.last()?;
+        Some(last.time - first.time)
+    }
+
+    /// Time a vehicle spent below the stop threshold (signal delay).
+    ///
+    /// Assumes one sample per simulation second when integrating.
+    #[must_use]
+    pub fn stopped_time(&self, id: VehicleId) -> Option<Seconds> {
+        let t = self.traces.get(&id)?;
+        if t.len() < 2 {
+            return Some(Seconds::ZERO);
+        }
+        let mut stopped = 0.0;
+        for w in t.windows(2) {
+            if w[0].speed.value() < self.stop_threshold {
+                stopped += (w[1].time - w[0].time).value();
+            }
+        }
+        Some(Seconds::new(stopped))
+    }
+
+    /// Mean travel time over all finished vehicles.
+    #[must_use]
+    pub fn mean_travel_time(&self) -> Option<Seconds> {
+        if self.finished.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .finished
+            .iter()
+            .filter_map(|id| self.travel_time(*id))
+            .map(|t| t.value())
+            .sum();
+        Some(Seconds::new(sum / self.finished.len() as f64))
+    }
+
+    /// Vehicles that finished their route while being observed.
+    #[must_use]
+    pub fn finished(&self) -> &[VehicleId] {
+        &self.finished
+    }
+}
+
+/// The current stop-line queue on an edge: vehicles below `threshold`
+/// within `reach` of the edge's end, over all lanes.
+#[must_use]
+pub fn queue_length(
+    sim: &Simulation,
+    edge: EdgeId,
+    edge_length: Meters,
+    reach: Meters,
+    threshold: MetersPerSecond,
+) -> usize {
+    sim.vehicles()
+        .filter(|v| {
+            v.current_edge() == edge
+                && v.speed.value() < threshold.value()
+                && v.position.value() >= edge_length.value() - reach.value()
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::CorridorBuilder;
+    use crate::counts::HourlyCounts;
+    use crate::signal::SignalPlan;
+    use crate::vehicle::VehicleParams;
+    use crate::network::RoadNetwork;
+    use crate::sim::SimulationConfig;
+
+    fn threshold() -> MetersPerSecond {
+        MetersPerSecond::new(0.5)
+    }
+
+    #[test]
+    fn records_and_finishes_vehicles() {
+        let mut builder = CorridorBuilder::new();
+        builder.hourly_counts(vec![400]).seed(2);
+        let mut sim = builder.build();
+        let mut rec = TrajectoryRecorder::new(threshold());
+        for _ in 0..900 {
+            sim.step();
+            rec.observe(&sim);
+        }
+        assert!(rec.vehicles_observed() > 20);
+        assert!(!rec.finished().is_empty());
+        let id = rec.finished()[0];
+        let trace = rec.trace(id).unwrap();
+        assert!(trace.len() > 10);
+        // Time strictly increases along a trace.
+        for w in trace.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        assert!(rec.travel_time(id).unwrap().value() > 0.0);
+        assert!(rec.mean_travel_time().unwrap().value() > 0.0);
+    }
+
+    #[test]
+    fn signal_delay_is_visible_in_stopped_time() {
+        // One vehicle against a long red: most of its time is stopped.
+        let mut net = RoadNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        let e1 = net
+            .add_edge(a, b, Meters::new(200.0), MetersPerSecond::new(15.0))
+            .unwrap();
+        let e2 = net
+            .add_edge(b, c, Meters::new(200.0), MetersPerSecond::new(15.0))
+            .unwrap();
+        let mut sim = crate::sim::Simulation::new(net, SimulationConfig::default(), 1);
+        sim.add_signal(b, SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO));
+        sim.queue_vehicle(vec![e1, e2], VehicleParams::deterministic());
+        let mut rec = TrajectoryRecorder::new(threshold());
+        for _ in 0..120 {
+            sim.step();
+            rec.observe(&sim);
+        }
+        let id = sim.vehicles().next().unwrap().id;
+        let stopped = rec.stopped_time(id).unwrap().value();
+        assert!(stopped > 60.0, "stopped only {stopped}s against a permanent red");
+    }
+
+    #[test]
+    fn queue_builds_during_red_and_clears_on_green() {
+        let mut builder = CorridorBuilder::new();
+        builder
+            .blocks(2, Meters::new(250.0))
+            .signal(Seconds::new(30.0), Seconds::new(60.0))
+            .counts(HourlyCounts::new(vec![800]))
+            .seed(4);
+        let mut sim = builder.build();
+        let mut max_queue = 0usize;
+        for _ in 0..600 {
+            sim.step();
+            let q = queue_length(
+                &sim,
+                EdgeId(0),
+                Meters::new(250.0),
+                Meters::new(100.0),
+                threshold(),
+            );
+            max_queue = max_queue.max(q);
+        }
+        assert!(max_queue >= 3, "red phases should build a queue, saw {max_queue}");
+        // Long green: the queue eventually clears.
+        let mut cleared = false;
+        for _ in 0..600 {
+            sim.step();
+            if queue_length(&sim, EdgeId(0), Meters::new(250.0), Meters::new(100.0), threshold())
+                == 0
+            {
+                cleared = true;
+                break;
+            }
+        }
+        assert!(cleared, "queue never cleared");
+    }
+
+    #[test]
+    fn unknown_vehicle_is_none() {
+        let rec = TrajectoryRecorder::new(threshold());
+        assert!(rec.trace(VehicleId(99)).is_none());
+        assert!(rec.travel_time(VehicleId(99)).is_none());
+        assert!(rec.mean_travel_time().is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Vehicles and their driving parameters.
+
+use core::fmt;
+
+use oes_units::{Meters, MetersPerSecond};
+
+use crate::network::EdgeId;
+
+/// Identifies a vehicle within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct VehicleId(pub u64);
+
+impl fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "veh#{}", self.0)
+    }
+}
+
+/// Driving parameters of a vehicle, matching the knobs of SUMO's default
+/// (Krauss) vehicle type.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VehicleParams {
+    /// Vehicle length (bumper to bumper space it occupies).
+    pub length: Meters,
+    /// Desired maximum speed; the effective limit is the minimum of this and
+    /// the edge speed limit.
+    pub max_speed: MetersPerSecond,
+    /// Maximum acceleration, m/s².
+    pub accel: f64,
+    /// Comfortable deceleration, m/s².
+    pub decel: f64,
+    /// Minimum standstill gap to the leader.
+    pub min_gap: Meters,
+    /// Driver reaction time, seconds.
+    pub tau: f64,
+    /// Krauss driver imperfection σ ∈ [0, 1]; zero is a perfect driver.
+    pub sigma: f64,
+}
+
+impl VehicleParams {
+    /// SUMO's default passenger-car parameters.
+    #[must_use]
+    pub fn passenger_car() -> Self {
+        Self {
+            length: Meters::new(5.0),
+            max_speed: MetersPerSecond::new(55.6),
+            accel: 2.6,
+            decel: 4.5,
+            min_gap: Meters::new(2.5),
+            tau: 1.0,
+            sigma: 0.5,
+        }
+    }
+
+    /// A perfect-driver variant (σ = 0), useful for deterministic tests.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        Self { sigma: 0.0, ..Self::passenger_car() }
+    }
+
+    /// A city bus: long, slow to accelerate, generous gaps (SUMO's bus
+    /// type).
+    #[must_use]
+    pub fn bus() -> Self {
+        Self {
+            length: Meters::new(12.0),
+            max_speed: MetersPerSecond::new(23.6),
+            accel: 1.2,
+            decel: 4.0,
+            min_gap: Meters::new(3.0),
+            tau: 1.0,
+            sigma: 0.4,
+        }
+    }
+
+    /// A semi-trailer truck (SUMO's trailer type).
+    #[must_use]
+    pub fn truck() -> Self {
+        Self {
+            length: Meters::new(16.5),
+            max_speed: MetersPerSecond::new(25.0),
+            accel: 1.1,
+            decel: 4.0,
+            min_gap: Meters::new(2.5),
+            tau: 1.0,
+            sigma: 0.4,
+        }
+    }
+
+    /// Validates physical plausibility.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.length.value() > 0.0
+            && self.max_speed.value() > 0.0
+            && self.accel > 0.0
+            && self.decel > 0.0
+            && self.min_gap.value() >= 0.0
+            && self.tau >= 0.0
+            && (0.0..=1.0).contains(&self.sigma)
+    }
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        Self::passenger_car()
+    }
+}
+
+/// A vehicle in motion: its route and kinematic state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Vehicle {
+    /// Unique id.
+    pub id: VehicleId,
+    /// Driving parameters.
+    pub params: VehicleParams,
+    /// The sequence of edges this vehicle follows.
+    pub route: Vec<EdgeId>,
+    /// Index into `route` of the edge currently occupied.
+    pub route_index: usize,
+    /// Lane currently occupied (0 = rightmost) on the current edge.
+    pub lane: u32,
+    /// Distance of the front bumper from the start of the current edge.
+    pub position: Meters,
+    /// Current speed.
+    pub speed: MetersPerSecond,
+}
+
+impl Vehicle {
+    /// Creates a vehicle at the start of its route, at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty or the parameters are implausible.
+    #[must_use]
+    pub fn new(id: VehicleId, params: VehicleParams, route: Vec<EdgeId>) -> Self {
+        assert!(!route.is_empty(), "vehicle route must not be empty");
+        assert!(params.is_valid(), "implausible vehicle parameters");
+        Self {
+            id,
+            params,
+            route,
+            route_index: 0,
+            lane: 0,
+            position: Meters::ZERO,
+            speed: MetersPerSecond::ZERO,
+        }
+    }
+
+    /// The edge the vehicle currently occupies.
+    #[must_use]
+    pub fn current_edge(&self) -> EdgeId {
+        self.route[self.route_index]
+    }
+
+    /// Whether the vehicle is on the last edge of its route.
+    #[must_use]
+    pub fn on_final_edge(&self) -> bool {
+        self.route_index + 1 == self.route.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_valid() {
+        assert!(VehicleParams::passenger_car().is_valid());
+        assert!(VehicleParams::deterministic().is_valid());
+        assert_eq!(VehicleParams::deterministic().sigma, 0.0);
+        assert!(VehicleParams::bus().is_valid());
+        assert!(VehicleParams::truck().is_valid());
+        assert!(VehicleParams::truck().length > VehicleParams::bus().length);
+        assert!(VehicleParams::bus().accel < VehicleParams::passenger_car().accel);
+    }
+
+    #[test]
+    fn invalid_params_detected() {
+        let mut p = VehicleParams::passenger_car();
+        p.accel = 0.0;
+        assert!(!p.is_valid());
+        let mut p = VehicleParams::passenger_car();
+        p.sigma = 1.5;
+        assert!(!p.is_valid());
+        let mut p = VehicleParams::passenger_car();
+        p.length = Meters::new(-1.0);
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn new_vehicle_starts_at_rest() {
+        let v = Vehicle::new(VehicleId(1), VehicleParams::deterministic(), vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(v.position, Meters::ZERO);
+        assert_eq!(v.speed, MetersPerSecond::ZERO);
+        assert_eq!(v.current_edge(), EdgeId(0));
+        assert!(!v.on_final_edge());
+    }
+
+    #[test]
+    #[should_panic(expected = "route must not be empty")]
+    fn empty_route_panics() {
+        let _ = Vehicle::new(VehicleId(1), VehicleParams::deterministic(), vec![]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Energy quantities.
+
+use crate::quantity;
+use crate::time::Hours;
+use crate::{Kilowatts, Megawatts};
+
+quantity! {
+    /// Energy in kilowatt-hours (the OLEV/battery-side unit).
+    KilowattHours, "kWh"
+}
+
+quantity! {
+    /// Energy in megawatt-hours (the grid-operator-side unit).
+    MegawattHours, "MWh"
+}
+
+impl KilowattHours {
+    /// Converts to megawatt-hours.
+    #[must_use]
+    pub fn to_megawatt_hours(self) -> MegawattHours {
+        MegawattHours::new(self.value() / 1000.0)
+    }
+}
+
+impl MegawattHours {
+    /// Converts to kilowatt-hours.
+    #[must_use]
+    pub fn to_kilowatt_hours(self) -> KilowattHours {
+        KilowattHours::new(self.value() * 1000.0)
+    }
+}
+
+impl core::ops::Div<Hours> for KilowattHours {
+    type Output = Kilowatts;
+
+    /// The constant power that delivers this energy over the duration.
+    fn div(self, rhs: Hours) -> Kilowatts {
+        Kilowatts::new(self.value() / rhs.value())
+    }
+}
+
+impl core::ops::Div<Hours> for MegawattHours {
+    type Output = Megawatts;
+
+    /// The constant power that delivers this energy over the duration.
+    fn div(self, rhs: Hours) -> Megawatts {
+        Megawatts::new(self.value() / rhs.value())
+    }
+}
+
+impl core::ops::Div<Kilowatts> for KilowattHours {
+    type Output = Hours;
+
+    /// How long delivering this energy takes at the given rate.
+    fn div(self, rhs: Kilowatts) -> Hours {
+        Hours::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = KilowattHours::new(50.0) / Hours::new(0.5);
+        assert_eq!(p, Kilowatts::new(100.0));
+        let pm = MegawattHours::new(6.0) / Hours::new(2.0);
+        assert_eq!(pm, Megawatts::new(3.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_time() {
+        let t = KilowattHours::new(50.0) / Kilowatts::new(100.0);
+        assert_eq!(t, Hours::new(0.5));
+    }
+
+    #[test]
+    fn kwh_mwh_roundtrip() {
+        let e = KilowattHours::new(4146.16);
+        let m = e.to_megawatt_hours();
+        assert!((m.value() - 4.14616).abs() < 1e-12);
+        assert_eq!(m.to_kilowatt_hours(), e);
+    }
+}

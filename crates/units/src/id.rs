@@ -1,0 +1,77 @@
+//! Identifiers shared between the WPT, game, and bench crates.
+
+use core::fmt;
+
+/// Identifies one OLEV (online electric vehicle) within a game instance.
+///
+/// Ids are dense indices assigned by the scenario builder, so they double as
+/// row indices into the power-schedule matrix.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct OlevId(pub usize);
+
+impl OlevId {
+    /// The dense index of this OLEV.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OlevId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "olev#{}", self.0)
+    }
+}
+
+impl From<usize> for OlevId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Identifies one road-embedded charging section.
+///
+/// Ids are dense indices assigned by the scenario builder, so they double as
+/// column indices into the power-schedule matrix.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct SectionId(pub usize);
+
+impl SectionId {
+    /// The dense index of this charging section.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "section#{}", self.0)
+    }
+}
+
+impl From<usize> for SectionId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(OlevId(1) < OlevId(2));
+        assert_eq!(OlevId(3).to_string(), "olev#3");
+        assert_eq!(SectionId(7).to_string(), "section#7");
+        assert_eq!(SectionId::from(4).index(), 4);
+        assert_eq!(OlevId::from(9).index(), 9);
+    }
+}

@@ -1,0 +1,244 @@
+//! Typed physical quantities and identifiers shared across the OES workspace.
+//!
+//! Every quantity that crosses a crate boundary in this reproduction is a
+//! newtype over `f64` ([C-NEWTYPE]): a kilowatt is not a kilowatt-hour is not
+//! a dollar, and the compiler enforces it. All quantities are `Copy`, ordered,
+//! serializable, and support the arithmetic that is physically meaningful
+//! (e.g. `Kilowatts * Hours = KilowattHours`, `Volts * Amperes` yields watts).
+//!
+//! # Examples
+//!
+//! ```
+//! use oes_units::{Kilowatts, Hours, KilowattHours, MilesPerHour};
+//!
+//! let rate = Kilowatts::new(100.0);
+//! let energy: KilowattHours = rate * Hours::new(0.5);
+//! assert_eq!(energy, KilowattHours::new(50.0));
+//!
+//! let v = MilesPerHour::new(60.0).to_meters_per_second();
+//! assert!((v.value() - 26.8224).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod id;
+mod money;
+mod motion;
+mod power;
+mod ratio;
+mod time;
+
+pub use energy::{KilowattHours, MegawattHours};
+pub use id::{OlevId, SectionId};
+pub use money::{Dollars, DollarsPerMegawattHour};
+pub use motion::{Meters, MetersPerSecond, MilesPerHour};
+pub use power::{Amperes, Kilowatts, Megawatts, Volts};
+pub use ratio::{Efficiency, RatioError, StateOfCharge};
+pub use time::{Hours, Seconds};
+
+/// Defines a transparent `f64` newtype quantity with the shared trait surface
+/// and same-unit arithmetic every quantity in this crate supports.
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in this unit.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in this unit.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor ±∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Division of same-unit quantities yields a dimensionless ratio.
+        impl core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Kilowatts::new(2.0);
+        let b = Kilowatts::new(3.0);
+        assert_eq!((a + b).value(), 5.0);
+        assert_eq!((b - a).value(), 1.0);
+        assert_eq!((-a).value(), -2.0);
+        assert_eq!((a * 2.0).value(), 4.0);
+        assert_eq!((2.0 * a).value(), 4.0);
+        assert_eq!((b / 2.0).value(), 1.5);
+        assert_eq!(b / a, 1.5);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let xs = [Kilowatts::new(1.0), Kilowatts::new(2.5), Kilowatts::new(0.5)];
+        let total: Kilowatts = xs.iter().sum();
+        assert_eq!(total, Kilowatts::new(4.0));
+        let total2: Kilowatts = xs.into_iter().sum();
+        assert_eq!(total2, Kilowatts::new(4.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Kilowatts::new(1.5).to_string(), "1.5 kW");
+        assert_eq!(format!("{:.2}", Dollars::new(2.5551)), "2.56 $");
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Meters::new(1.0);
+        let b = Meters::new(5.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Meters::new(9.0).clamp(a, b), b);
+        assert_eq!(Meters::new(-2.0).clamp(a, b), a);
+        assert_eq!(Meters::new(3.0).clamp(a, b), Meters::new(3.0));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Kilowatts::default(), Kilowatts::ZERO);
+        assert_eq!(Seconds::default(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Kilowatts::new(1.0).is_finite());
+        assert!(!Kilowatts::new(f64::NAN).is_finite());
+        assert!(!Kilowatts::new(f64::INFINITY).is_finite());
+    }
+}

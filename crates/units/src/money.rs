@@ -1,0 +1,58 @@
+//! Monetary quantities.
+
+use crate::quantity;
+use crate::MegawattHours;
+
+quantity! {
+    /// An amount of money in US dollars.
+    Dollars, "$"
+}
+
+quantity! {
+    /// An energy price in dollars per megawatt-hour, the unit of the NYISO
+    /// location-based marginal price (LBMP) that the paper uses as β.
+    DollarsPerMegawattHour, "$/MWh"
+}
+
+impl core::ops::Mul<MegawattHours> for DollarsPerMegawattHour {
+    type Output = Dollars;
+
+    /// The cost of an amount of energy at this price.
+    fn mul(self, rhs: MegawattHours) -> Dollars {
+        Dollars::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<DollarsPerMegawattHour> for MegawattHours {
+    type Output = Dollars;
+    fn mul(self, rhs: DollarsPerMegawattHour) -> Dollars {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<MegawattHours> for Dollars {
+    type Output = DollarsPerMegawattHour;
+
+    /// The unit price implied by a total cost over an amount of energy.
+    fn div(self, rhs: MegawattHours) -> DollarsPerMegawattHour {
+        DollarsPerMegawattHour::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_times_energy_is_cost() {
+        let cost = DollarsPerMegawattHour::new(20.0) * MegawattHours::new(2.5);
+        assert_eq!(cost, Dollars::new(50.0));
+        assert_eq!(MegawattHours::new(2.5) * DollarsPerMegawattHour::new(20.0), cost);
+    }
+
+    #[test]
+    fn cost_over_energy_is_unit_price() {
+        let unit = Dollars::new(50.0) / MegawattHours::new(2.5);
+        assert_eq!(unit, DollarsPerMegawattHour::new(20.0));
+    }
+}

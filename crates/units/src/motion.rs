@@ -1,0 +1,91 @@
+//! Distance and speed quantities.
+
+use crate::quantity;
+use crate::time::Seconds;
+
+/// Meters per mile, exact by definition of the international mile.
+const METERS_PER_MILE: f64 = 1609.344;
+
+quantity! {
+    /// Distance in meters (road-network and charging-section unit).
+    Meters, "m"
+}
+
+quantity! {
+    /// Speed in meters per second (the traffic-simulation unit).
+    MetersPerSecond, "m/s"
+}
+
+quantity! {
+    /// Speed in miles per hour (the unit the paper's figures use).
+    MilesPerHour, "mph"
+}
+
+impl MetersPerSecond {
+    /// Converts to miles per hour.
+    #[must_use]
+    pub fn to_miles_per_hour(self) -> MilesPerHour {
+        MilesPerHour::new(self.value() * 3600.0 / METERS_PER_MILE)
+    }
+}
+
+impl MilesPerHour {
+    /// Converts to meters per second.
+    #[must_use]
+    pub fn to_meters_per_second(self) -> MetersPerSecond {
+        MetersPerSecond::new(self.value() * METERS_PER_MILE / 3600.0)
+    }
+}
+
+impl core::ops::Mul<Seconds> for MetersPerSecond {
+    type Output = Meters;
+
+    /// Distance covered at this speed over a duration.
+    fn mul(self, rhs: Seconds) -> Meters {
+        Meters::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<MetersPerSecond> for Seconds {
+    type Output = Meters;
+    fn mul(self, rhs: MetersPerSecond) -> Meters {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<MetersPerSecond> for Meters {
+    type Output = Seconds;
+
+    /// Time to cover this distance at the given speed.
+    fn div(self, rhs: MetersPerSecond) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mph_mps_roundtrip() {
+        let v = MilesPerHour::new(60.0);
+        let mps = v.to_meters_per_second();
+        assert!((mps.value() - 26.8224).abs() < 1e-9);
+        let back = mps.to_miles_per_hour();
+        assert!((back.value() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_times_time_is_distance() {
+        let d = MetersPerSecond::new(10.0) * Seconds::new(20.0);
+        assert_eq!(d, Meters::new(200.0));
+        assert_eq!(Seconds::new(20.0) * MetersPerSecond::new(10.0), d);
+    }
+
+    #[test]
+    fn distance_over_speed_is_time() {
+        // A 200 m charging section traversed at 60 mph takes ≈ 7.46 s.
+        let t = Meters::new(200.0) / MilesPerHour::new(60.0).to_meters_per_second();
+        assert!((t.value() - 7.456454).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Power and electrical quantities.
+
+use crate::quantity;
+use crate::time::Hours;
+use crate::KilowattHours;
+
+quantity! {
+    /// Electrical power in kilowatts.
+    ///
+    /// Throughout the paper "power" denotes the transfer *rate* of energy from
+    /// a charging section to an OLEV; this is that rate.
+    Kilowatts, "kW"
+}
+
+quantity! {
+    /// Electrical power in megawatts, used on the grid-operator side.
+    Megawatts, "MW"
+}
+
+quantity! {
+    /// Electrical potential in volts (e.g. a charging-section line voltage).
+    Volts, "V"
+}
+
+quantity! {
+    /// Electrical current in amperes (e.g. a line's maximum rated current).
+    Amperes, "A"
+}
+
+impl Kilowatts {
+    /// Converts to megawatts.
+    #[must_use]
+    pub fn to_megawatts(self) -> Megawatts {
+        Megawatts::new(self.value() / 1000.0)
+    }
+}
+
+impl Megawatts {
+    /// Converts to kilowatts.
+    #[must_use]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts::new(self.value() * 1000.0)
+    }
+}
+
+impl core::ops::Mul<Amperes> for Volts {
+    type Output = Kilowatts;
+
+    /// Electrical power `P = V · I`, expressed in kilowatts.
+    fn mul(self, rhs: Amperes) -> Kilowatts {
+        Kilowatts::new(self.value() * rhs.value() / 1000.0)
+    }
+}
+
+impl core::ops::Mul<Volts> for Amperes {
+    type Output = Kilowatts;
+    fn mul(self, rhs: Volts) -> Kilowatts {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<Hours> for Kilowatts {
+    type Output = KilowattHours;
+
+    /// Energy delivered at this rate over a duration.
+    fn mul(self, rhs: Hours) -> KilowattHours {
+        KilowattHours::new(self.value() * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Kilowatts> for Hours {
+    type Output = KilowattHours;
+    fn mul(self, rhs: Kilowatts) -> KilowattHours {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_ampere_product_is_kilowatts() {
+        // The Chevy Spark preset from the paper: 399 V nominal, 240 A.
+        let p = Volts::new(399.0) * Amperes::new(240.0);
+        assert!((p.value() - 95.76).abs() < 1e-12);
+        assert_eq!(Amperes::new(240.0) * Volts::new(399.0), p);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Kilowatts::new(100.0) * Hours::new(2.0);
+        assert_eq!(e, KilowattHours::new(200.0));
+        assert_eq!(Hours::new(2.0) * Kilowatts::new(100.0), e);
+    }
+
+    #[test]
+    fn kilowatt_megawatt_roundtrip() {
+        let kw = Kilowatts::new(2500.0);
+        assert_eq!(kw.to_megawatts(), Megawatts::new(2.5));
+        assert_eq!(kw.to_megawatts().to_kilowatts(), kw);
+    }
+}

@@ -1,0 +1,184 @@
+//! Validated dimensionless ratios: state of charge and efficiencies.
+
+use core::fmt;
+
+/// Error returned when constructing a ratio outside its valid range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioError {
+    kind: &'static str,
+    value: f64,
+}
+
+impl RatioError {
+    /// The offending value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for RatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} out of range: {}", self.kind, self.value)
+    }
+}
+
+impl std::error::Error for RatioError {}
+
+/// A battery state of charge, the fraction of capacity currently stored.
+///
+/// Always within `[0, 1]`; construction validates the range ([C-VALIDATE]).
+///
+/// # Examples
+///
+/// ```
+/// use oes_units::StateOfCharge;
+///
+/// let soc = StateOfCharge::new(0.5)?;
+/// assert_eq!(soc.fraction(), 0.5);
+/// assert!(StateOfCharge::new(1.2).is_err());
+/// # Ok::<(), oes_units::RatioError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct StateOfCharge(f64);
+
+impl StateOfCharge {
+    /// An empty battery.
+    pub const EMPTY: Self = Self(0.0);
+    /// A full battery.
+    pub const FULL: Self = Self(1.0);
+
+    /// Creates a state of charge from a fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError`] if `fraction` is NaN or outside `[0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self, RatioError> {
+        if (0.0..=1.0).contains(&fraction) {
+            Ok(Self(fraction))
+        } else {
+            Err(RatioError { kind: "state of charge", value: fraction })
+        }
+    }
+
+    /// Creates a state of charge, clamping out-of-range values into `[0, 1]`.
+    ///
+    /// NaN clamps to `0`.
+    #[must_use]
+    pub fn saturating(fraction: f64) -> Self {
+        if fraction.is_nan() {
+            Self::EMPTY
+        } else {
+            Self(fraction.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The stored fraction in `[0, 1]`.
+    #[must_use]
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// The stored fraction as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl fmt::Display for StateOfCharge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}% SOC", self.percent())
+    }
+}
+
+/// A conversion efficiency in `(0, 1]`, e.g. the paper's energy-transfer
+/// efficiency η_E or vehicle driving efficiency η_OLEV.
+///
+/// Zero is excluded because every use in the model divides by an efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Efficiency(f64);
+
+impl Efficiency {
+    /// A lossless (100%) efficiency.
+    pub const PERFECT: Self = Self(1.0);
+
+    /// Creates an efficiency from a fraction in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioError`] if `fraction` is NaN, non-positive, or above 1.
+    pub fn new(fraction: f64) -> Result<Self, RatioError> {
+        if fraction > 0.0 && fraction <= 1.0 {
+            Ok(Self(fraction))
+        } else {
+            Err(RatioError { kind: "efficiency", value: fraction })
+        }
+    }
+
+    /// The efficiency as a fraction in `(0, 1]`.
+    #[must_use]
+    pub const fn fraction(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Efficiency {
+    fn default() -> Self {
+        Self::PERFECT
+    }
+}
+
+impl fmt::Display for Efficiency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}% efficient", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_validates_range() {
+        assert!(StateOfCharge::new(0.0).is_ok());
+        assert!(StateOfCharge::new(1.0).is_ok());
+        assert!(StateOfCharge::new(-0.01).is_err());
+        assert!(StateOfCharge::new(1.01).is_err());
+        assert!(StateOfCharge::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn soc_saturating_clamps() {
+        assert_eq!(StateOfCharge::saturating(1.5), StateOfCharge::FULL);
+        assert_eq!(StateOfCharge::saturating(-0.5), StateOfCharge::EMPTY);
+        assert_eq!(StateOfCharge::saturating(f64::NAN), StateOfCharge::EMPTY);
+        assert_eq!(StateOfCharge::saturating(0.42).fraction(), 0.42);
+    }
+
+    #[test]
+    fn soc_percent_and_display() {
+        let soc = StateOfCharge::new(0.25).unwrap();
+        assert_eq!(soc.percent(), 25.0);
+        assert_eq!(soc.to_string(), "25.0% SOC");
+    }
+
+    #[test]
+    fn efficiency_excludes_zero() {
+        assert!(Efficiency::new(0.0).is_err());
+        assert!(Efficiency::new(-0.1).is_err());
+        assert!(Efficiency::new(1.1).is_err());
+        assert!(Efficiency::new(f64::NAN).is_err());
+        assert!(Efficiency::new(1.0).is_ok());
+        assert_eq!(Efficiency::default(), Efficiency::PERFECT);
+    }
+
+    #[test]
+    fn ratio_error_reports_value() {
+        let err = StateOfCharge::new(2.0).unwrap_err();
+        assert_eq!(err.value(), 2.0);
+        assert!(err.to_string().contains("state of charge"));
+    }
+}

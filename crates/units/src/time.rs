@@ -1,0 +1,51 @@
+//! Time quantities.
+
+use crate::quantity;
+
+quantity! {
+    /// Duration in seconds (the traffic-simulation step unit).
+    Seconds, "s"
+}
+
+quantity! {
+    /// Duration in hours (the market and figure-axis unit).
+    Hours, "h"
+}
+
+impl Seconds {
+    /// Converts to hours.
+    #[must_use]
+    pub fn to_hours(self) -> Hours {
+        Hours::new(self.value() / 3600.0)
+    }
+
+    /// Converts to whole minutes as a floating-point count.
+    #[must_use]
+    pub fn to_minutes(self) -> f64 {
+        self.value() / 60.0
+    }
+}
+
+impl Hours {
+    /// Converts to seconds.
+    #[must_use]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.value() * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_hours_roundtrip() {
+        assert_eq!(Seconds::new(5400.0).to_hours(), Hours::new(1.5));
+        assert_eq!(Hours::new(1.5).to_seconds(), Seconds::new(5400.0));
+    }
+
+    #[test]
+    fn minutes_conversion() {
+        assert_eq!(Seconds::new(90.0).to_minutes(), 1.5);
+    }
+}

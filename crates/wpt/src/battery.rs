@@ -1,0 +1,179 @@
+//! The OLEV battery model.
+//!
+//! The paper's evaluation fixes the battery to the Chevrolet Spark pack:
+//! 46.2 Ah capacity, 399 V nominal, 325 V cutoff, 240 A maximum current, with
+//! SOC kept inside `[SOC_min, SOC_max] = [0.2, 0.9]` for safety and battery
+//! life.
+
+use oes_units::{Amperes, KilowattHours, Kilowatts, StateOfCharge, Volts};
+
+/// The electrical specification of a battery pack.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatterySpec {
+    /// Charge capacity in ampere-hours.
+    pub capacity_ah: f64,
+    /// Nominal (regular) voltage.
+    pub nominal_voltage: Volts,
+    /// Cutoff voltage — discharge below this is not allowed.
+    pub cutoff_voltage: Volts,
+    /// Maximum charge/discharge current.
+    pub max_current: Amperes,
+}
+
+impl BatterySpec {
+    /// The paper's Chevrolet Spark pack: 46.2 Ah, 399 V, 325 V cutoff, 240 A.
+    #[must_use]
+    pub fn chevy_spark() -> Self {
+        Self {
+            capacity_ah: 46.2,
+            nominal_voltage: Volts::new(399.0),
+            cutoff_voltage: Volts::new(325.0),
+            max_current: Amperes::new(240.0),
+        }
+    }
+
+    /// Total energy capacity at nominal voltage.
+    #[must_use]
+    pub fn energy_capacity(&self) -> KilowattHours {
+        KilowattHours::new(self.capacity_ah * self.nominal_voltage.value() / 1000.0)
+    }
+
+    /// Maximum charge/discharge power `P_max = V · I_max`.
+    #[must_use]
+    pub fn max_power(&self) -> Kilowatts {
+        self.nominal_voltage * self.max_current
+    }
+
+    /// Validates physical plausibility.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.capacity_ah > 0.0
+            && self.nominal_voltage.value() > 0.0
+            && self.cutoff_voltage.value() > 0.0
+            && self.cutoff_voltage <= self.nominal_voltage
+            && self.max_current.value() > 0.0
+    }
+}
+
+impl Default for BatterySpec {
+    fn default() -> Self {
+        Self::chevy_spark()
+    }
+}
+
+/// A battery pack with a state of charge.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Battery {
+    spec: BatterySpec,
+    soc: StateOfCharge,
+}
+
+impl Battery {
+    /// Creates a battery at the given state of charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is implausible.
+    #[must_use]
+    pub fn new(spec: BatterySpec, soc: StateOfCharge) -> Self {
+        assert!(spec.is_valid(), "implausible battery spec");
+        Self { spec, soc }
+    }
+
+    /// The specification.
+    #[must_use]
+    pub fn spec(&self) -> &BatterySpec {
+        &self.spec
+    }
+
+    /// Current state of charge.
+    #[must_use]
+    pub fn soc(&self) -> StateOfCharge {
+        self.soc
+    }
+
+    /// Energy currently stored.
+    #[must_use]
+    pub fn stored_energy(&self) -> KilowattHours {
+        self.spec.energy_capacity() * self.soc.fraction()
+    }
+
+    /// Charges by `energy`, saturating at a full pack; returns the energy
+    /// actually absorbed.
+    pub fn charge(&mut self, energy: KilowattHours) -> KilowattHours {
+        let cap = self.spec.energy_capacity().value();
+        let before = cap * self.soc.fraction();
+        let after = (before + energy.value().max(0.0)).min(cap);
+        self.soc = StateOfCharge::saturating(after / cap);
+        KilowattHours::new(after - before)
+    }
+
+    /// Discharges by `energy`, saturating at empty; returns the energy
+    /// actually delivered.
+    pub fn discharge(&mut self, energy: KilowattHours) -> KilowattHours {
+        let cap = self.spec.energy_capacity().value();
+        let before = cap * self.soc.fraction();
+        let after = (before - energy.value().max(0.0)).max(0.0);
+        self.soc = StateOfCharge::saturating(after / cap);
+        KilowattHours::new(before - after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_preset_energy_and_power() {
+        let spec = BatterySpec::chevy_spark();
+        assert!(spec.is_valid());
+        // 46.2 Ah × 399 V = 18.43 kWh.
+        assert!((spec.energy_capacity().value() - 18.4338).abs() < 1e-4);
+        // 399 V × 240 A = 95.76 kW.
+        assert!((spec.max_power().value() - 95.76).abs() < 1e-10);
+    }
+
+    #[test]
+    fn invalid_specs_detected() {
+        let mut s = BatterySpec::chevy_spark();
+        s.cutoff_voltage = Volts::new(500.0);
+        assert!(!s.is_valid());
+        let mut s = BatterySpec::chevy_spark();
+        s.capacity_ah = 0.0;
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn charge_saturates_at_full() {
+        let mut b = Battery::new(BatterySpec::chevy_spark(), StateOfCharge::new(0.95).unwrap());
+        let absorbed = b.charge(KilowattHours::new(10.0));
+        assert_eq!(b.soc(), StateOfCharge::FULL);
+        assert!(absorbed.value() < 10.0);
+        assert!((absorbed.value() - 0.05 * 18.4338).abs() < 1e-3);
+    }
+
+    #[test]
+    fn discharge_saturates_at_empty() {
+        let mut b = Battery::new(BatterySpec::chevy_spark(), StateOfCharge::new(0.05).unwrap());
+        let delivered = b.discharge(KilowattHours::new(10.0));
+        assert_eq!(b.soc(), StateOfCharge::EMPTY);
+        assert!(delivered.value() < 1.0);
+    }
+
+    #[test]
+    fn charge_then_discharge_roundtrip() {
+        let mut b = Battery::new(BatterySpec::chevy_spark(), StateOfCharge::new(0.5).unwrap());
+        let e0 = b.stored_energy();
+        b.charge(KilowattHours::new(2.0));
+        b.discharge(KilowattHours::new(2.0));
+        assert!((b.stored_energy().value() - e0.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_amounts_are_ignored() {
+        let mut b = Battery::new(BatterySpec::chevy_spark(), StateOfCharge::new(0.5).unwrap());
+        assert_eq!(b.charge(KilowattHours::new(-5.0)), KilowattHours::ZERO);
+        assert_eq!(b.discharge(KilowattHours::new(-5.0)), KilowattHours::ZERO);
+        assert_eq!(b.soc(), StateOfCharge::new(0.5).unwrap());
+    }
+}

@@ -1,0 +1,405 @@
+//! Traffic ↔ WPT co-simulation: OLEVs drain their batteries by driving
+//! (road-load physics) and recharge while crossing energized charging spans.
+//!
+//! The paper's motivating study projects receivable power from dwell time
+//! alone; this module closes the loop — every participating vehicle carries
+//! a battery whose state of charge falls with the microscopic speed trace
+//! (via [`oes_traffic::energy::EnergyModel`]) and rises while the vehicle
+//! overlaps a charging span, at the span's power rating scaled by the WPT
+//! transfer efficiency, saturating at `SOC_max`. *Participation* and
+//! *willingness* (Section III's adoption factors) become a single seeded
+//! probability that a spawned vehicle is a charging OLEV.
+
+use std::collections::BTreeMap;
+
+use oes_traffic::energy::EnergyModel;
+use oes_traffic::network::EdgeId;
+use oes_traffic::sim::Simulation;
+use oes_traffic::stats::HourlyAccumulator;
+use oes_traffic::vehicle::VehicleId;
+use oes_units::{KilowattHours, Meters, MetersPerSecond, OlevId, StateOfCharge};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::olev::{Olev, OlevSpec};
+use crate::section::ChargingSection;
+
+/// One energized span of road.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChargingSpan {
+    /// The edge the span lies on.
+    pub edge: EdgeId,
+    /// Span start along the edge.
+    pub start: Meters,
+    /// Span end along the edge.
+    pub end: Meters,
+    /// The electrical section energizing the span.
+    pub section: ChargingSection,
+}
+
+impl ChargingSpan {
+    /// Whether a vehicle front at `position` (length `len`) on `edge`
+    /// overlaps this span.
+    #[must_use]
+    pub fn covers(&self, edge: EdgeId, position: Meters, len: Meters) -> bool {
+        edge == self.edge
+            && position.value() >= self.start.value()
+            && position.value() - len.value() <= self.end.value()
+    }
+}
+
+/// Summary of a finished OLEV trip.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TripRecord {
+    /// State of charge at spawn.
+    pub soc_start: StateOfCharge,
+    /// State of charge at route completion.
+    pub soc_end: StateOfCharge,
+    /// Energy received from charging spans over the trip.
+    pub received: KilowattHours,
+    /// Energy drained by driving over the trip.
+    pub drained: KilowattHours,
+}
+
+/// The co-simulation: a traffic [`Simulation`] plus batteries and spans.
+pub struct CoSimulation {
+    sim: Simulation,
+    spans: Vec<ChargingSpan>,
+    energy_model: EnergyModel,
+    spec: OlevSpec,
+    participation: f64,
+    rng: ChaCha8Rng,
+    initial_soc: StateOfCharge,
+    /// Battery + bookkeeping for each active OLEV.
+    fleet: BTreeMap<VehicleId, (Olev, KilowattHours, KilowattHours, StateOfCharge)>,
+    /// Vehicles already classified (OLEV or not).
+    seen: BTreeMap<VehicleId, bool>,
+    prev_speed: BTreeMap<VehicleId, MetersPerSecond>,
+    received_per_hour: HourlyAccumulator,
+    completed: Vec<TripRecord>,
+    total_received: KilowattHours,
+}
+
+impl core::fmt::Debug for CoSimulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CoSimulation")
+            .field("spans", &self.spans.len())
+            .field("active_olevs", &self.fleet.len())
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoSimulation {
+    /// Wraps a traffic simulation.
+    ///
+    /// `participation` is the probability a spawned vehicle is a charging
+    /// OLEV (the paper's participation × willingness); `initial_soc` is the
+    /// spawn state of charge (the paper's study uses 50%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participation` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        sim: Simulation,
+        energy_model: EnergyModel,
+        spec: OlevSpec,
+        participation: f64,
+        initial_soc: StateOfCharge,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&participation), "participation must be a probability");
+        Self {
+            sim,
+            spans: Vec::new(),
+            energy_model,
+            spec,
+            participation,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            initial_soc,
+            fleet: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            prev_speed: BTreeMap::new(),
+            received_per_hour: HourlyAccumulator::new(),
+            completed: Vec::new(),
+            total_received: KilowattHours::ZERO,
+        }
+    }
+
+    /// Adds an energized span.
+    pub fn add_span(&mut self, span: ChargingSpan) {
+        self.spans.push(span);
+    }
+
+    /// Read access to the wrapped traffic simulation.
+    #[must_use]
+    pub fn traffic(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access (to attach demand, signals, detectors).
+    pub fn traffic_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Total energy transferred grid → OLEVs so far.
+    #[must_use]
+    pub fn total_received(&self) -> KilowattHours {
+        self.total_received
+    }
+
+    /// Per-hour received energy (kWh per hour bucket) — the Fig. 3(c)
+    /// quantity, measured instead of projected.
+    #[must_use]
+    pub fn received_per_hour(&self) -> &HourlyAccumulator {
+        &self.received_per_hour
+    }
+
+    /// Completed OLEV trips.
+    #[must_use]
+    pub fn completed_trips(&self) -> &[TripRecord] {
+        &self.completed
+    }
+
+    /// Currently active OLEVs.
+    #[must_use]
+    pub fn active_olevs(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Mean state of charge across active OLEVs (`None` when empty).
+    #[must_use]
+    pub fn mean_soc(&self) -> Option<StateOfCharge> {
+        if self.fleet.is_empty() {
+            return None;
+        }
+        let sum: f64 =
+            self.fleet.values().map(|(olev, ..)| olev.battery().soc().fraction()).sum();
+        Some(StateOfCharge::saturating(sum / self.fleet.len() as f64))
+    }
+
+    /// Advances traffic and batteries by one step.
+    pub fn step(&mut self) {
+        let dt = self.sim.config().step;
+        // Remember the pre-step speeds for mean-value drain integration.
+        let snapshot: Vec<(VehicleId, MetersPerSecond)> =
+            self.sim.vehicles().map(|v| (v.id, v.speed)).collect();
+        for (id, speed) in snapshot {
+            self.prev_speed.entry(id).or_insert(speed);
+        }
+        self.sim.step();
+        let now = self.sim.time();
+
+        // Classify new vehicles, then update every active OLEV battery.
+        let states: Vec<(VehicleId, EdgeId, Meters, Meters, MetersPerSecond)> = self
+            .sim
+            .vehicles()
+            .map(|v| (v.id, v.current_edge(), v.position, v.params.length, v.speed))
+            .collect();
+        for (id, edge, position, len, speed) in &states {
+            if !self.seen.contains_key(id) {
+                let is_olev = self.rng.gen_bool(self.participation);
+                self.seen.insert(*id, is_olev);
+                if is_olev {
+                    let olev = Olev::new(
+                        OlevId(id.0 as usize),
+                        self.spec,
+                        self.initial_soc,
+                        self.spec.soc_max,
+                    );
+                    self.fleet.insert(
+                        *id,
+                        (olev, KilowattHours::ZERO, KilowattHours::ZERO, self.initial_soc),
+                    );
+                }
+            }
+            let Some((olev, received, drained, _)) = self.fleet.get_mut(id) else {
+                continue;
+            };
+            olev.set_velocity(*speed);
+            // Drive drain (regen charges back).
+            let before = self.prev_speed.get(id).copied().unwrap_or(*speed);
+            let delta = self.energy_model.energy_over_step(before, *speed, dt);
+            if delta.value() >= 0.0 {
+                let taken = olev.battery_mut().discharge(delta);
+                *drained += taken;
+            } else {
+                olev.battery_mut().charge(-delta);
+                *drained -= -delta;
+            }
+            // Wireless transfer while over an energized span.
+            let spec_max = self.spec.soc_max;
+            for span in &self.spans {
+                if span.covers(*edge, *position, *len)
+                    && olev.battery().soc() < spec_max
+                {
+                    let offered = span.section.power_rating()
+                        * dt.to_hours()
+                        * self.spec.transfer_efficiency.fraction();
+                    // Respect the SOC ceiling.
+                    let cap = self.spec.battery.energy_capacity().value()
+                        * (spec_max.fraction() - olev.battery().soc().fraction());
+                    let energy = KilowattHours::new(offered.value().min(cap.max(0.0)));
+                    let absorbed = olev.battery_mut().charge(energy);
+                    *received += absorbed;
+                    self.total_received += absorbed;
+                    self.received_per_hour.add(now, absorbed.value());
+                }
+            }
+        }
+        for (id, _, _, _, speed) in &states {
+            self.prev_speed.insert(*id, *speed);
+        }
+
+        // Retire OLEVs whose vehicles exited.
+        let active: Vec<VehicleId> = states.iter().map(|s| s.0).collect();
+        let gone: Vec<VehicleId> =
+            self.fleet.keys().filter(|id| !active.contains(id)).copied().collect();
+        for id in gone {
+            let (olev, received, drained, soc_start) =
+                self.fleet.remove(&id).expect("key just listed");
+            self.completed.push(TripRecord {
+                soc_start,
+                soc_end: olev.battery().soc(),
+                received,
+                drained,
+            });
+            self.prev_speed.remove(&id);
+        }
+    }
+
+    /// Runs whole steps until `duration` has elapsed.
+    pub fn run_for(&mut self, duration: oes_units::Seconds) {
+        let end = self.sim.time() + duration;
+        while self.sim.time() < end {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oes_traffic::corridor::CorridorBuilder;
+    use oes_traffic::counts::HourlyCounts;
+    use oes_units::{SectionId, Seconds};
+
+    fn cosim(participation: f64, with_span: bool, demand: u32) -> CoSimulation {
+        let mut builder = CorridorBuilder::new();
+        builder
+            .blocks(3, Meters::new(250.0))
+            .counts(HourlyCounts::new(vec![demand]))
+            .seed(9);
+        let sim = builder.build();
+        let mut co = CoSimulation::new(
+            sim,
+            EnergyModel::chevy_spark_ev(),
+            OlevSpec::chevy_spark_default(),
+            participation,
+            StateOfCharge::saturating(0.5),
+            9,
+        );
+        if with_span {
+            co.add_span(ChargingSpan {
+                edge: EdgeId(0),
+                start: Meters::new(50.0),
+                end: Meters::new(250.0),
+                section: ChargingSection::paper_default(SectionId(0)),
+            });
+        }
+        co
+    }
+
+    #[test]
+    fn zero_participation_transfers_nothing() {
+        let mut co = cosim(0.0, true, 600);
+        co.run_for(Seconds::new(600.0));
+        assert_eq!(co.total_received(), KilowattHours::ZERO);
+        assert_eq!(co.active_olevs(), 0);
+        assert!(co.completed_trips().is_empty());
+    }
+
+    #[test]
+    fn full_participation_charges_through_the_span() {
+        let mut co = cosim(1.0, true, 600);
+        co.run_for(Seconds::new(1200.0));
+        assert!(co.total_received().value() > 0.0, "no energy transferred");
+        assert!(!co.completed_trips().is_empty());
+        // Trips through the span should end above their start SOC: the span
+        // dwarfs the short corridor's drive drain.
+        let improved = co
+            .completed_trips()
+            .iter()
+            .filter(|t| t.soc_end > t.soc_start)
+            .count();
+        assert!(
+            improved * 2 > co.completed_trips().len(),
+            "most trips should gain charge: {improved}/{}",
+            co.completed_trips().len()
+        );
+    }
+
+    #[test]
+    fn without_span_batteries_only_drain() {
+        let mut co = cosim(1.0, false, 600);
+        co.run_for(Seconds::new(1200.0));
+        assert_eq!(co.total_received(), KilowattHours::ZERO);
+        for t in co.completed_trips() {
+            assert!(t.soc_end <= t.soc_start, "SOC rose without a span");
+            assert!(t.drained.value() > 0.0);
+            assert_eq!(t.received, KilowattHours::ZERO);
+        }
+        assert!(!co.completed_trips().is_empty());
+    }
+
+    #[test]
+    fn soc_never_exceeds_ceiling() {
+        let mut co = cosim(1.0, true, 300);
+        let ceiling = OlevSpec::chevy_spark_default().soc_max;
+        for _ in 0..1200 {
+            co.step();
+            if let Some(mean) = co.mean_soc() {
+                assert!(mean <= ceiling, "mean SOC {mean} above ceiling");
+            }
+        }
+        for t in co.completed_trips() {
+            assert!(t.soc_end <= ceiling);
+        }
+    }
+
+    #[test]
+    fn energy_balance_is_consistent() {
+        // received − drained must equal the battery delta for each trip.
+        let mut co = cosim(1.0, true, 500);
+        co.run_for(Seconds::new(1500.0));
+        let cap = OlevSpec::chevy_spark_default().battery.energy_capacity().value();
+        for t in co.completed_trips() {
+            let delta_soc = (t.soc_end.fraction() - t.soc_start.fraction()) * cap;
+            let balance = t.received.value() - t.drained.value();
+            assert!(
+                (delta_soc - balance).abs() < 0.05 * cap.max(1.0),
+                "imbalance: ΔSOC·cap={delta_soc} vs received−drained={balance}"
+            );
+        }
+    }
+
+    #[test]
+    fn hourly_accounting_sums_to_total() {
+        let mut co = cosim(0.7, true, 700);
+        co.run_for(Seconds::new(1800.0));
+        let sum = co.received_per_hour().total();
+        assert!((sum - co.total_received().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut co = cosim(0.5, true, 500);
+            co.run_for(Seconds::new(900.0));
+            (co.total_received().value().to_bits(), co.completed_trips().len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,137 @@
+//! The wireless power link's efficiency model.
+//!
+//! The paper's related work (Onar et al., Shin et al.) measures how the WPT
+//! magnetic link degrades with the air gap between the road coil and the
+//! vehicle pick-up, and with lateral misalignment from the lane center. This
+//! module provides that physics in the standard series-resonant form: the
+//! coupling coefficient decays with gap and misalignment, and the link
+//! efficiency follows `η = k²Q₁Q₂ / (1 + √(1 + k²Q₁Q₂))²`, the classic
+//! figure-of-merit expression for resonant inductive transfer.
+
+use oes_units::{Efficiency, Meters};
+
+/// A resonant inductive link between a road coil and a vehicle pick-up.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CouplingModel {
+    /// Coupling coefficient at the nominal air gap with perfect alignment.
+    pub k0: f64,
+    /// Nominal design air gap.
+    pub nominal_gap: Meters,
+    /// Exponential decay length of `k` with extra gap.
+    pub gap_decay: Meters,
+    /// Lateral distance at which `k` halves.
+    pub misalignment_half_width: Meters,
+    /// Loaded quality factor product `Q₁·Q₂` of the two resonators.
+    pub q_product: f64,
+}
+
+impl CouplingModel {
+    /// A roadway-WPT-like design: `k₀ = 0.2` at a 20 cm gap, decaying with
+    /// ~12 cm length, halving at 25 cm of lateral offset, `Q₁Q₂ = 10 000`.
+    #[must_use]
+    pub fn roadway_default() -> Self {
+        Self {
+            k0: 0.2,
+            nominal_gap: Meters::new(0.20),
+            gap_decay: Meters::new(0.12),
+            misalignment_half_width: Meters::new(0.25),
+            q_product: 10_000.0,
+        }
+    }
+
+    /// The coupling coefficient at an `air_gap` and lateral `misalignment`.
+    ///
+    /// Clamped to `[0, 1]`; gaps below nominal do not increase `k` beyond
+    /// `k0` (the design point).
+    #[must_use]
+    pub fn coupling(&self, air_gap: Meters, misalignment: Meters) -> f64 {
+        let extra = (air_gap.value() - self.nominal_gap.value()).max(0.0);
+        let gap_term = (-extra / self.gap_decay.value()).exp();
+        let m = misalignment.value().abs() / self.misalignment_half_width.value();
+        let align_term = 0.5f64.powf(m);
+        (self.k0 * gap_term * align_term).clamp(0.0, 1.0)
+    }
+
+    /// The link efficiency at an operating point:
+    /// `η = x / (1 + √(1 + x))²` with `x = k²·Q₁Q₂`.
+    #[must_use]
+    pub fn efficiency(&self, air_gap: Meters, misalignment: Meters) -> Efficiency {
+        let k = self.coupling(air_gap, misalignment);
+        let x = k * k * self.q_product;
+        let eta = x / (1.0 + (1.0 + x).sqrt()).powi(2);
+        // x = 0 ⇒ η = 0, which Efficiency excludes; floor at a tiny link.
+        Efficiency::new(eta.clamp(1e-9, 1.0)).expect("eta in range by construction")
+    }
+}
+
+impl Default for CouplingModel {
+    fn default() -> Self {
+        Self::roadway_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: f64) -> Meters {
+        Meters::new(v)
+    }
+
+    #[test]
+    fn design_point_is_highly_efficient() {
+        let c = CouplingModel::roadway_default();
+        let eta = c.efficiency(m(0.20), m(0.0)).fraction();
+        // k = 0.2, x = 400 ⇒ η ≈ 0.905.
+        assert!((0.88..=0.92).contains(&eta), "design-point efficiency {eta}");
+    }
+
+    #[test]
+    fn efficiency_decays_with_air_gap() {
+        let c = CouplingModel::roadway_default();
+        let e20 = c.efficiency(m(0.20), m(0.0)).fraction();
+        let e35 = c.efficiency(m(0.35), m(0.0)).fraction();
+        let e60 = c.efficiency(m(0.60), m(0.0)).fraction();
+        assert!(e20 > e35 && e35 > e60);
+        assert!(e60 < 0.8, "a 60 cm gap should hurt: {e60}");
+    }
+
+    #[test]
+    fn efficiency_decays_with_misalignment_symmetrically() {
+        let c = CouplingModel::roadway_default();
+        let center = c.efficiency(m(0.20), m(0.0)).fraction();
+        let off = c.efficiency(m(0.20), m(0.5)).fraction();
+        assert!(off < center);
+        assert_eq!(
+            c.efficiency(m(0.20), m(0.3)).fraction(),
+            c.efficiency(m(0.20), m(-0.3)).fraction()
+        );
+    }
+
+    #[test]
+    fn coupling_halves_at_the_half_width() {
+        let c = CouplingModel::roadway_default();
+        let k0 = c.coupling(m(0.20), m(0.0));
+        let k_half = c.coupling(m(0.20), m(0.25));
+        assert!((k_half - 0.5 * k0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_gap_does_not_exceed_design_coupling() {
+        let c = CouplingModel::roadway_default();
+        assert_eq!(c.coupling(m(0.05), m(0.0)), c.k0);
+    }
+
+    #[test]
+    fn paper_preset_consistency() {
+        // The OlevSpec's flat 85% transfer efficiency corresponds to a
+        // mildly degraded operating point of this model (≈ 27 cm gap or
+        // ≈ 18 cm offset) — the models agree on the regime.
+        let c = CouplingModel::roadway_default();
+        let found = (20..60).any(|cm| {
+            let eta = c.efficiency(m(cm as f64 / 100.0), m(0.0)).fraction();
+            (eta - 0.85).abs() < 0.02
+        });
+        assert!(found, "0.85 should be reachable within realistic gaps");
+    }
+}

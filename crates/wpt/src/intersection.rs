@@ -1,0 +1,233 @@
+//! The intersection-time study: the bridge from the traffic simulator to
+//! receivable energy, reproducing the paper's Fig. 3.
+//!
+//! The paper runs SUMO over Flatlands Avenue with hourly NYC counts, places a
+//! 200 m charging section either immediately before a traffic light or
+//! mid-block, and reports (b) the hourly *intersection time* (total vehicle
+//! dwell over the section) and (c) the hourly energy OLEVs could receive at
+//! full participation. [`IntersectionStudy`] reproduces exactly that
+//! pipeline on the [`oes_traffic`] substrate.
+
+use oes_traffic::corridor::{CorridorBuilder, SectionPlacement};
+use oes_traffic::counts::HourlyCounts;
+use oes_units::{Hours, KilowattHours, Kilowatts, Meters, MetersPerSecond, Seconds};
+
+/// One hourly series of the study: dwell time and the energy it implies.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct HourlyEnergy {
+    /// Placement label ("at traffic light" / "at middle").
+    pub label: String,
+    /// Per-hour total dwell (the paper's intersection time, Fig. 3(b)).
+    pub dwell: Vec<Seconds>,
+    /// Per-hour receivable energy at full participation (Fig. 3(c)).
+    pub energy: Vec<KilowattHours>,
+}
+
+impl HourlyEnergy {
+    /// Total dwell across all hours.
+    #[must_use]
+    pub fn total_dwell(&self) -> Seconds {
+        self.dwell.iter().copied().sum()
+    }
+
+    /// Total receivable energy across all hours.
+    #[must_use]
+    pub fn total_energy(&self) -> KilowattHours {
+        self.energy.iter().copied().sum()
+    }
+}
+
+/// The full report of one study run: both placements over the same demand.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StudyReport {
+    /// Section placed immediately before the first traffic light.
+    pub at_light: HourlyEnergy,
+    /// Section placed away from the lights.
+    pub at_middle: HourlyEnergy,
+    /// Vehicles that entered the corridor.
+    pub vehicles_entered: u64,
+}
+
+/// Configures and runs the Fig. 3 study.
+///
+/// # Examples
+///
+/// ```no_run
+/// use oes_wpt::IntersectionStudy;
+///
+/// let report = IntersectionStudy::new().hours(24).run();
+/// assert!(report.at_light.total_dwell() > report.at_middle.total_dwell());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntersectionStudy {
+    counts: HourlyCounts,
+    section_length: Meters,
+    section_power: Kilowatts,
+    speed_limit: MetersPerSecond,
+    block_length: Meters,
+    blocks: usize,
+    signal_green: Seconds,
+    signal_red: Seconds,
+    hours: usize,
+    seed: u64,
+}
+
+impl IntersectionStudy {
+    /// The paper's setup: 200 m section, 100 kW capacity, a three-block
+    /// signalized arterial, NYC-like diurnal counts, 24 hours.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: HourlyCounts::nyc_arterial_like(700, 0),
+            section_length: Meters::new(200.0),
+            section_power: Kilowatts::new(100.0),
+            speed_limit: MetersPerSecond::new(13.4),
+            block_length: Meters::new(250.0),
+            blocks: 3,
+            signal_green: Seconds::new(35.0),
+            signal_red: Seconds::new(45.0),
+            hours: 24,
+            seed: 0,
+        }
+    }
+
+    /// Uses a specific hourly count profile.
+    #[must_use]
+    pub fn counts(mut self, counts: HourlyCounts) -> Self {
+        self.counts = counts;
+        self
+    }
+
+    /// Sets the charging-section length.
+    #[must_use]
+    pub fn section_length(mut self, length: Meters) -> Self {
+        self.section_length = length;
+        self
+    }
+
+    /// Sets the charging-section power capacity.
+    #[must_use]
+    pub fn section_power(mut self, power: Kilowatts) -> Self {
+        self.section_power = power;
+        self
+    }
+
+    /// Sets how many hours to simulate.
+    #[must_use]
+    pub fn hours(mut self, hours: usize) -> Self {
+        self.hours = hours;
+        self
+    }
+
+    /// Sets the randomness seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the signal timing of every interior intersection.
+    #[must_use]
+    pub fn signal(mut self, green: Seconds, red: Seconds) -> Self {
+        self.signal_green = green;
+        self.signal_red = red;
+        self
+    }
+
+    /// Runs the study: one simulation carrying both detectors.
+    #[must_use]
+    pub fn run(&self) -> StudyReport {
+        let mut sim = CorridorBuilder::new()
+            .blocks(self.blocks, self.block_length)
+            .speed_limit(self.speed_limit)
+            .signal(self.signal_green, self.signal_red)
+            .detector(SectionPlacement::BeforeLight, self.section_length)
+            .detector(SectionPlacement::MidBlock, self.section_length)
+            .counts(self.counts.clone())
+            .seed(self.seed)
+            .build();
+        sim.run_for(Seconds::new(self.hours as f64 * 3600.0));
+
+        let series = |idx: usize, sim: &oes_traffic::Simulation| -> HourlyEnergy {
+            let det = &sim.detectors()[idx];
+            let mut dwell: Vec<Seconds> = det.hourly_series();
+            dwell.resize(self.hours, Seconds::ZERO);
+            // Fig. 3(c): energy = dwell × section power at full participation.
+            let energy = dwell
+                .iter()
+                .map(|&d| self.section_power * Hours::new(d.to_hours().value()))
+                .collect();
+            HourlyEnergy { label: det.label.clone(), dwell, energy }
+        };
+        StudyReport {
+            at_light: series(0, &sim),
+            at_middle: series(1, &sim),
+            vehicles_entered: sim.spawned(),
+        }
+    }
+}
+
+impl Default for IntersectionStudy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short (2-hour) flat-demand study used by most tests to stay fast.
+    fn short_report(seed: u64) -> StudyReport {
+        IntersectionStudy::new()
+            .counts(HourlyCounts::new(vec![600, 600]))
+            .hours(2)
+            .seed(seed)
+            .run()
+    }
+
+    #[test]
+    fn at_light_dominates_mid_block() {
+        let r = short_report(3);
+        assert!(r.at_light.total_dwell() > r.at_middle.total_dwell());
+        assert!(r.at_light.total_energy() > r.at_middle.total_energy());
+        assert!(r.vehicles_entered > 100);
+    }
+
+    #[test]
+    fn energy_is_dwell_times_power() {
+        let r = short_report(4);
+        for (d, e) in r.at_light.dwell.iter().zip(&r.at_light.energy) {
+            let expected = 100.0 * d.value() / 3600.0;
+            assert!((e.value() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_lengths_match_requested_hours() {
+        let r = short_report(5);
+        assert_eq!(r.at_light.dwell.len(), 2);
+        assert_eq!(r.at_light.energy.len(), 2);
+        assert_eq!(r.at_middle.dwell.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(short_report(7), short_report(7));
+    }
+
+    #[test]
+    fn busier_hours_yield_more_dwell() {
+        let r = IntersectionStudy::new()
+            .counts(HourlyCounts::new(vec![100, 900]))
+            .hours(2)
+            .seed(8)
+            .run();
+        assert!(
+            r.at_light.dwell[1] > r.at_light.dwell[0],
+            "busy hour {:?} vs quiet {:?}",
+            r.at_light.dwell[1],
+            r.at_light.dwell[0]
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The wireless power transfer (WPT) substrate.
+//!
+//! Everything between the traffic stream and the pricing game: the battery
+//! model with the paper's Chevy Spark preset, road-embedded
+//! [charging sections](section::ChargingSection) with the Eq. 1 line-capacity
+//! model, the [OLEV](olev::Olev) receivable-power model of Eq. 2/3, the
+//! [intersection-time study](intersection::IntersectionStudy) that turns
+//! traffic-simulator dwell into receivable energy (Fig. 3), a small
+//! [V2I messaging layer](v2i), and the
+//! [charging-section placement optimizer](placement) from the paper's
+//! future-work list.
+//!
+//! # Examples
+//!
+//! Eq. 2: how much power a half-charged OLEV can accept:
+//!
+//! ```
+//! use oes_wpt::{BatterySpec, OlevSpec, Olev};
+//! use oes_units::{OlevId, StateOfCharge};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = OlevSpec::chevy_spark_default();
+//! let olev = Olev::new(OlevId(0), spec, StateOfCharge::new(0.5)?, StateOfCharge::new(0.9)?);
+//! assert!(olev.receivable_power().value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod cosim;
+pub mod coupling;
+pub mod intersection;
+pub mod olev;
+pub mod placement;
+pub mod section;
+pub mod v2i;
+
+pub use battery::{Battery, BatterySpec};
+pub use cosim::{ChargingSpan, CoSimulation, TripRecord};
+pub use coupling::CouplingModel;
+pub use intersection::{HourlyEnergy, IntersectionStudy, StudyReport};
+pub use olev::{Olev, OlevSpec};
+pub use placement::{greedy_placement, optimal_placement, PlacementCandidate, PlacementPlan};
+pub use section::ChargingSection;
+pub use v2i::{GridMessage, MessageBus, OlevMessage};

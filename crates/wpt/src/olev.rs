@@ -1,0 +1,204 @@
+//! The OLEV: an online electric vehicle and its receivable-power model
+//! (Eqs. 2 and 3 of the paper).
+
+use oes_units::{Kilowatts, MetersPerSecond, OlevId, StateOfCharge};
+
+use crate::battery::{Battery, BatterySpec};
+use crate::section::ChargingSection;
+use oes_units::Efficiency;
+
+/// Static specification of an OLEV: its pack plus the efficiencies and SOC
+/// policy of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OlevSpec {
+    /// Battery pack.
+    pub battery: BatterySpec,
+    /// Safety floor `SOC_min` (paper: 0.2).
+    pub soc_min: StateOfCharge,
+    /// Safety ceiling `SOC_max` (paper: 0.9).
+    pub soc_max: StateOfCharge,
+    /// Energy-transfer efficiency η_E of the WPT link.
+    pub transfer_efficiency: Efficiency,
+    /// Vehicle driving efficiency η_OLEV.
+    pub drive_efficiency: Efficiency,
+}
+
+impl OlevSpec {
+    /// The paper's evaluation preset: Chevy Spark pack, `SOC ∈ [0.2, 0.9]`,
+    /// 85% transfer efficiency, 90% driving efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the constants are valid by construction.
+    #[must_use]
+    pub fn chevy_spark_default() -> Self {
+        Self {
+            battery: BatterySpec::chevy_spark(),
+            soc_min: StateOfCharge::saturating(0.2),
+            soc_max: StateOfCharge::saturating(0.9),
+            transfer_efficiency: Efficiency::new(0.85).expect("constant in range"),
+            drive_efficiency: Efficiency::new(0.90).expect("constant in range"),
+        }
+    }
+}
+
+impl Default for OlevSpec {
+    fn default() -> Self {
+        Self::chevy_spark_default()
+    }
+}
+
+/// An OLEV participating in the energy-sharing game.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Olev {
+    /// Identifier (dense index in a scenario).
+    pub id: OlevId,
+    spec: OlevSpec,
+    battery: Battery,
+    /// SOC required to finish the trip (`SOC_req` of Eq. 2).
+    soc_required: StateOfCharge,
+    /// Current velocity (drives the Eq. 1 capacity).
+    velocity: MetersPerSecond,
+}
+
+impl Olev {
+    /// Creates an OLEV at the given current and trip-required SOC.
+    #[must_use]
+    pub fn new(id: OlevId, spec: OlevSpec, soc: StateOfCharge, soc_required: StateOfCharge) -> Self {
+        Self {
+            id,
+            spec,
+            battery: Battery::new(spec.battery, soc),
+            soc_required,
+            velocity: MetersPerSecond::new(26.8224), // 60 mph
+        }
+    }
+
+    /// Sets the current velocity.
+    pub fn set_velocity(&mut self, velocity: MetersPerSecond) {
+        self.velocity = velocity;
+    }
+
+    /// The current velocity.
+    #[must_use]
+    pub fn velocity(&self) -> MetersPerSecond {
+        self.velocity
+    }
+
+    /// The specification.
+    #[must_use]
+    pub fn spec(&self) -> &OlevSpec {
+        &self.spec
+    }
+
+    /// The battery (read access).
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Mutable battery access (for charging during simulation).
+    pub fn battery_mut(&mut self) -> &mut Battery {
+        &mut self.battery
+    }
+
+    /// The SOC required to finish the trip.
+    #[must_use]
+    pub fn soc_required(&self) -> StateOfCharge {
+        self.soc_required
+    }
+
+    /// Updates the trip requirement (it decreases as the trip progresses).
+    pub fn set_soc_required(&mut self, soc_required: StateOfCharge) {
+        self.soc_required = soc_required;
+    }
+
+    /// Eq. 2: the maximum power this OLEV can receive,
+    /// `P_OLEV = (SOC_req − SOC + SOC_min) · P_max · η_E / η_OLEV`,
+    /// clamped at zero when the battery already covers the trip.
+    #[must_use]
+    pub fn receivable_power(&self) -> Kilowatts {
+        let need = self.soc_required.fraction() - self.battery.soc().fraction()
+            + self.spec.soc_min.fraction();
+        let p = need.max(0.0)
+            * self.spec.battery.max_power().value()
+            * self.spec.transfer_efficiency.fraction()
+            / self.spec.drive_efficiency.fraction();
+        Kilowatts::new(p)
+    }
+
+    /// Eq. 3: the binding limit against one charging section,
+    /// `min(P_line, P_OLEV)` at the OLEV's current velocity.
+    #[must_use]
+    pub fn power_cap(&self, section: &ChargingSection, passes_per_hour: f64) -> Kilowatts {
+        self.receivable_power().min(section.sustained_capacity(self.velocity, passes_per_hour))
+    }
+
+    /// Headroom to the SOC ceiling, as a fraction of capacity.
+    #[must_use]
+    pub fn soc_headroom(&self) -> f64 {
+        (self.spec.soc_max.fraction() - self.battery.soc().fraction()).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oes_units::SectionId;
+
+    fn olev(soc: f64, req: f64) -> Olev {
+        Olev::new(
+            OlevId(0),
+            OlevSpec::chevy_spark_default(),
+            StateOfCharge::saturating(soc),
+            StateOfCharge::saturating(req),
+        )
+    }
+
+    #[test]
+    fn receivable_power_follows_eq2() {
+        let o = olev(0.5, 0.6);
+        // (0.6 − 0.5 + 0.2) × 95.76 × 0.85 / 0.9 = 27.13 kW.
+        let expected = 0.3 * 95.76 * 0.85 / 0.9;
+        assert!((o.receivable_power().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receivable_power_clamps_at_zero() {
+        // Battery far above requirement: nothing to receive.
+        let o = olev(0.9, 0.1);
+        assert_eq!(o.receivable_power(), Kilowatts::ZERO);
+    }
+
+    #[test]
+    fn fuller_battery_receives_less() {
+        assert!(olev(0.3, 0.6).receivable_power() > olev(0.5, 0.6).receivable_power());
+    }
+
+    #[test]
+    fn power_cap_is_min_of_line_and_olev() {
+        let mut o = olev(0.2, 0.9);
+        let s = ChargingSection::paper_default(SectionId(0));
+        // Slow traffic: line capacity dominates nothing — OLEV bound large.
+        o.set_velocity(MetersPerSecond::new(26.8224));
+        let cap = o.power_cap(&s, 300.0);
+        assert!(cap <= o.receivable_power());
+        assert!(cap <= s.sustained_capacity(o.velocity(), 300.0));
+        // Very low pass rate: line side binds.
+        let cap_low = o.power_cap(&s, 10.0);
+        assert_eq!(cap_low, s.sustained_capacity(o.velocity(), 10.0));
+    }
+
+    #[test]
+    fn headroom() {
+        assert!((olev(0.5, 0.6).soc_headroom() - 0.4).abs() < 1e-12);
+        assert_eq!(olev(0.95, 0.6).soc_headroom(), 0.0);
+    }
+
+    #[test]
+    fn velocity_accessors() {
+        let mut o = olev(0.5, 0.6);
+        o.set_velocity(MetersPerSecond::new(35.0));
+        assert_eq!(o.velocity(), MetersPerSecond::new(35.0));
+    }
+}

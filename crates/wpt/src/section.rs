@@ -1,0 +1,163 @@
+//! Road-embedded charging sections and the Eq. 1 line-capacity model.
+
+use oes_units::{Amperes, KilowattHours, Kilowatts, Meters, MetersPerSecond, SectionId, Seconds, Volts};
+
+/// A road-embedded charging section connected to the smart grid.
+///
+/// Eq. 1 of the paper bounds what one section can deliver to a passing OLEV:
+/// `P_line = V · Curr · l / vel` — fixed line voltage `V`, maximum rated
+/// current `Curr`, section length `l`, and the OLEV's velocity `vel`. Since
+/// `V`, `Curr` and `l` are fixed per section, the capacity depends only on
+/// how fast vehicles pass: **faster traffic ⇒ less deliverable power**, the
+/// lever behind the paper's 60 mph vs 80 mph comparisons (Figs. 5 vs 6).
+///
+/// Dimensionally the paper's expression is the instantaneous line power
+/// `V·Curr` times the traversal time `l/vel` — an energy per pass. This type
+/// exposes both views: [`traversal_energy`](Self::traversal_energy) (kWh per
+/// pass) and [`line_capacity`](Self::line_capacity), the Eq. 1 quantity the
+/// game uses as the per-section capacity scale (numerically
+/// `V·Curr·l/vel / 3600` in kilowatt units, i.e. kWh-per-pass expressed as a
+/// rate over an hour of passes).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChargingSection {
+    /// Identifier (dense index in a scenario).
+    pub id: SectionId,
+    /// Line voltage `V`.
+    pub line_voltage: Volts,
+    /// Maximum rated current `Curr`.
+    pub max_current: Amperes,
+    /// Installed section length `l`.
+    pub length: Meters,
+}
+
+impl ChargingSection {
+    /// Creates a section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any electrical or geometric parameter is non-positive.
+    #[must_use]
+    pub fn new(id: SectionId, line_voltage: Volts, max_current: Amperes, length: Meters) -> Self {
+        assert!(
+            line_voltage.value() > 0.0 && max_current.value() > 0.0 && length.value() > 0.0,
+            "section parameters must be positive"
+        );
+        Self { id, line_voltage, max_current, length }
+    }
+
+    /// A 200 m section matching the paper's motivating study (≈ 100 kW
+    /// instantaneous rating: 480 V × 208 A).
+    #[must_use]
+    pub fn paper_default(id: SectionId) -> Self {
+        Self::new(id, Volts::new(480.0), Amperes::new(208.33), Meters::new(200.0))
+    }
+
+    /// Instantaneous line power `V · Curr`.
+    #[must_use]
+    pub fn power_rating(&self) -> Kilowatts {
+        self.line_voltage * self.max_current
+    }
+
+    /// Time a vehicle at `velocity` spends over the section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `velocity` is not strictly positive.
+    #[must_use]
+    pub fn traversal_time(&self, velocity: MetersPerSecond) -> Seconds {
+        assert!(velocity.value() > 0.0, "velocity must be positive");
+        self.length / velocity
+    }
+
+    /// Energy deliverable in one pass at `velocity`: `V·Curr · l/vel`.
+    #[must_use]
+    pub fn traversal_energy(&self, velocity: MetersPerSecond) -> KilowattHours {
+        self.power_rating() * self.traversal_time(velocity).to_hours()
+    }
+
+    /// Eq. 1 line capacity at the prevailing traffic `velocity`, in kW.
+    ///
+    /// Strictly decreasing in velocity; equals the per-pass energy read as a
+    /// sustained rate (one pass per hour of service per unit).
+    #[must_use]
+    pub fn line_capacity(&self, velocity: MetersPerSecond) -> Kilowatts {
+        Kilowatts::new(self.traversal_energy(velocity).value())
+    }
+
+    /// The sustained power a section delivers when `passes_per_hour` vehicles
+    /// traverse it at `velocity`: `traversal_energy × passes/h`. This is the
+    /// game-facing capacity scale — for the paper's 60 mph, 200 m, ≈ 100 kW
+    /// section at ~300 passes/hour it lands in the tens of kilowatts, the
+    /// regime of Figs. 5(c)/6(c), and it inherits Eq. 1's inverse dependence
+    /// on velocity.
+    #[must_use]
+    pub fn sustained_capacity(&self, velocity: MetersPerSecond, passes_per_hour: f64) -> Kilowatts {
+        Kilowatts::new(self.traversal_energy(velocity).value() * passes_per_hour.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oes_units::MilesPerHour;
+
+    fn section() -> ChargingSection {
+        ChargingSection::paper_default(SectionId(0))
+    }
+
+    #[test]
+    fn paper_default_is_about_100_kw() {
+        let p = section().power_rating().value();
+        assert!((99.0..=101.0).contains(&p), "rating {p} kW");
+    }
+
+    #[test]
+    fn traversal_time_scales_inversely_with_speed() {
+        let s = section();
+        let t60 = s.traversal_time(MilesPerHour::new(60.0).to_meters_per_second());
+        let t80 = s.traversal_time(MilesPerHour::new(80.0).to_meters_per_second());
+        assert!((t60.value() / t80.value() - 80.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_decreases_with_velocity() {
+        // The Eq. 1 monotonicity that drives the 60 vs 80 mph comparison.
+        let s = section();
+        let c60 = s.line_capacity(MilesPerHour::new(60.0).to_meters_per_second());
+        let c80 = s.line_capacity(MilesPerHour::new(80.0).to_meters_per_second());
+        assert!(c60 > c80, "c60={c60}, c80={c80}");
+        assert!((c60.value() / c80.value() - 80.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traversal_energy_consistency() {
+        // At 60 mph over 200 m: ≈ 7.456 s × 100 kW ≈ 0.207 kWh.
+        let s = section();
+        let e = s.traversal_energy(MilesPerHour::new(60.0).to_meters_per_second());
+        assert!((e.value() - 0.2072).abs() < 0.01, "e={}", e.value());
+    }
+
+    #[test]
+    fn sustained_capacity_scales_with_flow_and_inverse_velocity() {
+        let s = section();
+        let v60 = MilesPerHour::new(60.0).to_meters_per_second();
+        let v80 = MilesPerHour::new(80.0).to_meters_per_second();
+        let c = s.sustained_capacity(v60, 300.0);
+        assert!((40.0..=90.0).contains(&c.value()), "capacity {c}");
+        assert_eq!(s.sustained_capacity(v60, 600.0).value(), 2.0 * c.value());
+        assert!(s.sustained_capacity(v80, 300.0) < c);
+        assert_eq!(s.sustained_capacity(v60, -5.0), Kilowatts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "velocity must be positive")]
+    fn zero_velocity_panics() {
+        let _ = section().traversal_time(MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_section_panics() {
+        let _ = ChargingSection::new(SectionId(0), Volts::new(0.0), Amperes::new(1.0), Meters::new(1.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Vehicle-to-infrastructure (V2I) messaging.
+//!
+//! The paper's framework is decentralized: OLEVs and the smart grid exchange
+//! positions, velocities, power requests, and updated payment functions over
+//! V2I links (IEEE 802.11p / LTE). This module provides the message
+//! vocabulary and a deterministic in-memory [`MessageBus`] with per-link
+//! latency, used by the game's distributed engine and available for
+//! standalone protocol tests.
+
+use std::collections::VecDeque;
+
+use oes_units::{Kilowatts, MetersPerSecond, OlevId, Seconds, StateOfCharge};
+
+/// A message from an OLEV to the smart grid.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum OlevMessage {
+    /// Announces presence when approaching the charging lane.
+    Hello {
+        /// Sender.
+        id: OlevId,
+        /// Current velocity.
+        velocity: MetersPerSecond,
+        /// Current state of charge.
+        soc: StateOfCharge,
+        /// SOC required to finish the trip.
+        soc_required: StateOfCharge,
+    },
+    /// A total-power request (the best-response update `p_n`).
+    PowerRequest {
+        /// Sender.
+        id: OlevId,
+        /// Requested total power.
+        total: Kilowatts,
+    },
+    /// Leaves the system (trip finished or lane departed).
+    Goodbye {
+        /// Sender.
+        id: OlevId,
+    },
+}
+
+/// A message from the smart grid to an OLEV.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum GridMessage {
+    /// Announces the charging infrastructure ahead.
+    LaneInfo {
+        /// Number of charging sections.
+        sections: usize,
+        /// Per-section capacity at the prevailing velocity.
+        capacity: Kilowatts,
+    },
+    /// The updated payment function, communicated as the marginal price the
+    /// OLEV would face at its current allocation (enough to run its best
+    /// response, without revealing other OLEVs' schedules).
+    PaymentUpdate {
+        /// Addressee.
+        id: OlevId,
+        /// Marginal price `Ψ'_n` at the current allocation, $/kW per round.
+        marginal_price: f64,
+        /// The allocation the grid currently holds for this OLEV.
+        allocated: Kilowatts,
+    },
+}
+
+/// A deterministic FIFO message bus with a fixed propagation latency.
+///
+/// Messages become deliverable once the bus clock passes `sent_at + latency`.
+#[derive(Debug, Clone)]
+pub struct MessageBus<M> {
+    latency: Seconds,
+    now: Seconds,
+    queue: VecDeque<(Seconds, M)>,
+}
+
+impl<M> MessageBus<M> {
+    /// Creates a bus with the given propagation latency.
+    #[must_use]
+    pub fn new(latency: Seconds) -> Self {
+        Self { latency, now: Seconds::ZERO, queue: VecDeque::new() }
+    }
+
+    /// Advances the bus clock.
+    pub fn advance(&mut self, dt: Seconds) {
+        self.now += dt;
+    }
+
+    /// The bus clock.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Enqueues a message at the current clock.
+    pub fn send(&mut self, message: M) {
+        self.queue.push_back((self.now + self.latency, message));
+    }
+
+    /// Pops the next deliverable message, if any has matured.
+    pub fn receive(&mut self) -> Option<M> {
+        if let Some((due, _)) = self.queue.front() {
+            if *due <= self.now {
+                return self.queue.pop_front().map(|(_, m)| m);
+            }
+        }
+        None
+    }
+
+    /// Messages still in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_delivers_immediately() {
+        let mut bus = MessageBus::new(Seconds::ZERO);
+        bus.send(OlevMessage::Goodbye { id: OlevId(1) });
+        assert_eq!(bus.receive(), Some(OlevMessage::Goodbye { id: OlevId(1) }));
+        assert_eq!(bus.receive(), None);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut bus = MessageBus::new(Seconds::new(0.05));
+        bus.send(OlevMessage::Goodbye { id: OlevId(1) });
+        assert_eq!(bus.receive(), None);
+        bus.advance(Seconds::new(0.04));
+        assert_eq!(bus.receive(), None);
+        bus.advance(Seconds::new(0.02));
+        assert!(bus.receive().is_some());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut bus = MessageBus::new(Seconds::ZERO);
+        for i in 0..5 {
+            bus.send(OlevMessage::Goodbye { id: OlevId(i) });
+        }
+        for i in 0..5 {
+            assert_eq!(bus.receive(), Some(OlevMessage::Goodbye { id: OlevId(i) }));
+        }
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        let mut bus: MessageBus<GridMessage> = MessageBus::new(Seconds::new(1.0));
+        bus.send(GridMessage::LaneInfo { sections: 3, capacity: Kilowatts::new(50.0) });
+        bus.send(GridMessage::LaneInfo { sections: 4, capacity: Kilowatts::new(60.0) });
+        assert_eq!(bus.in_flight(), 2);
+        bus.advance(Seconds::new(2.0));
+        let _ = bus.receive();
+        assert_eq!(bus.in_flight(), 1);
+    }
+
+    #[test]
+    fn negotiation_handshake_over_latent_buses() {
+        // The Section IV.A exchange, scripted over two latent links:
+        // Hello → LaneInfo → PowerRequest → PaymentUpdate.
+        let mut up: MessageBus<OlevMessage> = MessageBus::new(Seconds::new(0.02));
+        let mut down: MessageBus<GridMessage> = MessageBus::new(Seconds::new(0.02));
+
+        up.send(OlevMessage::Hello {
+            id: OlevId(7),
+            velocity: MetersPerSecond::new(26.8),
+            soc: StateOfCharge::saturating(0.5),
+            soc_required: StateOfCharge::saturating(0.8),
+        });
+        up.advance(Seconds::new(0.05));
+        down.advance(Seconds::new(0.05));
+        let Some(OlevMessage::Hello { id, .. }) = up.receive() else {
+            panic!("grid missed the hello");
+        };
+        down.send(GridMessage::LaneInfo { sections: 10, capacity: Kilowatts::new(25.0) });
+        up.send(OlevMessage::PowerRequest { id, total: Kilowatts::new(18.0) });
+        up.advance(Seconds::new(0.05));
+        down.advance(Seconds::new(0.05));
+        assert!(matches!(down.receive(), Some(GridMessage::LaneInfo { sections: 10, .. })));
+        let Some(OlevMessage::PowerRequest { total, .. }) = up.receive() else {
+            panic!("grid missed the request");
+        };
+        down.send(GridMessage::PaymentUpdate {
+            id,
+            marginal_price: 0.026,
+            allocated: total,
+        });
+        down.advance(Seconds::new(0.05));
+        assert!(matches!(
+            down.receive(),
+            Some(GridMessage::PaymentUpdate { id: OlevId(7), .. })
+        ));
+        assert_eq!(up.in_flight(), 0);
+        assert_eq!(down.in_flight(), 0);
+    }
+
+    #[test]
+    fn message_roundtrip_variants() {
+        // Constructing each variant exercises the full vocabulary.
+        let hello = OlevMessage::Hello {
+            id: OlevId(2),
+            velocity: MetersPerSecond::new(26.8),
+            soc: StateOfCharge::saturating(0.5),
+            soc_required: StateOfCharge::saturating(0.7),
+        };
+        let req = OlevMessage::PowerRequest { id: OlevId(2), total: Kilowatts::new(12.0) };
+        let pay = GridMessage::PaymentUpdate {
+            id: OlevId(2),
+            marginal_price: 1.5,
+            allocated: Kilowatts::new(10.0),
+        };
+        assert_ne!(format!("{hello:?}"), format!("{req:?}"));
+        assert!(format!("{pay:?}").contains("PaymentUpdate"));
+    }
+}

@@ -1,0 +1,48 @@
+//! A full day of opportunistic energy sharing: hourly traffic drives hourly
+//! pricing games whose β follows the grid's LBMP, and the resulting OLEV
+//! load is fed back into the grid day — the paper's Sections III and IV
+//! running as one loop.
+//!
+//! ```sh
+//! cargo run --release --example day_in_the_life
+//! ```
+
+use oes::daily::{run_day, DailyConfig};
+use oes::traffic::HourlyCounts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = DailyConfig {
+        counts: HourlyCounts::nyc_arterial_like(700, 7),
+        participation: 0.12,
+        sections: 50,
+        ..DailyConfig::default()
+    };
+    let report = run_day(&config)?;
+
+    println!("hour | OLEVs | beta $/MWh | congestion | $/MWh paid | energy MWh | revenue $");
+    println!("-----+-------+------------+------------+------------+------------+----------");
+    for h in &report.hours {
+        println!(
+            "{:4} | {:5} | {:10.2} | {:10.3} | {:10.2} | {:10.3} | {:9.2}",
+            h.hour, h.olevs, h.beta, h.congestion, h.unit_payment, h.energy_mwh, h.revenue
+        );
+    }
+    println!();
+    println!("daily energy to OLEVs : {:.2} MWh", report.total_energy_mwh());
+    println!("daily grid revenue    : ${:.2}", report.total_revenue());
+    println!(
+        "peak |deficiency|     : {:.1} -> {:.1} MWh once the (unforecast) OLEV load lands",
+        report.grid_base.max_abs_deficiency().value(),
+        report.grid_with_olevs.max_abs_deficiency().value(),
+    );
+    let (base_lo, base_hi) = report.grid_base.lbmp_range();
+    let (ev_lo, ev_hi) = report.grid_with_olevs.lbmp_range();
+    println!(
+        "LBMP range            : {:.2}..{:.2} -> {:.2}..{:.2} $/MWh",
+        base_lo.value(),
+        base_hi.value(),
+        ev_lo.value(),
+        ev_hi.value()
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! One day of the simulated NYISO-like grid operator (the Section III
+//! background study, Fig. 2): load vs forecast, deficiency, LBMP, and
+//! ancillary prices, hour by hour.
+//!
+//! ```sh
+//! cargo run --example grid_day
+//! ```
+
+use oes::grid::{ControlPeriod, GridOperator, OperatorConfig};
+use oes::units::{MegawattHours, Megawatts};
+
+fn main() {
+    let operator = GridOperator::new(OperatorConfig::nyiso_like(), 42);
+    let day = operator.simulate_day();
+
+    println!("hour | load (MWh) forecast  deficiency | LBMP $/MWh | anc. mean | period");
+    println!("-----+----------------------------------+------------+-----------+----------------");
+    for h in 0..24 {
+        let p = day.at_hour(h as f64 + 0.5);
+        let period = ControlPeriod::classify(
+            p.integrated_load / oes::units::Hours::new(1.0),
+            Megawatts::new(4500.0),
+            p.deficiency,
+            MegawattHours::new(60.0),
+        );
+        println!(
+            "{h:4} | {:9.1} {:9.1} {:+10.1} | {:10.2} | {:9.2} | {period}",
+            p.integrated_load.value(),
+            p.forecast_load.value(),
+            p.deficiency.value(),
+            p.lbmp.value(),
+            p.ancillary.mean().value(),
+        );
+    }
+    println!();
+    println!(
+        "load band            : {:.1} .. {:.1} MWh   (paper: 4017.1 .. 6657.8)",
+        day.min_integrated_load().value(),
+        day.max_integrated_load().value()
+    );
+    println!(
+        "max |deficiency|     : {:.1} MWh            (paper: up to 167.8)",
+        day.max_abs_deficiency().value()
+    );
+    let (lo, hi) = day.lbmp_range();
+    println!(
+        "LBMP range           : {:.2} .. {:.2} $/MWh (paper: 12.52 .. 244.04)",
+        lo.value(),
+        hi.value()
+    );
+    println!(
+        "mean ancillary price : {:.2} $/MW           (paper: 13.41)",
+        day.mean_ancillary_price().value()
+    );
+}

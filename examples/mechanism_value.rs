@@ -1,0 +1,65 @@
+//! What is the pricing mechanism worth? Four regimes on one scenario —
+//! centralized optimum, the paper's nonlinear game, the linear baseline,
+//! and a free-for-all with no pricing — followed by the temporal view: the
+//! game repeated as the fleet's batteries fill.
+//!
+//! ```sh
+//! cargo run --release --example mechanism_value
+//! ```
+
+use oes::game::{
+    compare_regimes, uniform_fleet, ComparisonScenario, NonlinearPricing, PricingPolicy,
+    SocCoupledGame,
+};
+use oes::units::{Kilowatts, StateOfCharge};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four regimes, one physical lane.
+    let scenario = ComparisonScenario::default();
+    let cmp = compare_regimes(&scenario)?;
+    println!("regime        |   welfare | congestion | load spread kW");
+    println!("--------------+-----------+------------+---------------");
+    for (name, r) in [
+        ("centralized", cmp.centralized),
+        ("nonlinear", cmp.nonlinear),
+        ("linear", cmp.linear),
+        ("free-for-all", cmp.free_for_all),
+    ] {
+        println!(
+            "{name:13} | {:9.3} | {:10.3} | {:13.3}",
+            r.welfare, r.congestion, r.load_spread
+        );
+    }
+    println!();
+    println!("price-of-anarchy gap : {:.2e} (Theorem IV.1, measured)", cmp.price_of_anarchy_gap());
+    println!("mechanism value      : {:+.3} welfare vs free-for-all", cmp.mechanism_value());
+
+    // The temporal view: demand decays as SOC rises.
+    println!("\n--- the game repeated while batteries fill (3-minute rounds) ---");
+    let fleet = uniform_fleet(10, StateOfCharge::saturating(0.35), StateOfCharge::saturating(0.9));
+    let mut dynamics = SocCoupledGame::new(
+        fleet,
+        12,
+        Kilowatts::new(30.0),
+        PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+        0.9,
+        0.05,
+        3,
+    );
+    println!("round | demand bound kW | power kW | congestion | mean SOC");
+    for outcome in dynamics.run(16)? {
+        if outcome.round % 2 == 0 {
+            println!(
+                "{:5} | {:15.1} | {:8.1} | {:10.3} | {:8.3}",
+                outcome.round,
+                outcome.total_demand_bound,
+                outcome.total_power,
+                outcome.congestion,
+                outcome.mean_soc
+            );
+        }
+    }
+    println!("\nAs the fleet charges, Eq. 2 bounds shrink, requests fall, and the");
+    println!("lane's congestion relaxes without any extra control action.");
+    Ok(())
+}

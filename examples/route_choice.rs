@@ -1,0 +1,41 @@
+//! Path planning under charging-lane pricing (the paper's future-work
+//! extension): a fleet splits between a priced charging route and a plain
+//! route; the nonlinear pricing policy makes the split self-limiting.
+//!
+//! ```sh
+//! cargo run --release --example route_choice
+//! ```
+
+use oes::game::{
+    NonlinearPricing, PricingPolicy, RouteChoice, RouteOption, RoutingEconomics,
+};
+use oes::units::Kilowatts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("fleet of 40 OLEVs; charging route adds a detour over the plain route\n");
+    println!("detour (min) | on charging route | on plain route | lane congestion | marginal benefit $");
+    println!("-------------+-------------------+----------------+-----------------+-------------------");
+    for detour_minutes in [0.0, 3.0, 6.0, 12.0, 24.0, 48.0] {
+        let study = RouteChoice {
+            charging_route: RouteOption {
+                travel_hours: 0.5 + detour_minutes / 60.0,
+                charging_sections: 12,
+            },
+            plain_route: RouteOption { travel_hours: 0.5, charging_sections: 0 },
+            fleet: 40,
+            section_capacity: Kilowatts::new(35.0),
+            olev_p_max: Kilowatts::new(60.0),
+            policy: PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            economics: RoutingEconomics::default(),
+        };
+        let eq = study.equilibrium()?;
+        println!(
+            "{detour_minutes:12.0} | {:17} | {:14} | {:15.3} | {:+18.2}",
+            eq.on_charging_route, eq.on_plain_route, eq.lane_congestion, eq.marginal_benefit
+        );
+    }
+    println!();
+    println!("A longer detour peels OLEVs off the charging lane; the pricing policy");
+    println!("keeps the lane's congestion bounded even when the detour is free.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Signal timing meets charging: Webster-optimize an intersection's splits,
+//! drive the corridor with them, and see how the timing shapes the dwell a
+//! stop-line charging section can harvest.
+//!
+//! ```sh
+//! cargo run --release --example webster_signals
+//! ```
+
+use oes::traffic::{
+    webster_timing, CorridorBuilder, HourlyCounts, PhaseDemand, SectionPlacement,
+};
+use oes::units::{Meters, Seconds};
+
+fn dwell_with_signal(green: Seconds, red: Seconds) -> (f64, u64) {
+    let mut builder = CorridorBuilder::new();
+    builder
+        .blocks(3, Meters::new(250.0))
+        .signal(green, red)
+        .detector(SectionPlacement::BeforeLight, Meters::new(200.0))
+        .counts(HourlyCounts::new(vec![650]))
+        .seed(11);
+    let mut sim = builder.build();
+    sim.run_for(Seconds::new(3600.0));
+    (sim.detectors()[0].total_occupancy().to_minutes(), sim.exited())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The corridor's through movement vs a nominal cross street.
+    let phases = [
+        PhaseDemand { flow: 650.0, saturation_flow: 1800.0 },
+        PhaseDemand { flow: 400.0, saturation_flow: 1800.0 },
+    ];
+    let timing = webster_timing(&phases, Seconds::new(4.0))?;
+    println!(
+        "Webster: cycle {:.1}s, corridor green {:.1}s, cross green {:.1}s",
+        timing.cycle.value(),
+        timing.greens[0].value(),
+        timing.greens[1].value()
+    );
+
+    let corridor_green = timing.greens[0];
+    let corridor_red = timing.cycle - corridor_green;
+    let (dwell_opt, exits_opt) = dwell_with_signal(corridor_green, corridor_red);
+    // A deliberately bad fixed plan: starve the corridor.
+    let (dwell_bad, exits_bad) =
+        dwell_with_signal(Seconds::new(15.0), Seconds::new(65.0));
+
+    println!();
+    println!("plan            | dwell on section (min/h) | vehicles through");
+    println!("----------------+--------------------------+-----------------");
+    println!("webster         | {dwell_opt:24.1} | {exits_opt}");
+    println!("starved (15/65) | {dwell_bad:24.1} | {exits_bad}");
+    println!();
+    println!("The starved plan harvests more charging dwell (longer queues) but");
+    println!("moves fewer vehicles — the exact trade-off the paper's future work");
+    println!("raises for placing charging sections at traffic lights.");
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! A small command-line front end over the OES library.
+//!
+//! ```sh
+//! cargo run --release --bin oes-cli -- help
+//! cargo run --release --bin oes-cli -- grid-day 42
+//! cargo run --release --bin oes-cli -- game 30 15 nonlinear
+//! cargo run --release --bin oes-cli -- study 6
+//! cargo run --release --bin oes-cli -- day 0.1
+//! ```
+
+use std::process::ExitCode;
+
+use oes::daily::{run_day, DailyConfig};
+use oes::game::{GameBuilder, LinearPricing, NonlinearPricing, PricingPolicy, UpdateOrder};
+use oes::grid::{GridOperator, OperatorConfig};
+use oes::traffic::HourlyCounts;
+use oes::units::Kilowatts;
+use oes::wpt::IntersectionStudy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("grid-day") => grid_day(&args[1..]),
+        Some("game") => game(&args[1..]),
+        Some("study") => study(&args[1..]),
+        Some("day") => day(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("oes-cli — opportunistic energy sharing toolbox");
+    println!();
+    println!("commands:");
+    println!("  grid-day [seed]                simulate a NYISO-like day (Fig. 2)");
+    println!("  game [sections] [olevs] [policy]  run one pricing game (policy: nonlinear|linear)");
+    println!("  study [hours]                  intersection-time study (Fig. 3)");
+    println!("  day [participation]            full daily pipeline");
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], idx: usize, default: T) -> Result<T, String> {
+    match args.get(idx) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("could not parse argument `{raw}`")),
+    }
+}
+
+fn grid_day(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse(args, 0, 42)?;
+    let day = GridOperator::new(OperatorConfig::nyiso_like(), seed).simulate_day();
+    let (lo, hi) = day.lbmp_range();
+    println!("seed {seed}:");
+    println!(
+        "  load band        {:.1} .. {:.1} MWh",
+        day.min_integrated_load().value(),
+        day.max_integrated_load().value()
+    );
+    println!("  max |deficiency| {:.1} MWh", day.max_abs_deficiency().value());
+    println!("  LBMP             {:.2} .. {:.2} $/MWh", lo.value(), hi.value());
+    println!("  ancillary mean   {:.2} $/MW", day.mean_ancillary_price().value());
+    Ok(())
+}
+
+fn game(args: &[String]) -> Result<(), String> {
+    let sections: usize = parse(args, 0, 20)?;
+    let olevs: usize = parse(args, 1, 10)?;
+    let policy = match args.get(2).map(String::as_str) {
+        None | Some("nonlinear") => {
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0))
+        }
+        Some("linear") => PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
+        Some(other) => return Err(format!("unknown policy `{other}`")),
+    };
+    let mut game = GameBuilder::new()
+        .sections(sections, Kilowatts::new(40.0))
+        .olevs(olevs, Kilowatts::new(60.0))
+        .pricing(policy)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let outcome = game.run(UpdateOrder::RoundRobin, 50_000).map_err(|e| e.to_string())?;
+    println!("converged      {}", outcome.converged());
+    println!("updates        {}", outcome.updates());
+    println!("welfare        {:.4}", game.welfare());
+    println!("congestion     {:.4}", game.system_congestion());
+    println!("unit payment   {:.2} $/MWh", game.unit_payment_dollars_per_mwh());
+    Ok(())
+}
+
+fn study(args: &[String]) -> Result<(), String> {
+    let hours: usize = parse(args, 0, 24)?;
+    let report = IntersectionStudy::new()
+        .counts(HourlyCounts::nyc_arterial_like(450, 13))
+        .hours(hours)
+        .seed(13)
+        .run();
+    println!("{} vehicles over {hours} h", report.vehicles_entered);
+    println!(
+        "at light : {:.1} h dwell, {:.0} kWh",
+        report.at_light.total_dwell().to_hours().value(),
+        report.at_light.total_energy().value()
+    );
+    println!(
+        "at middle: {:.1} h dwell, {:.0} kWh",
+        report.at_middle.total_dwell().to_hours().value(),
+        report.at_middle.total_energy().value()
+    );
+    Ok(())
+}
+
+fn day(args: &[String]) -> Result<(), String> {
+    let participation: f64 = parse(args, 0, 0.1)?;
+    if !(0.0..=1.0).contains(&participation) {
+        return Err("participation must be in [0, 1]".to_owned());
+    }
+    let config = DailyConfig { participation, ..DailyConfig::default() };
+    let report = run_day(&config).map_err(|e| e.to_string())?;
+    println!("energy to OLEVs {:.2} MWh", report.total_energy_mwh());
+    println!("grid revenue    ${:.2}", report.total_revenue());
+    println!("peak deficiency +{:.1} MWh from OLEV load", report.added_peak_deficiency_mwh());
+    Ok(())
+}

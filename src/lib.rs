@@ -1,0 +1,46 @@
+//! # OES — Opportunistic Energy Sharing
+//!
+//! A full reproduction of *"Opportunistic Energy Sharing Between Power Grid
+//! and Electric Vehicles: A Game Theory-Based Pricing Policy"* (Sarker, Li,
+//! Kolodzey, Shen — ICDCS 2017) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`units`] — typed physical quantities and identifiers.
+//! - [`traffic`] — a SUMO-substitute microscopic traffic simulator.
+//! - [`grid`] — a NYISO-substitute power-market simulator.
+//! - [`wpt`] — the wireless power transfer substrate (sections, batteries,
+//!   OLEVs, intersection times, V2I, placement).
+//! - [`game`] — the paper's core contribution: the game-theoretic pricing
+//!   policy and its decentralized best-response engine.
+//!
+//! # Quickstart
+//!
+//! Build a small scenario and run the pricing game to convergence:
+//!
+//! ```
+//! use oes::game::{GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder};
+//! use oes::units::Kilowatts;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut game = GameBuilder::new()
+//!     .sections(10, Kilowatts::new(60.0))
+//!     .olevs(5, Kilowatts::new(40.0))
+//!     .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+//!     .build()?;
+//! let outcome = game.run(UpdateOrder::RoundRobin, 500)?;
+//! assert!(outcome.converged());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod closed_loop;
+pub mod daily;
+
+pub use oes_game as game;
+pub use oes_grid as grid;
+pub use oes_traffic as traffic;
+pub use oes_units as units;
+pub use oes_wpt as wpt;

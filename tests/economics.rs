@@ -1,0 +1,70 @@
+//! Cross-crate economic pipeline tests: dispatch → deficiency → settlement,
+//! the OLEV overlay's dollar cost, and the mechanism-value comparison at
+//! integration scale.
+
+use oes::game::{compare_regimes, ComparisonScenario};
+use oes::grid::{
+    dispatch, nyiso_like_fleet, overlay_ev_load, settle_day, GridOperator, OperatorConfig,
+};
+use oes::units::{Hours, Kilowatts, Megawatts};
+
+/// The full money story of Section III: an unforecast OLEV fleet makes the
+/// grid's day measurably more expensive, and the cost lands in the
+/// real-time/ancillary buckets, not day-ahead.
+#[test]
+fn olev_overlay_costs_real_money_in_the_right_bucket() {
+    let config = OperatorConfig::nyiso_like();
+    let day = GridOperator::new(config.clone(), 42).simulate_day();
+    let olev_profile: Vec<f64> = (0..24)
+        .map(|h| if (7..21).contains(&h) { 60.0 } else { 5.0 })
+        .collect();
+    let loaded = overlay_ev_load(&day, &olev_profile, &config);
+
+    let s_base = settle_day(&day, 30.0, 250.0);
+    let s_loaded = settle_day(&loaded, 30.0, 250.0);
+    assert_eq!(s_base.day_ahead, s_loaded.day_ahead, "day-ahead must stay blind");
+    let added = s_loaded.total().value() - s_base.total().value();
+    assert!(added > 0.0, "unforecast load must cost money, added {added}");
+    // The added cost is entirely balancing + reserves.
+    let added_rt = s_loaded.real_time.value() - s_base.real_time.value();
+    let added_anc = s_loaded.ancillary.value() - s_base.ancillary.value();
+    assert!((added - (added_rt + added_anc)).abs() < 1e-6);
+}
+
+/// Ramp-constrained dispatch cannot follow the simulated day's sharpest
+/// swings exactly where deficiency spikes — the physical story behind the
+/// ancillary prices the game's β rides on.
+#[test]
+fn dispatch_follows_the_simulated_day_mostly() {
+    let day = GridOperator::new(OperatorConfig::nyiso_like(), 42).simulate_day();
+    let demand: Vec<Megawatts> =
+        day.points().iter().map(|p| p.integrated_load / Hours::new(1.0)).collect();
+    let plan = dispatch(&nyiso_like_fleet(), &demand, 24.0 / demand.len() as f64);
+    // The fleet tracks the diurnal ramp fine at 5-minute resolution...
+    let shortfall_fraction = plan.shortfall_intervals() as f64 / demand.len() as f64;
+    assert!(shortfall_fraction < 0.05, "fleet lost the load {shortfall_fraction}");
+    // ...and the day costs millions, like a real mid-size operator's.
+    assert!(plan.total_cost().value() > 1.0e6);
+}
+
+/// The mechanism-value comparison holds at a larger scale too.
+#[test]
+fn mechanism_beats_free_for_all_at_scale() {
+    let cmp = compare_regimes(&ComparisonScenario {
+        sections: 50,
+        section_capacity: Kilowatts::new(25.0),
+        olevs: 30,
+        olev_p_max: Kilowatts::new(60.0),
+        weight: 1.0,
+        beta: 20.0,
+        eta: 0.9,
+    })
+    .unwrap();
+    assert!(cmp.price_of_anarchy_gap().abs() < 1e-2);
+    assert!(cmp.mechanism_value() > 0.0);
+    assert!(cmp.free_for_all.congestion > 1.0, "free-for-all must overload");
+    assert!(cmp.nonlinear.congestion < 1.0);
+    // (The linear regime's welfare is measured against its own, cheaper cost
+    // function, so it is not comparable to the nonlinear optimum; its
+    // distinguishing failure is the load imbalance, asserted elsewhere.)
+}

@@ -1,0 +1,91 @@
+//! Property-based invariants of the grid-market substrate.
+
+use oes::grid::{
+    AncillaryMarket, GridOperator, MovingAverageForecaster, OperatorConfig, SupplyStack,
+    Forecaster,
+};
+use oes::units::{MegawattHours, Megawatts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merit order: the clearing price never decreases with demand.
+    #[test]
+    fn clearing_price_is_monotone_in_demand(
+        d1 in 0.0f64..8000.0,
+        d2 in 0.0f64..8000.0,
+    ) {
+        let stack = SupplyStack::nyiso_like();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let p_lo = stack.clearing_price(Megawatts::new(lo));
+        let p_hi = stack.clearing_price(Megawatts::new(hi));
+        prop_assert!(p_lo <= p_hi);
+    }
+
+    /// Positive deficiency can only raise the LBMP; negative never changes it.
+    #[test]
+    fn deficiency_only_raises_lbmp(
+        demand in 0.0f64..7000.0,
+        deficiency in -300.0f64..300.0,
+    ) {
+        let stack = SupplyStack::nyiso_like();
+        let base = stack.clearing_price(Megawatts::new(demand));
+        let priced = stack.lbmp(Megawatts::new(demand), MegawattHours::new(deficiency), 1.0);
+        if deficiency <= 0.0 {
+            prop_assert_eq!(priced, base);
+        } else {
+            prop_assert!(priced >= base);
+        }
+    }
+
+    /// Ancillary prices respond monotonically to scarcity.
+    #[test]
+    fn ancillary_prices_monotone_in_scarcity(
+        demand in 4000.0f64..7000.0,
+        s1 in 0.0f64..200.0,
+        s2 in 0.0f64..200.0,
+    ) {
+        let market = AncillaryMarket::nyiso_like();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let p_lo = market.price(Megawatts::new(demand), MegawattHours::new(lo));
+        let p_hi = market.price(Megawatts::new(demand), MegawattHours::new(hi));
+        prop_assert!(p_lo.ten_min_sync <= p_hi.ten_min_sync);
+        prop_assert!(p_lo.regulation_capacity <= p_hi.regulation_capacity);
+        prop_assert!(p_lo.regulation_movement <= p_hi.regulation_movement);
+    }
+
+    /// The moving-average forecast always lies within the range of its
+    /// window.
+    #[test]
+    fn moving_average_is_within_window_range(
+        history in prop::collection::vec(3000.0f64..7000.0, 1..50),
+        window in 1usize..10,
+    ) {
+        let f = MovingAverageForecaster::new(window);
+        let hist: Vec<MegawattHours> = history.iter().map(|&v| MegawattHours::new(v)).collect();
+        let prediction = f.predict(&hist).value();
+        let tail = &history[history.len().saturating_sub(window)..];
+        let lo = tail.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        let hi = tail.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        prop_assert!(prediction >= lo - 1e-9 && prediction <= hi + 1e-9);
+    }
+
+    /// The simulated day is internally consistent for any seed: deficiency
+    /// is exactly integrated − forecast, and prices stay in the stack's
+    /// range.
+    #[test]
+    fn simulated_day_is_consistent(seed in 0u64..50) {
+        let day = GridOperator::new(OperatorConfig::nyiso_like(), seed).simulate_day();
+        for p in day.points() {
+            prop_assert!(
+                (p.deficiency.value()
+                    - (p.integrated_load.value() - p.forecast_load.value()))
+                .abs()
+                    < 1e-9
+            );
+            prop_assert!(p.lbmp.value() >= 12.52 && p.lbmp.value() <= 300.0);
+            prop_assert!(p.ancillary.mean().value() >= 0.0);
+        }
+    }
+}

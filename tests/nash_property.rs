@@ -1,0 +1,135 @@
+//! Property-based Nash/optimality tests on whole games: for random
+//! scenarios, the converged schedule is a fixed point, no sampled deviation
+//! is profitable, and no sampled feasible schedule has higher welfare.
+
+use oes::game::{
+    potential, GameBuilder, LogSatisfaction, NonlinearPricing, PowerSchedule, PricingPolicy,
+    Satisfaction, UpdateOrder,
+};
+use oes::units::{Kilowatts, OlevId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    sections: usize,
+    cap: f64,
+    olevs: Vec<(f64, f64)>, // (p_max, weight)
+    beta: f64,
+    eta: f64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..8,
+        10.0f64..60.0,
+        prop::collection::vec((5.0f64..80.0, 0.2f64..3.0), 1..6),
+        5.0f64..60.0,
+        0.5f64..1.0,
+    )
+        .prop_map(|(sections, cap, olevs, beta, eta)| Scenario {
+            sections,
+            cap,
+            olevs,
+            beta,
+            eta,
+        })
+}
+
+fn build_and_run(s: &Scenario) -> oes::game::Game {
+    let mut builder = GameBuilder::new()
+        .sections(s.sections, Kilowatts::new(s.cap))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(s.beta)))
+        .eta(s.eta);
+    for (p_max, weight) in &s.olevs {
+        builder = builder.olevs_weighted(1, Kilowatts::new(*p_max), *weight);
+    }
+    let mut game = builder.build().expect("valid random scenario");
+    game.run(UpdateOrder::RoundRobin, 30_000).expect("runs");
+    game
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The converged state is a best-response fixed point.
+    #[test]
+    fn converged_state_is_a_fixed_point(s in scenario_strategy()) {
+        let mut game = build_and_run(&s);
+        for n in 0..game.olev_count() {
+            let change = game.update_olev(n).expect("valid index");
+            prop_assert!(change < 1e-4, "OLEV {n} still moves by {change}");
+        }
+    }
+
+    /// No sampled unilateral deviation improves any OLEV's utility.
+    #[test]
+    fn sampled_deviations_are_unprofitable(
+        s in scenario_strategy(),
+        fractions in prop::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let game = build_and_run(&s);
+        let sats: Vec<Box<dyn Satisfaction>> = s
+            .olevs
+            .iter()
+            .map(|(_, w)| Box::new(LogSatisfaction::new(*w)) as Box<dyn Satisfaction>)
+            .collect();
+        for (n, sat) in sats.iter().enumerate() {
+            let id = OlevId(n);
+            let current = potential::olev_utility(
+                id, sat.as_ref(), game.cost(), game.caps(), game.schedule(),
+            );
+            for f in &fractions {
+                // Deviate to requesting f·p_max, water-filled by the grid.
+                let total = f * game.p_max()[n];
+                let loads = game.schedule().loads_excluding(id);
+                let alloc = game.scheduler().allocate(game.cost(), game.caps(), &loads, total);
+                let mut deviated = game.schedule().clone();
+                deviated.set_row(id, &alloc.shares);
+                let utility = potential::olev_utility(
+                    id, sat.as_ref(), game.cost(), game.caps(), &deviated,
+                );
+                prop_assert!(
+                    utility <= current + 1e-6,
+                    "OLEV {n} profits from f={f}: {utility} > {current}"
+                );
+            }
+        }
+    }
+
+    /// No sampled feasible schedule beats the equilibrium's welfare
+    /// (Theorem IV.1, sampled globally rather than via the solver).
+    #[test]
+    fn sampled_schedules_do_not_beat_equilibrium_welfare(
+        s in scenario_strategy(),
+        noise in prop::collection::vec(0.0f64..1.0, 48),
+    ) {
+        let game = build_and_run(&s);
+        let w_star = game.welfare();
+        let n = game.olev_count();
+        let c = game.section_count();
+        let sats = game.satisfactions();
+        let mut idx = 0;
+        let mut take = || {
+            let v = noise[idx % noise.len()];
+            idx += 1;
+            v
+        };
+        for _ in 0..4 {
+            let mut schedule = PowerSchedule::zeros(n, c);
+            for row in 0..n {
+                // A random feasible row: scaled so the total ≤ p_max.
+                let raw: Vec<f64> = (0..c).map(|_| take()).collect();
+                let sum: f64 = raw.iter().sum();
+                let budget = take() * game.p_max()[row];
+                let scale = if sum > 0.0 { budget / sum } else { 0.0 };
+                let row_vals: Vec<f64> = raw.iter().map(|r| r * scale).collect();
+                schedule.set_row(OlevId(row), &row_vals);
+            }
+            let w = potential::social_welfare(sats, game.cost(), game.caps(), &schedule);
+            prop_assert!(
+                w <= w_star + 1e-6,
+                "sampled schedule beats equilibrium: {w} > {w_star}"
+            );
+        }
+    }
+}

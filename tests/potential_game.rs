@@ -1,0 +1,160 @@
+//! Property-based tests of the mechanism's core identities: the exact
+//! potential property, payment unbiasedness, and water-filling invariants.
+
+use oes::game::{
+    greedy_fill, potential, water_level, waterfill, LinearPricing, LogSatisfaction,
+    NonlinearPricing, OverloadPenalty, PowerSchedule, PricingPolicy, Satisfaction, Scheduler,
+    SectionCost,
+};
+use oes::units::OlevId;
+use proptest::prelude::*;
+
+fn nl_cost(beta: f64, kappa: f64, eta: f64) -> SectionCost {
+    SectionCost::new(
+        PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)),
+        OverloadPenalty::new(kappa),
+        eta,
+    )
+}
+
+fn lin_cost(beta: f64) -> SectionCost {
+    SectionCost::new(
+        PricingPolicy::Linear(LinearPricing::paper_default(beta)),
+        OverloadPenalty::new(0.15),
+        0.9,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The water level solves Y(λ) = total for arbitrary loads.
+    #[test]
+    fn water_level_solves_y(
+        loads in prop::collection::vec(0.0f64..100.0, 1..20),
+        total in 0.0f64..500.0,
+    ) {
+        let lambda = water_level(&loads, total);
+        let y: f64 = loads.iter().map(|&l| (lambda - l).max(0.0)).sum();
+        prop_assert!((y - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// Water-filling conserves the total, never goes negative, and never
+    /// raises a touched section above an untouched one.
+    #[test]
+    fn waterfill_invariants(
+        loads in prop::collection::vec(0.0f64..100.0, 1..20),
+        total in 0.0f64..500.0,
+    ) {
+        let shares = waterfill(&loads, total);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total.max(1.0));
+        let level = loads
+            .iter()
+            .zip(&shares)
+            .filter(|(_, s)| **s > 1e-9)
+            .map(|(l, s)| l + s)
+            .fold(0.0f64, f64::max);
+        for (l, s) in loads.iter().zip(&shares) {
+            prop_assert!(*s >= 0.0);
+            // Untouched sections were already at or above the water level.
+            if *s <= 1e-9 && total > 0.0 {
+                prop_assert!(*l >= level - 1e-6, "untouched {l} below level {level}");
+            }
+        }
+    }
+
+    /// Greedy filling also conserves the total and never allocates
+    /// negatively, for both policies.
+    #[test]
+    fn greedy_fill_invariants(
+        loads in prop::collection::vec(0.0f64..80.0, 1..16),
+        total in 0.0f64..400.0,
+        beta in 1.0f64..100.0,
+    ) {
+        let cost = lin_cost(beta);
+        let caps = vec![60.0; loads.len()];
+        let a = greedy_fill(&cost, &caps, &loads, total);
+        prop_assert!((a.total() - total).abs() < 1e-6 * total.max(1.0));
+        prop_assert!(a.shares.iter().all(|s| *s >= 0.0));
+        prop_assert!(a.marginal >= 0.0);
+    }
+
+    /// The exact-potential identity ΔF_n = ΔW for arbitrary schedules and
+    /// unilateral deviations, under both pricing policies.
+    #[test]
+    fn exact_potential_identity(
+        rows in prop::collection::vec(
+            prop::collection::vec(0.0f64..30.0, 4),
+            3,
+        ),
+        deviation in prop::collection::vec(0.0f64..30.0, 4),
+        who in 0usize..3,
+        beta in 1.0f64..100.0,
+        kappa in 0.0f64..1.0,
+        nonlinear in any::<bool>(),
+    ) {
+        let cost = if nonlinear { nl_cost(beta, kappa, 0.9) } else { lin_cost(beta) };
+        let caps = [50.0, 60.0, 70.0, 40.0];
+        let sats: Vec<Box<dyn Satisfaction>> = (0..3)
+            .map(|i| Box::new(LogSatisfaction::new(1.0 + i as f64)) as Box<dyn Satisfaction>)
+            .collect();
+        let mut schedule = PowerSchedule::zeros(3, 4);
+        for (n, row) in rows.iter().enumerate() {
+            schedule.set_row(OlevId(n), row);
+        }
+        let d = potential::potential_discrepancy(
+            OlevId(who), &sats, &cost, &caps, &schedule, &deviation,
+        );
+        prop_assert!(d < 1e-8, "ΔF ≠ ΔW: {d}");
+    }
+
+    /// Unbiasedness: a zero row pays zero under any loads.
+    #[test]
+    fn zero_request_pays_zero(
+        loads in prop::collection::vec(0.0f64..100.0, 1..12),
+        beta in 1.0f64..100.0,
+    ) {
+        let cost = nl_cost(beta, 0.15, 0.9);
+        let caps = vec![60.0; loads.len()];
+        let zeros = vec![0.0; loads.len()];
+        let paid = oes::game::payment_for_schedule(&cost, &caps, &loads, &zeros);
+        prop_assert_eq!(paid, 0.0);
+    }
+
+    /// The marginal water-filling allocation always beats (or ties) a flat
+    /// equal split on payment — Lemma IV.2's cost-minimality, sampled.
+    #[test]
+    fn waterfilling_beats_equal_split(
+        loads in prop::collection::vec(0.0f64..50.0, 2..10),
+        total in 0.1f64..200.0,
+        beta in 1.0f64..100.0,
+    ) {
+        let cost = nl_cost(beta, 0.15, 0.9);
+        let caps = vec![60.0; loads.len()];
+        let q = oes::game::quote(&cost, &caps, &loads, Scheduler::WaterFilling, total);
+        let equal = vec![total / loads.len() as f64; loads.len()];
+        let flat = oes::game::payment_for_schedule(&cost, &caps, &loads, &equal);
+        prop_assert!(q.payment <= flat + 1e-9);
+    }
+
+    /// Best responses never exceed the capacity bound and achieve
+    /// non-negative utility (participating is always individually rational).
+    #[test]
+    fn best_response_is_feasible_and_rational(
+        loads in prop::collection::vec(0.0f64..80.0, 1..10),
+        p_max in 0.0f64..120.0,
+        weight in 0.1f64..10.0,
+        beta in 1.0f64..100.0,
+    ) {
+        let cost = nl_cost(beta, 0.15, 0.9);
+        let caps = vec![60.0; loads.len()];
+        let sat = LogSatisfaction::new(weight);
+        let br = oes::game::best_response(
+            &sat, &cost, &caps, &loads, p_max, Scheduler::WaterFilling,
+        );
+        prop_assert!(br.total >= 0.0 && br.total <= p_max + 1e-9);
+        prop_assert!(br.utility >= -1e-9, "negative utility {}", br.utility);
+        prop_assert!((br.allocation.total() - br.total).abs() < 1e-6 * br.total.max(1.0));
+    }
+}

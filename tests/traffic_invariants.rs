@@ -1,0 +1,138 @@
+//! Property-based invariants of the traffic substrate: for arbitrary demand
+//! levels, signal timings, and seeds, the simulation never produces
+//! overlapping vehicles, out-of-range kinematics, or bookkeeping leaks.
+
+use oes::traffic::{
+    CorridorBuilder, PoissonArrivals, HourlyCounts, SectionPlacement, Simulation,
+    SimulationConfig, SignalPlan, VehicleParams,
+};
+use oes::units::{Meters, MetersPerSecond, Seconds};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn corridor_sim(
+    demand: u32,
+    green: f64,
+    red: f64,
+    seed: u64,
+) -> Simulation {
+    let mut builder = CorridorBuilder::new();
+    builder
+        .blocks(3, Meters::new(200.0))
+        .speed_limit(MetersPerSecond::new(14.0))
+        .signal(Seconds::new(green), Seconds::new(red))
+        .detector(SectionPlacement::BeforeLight, Meters::new(150.0))
+        .hourly_counts(vec![demand])
+        .seed(seed);
+    builder.build()
+}
+
+fn assert_no_overlaps(sim: &Simulation) {
+    let mut per_edge: BTreeMap<(usize, u32), Vec<(f64, f64)>> = BTreeMap::new();
+    for v in sim.vehicles() {
+        per_edge
+            .entry((v.current_edge().0, v.lane))
+            .or_default()
+            .push((v.position.value(), v.params.length.value()));
+    }
+    for (edge, list) in per_edge.iter_mut() {
+        list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite positions"));
+        for w in list.windows(2) {
+            let (follower_front, _) = w[0];
+            let (leader_front, leader_len) = w[1];
+            assert!(
+                follower_front <= leader_front - leader_len + 1e-6,
+                "overlap on lane {edge:?}: {follower_front} vs rear {}",
+                leader_front - leader_len
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_collisions_for_arbitrary_demand_and_signals(
+        demand in 50u32..1500,
+        green in 10.0f64..60.0,
+        red in 5.0f64..90.0,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = corridor_sim(demand, green, red, seed);
+        for _ in 0..400 {
+            sim.step();
+        }
+        assert_no_overlaps(&sim);
+        // Kinematic sanity for every vehicle.
+        for v in sim.vehicles() {
+            prop_assert!(v.speed.value() >= 0.0);
+            prop_assert!(v.speed.value() <= 14.0 + 1e-9, "speed {}", v.speed.value());
+            prop_assert!(v.position.value() >= 0.0);
+            prop_assert!(v.position.value() <= 200.0 + 1e-9);
+        }
+        // Conservation.
+        prop_assert_eq!(
+            sim.spawned(),
+            sim.active_count() as u64 + sim.exited()
+        );
+    }
+
+    #[test]
+    fn determinism_for_arbitrary_seeds(seed in 0u64..500) {
+        let run = |seed: u64| {
+            let mut sim = corridor_sim(700, 30.0, 40.0, seed);
+            sim.run_for(Seconds::new(300.0));
+            let state: Vec<(u64, usize, u64)> = sim
+                .vehicles()
+                .map(|v| (v.id.0, v.route_index, v.position.value().to_bits()))
+                .collect();
+            (sim.spawned(), sim.exited(), state)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn poisson_demand_is_order_preserving(
+        counts in prop::collection::vec(1u32..2000, 1..6),
+        seed in 0u64..100,
+    ) {
+        let mut arrivals = PoissonArrivals::new(HourlyCounts::new(counts), seed);
+        let mut prev = Seconds::ZERO;
+        for _ in 0..200 {
+            let t = arrivals.next_arrival();
+            prop_assert!(t > prev);
+            prev = t;
+        }
+    }
+}
+
+/// A permanently red signal can never leak a vehicle through, whatever the
+/// demand level.
+#[test]
+fn red_wall_is_impermeable() {
+    for demand in [100u32, 800, 1500] {
+        let mut net = oes::traffic::RoadNetwork::new();
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        let e1 = net
+            .add_edge(a, b, Meters::new(300.0), MetersPerSecond::new(15.0))
+            .unwrap();
+        let e2 = net
+            .add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(15.0))
+            .unwrap();
+        let mut sim = Simulation::new(net, SimulationConfig::default(), 4);
+        sim.add_signal(b, SignalPlan::new(Seconds::ZERO, Seconds::new(1e12), Seconds::ZERO));
+        sim.add_demand(
+            PoissonArrivals::new(HourlyCounts::new(vec![demand]), 4),
+            vec![e1, e2],
+            VehicleParams::passenger_car(),
+        );
+        sim.run_for(Seconds::new(900.0));
+        assert_eq!(sim.exited(), 0, "vehicle escaped a permanent red at demand {demand}");
+        for v in sim.vehicles() {
+            assert_eq!(v.current_edge(), e1, "vehicle crossed the red stop line");
+        }
+    }
+}

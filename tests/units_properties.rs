@@ -1,0 +1,92 @@
+//! Property tests on the typed-quantity algebra: conversions round-trip,
+//! arithmetic is consistent, and validated ratios never escape their ranges.
+
+use oes::units::{
+    Efficiency, Hours, KilowattHours, Kilowatts, MegawattHours, Meters, MetersPerSecond,
+    MilesPerHour, Seconds, StateOfCharge, Volts, Amperes,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn speed_conversion_roundtrips(v in 0.0f64..300.0) {
+        let back = MilesPerHour::new(v).to_meters_per_second().to_miles_per_hour();
+        prop_assert!((back.value() - v).abs() < 1e-9 * v.max(1.0));
+    }
+
+    #[test]
+    fn energy_conversion_roundtrips(e in 0.0f64..1e7) {
+        let back = KilowattHours::new(e).to_megawatt_hours().to_kilowatt_hours();
+        prop_assert!((back.value() - e).abs() < 1e-9 * e.max(1.0));
+    }
+
+    #[test]
+    fn time_conversion_roundtrips(t in 0.0f64..1e6) {
+        let back = Seconds::new(t).to_hours().to_seconds();
+        prop_assert!((back.value() - t).abs() < 1e-9 * t.max(1.0));
+    }
+
+    #[test]
+    fn power_time_energy_triangle(p in 0.0f64..1e4, h in 1e-3f64..100.0) {
+        // (p · h) / h = p and (p · h) / p = h.
+        let energy = Kilowatts::new(p) * Hours::new(h);
+        let p_back = energy / Hours::new(h);
+        prop_assert!((p_back.value() - p).abs() < 1e-9 * p.max(1.0));
+        if p > 1e-6 {
+            let h_back = energy / Kilowatts::new(p);
+            prop_assert!((h_back.value() - h).abs() < 1e-9 * h.max(1.0));
+        }
+    }
+
+    #[test]
+    fn distance_speed_time_triangle(d in 1e-3f64..1e5, v in 1e-3f64..100.0) {
+        let t = Meters::new(d) / MetersPerSecond::new(v);
+        let d_back = MetersPerSecond::new(v) * t;
+        prop_assert!((d_back.value() - d).abs() < 1e-9 * d.max(1.0));
+    }
+
+    #[test]
+    fn electrical_power_commutes(volts in 0.0f64..1000.0, amps in 0.0f64..500.0) {
+        let a = Volts::new(volts) * Amperes::new(amps);
+        let b = Amperes::new(amps) * Volts::new(volts);
+        prop_assert_eq!(a, b);
+        prop_assert!((a.value() - volts * amps / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantity_algebra_is_consistent(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = MegawattHours::new(a);
+        let y = MegawattHours::new(b);
+        prop_assert_eq!(x + y - y, MegawattHours::new(a + b - b));
+        prop_assert_eq!(-(-x), x);
+        prop_assert_eq!((x * 2.0) / 2.0, MegawattHours::new(a * 2.0 / 2.0));
+        prop_assert_eq!(x.min(y).max(x.min(y)), x.min(y));
+    }
+
+    #[test]
+    fn soc_saturating_always_lands_in_range(raw in -10.0f64..10.0) {
+        let soc = StateOfCharge::saturating(raw);
+        prop_assert!(soc >= StateOfCharge::EMPTY && soc <= StateOfCharge::FULL);
+        // new() agrees with saturating() inside the valid range.
+        if (0.0..=1.0).contains(&raw) {
+            prop_assert_eq!(StateOfCharge::new(raw).unwrap(), soc);
+        } else {
+            prop_assert!(StateOfCharge::new(raw).is_err());
+        }
+    }
+
+    #[test]
+    fn efficiency_validation_is_exact(raw in -2.0f64..2.0) {
+        let valid = raw > 0.0 && raw <= 1.0;
+        prop_assert_eq!(Efficiency::new(raw).is_ok(), valid);
+    }
+
+    #[test]
+    fn sums_match_scalar_sums(values in prop::collection::vec(-1e4f64..1e4, 0..50)) {
+        let typed: Kilowatts = values.iter().map(|&v| Kilowatts::new(v)).sum();
+        let raw: f64 = values.iter().sum();
+        prop_assert!((typed.value() - raw).abs() < 1e-6);
+    }
+}
