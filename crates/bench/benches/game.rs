@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oes_game::{
-    best_response, GameBuilder, LogSatisfaction, NonlinearPricing, OverloadPenalty,
-    PricingPolicy, Scheduler, SectionCost, UpdateOrder,
+    best_response, GameBuilder, LogSatisfaction, NonlinearPricing, OverloadPenalty, PricingPolicy,
+    Scheduler, SectionCost, UpdateOrder,
 };
 use oes_units::Kilowatts;
 use std::hint::black_box;
@@ -96,9 +96,45 @@ fn bench_distributed_runtime(criterion: &mut Criterion) {
                 .olevs_weighted(10, Kilowatts::new(60.0), 2.0)
                 .build()
                 .expect("valid");
-            oes_game::DistributedGame::new(&mut g).run(10_000).expect("runs")
+            oes_game::DistributedGame::new(&mut g)
+                .run(10_000)
+                .expect("runs")
         });
     });
+    group.finish();
+}
+
+fn bench_chaos_runtime(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("chaos_runtime");
+    group.sample_size(10);
+    // Fault verdicts are plan-derived and expired virtually, so the cost of
+    // loss shows up as extra protocol rounds, not wall-clock timeouts.
+    for drop in [0.0f64, 0.1, 0.2] {
+        let label = format!("{:.0}pct_loss", drop * 100.0);
+        group.bench_with_input(
+            BenchmarkId::new("threads_C20_N10", label),
+            &drop,
+            |b, &drop| {
+                b.iter(|| {
+                    let mut g = GameBuilder::new()
+                        .sections(20, Kilowatts::new(35.0))
+                        .olevs_weighted(10, Kilowatts::new(60.0), 2.0)
+                        .build()
+                        .expect("valid");
+                    let plan = oes_game::FaultPlan::new(7)
+                        .drop_probability(drop)
+                        .duplicate_probability(drop)
+                        .max_delay_ms((drop * 100.0) as u64);
+                    oes_game::DistributedGame::new(&mut g)
+                        .with_faults(plan)
+                        .offer_timeout(std::time::Duration::from_millis(10))
+                        .retry_budget(12)
+                        .run(10_000)
+                        .expect("runs")
+                });
+            },
+        );
+    }
     group.finish();
 }
 
@@ -107,6 +143,7 @@ criterion_group!(
     bench_waterfill,
     bench_best_response,
     bench_full_game,
-    bench_distributed_runtime
+    bench_distributed_runtime,
+    bench_chaos_runtime
 );
 criterion_main!(benches);

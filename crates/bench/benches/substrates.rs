@@ -3,12 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oes_grid::{dispatch, nyiso_like_fleet, GridOperator, OperatorConfig};
-use oes_traffic::{
-    shortest_path, CorridorBuilder, EnergyModel, GridNetworkBuilder, HourlyCounts,
-    SectionPlacement,
-};
 use oes_traffic::NodeId;
-use oes_units::{Hours, Megawatts, Meters, SectionId, Seconds, StateOfCharge};
+use oes_traffic::{
+    shortest_path, CorridorBuilder, EnergyModel, GridNetworkBuilder, HourlyCounts, SectionPlacement,
+};
+use oes_units::{Hours, Megawatts, Meters, Seconds, SectionId, StateOfCharge};
 use oes_wpt::{ChargingSection, ChargingSpan, CoSimulation, OlevSpec};
 use std::hint::black_box;
 
@@ -86,8 +85,11 @@ fn bench_dispatch_day(criterion: &mut Criterion) {
     criterion.bench_function("dispatch_288_intervals", |b| {
         let fleet = nyiso_like_fleet();
         let day = GridOperator::new(OperatorConfig::nyiso_like(), 42).simulate_day();
-        let demand: Vec<Megawatts> =
-            day.points().iter().map(|p| p.integrated_load / Hours::new(1.0)).collect();
+        let demand: Vec<Megawatts> = day
+            .points()
+            .iter()
+            .map(|p| p.integrated_load / Hours::new(1.0))
+            .collect();
         b.iter(|| black_box(dispatch(&fleet, &demand, 24.0 / 288.0)));
     });
 }

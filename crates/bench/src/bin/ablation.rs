@@ -34,9 +34,10 @@ fn main() {
     // 1. Scheduler ablation.
     println!("=== ablation 1: scheduler (nonlinear pricing, C=40, N=20) ===");
     let mut rows = Vec::new();
-    for (label, scheduler) in
-        [("water-filling (paper)", Scheduler::WaterFilling), ("greedy (ablated)", Scheduler::Greedy)]
-    {
+    for (label, scheduler) in [
+        ("water-filling (paper)", Scheduler::WaterFilling),
+        ("greedy (ablated)", Scheduler::Greedy),
+    ] {
         // Interior demand: with saturated demand both schedulers fill every
         // knee and the comparison is vacuous.
         let mut g = GameBuilder::new()
@@ -45,7 +46,8 @@ fn main() {
             .force_scheduler(scheduler)
             .build()
             .expect("valid scenario");
-        g.run(UpdateOrder::Random { seed: 3 }, 20_000).expect("runs");
+        g.run(UpdateOrder::Random { seed: 3 }, 20_000)
+            .expect("runs");
         rows.push(vec![
             label.to_string(),
             fmt(g.welfare(), 3),
@@ -78,7 +80,16 @@ fn main() {
             out.updates().to_string(),
         ]);
     }
-    print_table(&["scenario", "decentralized W", "centralized W", "rel gap", "updates"], &rows);
+    print_table(
+        &[
+            "scenario",
+            "decentralized W",
+            "centralized W",
+            "rel gap",
+            "updates",
+        ],
+        &rows,
+    );
     println!();
 
     // 3. Alpha sensitivity: the payment level and slope.
@@ -107,7 +118,10 @@ fn main() {
             format!("{} @ x̂={}", fmt(p_high, 2), fmt(c_high, 2)),
         ]);
     }
-    print_table(&["alpha", "payment low demand", "payment high demand"], &rows);
+    print_table(
+        &["alpha", "payment low demand", "payment high demand"],
+        &rows,
+    );
     println!("-> alpha lifts the whole curve (the grid's margin); the slope is beta's.\n");
 
     // 4. Kappa sensitivity: knee overshoot under surplus demand.
@@ -180,8 +194,14 @@ fn main() {
     print_table(
         &["strategy", "captured dwell (min)"],
         &[
-            vec!["optimal (DP)".into(), fmt(exact.total_dwell().to_minutes(), 1)],
-            vec!["greedy (dwell density)".into(), fmt(plan.total_dwell().to_minutes(), 1)],
+            vec![
+                "optimal (DP)".into(),
+                fmt(exact.total_dwell().to_minutes(), 1),
+            ],
+            vec![
+                "greedy (dwell density)".into(),
+                fmt(plan.total_dwell().to_minutes(), 1),
+            ],
             vec!["uniform spacing".into(), fmt(uniform / 60.0, 1)],
             vec!["worst case".into(), fmt(worst / 60.0, 1)],
         ],

@@ -25,7 +25,10 @@ fn main() {
         .run();
 
     println!("=== Fig3: intersection time and receivable power over 24 h ===");
-    println!("corridor demand: {} vehicles entered\n", report.vehicles_entered);
+    println!(
+        "corridor demand: {} vehicles entered\n",
+        report.vehicles_entered
+    );
     let mut rows = Vec::new();
     for h in 0..24 {
         rows.push(vec![
@@ -53,7 +56,10 @@ fn main() {
         &[
             vec![
                 "total intersection time (at light)".into(),
-                format!("{} h", fmt(report.at_light.total_dwell().to_hours().value(), 1)),
+                format!(
+                    "{} h",
+                    fmt(report.at_light.total_dwell().to_hours().value(), 1)
+                ),
                 "> 48 h".into(),
             ],
             vec![

@@ -31,12 +31,16 @@ pub fn run_fig56(figure: &str, velocity_mph: f64, beta: f64) {
         })
         .collect();
     print_table(
-        &["demand w", "congestion(NL)", "$/MWh(NL)", "congestion(LIN)", "$/MWh(LIN)"],
+        &[
+            "demand w",
+            "congestion(NL)",
+            "$/MWh(NL)",
+            "congestion(LIN)",
+            "$/MWh(LIN)",
+        ],
         &rows,
     );
-    println!(
-        "paper shape: nonlinear rises with congestion (≈13→22), linear flat at β.\n"
-    );
+    println!("paper shape: nonlinear rises with congestion (≈13→22), linear flat at β.\n");
 
     // Panel (b): social welfare vs number of charging sections.
     println!("--- ({figure}b) social welfare vs number of charging sections ---");
@@ -48,10 +52,9 @@ pub fn run_fig56(figure: &str, velocity_mph: f64, beta: f64) {
             row
         })
         .collect();
-    let headers: Vec<String> =
-        std::iter::once("sections".to_string())
-            .chain(FLEET_SIZES.iter().map(|n| format!("W(N={n})")))
-            .collect();
+    let headers: Vec<String> = std::iter::once("sections".to_string())
+        .chain(FLEET_SIZES.iter().map(|n| format!("W(N={n})")))
+        .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(&headers_ref, &rows);
     println!("paper shape: welfare grows with C and with N (0→~250).\n");
@@ -83,7 +86,10 @@ pub fn run_fig56(figure: &str, velocity_mph: f64, beta: f64) {
             fmt(l_max - l_min, 2),
         ],
     ];
-    print_table(&["policy", "min kW", "mean kW", "max kW", "spread kW"], &rows);
+    print_table(
+        &["policy", "min kW", "mean kW", "max kW", "spread kW"],
+        &rows,
+    );
     println!("per-section loads, every 10th section:");
     let mut rows = Vec::new();
     for c in (0..nl.len()).step_by(10) {
@@ -93,7 +99,9 @@ pub fn run_fig56(figure: &str, velocity_mph: f64, beta: f64) {
     println!("paper shape: nonlinear flat (balanced), linear jagged (unbalanced).\n");
 
     // Panel (d): convergence of the congestion degree.
-    println!("--- ({figure}d) congestion degree vs number of updates (target 0.9, mean of 50 runs) ---");
+    println!(
+        "--- ({figure}d) congestion degree vs number of updates (target 0.9, mean of 50 runs) ---"
+    );
     let trajectories: Vec<Vec<f64>> = FLEET_SIZES
         .iter()
         .map(|&n| convergence_trajectory(velocity_mph, beta, n, 100, 50))

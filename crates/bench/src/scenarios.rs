@@ -6,8 +6,11 @@
 //! paper's "up to 50% of SOC from the grid" trip profile), so the game runs
 //! on physically-derived numbers, not hand-picked ones.
 
+use std::time::Duration;
+
 use oes_game::{
-    GameBuilder, LinearPricing, NonlinearPricing, PricingPolicy, Snapshot, UpdateOrder,
+    DistributedGame, FaultPlan, GameBuilder, LinearPricing, NonlinearPricing, PricingPolicy,
+    Snapshot, UpdateOrder,
 };
 use oes_units::{Kilowatts, MilesPerHour, OlevId, SectionId, StateOfCharge};
 use oes_wpt::{ChargingSection, Olev, OlevSpec};
@@ -23,7 +26,10 @@ pub const PASSES_PER_HOUR: f64 = 100.0;
 #[must_use]
 pub fn section_capacity_kw(velocity_mph: f64) -> f64 {
     ChargingSection::paper_default(SectionId(0))
-        .sustained_capacity(MilesPerHour::new(velocity_mph).to_meters_per_second(), PASSES_PER_HOUR)
+        .sustained_capacity(
+            MilesPerHour::new(velocity_mph).to_meters_per_second(),
+            PASSES_PER_HOUR,
+        )
         .value()
 }
 
@@ -85,11 +91,13 @@ pub fn payment_vs_congestion(velocity_mph: f64, beta: f64) -> Vec<PaymentPoint> 
         .map(|&weight| {
             let run = |policy: PricingPolicy| {
                 let mut g = game(100, 50, weight, velocity_mph, 1.0, policy);
-                g.run(UpdateOrder::Random { seed: 7 }, 30_000).expect("valid game");
+                g.run(UpdateOrder::Random { seed: 7 }, 30_000)
+                    .expect("valid game");
                 (g.system_congestion(), g.unit_payment_dollars_per_mwh())
             };
-            let (cn, pn) =
-                run(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)));
+            let (cn, pn) = run(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                beta,
+            )));
             let (cl, pl) = run(PricingPolicy::Linear(LinearPricing::paper_default(beta)));
             PaymentPoint {
                 weight,
@@ -157,7 +165,9 @@ pub fn power_distribution(velocity_mph: f64, beta: f64) -> (Vec<f64>, Vec<f64>) 
         }
         g.section_loads()
     };
-    let nonlinear = run(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)));
+    let nonlinear = run(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+        beta,
+    )));
     let linear = run(PricingPolicy::Linear(LinearPricing::paper_default(beta)));
     (nonlinear, linear)
 }
@@ -181,12 +191,16 @@ pub fn convergence_trajectory(
         let mut g = GameBuilder::new()
             .sections(100, Kilowatts::new(section_capacity_kw(velocity_mph)))
             .olevs_weighted(n, Kilowatts::new(olev_p_max_kw()), 3.0)
-            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)))
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                beta,
+            )))
             .eta(0.9)
             .overload(10.0 * beta / 1000.0)
             .build()
             .expect("scenario parameters are valid");
-        let out = g.run(UpdateOrder::Random { seed }, updates).expect("valid game");
+        let out = g
+            .run(UpdateOrder::Random { seed }, updates)
+            .expect("valid game");
         let mut last = 0.0;
         for (i, slot) in mean.iter_mut().enumerate() {
             let c = out
@@ -204,6 +218,64 @@ pub fn convergence_trajectory(
     mean
 }
 
+/// One point of the fault-resilience sweep: the hardened decentralized
+/// runtime under an increasingly lossy V2I channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePoint {
+    /// Per-transmission drop (and duplication) probability.
+    pub drop_probability: f64,
+    /// Equilibrium social welfare reached under faults.
+    pub welfare: f64,
+    /// `welfare / fault-free welfare` — 1.0 means the loss cost nothing.
+    pub retention: f64,
+    /// Retransmissions the coordinator needed.
+    pub retries: usize,
+    /// OLEVs evicted (0 under eventual delivery).
+    pub evicted: usize,
+}
+
+/// Theorem IV.1, empirically: the equilibrium is invariant to *which* OLEV
+/// updates when, so a lossy V2I channel that still eventually delivers costs
+/// retransmissions, not welfare. Sweeps the drop/duplication probability on
+/// the physically-derived C = 20, N = 10 scenario and reports welfare
+/// retention against the fault-free optimum.
+#[must_use]
+pub fn resilience_sweep(velocity_mph: f64, beta: f64, seed: u64) -> Vec<ResiliencePoint> {
+    let policy = || PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta));
+    let mut baseline_game = game(20, 10, 1.0, velocity_mph, 0.9, policy());
+    baseline_game
+        .run(UpdateOrder::RoundRobin, 30_000)
+        .expect("valid game");
+    let baseline = baseline_game.welfare();
+
+    [0.0, 0.05, 0.1, 0.2]
+        .iter()
+        .map(|&drop| {
+            // The drop = 0 point is a genuinely lossless control; the lossy
+            // points add duplication and delays long enough to reorder.
+            let plan = FaultPlan::new(seed)
+                .drop_probability(drop)
+                .duplicate_probability(drop)
+                .max_delay_ms((drop * 100.0) as u64);
+            let mut g = game(20, 10, 1.0, velocity_mph, 0.9, policy());
+            let outcome = DistributedGame::new(&mut g)
+                .with_faults(plan)
+                .offer_timeout(Duration::from_millis(10))
+                .retry_budget(12)
+                .run(30_000)
+                .expect("survivors converge");
+            let welfare = g.welfare();
+            ResiliencePoint {
+                drop_probability: drop,
+                welfare,
+                retention: welfare / baseline,
+                retries: outcome.degradation().retries,
+                evicted: outcome.degradation().evictions.len(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,13 +289,34 @@ mod tests {
         // The calibration: even the smallest Fig. 5(d) fleet (N = 30) can
         // saturate 100 sections at the 0.9 target.
         let saturation = 30.0 * olev_p_max_kw() / (0.9 * 100.0 * c60);
-        assert!(saturation >= 1.0, "N=30 cannot reach the target: {saturation}");
+        assert!(
+            saturation >= 1.0,
+            "N=30 cannot reach the target: {saturation}"
+        );
     }
 
     #[test]
     fn olev_bound_follows_eq2() {
         // (0.9 − 0.4 + 0.2) × 95.76 × 0.85 / 0.9 ≈ 63.3 kW.
         assert!((olev_p_max_kw() - 0.7 * 95.76 * 0.85 / 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resilience_sweep_retains_welfare_under_eventual_delivery() {
+        let points = resilience_sweep(60.0, 15.0, 23);
+        assert_eq!(points.len(), 4);
+        for point in &points {
+            assert_eq!(point.evicted, 0, "eventual delivery must not evict anyone");
+            assert!(
+                (point.retention - 1.0).abs() < 1e-6,
+                "drop {} lost welfare: retention {}",
+                point.drop_probability,
+                point.retention
+            );
+        }
+        // The lossy points actually had to retry.
+        assert_eq!(points[0].retries, 0);
+        assert!(points.last().expect("non-empty").retries > 0);
     }
 
     #[test]

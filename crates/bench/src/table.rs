@@ -25,7 +25,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         out
     };
     println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

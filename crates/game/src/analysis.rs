@@ -177,7 +177,12 @@ pub fn compare_regimes(s: &ComparisonScenario) -> Result<WelfareComparison, Game
         }
     };
 
-    Ok(WelfareComparison { centralized, nonlinear, linear, free_for_all })
+    Ok(WelfareComparison {
+        centralized,
+        nonlinear,
+        linear,
+        free_for_all,
+    })
 }
 
 #[cfg(test)]

@@ -46,7 +46,10 @@ pub fn best_response(
     p_max: f64,
     scheduler: Scheduler,
 ) -> BestResponse {
-    assert!(p_max >= 0.0 && p_max.is_finite(), "p_max must be non-negative");
+    assert!(
+        p_max >= 0.0 && p_max.is_finite(),
+        "p_max must be non-negative"
+    );
     assert_eq!(caps.len(), loads_excl.len(), "caps/loads length mismatch");
 
     let marginal_at = |p: f64| scheduler.allocate(cost, caps, loads_excl, p).marginal;
@@ -74,7 +77,12 @@ pub fn best_response(
 
     let q = quote(cost, caps, loads_excl, scheduler, total);
     let utility = satisfaction.value(total) - q.payment;
-    BestResponse { total, allocation: q.allocation, payment: q.payment, utility }
+    BestResponse {
+        total,
+        allocation: q.allocation,
+        payment: q.payment,
+        utility,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +107,9 @@ mod tests {
         let loads = [0.0; 4];
         let br = best_response(&sat, &cost, &caps, &loads, 500.0, Scheduler::WaterFilling);
         assert!(br.total > 0.0 && br.total < 500.0);
-        let marginal = Scheduler::WaterFilling.allocate(&cost, &caps, &loads, br.total).marginal;
+        let marginal = Scheduler::WaterFilling
+            .allocate(&cost, &caps, &loads, br.total)
+            .marginal;
         assert!(
             (sat.derivative(br.total) - marginal).abs() < 1e-6,
             "FOC residual at p*={}",
@@ -111,7 +121,14 @@ mod tests {
     fn capacity_bound_binds_for_eager_olev() {
         // A huge satisfaction weight: always worth taking the maximum.
         let sat = LogSatisfaction::new(1000.0);
-        let br = best_response(&sat, &nl_cost(), &[60.0; 4], &[0.0; 4], 30.0, Scheduler::WaterFilling);
+        let br = best_response(
+            &sat,
+            &nl_cost(),
+            &[60.0; 4],
+            &[0.0; 4],
+            30.0,
+            Scheduler::WaterFilling,
+        );
         assert_eq!(br.total, 30.0);
     }
 
@@ -121,7 +138,14 @@ mod tests {
         let sat = LogSatisfaction::new(0.001);
         let cost = nl_cost();
         let loads = [55.0; 4]; // past the knee, Z' is steep
-        let br = best_response(&sat, &cost, &[60.0; 4], &loads, 30.0, Scheduler::WaterFilling);
+        let br = best_response(
+            &sat,
+            &cost,
+            &[60.0; 4],
+            &loads,
+            30.0,
+            Scheduler::WaterFilling,
+        );
         assert_eq!(br.total, 0.0);
         assert_eq!(br.payment, 0.0);
         assert_eq!(br.utility, 0.0);
@@ -130,7 +154,14 @@ mod tests {
     #[test]
     fn zero_capacity_yields_zero() {
         let sat = LogSatisfaction::new(10.0);
-        let br = best_response(&sat, &nl_cost(), &[60.0], &[0.0], 0.0, Scheduler::WaterFilling);
+        let br = best_response(
+            &sat,
+            &nl_cost(),
+            &[60.0],
+            &[0.0],
+            0.0,
+            Scheduler::WaterFilling,
+        );
         assert_eq!(br.total, 0.0);
     }
 
@@ -165,7 +196,11 @@ mod tests {
         let loads = [0.0; 4];
         let br = best_response(&sat, &lin, &caps, &loads, 5000.0, Scheduler::Greedy);
         let expected = 1.0 / 0.015 - 1.0;
-        assert!((br.total - expected).abs() < 1e-3, "{} vs {expected}", br.total);
+        assert!(
+            (br.total - expected).abs() < 1e-3,
+            "{} vs {expected}",
+            br.total
+        );
     }
 
     #[test]
@@ -173,8 +208,22 @@ mod tests {
         let sat = LogSatisfaction::new(1.0);
         let cost = nl_cost();
         let caps = [60.0; 4];
-        let idle = best_response(&sat, &cost, &caps, &[0.0; 4], 500.0, Scheduler::WaterFilling);
-        let busy = best_response(&sat, &cost, &caps, &[45.0; 4], 500.0, Scheduler::WaterFilling);
+        let idle = best_response(
+            &sat,
+            &cost,
+            &caps,
+            &[0.0; 4],
+            500.0,
+            Scheduler::WaterFilling,
+        );
+        let busy = best_response(
+            &sat,
+            &cost,
+            &caps,
+            &[45.0; 4],
+            500.0,
+            Scheduler::WaterFilling,
+        );
         assert!(busy.total < idle.total, "{} !< {}", busy.total, idle.total);
     }
 }

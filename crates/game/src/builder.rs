@@ -59,7 +59,8 @@ impl GameBuilder {
     /// Adds `count` identical sections of the given capacity.
     #[must_use]
     pub fn sections(mut self, count: usize, capacity: Kilowatts) -> Self {
-        self.caps.extend(std::iter::repeat_n(capacity.value(), count));
+        self.caps
+            .extend(std::iter::repeat_n(capacity.value(), count));
         self
     }
 
@@ -81,7 +82,8 @@ impl GameBuilder {
     #[must_use]
     pub fn olevs_weighted(mut self, count: usize, p_max: Kilowatts, weight: f64) -> Self {
         for _ in 0..count {
-            self.olevs.push((p_max.value(), Box::new(LogSatisfaction::new(weight))));
+            self.olevs
+                .push((p_max.value(), Box::new(LogSatisfaction::new(weight))));
         }
         self
     }
@@ -142,16 +144,24 @@ impl GameBuilder {
     ///
     /// Panics if `olevs` is empty (the common velocity is their mean).
     #[must_use]
-    pub fn from_wpt(mut self, olevs: &[Olev], sections: &[ChargingSection], passes_per_hour: f64) -> Self {
+    pub fn from_wpt(
+        mut self,
+        olevs: &[Olev],
+        sections: &[ChargingSection],
+        passes_per_hour: f64,
+    ) -> Self {
         assert!(!olevs.is_empty(), "need at least one OLEV for a velocity");
         let mean_vel = olevs.iter().map(|o| o.velocity().value()).sum::<f64>() / olevs.len() as f64;
         let vel = oes_units::MetersPerSecond::new(mean_vel);
         for s in sections {
-            self.caps.push(s.sustained_capacity(vel, passes_per_hour).value());
+            self.caps
+                .push(s.sustained_capacity(vel, passes_per_hour).value());
         }
         for o in olevs {
-            self.olevs
-                .push((o.receivable_power().value(), Box::new(LogSatisfaction::new(1.0))));
+            self.olevs.push((
+                o.receivable_power().value(),
+                Box::new(LogSatisfaction::new(1.0)),
+            ));
         }
         self
     }
@@ -172,19 +182,31 @@ impl GameBuilder {
         }
         for &cap in &self.caps {
             if !(cap > 0.0 && cap.is_finite()) {
-                return Err(GameError::InvalidParameter { name: "section capacity", value: cap });
+                return Err(GameError::InvalidParameter {
+                    name: "section capacity",
+                    value: cap,
+                });
             }
         }
         for (p_max, _) in &self.olevs {
             if !(*p_max >= 0.0 && p_max.is_finite()) {
-                return Err(GameError::InvalidParameter { name: "olev p_max", value: *p_max });
+                return Err(GameError::InvalidParameter {
+                    name: "olev p_max",
+                    value: *p_max,
+                });
             }
         }
         if !(self.eta > 0.0 && self.eta <= 1.0) {
-            return Err(GameError::InvalidParameter { name: "eta", value: self.eta });
+            return Err(GameError::InvalidParameter {
+                name: "eta",
+                value: self.eta,
+            });
         }
         if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
-            return Err(GameError::InvalidParameter { name: "tolerance", value: self.tolerance });
+            return Err(GameError::InvalidParameter {
+                name: "tolerance",
+                value: self.tolerance,
+            });
         }
         let beta = match &self.policy {
             PricingPolicy::Nonlinear(p) => p.beta,
@@ -192,7 +214,10 @@ impl GameBuilder {
         };
         let kappa = self.kappa.unwrap_or(beta);
         if !(kappa >= 0.0 && kappa.is_finite()) {
-            return Err(GameError::InvalidParameter { name: "kappa", value: kappa });
+            return Err(GameError::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+            });
         }
         let cost = SectionCost::new(self.policy, OverloadPenalty::new(kappa), self.eta);
         let scheduler = match self.scheduler_override {
@@ -260,11 +285,17 @@ mod tests {
     #[test]
     fn empty_scenarios_rejected() {
         assert_eq!(
-            GameBuilder::new().olevs(1, Kilowatts::new(1.0)).build().unwrap_err(),
+            GameBuilder::new()
+                .olevs(1, Kilowatts::new(1.0))
+                .build()
+                .unwrap_err(),
             GameError::NoSections
         );
         assert_eq!(
-            GameBuilder::new().sections(1, Kilowatts::new(1.0)).build().unwrap_err(),
+            GameBuilder::new()
+                .sections(1, Kilowatts::new(1.0))
+                .build()
+                .unwrap_err(),
             GameError::NoOlevs
         );
     }
@@ -276,7 +307,13 @@ mod tests {
             .olevs(1, Kilowatts::new(1.0))
             .build()
             .unwrap_err();
-        assert!(matches!(err, GameError::InvalidParameter { name: "section capacity", .. }));
+        assert!(matches!(
+            err,
+            GameError::InvalidParameter {
+                name: "section capacity",
+                ..
+            }
+        ));
 
         let err = GameBuilder::new()
             .sections(1, Kilowatts::new(10.0))
@@ -284,7 +321,10 @@ mod tests {
             .eta(0.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, GameError::InvalidParameter { name: "eta", .. }));
+        assert!(matches!(
+            err,
+            GameError::InvalidParameter { name: "eta", .. }
+        ));
     }
 
     #[test]
@@ -303,9 +343,13 @@ mod tests {
         for o in &mut olevs {
             o.set_velocity(MetersPerSecond::new(26.8224));
         }
-        let sections: Vec<ChargingSection> =
-            (0..4).map(|i| ChargingSection::paper_default(SectionId(i))).collect();
-        let g = GameBuilder::new().from_wpt(&olevs, &sections, 300.0).build().unwrap();
+        let sections: Vec<ChargingSection> = (0..4)
+            .map(|i| ChargingSection::paper_default(SectionId(i)))
+            .collect();
+        let g = GameBuilder::new()
+            .from_wpt(&olevs, &sections, 300.0)
+            .build()
+            .unwrap();
         assert_eq!(g.olev_count(), 3);
         assert_eq!(g.section_count(), 4);
         // Eq. 2 with (0.8 − 0.4 + 0.2): 0.6 × 95.76 × 0.85 / 0.9.

@@ -85,7 +85,12 @@ pub fn solve_centralized(game: &Game, max_iterations: usize) -> CentralizedSolut
         }
         welfare = new_welfare;
     }
-    CentralizedSolution { schedule, welfare, iterations, converged }
+    CentralizedSolution {
+        schedule,
+        welfare,
+        iterations,
+        converged,
+    }
 }
 
 /// Euclidean projection onto `{x ≥ 0, Σx ≤ budget}` in place.

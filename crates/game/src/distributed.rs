@@ -1,35 +1,85 @@
-//! The decentralized runtime: real threads exchanging V2I-style messages.
+//! The decentralized runtime: real threads exchanging V2I messages.
 //!
 //! [`crate::engine::Game::run`] simulates the asynchronous protocol inside
 //! one thread. This module runs it for real: every OLEV is a worker thread
 //! holding its satisfaction function *privately* (the grid never sees it —
 //! the paper's key informational constraint), and the grid coordinator talks
-//! to workers over channels. Per update the grid sends the data defining the
-//! OLEV's payment function — the other OLEVs' aggregate loads `P_{-n,c}` —
-//! and receives back the best-response total request, which it schedules by
-//! Lemma IV.1 exactly as the in-process engine does. Both paths must agree;
-//! the test suite asserts it.
+//! to workers over channels carrying the [`oes_wpt::v2i`] vocabulary. Per
+//! update the grid sends a [`GridMessage::PaymentFunction`] offer — the
+//! other OLEVs' aggregate loads `P_{-n,c}`, which define Ψ_n (Eq. 20) — and
+//! receives back an [`OlevMessage::PowerRequest`] best response, which it
+//! schedules by Lemma IV.1 exactly as the in-process engine does. Both paths
+//! must agree; the test suite asserts it.
+//!
+//! # Fault tolerance
+//!
+//! Theorem IV.1 proves convergence under bounded asynchrony, so the runtime
+//! is built to *survive* the network the paper assumes: every offer rides a
+//! sequence-numbered [`V2iFrame`] over a [`LossyLink`], carries a per-offer
+//! deadline with a bounded retry budget and exponential backoff, and replies
+//! are validated (finite, non-negative, clamped to `P_OLEV`) and applied
+//! idempotently — duplicates and late/stale replies are discarded by
+//! sequence number. Workers announce themselves with `Hello`, are told their
+//! settled price with `PaymentUpdate`, and sign off with `Goodbye`; a worker
+//! that crashes (panic payload captured), stalls past its retry budget, or
+//! departs mid-game is evicted gracefully: its schedule row is zeroed and
+//! the convergence quorum shrinks to the survivors. Everything the network
+//! did is tallied in the [`DegradationReport`] attached to the
+//! [`Outcome`].
+//!
+//! Injected faults come from a seeded [`FaultPlan`], and the coordinator
+//! *virtualizes* their latency: it knows which transmissions its own plan
+//! dropped, delayed past the deadline, or stalled, so it retries those
+//! immediately instead of sleeping through the timeout. With a reachable
+//! worker behind every awaited reply, a fault-injected run is as fast as a
+//! clean one, and — for the single-outstanding-offer runtime
+//! ([`DistributedGame`]) — bit-deterministic under the plan's seed: the same
+//! seed yields the same trajectory, the same report, the same equilibrium.
+//! (With `window > 1`, reply *arrival order* across OLEVs depends on thread
+//! scheduling — the equilibrium is still the same, per Theorem IV.1.)
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use oes_units::{Kilowatts, MetersPerSecond, OlevId, StateOfCharge};
+use oes_wpt::v2i::{GridMessage, OlevMessage, V2iFrame};
+use parking_lot::Mutex;
 
 use crate::best_response::best_response;
 use crate::engine::{Game, Outcome, Snapshot};
 use crate::error::GameError;
+use crate::faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, LossyLink};
+use crate::payment::Scheduler;
+use crate::pricing::SectionCost;
+use crate::satisfaction::Satisfaction;
+use crate::schedule::PowerSchedule;
 
-/// What the grid sends an OLEV: everything Ψ_n depends on.
+/// Consecutive invalid replies from one OLEV before it is evicted as
+/// misbehaving (fault-injected runs only).
+const MAX_INVALID_REPLIES: u32 = 4;
+
+/// Shared knobs of the hardened coordinator.
 #[derive(Debug, Clone)]
-struct Offer {
-    loads_excl: Vec<f64>,
+struct RuntimeConfig {
+    plan: Option<FaultPlan>,
+    offer_timeout: Duration,
+    retry_budget: u32,
 }
 
-/// What the OLEV returns: its best-response total request (Eq. 21).
-#[derive(Debug, Clone, Copy)]
-struct Reply {
-    olev: usize,
-    total: f64,
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            plan: None,
+            offer_timeout: Duration::from_millis(250),
+            retry_budget: 6,
+        }
+    }
 }
 
-/// Runs a [`Game`] on the thread-per-OLEV runtime.
+/// Runs a [`Game`] on the thread-per-OLEV runtime with one outstanding
+/// offer at a time.
 ///
 /// # Examples
 ///
@@ -44,18 +94,47 @@ struct Reply {
 ///     .build()?;
 /// let outcome = DistributedGame::new(&mut game).run(500)?;
 /// assert!(outcome.converged());
+/// assert!(outcome.degradation().is_clean());
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
 pub struct DistributedGame<'g> {
     game: &'g mut Game,
+    config: RuntimeConfig,
 }
 
 impl<'g> DistributedGame<'g> {
     /// Wraps a game for distributed execution.
     pub fn new(game: &'g mut Game) -> Self {
-        Self { game }
+        Self {
+            game,
+            config: RuntimeConfig::default(),
+        }
+    }
+
+    /// Injects the given fault plan into every link and worker. Implies
+    /// fault-*tolerant* semantics: failures evict OLEVs instead of aborting
+    /// the run.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.config.plan = Some(plan);
+        self
+    }
+
+    /// Sets the base per-offer deadline (doubled per retry, capped at 32×).
+    #[must_use]
+    pub fn offer_timeout(mut self, timeout: Duration) -> Self {
+        self.config.offer_timeout = timeout;
+        self
+    }
+
+    /// Sets how many times one offer is retransmitted before the OLEV is
+    /// given up on.
+    #[must_use]
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.config.retry_budget = budget;
+        self
     }
 
     /// Runs round-robin asynchronous best responses across worker threads
@@ -63,97 +142,14 @@ impl<'g> DistributedGame<'g> {
     ///
     /// # Errors
     ///
-    /// Returns [`GameError::WorkerFailed`] if a worker thread dies.
+    /// Without a fault plan: [`GameError::WorkerFailed`] (panic payload
+    /// included) if a worker dies, [`GameError::Timeout`] if one stops
+    /// answering, [`GameError::InvalidReply`] / [`GameError::ProtocolViolation`]
+    /// if one answers garbage. With a fault plan those become evictions, and
+    /// only [`GameError::OlevEvicted`] remains — returned when *every* OLEV
+    /// has been evicted.
     pub fn run(self, max_updates: usize) -> Result<Outcome, GameError> {
-        let game = self.game;
-        let n_olevs = game.olev_count();
-        let cost = game.cost;
-        let scheduler = game.scheduler;
-        let caps = game.caps.clone();
-        let p_max = game.p_max.clone();
-        let tolerance = game.tolerance;
-
-        let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
-        let mut offer_txs: Vec<Sender<Offer>> = Vec::with_capacity(n_olevs);
-        let mut offer_rxs: Vec<Receiver<Offer>> = Vec::with_capacity(n_olevs);
-        for _ in 0..n_olevs {
-            let (tx, rx) = unbounded();
-            offer_txs.push(tx);
-            offer_rxs.push(rx);
-        }
-
-        let satisfactions = &game.satisfactions;
-        let schedule = &mut game.schedule;
-        let caps_ref = &caps;
-
-        std::thread::scope(|scope| -> Result<Outcome, GameError> {
-            // Workers: privately-held satisfaction, public price signal in.
-            for (n, offer_rx) in offer_rxs.into_iter().enumerate() {
-                let reply_tx = reply_tx.clone();
-                let sat = satisfactions[n].as_ref();
-                let p_max_n = p_max[n];
-                scope.spawn(move || {
-                    while let Ok(offer) = offer_rx.recv() {
-                        let br = best_response(
-                            sat,
-                            &cost,
-                            caps_ref,
-                            &offer.loads_excl,
-                            p_max_n,
-                            scheduler,
-                        );
-                        if reply_tx.send(Reply { olev: n, total: br.total }).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(reply_tx);
-
-            let mut trajectory = Vec::new();
-            let mut calm_streak = 0usize;
-            let mut updates = 0usize;
-            let mut converged = false;
-            while updates < max_updates {
-                let n = updates % n_olevs;
-                let loads_excl = schedule.loads_excluding(oes_units::OlevId(n));
-                offer_txs[n]
-                    .send(Offer { loads_excl: loads_excl.clone() })
-                    .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
-                let reply = reply_rx
-                    .recv()
-                    .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
-                debug_assert_eq!(reply.olev, n, "single outstanding offer");
-                // The grid schedules the request cost-minimally (Lemma IV.1)
-                // and re-derives the payment — no trust in the worker needed.
-                let allocation = scheduler.allocate(&cost, caps_ref, &loads_excl, reply.total);
-                let before = schedule.olev_total(oes_units::OlevId(n));
-                schedule.set_row(oes_units::OlevId(n), &allocation.shares);
-                let change = (reply.total - before).abs();
-                updates += 1;
-
-                let congestion = schedule.system_congestion(caps_ref);
-                let welfare = crate::potential::social_welfare(
-                    satisfactions,
-                    &cost,
-                    caps_ref,
-                    schedule,
-                );
-                trajectory.push(Snapshot { update: updates, congestion, welfare, change });
-                if change < tolerance {
-                    calm_streak += 1;
-                } else {
-                    calm_streak = 0;
-                }
-                if calm_streak >= n_olevs {
-                    converged = true;
-                    break;
-                }
-            }
-            // Dropping the offer senders terminates the workers.
-            drop(offer_txs);
-            Ok(Outcome { converged, updates, trajectory })
-        })
+        run_hardened(self.game, 1, &self.config, max_updates)
     }
 }
 
@@ -166,6 +162,7 @@ impl<'g> DistributedGame<'g> {
 pub struct StaleDistributedGame<'g> {
     game: &'g mut Game,
     window: usize,
+    config: RuntimeConfig,
 }
 
 impl<'g> StaleDistributedGame<'g> {
@@ -177,116 +174,723 @@ impl<'g> StaleDistributedGame<'g> {
     /// Panics if `window` is zero.
     pub fn new(game: &'g mut Game, window: usize) -> Self {
         assert!(window > 0, "need at least one outstanding offer");
-        Self { game, window }
+        Self {
+            game,
+            window,
+            config: RuntimeConfig::default(),
+        }
+    }
+
+    /// Injects the given fault plan (see [`DistributedGame::with_faults`]).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.config.plan = Some(plan);
+        self
+    }
+
+    /// Sets the base per-offer deadline (doubled per retry, capped at 32×).
+    #[must_use]
+    pub fn offer_timeout(mut self, timeout: Duration) -> Self {
+        self.config.offer_timeout = timeout;
+        self
+    }
+
+    /// Sets how many times one offer is retransmitted before the OLEV is
+    /// given up on.
+    #[must_use]
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.config.retry_budget = budget;
+        self
     }
 
     /// Runs round-robin best responses with pipelined (stale) offers.
     ///
     /// # Errors
     ///
-    /// Returns [`GameError::WorkerFailed`] if a worker thread dies.
+    /// As for [`DistributedGame::run`].
     pub fn run(self, max_updates: usize) -> Result<Outcome, GameError> {
-        let game = self.game;
-        let window = self.window.min(game.olev_count());
-        let n_olevs = game.olev_count();
-        let cost = game.cost;
-        let scheduler = game.scheduler;
-        let caps = game.caps.clone();
-        let p_max = game.p_max.clone();
-        let tolerance = game.tolerance;
+        run_hardened(self.game, self.window, &self.config, max_updates)
+    }
+}
 
-        let (reply_tx, reply_rx): (Sender<Reply>, Receiver<Reply>) = unbounded();
-        let mut offer_txs: Vec<Sender<Offer>> = Vec::with_capacity(n_olevs);
-        let mut offer_rxs: Vec<Receiver<Offer>> = Vec::with_capacity(n_olevs);
-        for _ in 0..n_olevs {
-            let (tx, rx) = unbounded();
-            offer_txs.push(tx);
-            offer_rxs.push(rx);
+/// One in-flight transmission the coordinator still expects an answer to.
+#[derive(Debug)]
+struct PendingOffer {
+    olev: usize,
+    /// Retransmission count of the logical offer this transmission serves.
+    attempt: u32,
+    /// Invalid replies received for the logical offer so far.
+    invalids: u32,
+    deadline: Instant,
+}
+
+/// What processing one protocol event amounted to.
+enum Event {
+    /// A reply was accepted and applied; convergence bookkeeping ran.
+    Applied,
+    /// Something else happened (retry, eviction, passive bookkeeping).
+    Housekeeping,
+}
+
+enum DispatchResult {
+    /// The offer is in flight with a live deadline.
+    InFlight,
+    /// The OLEV was evicted while trying to reach it.
+    Evicted,
+}
+
+struct Coordinator<'a> {
+    cost: SectionCost,
+    scheduler: Scheduler,
+    caps: &'a [f64],
+    p_max: &'a [f64],
+    tolerance: f64,
+    satisfactions: &'a [Box<dyn Satisfaction>],
+    schedule: &'a mut PowerSchedule,
+    links: Vec<Option<LossyLink<'a, V2iFrame<GridMessage>>>>,
+    reply_rx: Receiver<V2iFrame<OlevMessage>>,
+    board: &'a [Mutex<Option<String>>],
+    plan: Option<&'a FaultPlan>,
+    offer_timeout: Duration,
+    retry_budget: u32,
+    window: usize,
+
+    alive: Vec<bool>,
+    live: usize,
+    last_evicted: usize,
+    pending: BTreeMap<u64, PendingOffer>,
+    abandoned: HashSet<u64>,
+    accepted: HashSet<u64>,
+    next_seq: u64,
+    cursor: usize,
+    issued: usize,
+    updates: usize,
+    calm_streak: usize,
+    converged: bool,
+    trajectory: Vec<Snapshot>,
+    report: DegradationReport,
+}
+
+impl<'a> Coordinator<'a> {
+    fn n_olevs(&self) -> usize {
+        self.p_max.len()
+    }
+
+    /// The deadline for transmission `attempt` (exponential backoff).
+    fn timeout_for(&self, attempt: u32) -> Duration {
+        self.offer_timeout * 2u32.pow(attempt.min(5))
+    }
+
+    /// Reads the panic payload a worker may have left behind. Used right
+    /// after observing a closed channel or an expired deadline; the short
+    /// grace loop lets a thread that is still unwinding finish writing.
+    fn harvest_panic(&self, olev: usize) -> Option<String> {
+        for _ in 0..200 {
+            if let Some(msg) = self.board[olev].lock().clone() {
+                return Some(msg);
+            }
+            std::thread::sleep(Duration::from_micros(500));
         }
-        let satisfactions = &game.satisfactions;
-        let schedule = &mut game.schedule;
-        let caps_ref = &caps;
+        None
+    }
 
-        std::thread::scope(|scope| -> Result<Outcome, GameError> {
-            for (n, offer_rx) in offer_rxs.into_iter().enumerate() {
-                let reply_tx = reply_tx.clone();
-                let sat = satisfactions[n].as_ref();
-                let p_max_n = p_max[n];
-                scope.spawn(move || {
-                    while let Ok(offer) = offer_rx.recv() {
-                        let br = best_response(
-                            sat,
-                            &cost,
-                            caps_ref,
-                            &offer.loads_excl,
-                            p_max_n,
-                            scheduler,
-                        );
-                        if reply_tx.send(Reply { olev: n, total: br.total }).is_err() {
-                            break;
+    fn worker_failed(&self, olev: usize) -> GameError {
+        match self.harvest_panic(olev) {
+            Some(msg) => GameError::WorkerFailed(format!("olev {olev} panicked: {msg}")),
+            None => GameError::WorkerFailed(format!("olev {olev} closed its offer channel")),
+        }
+    }
+
+    /// Evicts an OLEV: zeroes its row, abandons its in-flight offers,
+    /// closes its link (the worker will say `Goodbye`), and shrinks the
+    /// convergence quorum.
+    fn evict(&mut self, olev: usize, reason: EvictionReason) {
+        if !self.alive[olev] {
+            return;
+        }
+        self.alive[olev] = false;
+        self.live -= 1;
+        self.last_evicted = olev;
+        self.schedule
+            .set_row(OlevId(olev), &vec![0.0; self.caps.len()]);
+        let in_flight: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.olev == olev)
+            .map(|(s, _)| *s)
+            .collect();
+        for seq in in_flight {
+            self.pending.remove(&seq);
+            self.abandoned.insert(seq);
+        }
+        self.links[olev] = None;
+        self.calm_streak = 0;
+        self.report.evictions.push(Eviction {
+            olev,
+            at_update: self.updates,
+            reason,
+        });
+    }
+
+    /// The next live OLEV in round-robin order. Precondition: `live > 0`.
+    fn next_live(&mut self) -> usize {
+        while !self.alive[self.cursor] {
+            self.cursor = (self.cursor + 1) % self.n_olevs();
+        }
+        let pick = self.cursor;
+        self.cursor = (self.cursor + 1) % self.n_olevs();
+        pick
+    }
+
+    /// Transmits (and, on known-futile verdicts, immediately retransmits) a
+    /// logical offer to `olev` until it is genuinely in flight, the retry
+    /// budget runs out, or the worker proves dead.
+    ///
+    /// Drops, deadline-exceeding delays, and stalls are all known to the
+    /// coordinator at send time (it injected them), so their timeouts are
+    /// *virtual*: counted, never waited for.
+    fn dispatch(
+        &mut self,
+        olev: usize,
+        start_attempt: u32,
+        invalids: u32,
+    ) -> Result<DispatchResult, GameError> {
+        let mut attempt = start_attempt;
+        loop {
+            if attempt > self.retry_budget {
+                return if self.plan.is_some() {
+                    let reason = match self.harvest_panic(olev) {
+                        Some(msg) => EvictionReason::Crashed(msg),
+                        None => EvictionReason::Unresponsive,
+                    };
+                    self.evict(olev, reason);
+                    Ok(DispatchResult::Evicted)
+                } else {
+                    Err(self.timeout_error(olev))
+                };
+            }
+            if attempt > 0 {
+                self.report.retries += 1;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let loads_excl: Vec<Kilowatts> = self
+                .schedule
+                .loads_excluding(OlevId(olev))
+                .into_iter()
+                .map(Kilowatts::new)
+                .collect();
+            let frame = V2iFrame::new(
+                seq,
+                GridMessage::PaymentFunction {
+                    id: OlevId(olev),
+                    loads_excl,
+                },
+            );
+            self.report.offers_sent += 1;
+            let link = self.links[olev].as_ref().expect("live OLEV has a link");
+            let verdict = match link.send(seq, attempt, frame) {
+                Ok(verdict) => verdict,
+                Err(_) => {
+                    // The worker is gone. With fault tolerance on, that is
+                    // an eviction; without, it aborts the run.
+                    return if self.plan.is_some() {
+                        let reason = match self.harvest_panic(olev) {
+                            Some(msg) => EvictionReason::Crashed(msg),
+                            None => EvictionReason::Unresponsive,
+                        };
+                        self.evict(olev, reason);
+                        Ok(DispatchResult::Evicted)
+                    } else {
+                        Err(self.worker_failed(olev))
+                    };
+                }
+            };
+            if verdict.dropped {
+                self.report.drops += 1;
+                self.report.timeouts += 1;
+                attempt += 1;
+                continue;
+            }
+            let stalled = self.plan.is_some_and(|p| p.worker_stalls(olev, seq));
+            if stalled {
+                // The worker will swallow this frame; no reply is coming.
+                self.report.timeouts += 1;
+                attempt += 1;
+                continue;
+            }
+            if u128::from(verdict.delay_ms) > self.timeout_for(attempt).as_millis() {
+                // The frame will arrive after we stop listening for it: the
+                // reply is already stale by construction.
+                self.abandoned.insert(seq);
+                self.report.timeouts += 1;
+                attempt += 1;
+                continue;
+            }
+            self.pending.insert(
+                seq,
+                PendingOffer {
+                    olev,
+                    attempt,
+                    invalids,
+                    deadline: Instant::now() + self.timeout_for(attempt),
+                },
+            );
+            return Ok(DispatchResult::InFlight);
+        }
+    }
+
+    fn timeout_error(&self, olev: usize) -> GameError {
+        let waited: u128 = (0..=self.retry_budget)
+            .map(|a| self.timeout_for(a).as_millis())
+            .sum();
+        GameError::Timeout {
+            olev,
+            waited_ms: waited.min(u128::from(u64::MAX)) as u64,
+        }
+    }
+
+    /// Handles every pending offer whose deadline has passed: retry, evict,
+    /// or (without fault tolerance) abort.
+    fn handle_expirations(&mut self) -> Result<(), GameError> {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(s, _)| *s)
+            .collect();
+        for seq in expired {
+            let p = self.pending.remove(&seq).expect("collected above");
+            self.abandoned.insert(seq);
+            self.report.timeouts += 1;
+            if let Some(msg) = self.board[p.olev].lock().clone() {
+                // The worker died mid-offer; no amount of retrying helps.
+                if self.plan.is_some() {
+                    self.evict(p.olev, EvictionReason::Crashed(msg));
+                    continue;
+                }
+                return Err(GameError::WorkerFailed(format!(
+                    "olev {} panicked: {msg}",
+                    p.olev
+                )));
+            }
+            self.dispatch(p.olev, p.attempt + 1, p.invalids)?;
+        }
+        Ok(())
+    }
+
+    /// Validates a reply total against the "no trust in the worker" rules.
+    fn validate(total: f64) -> Result<(), String> {
+        if !total.is_finite() {
+            return Err(format!("total {total} is not finite"));
+        }
+        if total < 0.0 {
+            return Err(format!("total {total} is negative"));
+        }
+        Ok(())
+    }
+
+    /// Applies an accepted best response exactly as the in-process engine
+    /// does: cost-minimal allocation against the fresh loads, then the
+    /// convergence bookkeeping of Theorem IV.1.
+    fn apply(&mut self, olev: usize, seq: u64, total: f64) {
+        let id = OlevId(olev);
+        let fresh_loads = self.schedule.loads_excluding(id);
+        let allocation = self
+            .scheduler
+            .allocate(&self.cost, self.caps, &fresh_loads, total);
+        let before = self.schedule.olev_total(id);
+        self.schedule.set_row(id, &allocation.shares);
+        let change = (total - before).abs();
+        self.updates += 1;
+        self.trajectory.push(Snapshot {
+            update: self.updates,
+            congestion: self.schedule.system_congestion(self.caps),
+            welfare: crate::potential::social_welfare(
+                self.satisfactions,
+                &self.cost,
+                self.caps,
+                self.schedule,
+            ),
+            change,
+        });
+        if change < self.tolerance {
+            self.calm_streak += 1;
+        } else {
+            self.calm_streak = 0;
+        }
+        let extra = if self.window == 1 { 0 } else { self.window };
+        if self.calm_streak >= self.live + extra {
+            self.converged = true;
+        }
+        // Close the loop: tell the OLEV what it got and at what marginal
+        // price. Fire-and-forget — a lost PaymentUpdate costs nothing.
+        if let Some(link) = &self.links[olev] {
+            let allocated = Kilowatts::new(self.schedule.olev_total(id));
+            let update = GridMessage::PaymentUpdate {
+                id,
+                marginal_price: allocation.marginal,
+                allocated,
+            };
+            let _ = link.send(seq, 0, V2iFrame::new(seq, update));
+        }
+    }
+
+    /// Classifies and processes one incoming frame.
+    fn process(&mut self, frame: V2iFrame<OlevMessage>) -> Result<Event, GameError> {
+        let (id, total) = match frame.payload {
+            OlevMessage::Hello { .. } => {
+                self.report.hellos += 1;
+                return Ok(Event::Housekeeping);
+            }
+            OlevMessage::Goodbye { .. } => {
+                self.report.goodbyes += 1;
+                return Ok(Event::Housekeeping);
+            }
+            OlevMessage::PowerRequest { id, total } => (id, total.value()),
+        };
+        let seq = frame.seq;
+        if self.accepted.contains(&seq) {
+            self.report.duplicates += 1;
+            return Ok(Event::Housekeeping);
+        }
+        if self.abandoned.contains(&seq) {
+            self.report.stale += 1;
+            return Ok(Event::Housekeeping);
+        }
+        let Some(p) = self.pending.get(&seq) else {
+            // A reply to an offer that was never outstanding. Without fault
+            // injection this is a protocol violation; with it, the network
+            // could have manufactured it, so it is discarded as stale.
+            if self.plan.is_none() {
+                let expected = self.pending.values().next().map_or(usize::MAX, |p| p.olev);
+                return Err(GameError::ProtocolViolation {
+                    expected,
+                    got: id.0,
+                });
+            }
+            self.report.stale += 1;
+            return Ok(Event::Housekeeping);
+        };
+        let (olev, attempt, invalids) = (p.olev, p.attempt, p.invalids);
+        let fault = if id.0 != olev {
+            // The reply answers this offer but claims another identity —
+            // applying it would corrupt OLEV `id`'s row.
+            if self.plan.is_none() {
+                return Err(GameError::ProtocolViolation {
+                    expected: olev,
+                    got: id.0,
+                });
+            }
+            Some(format!(
+                "reply claims OLEV {} for OLEV {olev}'s offer",
+                id.0
+            ))
+        } else {
+            Self::validate(total).err()
+        };
+        if let Some(reason) = fault {
+            self.pending.remove(&seq);
+            self.abandoned.insert(seq);
+            self.report.invalid_replies += 1;
+            if self.plan.is_none() {
+                return Err(GameError::InvalidReply { olev, reason });
+            }
+            if invalids + 1 >= MAX_INVALID_REPLIES {
+                self.evict(olev, EvictionReason::Misbehaving);
+            } else {
+                self.dispatch(olev, attempt + 1, invalids + 1)?;
+            }
+            return Ok(Event::Housekeeping);
+        }
+        // Accept. Clamp an over-ask to the OLEV's physical bound P_OLEV
+        // (Eq. 2) — the grid never schedules more than the vehicle can take.
+        let bound = self.p_max[olev];
+        let total = if total > bound {
+            if total > bound + 1e-9 {
+                self.report.clamped_replies += 1;
+            }
+            bound
+        } else {
+            total
+        };
+        self.pending.remove(&seq);
+        self.accepted.insert(seq);
+        self.apply(olev, seq, total);
+        Ok(Event::Applied)
+    }
+
+    /// Waits for and processes protocol events until one reply is applied,
+    /// a retry/eviction changes the in-flight picture, or the run dies.
+    fn pump(&mut self) -> Result<(), GameError> {
+        loop {
+            let Some(nearest) = self.pending.values().map(|p| p.deadline).min() else {
+                return Ok(());
+            };
+            let wait = nearest.saturating_duration_since(Instant::now());
+            match self.reply_rx.recv_timeout(wait) {
+                Ok(frame) => match self.process(frame)? {
+                    Event::Applied => return Ok(()),
+                    Event::Housekeeping => {
+                        if self.pending.is_empty() {
+                            return Ok(());
                         }
                     }
-                });
-            }
-            drop(reply_tx);
-
-            let mut trajectory = Vec::new();
-            let mut calm_streak = 0usize;
-            let mut updates = 0usize;
-            let mut converged = false;
-            let mut issued = 0usize;
-            let mut outstanding = 0usize;
-            while updates < max_updates {
-                // Fill the pipeline: offers computed against *current* state,
-                // applied only when the (stale) reply returns.
-                while outstanding < window && issued < max_updates {
-                    let n = issued % n_olevs;
-                    let loads_excl = schedule.loads_excluding(oes_units::OlevId(n));
-                    offer_txs[n]
-                        .send(Offer { loads_excl })
-                        .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
-                    issued += 1;
-                    outstanding += 1;
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    self.handle_expirations()?;
+                    if self.pending.is_empty() {
+                        return Ok(());
+                    }
                 }
-                let reply = reply_rx
-                    .recv()
-                    .map_err(|e| GameError::WorkerFailed(e.to_string()))?;
-                outstanding -= 1;
-                // Re-schedule against the *fresh* loads (the grid always
-                // allocates consistently; only the OLEV's total is stale).
-                let fresh_loads = schedule.loads_excluding(oes_units::OlevId(reply.olev));
-                let allocation = scheduler.allocate(&cost, caps_ref, &fresh_loads, reply.total);
-                let before = schedule.olev_total(oes_units::OlevId(reply.olev));
-                schedule.set_row(oes_units::OlevId(reply.olev), &allocation.shares);
-                let change = (reply.total - before).abs();
-                updates += 1;
-                trajectory.push(Snapshot {
-                    update: updates,
-                    congestion: schedule.system_congestion(caps_ref),
-                    welfare: crate::potential::social_welfare(
-                        satisfactions,
-                        &cost,
-                        caps_ref,
-                        schedule,
-                    ),
-                    change,
-                });
-                if change < tolerance {
-                    calm_streak += 1;
-                } else {
-                    calm_streak = 0;
-                }
-                if calm_streak >= n_olevs + window {
-                    converged = true;
-                    break;
+                Err(RecvTimeoutError::Disconnected) => {
+                    let mut failures = Vec::new();
+                    for olev in 0..self.n_olevs() {
+                        if let Some(msg) = self.board[olev].lock().clone() {
+                            failures.push(format!("olev {olev} panicked: {msg}"));
+                        }
+                    }
+                    if failures.is_empty() {
+                        failures.push("every worker closed its reply channel".to_owned());
+                    }
+                    return Err(GameError::WorkerFailed(failures.join("; ")));
                 }
             }
-            drop(offer_txs);
-            // Drain any stale replies so workers can exit cleanly.
-            while reply_rx.recv().is_ok() {}
-            Ok(Outcome { converged, updates, trajectory })
-        })
+        }
     }
+
+    /// The coordinator main loop.
+    fn run(&mut self, max_updates: usize) -> Result<(), GameError> {
+        loop {
+            if let Some(plan) = self.plan {
+                for olev in plan.departures_at(self.updates) {
+                    if olev < self.n_olevs() && self.alive[olev] {
+                        self.evict(olev, EvictionReason::Departed);
+                    }
+                }
+            }
+            if self.live == 0 {
+                return Err(GameError::OlevEvicted(self.last_evicted));
+            }
+            if self.converged || self.updates >= max_updates {
+                return Ok(());
+            }
+            let window = self.window.min(self.live);
+            while self.pending.len() < window && self.issued < max_updates && self.live > 0 {
+                let olev = self.next_live();
+                if let DispatchResult::InFlight = self.dispatch(olev, 0, 0)? {
+                    self.issued += 1;
+                }
+            }
+            if self.pending.is_empty() {
+                // Nothing in flight and nothing left to issue (all evicted
+                // or the issue budget is spent): the run is over.
+                if self.live == 0 {
+                    return Err(GameError::OlevEvicted(self.last_evicted));
+                }
+                return Ok(());
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Closes every link and drains the reply channel to completion, so the
+    /// counters are totals over the whole run rather than a race with the
+    /// workers' last words.
+    fn finish(&mut self) {
+        let leftover: Vec<u64> = self.pending.keys().copied().collect();
+        for seq in leftover {
+            self.pending.remove(&seq);
+            self.abandoned.insert(seq);
+        }
+        for link in &mut self.links {
+            *link = None;
+        }
+        while let Ok(frame) = self.reply_rx.recv() {
+            match frame.payload {
+                OlevMessage::Hello { .. } => self.report.hellos += 1,
+                OlevMessage::Goodbye { .. } => self.report.goodbyes += 1,
+                OlevMessage::PowerRequest { .. } => {
+                    if self.accepted.contains(&frame.seq) {
+                        self.report.duplicates += 1;
+                    } else {
+                        self.report.stale += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_owned()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// The worker side of the protocol: a vehicle holding its satisfaction
+/// privately, answering payment-function offers with best responses.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    n: usize,
+    offer_rx: &Receiver<V2iFrame<GridMessage>>,
+    reply_tx: &Sender<V2iFrame<OlevMessage>>,
+    sat: &dyn Satisfaction,
+    cost: &SectionCost,
+    caps: &[f64],
+    p_max_n: f64,
+    scheduler: Scheduler,
+    plan: Option<&FaultPlan>,
+) {
+    let crash_at = plan.and_then(|p| p.crash_point(n));
+    let mut replies_sent = 0usize;
+    while let Ok(frame) = offer_rx.recv() {
+        let GridMessage::PaymentFunction { id: _, loads_excl } = frame.payload else {
+            // LaneInfo / PaymentUpdate are informational on this side.
+            continue;
+        };
+        if let Some(k) = crash_at {
+            if replies_sent >= k {
+                panic!("fault plan crashed OLEV {n} after {replies_sent} replies");
+            }
+        }
+        if plan.is_some_and(|p| p.worker_stalls(n, frame.seq)) {
+            continue;
+        }
+        let loads: Vec<f64> = loads_excl.iter().map(|kw| kw.value()).collect();
+        let br = best_response(sat, cost, caps, &loads, p_max_n, scheduler);
+        let total = plan
+            .and_then(|p| p.corrupted_total(n, frame.seq))
+            .unwrap_or(br.total);
+        let reply = OlevMessage::PowerRequest {
+            id: OlevId(n),
+            total: Kilowatts::new(total),
+        };
+        if reply_tx.send(V2iFrame::new(frame.seq, reply)).is_err() {
+            break;
+        }
+        replies_sent += 1;
+    }
+}
+
+/// The unified hardened runtime behind both [`DistributedGame`] and
+/// [`StaleDistributedGame`].
+fn run_hardened(
+    game: &mut Game,
+    window: usize,
+    config: &RuntimeConfig,
+    max_updates: usize,
+) -> Result<Outcome, GameError> {
+    let n_olevs = game.olev_count();
+    let window = window.min(n_olevs);
+    let cost = game.cost;
+    let scheduler = game.scheduler;
+    let caps = game.caps.clone();
+    let p_max = game.p_max.clone();
+    let tolerance = game.tolerance;
+    let plan = config.plan.as_ref();
+
+    let (reply_tx, reply_rx): (
+        Sender<V2iFrame<OlevMessage>>,
+        Receiver<V2iFrame<OlevMessage>>,
+    ) = unbounded();
+    let mut offer_txs: Vec<Sender<V2iFrame<GridMessage>>> = Vec::with_capacity(n_olevs);
+    let mut offer_rxs: Vec<Receiver<V2iFrame<GridMessage>>> = Vec::with_capacity(n_olevs);
+    for _ in 0..n_olevs {
+        let (tx, rx) = unbounded();
+        offer_txs.push(tx);
+        offer_rxs.push(rx);
+    }
+    // One slot per worker for a captured panic payload, shared by borrow.
+    let board: Vec<Mutex<Option<String>>> = (0..n_olevs).map(|_| Mutex::new(None)).collect();
+
+    let satisfactions = &game.satisfactions;
+    let schedule = &mut game.schedule;
+    let caps_ref = &caps;
+    let board_ref = &board;
+
+    std::thread::scope(|scope| -> Result<Outcome, GameError> {
+        for (n, offer_rx) in offer_rxs.into_iter().enumerate() {
+            let reply_tx = reply_tx.clone();
+            let sat = satisfactions[n].as_ref();
+            let p_max_n = p_max[n];
+            scope.spawn(move || {
+                // The paper's bring-up handshake. The runtime is detached
+                // from the traffic substrate, so kinematics are nominal.
+                let hello = OlevMessage::Hello {
+                    id: OlevId(n),
+                    velocity: MetersPerSecond::new(0.0),
+                    soc: StateOfCharge::EMPTY,
+                    soc_required: StateOfCharge::FULL,
+                };
+                let _ = reply_tx.send(V2iFrame::new(0, hello));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(
+                        n, &offer_rx, &reply_tx, sat, &cost, caps_ref, p_max_n, scheduler, plan,
+                    );
+                }));
+                match outcome {
+                    Ok(()) => {
+                        let _ =
+                            reply_tx.send(V2iFrame::new(0, OlevMessage::Goodbye { id: OlevId(n) }));
+                    }
+                    Err(payload) => {
+                        *board_ref[n].lock() = Some(panic_message(payload));
+                    }
+                }
+            });
+        }
+        drop(reply_tx);
+
+        let mut coordinator = Coordinator {
+            cost,
+            scheduler,
+            caps: caps_ref,
+            p_max: &p_max,
+            tolerance,
+            satisfactions,
+            schedule,
+            links: offer_txs
+                .into_iter()
+                .enumerate()
+                .map(|(n, tx)| Some(LossyLink::new(tx, n, plan)))
+                .collect(),
+            reply_rx,
+            board: board_ref,
+            plan,
+            offer_timeout: config.offer_timeout,
+            retry_budget: config.retry_budget,
+            window,
+            alive: vec![true; n_olevs],
+            live: n_olevs,
+            last_evicted: 0,
+            pending: BTreeMap::new(),
+            abandoned: HashSet::new(),
+            accepted: HashSet::new(),
+            next_seq: 1,
+            cursor: 0,
+            issued: 0,
+            updates: 0,
+            calm_streak: 0,
+            converged: false,
+            trajectory: Vec::new(),
+            report: DegradationReport::default(),
+        };
+        let result = coordinator.run(max_updates);
+        coordinator.finish();
+        let outcome = Outcome {
+            converged: coordinator.converged,
+            updates: coordinator.updates,
+            trajectory: std::mem::take(&mut coordinator.trajectory),
+            degradation: std::mem::take(&mut coordinator.report),
+        };
+        result.map(|()| outcome)
+    })
 }
 
 #[cfg(test)]
@@ -326,6 +930,17 @@ mod tests {
     }
 
     #[test]
+    fn clean_run_reports_full_handshake_and_no_degradation() {
+        let mut g = build();
+        let out = DistributedGame::new(&mut g).run(1000).unwrap();
+        let report = out.degradation();
+        assert!(report.is_clean(), "clean run degraded: {report:?}");
+        assert_eq!(report.hellos, 4);
+        assert_eq!(report.goodbyes, 4);
+        assert_eq!(report.offers_sent, out.updates());
+    }
+
+    #[test]
     fn stale_offers_still_converge_to_the_same_optimum() {
         // Bounded staleness (Theorem IV.1's asynchronous regime): windows of
         // 1, 2, and 4 outstanding offers must all land on the synchronous
@@ -348,10 +963,14 @@ mod tests {
     #[test]
     fn staleness_costs_updates_but_not_quality() {
         let mut sync_game = build();
-        let sync_updates =
-            DistributedGame::new(&mut sync_game).run(5000).unwrap().updates();
+        let sync_updates = DistributedGame::new(&mut sync_game)
+            .run(5000)
+            .unwrap()
+            .updates();
         let mut stale_game = build();
-        let stale_out = StaleDistributedGame::new(&mut stale_game, 4).run(5000).unwrap();
+        let stale_out = StaleDistributedGame::new(&mut stale_game, 4)
+            .run(5000)
+            .unwrap();
         assert!(stale_out.converged());
         // Stale information can only slow the protocol down, never corrupt
         // the fixed point.
@@ -379,5 +998,32 @@ mod tests {
         let p0 = g.schedule().olev_total(oes_units::OlevId(0));
         let p4 = g.schedule().olev_total(oes_units::OlevId(4));
         assert!(p0 > p4, "eager {p0} vs lukewarm {p4}");
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_error() {
+        // A fault-plan crash without fault *tolerance* (no plan on the
+        // runtime would mean no crash, so the crash is injected but the
+        // retry budget is zeroed to force the abort path)... simplest
+        // honest setup: tolerant runtime, then check the reason string.
+        let mut g = build();
+        let out = DistributedGame::new(&mut g)
+            .with_faults(FaultPlan::new(3).crash(1, 2))
+            .offer_timeout(Duration::from_millis(20))
+            .retry_budget(2)
+            .run(2000)
+            .unwrap();
+        let evicted: Vec<_> = out.degradation().evictions.iter().collect();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].olev, 1);
+        match &evicted[0].reason {
+            EvictionReason::Crashed(msg) => {
+                assert!(
+                    msg.contains("fault plan crashed OLEV 1"),
+                    "payload lost: {msg}"
+                );
+            }
+            other => panic!("expected a crash eviction, got {other:?}"),
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! analyzes. [`SocCoupledGame`] runs that loop: solve the game, transfer the
 //! scheduled power for one interval, update the batteries, repeat.
 
-use oes_units::{Hours, Kilowatts, KilowattHours, OlevId, StateOfCharge};
+use oes_units::{Hours, KilowattHours, Kilowatts, OlevId, StateOfCharge};
 use oes_wpt::Olev;
 
 use crate::builder::GameBuilder;
@@ -64,7 +64,15 @@ impl SocCoupledGame {
     ) -> Self {
         assert!(!fleet.is_empty(), "need at least one OLEV");
         assert!(round_hours > 0.0, "round duration must be positive");
-        Self { fleet, sections, section_capacity, policy, eta, round_hours, seed }
+        Self {
+            fleet,
+            sections,
+            section_capacity,
+            policy,
+            eta,
+            round_hours,
+            seed,
+        }
     }
 
     /// The fleet (current battery states included).
@@ -76,7 +84,10 @@ impl SocCoupledGame {
     /// Mean fleet SOC.
     #[must_use]
     pub fn mean_soc(&self) -> f64 {
-        self.fleet.iter().map(|o| o.battery().soc().fraction()).sum::<f64>()
+        self.fleet
+            .iter()
+            .map(|o| o.battery().soc().fraction())
+            .sum::<f64>()
             / self.fleet.len() as f64
     }
 
@@ -98,7 +109,12 @@ impl SocCoupledGame {
             builder = builder.olevs(1, bound);
         }
         let mut game = builder.build()?;
-        game.run(UpdateOrder::Random { seed: self.seed.wrapping_add(index as u64) }, 50_000)?;
+        game.run(
+            UpdateOrder::Random {
+                seed: self.seed.wrapping_add(index as u64),
+            },
+            50_000,
+        )?;
 
         let mut energy_total = 0.0;
         for (n, olev) in self.fleet.iter_mut().enumerate() {
@@ -135,7 +151,14 @@ impl SocCoupledGame {
 #[must_use]
 pub fn uniform_fleet(count: usize, soc: StateOfCharge, soc_required: StateOfCharge) -> Vec<Olev> {
     (0..count)
-        .map(|i| Olev::new(OlevId(i), oes_wpt::OlevSpec::chevy_spark_default(), soc, soc_required))
+        .map(|i| {
+            Olev::new(
+                OlevId(i),
+                oes_wpt::OlevSpec::chevy_spark_default(),
+                soc,
+                soc_required,
+            )
+        })
         .collect()
 }
 
@@ -146,7 +169,11 @@ mod tests {
 
     fn dynamics(count: usize) -> SocCoupledGame {
         SocCoupledGame::new(
-            uniform_fleet(count, StateOfCharge::saturating(0.4), StateOfCharge::saturating(0.9)),
+            uniform_fleet(
+                count,
+                StateOfCharge::saturating(0.4),
+                StateOfCharge::saturating(0.9),
+            ),
             8,
             Kilowatts::new(30.0),
             PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
@@ -199,7 +226,11 @@ mod tests {
         let r = d.round(0).unwrap();
         // energy = power × round_hours × η_E, unless the SOC ceiling bit.
         let expected = r.total_power * 0.05 * 0.85;
-        assert!((r.energy_kwh - expected).abs() < 1e-6, "{} vs {expected}", r.energy_kwh);
+        assert!(
+            (r.energy_kwh - expected).abs() < 1e-6,
+            "{} vs {expected}",
+            r.energy_kwh
+        );
     }
 
     #[test]

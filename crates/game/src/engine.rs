@@ -53,6 +53,7 @@ pub struct Outcome {
     pub(crate) updates: usize,
     /// One snapshot per update, in order.
     pub trajectory: Vec<Snapshot>,
+    pub(crate) degradation: crate::faults::DegradationReport,
 }
 
 impl Outcome {
@@ -61,6 +62,14 @@ impl Outcome {
     #[must_use]
     pub fn converged(&self) -> bool {
         self.converged
+    }
+
+    /// What the network did to the run: drops, retries, timeouts, and
+    /// evictions. The in-process engine always reports a clean run; the
+    /// decentralized runtime fills this in.
+    #[must_use]
+    pub fn degradation(&self) -> &crate::faults::DegradationReport {
+        &self.degradation
     }
 
     /// How many single-OLEV updates ran.
@@ -84,7 +93,10 @@ impl Outcome {
     #[must_use]
     pub fn updates_to_reach(&self, fraction: f64) -> Option<usize> {
         let target = self.trajectory.last()?.congestion * fraction;
-        self.trajectory.iter().find(|s| s.congestion >= target).map(|s| s.update)
+        self.trajectory
+            .iter()
+            .find(|s| s.congestion >= target)
+            .map(|s| s.update)
     }
 }
 
@@ -169,8 +181,16 @@ impl Game {
     ///
     /// Panics if the dimensions mismatch.
     pub fn set_schedule(&mut self, schedule: PowerSchedule) {
-        assert_eq!(schedule.olev_count(), self.olev_count(), "OLEV count mismatch");
-        assert_eq!(schedule.section_count(), self.section_count(), "section count mismatch");
+        assert_eq!(
+            schedule.olev_count(),
+            self.olev_count(),
+            "OLEV count mismatch"
+        );
+        assert_eq!(
+            schedule.section_count(),
+            self.section_count(),
+            "section count mismatch"
+        );
         self.schedule = schedule;
     }
 
@@ -290,10 +310,20 @@ impl Game {
                 UpdateOrder::Random { .. } => 4 * n_olevs,
             };
             if calm_streak >= needed {
-                return Ok(Outcome { converged: true, updates, trajectory });
+                return Ok(Outcome {
+                    converged: true,
+                    updates,
+                    trajectory,
+                    degradation: crate::faults::DegradationReport::default(),
+                });
             }
         }
-        Ok(Outcome { converged: false, updates, trajectory })
+        Ok(Outcome {
+            converged: false,
+            updates,
+            trajectory,
+            degradation: crate::faults::DegradationReport::default(),
+        })
     }
 
     /// Congestion degree of one section.
@@ -318,7 +348,9 @@ mod tests {
         GameBuilder::new()
             .sections(8, Kilowatts::new(60.0))
             .olevs(4, Kilowatts::new(50.0))
-            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                15.0,
+            )))
             .build()
             .expect("valid scenario")
     }
@@ -336,8 +368,14 @@ mod tests {
     fn run_converges_random_order_to_same_welfare() {
         let mut a = small_game();
         let mut b = small_game();
-        let wa = a.run(UpdateOrder::RoundRobin, 2000).unwrap().final_welfare();
-        let wb = b.run(UpdateOrder::Random { seed: 9 }, 2000).unwrap().final_welfare();
+        let wa = a
+            .run(UpdateOrder::RoundRobin, 2000)
+            .unwrap()
+            .final_welfare();
+        let wb = b
+            .run(UpdateOrder::Random { seed: 9 }, 2000)
+            .unwrap()
+            .final_welfare();
         // Theorem IV.1: the optimum is unique, so the order cannot matter.
         assert!((wa - wb).abs() < 1e-6, "{wa} vs {wb}");
     }
@@ -351,7 +389,10 @@ mod tests {
         for k in 0..40 {
             g.update_olev(k % 4).unwrap();
             let w = g.welfare();
-            assert!(w >= last - 1e-9, "welfare dropped at update {k}: {last} -> {w}");
+            assert!(
+                w >= last - 1e-9,
+                "welfare dropped at update {k}: {last} -> {w}"
+            );
             last = w;
         }
     }
@@ -378,7 +419,10 @@ mod tests {
         let loads = g.section_loads();
         let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
         let max = loads.iter().fold(0.0f64, |m, &l| m.max(l));
-        assert!(max - min > 1.0, "greedy filling should be uneven: {loads:?}");
+        assert!(
+            max - min > 1.0,
+            "greedy filling should be uneven: {loads:?}"
+        );
     }
 
     #[test]

@@ -46,12 +46,15 @@ pub fn jain_index(values: &[f64]) -> f64 {
 /// `w` for the log family).
 #[must_use]
 pub fn fairness_report(game: &Game) -> FairnessReport {
-    let totals: Vec<f64> =
-        (0..game.olev_count()).map(|n| game.schedule().olev_total(OlevId(n))).collect();
-    let weights: Vec<f64> =
-        game.satisfactions().iter().map(|s| s.derivative(0.0).max(1e-12)).collect();
-    let per_weight: Vec<f64> =
-        totals.iter().zip(&weights).map(|(x, w)| x / w).collect();
+    let totals: Vec<f64> = (0..game.olev_count())
+        .map(|n| game.schedule().olev_total(OlevId(n)))
+        .collect();
+    let weights: Vec<f64> = game
+        .satisfactions()
+        .iter()
+        .map(|s| s.derivative(0.0).max(1e-12))
+        .collect();
+    let per_weight: Vec<f64> = totals.iter().zip(&weights).map(|(x, w)| x / w).collect();
     let max = totals.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
     let min = totals.iter().fold(f64::INFINITY, |m, &x| m.min(x));
     FairnessReport {

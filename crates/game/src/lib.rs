@@ -68,6 +68,7 @@ pub mod dynamics;
 pub mod engine;
 pub mod error;
 pub mod fairness;
+pub mod faults;
 pub mod payment;
 pub mod potential;
 pub mod pricing;
@@ -86,8 +87,11 @@ pub use dynamics::{uniform_fleet, RoundOutcome, SocCoupledGame};
 pub use engine::{Game, Outcome, Snapshot, UpdateOrder};
 pub use error::GameError;
 pub use fairness::{fairness_report, jain_index, FairnessReport};
+pub use faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, LinkVerdict, LossyLink};
 pub use payment::{payment_for_schedule, quote, PaymentQuote, Scheduler};
-pub use pricing::{CostPolicy, LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost};
+pub use pricing::{
+    CostPolicy, LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost,
+};
 pub use revenue::{revenue_report, RevenueReport};
 pub use routing::{RouteChoice, RouteOption, RoutingEconomics, RoutingEquilibrium};
 pub use satisfaction::{LogSatisfaction, Satisfaction, SqrtSatisfaction};

@@ -90,7 +90,10 @@ pub fn quote(
 ) -> PaymentQuote {
     let allocation = scheduler.allocate(cost, caps, loads_excl, total);
     let payment = payment_for_schedule(cost, caps, loads_excl, &allocation.shares);
-    PaymentQuote { allocation, payment }
+    PaymentQuote {
+        allocation,
+        payment,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +143,12 @@ mod tests {
         let total = 12.0;
         let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, total);
         // Compare against a few arbitrary same-total splits.
-        for split in [[12.0, 0.0, 0.0], [0.0, 0.0, 12.0], [4.0, 4.0, 4.0], [6.0, 6.0, 0.0]] {
+        for split in [
+            [12.0, 0.0, 0.0],
+            [0.0, 0.0, 12.0],
+            [4.0, 4.0, 4.0],
+            [6.0, 6.0, 0.0],
+        ] {
             let alt = payment_for_schedule(&cost, &caps, &loads, &split);
             assert!(
                 q.payment <= alt + 1e-9,
@@ -157,7 +165,13 @@ mod tests {
         let loads = [5.0, 10.0, 15.0];
         let mut last = 0.0;
         for i in 1..10 {
-            let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, i as f64 * 3.0);
+            let q = quote(
+                &cost,
+                &caps,
+                &loads,
+                Scheduler::WaterFilling,
+                i as f64 * 3.0,
+            );
             assert!(q.payment > last);
             last = q.payment;
         }

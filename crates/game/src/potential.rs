@@ -34,8 +34,16 @@ pub fn social_welfare(
     caps: &[f64],
     schedule: &PowerSchedule,
 ) -> f64 {
-    assert_eq!(satisfactions.len(), schedule.olev_count(), "satisfaction count mismatch");
-    assert_eq!(caps.len(), schedule.section_count(), "capacity count mismatch");
+    assert_eq!(
+        satisfactions.len(),
+        schedule.olev_count(),
+        "satisfaction count mismatch"
+    );
+    assert_eq!(
+        caps.len(),
+        schedule.section_count(),
+        "capacity count mismatch"
+    );
     let satisfaction: f64 = satisfactions
         .iter()
         .enumerate()
@@ -61,7 +69,8 @@ pub fn olev_utility(
 ) -> f64 {
     let loads_excl = schedule.loads_excluding(n);
     let shares = schedule.row(n);
-    satisfaction.value(schedule.olev_total(n)) - payment_for_schedule(cost, caps, &loads_excl, shares)
+    satisfaction.value(schedule.olev_total(n))
+        - payment_for_schedule(cost, caps, &loads_excl, shares)
 }
 
 /// Measures `|ΔF_n − ΔW|` for replacing OLEV `n`'s row by `new_row` while
@@ -138,14 +147,7 @@ mod tests {
         s.set_row(OlevId(1), &[0.0, 3.0, 9.0]);
         s.set_row(OlevId(2), &[4.0, 4.0, 4.0]);
         for n in 0..3 {
-            let d = potential_discrepancy(
-                OlevId(n),
-                &ss,
-                &c,
-                &caps,
-                &s,
-                &[2.5, 0.0, 6.0],
-            );
+            let d = potential_discrepancy(OlevId(n), &ss, &c, &caps, &s, &[2.5, 0.0, 6.0]);
             assert!(d < 1e-9, "ΔF ≠ ΔW for OLEV {n}: {d}");
         }
     }

@@ -53,7 +53,10 @@ impl NonlinearPricing {
             lbmp_dollars_per_mwh > 0.0 && lbmp_dollars_per_mwh.is_finite(),
             "LBMP must be positive"
         );
-        Self { alpha: 0.875, beta: lbmp_dollars_per_mwh / 1000.0 }
+        Self {
+            alpha: 0.875,
+            beta: lbmp_dollars_per_mwh / 1000.0,
+        }
     }
 }
 
@@ -96,7 +99,9 @@ impl LinearPricing {
             lbmp_dollars_per_mwh > 0.0 && lbmp_dollars_per_mwh.is_finite(),
             "LBMP must be positive"
         );
-        Self { beta: lbmp_dollars_per_mwh / 1000.0 }
+        Self {
+            beta: lbmp_dollars_per_mwh / 1000.0,
+        }
     }
 }
 
@@ -172,7 +177,10 @@ impl OverloadPenalty {
     /// Panics if `kappa` is negative or non-finite.
     #[must_use]
     pub fn new(kappa: f64) -> Self {
-        assert!(kappa >= 0.0 && kappa.is_finite(), "kappa must be non-negative");
+        assert!(
+            kappa >= 0.0 && kappa.is_finite(),
+            "kappa must be non-negative"
+        );
         Self { kappa }
     }
 
@@ -211,7 +219,11 @@ impl SectionCost {
     #[must_use]
     pub fn new(policy: PricingPolicy, overload: OverloadPenalty, eta: f64) -> Self {
         assert!(eta > 0.0 && eta <= 1.0, "eta must be in (0, 1]");
-        Self { policy, overload, eta }
+        Self {
+            policy,
+            overload,
+            eta,
+        }
     }
 
     /// The knee `η·P_line` for a section of capacity `cap` (kW).
@@ -261,8 +273,7 @@ impl SectionCost {
                 }
                 // Past the knee: β̃(α + x/cap) + 2κ(x − knee) = μ.
                 let kappa = self.overload.kappa;
-                let x =
-                    (mu - p.beta * p.alpha + 2.0 * kappa * knee) / (p.beta / cap + 2.0 * kappa);
+                let x = (mu - p.beta * p.alpha + 2.0 * kappa * knee) / (p.beta / cap + 2.0 * kappa);
                 Some(x.max(0.0))
             }
             PricingPolicy::Linear(_) => None,
@@ -364,7 +375,11 @@ mod tests {
     fn cost_offsets_cancel_in_increments() {
         // V(0) > 0 for the nonlinear policy, but payments are increments of
         // Z, so the offset never reaches an OLEV.
-        let z = SectionCost::new(PricingPolicy::Nonlinear(nl()), OverloadPenalty::new(0.1), 0.9);
+        let z = SectionCost::new(
+            PricingPolicy::Nonlinear(nl()),
+            OverloadPenalty::new(0.1),
+            0.9,
+        );
         let increment = z.z(10.0, 60.0) - z.z(10.0, 60.0);
         assert_eq!(increment, 0.0);
         assert!(z.z(0.0, 60.0) > 0.0);
@@ -373,7 +388,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "eta must be in")]
     fn eta_out_of_range_panics() {
-        let _ = SectionCost::new(PricingPolicy::Nonlinear(nl()), OverloadPenalty::new(0.1), 1.5);
+        let _ = SectionCost::new(
+            PricingPolicy::Nonlinear(nl()),
+            OverloadPenalty::new(0.1),
+            1.5,
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub fn revenue_report(game: &Game) -> RevenueReport {
         .map(|n| {
             let id = OlevId(n);
             let loads_excl = game.schedule().loads_excluding(id);
-            payment_for_schedule(game.cost(), game.caps(), &loads_excl, game.schedule().row(id))
+            payment_for_schedule(
+                game.cost(),
+                game.caps(),
+                &loads_excl,
+                game.schedule().row(id),
+            )
         })
         .sum();
     let incurred_cost: f64 = game
@@ -45,8 +50,17 @@ pub fn revenue_report(game: &Game) -> RevenueReport {
         .map(|(&load, &cap)| game.cost().z(load, cap) - game.cost().z(0.0, cap))
         .sum();
     let surplus = collected - incurred_cost;
-    let markup = if incurred_cost > 0.0 { collected / incurred_cost } else { 1.0 };
-    RevenueReport { collected, incurred_cost, surplus, markup }
+    let markup = if incurred_cost > 0.0 {
+        collected / incurred_cost
+    } else {
+        1.0
+    };
+    RevenueReport {
+        collected,
+        incurred_cost,
+        surplus,
+        markup,
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +103,10 @@ mod tests {
     #[test]
     fn linear_mechanism_is_exactly_break_even_below_the_knee() {
         // With a linear Z, increments are exact: no congestion rent exists.
-        let g = converged(PricingPolicy::Linear(LinearPricing::paper_default(15.0)), 0.3);
+        let g = converged(
+            PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
+            0.3,
+        );
         let r = revenue_report(&g);
         assert!(r.surplus.abs() < 1e-9, "linear surplus {:.3e}", r.surplus);
         assert!((r.markup - 1.0).abs() < 1e-9);

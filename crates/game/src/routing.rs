@@ -38,7 +38,10 @@ pub struct RoutingEconomics {
 
 impl Default for RoutingEconomics {
     fn default() -> Self {
-        Self { time_value: 20.0, energy_value: 0.30 }
+        Self {
+            time_value: 20.0,
+            energy_value: 0.30,
+        }
     }
 }
 
@@ -83,8 +86,7 @@ impl RouteChoice {
     ///
     /// Propagates [`GameError`] from the underlying game run.
     pub fn benefit_at_split(&self, k: usize) -> Result<(f64, f64), GameError> {
-        let detour =
-            (self.charging_route.travel_hours - self.plain_route.travel_hours).max(0.0);
+        let detour = (self.charging_route.travel_hours - self.plain_route.travel_hours).max(0.0);
         let detour_cost = detour * self.economics.time_value;
         if k == 0 {
             // An empty lane: price the first entrant against zero load.
@@ -170,7 +172,10 @@ mod tests {
                 travel_hours: 0.5 + detour_hours,
                 charging_sections: sections,
             },
-            plain_route: RouteOption { travel_hours: 0.5, charging_sections: 0 },
+            plain_route: RouteOption {
+                travel_hours: 0.5,
+                charging_sections: 0,
+            },
             fleet: 12,
             section_capacity: Kilowatts::new(35.0),
             olev_p_max: Kilowatts::new(60.0),

@@ -37,7 +37,10 @@ impl LogSatisfaction {
     /// Panics if `weight` is not strictly positive and finite.
     #[must_use]
     pub fn new(weight: f64) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         Self { weight }
     }
 }
@@ -80,7 +83,10 @@ impl SqrtSatisfaction {
     /// Panics if `weight` is not strictly positive and finite.
     #[must_use]
     pub fn new(weight: f64) -> Self {
-        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "weight must be positive"
+        );
         Self { weight }
     }
 }
@@ -134,7 +140,8 @@ mod tests {
         let s = LogSatisfaction::new(2.0);
         let h = 1e-6;
         for p in [0.0, 1.0, 10.0, 100.0] {
-            let fd = (s.value(p + h) - s.value((p - h).max(0.0))) / (if p == 0.0 { h } else { 2.0 * h });
+            let fd =
+                (s.value(p + h) - s.value((p - h).max(0.0))) / (if p == 0.0 { h } else { 2.0 * h });
             assert!((s.derivative(p) - fd).abs() < 1e-4, "at {p}");
         }
     }

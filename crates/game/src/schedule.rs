@@ -20,8 +20,15 @@ impl PowerSchedule {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn zeros(olevs: usize, sections: usize) -> Self {
-        assert!(olevs > 0 && sections > 0, "schedule dimensions must be nonzero");
-        Self { olevs, sections, entries: vec![0.0; olevs * sections] }
+        assert!(
+            olevs > 0 && sections > 0,
+            "schedule dimensions must be nonzero"
+        );
+        Self {
+            olevs,
+            sections,
+            entries: vec![0.0; olevs * sections],
+        }
     }
 
     /// Number of OLEVs (rows).
@@ -43,7 +50,10 @@ impl PowerSchedule {
     /// Panics if either index is out of range.
     #[must_use]
     pub fn get(&self, n: OlevId, c: SectionId) -> f64 {
-        assert!(n.index() < self.olevs && c.index() < self.sections, "index out of range");
+        assert!(
+            n.index() < self.olevs && c.index() < self.sections,
+            "index out of range"
+        );
         self.entries[n.index() * self.sections + c.index()]
     }
 
@@ -53,7 +63,10 @@ impl PowerSchedule {
     ///
     /// Panics if either index is out of range or the value is not finite.
     pub fn set(&mut self, n: OlevId, c: SectionId, value: f64) {
-        assert!(n.index() < self.olevs && c.index() < self.sections, "index out of range");
+        assert!(
+            n.index() < self.olevs && c.index() < self.sections,
+            "index out of range"
+        );
         assert!(value.is_finite(), "schedule entries must be finite");
         self.entries[n.index() * self.sections + c.index()] = value.max(0.0);
     }
@@ -90,7 +103,9 @@ impl PowerSchedule {
     /// `P_c = Σ_n p_{n,c}` — section `c`'s load.
     #[must_use]
     pub fn section_load(&self, c: SectionId) -> f64 {
-        (0..self.olevs).map(|n| self.entries[n * self.sections + c.index()]).sum()
+        (0..self.olevs)
+            .map(|n| self.entries[n * self.sections + c.index()])
+            .sum()
     }
 
     /// All section loads as a vector.

@@ -53,8 +53,14 @@ pub fn y_function(loads: &[f64], level: f64) -> f64 {
 #[must_use]
 pub fn water_level(loads: &[f64], total: f64) -> f64 {
     assert!(!loads.is_empty(), "need at least one section");
-    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
-    assert!(loads.iter().all(|l| l.is_finite() && *l >= 0.0), "loads must be non-negative");
+    assert!(
+        total >= 0.0 && total.is_finite(),
+        "total must be non-negative"
+    );
+    assert!(
+        loads.iter().all(|l| l.is_finite() && *l >= 0.0),
+        "loads must be non-negative"
+    );
     let lo0 = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
     if total == 0.0 {
         return lo0;
@@ -99,15 +105,28 @@ pub fn marginal_waterfill(
 ) -> Allocation {
     assert!(!caps.is_empty(), "need at least one section");
     assert_eq!(caps.len(), loads.len(), "caps/loads length mismatch");
-    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
-    assert!(cost.supports_waterfilling(), "water-filling needs a strictly convex cost");
+    assert!(
+        total >= 0.0 && total.is_finite(),
+        "total must be non-negative"
+    );
+    assert!(
+        cost.supports_waterfilling(),
+        "water-filling needs a strictly convex cost"
+    );
 
     let mu_at = |c: usize, x: f64| cost.z_prime(x, caps[c]);
-    let mu_lo = (0..caps.len()).map(|c| mu_at(c, loads[c])).fold(f64::INFINITY, f64::min);
+    let mu_lo = (0..caps.len())
+        .map(|c| mu_at(c, loads[c]))
+        .fold(f64::INFINITY, f64::min);
     if total == 0.0 {
-        return Allocation { shares: vec![0.0; caps.len()], marginal: mu_lo };
+        return Allocation {
+            shares: vec![0.0; caps.len()],
+            marginal: mu_lo,
+        };
     }
-    let mu_hi = (0..caps.len()).map(|c| mu_at(c, loads[c] + total)).fold(0.0f64, f64::max);
+    let mu_hi = (0..caps.len())
+        .map(|c| mu_at(c, loads[c] + total))
+        .fold(0.0f64, f64::max);
 
     // x_c(μ): the load at which section c's marginal cost reaches μ,
     // clamped to [load_c, load_c + total]. Uses the closed-form Z'⁻¹ when
@@ -130,9 +149,7 @@ pub fn marginal_waterfill(
         }
         0.5 * (lo + hi)
     };
-    let allocated = |mu: f64| -> f64 {
-        (0..caps.len()).map(|c| x_of_mu(c, mu) - loads[c]).sum()
-    };
+    let allocated = |mu: f64| -> f64 { (0..caps.len()).map(|c| x_of_mu(c, mu) - loads[c]).sum() };
 
     let (mut lo, mut hi) = (mu_lo, mu_hi);
     for _ in 0..BISECT_ITERS {
@@ -146,7 +163,10 @@ pub fn marginal_waterfill(
     let mu = 0.5 * (lo + hi);
     let mut shares: Vec<f64> = (0..caps.len()).map(|c| x_of_mu(c, mu) - loads[c]).collect();
     renormalize(&mut shares, total);
-    Allocation { shares, marginal: mu }
+    Allocation {
+        shares,
+        marginal: mu,
+    }
 }
 
 /// Greedy sequential filling for the linear baseline: fill each section in
@@ -159,7 +179,10 @@ pub fn marginal_waterfill(
 pub fn greedy_fill(cost: &SectionCost, caps: &[f64], loads: &[f64], total: f64) -> Allocation {
     assert!(!caps.is_empty(), "need at least one section");
     assert_eq!(caps.len(), loads.len(), "caps/loads length mismatch");
-    assert!(total >= 0.0 && total.is_finite(), "total must be non-negative");
+    assert!(
+        total >= 0.0 && total.is_finite(),
+        "total must be non-negative"
+    );
 
     let mut shares = vec![0.0; caps.len()];
     let mut remaining = total;
@@ -191,7 +214,10 @@ pub fn greedy_fill(cost: &SectionCost, caps: &[f64], loads: &[f64], total: f64) 
             })
             .expect("nonempty");
     }
-    let marginal = cost.z_prime(loads[last_touched] + shares[last_touched], caps[last_touched]);
+    let marginal = cost.z_prime(
+        loads[last_touched] + shares[last_touched],
+        caps[last_touched],
+    );
     Allocation { shares, marginal }
 }
 
@@ -301,7 +327,11 @@ mod tests {
             .map(|c| cost.z_prime(loads[c] + a.shares[c], caps[c]))
             .collect();
         for m in &margins {
-            assert!((m - a.marginal).abs() < 1e-6, "marginal {m} vs μ {}", a.marginal);
+            assert!(
+                (m - a.marginal).abs() < 1e-6,
+                "marginal {m} vs μ {}",
+                a.marginal
+            );
         }
         // Bigger sections absorb more at equal marginal cost.
         assert!(a.shares[2] > a.shares[1]);

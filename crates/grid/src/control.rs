@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ControlPeriod::SpinningReserve.to_string(), "spinning reserve");
+        assert_eq!(
+            ControlPeriod::SpinningReserve.to_string(),
+            "spinning reserve"
+        );
         assert_eq!(ControlPeriod::Baseload.to_string(), "baseload");
     }
 }

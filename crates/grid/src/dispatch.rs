@@ -43,8 +43,17 @@ impl Generator {
     ) -> Self {
         assert!(capacity.value() >= 0.0, "negative capacity");
         assert!(ramp_per_interval.value() >= 0.0, "negative ramp");
-        assert!(min_output.value() >= 0.0 && min_output <= capacity, "bad min output");
-        Self { name: name.into(), capacity, min_output, marginal_cost, ramp_per_interval }
+        assert!(
+            min_output.value() >= 0.0 && min_output <= capacity,
+            "bad min output"
+        );
+        Self {
+            name: name.into(),
+            capacity,
+            min_output,
+            marginal_cost,
+            ramp_per_interval,
+        }
     }
 }
 
@@ -104,14 +113,20 @@ impl DispatchPlan {
     #[must_use]
     pub fn max_shortfall(&self) -> Megawatts {
         Megawatts::new(
-            self.intervals.iter().map(|i| i.shortfall.value()).fold(0.0, f64::max),
+            self.intervals
+                .iter()
+                .map(|i| i.shortfall.value())
+                .fold(0.0, f64::max),
         )
     }
 
     /// Intervals with any shortfall.
     #[must_use]
     pub fn shortfall_intervals(&self) -> usize {
-        self.intervals.iter().filter(|i| i.shortfall.value() > 1e-9).count()
+        self.intervals
+            .iter()
+            .filter(|i| i.shortfall.value() > 1e-9)
+            .count()
     }
 }
 

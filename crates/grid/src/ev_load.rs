@@ -30,7 +30,10 @@ pub fn overlay_ev_load(
     ev_hourly_mwh: &[f64],
     config: &OperatorConfig,
 ) -> DaySeries {
-    assert!(!ev_hourly_mwh.is_empty(), "need at least one hourly EV load");
+    assert!(
+        !ev_hourly_mwh.is_empty(),
+        "need at least one hourly EV load"
+    );
     let points = day
         .points()
         .iter()

@@ -51,7 +51,9 @@ impl PersistenceForecaster {
     /// first observation arrives.
     #[must_use]
     pub fn new(initial: MegawattHours) -> Self {
-        Self { initial: Some(MegawattHoursWrapper::from_quantity(initial)) }
+        Self {
+            initial: Some(MegawattHoursWrapper::from_quantity(initial)),
+        }
     }
 }
 
@@ -114,7 +116,9 @@ pub struct SmoothModelForecaster {
 
 impl core::fmt::Debug for SmoothModelForecaster {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("SmoothModelForecaster").field("label", &self.label).finish()
+        f.debug_struct("SmoothModelForecaster")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -126,7 +130,10 @@ impl SmoothModelForecaster {
     where
         F: Fn(usize) -> MegawattHours + Send + Sync + 'static,
     {
-        Self { model: Box::new(model), label: "smooth-model".to_owned() }
+        Self {
+            model: Box::new(model),
+            label: "smooth-model".to_owned(),
+        }
     }
 }
 
@@ -166,7 +173,10 @@ impl HoltForecaster {
 
 impl Default for HoltForecaster {
     fn default() -> Self {
-        Self { alpha: 0.5, beta: 0.3 }
+        Self {
+            alpha: 0.5,
+            beta: 0.3,
+        }
     }
 }
 

@@ -47,7 +47,10 @@ pub use ancillary::{AncillaryMarket, AncillaryPrices};
 pub use control::ControlPeriod;
 pub use dispatch::{dispatch, nyiso_like_fleet, DispatchPlan, Generator};
 pub use ev_load::overlay_ev_load;
-pub use forecast::{Forecaster, HoltForecaster, MovingAverageForecaster, PersistenceForecaster, SmoothModelForecaster};
+pub use forecast::{
+    Forecaster, HoltForecaster, MovingAverageForecaster, PersistenceForecaster,
+    SmoothModelForecaster,
+};
 pub use market::{SupplyStack, Tranche};
 pub use operator::{DayPoint, DaySeries, GridOperator, OperatorConfig};
 pub use profile::LoadProfile;

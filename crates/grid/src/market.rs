@@ -23,7 +23,10 @@ impl Tranche {
     /// Creates a tranche.
     #[must_use]
     pub fn new(capacity: Megawatts, marginal_cost: DollarsPerMegawattHour) -> Self {
-        Self { capacity, marginal_cost }
+        Self {
+            capacity,
+            marginal_cost,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ impl SupplyStack {
                 .partial_cmp(&b.marginal_cost)
                 .expect("tranche costs must not be NaN")
         });
-        Self { tranches, scarcity_price }
+        Self {
+            tranches,
+            scarcity_price,
+        }
     }
 
     /// A stack shaped like the New York fleet, calibrated so the clearing
@@ -205,7 +211,9 @@ mod tests {
         // Fig. 2(c): LBMP from $12.52 to $244.04.
         let stack = SupplyStack::nyiso_like();
         let lo = stack.clearing_price(mw(1000.0)).value();
-        let hi = stack.lbmp(mw(6650.0), MegawattHours::new(160.0), 1.0).value();
+        let hi = stack
+            .lbmp(mw(6650.0), MegawattHours::new(160.0), 1.0)
+            .value();
         assert_eq!(lo, 12.52);
         assert_eq!(hi, 244.04);
     }

@@ -105,7 +105,10 @@ impl DaySeries {
     #[must_use]
     pub fn min_integrated_load(&self) -> MegawattHours {
         MegawattHours::new(
-            self.points.iter().map(|p| p.integrated_load.value()).fold(f64::INFINITY, f64::min),
+            self.points
+                .iter()
+                .map(|p| p.integrated_load.value())
+                .fold(f64::INFINITY, f64::min),
         )
     }
 
@@ -124,16 +127,30 @@ impl DaySeries {
     #[must_use]
     pub fn max_abs_deficiency(&self) -> MegawattHours {
         MegawattHours::new(
-            self.points.iter().map(|p| p.deficiency.value().abs()).fold(0.0, f64::max),
+            self.points
+                .iter()
+                .map(|p| p.deficiency.value().abs())
+                .fold(0.0, f64::max),
         )
     }
 
     /// The (min, max) LBMP over the day.
     #[must_use]
     pub fn lbmp_range(&self) -> (DollarsPerMegawattHour, DollarsPerMegawattHour) {
-        let lo = self.points.iter().map(|p| p.lbmp.value()).fold(f64::INFINITY, f64::min);
-        let hi = self.points.iter().map(|p| p.lbmp.value()).fold(f64::NEG_INFINITY, f64::max);
-        (DollarsPerMegawattHour::new(lo), DollarsPerMegawattHour::new(hi))
+        let lo = self
+            .points
+            .iter()
+            .map(|p| p.lbmp.value())
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .points
+            .iter()
+            .map(|p| p.lbmp.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        (
+            DollarsPerMegawattHour::new(lo),
+            DollarsPerMegawattHour::new(hi),
+        )
     }
 
     /// Mean of the per-interval mean ancillary price — the paper's "$13.41 on
@@ -210,7 +227,14 @@ impl GridOperator {
             // deficiency is already a rate: convert 1:1 (not per-interval).
             let lbmp = self.config.stack.lbmp(demand, deficiency, 1.0);
             let ancillary = self.config.ancillary.price(demand, deficiency);
-            points.push(DayPoint { hour, integrated_load: integrated, forecast_load: forecast, deficiency, lbmp, ancillary });
+            points.push(DayPoint {
+                hour,
+                integrated_load: integrated,
+                forecast_load: forecast,
+                deficiency,
+                lbmp,
+                ancillary,
+            });
         }
         DaySeries { points }
     }

@@ -44,8 +44,15 @@ impl LoadProfile {
     /// Panics if either width is not strictly positive.
     #[must_use]
     pub fn new(trough: MegawattHours, morning: (f64, f64, f64), evening: (f64, f64, f64)) -> Self {
-        assert!(morning.2 > 0.0 && evening.2 > 0.0, "hump widths must be positive");
-        Self { trough: trough.value(), morning, evening }
+        assert!(
+            morning.2 > 0.0 && evening.2 > 0.0,
+            "hump widths must be positive"
+        );
+        Self {
+            trough: trough.value(),
+            morning,
+            evening,
+        }
     }
 
     /// The calibration used throughout the reproduction: trough ≈ 4 020 MWh
@@ -119,8 +126,14 @@ mod tests {
         let p = LoadProfile::nyiso_like();
         let lo = p.min_load().value();
         let hi = p.max_load().value();
-        assert!((3900.0..=4150.0).contains(&lo), "trough {lo} outside paper band");
-        assert!((6400.0..=6800.0).contains(&hi), "peak {hi} outside paper band");
+        assert!(
+            (3900.0..=4150.0).contains(&lo),
+            "trough {lo} outside paper band"
+        );
+        assert!(
+            (6400.0..=6800.0).contains(&hi),
+            "peak {hi} outside paper band"
+        );
     }
 
     #[test]
@@ -134,7 +147,10 @@ mod tests {
         let p = LoadProfile::nyiso_like();
         let before = p.load_at(23.999).value();
         let after = p.load_at(0.0).value();
-        assert!((before - after).abs() < 5.0, "midnight jump: {before} vs {after}");
+        assert!(
+            (before - after).abs() < 5.0,
+            "midnight jump: {before} vs {after}"
+        );
     }
 
     #[test]
@@ -147,6 +163,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "hump widths")]
     fn zero_width_hump_panics() {
-        let _ = LoadProfile::new(MegawattHours::new(4000.0), (1.0, 9.0, 0.0), (1.0, 17.0, 1.0));
+        let _ = LoadProfile::new(
+            MegawattHours::new(4000.0),
+            (1.0, 9.0, 0.0),
+            (1.0, 17.0, 1.0),
+        );
     }
 }

@@ -45,11 +45,7 @@ impl Settlement {
 /// `day_ahead_price` is the fixed forward price ($/MWh); `regulation_band`
 /// is the MW of regulation the operator procures every interval.
 #[must_use]
-pub fn settle_day(
-    day: &DaySeries,
-    day_ahead_price: f64,
-    regulation_band: f64,
-) -> Settlement {
+pub fn settle_day(day: &DaySeries, day_ahead_price: f64, regulation_band: f64) -> Settlement {
     let n = day.points().len().max(1);
     let interval_hours = 24.0 / n as f64;
     let mut day_ahead = 0.0;
@@ -84,7 +80,11 @@ mod tests {
     fn settlement_magnitudes_are_sane() {
         let s = settle_day(&day(), 30.0, 250.0);
         // ~125 GWh/day at $30 ⇒ ~$3.7M day-ahead.
-        assert!((2.0e6..=6.0e6).contains(&s.day_ahead.value()), "{:?}", s.day_ahead);
+        assert!(
+            (2.0e6..=6.0e6).contains(&s.day_ahead.value()),
+            "{:?}",
+            s.day_ahead
+        );
         // Real-time balancing is a small signed correction.
         assert!(s.real_time.value().abs() < 0.2 * s.day_ahead.value());
         assert!(s.ancillary.value() > 0.0);

@@ -166,7 +166,10 @@ impl CorridorBuilder {
         // Signals at every interior intersection, synchronized.
         if self.signal_red.value() > 0.0 {
             for node in nodes.iter().take(self.blocks).skip(1) {
-                sim.add_signal(*node, SignalPlan::new(self.signal_green, self.signal_red, Seconds::ZERO));
+                sim.add_signal(
+                    *node,
+                    SignalPlan::new(self.signal_green, self.signal_red, Seconds::ZERO),
+                );
             }
         }
         for (placement, len) in &self.detectors {

@@ -105,8 +105,14 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        assert_eq!(HourlyCounts::nyc_arterial_like(800, 9), HourlyCounts::nyc_arterial_like(800, 9));
-        assert_ne!(HourlyCounts::nyc_arterial_like(800, 9), HourlyCounts::nyc_arterial_like(800, 10));
+        assert_eq!(
+            HourlyCounts::nyc_arterial_like(800, 9),
+            HourlyCounts::nyc_arterial_like(800, 9)
+        );
+        assert_ne!(
+            HourlyCounts::nyc_arterial_like(800, 9),
+            HourlyCounts::nyc_arterial_like(800, 10)
+        );
     }
 
     #[test]

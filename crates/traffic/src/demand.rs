@@ -34,7 +34,11 @@ impl PoissonArrivals {
     /// Creates an arrival stream.
     #[must_use]
     pub fn new(counts: HourlyCounts, seed: u64) -> Self {
-        Self { counts, rng: ChaCha8Rng::seed_from_u64(seed), clock: 0.0 }
+        Self {
+            counts,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            clock: 0.0,
+        }
     }
 
     /// The hourly counts driving this stream.

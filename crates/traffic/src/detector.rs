@@ -35,7 +35,14 @@ impl SpanDetector {
             start.value() >= 0.0 && end.value() > start.value(),
             "detector span must be a forward interval"
         );
-        Self { label: label.into(), edge, start, end, hourly: Vec::new(), touches: 0 }
+        Self {
+            label: label.into(),
+            edge,
+            start,
+            end,
+            hourly: Vec::new(),
+            touches: 0,
+        }
     }
 
     /// The covered edge.

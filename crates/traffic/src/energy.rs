@@ -69,7 +69,11 @@ impl EnergyModel {
     pub fn tractive_force(&self, v: MetersPerSecond, accel_mps2: f64) -> f64 {
         let v = v.value().max(0.0);
         let inertial = self.mass_kg * accel_mps2;
-        let rolling = if v > 0.0 { self.mass_kg * GRAVITY * self.rolling_resistance } else { 0.0 };
+        let rolling = if v > 0.0 {
+            self.mass_kg * GRAVITY * self.rolling_resistance
+        } else {
+            0.0
+        };
         let aero = 0.5 * AIR_DENSITY * self.drag_coefficient * self.frontal_area_m2 * v * v;
         inertial + rolling + aero
     }
@@ -177,7 +181,10 @@ mod tests {
     fn acceleration_costs_more_than_cruise() {
         let cruise = m().power_demand(mps(15.0), 0.0).value();
         let accel = m().power_demand(mps(15.0), 2.0).value();
-        assert!(accel > cruise + 30.0, "inertia term missing: {accel} vs {cruise}");
+        assert!(
+            accel > cruise + 30.0,
+            "inertia term missing: {accel} vs {cruise}"
+        );
     }
 
     #[test]

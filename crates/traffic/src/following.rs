@@ -69,7 +69,10 @@ impl CarFollowing for Krauss {
             }
             None => f64::INFINITY,
         };
-        let v_des = desired.value().min(v + params.accel * dt.value()).min(v_safe);
+        let v_des = desired
+            .value()
+            .min(v + params.accel * dt.value())
+            .min(v_safe);
         let dawdled = v_des - params.sigma * params.accel * dt.value() * noise.clamp(0.0, 1.0);
         MetersPerSecond::new(dawdled.max(0.0))
     }
@@ -156,14 +159,20 @@ mod tests {
 
     #[test]
     fn krauss_stops_for_standing_obstacle_at_zero_gap() {
-        let ahead = Ahead { gap: p().min_gap, leader_speed: mps(0.0) };
+        let ahead = Ahead {
+            gap: p().min_gap,
+            leader_speed: mps(0.0),
+        };
         let v = Krauss.next_speed(&p(), mps(10.0), mps(13.9), Some(ahead), DT, 0.0);
         assert_eq!(v, mps(0.0));
     }
 
     #[test]
     fn krauss_slows_when_approaching_stopped_leader() {
-        let ahead = Ahead { gap: Meters::new(20.0), leader_speed: mps(0.0) };
+        let ahead = Ahead {
+            gap: Meters::new(20.0),
+            leader_speed: mps(0.0),
+        };
         let v = Krauss.next_speed(&p(), mps(15.0), mps(15.0), Some(ahead), DT, 0.0);
         assert!(v.value() < 15.0);
         assert!(v.value() > 0.0);
@@ -181,7 +190,10 @@ mod tests {
 
     #[test]
     fn krauss_never_negative() {
-        let ahead = Ahead { gap: Meters::ZERO, leader_speed: mps(0.0) };
+        let ahead = Ahead {
+            gap: Meters::ZERO,
+            leader_speed: mps(0.0),
+        };
         let v = Krauss.next_speed(&p(), mps(0.0), mps(13.9), Some(ahead), DT, 1.0);
         assert_eq!(v, mps(0.0));
     }
@@ -190,7 +202,10 @@ mod tests {
     fn krauss_follows_moving_leader_at_its_speed_when_spaced() {
         // With a leader at the same speed and a comfortable gap, the follower
         // may exceed the leader slightly but never brake to a halt.
-        let ahead = Ahead { gap: Meters::new(30.0), leader_speed: mps(10.0) };
+        let ahead = Ahead {
+            gap: Meters::new(30.0),
+            leader_speed: mps(10.0),
+        };
         let v = Krauss.next_speed(&p(), mps(10.0), mps(13.9), Some(ahead), DT, 0.0);
         assert!(v.value() > 9.0);
     }
@@ -205,7 +220,10 @@ mod tests {
 
     #[test]
     fn idm_brakes_near_stopped_leader() {
-        let ahead = Ahead { gap: Meters::new(5.0), leader_speed: mps(0.0) };
+        let ahead = Ahead {
+            gap: Meters::new(5.0),
+            leader_speed: mps(0.0),
+        };
         let v = Idm::default().next_speed(&p(), mps(10.0), mps(13.9), Some(ahead), DT, 0.0);
         assert!(v.value() < 10.0);
     }

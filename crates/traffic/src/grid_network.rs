@@ -52,7 +52,10 @@ impl GridNetworkBuilder {
     /// Panics unless both dimensions are at least 2.
     #[must_use]
     pub fn size(mut self, rows: usize, cols: usize) -> Self {
-        assert!(rows >= 2 && cols >= 2, "grid needs at least 2x2 intersections");
+        assert!(
+            rows >= 2 && cols >= 2,
+            "grid needs at least 2x2 intersections"
+        );
         self.rows = rows;
         self.cols = cols;
         self
@@ -144,7 +147,13 @@ impl GridNetworkBuilder {
                 }
             }
         }
-        GridNetwork { sim, network, rows: self.rows, cols: self.cols, seed: self.seed }
+        GridNetwork {
+            sim,
+            network,
+            rows: self.rows,
+            cols: self.cols,
+            seed: self.seed,
+        }
     }
 }
 
@@ -202,9 +211,10 @@ impl GridNetwork {
         if route.is_empty() {
             return false;
         }
-        let stream_seed = self.seed.wrapping_mul(31).wrapping_add(
-            (from.0 as u64) << 16 | to.0 as u64,
-        );
+        let stream_seed = self
+            .seed
+            .wrapping_mul(31)
+            .wrapping_add((from.0 as u64) << 16 | to.0 as u64);
         self.sim.add_demand(
             PoissonArrivals::new(counts, stream_seed),
             route,
@@ -234,7 +244,10 @@ mod tests {
         g.sim.run_for(Seconds::new(1200.0));
         assert!(g.sim.spawned() > 50, "spawned {}", g.sim.spawned());
         assert!(g.sim.exited() > 10, "exited {}", g.sim.exited());
-        assert_eq!(g.sim.spawned(), g.sim.active_count() as u64 + g.sim.exited());
+        assert_eq!(
+            g.sim.spawned(),
+            g.sim.active_count() as u64 + g.sim.exited()
+        );
     }
 
     #[test]

@@ -6,12 +6,16 @@ use core::fmt;
 use oes_units::{Meters, MetersPerSecond};
 
 /// Identifies a node (intersection or dead end) in a [`RoadNetwork`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct NodeId(pub usize);
 
 /// Identifies a directed edge (one-way road segment) in a [`RoadNetwork`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct EdgeId(pub usize);
 
@@ -149,7 +153,13 @@ impl RoadNetwork {
         if !geometry_ok {
             return Err(NetworkError::InvalidEdge(id));
         }
-        self.edges.push(Edge { from, to, length, speed_limit, lanes });
+        self.edges.push(Edge {
+            from,
+            to,
+            length,
+            speed_limit,
+            lanes,
+        });
         Ok(id)
     }
 
@@ -197,12 +207,13 @@ impl RoadNetwork {
     /// one ended.
     #[must_use]
     pub fn route_is_connected(&self, route: &[EdgeId]) -> bool {
-        route.windows(2).all(|w| {
-            match (self.edge(w[0]), self.edge(w[1])) {
+        route
+            .windows(2)
+            .all(|w| match (self.edge(w[0]), self.edge(w[1])) {
                 (Ok(a), Ok(b)) => a.to == b.from,
                 _ => false,
-            }
-        }) && route.iter().all(|&e| self.edge(e).is_ok())
+            })
+            && route.iter().all(|&e| self.edge(e).is_ok())
     }
 }
 
@@ -216,7 +227,8 @@ mod tests {
         let edges = nodes
             .windows(2)
             .map(|w| {
-                net.add_edge(w[0], w[1], Meters::new(100.0), MetersPerSecond::new(10.0)).unwrap()
+                net.add_edge(w[0], w[1], Meters::new(100.0), MetersPerSecond::new(10.0))
+                    .unwrap()
             })
             .collect();
         (net, edges)
@@ -245,8 +257,12 @@ mod tests {
         let mut net = RoadNetwork::new();
         let a = net.add_node();
         let b = net.add_node();
-        assert!(net.add_edge(a, b, Meters::new(0.0), MetersPerSecond::new(1.0)).is_err());
-        assert!(net.add_edge(a, b, Meters::new(1.0), MetersPerSecond::new(-1.0)).is_err());
+        assert!(net
+            .add_edge(a, b, Meters::new(0.0), MetersPerSecond::new(1.0))
+            .is_err());
+        assert!(net
+            .add_edge(a, b, Meters::new(1.0), MetersPerSecond::new(-1.0))
+            .is_err());
         assert!(net
             .add_edge(a, b, Meters::new(f64::INFINITY), MetersPerSecond::new(1.0))
             .is_err());
@@ -255,7 +271,10 @@ mod tests {
     #[test]
     fn unknown_edge_lookup() {
         let (net, _) = net3();
-        assert_eq!(net.edge(EdgeId(99)).unwrap_err(), NetworkError::UnknownEdge(EdgeId(99)));
+        assert_eq!(
+            net.edge(EdgeId(99)).unwrap_err(),
+            NetworkError::UnknownEdge(EdgeId(99))
+        );
     }
 
     #[test]
@@ -270,6 +289,9 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert_eq!(NetworkError::UnknownEdge(EdgeId(2)).to_string(), "unknown edge edge#2");
+        assert_eq!(
+            NetworkError::UnknownEdge(EdgeId(2)).to_string(),
+            "unknown edge edge#2"
+        );
     }
 }

@@ -25,11 +25,17 @@ impl OdMatrix {
     /// Panics if rows are empty or ragged, or any cell is negative/NaN.
     #[must_use]
     pub fn new(trips: Vec<Vec<f64>>) -> Self {
-        assert!(!trips.is_empty() && !trips[0].is_empty(), "matrix must be non-empty");
+        assert!(
+            !trips.is_empty() && !trips[0].is_empty(),
+            "matrix must be non-empty"
+        );
         let cols = trips[0].len();
         for row in &trips {
             assert_eq!(row.len(), cols, "ragged OD matrix");
-            assert!(row.iter().all(|t| t.is_finite() && *t >= 0.0), "invalid trip cell");
+            assert!(
+                row.iter().all(|t| t.is_finite() && *t >= 0.0),
+                "invalid trip cell"
+            );
         }
         Self { trips }
     }
@@ -88,7 +94,10 @@ impl OdMatrix {
         assert!(!diurnal_shape.is_empty(), "need a diurnal shape");
         let base = self.trips(i, j);
         HourlyCounts::new(
-            diurnal_shape.iter().map(|f| (base * f).round().max(0.0) as u32).collect(),
+            diurnal_shape
+                .iter()
+                .map(|f| (base * f).round().max(0.0) as u32)
+                .collect(),
         )
     }
 }
@@ -117,7 +126,10 @@ pub fn gravity_model(
     let m = attractions.len();
     assert!(n > 0 && m > 0, "need at least one origin and destination");
     assert_eq!(impedance.len(), n, "impedance rows mismatch");
-    assert!(impedance.iter().all(|r| r.len() == m), "impedance cols mismatch");
+    assert!(
+        impedance.iter().all(|r| r.len() == m),
+        "impedance cols mismatch"
+    );
     let p_total: f64 = productions.iter().sum();
     let a_total: f64 = attractions.iter().sum();
     assert!(p_total > 0.0 && a_total > 0.0, "totals must be positive");
@@ -172,7 +184,10 @@ pub fn gravity_model(
 #[must_use]
 pub fn exponential_impedance(costs: &[Vec<f64>], scale: f64) -> Vec<Vec<f64>> {
     assert!(scale > 0.0, "impedance scale must be positive");
-    costs.iter().map(|row| row.iter().map(|c| (-c / scale).exp()).collect()).collect()
+    costs
+        .iter()
+        .map(|row| row.iter().map(|c| (-c / scale).exp()).collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -85,7 +85,10 @@ pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<
     let mut incoming: Vec<Option<usize>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[from.0] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: from.0 });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: from.0,
+    });
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if cost > dist[node] {
             continue;
@@ -98,7 +101,10 @@ pub fn shortest_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<Vec<
             if candidate < dist[next] {
                 dist[next] = candidate;
                 incoming[next] = Some(edge_idx);
-                heap.push(HeapEntry { cost: candidate, node: next });
+                heap.push(HeapEntry {
+                    cost: candidate,
+                    node: next,
+                });
             }
         }
     }
@@ -129,10 +135,18 @@ mod tests {
         let b = net.add_node();
         let c = net.add_node();
         let d = net.add_node();
-        let ab = net.add_edge(a, b, Meters::new(1000.0), MetersPerSecond::new(25.0)).unwrap();
-        let bd = net.add_edge(b, d, Meters::new(1000.0), MetersPerSecond::new(25.0)).unwrap();
-        let ac = net.add_edge(a, c, Meters::new(700.0), MetersPerSecond::new(8.0)).unwrap();
-        let cd = net.add_edge(c, d, Meters::new(700.0), MetersPerSecond::new(8.0)).unwrap();
+        let ab = net
+            .add_edge(a, b, Meters::new(1000.0), MetersPerSecond::new(25.0))
+            .unwrap();
+        let bd = net
+            .add_edge(b, d, Meters::new(1000.0), MetersPerSecond::new(25.0))
+            .unwrap();
+        let ac = net
+            .add_edge(a, c, Meters::new(700.0), MetersPerSecond::new(8.0))
+            .unwrap();
+        let cd = net
+            .add_edge(c, d, Meters::new(700.0), MetersPerSecond::new(8.0))
+            .unwrap();
         (net, [a, b, c, d], [ab, bd, ac, cd])
     }
 
@@ -186,8 +200,10 @@ mod tests {
         let b2 = net.add_node();
         let d = net.add_node();
         for mid in [b1, b2] {
-            net.add_edge(a, mid, Meters::new(500.0), MetersPerSecond::new(10.0)).unwrap();
-            net.add_edge(mid, d, Meters::new(500.0), MetersPerSecond::new(10.0)).unwrap();
+            net.add_edge(a, mid, Meters::new(500.0), MetersPerSecond::new(10.0))
+                .unwrap();
+            net.add_edge(mid, d, Meters::new(500.0), MetersPerSecond::new(10.0))
+                .unwrap();
         }
         let first = shortest_path(&net, a, d).unwrap();
         for _ in 0..10 {

@@ -36,15 +36,26 @@ impl SignalPlan {
     /// Panics if either duration is negative or the cycle is empty.
     #[must_use]
     pub fn new(green: Seconds, red: Seconds, offset: Seconds) -> Self {
-        assert!(green.value() >= 0.0 && red.value() >= 0.0, "negative signal phase");
+        assert!(
+            green.value() >= 0.0 && red.value() >= 0.0,
+            "negative signal phase"
+        );
         assert!(green.value() + red.value() > 0.0, "empty signal cycle");
-        Self { green: green.value(), red: red.value(), offset: offset.value() }
+        Self {
+            green: green.value(),
+            red: red.value(),
+            offset: offset.value(),
+        }
     }
 
     /// A plan that is always green (an unsignalized node).
     #[must_use]
     pub fn always_green() -> Self {
-        Self { green: 1.0, red: 0.0, offset: 0.0 }
+        Self {
+            green: 1.0,
+            red: 0.0,
+            offset: 0.0,
+        }
     }
 
     /// Cycle length.

@@ -30,7 +30,10 @@ impl PhaseDemand {
     /// Panics if the saturation flow is not strictly positive.
     #[must_use]
     pub fn flow_ratio(&self) -> f64 {
-        assert!(self.saturation_flow > 0.0, "saturation flow must be positive");
+        assert!(
+            self.saturation_flow > 0.0,
+            "saturation flow must be positive"
+        );
         (self.flow / self.saturation_flow).max(0.0)
     }
 }
@@ -110,11 +113,19 @@ pub fn webster_timing(
     let greens = y
         .iter()
         .map(|&yi| {
-            let share = if y_total > 0.0 { yi / y_total } else { 1.0 / phases.len() as f64 };
+            let share = if y_total > 0.0 {
+                yi / y_total
+            } else {
+                1.0 / phases.len() as f64
+            };
             Seconds::new(green_total * share)
         })
         .collect();
-    Ok(WebsterTiming { cycle: Seconds::new(cycle), greens, lost_time: Seconds::new(lost) })
+    Ok(WebsterTiming {
+        cycle: Seconds::new(cycle),
+        greens,
+        lost_time: Seconds::new(lost),
+    })
 }
 
 /// Webster's uniform-delay term for one phase (seconds per vehicle):
@@ -139,7 +150,10 @@ mod tests {
     use super::*;
 
     fn phase(flow: f64) -> PhaseDemand {
-        PhaseDemand { flow, saturation_flow: 1800.0 }
+        PhaseDemand {
+            flow,
+            saturation_flow: 1800.0,
+        }
     }
 
     #[test]
@@ -173,7 +187,10 @@ mod tests {
             webster_timing(&[phase(1000.0), phase(900.0)], Seconds::new(4.0)),
             Err(TimingError::Oversaturated)
         );
-        assert_eq!(webster_timing(&[], Seconds::new(4.0)), Err(TimingError::NoPhases));
+        assert_eq!(
+            webster_timing(&[], Seconds::new(4.0)),
+            Err(TimingError::NoPhases)
+        );
     }
 
     #[test]

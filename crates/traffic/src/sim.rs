@@ -140,8 +140,18 @@ impl Simulation {
     }
 
     /// Attaches a Poisson demand stream spawning vehicles on `route`.
-    pub fn add_demand(&mut self, arrivals: PoissonArrivals, route: Vec<EdgeId>, params: VehicleParams) {
-        self.demands.push(DemandStream { arrivals, route, params, pending: None });
+    pub fn add_demand(
+        &mut self,
+        arrivals: PoissonArrivals,
+        route: Vec<EdgeId>,
+        params: VehicleParams,
+    ) {
+        self.demands.push(DemandStream {
+            arrivals,
+            route,
+            params,
+            pending: None,
+        });
     }
 
     /// Immediately queues one vehicle for insertion.
@@ -238,11 +248,17 @@ impl Simulation {
         let mut next_speeds: Vec<(VehicleId, MetersPerSecond)> = Vec::with_capacity(ids.len());
         for &id in &ids {
             let veh = &self.vehicles[&id];
-            let edge = self.network.edge(veh.current_edge()).expect("route edges exist");
-            let desired = MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
+            let edge = self
+                .network
+                .edge(veh.current_edge())
+                .expect("route edges exist");
+            let desired =
+                MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
             let ahead = self.obstacle_ahead(veh);
             let noise: f64 = self.rng.gen_range(0.0..1.0);
-            let v = self.model.next_speed(&veh.params, veh.speed, desired, ahead, dt, noise);
+            let v = self
+                .model
+                .next_speed(&veh.params, veh.speed, desired, ahead, dt, noise);
             next_speeds.push((id, v));
         }
 
@@ -254,7 +270,10 @@ impl Simulation {
         for (id, v) in next_speeds {
             let red_stop = |edge_id: EdgeId| -> bool {
                 let edge = network.edge(edge_id).expect("route edges exist");
-                signals.get(&edge.to.0).map(|p| !p.is_green(time)).unwrap_or(false)
+                signals
+                    .get(&edge.to.0)
+                    .map(|p| !p.is_green(time))
+                    .unwrap_or(false)
             };
             let veh = self.vehicles.get_mut(&id).expect("vehicle present");
             veh.speed = v;
@@ -282,8 +301,10 @@ impl Simulation {
                 veh.route_index += 1;
                 veh.position = Meters::ZERO;
                 // A narrower downstream edge merges outer lanes inward.
-                let next_lanes =
-                    network.edge(veh.current_edge()).expect("route edges exist").lanes;
+                let next_lanes = network
+                    .edge(veh.current_edge())
+                    .expect("route edges exist")
+                    .lanes;
                 veh.lane = veh.lane.min(next_lanes - 1);
             }
         }
@@ -323,7 +344,11 @@ impl Simulation {
     fn try_insertions(&mut self) {
         while let Some((route, params)) = self.insert_queue.front() {
             let entry_edge = route[0];
-            let lanes = self.network.edge(entry_edge).expect("route edges exist").lanes;
+            let lanes = self
+                .network
+                .edge(entry_edge)
+                .expect("route edges exist")
+                .lanes;
             // Per lane: the nearest vehicle's rear bounds the free space
             // (f64::INFINITY for an empty lane).
             let (lane, clearance, nearest_rear) = (0..lanes)
@@ -421,7 +446,10 @@ impl Simulation {
                     traveled + leader_rear
                 };
                 if gap <= lookahead {
-                    return Some(Ahead { gap: Meters::new(gap.max(0.0)), leader_speed: l.speed });
+                    return Some(Ahead {
+                        gap: Meters::new(gap.max(0.0)),
+                        leader_speed: l.speed,
+                    });
                 }
                 return None;
             }
@@ -431,7 +459,13 @@ impl Simulation {
                 .get(&edge.to.0)
                 .map(|p| !p.is_green(self.time))
                 .unwrap_or(false);
-            let dist_to_end = traveled + (edge.length.value() - if idx == veh.route_index { veh.position.value() } else { 0.0 });
+            let dist_to_end = traveled
+                + (edge.length.value()
+                    - if idx == veh.route_index {
+                        veh.position.value()
+                    } else {
+                        0.0
+                    });
             if red {
                 if dist_to_end <= lookahead {
                     return Some(Ahead {
@@ -460,7 +494,10 @@ impl Simulation {
         let ids: Vec<VehicleId> = self.vehicles.keys().copied().collect();
         for id in ids {
             let veh = self.vehicles[&id].clone();
-            let edge = self.network.edge(veh.current_edge()).expect("route edges exist");
+            let edge = self
+                .network
+                .edge(veh.current_edge())
+                .expect("route edges exist");
             if edge.lanes < 2 {
                 continue;
             }
@@ -473,7 +510,9 @@ impl Simulation {
                 MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
             let prospect = |lane: u32| {
                 let ahead = self.obstacle_ahead_in_lane(&veh, lane);
-                self.model.next_speed(&veh.params, veh.speed, desired, ahead, dt, 0.0).value()
+                self.model
+                    .next_speed(&veh.params, veh.speed, desired, ahead, dt, 0.0)
+                    .value()
             };
             let current = prospect(veh.lane);
             let mut candidates: Vec<u32> = Vec::with_capacity(2);
@@ -529,13 +568,18 @@ impl Simulation {
     fn resolve_overlaps(&mut self) {
         let mut by_edge: BTreeMap<(usize, u32), Vec<VehicleId>> = BTreeMap::new();
         for v in self.vehicles.values() {
-            by_edge.entry((v.current_edge().0, v.lane)).or_default().push(v.id);
+            by_edge
+                .entry((v.current_edge().0, v.lane))
+                .or_default()
+                .push(v.id);
         }
         for ids in by_edge.values_mut() {
             ids.sort_by(|a, b| {
                 let pa = self.vehicles[a].position.value();
                 let pb = self.vehicles[b].position.value();
-                pb.partial_cmp(&pa).expect("positions are finite").then(a.cmp(b))
+                pb.partial_cmp(&pa)
+                    .expect("positions are finite")
+                    .then(a.cmp(b))
             });
             // Front-to-back: each follower is clamped against the (already
             // final) leader position.
@@ -545,8 +589,10 @@ impl Simulation {
                 let leader_speed = leader.speed;
                 let follower = self.vehicles.get_mut(&ids[i]).expect("id valid");
                 if follower.position.value() > limit {
-                    follower.position = Meters::new(limit.max(follower.params.length.value() * 0.0));
-                    follower.speed = MetersPerSecond::new(follower.speed.value().min(leader_speed.value()));
+                    follower.position =
+                        Meters::new(limit.max(follower.params.length.value() * 0.0));
+                    follower.speed =
+                        MetersPerSecond::new(follower.speed.value().min(leader_speed.value()));
                 }
             }
         }
@@ -562,7 +608,14 @@ impl Simulation {
                 let key = (veh.id, di);
                 let first = !self.detector_touched.contains(&key);
                 let before = det.total_occupancy();
-                det.observe(veh.current_edge(), veh.position, veh.params.length, self.time, dt, first);
+                det.observe(
+                    veh.current_edge(),
+                    veh.position,
+                    veh.params.length,
+                    self.time,
+                    dt,
+                    first,
+                );
                 if first && det.total_occupancy() > before {
                     self.detector_touched.insert(key);
                 }
@@ -583,7 +636,8 @@ mod tests {
         let edges = nodes
             .windows(2)
             .map(|w| {
-                net.add_edge(w[0], w[1], Meters::new(200.0), MetersPerSecond::new(15.0)).unwrap()
+                net.add_edge(w[0], w[1], Meters::new(200.0), MetersPerSecond::new(15.0))
+                    .unwrap()
             })
             .collect();
         (net, edges, nodes)
@@ -591,7 +645,11 @@ mod tests {
 
     fn sim_with(seed: u64) -> (Simulation, Vec<EdgeId>, Vec<NodeId>) {
         let (net, edges, nodes) = corridor();
-        (Simulation::new(net, SimulationConfig::default(), seed), edges, nodes)
+        (
+            Simulation::new(net, SimulationConfig::default(), seed),
+            edges,
+            nodes,
+        )
     }
 
     #[test]
@@ -620,20 +678,31 @@ mod tests {
     fn red_light_stops_vehicle() {
         let (mut sim, edges, nodes) = sim_with(1);
         // Permanently red at the end of edge 0 (node 1).
-        sim.add_signal(nodes[1], SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO));
+        sim.add_signal(
+            nodes[1],
+            SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO),
+        );
         sim.queue_vehicle(edges, VehicleParams::deterministic());
         sim.run_for(Seconds::new(120.0));
         assert_eq!(sim.exited(), 0);
         let v = sim.vehicles().next().expect("vehicle waits");
         assert_eq!(v.current_edge(), EdgeId(0));
         assert!(v.position.value() <= 200.0);
-        assert!(v.speed.value() < 0.5, "speed {} at pos {}", v.speed.value(), v.position.value());
+        assert!(
+            v.speed.value() < 0.5,
+            "speed {} at pos {}",
+            v.speed.value(),
+            v.position.value()
+        );
     }
 
     #[test]
     fn green_wave_lets_vehicle_through() {
         let (mut sim, edges, nodes) = sim_with(1);
-        sim.add_signal(nodes[1], SignalPlan::new(Seconds::new(1e9), Seconds::ZERO, Seconds::ZERO));
+        sim.add_signal(
+            nodes[1],
+            SignalPlan::new(Seconds::new(1e9), Seconds::ZERO, Seconds::ZERO),
+        );
         sim.queue_vehicle(edges, VehicleParams::deterministic());
         sim.run_for(Seconds::new(120.0));
         assert_eq!(sim.exited(), 1);
@@ -665,9 +734,16 @@ mod tests {
     #[test]
     fn no_collisions_under_congestion() {
         let (mut sim, edges, nodes) = sim_with(3);
-        sim.add_signal(nodes[2], SignalPlan::new(Seconds::new(20.0), Seconds::new(40.0), Seconds::ZERO));
+        sim.add_signal(
+            nodes[2],
+            SignalPlan::new(Seconds::new(20.0), Seconds::new(40.0), Seconds::ZERO),
+        );
         let counts = HourlyCounts::new(vec![1400]);
-        sim.add_demand(PoissonArrivals::new(counts, 7), edges, VehicleParams::passenger_car());
+        sim.add_demand(
+            PoissonArrivals::new(counts, 7),
+            edges,
+            VehicleParams::passenger_car(),
+        );
         for _ in 0..900 {
             sim.step();
             // Invariant 1: strictly ordered, non-overlapping per lane.
@@ -691,14 +767,22 @@ mod tests {
                 }
             }
         }
-        assert!(sim.spawned() > 50, "demand actually spawned ({})", sim.spawned());
+        assert!(
+            sim.spawned() > 50,
+            "demand actually spawned ({})",
+            sim.spawned()
+        );
     }
 
     #[test]
     fn conservation_spawned_equals_active_plus_exited() {
         let (mut sim, edges, _) = sim_with(4);
         let counts = HourlyCounts::new(vec![800]);
-        sim.add_demand(PoissonArrivals::new(counts, 9), edges, VehicleParams::passenger_car());
+        sim.add_demand(
+            PoissonArrivals::new(counts, 9),
+            edges,
+            VehicleParams::passenger_car(),
+        );
         sim.run_for(Seconds::new(600.0));
         assert_eq!(sim.spawned(), sim.active_count() as u64 + sim.exited());
     }
@@ -707,9 +791,16 @@ mod tests {
     fn determinism_under_seed() {
         let run = |seed| {
             let (mut sim, edges, nodes) = sim_with(seed);
-            sim.add_signal(nodes[1], SignalPlan::new(Seconds::new(30.0), Seconds::new(30.0), Seconds::ZERO));
+            sim.add_signal(
+                nodes[1],
+                SignalPlan::new(Seconds::new(30.0), Seconds::new(30.0), Seconds::ZERO),
+            );
             let counts = HourlyCounts::new(vec![700]);
-            sim.add_demand(PoissonArrivals::new(counts, 1), edges, VehicleParams::passenger_car());
+            sim.add_demand(
+                PoissonArrivals::new(counts, 1),
+                edges,
+                VehicleParams::passenger_car(),
+            );
             sim.run_for(Seconds::new(400.0));
             let positions: Vec<(u64, usize, f64)> = sim
                 .vehicles()
@@ -725,11 +816,28 @@ mod tests {
         let (mut sim, edges, nodes) = sim_with(6);
         // Signal at node 1; detector A just before the light, detector B on
         // the middle edge.
-        sim.add_signal(nodes[1], SignalPlan::new(Seconds::new(25.0), Seconds::new(55.0), Seconds::ZERO));
-        sim.add_detector(SpanDetector::new("at light", edges[0], Meters::new(100.0), Meters::new(200.0)));
-        sim.add_detector(SpanDetector::new("mid-block", edges[1], Meters::new(50.0), Meters::new(150.0)));
+        sim.add_signal(
+            nodes[1],
+            SignalPlan::new(Seconds::new(25.0), Seconds::new(55.0), Seconds::ZERO),
+        );
+        sim.add_detector(SpanDetector::new(
+            "at light",
+            edges[0],
+            Meters::new(100.0),
+            Meters::new(200.0),
+        ));
+        sim.add_detector(SpanDetector::new(
+            "mid-block",
+            edges[1],
+            Meters::new(50.0),
+            Meters::new(150.0),
+        ));
         let counts = HourlyCounts::new(vec![900]);
-        sim.add_demand(PoissonArrivals::new(counts, 2), edges, VehicleParams::passenger_car());
+        sim.add_demand(
+            PoissonArrivals::new(counts, 2),
+            edges,
+            VehicleParams::passenger_car(),
+        );
         sim.run_for(Seconds::new(1800.0));
         let at_light = sim.detectors()[0].total_occupancy().value();
         let mid = sim.detectors()[1].total_occupancy().value();
@@ -771,13 +879,20 @@ mod tests {
     fn lane_changes_only_into_safe_gaps() {
         let (mut sim, e) = two_lane_sim();
         let counts = HourlyCounts::new(vec![2200]);
-        sim.add_demand(PoissonArrivals::new(counts, 3), vec![e], VehicleParams::passenger_car());
+        sim.add_demand(
+            PoissonArrivals::new(counts, 3),
+            vec![e],
+            VehicleParams::passenger_car(),
+        );
         for _ in 0..600 {
             sim.step();
             let mut per_lane: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
             for v in sim.vehicles() {
                 assert!(v.lane < 2, "lane index out of range");
-                per_lane.entry(v.lane).or_default().push((v.position.value(), v.params.length.value()));
+                per_lane
+                    .entry(v.lane)
+                    .or_default()
+                    .push((v.position.value(), v.params.length.value()));
             }
             for list in per_lane.values_mut() {
                 list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
@@ -803,7 +918,11 @@ mod tests {
                 .unwrap();
             let mut sim = Simulation::new(net, SimulationConfig::default(), 5);
             let counts = HourlyCounts::new(vec![4000]);
-            sim.add_demand(PoissonArrivals::new(counts, 5), vec![e], VehicleParams::passenger_car());
+            sim.add_demand(
+                PoissonArrivals::new(counts, 5),
+                vec![e],
+                VehicleParams::passenger_car(),
+            );
             sim.run_for(Seconds::new(900.0));
             sim.exited()
         };
@@ -826,7 +945,9 @@ mod tests {
         let wide = net
             .add_edge_with_lanes(a, b, Meters::new(300.0), MetersPerSecond::new(14.0), 2)
             .unwrap();
-        let narrow = net.add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(14.0)).unwrap();
+        let narrow = net
+            .add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(14.0))
+            .unwrap();
         let mut sim = Simulation::new(net, SimulationConfig::default(), 6);
         let counts = HourlyCounts::new(vec![1000]);
         sim.add_demand(
@@ -888,7 +1009,10 @@ mod tests {
     fn insertion_blocks_when_entrance_jammed() {
         let (mut sim, edges, nodes) = sim_with(7);
         // Permanently red: edge 0 fills up, then insertions must queue.
-        sim.add_signal(nodes[1], SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO));
+        sim.add_signal(
+            nodes[1],
+            SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO),
+        );
         for _ in 0..60 {
             sim.queue_vehicle(edges.clone(), VehicleParams::deterministic());
         }

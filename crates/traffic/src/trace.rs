@@ -158,10 +158,10 @@ mod tests {
     use super::*;
     use crate::corridor::CorridorBuilder;
     use crate::counts::HourlyCounts;
-    use crate::signal::SignalPlan;
-    use crate::vehicle::VehicleParams;
     use crate::network::RoadNetwork;
+    use crate::signal::SignalPlan;
     use crate::sim::SimulationConfig;
+    use crate::vehicle::VehicleParams;
 
     fn threshold() -> MetersPerSecond {
         MetersPerSecond::new(0.5)
@@ -204,7 +204,10 @@ mod tests {
             .add_edge(b, c, Meters::new(200.0), MetersPerSecond::new(15.0))
             .unwrap();
         let mut sim = crate::sim::Simulation::new(net, SimulationConfig::default(), 1);
-        sim.add_signal(b, SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO));
+        sim.add_signal(
+            b,
+            SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO),
+        );
         sim.queue_vehicle(vec![e1, e2], VehicleParams::deterministic());
         let mut rec = TrajectoryRecorder::new(threshold());
         for _ in 0..120 {
@@ -213,7 +216,10 @@ mod tests {
         }
         let id = sim.vehicles().next().unwrap().id;
         let stopped = rec.stopped_time(id).unwrap().value();
-        assert!(stopped > 60.0, "stopped only {stopped}s against a permanent red");
+        assert!(
+            stopped > 60.0,
+            "stopped only {stopped}s against a permanent red"
+        );
     }
 
     #[test]
@@ -237,13 +243,21 @@ mod tests {
             );
             max_queue = max_queue.max(q);
         }
-        assert!(max_queue >= 3, "red phases should build a queue, saw {max_queue}");
+        assert!(
+            max_queue >= 3,
+            "red phases should build a queue, saw {max_queue}"
+        );
         // Long green: the queue eventually clears.
         let mut cleared = false;
         for _ in 0..600 {
             sim.step();
-            if queue_length(&sim, EdgeId(0), Meters::new(250.0), Meters::new(100.0), threshold())
-                == 0
+            if queue_length(
+                &sim,
+                EdgeId(0),
+                Meters::new(250.0),
+                Meters::new(100.0),
+                threshold(),
+            ) == 0
             {
                 cleared = true;
                 break;

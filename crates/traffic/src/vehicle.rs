@@ -7,7 +7,9 @@ use oes_units::{Meters, MetersPerSecond};
 use crate::network::EdgeId;
 
 /// Identifies a vehicle within a simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct VehicleId(pub u64);
 
@@ -56,7 +58,10 @@ impl VehicleParams {
     /// A perfect-driver variant (σ = 0), useful for deterministic tests.
     #[must_use]
     pub fn deterministic() -> Self {
-        Self { sigma: 0.0, ..Self::passenger_car() }
+        Self {
+            sigma: 0.0,
+            ..Self::passenger_car()
+        }
     }
 
     /// A city bus: long, slow to accelerate, generous gaps (SUMO's bus
@@ -190,7 +195,11 @@ mod tests {
 
     #[test]
     fn new_vehicle_starts_at_rest() {
-        let v = Vehicle::new(VehicleId(1), VehicleParams::deterministic(), vec![EdgeId(0), EdgeId(1)]);
+        let v = Vehicle::new(
+            VehicleId(1),
+            VehicleParams::deterministic(),
+            vec![EdgeId(0), EdgeId(1)],
+        );
         assert_eq!(v.position, Meters::ZERO);
         assert_eq!(v.speed, MetersPerSecond::ZERO);
         assert_eq!(v.current_edge(), EdgeId(0));

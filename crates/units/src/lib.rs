@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn sum_of_iterator() {
-        let xs = [Kilowatts::new(1.0), Kilowatts::new(2.5), Kilowatts::new(0.5)];
+        let xs = [
+            Kilowatts::new(1.0),
+            Kilowatts::new(2.5),
+            Kilowatts::new(0.5),
+        ];
         let total: Kilowatts = xs.iter().sum();
         assert_eq!(total, Kilowatts::new(4.0));
         let total2: Kilowatts = xs.into_iter().sum();

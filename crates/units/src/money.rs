@@ -47,7 +47,10 @@ mod tests {
     fn price_times_energy_is_cost() {
         let cost = DollarsPerMegawattHour::new(20.0) * MegawattHours::new(2.5);
         assert_eq!(cost, Dollars::new(50.0));
-        assert_eq!(MegawattHours::new(2.5) * DollarsPerMegawattHour::new(20.0), cost);
+        assert_eq!(
+            MegawattHours::new(2.5) * DollarsPerMegawattHour::new(20.0),
+            cost
+        );
     }
 
     #[test]

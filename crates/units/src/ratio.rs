@@ -39,7 +39,9 @@ impl std::error::Error for RatioError {}
 /// assert!(StateOfCharge::new(1.2).is_err());
 /// # Ok::<(), oes_units::RatioError>(())
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct StateOfCharge(f64);
 
@@ -58,7 +60,10 @@ impl StateOfCharge {
         if (0.0..=1.0).contains(&fraction) {
             Ok(Self(fraction))
         } else {
-            Err(RatioError { kind: "state of charge", value: fraction })
+            Err(RatioError {
+                kind: "state of charge",
+                value: fraction,
+            })
         }
     }
 
@@ -114,7 +119,10 @@ impl Efficiency {
         if fraction > 0.0 && fraction <= 1.0 {
             Ok(Self(fraction))
         } else {
-            Err(RatioError { kind: "efficiency", value: fraction })
+            Err(RatioError {
+                kind: "efficiency",
+                value: fraction,
+            })
         }
     }
 

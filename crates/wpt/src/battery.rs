@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn charge_saturates_at_full() {
-        let mut b = Battery::new(BatterySpec::chevy_spark(), StateOfCharge::new(0.95).unwrap());
+        let mut b = Battery::new(
+            BatterySpec::chevy_spark(),
+            StateOfCharge::new(0.95).unwrap(),
+        );
         let absorbed = b.charge(KilowattHours::new(10.0));
         assert_eq!(b.soc(), StateOfCharge::FULL);
         assert!(absorbed.value() < 10.0);
@@ -154,7 +157,10 @@ mod tests {
 
     #[test]
     fn discharge_saturates_at_empty() {
-        let mut b = Battery::new(BatterySpec::chevy_spark(), StateOfCharge::new(0.05).unwrap());
+        let mut b = Battery::new(
+            BatterySpec::chevy_spark(),
+            StateOfCharge::new(0.05).unwrap(),
+        );
         let delivered = b.discharge(KilowattHours::new(10.0));
         assert_eq!(b.soc(), StateOfCharge::EMPTY);
         assert!(delivered.value() < 1.0);

@@ -110,7 +110,10 @@ impl CoSimulation {
         initial_soc: StateOfCharge,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&participation), "participation must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&participation),
+            "participation must be a probability"
+        );
         Self {
             sim,
             spans: Vec::new(),
@@ -175,8 +178,11 @@ impl CoSimulation {
         if self.fleet.is_empty() {
             return None;
         }
-        let sum: f64 =
-            self.fleet.values().map(|(olev, ..)| olev.battery().soc().fraction()).sum();
+        let sum: f64 = self
+            .fleet
+            .values()
+            .map(|(olev, ..)| olev.battery().soc().fraction())
+            .sum();
         Some(StateOfCharge::saturating(sum / self.fleet.len() as f64))
     }
 
@@ -211,7 +217,12 @@ impl CoSimulation {
                     );
                     self.fleet.insert(
                         *id,
-                        (olev, KilowattHours::ZERO, KilowattHours::ZERO, self.initial_soc),
+                        (
+                            olev,
+                            KilowattHours::ZERO,
+                            KilowattHours::ZERO,
+                            self.initial_soc,
+                        ),
                     );
                 }
             }
@@ -232,9 +243,7 @@ impl CoSimulation {
             // Wireless transfer while over an energized span.
             let spec_max = self.spec.soc_max;
             for span in &self.spans {
-                if span.covers(*edge, *position, *len)
-                    && olev.battery().soc() < spec_max
-                {
+                if span.covers(*edge, *position, *len) && olev.battery().soc() < spec_max {
                     let offered = span.section.power_rating()
                         * dt.to_hours()
                         * self.spec.transfer_efficiency.fraction();
@@ -255,8 +264,12 @@ impl CoSimulation {
 
         // Retire OLEVs whose vehicles exited.
         let active: Vec<VehicleId> = states.iter().map(|s| s.0).collect();
-        let gone: Vec<VehicleId> =
-            self.fleet.keys().filter(|id| !active.contains(id)).copied().collect();
+        let gone: Vec<VehicleId> = self
+            .fleet
+            .keys()
+            .filter(|id| !active.contains(id))
+            .copied()
+            .collect();
         for id in gone {
             let (olev, received, drained, soc_start) =
                 self.fleet.remove(&id).expect("key just listed");
@@ -284,7 +297,7 @@ mod tests {
     use super::*;
     use oes_traffic::corridor::CorridorBuilder;
     use oes_traffic::counts::HourlyCounts;
-    use oes_units::{SectionId, Seconds};
+    use oes_units::{Seconds, SectionId};
 
     fn cosim(participation: f64, with_span: bool, demand: u32) -> CoSimulation {
         let mut builder = CorridorBuilder::new();
@@ -374,7 +387,10 @@ mod tests {
         // received − drained must equal the battery delta for each trip.
         let mut co = cosim(1.0, true, 500);
         co.run_for(Seconds::new(1500.0));
-        let cap = OlevSpec::chevy_spark_default().battery.energy_capacity().value();
+        let cap = OlevSpec::chevy_spark_default()
+            .battery
+            .energy_capacity()
+            .value();
         for t in co.completed_trips() {
             let delta_soc = (t.soc_end.fraction() - t.soc_start.fraction()) * cap;
             let balance = t.received.value() - t.drained.value();
@@ -398,7 +414,10 @@ mod tests {
         let run = || {
             let mut co = cosim(0.5, true, 500);
             co.run_for(Seconds::new(900.0));
-            (co.total_received().value().to_bits(), co.completed_trips().len())
+            (
+                co.total_received().value().to_bits(),
+                co.completed_trips().len(),
+            )
         };
         assert_eq!(run(), run());
     }

@@ -83,7 +83,10 @@ mod tests {
         let c = CouplingModel::roadway_default();
         let eta = c.efficiency(m(0.20), m(0.0)).fraction();
         // k = 0.2, x = 400 ⇒ η ≈ 0.905.
-        assert!((0.88..=0.92).contains(&eta), "design-point efficiency {eta}");
+        assert!(
+            (0.88..=0.92).contains(&eta),
+            "design-point efficiency {eta}"
+        );
     }
 
     #[test]

@@ -157,7 +157,11 @@ impl IntersectionStudy {
                 .iter()
                 .map(|&d| self.section_power * Hours::new(d.to_hours().value()))
                 .collect();
-            HourlyEnergy { label: det.label.clone(), dwell, energy }
+            HourlyEnergy {
+                label: det.label.clone(),
+                dwell,
+                energy,
+            }
         };
         StudyReport {
             at_light: series(0, &sim),

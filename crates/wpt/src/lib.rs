@@ -37,6 +37,7 @@ pub mod olev;
 pub mod placement;
 pub mod section;
 pub mod v2i;
+pub mod wire;
 
 pub use battery::{Battery, BatterySpec};
 pub use cosim::{ChargingSpan, CoSimulation, TripRecord};
@@ -45,4 +46,5 @@ pub use intersection::{HourlyEnergy, IntersectionStudy, StudyReport};
 pub use olev::{Olev, OlevSpec};
 pub use placement::{greedy_placement, optimal_placement, PlacementCandidate, PlacementPlan};
 pub use section::ChargingSection;
-pub use v2i::{GridMessage, MessageBus, OlevMessage};
+pub use v2i::{GridMessage, MessageBus, OlevMessage, V2iFrame};
+pub use wire::{decode, encode, Token, WireError};

@@ -64,7 +64,12 @@ pub struct Olev {
 impl Olev {
     /// Creates an OLEV at the given current and trip-required SOC.
     #[must_use]
-    pub fn new(id: OlevId, spec: OlevSpec, soc: StateOfCharge, soc_required: StateOfCharge) -> Self {
+    pub fn new(
+        id: OlevId,
+        spec: OlevSpec,
+        soc: StateOfCharge,
+        soc_required: StateOfCharge,
+    ) -> Self {
         Self {
             id,
             spec,
@@ -131,7 +136,8 @@ impl Olev {
     /// `min(P_line, P_OLEV)` at the OLEV's current velocity.
     #[must_use]
     pub fn power_cap(&self, section: &ChargingSection, passes_per_hour: f64) -> Kilowatts {
-        self.receivable_power().min(section.sustained_capacity(self.velocity, passes_per_hour))
+        self.receivable_power()
+            .min(section.sustained_capacity(self.velocity, passes_per_hour))
     }
 
     /// Headroom to the SOC ceiling, as a fraction of capacity.

@@ -67,7 +67,10 @@ impl PlacementPlan {
     /// one per chosen candidate, using `template` for the electrical
     /// parameters (its length is overridden per span).
     #[must_use]
-    pub fn to_spans(&self, template: &crate::section::ChargingSection) -> Vec<crate::cosim::ChargingSpan> {
+    pub fn to_spans(
+        &self,
+        template: &crate::section::ChargingSection,
+    ) -> Vec<crate::cosim::ChargingSpan> {
         self.chosen
             .iter()
             .enumerate()
@@ -142,8 +145,11 @@ pub fn optimal_placement(candidates: &[PlacementCandidate], budget: Meters) -> P
         .filter(|&i| candidates[i].length().value() > 0.0)
         .collect();
     order.sort_by(|&a, &b| {
-        (candidates[a].edge, candidates[a].end.value() as i64, a)
-            .cmp(&(candidates[b].edge, candidates[b].end.value() as i64, b))
+        (candidates[a].edge, candidates[a].end.value() as i64, a).cmp(&(
+            candidates[b].edge,
+            candidates[b].end.value() as i64,
+            b,
+        ))
     });
     let n = order.len();
     // dp[i][b] = best dwell using the first i ordered candidates within b
@@ -266,7 +272,12 @@ mod tests {
     fn empty_and_degenerate_inputs() {
         assert_eq!(greedy_placement(&[], Meters::new(100.0)).chosen.len(), 0);
         let degenerate = vec![cand("zero-len", 0, 50.0, 50.0, 10.0)];
-        assert_eq!(greedy_placement(&degenerate, Meters::new(100.0)).chosen.len(), 0);
+        assert_eq!(
+            greedy_placement(&degenerate, Meters::new(100.0))
+                .chosen
+                .len(),
+            0
+        );
         assert_eq!(optimal_placement(&[], Meters::new(100.0)).chosen.len(), 0);
     }
 
@@ -327,8 +338,7 @@ mod tests {
             cand("mid", 1, 20.0, 100.0, 500.0),
         ];
         let plan = greedy_placement(&cands, Meters::new(200.0));
-        let template =
-            crate::section::ChargingSection::paper_default(oes_units::SectionId(0));
+        let template = crate::section::ChargingSection::paper_default(oes_units::SectionId(0));
         let spans = plan.to_spans(&template);
         assert_eq!(spans.len(), 2);
         // Spans inherit geometry from the candidates, electricals from the

@@ -1,6 +1,8 @@
 //! Road-embedded charging sections and the Eq. 1 line-capacity model.
 
-use oes_units::{Amperes, KilowattHours, Kilowatts, Meters, MetersPerSecond, SectionId, Seconds, Volts};
+use oes_units::{
+    Amperes, KilowattHours, Kilowatts, Meters, MetersPerSecond, Seconds, SectionId, Volts,
+};
 
 /// A road-embedded charging section connected to the smart grid.
 ///
@@ -42,14 +44,24 @@ impl ChargingSection {
             line_voltage.value() > 0.0 && max_current.value() > 0.0 && length.value() > 0.0,
             "section parameters must be positive"
         );
-        Self { id, line_voltage, max_current, length }
+        Self {
+            id,
+            line_voltage,
+            max_current,
+            length,
+        }
     }
 
     /// A 200 m section matching the paper's motivating study (≈ 100 kW
     /// instantaneous rating: 480 V × 208 A).
     #[must_use]
     pub fn paper_default(id: SectionId) -> Self {
-        Self::new(id, Volts::new(480.0), Amperes::new(208.33), Meters::new(200.0))
+        Self::new(
+            id,
+            Volts::new(480.0),
+            Amperes::new(208.33),
+            Meters::new(200.0),
+        )
     }
 
     /// Instantaneous line power `V · Curr`.
@@ -158,6 +170,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn invalid_section_panics() {
-        let _ = ChargingSection::new(SectionId(0), Volts::new(0.0), Amperes::new(1.0), Meters::new(1.0));
+        let _ = ChargingSection::new(
+            SectionId(0),
+            Volts::new(0.0),
+            Amperes::new(1.0),
+            Meters::new(1.0),
+        );
     }
 }

@@ -60,6 +60,42 @@ pub enum GridMessage {
         /// The allocation the grid currently holds for this OLEV.
         allocated: Kilowatts,
     },
+    /// The full payment-function data of Eq. 20: the aggregate per-section
+    /// loads of *other* OLEVs, `P_{-n,c}`, from which the addressee can
+    /// evaluate `Ψ_n(p)` for any request and compute its Lemma IV.3 best
+    /// response. This is the offer the decentralized runtime sends each
+    /// update round.
+    PaymentFunction {
+        /// Addressee.
+        id: OlevId,
+        /// Aggregate loads of the other OLEVs per section, `P_{-n,c}`.
+        loads_excl: Vec<Kilowatts>,
+    },
+}
+
+/// A transport envelope pairing a payload with a sequence number.
+///
+/// The hardened decentralized runtime retransmits lost offers and discards
+/// stale or duplicated replies; both need frames to be identifiable, so
+/// every message crossing a lossy link rides in a `V2iFrame`. The sender
+/// assigns every *transmission* a fresh `seq` (a retry is a new frame), while
+/// network-duplicated copies of one transmission share theirs — so a receiver
+/// that tracks accepted and superseded sequence numbers can discard both
+/// duplicates and stale replies, making delivery idempotent.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct V2iFrame<M> {
+    /// Per-transmission sequence number (duplicated copies share it).
+    pub seq: u64,
+    /// The wrapped message.
+    pub payload: M,
+}
+
+impl<M> V2iFrame<M> {
+    /// Wraps `payload` under sequence number `seq`.
+    #[must_use]
+    pub fn new(seq: u64, payload: M) -> Self {
+        Self { seq, payload }
+    }
 }
 
 /// A deterministic FIFO message bus with a fixed propagation latency.
@@ -76,7 +112,11 @@ impl<M> MessageBus<M> {
     /// Creates a bus with the given propagation latency.
     #[must_use]
     pub fn new(latency: Seconds) -> Self {
-        Self { latency, now: Seconds::ZERO, queue: VecDeque::new() }
+        Self {
+            latency,
+            now: Seconds::ZERO,
+            queue: VecDeque::new(),
+        }
     }
 
     /// Advances the bus clock.
@@ -149,8 +189,14 @@ mod tests {
     #[test]
     fn in_flight_counts() {
         let mut bus: MessageBus<GridMessage> = MessageBus::new(Seconds::new(1.0));
-        bus.send(GridMessage::LaneInfo { sections: 3, capacity: Kilowatts::new(50.0) });
-        bus.send(GridMessage::LaneInfo { sections: 4, capacity: Kilowatts::new(60.0) });
+        bus.send(GridMessage::LaneInfo {
+            sections: 3,
+            capacity: Kilowatts::new(50.0),
+        });
+        bus.send(GridMessage::LaneInfo {
+            sections: 4,
+            capacity: Kilowatts::new(60.0),
+        });
         assert_eq!(bus.in_flight(), 2);
         bus.advance(Seconds::new(2.0));
         let _ = bus.receive();
@@ -175,11 +221,20 @@ mod tests {
         let Some(OlevMessage::Hello { id, .. }) = up.receive() else {
             panic!("grid missed the hello");
         };
-        down.send(GridMessage::LaneInfo { sections: 10, capacity: Kilowatts::new(25.0) });
-        up.send(OlevMessage::PowerRequest { id, total: Kilowatts::new(18.0) });
+        down.send(GridMessage::LaneInfo {
+            sections: 10,
+            capacity: Kilowatts::new(25.0),
+        });
+        up.send(OlevMessage::PowerRequest {
+            id,
+            total: Kilowatts::new(18.0),
+        });
         up.advance(Seconds::new(0.05));
         down.advance(Seconds::new(0.05));
-        assert!(matches!(down.receive(), Some(GridMessage::LaneInfo { sections: 10, .. })));
+        assert!(matches!(
+            down.receive(),
+            Some(GridMessage::LaneInfo { sections: 10, .. })
+        ));
         let Some(OlevMessage::PowerRequest { total, .. }) = up.receive() else {
             panic!("grid missed the request");
         };
@@ -206,7 +261,10 @@ mod tests {
             soc: StateOfCharge::saturating(0.5),
             soc_required: StateOfCharge::saturating(0.7),
         };
-        let req = OlevMessage::PowerRequest { id: OlevId(2), total: Kilowatts::new(12.0) };
+        let req = OlevMessage::PowerRequest {
+            id: OlevId(2),
+            total: Kilowatts::new(12.0),
+        };
         let pay = GridMessage::PaymentUpdate {
             id: OlevId(2),
             marginal_price: 1.5,

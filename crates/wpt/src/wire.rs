@@ -1,0 +1,676 @@
+//! A minimal self-describing wire codec for the V2I vocabulary.
+//!
+//! The workspace deliberately carries no serialization *format* crate — the
+//! V2I types only promise to be `serde`-compatible. That promise is
+//! untestable without a format, so this module provides the smallest one
+//! that can round-trip the vocabulary: a flat [`Token`] stream (the same
+//! idea as `serde_test`). [`encode`] drives `Serialize` into tokens;
+//! [`decode`] drives `Deserialize` back out. Equality of
+//! `decode(encode(m))` with `m` is exactly the serde-compatibility claim.
+//!
+//! Supported shapes are the ones the derive emits for this crate's types:
+//! scalars, strings, sequences of known length, structs (encoded as value
+//! sequences), and enums of unit/newtype/tuple/struct variants (encoded by
+//! variant index). Maps and borrowed data are unsupported and error out.
+
+use core::fmt;
+
+use serde::de::{self, DeserializeOwned, SeqAccess, Visitor};
+use serde::ser::{self, Serialize};
+
+/// One element of the flat wire stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A boolean value.
+    Bool(bool),
+    /// Any unsigned integer (widened to 64 bits).
+    U64(u64),
+    /// Any signed integer (widened to 64 bits).
+    I64(i64),
+    /// Any floating-point value (widened to 64 bits).
+    F64(f64),
+    /// A string or char.
+    Str(String),
+    /// Opens a sequence, tuple, or struct of exactly this many values.
+    Seq(usize),
+    /// Selects an enum variant by index; the variant's data follows.
+    Variant(u32),
+    /// The unit value / a unit struct.
+    Unit,
+}
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError(String);
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+/// Serializes `value` into a token stream.
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the value uses an unsupported shape (maps,
+/// unsized sequences, raw bytes).
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Result<Vec<Token>, WireError> {
+    let mut encoder = Encoder { out: Vec::new() };
+    value.serialize(&mut encoder)?;
+    Ok(encoder.out)
+}
+
+/// Deserializes a value from a token stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on token/type mismatch, truncated input, or
+/// trailing tokens.
+pub fn decode<T: DeserializeOwned>(tokens: &[Token]) -> Result<T, WireError> {
+    let mut decoder = Decoder { tokens, pos: 0 };
+    let value = T::deserialize(&mut decoder)?;
+    if decoder.pos != tokens.len() {
+        return Err(WireError::new(format!(
+            "{} trailing tokens after value",
+            tokens.len() - decoder.pos
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------- encoder
+
+struct Encoder {
+    out: Vec<Token>,
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = ser::Impossible<(), WireError>;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.out.push(Token::Bool(v));
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.serialize_i64(i64::from(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.out.push(Token::I64(v));
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.serialize_u64(u64::from(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.out.push(Token::U64(v));
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.out.push(Token::F64(v));
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.out.push(Token::Str(v.to_string()));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.out.push(Token::Str(v.to_owned()));
+        Ok(())
+    }
+
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), WireError> {
+        Err(WireError::new(
+            "raw bytes are not part of the V2I wire format",
+        ))
+    }
+
+    fn serialize_none(self) -> Result<(), WireError> {
+        Err(WireError::new(
+            "optional fields are not part of the V2I wire format",
+        ))
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), WireError> {
+        self.out.push(Token::Unit);
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.out.push(Token::Variant(variant_index));
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.out.push(Token::Variant(variant_index));
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError::new("sequences must have a known length"))?;
+        self.out.push(Token::Seq(len));
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Self, WireError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, len: usize) -> Result<Self, WireError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        len: usize,
+    ) -> Result<Self, WireError> {
+        self.out.push(Token::Variant(variant_index));
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, WireError> {
+        Err(WireError::new("maps are not part of the V2I wire format"))
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<Self, WireError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        len: usize,
+    ) -> Result<Self, WireError> {
+        self.out.push(Token::Variant(variant_index));
+        self.serialize_seq(Some(len))
+    }
+}
+
+impl ser::SerializeSeq for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- decoder
+
+struct Decoder<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+}
+
+impl<'t> Decoder<'t> {
+    fn next(&mut self) -> Result<&'t Token, WireError> {
+        let token = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| WireError::new("unexpected end of token stream"))?;
+        self.pos += 1;
+        Ok(token)
+    }
+
+    fn expect_seq(&mut self) -> Result<usize, WireError> {
+        match self.next()? {
+            Token::Seq(len) => Ok(*len),
+            other => Err(WireError::new(format!(
+                "expected a sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+struct SeqCursor<'d, 't> {
+    de: &'d mut Decoder<'t>,
+    remaining: usize,
+}
+
+impl<'de, 'd, 't> SeqAccess<'de> for SeqCursor<'d, 't> {
+    type Error = WireError;
+
+    fn next_element_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<Option<S::Value>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+/// Serves a stored variant index to the derive's identifier visitor.
+struct VariantIndex(u32);
+
+impl<'de> de::Deserializer<'de> for VariantIndex {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_u64(u64::from(self.0))
+    }
+
+    serde::forward_to_deserialize_any! {
+        bool i8 i16 i32 i64 u8 u16 u32 u64 f32 f64 char str string bytes
+        byte_buf option unit unit_struct newtype_struct seq tuple tuple_struct
+        map struct enum identifier ignored_any
+    }
+}
+
+struct EnumCursor<'d, 't> {
+    de: &'d mut Decoder<'t>,
+    index: u32,
+}
+
+impl<'de, 'd, 't> de::EnumAccess<'de> for EnumCursor<'d, 't> {
+    type Error = WireError;
+    type Variant = Self;
+
+    fn variant_seed<S: de::DeserializeSeed<'de>>(
+        self,
+        seed: S,
+    ) -> Result<(S::Value, Self), WireError> {
+        let value = seed.deserialize(VariantIndex(self.index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'de, 'd, 't> de::VariantAccess<'de> for EnumCursor<'d, 't> {
+    type Error = WireError;
+
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<S: de::DeserializeSeed<'de>>(
+        self,
+        seed: S,
+    ) -> Result<S::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        let len = self.de.expect_seq()?;
+        visitor.visit_seq(SeqCursor {
+            de: self.de,
+            remaining: len,
+        })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        let len = self.de.expect_seq()?;
+        visitor.visit_seq(SeqCursor {
+            de: self.de,
+            remaining: len,
+        })
+    }
+}
+
+impl<'de, 'd, 't> de::Deserializer<'de> for &'d mut Decoder<'t> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.next()? {
+            Token::Bool(v) => visitor.visit_bool(*v),
+            Token::U64(v) => visitor.visit_u64(*v),
+            Token::I64(v) => visitor.visit_i64(*v),
+            Token::F64(v) => visitor.visit_f64(*v),
+            Token::Str(v) => visitor.visit_string(v.clone()),
+            Token::Unit => visitor.visit_unit(),
+            Token::Seq(len) => {
+                let len = *len;
+                visitor.visit_seq(SeqCursor {
+                    de: self,
+                    remaining: len,
+                })
+            }
+            Token::Variant(_) => Err(WireError::new(
+                "enum variant outside deserialize_enum context",
+            )),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_some(self)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.expect_seq()?;
+        visitor.visit_seq(SeqCursor {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_seq(visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        match self.next()? {
+            Token::Variant(index) => {
+                let index = *index;
+                visitor.visit_enum(EnumCursor { de: self, index })
+            }
+            other => Err(WireError::new(format!(
+                "expected an enum variant, found {other:?}"
+            ))),
+        }
+    }
+
+    serde::forward_to_deserialize_any! {
+        bool i8 i16 i32 i64 u8 u16 u32 u64 f32 f64 char str string bytes
+        byte_buf unit unit_struct map identifier ignored_any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::v2i::{GridMessage, OlevMessage, V2iFrame};
+    use oes_units::{Kilowatts, MetersPerSecond, OlevId, StateOfCharge};
+
+    fn roundtrip<T>(value: &T)
+    where
+        T: Serialize + DeserializeOwned + PartialEq + fmt::Debug,
+    {
+        let tokens = encode(value).expect("encode");
+        let back: T = decode(&tokens).expect("decode");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&42u64);
+        roundtrip(&-7i32);
+        roundtrip(&3.25f64);
+        roundtrip(&String::from("v2i"));
+        roundtrip(&vec![1.0f64, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transparent_units_encode_as_bare_scalars() {
+        let tokens = encode(&Kilowatts::new(18.5)).unwrap();
+        assert_eq!(tokens, vec![Token::F64(18.5)]);
+        let tokens = encode(&OlevId(7)).unwrap();
+        assert_eq!(tokens, vec![Token::U64(7)]);
+    }
+
+    #[test]
+    fn olev_messages_roundtrip() {
+        roundtrip(&OlevMessage::Hello {
+            id: OlevId(3),
+            velocity: MetersPerSecond::new(26.8),
+            soc: StateOfCharge::saturating(0.42),
+            soc_required: StateOfCharge::saturating(0.9),
+        });
+        roundtrip(&OlevMessage::PowerRequest {
+            id: OlevId(1),
+            total: Kilowatts::new(17.0),
+        });
+        roundtrip(&OlevMessage::Goodbye { id: OlevId(2) });
+    }
+
+    #[test]
+    fn grid_messages_roundtrip() {
+        roundtrip(&GridMessage::LaneInfo {
+            sections: 10,
+            capacity: Kilowatts::new(25.0),
+        });
+        roundtrip(&GridMessage::PaymentUpdate {
+            id: OlevId(0),
+            marginal_price: 0.026,
+            allocated: Kilowatts::new(12.0),
+        });
+        roundtrip(&GridMessage::PaymentFunction {
+            id: OlevId(4),
+            loads_excl: vec![
+                Kilowatts::new(3.0),
+                Kilowatts::new(0.0),
+                Kilowatts::new(7.5),
+            ],
+        });
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        roundtrip(&V2iFrame::new(9, OlevMessage::Goodbye { id: OlevId(5) }));
+        roundtrip(&V2iFrame::new(
+            u64::MAX,
+            GridMessage::PaymentFunction {
+                id: OlevId(0),
+                loads_excl: vec![],
+            },
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing_streams_are_rejected() {
+        let tokens = encode(&OlevMessage::Goodbye { id: OlevId(5) }).unwrap();
+        let truncated = &tokens[..tokens.len() - 1];
+        assert!(decode::<OlevMessage>(truncated).is_err());
+        let mut trailing = tokens.clone();
+        trailing.push(Token::Unit);
+        assert!(decode::<OlevMessage>(&trailing).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let tokens = encode(&3.5f64).unwrap();
+        assert!(decode::<OlevMessage>(&tokens).is_err());
+    }
+}

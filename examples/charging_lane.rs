@@ -8,7 +8,7 @@
 //! ```
 
 use oes::traffic::{CorridorBuilder, EnergyModel, HourlyCounts};
-use oes::units::{Meters, SectionId, Seconds, StateOfCharge};
+use oes::units::{Meters, Seconds, SectionId, StateOfCharge};
 use oes::wpt::{ChargingSection, ChargingSpan, CoSimulation, OlevSpec};
 
 fn main() {
@@ -55,8 +55,14 @@ fn main() {
         trips.iter().map(|t| t.drained.value()).sum::<f64>() / trips.len().max(1) as f64;
     println!();
     println!("completed OLEV trips : {}", trips.len());
-    println!("trips that gained SOC: {gained} ({:.0}%)", 100.0 * gained as f64 / trips.len().max(1) as f64);
+    println!(
+        "trips that gained SOC: {gained} ({:.0}%)",
+        100.0 * gained as f64 / trips.len().max(1) as f64
+    );
     println!("avg received per trip: {avg_received:.3} kWh");
     println!("avg drained per trip : {avg_drained:.3} kWh");
-    println!("total grid energy    : {:.1} kWh", co.total_received().value());
+    println!(
+        "total grid energy    : {:.1} kWh",
+        co.total_received().value()
+    );
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("daily energy to OLEVs : {:.2} MWh", report.total_energy_mwh());
+    println!(
+        "daily energy to OLEVs : {:.2} MWh",
+        report.total_energy_mwh()
+    );
     println!("daily grid revenue    : ${:.2}", report.total_revenue());
     println!(
         "peak |deficiency|     : {:.1} -> {:.1} MWh once the (unforecast) OLEV load lands",

@@ -20,7 +20,10 @@ fn main() {
         .seed(31)
         .run();
 
-    println!("Flatlands-Avenue-like corridor, 24 h, {} vehicles", report.vehicles_entered);
+    println!(
+        "Flatlands-Avenue-like corridor, 24 h, {} vehicles",
+        report.vehicles_entered
+    );
     println!();
     println!("hour | intersection time (min)      | receivable energy (kWh)");
     println!("     | at light      at middle      | at light      at middle");

@@ -31,12 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("price-of-anarchy gap : {:.2e} (Theorem IV.1, measured)", cmp.price_of_anarchy_gap());
-    println!("mechanism value      : {:+.3} welfare vs free-for-all", cmp.mechanism_value());
+    println!(
+        "price-of-anarchy gap : {:.2e} (Theorem IV.1, measured)",
+        cmp.price_of_anarchy_gap()
+    );
+    println!(
+        "mechanism value      : {:+.3} welfare vs free-for-all",
+        cmp.mechanism_value()
+    );
 
     // The temporal view: demand decays as SOC rises.
     println!("\n--- the game repeated while batteries fill (3-minute rounds) ---");
-    let fleet = uniform_fleet(10, StateOfCharge::saturating(0.35), StateOfCharge::saturating(0.9));
+    let fleet = uniform_fleet(
+        10,
+        StateOfCharge::saturating(0.35),
+        StateOfCharge::saturating(0.9),
+    );
     let mut dynamics = SocCoupledGame::new(
         fleet,
         12,

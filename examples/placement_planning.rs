@@ -6,9 +6,7 @@
 //! cargo run --release --example placement_planning
 //! ```
 
-use oes::traffic::{
-    CorridorBuilder, HourlyCounts, SectionPlacement, SpanDetector,
-};
+use oes::traffic::{CorridorBuilder, HourlyCounts, SectionPlacement, SpanDetector};
 use oes::units::{Meters, Seconds};
 use oes::wpt::{greedy_placement, PlacementCandidate};
 
@@ -73,7 +71,10 @@ fn main() {
             c.dwell.to_minutes()
         );
     }
-    println!("  -> captured dwell {:.1} min", plan.total_dwell().to_minutes());
+    println!(
+        "  -> captured dwell {:.1} min",
+        plan.total_dwell().to_minutes()
+    );
 
     // Baselines: uniform spacing and the worst-case (least-dwell) picks.
     let k = plan.chosen.len().max(1);

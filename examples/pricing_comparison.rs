@@ -21,12 +21,21 @@ fn run(policy: PricingPolicy, label: &str) -> Result<(), Box<dyn std::error::Err
     let loads = game.section_loads();
     let (min, max) = loads
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &l| (lo.min(l), hi.max(l)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &l| {
+            (lo.min(l), hi.max(l))
+        });
     println!("--- {label} ---");
-    println!("converged            : {} in {} updates", outcome.converged(), outcome.updates());
+    println!(
+        "converged            : {} in {} updates",
+        outcome.converged(),
+        outcome.updates()
+    );
     println!("congestion degree    : {:.3}", game.system_congestion());
     println!("social welfare       : {:.3}", game.welfare());
-    println!("unit payment ($/MWh) : {:.2}", game.unit_payment_dollars_per_mwh());
+    println!(
+        "unit payment ($/MWh) : {:.2}",
+        game.unit_payment_dollars_per_mwh()
+    );
     println!("section load spread  : {min:.2} .. {max:.2} kW");
     println!();
     Ok(())

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut game = GameBuilder::new()
         .sections(20, Kilowatts::new(60.0))
         .olevs(8, Kilowatts::new(50.0))
-        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
         .eta(0.9)
         .build()?;
 
@@ -26,22 +28,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("social welfare       : {:.4}", game.welfare());
     println!("system congestion    : {:.4}", game.system_congestion());
     println!("total payment ($)    : {:.6}", game.total_payment());
-    println!("unit payment ($/MWh) : {:.2}", game.unit_payment_dollars_per_mwh());
+    println!(
+        "unit payment ($/MWh) : {:.2}",
+        game.unit_payment_dollars_per_mwh()
+    );
 
     // The nonlinear policy load-balances: every section carries the same
     // load at equilibrium.
     let loads = game.section_loads();
     let (min, max) = loads
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &l| (lo.min(l), hi.max(l)));
-    println!("section loads (kW)   : {min:.4} .. {max:.4} (spread {:.2e})", max - min);
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &l| {
+            (lo.min(l), hi.max(l))
+        });
+    println!(
+        "section loads (kW)   : {min:.4} .. {max:.4} (spread {:.2e})",
+        max - min
+    );
 
     // The same protocol over real threads (one per OLEV) reaches the same
     // equilibrium — the decentralized runtime of Section IV.D.
     let mut game2 = GameBuilder::new()
         .sections(20, Kilowatts::new(60.0))
         .olevs(8, Kilowatts::new(50.0))
-        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
         .eta(0.9)
         .build()?;
     let distributed = DistributedGame::new(&mut game2).run(2_000)?;

@@ -6,22 +6,27 @@
 //! cargo run --release --example route_choice
 //! ```
 
-use oes::game::{
-    NonlinearPricing, PricingPolicy, RouteChoice, RouteOption, RoutingEconomics,
-};
+use oes::game::{NonlinearPricing, PricingPolicy, RouteChoice, RouteOption, RoutingEconomics};
 use oes::units::Kilowatts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("fleet of 40 OLEVs; charging route adds a detour over the plain route\n");
-    println!("detour (min) | on charging route | on plain route | lane congestion | marginal benefit $");
-    println!("-------------+-------------------+----------------+-----------------+-------------------");
+    println!(
+        "detour (min) | on charging route | on plain route | lane congestion | marginal benefit $"
+    );
+    println!(
+        "-------------+-------------------+----------------+-----------------+-------------------"
+    );
     for detour_minutes in [0.0, 3.0, 6.0, 12.0, 24.0, 48.0] {
         let study = RouteChoice {
             charging_route: RouteOption {
                 travel_hours: 0.5 + detour_minutes / 60.0,
                 charging_sections: 12,
             },
-            plain_route: RouteOption { travel_hours: 0.5, charging_sections: 0 },
+            plain_route: RouteOption {
+                travel_hours: 0.5,
+                charging_sections: 0,
+            },
             fleet: 40,
             section_capacity: Kilowatts::new(35.0),
             olev_p_max: Kilowatts::new(60.0),

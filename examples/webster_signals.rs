@@ -6,9 +6,7 @@
 //! cargo run --release --example webster_signals
 //! ```
 
-use oes::traffic::{
-    webster_timing, CorridorBuilder, HourlyCounts, PhaseDemand, SectionPlacement,
-};
+use oes::traffic::{webster_timing, CorridorBuilder, HourlyCounts, PhaseDemand, SectionPlacement};
 use oes::units::{Meters, Seconds};
 
 fn dwell_with_signal(green: Seconds, red: Seconds) -> (f64, u64) {
@@ -21,14 +19,23 @@ fn dwell_with_signal(green: Seconds, red: Seconds) -> (f64, u64) {
         .seed(11);
     let mut sim = builder.build();
     sim.run_for(Seconds::new(3600.0));
-    (sim.detectors()[0].total_occupancy().to_minutes(), sim.exited())
+    (
+        sim.detectors()[0].total_occupancy().to_minutes(),
+        sim.exited(),
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The corridor's through movement vs a nominal cross street.
     let phases = [
-        PhaseDemand { flow: 650.0, saturation_flow: 1800.0 },
-        PhaseDemand { flow: 400.0, saturation_flow: 1800.0 },
+        PhaseDemand {
+            flow: 650.0,
+            saturation_flow: 1800.0,
+        },
+        PhaseDemand {
+            flow: 400.0,
+            saturation_flow: 1800.0,
+        },
     ];
     let timing = webster_timing(&phases, Seconds::new(4.0))?;
     println!(
@@ -42,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corridor_red = timing.cycle - corridor_green;
     let (dwell_opt, exits_opt) = dwell_with_signal(corridor_green, corridor_red);
     // A deliberately bad fixed plan: starve the corridor.
-    let (dwell_bad, exits_bad) =
-        dwell_with_signal(Seconds::new(15.0), Seconds::new(65.0));
+    let (dwell_bad, exits_bad) = dwell_with_signal(Seconds::new(15.0), Seconds::new(65.0));
 
     println!();
     println!("plan            | dwell on section (min/h) | vehicles through");

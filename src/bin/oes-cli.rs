@@ -52,7 +52,9 @@ fn print_help() {
 fn parse<T: std::str::FromStr>(args: &[String], idx: usize, default: T) -> Result<T, String> {
     match args.get(idx) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| format!("could not parse argument `{raw}`")),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("could not parse argument `{raw}`")),
     }
 }
 
@@ -66,9 +68,19 @@ fn grid_day(args: &[String]) -> Result<(), String> {
         day.min_integrated_load().value(),
         day.max_integrated_load().value()
     );
-    println!("  max |deficiency| {:.1} MWh", day.max_abs_deficiency().value());
-    println!("  LBMP             {:.2} .. {:.2} $/MWh", lo.value(), hi.value());
-    println!("  ancillary mean   {:.2} $/MW", day.mean_ancillary_price().value());
+    println!(
+        "  max |deficiency| {:.1} MWh",
+        day.max_abs_deficiency().value()
+    );
+    println!(
+        "  LBMP             {:.2} .. {:.2} $/MWh",
+        lo.value(),
+        hi.value()
+    );
+    println!(
+        "  ancillary mean   {:.2} $/MW",
+        day.mean_ancillary_price().value()
+    );
     Ok(())
 }
 
@@ -76,9 +88,7 @@ fn game(args: &[String]) -> Result<(), String> {
     let sections: usize = parse(args, 0, 20)?;
     let olevs: usize = parse(args, 1, 10)?;
     let policy = match args.get(2).map(String::as_str) {
-        None | Some("nonlinear") => {
-            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0))
-        }
+        None | Some("nonlinear") => PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
         Some("linear") => PricingPolicy::Linear(LinearPricing::paper_default(15.0)),
         Some(other) => return Err(format!("unknown policy `{other}`")),
     };
@@ -88,12 +98,17 @@ fn game(args: &[String]) -> Result<(), String> {
         .pricing(policy)
         .build()
         .map_err(|e| e.to_string())?;
-    let outcome = game.run(UpdateOrder::RoundRobin, 50_000).map_err(|e| e.to_string())?;
+    let outcome = game
+        .run(UpdateOrder::RoundRobin, 50_000)
+        .map_err(|e| e.to_string())?;
     println!("converged      {}", outcome.converged());
     println!("updates        {}", outcome.updates());
     println!("welfare        {:.4}", game.welfare());
     println!("congestion     {:.4}", game.system_congestion());
-    println!("unit payment   {:.2} $/MWh", game.unit_payment_dollars_per_mwh());
+    println!(
+        "unit payment   {:.2} $/MWh",
+        game.unit_payment_dollars_per_mwh()
+    );
     Ok(())
 }
 
@@ -123,10 +138,16 @@ fn day(args: &[String]) -> Result<(), String> {
     if !(0.0..=1.0).contains(&participation) {
         return Err("participation must be in [0, 1]".to_owned());
     }
-    let config = DailyConfig { participation, ..DailyConfig::default() };
+    let config = DailyConfig {
+        participation,
+        ..DailyConfig::default()
+    };
     let report = run_day(&config).map_err(|e| e.to_string())?;
     println!("energy to OLEVs {:.2} MWh", report.total_energy_mwh());
     println!("grid revenue    ${:.2}", report.total_revenue());
-    println!("peak deficiency +{:.1} MWh from OLEV load", report.added_peak_deficiency_mwh());
+    println!(
+        "peak deficiency +{:.1} MWh from OLEV load",
+        report.added_peak_deficiency_mwh()
+    );
     Ok(())
 }

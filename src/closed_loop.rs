@@ -15,7 +15,7 @@ use oes_game::{GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder};
 use oes_traffic::energy::EnergyModel;
 use oes_traffic::sim::Simulation;
 use oes_traffic::vehicle::VehicleId;
-use oes_units::{Kilowatts, KilowattHours, OlevId, Seconds, StateOfCharge};
+use oes_units::{KilowattHours, Kilowatts, OlevId, Seconds, StateOfCharge};
 use oes_wpt::cosim::ChargingSpan;
 use oes_wpt::{Olev, OlevSpec};
 use rand::Rng;
@@ -67,6 +67,8 @@ pub struct ClosedLoopStats {
     pub revenue: f64,
     /// Number of grid replans executed.
     pub replans: usize,
+    /// Replans that failed and fell back to the previous allocation.
+    pub failed_replans: usize,
     /// Peak number of OLEVs in one game.
     pub peak_players: usize,
     /// Highest per-section congestion degree any replan scheduled.
@@ -88,6 +90,8 @@ pub struct ClosedLoop {
     allocation: BTreeMap<VehicleId, f64>,
     since_replan: f64,
     stats: ClosedLoopStats,
+    /// The error of the most recent failed replan, if any.
+    last_replan_error: Option<oes_game::GameError>,
 }
 
 impl core::fmt::Debug for ClosedLoop {
@@ -116,6 +120,7 @@ impl ClosedLoop {
             allocation: BTreeMap::new(),
             since_replan: f64::INFINITY, // replan immediately on first step
             stats: ClosedLoopStats::default(),
+            last_replan_error: None,
         }
     }
 
@@ -147,15 +152,29 @@ impl ClosedLoop {
         self.fleet.len()
     }
 
+    /// The error of the most recent failed replan, if any replan has failed.
+    #[must_use]
+    pub fn last_replan_error(&self) -> Option<&oes_game::GameError> {
+        self.last_replan_error.as_ref()
+    }
+
     /// Advances one traffic step, replanning the game on cadence.
+    ///
+    /// A failed replan degrades gracefully: the previous standing
+    /// allocation stays in force (as it would over a dead V2I round-trip),
+    /// the failure is counted in [`ClosedLoopStats::failed_replans`], and
+    /// the error is kept in [`Self::last_replan_error`].
     ///
     /// # Errors
     ///
-    /// Propagates [`oes_game::GameError`] from a replan.
+    /// None currently; the `Result` is kept for traffic-side failures.
     pub fn step(&mut self) -> Result<(), oes_game::GameError> {
         let dt = self.sim.config().step;
-        let speeds_before: BTreeMap<VehicleId, f64> =
-            self.sim.vehicles().map(|v| (v.id, v.speed.value())).collect();
+        let speeds_before: BTreeMap<VehicleId, f64> = self
+            .sim
+            .vehicles()
+            .map(|v| (v.id, v.speed.value()))
+            .collect();
         self.sim.step();
 
         // Classify arrivals, drain batteries with the speed trace.
@@ -163,7 +182,13 @@ impl ClosedLoop {
             .sim
             .vehicles()
             .map(|v| {
-                (v.id, v.current_edge(), v.position.value(), v.params.length.value(), v.speed.value())
+                (
+                    v.id,
+                    v.current_edge(),
+                    v.position.value(),
+                    v.params.length.value(),
+                    v.speed.value(),
+                )
             })
             .collect();
         for (id, edge, pos, len, speed) in &states {
@@ -182,7 +207,9 @@ impl ClosedLoop {
                     );
                 }
             }
-            let Some(olev) = self.fleet.get_mut(id) else { continue };
+            let Some(olev) = self.fleet.get_mut(id) else {
+                continue;
+            };
             let before = self.prev_speed.get(id).copied().unwrap_or(*speed);
             let drain = self.energy_model.energy_over_step(
                 oes_units::MetersPerSecond::new(before),
@@ -205,11 +232,11 @@ impl ClosedLoop {
                     )
                 });
                 if on_span {
-                    let offered = allocated * dt.to_hours().value()
+                    let offered = allocated
+                        * dt.to_hours().value()
                         * self.spec.transfer_efficiency.fraction();
-                    let headroom = (self.spec.soc_max.fraction()
-                        - olev.battery().soc().fraction())
-                    .max(0.0)
+                    let headroom = (self.spec.soc_max.fraction() - olev.battery().soc().fraction())
+                        .max(0.0)
                         * self.spec.battery.energy_capacity().value();
                     let absorbed = olev
                         .battery_mut()
@@ -225,19 +252,26 @@ impl ClosedLoop {
 
         // Retire exited OLEVs.
         let active: Vec<VehicleId> = states.iter().map(|s| s.0).collect();
-        let gone: Vec<VehicleId> =
-            self.fleet.keys().filter(|id| !active.contains(id)).copied().collect();
+        let gone: Vec<VehicleId> = self
+            .fleet
+            .keys()
+            .filter(|id| !active.contains(id))
+            .copied()
+            .collect();
         for id in gone {
             self.fleet.remove(&id);
             self.allocation.remove(&id);
             self.prev_speed.remove(&id);
         }
 
-        // Replan on cadence.
+        // Replan on cadence; a failed round keeps the standing allocation.
         self.since_replan += dt.value();
         if self.since_replan >= self.config.replan_every.value() {
             self.since_replan = 0.0;
-            self.replan()?;
+            if let Err(error) = self.replan() {
+                self.stats.failed_replans += 1;
+                self.last_replan_error = Some(error);
+            }
         }
         Ok(())
     }
@@ -246,7 +280,7 @@ impl ClosedLoop {
     ///
     /// # Errors
     ///
-    /// Propagates [`oes_game::GameError`] from any replan.
+    /// As for [`Self::step`].
     pub fn run_for(&mut self, duration: Seconds) -> Result<(), oes_game::GameError> {
         let end = self.sim.time() + duration;
         while self.sim.time() < end {
@@ -256,9 +290,10 @@ impl ClosedLoop {
     }
 
     /// One grid replan: the active OLEVs play the game with live Eq. 2
-    /// bounds; the equilibrium totals become standing allocations.
+    /// bounds; the equilibrium totals become standing allocations. The
+    /// standing allocation is replaced only once the round has fully
+    /// succeeded, so a failure leaves the previous plan intact.
     fn replan(&mut self) -> Result<(), oes_game::GameError> {
-        self.allocation.clear();
         let players: Vec<(VehicleId, f64)> = self
             .fleet
             .iter()
@@ -268,13 +303,16 @@ impl ClosedLoop {
         self.stats.replans += 1;
         self.stats.peak_players = self.stats.peak_players.max(players.len());
         if players.is_empty() || self.spans.is_empty() {
+            self.allocation.clear();
             return Ok(());
         }
         // The operational grid enforces its safety knee hard (stiff κ):
         // under heavy crowding the scheduled load must stay near η·P_line.
         let mut builder = GameBuilder::new()
             .sections(self.spans.len(), self.config.section_capacity)
-            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(self.config.beta)))
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                self.config.beta,
+            )))
             .overload(10.0 * self.config.beta / 1000.0)
             .eta(self.config.eta);
         for (_, p_max) in &players {
@@ -282,12 +320,16 @@ impl ClosedLoop {
         }
         let mut game = builder.build()?;
         game.run(
-            UpdateOrder::Random { seed: self.config.seed.wrapping_add(self.stats.replans as u64) },
+            UpdateOrder::Random {
+                seed: self.config.seed.wrapping_add(self.stats.replans as u64),
+            },
             20_000,
         )?;
+        let mut fresh = BTreeMap::new();
         for (n, (id, _)) in players.iter().enumerate() {
-            self.allocation.insert(*id, game.schedule().olev_total(OlevId(n)));
+            fresh.insert(*id, game.schedule().olev_total(OlevId(n)));
         }
+        self.allocation = fresh;
         self.stats.revenue += game.total_payment();
         let peak = game
             .section_loads()
@@ -310,12 +352,20 @@ mod tests {
 
     fn closed_loop(participation: f64, eta: f64) -> ClosedLoop {
         let mut builder = CorridorBuilder::new();
-        builder.blocks(3, Meters::new(250.0)).counts(HourlyCounts::new(vec![500])).seed(4);
+        builder
+            .blocks(3, Meters::new(250.0))
+            .counts(HourlyCounts::new(vec![500]))
+            .seed(4);
         let sim = builder.build();
         let mut cl = ClosedLoop::new(
             sim,
             OlevSpec::chevy_spark_default(),
-            ClosedLoopConfig { participation, eta, seed: 4, ..ClosedLoopConfig::default() },
+            ClosedLoopConfig {
+                participation,
+                eta,
+                seed: 4,
+                ..ClosedLoopConfig::default()
+            },
         );
         for (i, span) in [(0usize, 50.0), (1, 25.0)].iter().enumerate() {
             cl.add_span(ChargingSpan {
@@ -364,12 +414,54 @@ mod tests {
     }
 
     #[test]
+    fn failed_replans_degrade_gracefully() {
+        // An invalid grid parameter makes every populated replan fail; the
+        // loop must keep running on the standing (empty) allocation and
+        // account for the failures instead of aborting.
+        let mut builder = CorridorBuilder::new();
+        builder
+            .blocks(3, Meters::new(250.0))
+            .counts(HourlyCounts::new(vec![500]))
+            .seed(4);
+        let sim = builder.build();
+        let mut cl = ClosedLoop::new(
+            sim,
+            OlevSpec::chevy_spark_default(),
+            ClosedLoopConfig {
+                participation: 0.8,
+                section_capacity: Kilowatts::new(-25.0),
+                seed: 4,
+                ..ClosedLoopConfig::default()
+            },
+        );
+        cl.add_span(ChargingSpan {
+            edge: oes_traffic::EdgeId(0),
+            start: Meters::new(50.0),
+            end: Meters::new(250.0),
+            section: ChargingSection::paper_default(SectionId(0)),
+        });
+        cl.run_for(Seconds::new(300.0)).unwrap();
+        let s = cl.stats();
+        assert!(s.failed_replans > 0, "expected failing replans");
+        assert!(s.replans >= s.failed_replans);
+        assert_eq!(s.energy_transferred, 0.0, "no allocation should ever stand");
+        assert!(matches!(
+            cl.last_replan_error(),
+            Some(oes_game::GameError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let run = || {
             let mut cl = closed_loop(0.6, 0.9);
             cl.run_for(Seconds::new(600.0)).unwrap();
             let s = cl.stats();
-            (s.energy_transferred.to_bits(), s.revenue.to_bits(), s.replans)
+            (
+                s.energy_transferred.to_bits(),
+                s.revenue.to_bits(),
+                s.replans,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -137,8 +137,7 @@ pub fn run_day(config: &DailyConfig) -> Result<DailyReport, oes_game::GameError>
     let mut ev_hourly_mwh = vec![0.0; 24];
     #[allow(clippy::needless_range_loop)] // hour indexes two things at once
     for hour in 0..24 {
-        let fleet = ((f64::from(config.counts.at(hour)) * config.participation).round()
-            as usize)
+        let fleet = ((f64::from(config.counts.at(hour)) * config.participation).round() as usize)
             .min(config.max_fleet_per_hour);
         let beta = grid_base.at_hour(hour as f64 + 0.5).lbmp.value();
         if fleet == 0 {
@@ -156,11 +155,22 @@ pub fn run_day(config: &DailyConfig) -> Result<DailyReport, oes_game::GameError>
         }
         let mut game = GameBuilder::new()
             .sections(config.sections, Kilowatts::new(cap.value()))
-            .olevs_weighted(fleet, Kilowatts::new(p_max.value()), config.satisfaction_weight)
-            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)))
+            .olevs_weighted(
+                fleet,
+                Kilowatts::new(p_max.value()),
+                config.satisfaction_weight,
+            )
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                beta,
+            )))
             .eta(config.eta)
             .build()?;
-        game.run(UpdateOrder::Random { seed: config.seed.wrapping_add(hour as u64) }, 30_000)?;
+        game.run(
+            UpdateOrder::Random {
+                seed: config.seed.wrapping_add(hour as u64),
+            },
+            30_000,
+        )?;
         // Power sustained for the hour = energy in kWh numerically.
         let energy_mwh = game.schedule().total() / 1000.0;
         ev_hourly_mwh[hour] = energy_mwh;
@@ -176,7 +186,11 @@ pub fn run_day(config: &DailyConfig) -> Result<DailyReport, oes_game::GameError>
         });
     }
     let grid_with_olevs = overlay_ev_load(&grid_base, &ev_hourly_mwh, &operator_config);
-    Ok(DailyReport { hours, grid_base, grid_with_olevs })
+    Ok(DailyReport {
+        hours,
+        grid_base,
+        grid_with_olevs,
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +237,9 @@ mod tests {
             .zip(report.grid_with_olevs.points())
             .any(|(a, b)| b.deficiency > a.deficiency);
         assert!(raised);
-        assert!(report.grid_with_olevs.max_abs_deficiency() >= report.grid_base.max_abs_deficiency());
+        assert!(
+            report.grid_with_olevs.max_abs_deficiency() >= report.grid_base.max_abs_deficiency()
+        );
     }
 
     #[test]

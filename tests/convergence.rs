@@ -12,7 +12,9 @@ fn builder(sections: usize, olevs: usize) -> GameBuilder {
     GameBuilder::new()
         .sections(sections, Kilowatts::new(60.0))
         .olevs(olevs, Kilowatts::new(80.0))
-        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
 }
 
 #[test]
@@ -21,8 +23,14 @@ fn round_robin_and_random_orders_agree() {
     let mut b = builder(20, 10).build().unwrap();
     let mut c = builder(20, 10).build().unwrap();
     assert!(a.run(UpdateOrder::RoundRobin, 5000).unwrap().converged());
-    assert!(b.run(UpdateOrder::Random { seed: 1 }, 5000).unwrap().converged());
-    assert!(c.run(UpdateOrder::Random { seed: 99 }, 5000).unwrap().converged());
+    assert!(b
+        .run(UpdateOrder::Random { seed: 1 }, 5000)
+        .unwrap()
+        .converged());
+    assert!(c
+        .run(UpdateOrder::Random { seed: 99 }, 5000)
+        .unwrap()
+        .converged());
     assert!((a.welfare() - b.welfare()).abs() < 1e-5);
     assert!((a.welfare() - c.welfare()).abs() < 1e-5);
     // Not just the welfare: the schedules themselves coincide (uniqueness).
@@ -84,7 +92,11 @@ fn welfare_never_decreases_along_the_trajectory() {
     let out = game.run(UpdateOrder::Random { seed: 3 }, 3000).unwrap();
     let mut last = f64::NEG_INFINITY;
     for s in &out.trajectory {
-        assert!(s.welfare >= last - 1e-9, "welfare dropped at update {}", s.update);
+        assert!(
+            s.welfare >= last - 1e-9,
+            "welfare dropped at update {}",
+            s.update
+        );
         last = s.welfare;
     }
 }

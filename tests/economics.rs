@@ -22,9 +22,15 @@ fn olev_overlay_costs_real_money_in_the_right_bucket() {
 
     let s_base = settle_day(&day, 30.0, 250.0);
     let s_loaded = settle_day(&loaded, 30.0, 250.0);
-    assert_eq!(s_base.day_ahead, s_loaded.day_ahead, "day-ahead must stay blind");
+    assert_eq!(
+        s_base.day_ahead, s_loaded.day_ahead,
+        "day-ahead must stay blind"
+    );
     let added = s_loaded.total().value() - s_base.total().value();
-    assert!(added > 0.0, "unforecast load must cost money, added {added}");
+    assert!(
+        added > 0.0,
+        "unforecast load must cost money, added {added}"
+    );
     // The added cost is entirely balancing + reserves.
     let added_rt = s_loaded.real_time.value() - s_base.real_time.value();
     let added_anc = s_loaded.ancillary.value() - s_base.ancillary.value();
@@ -37,12 +43,18 @@ fn olev_overlay_costs_real_money_in_the_right_bucket() {
 #[test]
 fn dispatch_follows_the_simulated_day_mostly() {
     let day = GridOperator::new(OperatorConfig::nyiso_like(), 42).simulate_day();
-    let demand: Vec<Megawatts> =
-        day.points().iter().map(|p| p.integrated_load / Hours::new(1.0)).collect();
+    let demand: Vec<Megawatts> = day
+        .points()
+        .iter()
+        .map(|p| p.integrated_load / Hours::new(1.0))
+        .collect();
     let plan = dispatch(&nyiso_like_fleet(), &demand, 24.0 / demand.len() as f64);
     // The fleet tracks the diurnal ramp fine at 5-minute resolution...
     let shortfall_fraction = plan.shortfall_intervals() as f64 / demand.len() as f64;
-    assert!(shortfall_fraction < 0.05, "fleet lost the load {shortfall_fraction}");
+    assert!(
+        shortfall_fraction < 0.05,
+        "fleet lost the load {shortfall_fraction}"
+    );
     // ...and the day costs millions, like a real mid-size operator's.
     assert!(plan.total_cost().value() > 1.0e6);
 }
@@ -62,7 +74,10 @@ fn mechanism_beats_free_for_all_at_scale() {
     .unwrap();
     assert!(cmp.price_of_anarchy_gap().abs() < 1e-2);
     assert!(cmp.mechanism_value() > 0.0);
-    assert!(cmp.free_for_all.congestion > 1.0, "free-for-all must overload");
+    assert!(
+        cmp.free_for_all.congestion > 1.0,
+        "free-for-all must overload"
+    );
     assert!(cmp.nonlinear.congestion < 1.0);
     // (The linear regime's welfare is measured against its own, cheaper cost
     // function, so it is not comparable to the nonlinear optimum; its

@@ -5,7 +5,9 @@
 use oes::game::{GameBuilder, LinearPricing, NonlinearPricing, PricingPolicy, UpdateOrder};
 use oes::grid::{GridOperator, OperatorConfig};
 use oes::traffic::HourlyCounts;
-use oes::units::{Kilowatts, Meters, MetersPerSecond, MilesPerHour, OlevId, SectionId, StateOfCharge};
+use oes::units::{
+    Kilowatts, Meters, MetersPerSecond, MilesPerHour, OlevId, SectionId, StateOfCharge,
+};
 use oes::wpt::{ChargingSection, IntersectionStudy, Olev, OlevSpec};
 
 /// Fig. 2 pipeline: the simulated operator reproduces the paper's bands.
@@ -57,9 +59,13 @@ fn wpt_to_game_pipeline() {
     for o in &mut olevs {
         o.set_velocity(MilesPerHour::new(60.0).to_meters_per_second());
     }
-    let sections: Vec<ChargingSection> =
-        (0..25).map(|i| ChargingSection::paper_default(SectionId(i))).collect();
-    let mut game = GameBuilder::new().from_wpt(&olevs, &sections, 300.0).build().unwrap();
+    let sections: Vec<ChargingSection> = (0..25)
+        .map(|i| ChargingSection::paper_default(SectionId(i)))
+        .collect();
+    let mut game = GameBuilder::new()
+        .from_wpt(&olevs, &sections, 300.0)
+        .build()
+        .unwrap();
     let out = game.run(UpdateOrder::RoundRobin, 5000).unwrap();
     assert!(out.converged());
     assert!(game.schedule().total() > 0.0);
@@ -92,17 +98,30 @@ fn payment_vs_congestion_shapes() {
             g.run(UpdateOrder::RoundRobin, 10_000).unwrap();
             (g.system_congestion(), g.unit_payment_dollars_per_mwh())
         };
-        nonlinear_points.push(run(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta))));
-        linear_points.push(run(PricingPolicy::Linear(LinearPricing::paper_default(beta))));
+        nonlinear_points.push(run(PricingPolicy::Nonlinear(
+            NonlinearPricing::paper_default(beta),
+        )));
+        linear_points.push(run(PricingPolicy::Linear(LinearPricing::paper_default(
+            beta,
+        ))));
     }
     // Nonlinear: congestion and payment both increase with demand.
     for w in nonlinear_points.windows(2) {
-        assert!(w[1].0 > w[0].0, "congestion not increasing: {nonlinear_points:?}");
-        assert!(w[1].1 > w[0].1, "payment not increasing: {nonlinear_points:?}");
+        assert!(
+            w[1].0 > w[0].0,
+            "congestion not increasing: {nonlinear_points:?}"
+        );
+        assert!(
+            w[1].1 > w[0].1,
+            "payment not increasing: {nonlinear_points:?}"
+        );
     }
     // Linear: payment pinned at β regardless of congestion.
     for (_, payment) in &linear_points {
-        assert!((payment - beta).abs() < 0.5, "linear payment {payment} != β {beta}");
+        assert!(
+            (payment - beta).abs() < 0.5,
+            "linear payment {payment} != β {beta}"
+        );
     }
 }
 
@@ -145,7 +164,9 @@ fn load_balance_vs_imbalance() {
         let min = loads.iter().fold(f64::INFINITY, |m, &l| m.min(l));
         max - min
     };
-    let nl = spread(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)));
+    let nl = spread(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+        15.0,
+    )));
     let lin = spread(PricingPolicy::Linear(LinearPricing::paper_default(15.0)));
     assert!(nl < 1e-3, "nonlinear spread {nl}");
     assert!(lin > 10.0, "linear spread {lin}");
@@ -213,7 +234,9 @@ fn lbmp_scales_payments() {
         let mut g = GameBuilder::new()
             .sections(10, Kilowatts::new(60.0))
             .olevs_weighted(8, Kilowatts::new(50.0), 5.0)
-            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)))
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                beta,
+            )))
             .build()
             .unwrap();
         g.run(UpdateOrder::RoundRobin, 5000).unwrap();
@@ -233,7 +256,9 @@ fn full_pipeline_is_deterministic() {
         let mut g = GameBuilder::new()
             .sections(10, Kilowatts::new(55.0))
             .olevs(5, Kilowatts::new(45.0))
-            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(beta)))
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                beta,
+            )))
             .build()
             .unwrap();
         g.run(UpdateOrder::Random { seed: 21 }, 3000).unwrap();

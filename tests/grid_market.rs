@@ -1,8 +1,7 @@
 //! Property-based invariants of the grid-market substrate.
 
 use oes::grid::{
-    AncillaryMarket, GridOperator, MovingAverageForecaster, OperatorConfig, SupplyStack,
-    Forecaster,
+    AncillaryMarket, Forecaster, GridOperator, MovingAverageForecaster, OperatorConfig, SupplyStack,
 };
 use oes::units::{MegawattHours, Megawatts};
 use proptest::prelude::*;

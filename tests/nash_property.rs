@@ -38,7 +38,9 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
 fn build_and_run(s: &Scenario) -> oes::game::Game {
     let mut builder = GameBuilder::new()
         .sections(s.sections, Kilowatts::new(s.cap))
-        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(s.beta)))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            s.beta,
+        )))
         .eta(s.eta);
     for (p_max, weight) in &s.olevs {
         builder = builder.olevs_weighted(1, Kilowatts::new(*p_max), *weight);

@@ -3,19 +3,14 @@
 //! overlapping vehicles, out-of-range kinematics, or bookkeeping leaks.
 
 use oes::traffic::{
-    CorridorBuilder, PoissonArrivals, HourlyCounts, SectionPlacement, Simulation,
-    SimulationConfig, SignalPlan, VehicleParams,
+    CorridorBuilder, HourlyCounts, PoissonArrivals, SectionPlacement, SignalPlan, Simulation,
+    SimulationConfig, VehicleParams,
 };
 use oes::units::{Meters, MetersPerSecond, Seconds};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-fn corridor_sim(
-    demand: u32,
-    green: f64,
-    red: f64,
-    seed: u64,
-) -> Simulation {
+fn corridor_sim(demand: u32, green: f64, red: f64, seed: u64) -> Simulation {
     let mut builder = CorridorBuilder::new();
     builder
         .blocks(3, Meters::new(200.0))
@@ -123,14 +118,21 @@ fn red_wall_is_impermeable() {
             .add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(15.0))
             .unwrap();
         let mut sim = Simulation::new(net, SimulationConfig::default(), 4);
-        sim.add_signal(b, SignalPlan::new(Seconds::ZERO, Seconds::new(1e12), Seconds::ZERO));
+        sim.add_signal(
+            b,
+            SignalPlan::new(Seconds::ZERO, Seconds::new(1e12), Seconds::ZERO),
+        );
         sim.add_demand(
             PoissonArrivals::new(HourlyCounts::new(vec![demand]), 4),
             vec![e1, e2],
             VehicleParams::passenger_car(),
         );
         sim.run_for(Seconds::new(900.0));
-        assert_eq!(sim.exited(), 0, "vehicle escaped a permanent red at demand {demand}");
+        assert_eq!(
+            sim.exited(),
+            0,
+            "vehicle escaped a permanent red at demand {demand}"
+        );
         for v in sim.vehicles() {
             assert_eq!(v.current_edge(), e1, "vehicle crossed the red stop line");
         }

@@ -2,8 +2,8 @@
 //! arithmetic is consistent, and validated ratios never escape their ranges.
 
 use oes::units::{
-    Efficiency, Hours, KilowattHours, Kilowatts, MegawattHours, Meters, MetersPerSecond,
-    MilesPerHour, Seconds, StateOfCharge, Volts, Amperes,
+    Amperes, Efficiency, Hours, KilowattHours, Kilowatts, MegawattHours, Meters, MetersPerSecond,
+    MilesPerHour, Seconds, StateOfCharge, Volts,
 };
 use proptest::prelude::*;
 

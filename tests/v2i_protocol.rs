@@ -1,0 +1,190 @@
+//! Protocol-level tests for the V2I vocabulary and transport.
+//!
+//! Two layers are pinned here:
+//!
+//! - **Wire codec round-trips** — every [`OlevMessage`] and [`GridMessage`]
+//!   variant, framed and bare, survives `encode` → `decode` unchanged, so
+//!   the message vocabulary stays serializable as it evolves.
+//! - **[`MessageBus`] invariants** — messages are never delivered before
+//!   `sent_at + latency`, and delivery preserves FIFO order, for arbitrary
+//!   interleavings of sends and clock advances.
+
+use std::collections::VecDeque;
+
+use oes::units::{Kilowatts, MetersPerSecond, OlevId, Seconds, StateOfCharge};
+use oes::wpt::{decode, encode, GridMessage, MessageBus, OlevMessage, Token, V2iFrame};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let tokens = encode(value).expect("encode");
+    let back: T = decode(&tokens).expect("decode");
+    assert_eq!(&back, value, "wire round-trip must be lossless");
+}
+
+#[test]
+fn every_olev_message_variant_roundtrips() {
+    roundtrip(&OlevMessage::Hello {
+        id: OlevId(3),
+        velocity: MetersPerSecond::new(26.8),
+        soc: StateOfCharge::saturating(0.35),
+        soc_required: StateOfCharge::saturating(0.8),
+    });
+    roundtrip(&OlevMessage::PowerRequest {
+        id: OlevId(9),
+        total: Kilowatts::new(17.25),
+    });
+    roundtrip(&OlevMessage::Goodbye { id: OlevId(0) });
+}
+
+#[test]
+fn every_grid_message_variant_roundtrips() {
+    roundtrip(&GridMessage::LaneInfo {
+        sections: 12,
+        capacity: Kilowatts::new(60.0),
+    });
+    roundtrip(&GridMessage::PaymentUpdate {
+        id: OlevId(4),
+        marginal_price: 0.031,
+        allocated: Kilowatts::new(22.5),
+    });
+    roundtrip(&GridMessage::PaymentFunction {
+        id: OlevId(1),
+        loads_excl: vec![
+            Kilowatts::new(10.0),
+            Kilowatts::new(0.0),
+            Kilowatts::new(37.5),
+        ],
+    });
+}
+
+#[test]
+fn framed_messages_roundtrip_with_their_sequence_numbers() {
+    roundtrip(&V2iFrame::new(
+        42,
+        OlevMessage::PowerRequest {
+            id: OlevId(2),
+            total: Kilowatts::new(9.5),
+        },
+    ));
+    roundtrip(&V2iFrame::new(
+        u64::MAX,
+        GridMessage::PaymentFunction {
+            id: OlevId(7),
+            loads_excl: vec![Kilowatts::new(5.0)],
+        },
+    ));
+}
+
+#[test]
+fn transparent_units_encode_as_bare_scalars() {
+    // `#[serde(transparent)]` quantities must not add any framing: a payment
+    // frame is readable by any peer that understands plain numbers.
+    assert_eq!(
+        encode(&Kilowatts::new(18.5)).expect("encode"),
+        vec![Token::F64(18.5)]
+    );
+    assert_eq!(encode(&OlevId(7)).expect("encode"), vec![Token::U64(7)]);
+}
+
+#[test]
+fn truncated_frames_are_rejected() {
+    let mut tokens = encode(&OlevMessage::PowerRequest {
+        id: OlevId(1),
+        total: Kilowatts::new(3.0),
+    })
+    .expect("encode");
+    tokens.pop();
+    assert!(
+        decode::<OlevMessage>(&tokens).is_err(),
+        "truncated frame must not decode"
+    );
+}
+
+proptest! {
+    /// Any finite power request survives the wire bit-for-bit.
+    #[test]
+    fn power_requests_roundtrip_for_arbitrary_totals(
+        id in any::<usize>(),
+        total in proptest::num::f64::NORMAL | proptest::num::f64::ZERO,
+        seq in any::<u64>(),
+    ) {
+        let frame = V2iFrame::new(seq, OlevMessage::PowerRequest {
+            id: OlevId(id),
+            total: Kilowatts::new(total),
+        });
+        let tokens = encode(&frame).expect("encode");
+        let back: V2iFrame<OlevMessage> = decode(&tokens).expect("decode");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Payment-function loads of any length survive the wire.
+    #[test]
+    fn payment_functions_roundtrip_for_arbitrary_fleets(
+        id in any::<usize>(),
+        loads in proptest::collection::vec(0.0f64..1e6, 0..32),
+    ) {
+        let message = GridMessage::PaymentFunction {
+            id: OlevId(id),
+            loads_excl: loads.into_iter().map(Kilowatts::new).collect(),
+        };
+        let tokens = encode(&message).expect("encode");
+        let back: GridMessage = decode(&tokens).expect("decode");
+        prop_assert_eq!(back, message);
+    }
+
+    /// The bus never delivers early and never reorders: for any interleaving
+    /// of sends and clock advances, each message arrives only once the clock
+    /// passes `sent_at + latency`, in exactly the order sent.
+    #[test]
+    fn message_bus_honors_latency_and_fifo(
+        latency in 0.0f64..0.5,
+        steps in proptest::collection::vec((0.0f64..0.2, any::<bool>()), 1..40),
+    ) {
+        let mut bus: MessageBus<OlevMessage> = MessageBus::new(Seconds::new(latency));
+        let mut in_flight: VecDeque<(f64, usize)> = VecDeque::new();
+        let mut next_id = 0usize;
+        let mut delivered = Vec::new();
+
+        let mut drain = |bus: &mut MessageBus<OlevMessage>,
+                         in_flight: &mut VecDeque<(f64, usize)>,
+                         delivered: &mut Vec<usize>|
+         -> Result<(), TestCaseError> {
+            while let Some(message) = bus.receive() {
+                let (due, expected) =
+                    in_flight.pop_front().expect("received more than was sent");
+                prop_assert!(
+                    bus.now().value() >= due - 1e-12,
+                    "message {} delivered at {} before its due time {}",
+                    expected, bus.now().value(), due
+                );
+                let OlevMessage::Goodbye { id } = message else {
+                    return Err(TestCaseError::fail("unexpected message variant"));
+                };
+                prop_assert_eq!(id.0, expected, "delivery must be FIFO");
+                delivered.push(id.0);
+            }
+            Ok(())
+        };
+
+        for (dt, send) in steps {
+            bus.advance(Seconds::new(dt));
+            if send {
+                bus.send(OlevMessage::Goodbye { id: OlevId(next_id) });
+                in_flight.push_back((bus.now().value() + latency, next_id));
+                next_id += 1;
+            }
+            drain(&mut bus, &mut in_flight, &mut delivered)?;
+        }
+
+        // Let everything mature: nothing may be lost either.
+        bus.advance(Seconds::new(latency + 1.0));
+        drain(&mut bus, &mut in_flight, &mut delivered)?;
+        prop_assert!(in_flight.is_empty(), "a matured message was never delivered");
+        prop_assert_eq!(bus.in_flight(), 0);
+        prop_assert_eq!(delivered, (0..next_id).collect::<Vec<_>>());
+    }
+}

@@ -2,10 +2,8 @@
 //! spec, and the co-simulation driving charging through real traffic.
 
 use oes::traffic::{CorridorBuilder, EnergyModel, HourlyCounts};
-use oes::units::{Efficiency, Meters, OlevId, SectionId, Seconds, StateOfCharge};
-use oes::wpt::{
-    ChargingSection, ChargingSpan, CoSimulation, CouplingModel, Olev, OlevSpec,
-};
+use oes::units::{Efficiency, Meters, OlevId, Seconds, SectionId, StateOfCharge};
+use oes::wpt::{ChargingSection, ChargingSpan, CoSimulation, CouplingModel, Olev, OlevSpec};
 
 /// The coupling model plugs into the OLEV spec: a worse link (bigger air
 /// gap) lowers Eq. 2's receivable power end to end.
@@ -31,8 +29,12 @@ fn coupling_physics_propagates_into_eq2() {
     let loose = receivable(0.45);
     assert!(tight > loose, "tight gap {tight} !> loose {loose}");
     // The flat 0.85 the paper uses sits between the two operating points.
-    let eta_tight = coupling.efficiency(Meters::new(0.20), Meters::new(0.0)).fraction();
-    let eta_loose = coupling.efficiency(Meters::new(0.45), Meters::new(0.0)).fraction();
+    let eta_tight = coupling
+        .efficiency(Meters::new(0.20), Meters::new(0.0))
+        .fraction();
+    let eta_loose = coupling
+        .efficiency(Meters::new(0.45), Meters::new(0.0))
+        .fraction();
     assert!(eta_loose < 0.85 && 0.85 < eta_tight);
 }
 
@@ -43,12 +45,17 @@ fn misalignment_degrades_like_gap() {
     let c = CouplingModel::roadway_default();
     let centered = c.efficiency(Meters::new(0.2), Meters::new(0.0)).fraction();
     let offset = c.efficiency(Meters::new(0.2), Meters::new(0.4)).fraction();
-    assert!(offset < centered - 0.05, "offset {offset} vs centered {centered}");
+    assert!(
+        offset < centered - 0.05,
+        "offset {offset} vs centered {centered}"
+    );
     // Efficiency stays a valid ratio everywhere on the domain.
     for gap in [0.1, 0.3, 0.8] {
         for mis in [-0.6, 0.0, 0.6] {
             let eta = c.efficiency(Meters::new(gap), Meters::new(mis));
-            assert!(eta > Efficiency::new(1e-12).unwrap_or(Efficiency::PERFECT) || eta.fraction() > 0.0);
+            assert!(
+                eta > Efficiency::new(1e-12).unwrap_or(Efficiency::PERFECT) || eta.fraction() > 0.0
+            );
             assert!(eta.fraction() <= 1.0);
         }
     }
@@ -59,7 +66,10 @@ fn misalignment_degrades_like_gap() {
 fn cosim_transfer_scales_with_link_efficiency() {
     let run = |eta: f64| {
         let mut builder = CorridorBuilder::new();
-        builder.blocks(3, Meters::new(250.0)).counts(HourlyCounts::new(vec![500])).seed(8);
+        builder
+            .blocks(3, Meters::new(250.0))
+            .counts(HourlyCounts::new(vec![500]))
+            .seed(8);
         let sim = builder.build();
         let spec = OlevSpec {
             transfer_efficiency: Efficiency::new(eta).unwrap(),
