@@ -1,0 +1,41 @@
+//! Emits the telemetry artifacts for the benchmark suite:
+//! `BENCH_telemetry.json` (per-scenario iteration counts, span p50/p95/p99
+//! timings, fault counters) and `BENCH_telemetry.jsonl` (the raw seed- and
+//! scenario-stamped journals).
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin telemetry
+//! ```
+
+use oes_bench::telemetry::{bench_journals, bench_scenarios, bench_summary_json};
+
+fn main() {
+    let seed = 23;
+    let scenarios = bench_scenarios(seed);
+    for s in &scenarios {
+        println!(
+            "{}: {} updates, converged={}, {} events, {} spans",
+            s.scenario,
+            s.updates,
+            s.converged,
+            s.events,
+            s.spans.len()
+        );
+        for span in &s.spans {
+            println!(
+                "  span {:<16} n={:<6} p50={:>6}us p95={:>6}us p99={:>6}us",
+                span.name, span.count, span.p50, span.p95, span.p99
+            );
+        }
+        for (name, total) in &s.counters {
+            if *total > 0 {
+                println!("  counter {name} = {total}");
+            }
+        }
+    }
+    std::fs::write("BENCH_telemetry.json", bench_summary_json(&scenarios))
+        .expect("write BENCH_telemetry.json");
+    std::fs::write("BENCH_telemetry.jsonl", bench_journals(&scenarios))
+        .expect("write BENCH_telemetry.jsonl");
+    println!("wrote BENCH_telemetry.json and BENCH_telemetry.jsonl");
+}

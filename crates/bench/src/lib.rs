@@ -12,3 +12,4 @@
 pub mod report;
 pub mod scenarios;
 pub mod table;
+pub mod telemetry;

@@ -6,12 +6,14 @@
 //! paper's "up to 50% of SOC from the grid" trip profile), so the game runs
 //! on physically-derived numbers, not hand-picked ones.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use oes_game::{
     DistributedGame, FaultPlan, GameBuilder, LinearPricing, NonlinearPricing, PricingPolicy,
     Snapshot, UpdateOrder,
 };
+use oes_telemetry::{sum_counters, JournalRecorder, Telemetry};
 use oes_units::{Kilowatts, MilesPerHour, OlevId, SectionId, StateOfCharge};
 use oes_wpt::{ChargingSection, Olev, OlevSpec};
 
@@ -228,8 +230,12 @@ pub struct ResiliencePoint {
     pub welfare: f64,
     /// `welfare / fault-free welfare` — 1.0 means the loss cost nothing.
     pub retention: f64,
-    /// Retransmissions the coordinator needed.
+    /// Retransmissions the coordinator needed (final-report count).
     pub retries: usize,
+    /// Retransmissions counted from the run's telemetry journal — must
+    /// agree with [`retries`](Self::retries); disagreement means the
+    /// instrumentation and the report drifted apart.
+    pub journal_retries: u64,
     /// OLEVs evicted (0 under eventual delivery).
     pub evicted: usize,
 }
@@ -257,11 +263,15 @@ pub fn resilience_sweep(velocity_mph: f64, beta: f64, seed: u64) -> Vec<Resilien
                 .drop_probability(drop)
                 .duplicate_probability(drop)
                 .max_delay_ms((drop * 100.0) as u64);
+            // Journal the run so retry counts can be cross-checked against
+            // the final report (and inspected offline).
+            let journal = Arc::new(JournalRecorder::new("resilience", seed));
             let mut g = game(20, 10, 1.0, velocity_mph, 0.9, policy());
             let outcome = DistributedGame::new(&mut g)
                 .with_faults(plan)
                 .offer_timeout(Duration::from_millis(10))
                 .retry_budget(12)
+                .telemetry(Telemetry::new(journal.clone()))
                 .run(30_000)
                 .expect("survivors converge");
             let welfare = g.welfare();
@@ -270,6 +280,7 @@ pub fn resilience_sweep(velocity_mph: f64, beta: f64, seed: u64) -> Vec<Resilien
                 welfare,
                 retention: welfare / baseline,
                 retries: outcome.degradation().retries,
+                journal_retries: sum_counters(&journal.to_jsonl(), "net.retry"),
                 evicted: outcome.degradation().evictions.len(),
             }
         })
@@ -312,6 +323,15 @@ mod tests {
                 "drop {} lost welfare: retention {}",
                 point.drop_probability,
                 point.retention
+            );
+        }
+        // The journal is the oracle: its per-event retry counts must agree
+        // with the final report's total at every point.
+        for point in &points {
+            assert_eq!(
+                point.journal_retries, point.retries as u64,
+                "journal and report disagree at drop {}",
+                point.drop_probability
             );
         }
         // The lossy points actually had to retry.

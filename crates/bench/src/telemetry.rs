@@ -1,0 +1,271 @@
+//! Telemetry summaries for the benchmark harness.
+//!
+//! Runs the physically-derived C = 20, N = 10 scenario through the
+//! in-process engine, the clean decentralized runtime, and a lossy V2I
+//! channel, recording every run into both a ring buffer (for span
+//! summaries) and a seed-stamped JSONL journal. The aggregate is the
+//! `BENCH_telemetry.json` artifact: per-scenario iteration counts, span
+//! p50/p95/p99 timings, and fault counters, with the raw journals
+//! concatenated alongside as `BENCH_telemetry.jsonl`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use oes_game::{
+    DistributedGame, FaultPlan, GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder,
+};
+use oes_telemetry::{
+    span_summaries, sum_counters, Event, HistogramSummary, JournalRecorder, Recorder,
+    RingBufferRecorder, Telemetry,
+};
+use oes_units::Kilowatts;
+
+use crate::scenarios::{olev_p_max_kw, section_capacity_kw};
+
+/// Counter names folded into every scenario summary (zero when unseen), so
+/// the artifact's schema is stable across runs.
+pub const FAULT_COUNTERS: [&str; 8] = [
+    "net.offer",
+    "net.retry",
+    "net.timeout",
+    "net.drop",
+    "net.stall",
+    "net.duplicate",
+    "net.invalid_reply",
+    "net.eviction",
+];
+
+/// One instrumented scenario run: iteration counts, span timings, fault
+/// counters, and the raw journal.
+#[derive(Debug)]
+pub struct ScenarioTelemetry {
+    /// Scenario label (also stamped into the journal header).
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Best-response updates until convergence (or the cap).
+    pub updates: usize,
+    /// Whether the dynamics converged.
+    pub converged: bool,
+    /// Events recorded to the journal.
+    pub events: usize,
+    /// p50/p95/p99 summaries of every span, by name.
+    pub spans: Vec<HistogramSummary>,
+    /// `(name, journal-derived total)` for each of [`FAULT_COUNTERS`].
+    pub counters: Vec<(String, u64)>,
+    /// The scenario's full JSONL journal.
+    pub journal: String,
+}
+
+impl ScenarioTelemetry {
+    /// Serializes the summary (without the journal body) as one JSON object
+    /// with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"scenario\":\"");
+        oes_telemetry::push_json_escaped(&mut out, &self.scenario);
+        out.push_str("\",\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"updates\":");
+        out.push_str(&self.updates.to_string());
+        out.push_str(",\"converged\":");
+        out.push_str(if self.converged { "true" } else { "false" });
+        out.push_str(",\"events\":");
+        out.push_str(&self.events.to_string());
+        out.push_str(",\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span.to_json());
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            oes_telemetry::push_json_escaped(&mut out, name);
+            out.push_str("\":");
+            out.push_str(&total.to_string());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Forwards each event to both sinks: the ring keeps structured [`Event`]s
+/// for span summaries, the journal keeps the byte-exact JSONL.
+struct Fanout(Arc<RingBufferRecorder>, Arc<JournalRecorder>);
+
+impl Recorder for Fanout {
+    fn record(&self, event: &Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+fn instrumented(
+    scenario: &str,
+    seed: u64,
+) -> (Telemetry, Arc<RingBufferRecorder>, Arc<JournalRecorder>) {
+    let ring = Arc::new(RingBufferRecorder::new(1 << 18));
+    let journal = Arc::new(JournalRecorder::new(scenario, seed));
+    let telemetry = Telemetry::new(Arc::new(Fanout(ring.clone(), journal.clone())));
+    (telemetry, ring, journal)
+}
+
+fn summarize(
+    scenario: &str,
+    seed: u64,
+    updates: usize,
+    converged: bool,
+    ring: &RingBufferRecorder,
+    journal: &JournalRecorder,
+) -> ScenarioTelemetry {
+    let jsonl = journal.to_jsonl();
+    let counters = FAULT_COUNTERS
+        .iter()
+        .map(|&name| (name.to_owned(), sum_counters(&jsonl, name)))
+        .collect();
+    ScenarioTelemetry {
+        scenario: scenario.to_owned(),
+        seed,
+        updates,
+        converged,
+        events: journal.event_count(),
+        spans: span_summaries(&ring.events()),
+        counters,
+        journal: jsonl,
+    }
+}
+
+fn scenario_game() -> oes_game::Game {
+    GameBuilder::new()
+        .sections(20, Kilowatts::new(section_capacity_kw(60.0)))
+        .olevs(10, Kilowatts::new(olev_p_max_kw()))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
+        .eta(0.9)
+        .build()
+        .expect("scenario parameters are valid")
+}
+
+/// The in-process engine under round-robin dynamics.
+#[must_use]
+pub fn engine_scenario(seed: u64) -> ScenarioTelemetry {
+    let name = "engine round-robin C=20 N=10";
+    let (telemetry, ring, journal) = instrumented(name, seed);
+    let mut g = scenario_game();
+    let out = g
+        .run_with(UpdateOrder::RoundRobin, 30_000, &telemetry)
+        .expect("valid game");
+    summarize(name, seed, out.updates(), out.converged(), &ring, &journal)
+}
+
+/// The decentralized runtime over a clean (fault-free) channel.
+#[must_use]
+pub fn distributed_clean_scenario(seed: u64) -> ScenarioTelemetry {
+    let name = "distributed clean C=20 N=10";
+    let (telemetry, ring, journal) = instrumented(name, seed);
+    let mut g = scenario_game();
+    let out = DistributedGame::new(&mut g)
+        .telemetry(telemetry)
+        .run(30_000)
+        .expect("clean run converges");
+    summarize(name, seed, out.updates(), out.converged(), &ring, &journal)
+}
+
+/// The decentralized runtime over a lossy V2I channel (drop + duplicate
+/// probability `drop`), exercising the retry/timeout counters.
+#[must_use]
+pub fn distributed_lossy_scenario(seed: u64, drop: f64) -> ScenarioTelemetry {
+    let name = "distributed lossy C=20 N=10";
+    let (telemetry, ring, journal) = instrumented(name, seed);
+    let plan = FaultPlan::new(seed)
+        .drop_probability(drop)
+        .duplicate_probability(drop)
+        .max_delay_ms((drop * 100.0) as u64);
+    let mut g = scenario_game();
+    let out = DistributedGame::new(&mut g)
+        .with_faults(plan)
+        .offer_timeout(Duration::from_millis(10))
+        .retry_budget(12)
+        .telemetry(telemetry)
+        .run(30_000)
+        .expect("survivors converge");
+    summarize(name, seed, out.updates(), out.converged(), &ring, &journal)
+}
+
+/// Runs all three scenarios at `seed` — the `BENCH_telemetry` payload.
+#[must_use]
+pub fn bench_scenarios(seed: u64) -> Vec<ScenarioTelemetry> {
+    vec![
+        engine_scenario(seed),
+        distributed_clean_scenario(seed),
+        distributed_lossy_scenario(seed, 0.1),
+    ]
+}
+
+/// The `BENCH_telemetry.json` document: a stable-order JSON object wrapping
+/// every scenario summary.
+#[must_use]
+pub fn bench_summary_json(scenarios: &[ScenarioTelemetry]) -> String {
+    let mut out = String::from("{\"bench\":\"oes-telemetry\",\"scenarios\":[");
+    for (i, s) in scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The `BENCH_telemetry.jsonl` document: every scenario journal,
+/// concatenated (each starts with its own header line).
+#[must_use]
+pub fn bench_journals(scenarios: &[ScenarioTelemetry]) -> String {
+    scenarios.iter().map(|s| s.journal.as_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oes_telemetry::count_events;
+
+    #[test]
+    fn engine_scenario_counts_updates_in_journal() {
+        let s = engine_scenario(5);
+        assert!(s.converged, "round-robin must converge");
+        // One engine.update span exit per best-response update.
+        let exits = count_events(&s.journal, "engine.update");
+        assert_eq!(exits, 2 * s.updates, "span enter + exit per update");
+        assert!(s.spans.iter().any(|h| h.name == "engine.update"));
+        assert!(s.to_json().starts_with("{\"scenario\":"));
+    }
+
+    #[test]
+    fn summary_json_has_stable_shape() {
+        let s = ScenarioTelemetry {
+            scenario: "unit".to_owned(),
+            seed: 3,
+            updates: 7,
+            converged: true,
+            events: 0,
+            spans: Vec::new(),
+            counters: vec![("net.retry".to_owned(), 4)],
+            journal: String::new(),
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"scenario\":\"unit\",\"seed\":3,\"updates\":7,\"converged\":true,\
+             \"events\":0,\"spans\":[],\"counters\":{\"net.retry\":4}}"
+        );
+        let doc = bench_summary_json(&[s]);
+        assert!(doc.starts_with("{\"bench\":\"oes-telemetry\",\"scenarios\":["));
+        assert!(doc.ends_with("]}\n"));
+    }
+}

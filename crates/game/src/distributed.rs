@@ -40,9 +40,11 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use oes_telemetry::{Clock, MonotonicClock, Telemetry};
 use oes_units::{Kilowatts, MetersPerSecond, OlevId, StateOfCharge};
 use oes_wpt::v2i::{GridMessage, OlevMessage, V2iFrame};
 use parking_lot::Mutex;
@@ -66,6 +68,8 @@ struct RuntimeConfig {
     plan: Option<FaultPlan>,
     offer_timeout: Duration,
     retry_budget: u32,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +78,8 @@ impl Default for RuntimeConfig {
             plan: None,
             offer_timeout: Duration::from_millis(250),
             retry_budget: 6,
+            clock: Arc::new(MonotonicClock::new()),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -134,6 +140,23 @@ impl<'g> DistributedGame<'g> {
     #[must_use]
     pub fn retry_budget(mut self, budget: u32) -> Self {
         self.config.retry_budget = budget;
+        self
+    }
+
+    /// Replaces the deadline clock (default: a monotonic wall clock). A
+    /// [`oes_telemetry::ManualClock`] makes offer deadlines fully virtual —
+    /// they only expire when the test advances time.
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Attaches a telemetry handle; the coordinator emits `net.*` counters,
+    /// per-update `game.*` gauges, and `grid.apply` spans into it.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.config.telemetry = telemetry;
         self
     }
 
@@ -203,6 +226,20 @@ impl<'g> StaleDistributedGame<'g> {
         self
     }
 
+    /// Replaces the deadline clock (see [`DistributedGame::clock`]).
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Attaches a telemetry handle (see [`DistributedGame::telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
     /// Runs round-robin best responses with pipelined (stale) offers.
     ///
     /// # Errors
@@ -221,7 +258,8 @@ struct PendingOffer {
     attempt: u32,
     /// Invalid replies received for the logical offer so far.
     invalids: u32,
-    deadline: Instant,
+    /// Expiry instant in coordinator-clock microseconds.
+    deadline_us: u64,
 }
 
 /// What processing one protocol event amounted to.
@@ -253,6 +291,8 @@ struct Coordinator<'a> {
     plan: Option<&'a FaultPlan>,
     offer_timeout: Duration,
     retry_budget: u32,
+    clock: &'a Arc<dyn Clock>,
+    telemetry: &'a Telemetry,
     window: usize,
 
     alive: Vec<bool>,
@@ -279,6 +319,11 @@ impl<'a> Coordinator<'a> {
     /// The deadline for transmission `attempt` (exponential backoff).
     fn timeout_for(&self, attempt: u32) -> Duration {
         self.offer_timeout * 2u32.pow(attempt.min(5))
+    }
+
+    /// [`Self::timeout_for`] in clock microseconds.
+    fn timeout_for_us(&self, attempt: u32) -> u64 {
+        u64::try_from(self.timeout_for(attempt).as_micros()).unwrap_or(u64::MAX)
     }
 
     /// Reads the panic payload a worker may have left behind. Used right
@@ -325,6 +370,7 @@ impl<'a> Coordinator<'a> {
         }
         self.links[olev] = None;
         self.calm_streak = 0;
+        self.telemetry.counter("net.eviction", olev as i64, 1);
         self.report.evictions.push(Eviction {
             olev,
             at_update: self.updates,
@@ -371,6 +417,7 @@ impl<'a> Coordinator<'a> {
             }
             if attempt > 0 {
                 self.report.retries += 1;
+                self.telemetry.counter("net.retry", olev as i64, 1);
             }
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -388,6 +435,7 @@ impl<'a> Coordinator<'a> {
                 },
             );
             self.report.offers_sent += 1;
+            self.telemetry.counter("net.offer", olev as i64, 1);
             let link = self.links[olev].as_ref().expect("live OLEV has a link");
             let verdict = match link.send(seq, attempt, frame) {
                 Ok(verdict) => verdict,
@@ -409,6 +457,8 @@ impl<'a> Coordinator<'a> {
             if verdict.dropped {
                 self.report.drops += 1;
                 self.report.timeouts += 1;
+                self.telemetry.counter("net.drop", olev as i64, 1);
+                self.telemetry.counter("net.timeout", olev as i64, 1);
                 attempt += 1;
                 continue;
             }
@@ -416,6 +466,8 @@ impl<'a> Coordinator<'a> {
             if stalled {
                 // The worker will swallow this frame; no reply is coming.
                 self.report.timeouts += 1;
+                self.telemetry.counter("net.stall", olev as i64, 1);
+                self.telemetry.counter("net.timeout", olev as i64, 1);
                 attempt += 1;
                 continue;
             }
@@ -424,6 +476,7 @@ impl<'a> Coordinator<'a> {
                 // reply is already stale by construction.
                 self.abandoned.insert(seq);
                 self.report.timeouts += 1;
+                self.telemetry.counter("net.timeout", olev as i64, 1);
                 attempt += 1;
                 continue;
             }
@@ -433,7 +486,10 @@ impl<'a> Coordinator<'a> {
                     olev,
                     attempt,
                     invalids,
-                    deadline: Instant::now() + self.timeout_for(attempt),
+                    deadline_us: self
+                        .clock
+                        .now_micros()
+                        .saturating_add(self.timeout_for_us(attempt)),
                 },
             );
             return Ok(DispatchResult::InFlight);
@@ -453,17 +509,18 @@ impl<'a> Coordinator<'a> {
     /// Handles every pending offer whose deadline has passed: retry, evict,
     /// or (without fault tolerance) abort.
     fn handle_expirations(&mut self) -> Result<(), GameError> {
-        let now = Instant::now();
+        let now_us = self.clock.now_micros();
         let expired: Vec<u64> = self
             .pending
             .iter()
-            .filter(|(_, p)| p.deadline <= now)
+            .filter(|(_, p)| p.deadline_us <= now_us)
             .map(|(s, _)| *s)
             .collect();
         for seq in expired {
             let p = self.pending.remove(&seq).expect("collected above");
             self.abandoned.insert(seq);
             self.report.timeouts += 1;
+            self.telemetry.counter("net.timeout", p.olev as i64, 1);
             if let Some(msg) = self.board[p.olev].lock().clone() {
                 // The worker died mid-offer; no amount of retrying helps.
                 if self.plan.is_some() {
@@ -495,6 +552,7 @@ impl<'a> Coordinator<'a> {
     /// does: cost-minimal allocation against the fresh loads, then the
     /// convergence bookkeeping of Theorem IV.1.
     fn apply(&mut self, olev: usize, seq: u64, total: f64) {
+        let span = self.telemetry.span("grid.apply", olev as i64);
         let id = OlevId(olev);
         let fresh_loads = self.schedule.loads_excluding(id);
         let allocation = self
@@ -504,7 +562,7 @@ impl<'a> Coordinator<'a> {
         self.schedule.set_row(id, &allocation.shares);
         let change = (total - before).abs();
         self.updates += 1;
-        self.trajectory.push(Snapshot {
+        let snapshot = Snapshot {
             update: self.updates,
             congestion: self.schedule.system_congestion(self.caps),
             welfare: crate::potential::social_welfare(
@@ -514,7 +572,14 @@ impl<'a> Coordinator<'a> {
                 self.schedule,
             ),
             change,
-        });
+        };
+        drop(span);
+        let key = self.updates as i64;
+        self.telemetry.gauge("game.welfare", key, snapshot.welfare);
+        self.telemetry
+            .gauge("game.congestion", key, snapshot.congestion);
+        self.telemetry.gauge("game.change", key, snapshot.change);
+        self.trajectory.push(snapshot);
         if change < self.tolerance {
             self.calm_streak += 1;
         } else {
@@ -523,6 +588,7 @@ impl<'a> Coordinator<'a> {
         let extra = if self.window == 1 { 0 } else { self.window };
         if self.calm_streak >= self.live + extra {
             self.converged = true;
+            self.telemetry.counter("game.converged", -1, 1);
         }
         // Close the loop: tell the OLEV what it got and at what marginal
         // price. Fire-and-forget — a lost PaymentUpdate costs nothing.
@@ -553,10 +619,12 @@ impl<'a> Coordinator<'a> {
         let seq = frame.seq;
         if self.accepted.contains(&seq) {
             self.report.duplicates += 1;
+            self.telemetry.counter("net.duplicate", id.0 as i64, 1);
             return Ok(Event::Housekeeping);
         }
         if self.abandoned.contains(&seq) {
             self.report.stale += 1;
+            self.telemetry.counter("net.stale", id.0 as i64, 1);
             return Ok(Event::Housekeeping);
         }
         let Some(p) = self.pending.get(&seq) else {
@@ -594,6 +662,7 @@ impl<'a> Coordinator<'a> {
             self.pending.remove(&seq);
             self.abandoned.insert(seq);
             self.report.invalid_replies += 1;
+            self.telemetry.counter("net.invalid_reply", olev as i64, 1);
             if self.plan.is_none() {
                 return Err(GameError::InvalidReply { olev, reason });
             }
@@ -610,6 +679,7 @@ impl<'a> Coordinator<'a> {
         let total = if total > bound {
             if total > bound + 1e-9 {
                 self.report.clamped_replies += 1;
+                self.telemetry.counter("net.clamped_reply", olev as i64, 1);
             }
             bound
         } else {
@@ -625,10 +695,10 @@ impl<'a> Coordinator<'a> {
     /// a retry/eviction changes the in-flight picture, or the run dies.
     fn pump(&mut self) -> Result<(), GameError> {
         loop {
-            let Some(nearest) = self.pending.values().map(|p| p.deadline).min() else {
+            let Some(nearest) = self.pending.values().map(|p| p.deadline_us).min() else {
                 return Ok(());
             };
-            let wait = nearest.saturating_duration_since(Instant::now());
+            let wait = Duration::from_micros(nearest.saturating_sub(self.clock.now_micros()));
             match self.reply_rx.recv_timeout(wait) {
                 Ok(frame) => match self.process(frame)? {
                     Event::Applied => return Ok(()),
@@ -720,6 +790,15 @@ impl<'a> Coordinator<'a> {
                 }
             }
         }
+        // Hello/Goodbye frames arrive racily from worker threads, so they
+        // are journaled only here, as run-level totals after the drain —
+        // never inline, which would break byte-identical same-seed journals.
+        self.telemetry
+            .counter("net.hello", -1, self.report.hellos as u64);
+        self.telemetry
+            .counter("net.goodbye", -1, self.report.goodbyes as u64);
+        self.telemetry
+            .gauge("game.updates", -1, self.updates as f64);
     }
 }
 
@@ -865,6 +944,8 @@ fn run_hardened(
             plan,
             offer_timeout: config.offer_timeout,
             retry_budget: config.retry_budget,
+            clock: &config.clock,
+            telemetry: &config.telemetry,
             window,
             alive: vec![true; n_olevs],
             live: n_olevs,
@@ -998,6 +1079,49 @@ mod tests {
         let p0 = g.schedule().olev_total(oes_units::OlevId(0));
         let p4 = g.schedule().olev_total(oes_units::OlevId(4));
         assert!(p0 > p4, "eager {p0} vs lukewarm {p4}");
+    }
+
+    #[test]
+    fn frozen_manual_clock_never_expires_deadlines() {
+        // With a frozen virtual clock every deadline sits in the future
+        // forever; a clean run must still converge purely on replies, with
+        // zero timeouts — which proves the deadline logic runs on the
+        // injected clock, not the wall.
+        use oes_telemetry::ManualClock;
+        let mut g = build();
+        let out = DistributedGame::new(&mut g)
+            .clock(Arc::new(ManualClock::new()))
+            .run(1000)
+            .unwrap();
+        assert!(out.converged());
+        assert_eq!(out.degradation().timeouts, 0);
+        assert!(out.degradation().is_clean());
+    }
+
+    #[test]
+    fn telemetry_counters_match_the_degradation_report() {
+        use oes_telemetry::{RingBufferRecorder, Telemetry};
+        let mut plain = build();
+        let baseline = DistributedGame::new(&mut plain).run(1000).unwrap();
+
+        let ring = Arc::new(RingBufferRecorder::new(1 << 14));
+        let mut g = build();
+        let out = DistributedGame::new(&mut g)
+            .telemetry(Telemetry::new(ring.clone()))
+            .run(1000)
+            .unwrap();
+
+        // Recorder neutrality: attaching a sink changes no game outcome.
+        assert_eq!(out.trajectory, baseline.trajectory);
+        assert_eq!(g.schedule(), plain.schedule());
+
+        let report = out.degradation();
+        assert_eq!(ring.counter_total("net.offer") as usize, report.offers_sent);
+        assert_eq!(ring.counter_total("net.hello") as usize, report.hellos);
+        assert_eq!(ring.counter_total("net.goodbye") as usize, report.goodbyes);
+        assert_eq!(ring.counter_total("game.converged"), 1);
+        assert_eq!(ring.last_gauge("game.welfare"), Some(out.final_welfare()));
+        assert_eq!(ring.last_gauge("game.updates"), Some(out.updates() as f64));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! convergence when a full cycle of updates moves nobody by more than the
 //! tolerance.
 
+use oes_telemetry::Telemetry;
 use oes_units::{OlevId, SectionId};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -276,12 +277,34 @@ impl Game {
     /// Returns [`GameError`] if the scenario is degenerate (cannot happen for
     /// builder-constructed games).
     pub fn run(&mut self, order: UpdateOrder, max_updates: usize) -> Result<Outcome, GameError> {
+        self.run_with(order, max_updates, &Telemetry::disabled())
+    }
+
+    /// [`Game::run`] with telemetry: each best-response update is wrapped in
+    /// an `engine.update` span (keyed by OLEV), and each iteration emits
+    /// `engine.welfare` / `engine.congestion` / `engine.change` gauges keyed
+    /// by the update counter. With a disabled handle this is exactly
+    /// [`Game::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError`] if the scenario is degenerate (cannot happen for
+    /// builder-constructed games).
+    pub fn run_with(
+        &mut self,
+        order: UpdateOrder,
+        max_updates: usize,
+        telemetry: &Telemetry,
+    ) -> Result<Outcome, GameError> {
         let n_olevs = self.olev_count();
         let mut rng = match order {
             UpdateOrder::Random { seed } => Some(ChaCha8Rng::seed_from_u64(seed)),
             UpdateOrder::RoundRobin => None,
         };
         let mut trajectory = Vec::with_capacity(max_updates.min(4096));
+        // Accumulated across the whole run; every exit path returns this
+        // same report so early convergence cannot zero the counters.
+        let mut report = crate::faults::DegradationReport::default();
         let mut calm_streak = 0usize;
         let mut updates = 0usize;
         while updates < max_updates {
@@ -289,14 +312,25 @@ impl Game {
                 Some(r) => r.gen_range(0..n_olevs),
                 None => updates % n_olevs,
             };
-            let change = self.update_olev(n)?;
+            let change = {
+                let _span = telemetry.span("engine.update", n as i64);
+                self.update_olev(n)?
+            };
             updates += 1;
-            trajectory.push(Snapshot {
+            // The in-process engine "posts" one offer per update; the same
+            // accounting the decentralized coordinator does on a clean link.
+            report.offers_sent += 1;
+            let snapshot = Snapshot {
                 update: updates,
                 congestion: self.system_congestion(),
                 welfare: self.welfare(),
                 change,
-            });
+            };
+            let key = updates as i64;
+            telemetry.gauge("engine.welfare", key, snapshot.welfare);
+            telemetry.gauge("engine.congestion", key, snapshot.congestion);
+            telemetry.gauge("engine.change", key, snapshot.change);
+            trajectory.push(snapshot);
             if change < self.tolerance {
                 calm_streak += 1;
             } else {
@@ -310,11 +344,12 @@ impl Game {
                 UpdateOrder::Random { .. } => 4 * n_olevs,
             };
             if calm_streak >= needed {
+                telemetry.counter("engine.converged", -1, 1);
                 return Ok(Outcome {
                     converged: true,
                     updates,
                     trajectory,
-                    degradation: crate::faults::DegradationReport::default(),
+                    degradation: report,
                 });
             }
         }
@@ -322,7 +357,7 @@ impl Game {
             converged: false,
             updates,
             trajectory,
-            degradation: crate::faults::DegradationReport::default(),
+            degradation: report,
         })
     }
 
@@ -457,6 +492,58 @@ mod tests {
         let last = out.trajectory.last().unwrap().congestion;
         assert!(last >= first);
         assert!(out.updates_to_reach(0.95).is_some());
+    }
+
+    #[test]
+    fn early_convergence_keeps_accumulated_degradation_counters() {
+        // Regression: the convergence exit path used to return a fresh
+        // `DegradationReport::default()`, wiping the per-update accounting.
+        let mut g = small_game();
+        let out = g.run(UpdateOrder::RoundRobin, 1000).unwrap();
+        assert!(out.converged(), "must exercise the early-convergence path");
+        assert_eq!(
+            out.degradation().offers_sent,
+            out.updates(),
+            "one offer per update must survive the early return"
+        );
+        assert!(out.degradation().is_clean(), "in-process runs are clean");
+    }
+
+    #[test]
+    fn instrumented_run_emits_per_update_metrics_without_changing_outcome() {
+        use oes_telemetry::{RingBufferRecorder, Telemetry};
+        use std::sync::Arc;
+
+        let mut plain = small_game();
+        let baseline = plain.run(UpdateOrder::RoundRobin, 1000).unwrap();
+
+        let ring = Arc::new(RingBufferRecorder::new(1 << 14));
+        let telemetry = Telemetry::new(ring.clone());
+        let mut instrumented = small_game();
+        let out = instrumented
+            .run_with(UpdateOrder::RoundRobin, 1000, &telemetry)
+            .unwrap();
+
+        // Recorder neutrality: bit-identical trajectory and schedule.
+        assert_eq!(out, baseline);
+        assert_eq!(instrumented.schedule(), plain.schedule());
+
+        let events = ring.events();
+        let gauges = events.iter().filter(|e| e.name == "engine.welfare").count();
+        assert_eq!(gauges, out.updates());
+        let exits = events
+            .iter()
+            .filter(|e| {
+                e.name == "engine.update"
+                    && matches!(e.sample, oes_telemetry::Sample::SpanExit { .. })
+            })
+            .count();
+        assert_eq!(exits, out.updates());
+        assert_eq!(ring.counter_total("engine.converged"), 1);
+        assert_eq!(
+            ring.last_gauge("engine.welfare"),
+            Some(baseline.final_welfare())
+        );
     }
 
     #[test]

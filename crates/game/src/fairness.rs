@@ -8,6 +8,7 @@
 //! heterogeneous weights the log satisfaction's diminishing returns keep
 //! the index high — quantified in tests.
 
+use oes_telemetry::Telemetry;
 use oes_units::OlevId;
 
 use crate::engine::Game;
@@ -46,6 +47,15 @@ pub fn jain_index(values: &[f64]) -> f64 {
 /// `w` for the log family).
 #[must_use]
 pub fn fairness_report(game: &Game) -> FairnessReport {
+    fairness_report_with(game, &Telemetry::disabled())
+}
+
+/// [`fairness_report`] with telemetry: the computation runs inside a
+/// `fairness.report` span (timed on the handle's [`oes_telemetry::Clock`],
+/// not the wall) and each index is emitted as a `fairness.*` gauge.
+#[must_use]
+pub fn fairness_report_with(game: &Game, telemetry: &Telemetry) -> FairnessReport {
+    let span = telemetry.span("fairness.report", -1);
     let totals: Vec<f64> = (0..game.olev_count())
         .map(|n| game.schedule().olev_total(OlevId(n)))
         .collect();
@@ -57,11 +67,16 @@ pub fn fairness_report(game: &Game) -> FairnessReport {
     let per_weight: Vec<f64> = totals.iter().zip(&weights).map(|(x, w)| x / w).collect();
     let max = totals.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
     let min = totals.iter().fold(f64::INFINITY, |m, &x| m.min(x));
-    FairnessReport {
+    let report = FairnessReport {
         jain_index: jain_index(&totals),
         weighted_jain_index: jain_index(&per_weight),
         min_max_ratio: if max > 0.0 { (min / max).max(0.0) } else { 1.0 },
-    }
+    };
+    drop(span);
+    telemetry.gauge("fairness.jain", -1, report.jain_index);
+    telemetry.gauge("fairness.weighted_jain", -1, report.weighted_jain_index);
+    telemetry.gauge("fairness.min_max", -1, report.min_max_ratio);
+    report
 }
 
 #[cfg(test)]
@@ -110,6 +125,31 @@ mod tests {
         assert!(f.jain_index < 1.0 - 1e-6);
         assert!(f.jain_index > 0.6, "index {}", f.jain_index);
         assert!(f.min_max_ratio > 0.1);
+    }
+
+    #[test]
+    fn instrumented_report_matches_and_emits_gauges() {
+        use oes_telemetry::{RingBufferRecorder, Telemetry};
+        use std::sync::Arc;
+
+        let mut g = GameBuilder::new()
+            .sections(6, Kilowatts::new(30.0))
+            .olevs(4, Kilowatts::new(50.0))
+            .build()
+            .unwrap();
+        g.run(UpdateOrder::RoundRobin, 5_000).unwrap();
+        let ring = Arc::new(RingBufferRecorder::new(16));
+        let telemetry = Telemetry::new(ring.clone());
+        let instrumented = fairness_report_with(&g, &telemetry);
+        assert_eq!(instrumented, fairness_report(&g));
+        assert_eq!(
+            ring.last_gauge("fairness.jain"),
+            Some(instrumented.jain_index)
+        );
+        assert_eq!(
+            ring.last_gauge("fairness.min_max"),
+            Some(instrumented.min_max_ratio)
+        );
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub use distributed::{DistributedGame, StaleDistributedGame};
 pub use dynamics::{uniform_fleet, RoundOutcome, SocCoupledGame};
 pub use engine::{Game, Outcome, Snapshot, UpdateOrder};
 pub use error::GameError;
-pub use fairness::{fairness_report, jain_index, FairnessReport};
+pub use fairness::{fairness_report, fairness_report_with, jain_index, FairnessReport};
 pub use faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, LinkVerdict, LossyLink};
 pub use payment::{payment_for_schedule, quote, PaymentQuote, Scheduler};
 pub use pricing::{

@@ -9,6 +9,7 @@
 //! against a demand series under per-interval ramp limits and reports the
 //! shortfall that ancillary services would have to cover.
 
+use oes_telemetry::Telemetry;
 use oes_units::{Dollars, DollarsPerMegawattHour, Megawatts};
 
 /// One dispatchable generator.
@@ -143,6 +144,24 @@ impl DispatchPlan {
 /// Panics if `fleet` is empty.
 #[must_use]
 pub fn dispatch(fleet: &[Generator], demand: &[Megawatts], interval_hours: f64) -> DispatchPlan {
+    dispatch_with(fleet, demand, interval_hours, &Telemetry::disabled())
+}
+
+/// [`dispatch`] with telemetry: the solve runs inside a `grid.dispatch`
+/// span, each interval emits a `grid.shortfall` gauge keyed by its index,
+/// and the run ends with a `grid.dispatch_cost` gauge (total dollars).
+///
+/// # Panics
+///
+/// Panics if `fleet` is empty.
+#[must_use]
+pub fn dispatch_with(
+    fleet: &[Generator],
+    demand: &[Megawatts],
+    interval_hours: f64,
+    telemetry: &Telemetry,
+) -> DispatchPlan {
+    let _span = telemetry.span("grid.dispatch", -1);
     assert!(!fleet.is_empty(), "need at least one generator");
     let mut order: Vec<usize> = (0..fleet.len()).collect();
     order.sort_by(|&a, &b| {
@@ -181,13 +200,16 @@ pub fn dispatch(fleet: &[Generator], demand: &[Megawatts], interval_hours: f64) 
             .map(|(g, &o)| g.marginal_cost.value() * o * interval_hours)
             .sum();
         output = new_output.clone();
+        telemetry.gauge("grid.shortfall", k as i64, shortfall);
         intervals.push(DispatchInterval {
             output: new_output.into_iter().map(Megawatts::new).collect(),
             shortfall: Megawatts::new(shortfall),
             cost: Dollars::new(cost),
         });
     }
-    DispatchPlan { intervals }
+    let plan = DispatchPlan { intervals };
+    telemetry.gauge("grid.dispatch_cost", -1, plan.total_cost().value());
+    plan
 }
 
 #[cfg(test)]
@@ -282,5 +304,36 @@ mod tests {
     #[should_panic(expected = "at least one generator")]
     fn empty_fleet_panics() {
         let _ = dispatch(&[], &[mw(1.0)], 1.0);
+    }
+
+    #[test]
+    fn instrumented_dispatch_matches_and_emits_gauges() {
+        use oes_telemetry::{RingBufferRecorder, Telemetry};
+        use std::sync::Arc;
+
+        let fleet = nyiso_like_fleet();
+        let demand = vec![mw(4200.0), mw(6200.0), mw(6200.0)];
+        let plain = dispatch(&fleet, &demand, 1.0);
+
+        let ring = Arc::new(RingBufferRecorder::new(64));
+        let telemetry = Telemetry::new(ring.clone());
+        let instrumented = dispatch_with(&fleet, &demand, 1.0, &telemetry);
+        assert_eq!(instrumented, plain, "telemetry must not change the plan");
+
+        let shortfalls: Vec<f64> = ring
+            .events()
+            .iter()
+            .filter(|e| e.name == "grid.shortfall")
+            .map(|e| match e.sample {
+                oes_telemetry::Sample::Gauge { value } => value,
+                _ => unreachable!("shortfall is a gauge"),
+            })
+            .collect();
+        assert_eq!(shortfalls.len(), demand.len());
+        assert_eq!(shortfalls[1], plain.intervals[1].shortfall.value());
+        assert_eq!(
+            ring.last_gauge("grid.dispatch_cost"),
+            Some(plain.total_cost().value())
+        );
     }
 }

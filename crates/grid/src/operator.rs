@@ -1,6 +1,7 @@
 //! The grid operator: ties the load profile, forecaster, supply stack, and
 //! ancillary market into one simulated day (the producer of Fig. 2).
 
+use oes_telemetry::Telemetry;
 use oes_units::{DollarsPerMegawattHour, Hours, MegawattHours, Megawatts};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -197,6 +198,16 @@ impl GridOperator {
     /// market prices reserves and regulation.
     #[must_use]
     pub fn simulate_day(&self) -> DaySeries {
+        self.simulate_day_with(&Telemetry::disabled())
+    }
+
+    /// [`Self::simulate_day`] with telemetry: the whole day runs inside a
+    /// `grid.day` span, and every interval emits `grid.load`,
+    /// `grid.forecast_error` (the deficiency), and `grid.lbmp` gauges keyed
+    /// by the interval index.
+    #[must_use]
+    pub fn simulate_day_with(&self, telemetry: &Telemetry) -> DaySeries {
+        let _span = telemetry.span("grid.day", -1);
         let n = self.config.intervals_per_day.max(1);
         let dt_hours = 24.0 / n as f64;
         let profile = self.config.profile.clone();
@@ -227,6 +238,10 @@ impl GridOperator {
             // deficiency is already a rate: convert 1:1 (not per-interval).
             let lbmp = self.config.stack.lbmp(demand, deficiency, 1.0);
             let ancillary = self.config.ancillary.price(demand, deficiency);
+            let key = i as i64;
+            telemetry.gauge("grid.load", key, integrated.value());
+            telemetry.gauge("grid.forecast_error", key, deficiency.value());
+            telemetry.gauge("grid.lbmp", key, lbmp.value());
             points.push(DayPoint {
                 hour,
                 integrated_load: integrated,

@@ -1,0 +1,128 @@
+//! The time source behind every telemetry timestamp and runtime deadline.
+//!
+//! Raw `Instant::now()` calls make deadline logic untestable (you have to
+//! sleep) and journals non-reproducible (every run stamps different times).
+//! A [`Clock`] abstracts the source: [`MonotonicClock`] for real wall-clock
+//! timing in benches and production, [`ManualClock`] for virtual time that
+//! only moves when a test or simulation advances it — making same-seed runs
+//! byte-identical and deadline expiry testable without sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source measured in microseconds since the clock's epoch.
+pub trait Clock: Send + Sync + core::fmt::Debug {
+    /// Microseconds elapsed since this clock's epoch.
+    fn now_micros(&self) -> u64;
+
+    /// The current time as a [`Duration`] since the epoch.
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.now_micros())
+    }
+}
+
+/// Real time: microseconds since the clock was created, via [`Instant`].
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A monotonic clock whose epoch is now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Virtual time: starts at zero (or a chosen origin) and moves only when
+/// [`advance`](Self::advance) is called. Shareable across threads.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A virtual clock frozen at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A virtual clock starting at `micros`.
+    #[must_use]
+    pub fn starting_at(micros: u64) -> Self {
+        Self {
+            micros: AtomicU64::new(micros),
+        }
+    }
+
+    /// Moves the clock forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.advance_micros(u64::try_from(delta.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Moves the clock forward by `delta` microseconds.
+    pub fn advance_micros(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute time (must not move backwards in
+    /// correct use; the clock does not enforce it).
+    pub fn set_micros(&self, micros: u64) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_frozen_until_advanced() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        assert_eq!(clock.now_micros(), 0);
+        clock.advance(Duration::from_millis(3));
+        assert_eq!(clock.now_micros(), 3_000);
+        clock.advance_micros(7);
+        assert_eq!(clock.now_micros(), 3_007);
+        clock.set_micros(10);
+        assert_eq!(clock.now_micros(), 10);
+        assert_eq!(clock.now(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn manual_clock_can_start_late() {
+        let clock = ManualClock::starting_at(500);
+        assert_eq!(clock.now_micros(), 500);
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+}

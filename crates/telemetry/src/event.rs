@@ -1,0 +1,192 @@
+//! The single wire unit every recorder consumes.
+
+/// The measurement a single [`Event`] carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sample {
+    /// A span (traced region) was entered.
+    SpanEnter,
+    /// A span was exited after `elapsed_us` microseconds on the clock.
+    SpanExit {
+        /// Clock time spent inside the span, microseconds.
+        elapsed_us: u64,
+    },
+    /// A monotone counter was incremented by `delta`.
+    Counter {
+        /// The increment (usually 1).
+        delta: u64,
+    },
+    /// An instantaneous value was observed.
+    Gauge {
+        /// The observed value.
+        value: f64,
+    },
+    /// A sample was added to a distribution.
+    Histogram {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+impl Sample {
+    /// A short stable tag for journals ("span_enter", "counter", …).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::SpanEnter => "span_enter",
+            Self::SpanExit { .. } => "span_exit",
+            Self::Counter { .. } => "counter",
+            Self::Gauge { .. } => "gauge",
+            Self::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One telemetry event: when, what, which, and the sample itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Clock timestamp, microseconds since the telemetry clock's epoch.
+    pub at_us: u64,
+    /// Static metric/span name (see the crate-level naming conventions).
+    pub name: &'static str,
+    /// The natural index of the event: OLEV id, update number, sim tick, or
+    /// `-1` for run-level summaries.
+    pub key: i64,
+    /// The measurement.
+    pub sample: Sample,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// Field order and float formatting are fixed, so two identical event
+    /// streams serialize to byte-identical journals. Non-finite floats are
+    /// emitted as `null` to keep every line valid JSON.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"at_us\":");
+        line.push_str(&self.at_us.to_string());
+        line.push_str(",\"name\":\"");
+        // Names are static identifiers; escape defensively anyway.
+        push_json_escaped(&mut line, self.name);
+        line.push_str("\",\"key\":");
+        line.push_str(&self.key.to_string());
+        line.push_str(",\"kind\":\"");
+        line.push_str(self.sample.kind());
+        line.push('"');
+        match self.sample {
+            Sample::SpanEnter => {}
+            Sample::SpanExit { elapsed_us } => {
+                line.push_str(",\"elapsed_us\":");
+                line.push_str(&elapsed_us.to_string());
+            }
+            Sample::Counter { delta } => {
+                line.push_str(",\"delta\":");
+                line.push_str(&delta.to_string());
+            }
+            Sample::Gauge { value } | Sample::Histogram { value } => {
+                line.push_str(",\"value\":");
+                push_json_f64(&mut line, value);
+            }
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Appends `value` as JSON: the shortest round-trip decimal for finite
+/// floats, `null` otherwise.
+pub fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        // Rust's `{}` for f64 is the shortest representation that parses
+        // back exactly — deterministic across runs and platforms.
+        let s = format!("{value}");
+        out.push_str(&s);
+        // "1" would parse as an integer; that is still valid JSON, fine.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` with JSON string escaping (quotes, backslashes, control
+/// characters).
+pub fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_stable_and_valid_looking() {
+        let e = Event {
+            at_us: 12,
+            name: "engine.welfare",
+            key: 3,
+            sample: Sample::Gauge { value: 1.5 },
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"at_us\":12,\"name\":\"engine.welfare\",\"key\":3,\"kind\":\"gauge\",\"value\":1.5}"
+        );
+        let e = Event {
+            at_us: 0,
+            name: "net.retry",
+            key: -1,
+            sample: Sample::Counter { delta: 2 },
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"at_us\":0,\"name\":\"net.retry\",\"key\":-1,\"kind\":\"counter\",\"delta\":2}"
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let e = Event {
+            at_us: 0,
+            name: "g",
+            key: 0,
+            sample: Sample::Gauge { value: f64::NAN },
+        };
+        assert!(e.to_json_line().ends_with("\"value\":null}"));
+    }
+
+    #[test]
+    fn span_samples_carry_their_fields() {
+        let enter = Event {
+            at_us: 1,
+            name: "s",
+            key: 0,
+            sample: Sample::SpanEnter,
+        };
+        assert!(enter.to_json_line().contains("\"kind\":\"span_enter\""));
+        let exit = Event {
+            at_us: 9,
+            name: "s",
+            key: 0,
+            sample: Sample::SpanExit { elapsed_us: 8 },
+        };
+        assert!(exit.to_json_line().contains("\"elapsed_us\":8"));
+    }
+
+    #[test]
+    fn escaping_handles_hostile_names() {
+        let mut out = String::new();
+        push_json_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

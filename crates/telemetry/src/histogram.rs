@@ -1,0 +1,209 @@
+//! Quantile summaries over span timings and histogram samples.
+
+use std::collections::BTreeMap;
+
+use crate::event::{push_json_f64, Event, Sample};
+
+/// A p50/p95/p99 summary of one named distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// The metric or span name.
+    pub name: String,
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Serializes the summary as one JSON object with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"name\":\"");
+        crate::event::push_json_escaped(&mut out, &self.name);
+        out.push_str("\",\"count\":");
+        out.push_str(&self.count.to_string());
+        for (label, value) in [
+            ("min", self.min),
+            ("max", self.max),
+            ("mean", self.mean),
+            ("p50", self.p50),
+            ("p95", self.p95),
+            ("p99", self.p99),
+        ] {
+            out.push_str(",\"");
+            out.push_str(label);
+            out.push_str("\":");
+            push_json_f64(&mut out, value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The nearest-rank `q`-quantile of an ascending-sorted, non-empty slice.
+///
+/// `q` is clamped to `[0, 1]`; `quantile(s, 0.5)` is the median in the
+/// nearest-rank convention (`ceil(q·n)`-th smallest).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+#[must_use]
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample set");
+    let q = q.clamp(0.0, 1.0);
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(n - 1)]
+}
+
+/// Summarizes raw samples (order irrelevant). Returns `None` when empty.
+#[must_use]
+pub fn summarize(name: &str, samples: &[f64]) -> Option<HistogramSummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let count = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / count as f64;
+    Some(HistogramSummary {
+        name: name.to_owned(),
+        count,
+        min: sorted[0],
+        max: sorted[count - 1],
+        mean,
+        p50: quantile(&sorted, 0.50),
+        p95: quantile(&sorted, 0.95),
+        p99: quantile(&sorted, 0.99),
+    })
+}
+
+/// Groups [`Sample::SpanExit`] elapsed times by span name and summarizes
+/// each (microseconds). Names come out in lexicographic order.
+#[must_use]
+pub fn span_summaries(events: &[Event]) -> Vec<HistogramSummary> {
+    summaries_of(events, |e| match e.sample {
+        Sample::SpanExit { elapsed_us } => Some(elapsed_us as f64),
+        _ => None,
+    })
+}
+
+/// Groups [`Sample::Histogram`] samples by name and summarizes each.
+/// Names come out in lexicographic order.
+#[must_use]
+pub fn histogram_summaries(events: &[Event]) -> Vec<HistogramSummary> {
+    summaries_of(events, |e| match e.sample {
+        Sample::Histogram { value } => Some(value),
+        _ => None,
+    })
+}
+
+fn summaries_of(
+    events: &[Event],
+    extract: impl Fn(&Event) -> Option<f64>,
+) -> Vec<HistogramSummary> {
+    let mut by_name: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for event in events {
+        if let Some(v) = extract(event) {
+            by_name.entry(event.name).or_default().push(v);
+        }
+    }
+    by_name
+        .into_iter()
+        .filter_map(|(name, samples)| summarize(name, &samples))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(quantile(&s, 0.50), 50.0);
+        assert_eq!(quantile(&s, 0.95), 95.0);
+        assert_eq!(quantile(&s, 0.99), 99.0);
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 100.0);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(quantile(&s, 2.0), 100.0);
+    }
+
+    #[test]
+    fn small_sample_quantiles() {
+        let s = [3.0];
+        assert_eq!(quantile(&s, 0.5), 3.0);
+        assert_eq!(quantile(&s, 0.99), 3.0);
+        let s = [1.0, 2.0];
+        assert_eq!(quantile(&s, 0.5), 1.0, "ceil(0.5·2) = rank 1");
+        assert_eq!(quantile(&s, 0.95), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_quantile_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summarize_computes_all_fields() {
+        let summary = summarize("t", &[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 4.0);
+        assert_eq!(summary.mean, 2.5);
+        assert_eq!(summary.p50, 2.0);
+        assert_eq!(summary.p95, 4.0);
+        assert!(summarize("t", &[]).is_none());
+    }
+
+    #[test]
+    fn span_summaries_group_by_name() {
+        let mut events = Vec::new();
+        for (name, us) in [("a", 10), ("b", 5), ("a", 20), ("a", 30), ("b", 15)] {
+            events.push(Event {
+                at_us: 0,
+                name: if name == "a" { "a" } else { "b" },
+                key: 0,
+                sample: Sample::SpanExit { elapsed_us: us },
+            });
+        }
+        // Unrelated kinds are ignored.
+        events.push(Event {
+            at_us: 0,
+            name: "a",
+            key: 0,
+            sample: Sample::Gauge { value: 999.0 },
+        });
+        let summaries = span_summaries(&events);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].name, "a");
+        assert_eq!(summaries[0].count, 3);
+        assert_eq!(summaries[0].p50, 20.0);
+        assert_eq!(summaries[1].name, "b");
+        assert_eq!(summaries[1].count, 2);
+    }
+
+    #[test]
+    fn summary_json_is_stable() {
+        let json = summarize("span", &[1.0, 2.0]).unwrap().to_json();
+        assert_eq!(
+            json,
+            "{\"name\":\"span\",\"count\":2,\"min\":1,\"max\":2,\"mean\":1.5,\"p50\":1,\"p95\":2,\"p99\":2}"
+        );
+    }
+}

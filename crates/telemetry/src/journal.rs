@@ -1,0 +1,171 @@
+//! The JSONL run journal: one JSON object per line, seed- and
+//! scenario-stamped, suitable both for offline analysis and as a byte-exact
+//! regression oracle (same seed + virtual clock ⇒ identical journal).
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::{push_json_escaped, Event};
+use crate::recorder::Recorder;
+
+/// Appends one JSON line per event after a header line identifying the run.
+///
+/// The header is `{"journal":"oes","scenario":"…","seed":N}`; every
+/// subsequent line is an [`Event`] via [`Event::to_json_line`]. Lines are
+/// buffered in memory; call [`write_to`](Self::write_to) or
+/// [`to_jsonl`](Self::to_jsonl) to extract them.
+#[derive(Debug)]
+pub struct JournalRecorder {
+    header: String,
+    lines: Mutex<Vec<String>>,
+}
+
+impl JournalRecorder {
+    /// A journal stamped with a scenario label and the run's seed.
+    #[must_use]
+    pub fn new(scenario: &str, seed: u64) -> Self {
+        let mut header = String::with_capacity(48 + scenario.len());
+        header.push_str("{\"journal\":\"oes\",\"scenario\":\"");
+        push_json_escaped(&mut header, scenario);
+        header.push_str("\",\"seed\":");
+        header.push_str(&seed.to_string());
+        header.push('}');
+        Self {
+            header,
+            lines: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lines(&self) -> std::sync::MutexGuard<'_, Vec<String>> {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Number of recorded events (excluding the header).
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.lines().len()
+    }
+
+    /// The whole journal as a JSONL string (header first, trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines();
+        let mut out = String::with_capacity(
+            self.header.len() + 1 + lines.iter().map(|l| l.len() + 1).sum::<usize>(),
+        );
+        out.push_str(&self.header);
+        out.push('\n');
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the journal to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+impl Recorder for JournalRecorder {
+    fn record(&self, event: &Event) {
+        let line = event.to_json_line();
+        self.lines().push(line);
+    }
+}
+
+/// Counts journal lines recording an event named exactly `name`.
+///
+/// Works on the textual JSONL (no parser dependency): a line matches when it
+/// contains the serialized `"name":"<name>"` field.
+#[must_use]
+pub fn count_events(jsonl: &str, name: &str) -> usize {
+    let needle = format!("\"name\":\"{name}\"");
+    jsonl.lines().filter(|l| l.contains(&needle)).count()
+}
+
+/// Sums the `delta`s of every counter line named exactly `name` — the
+/// journal-derived equivalent of a final counter total.
+#[must_use]
+pub fn sum_counters(jsonl: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\"");
+    jsonl
+        .lines()
+        .filter(|l| l.contains(&needle) && l.contains("\"kind\":\"counter\""))
+        .filter_map(|l| {
+            let tail = &l[l.find("\"delta\":")? + "\"delta\":".len()..];
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse::<u64>().ok()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Sample;
+
+    fn journal_with_events() -> JournalRecorder {
+        let j = JournalRecorder::new("unit-test", 7);
+        j.record(&Event {
+            at_us: 0,
+            name: "net.retry",
+            key: 2,
+            sample: Sample::Counter { delta: 3 },
+        });
+        j.record(&Event {
+            at_us: 0,
+            name: "net.retry",
+            key: 1,
+            sample: Sample::Counter { delta: 2 },
+        });
+        j.record(&Event {
+            at_us: 0,
+            name: "game.welfare",
+            key: 1,
+            sample: Sample::Gauge { value: 4.25 },
+        });
+        j
+    }
+
+    #[test]
+    fn header_is_stamped_and_first() {
+        let j = journal_with_events();
+        let jsonl = j.to_jsonl();
+        let first = jsonl.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "{\"journal\":\"oes\",\"scenario\":\"unit-test\",\"seed\":7}"
+        );
+        assert_eq!(jsonl.lines().count(), 4);
+        assert_eq!(j.event_count(), 3);
+    }
+
+    #[test]
+    fn counting_and_summing_by_name() {
+        let jsonl = journal_with_events().to_jsonl();
+        assert_eq!(count_events(&jsonl, "net.retry"), 2);
+        assert_eq!(count_events(&jsonl, "game.welfare"), 1);
+        assert_eq!(count_events(&jsonl, "net"), 0, "exact names only");
+        assert_eq!(sum_counters(&jsonl, "net.retry"), 5);
+        assert_eq!(sum_counters(&jsonl, "game.welfare"), 0, "gauges don't sum");
+    }
+
+    #[test]
+    fn write_to_round_trips() {
+        let j = journal_with_events();
+        let path = std::env::temp_dir().join("oes-telemetry-journal-test.jsonl");
+        j.write_to(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, j.to_jsonl());
+        let _ = std::fs::remove_file(&path);
+    }
+}

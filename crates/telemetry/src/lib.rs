@@ -1,0 +1,72 @@
+//! Workspace-wide structured telemetry for the OES reproduction.
+//!
+//! The paper's headline results are *trajectory* claims — how fast the
+//! best-response dynamics reach the 0.9 congestion target (Figs. 5(d)/6(d)),
+//! how a lossy V2I channel degrades a run — yet a bare `Outcome` only says
+//! where a run ended. This crate adds the layer any serving stack grows
+//! before it scales: structured tracing (spans), deterministic metrics
+//! (counters, gauges, histograms), and journal sinks, with **zero external
+//! dependencies** and a no-op default so instrumented hot paths cost one
+//! branch when telemetry is disabled.
+//!
+//! # Design
+//!
+//! - [`Event`] is the single wire unit: a timestamp, a static name, an
+//!   integer key (OLEV index, update number, sim tick, …) and a
+//!   [`Sample`] (span enter/exit, counter delta, gauge, histogram sample).
+//! - [`Recorder`] is the sink trait. [`NoopRecorder`] drops everything and
+//!   reports itself disabled; [`RingBufferRecorder`] keeps the last `N`
+//!   events for tests; [`JournalRecorder`] appends one JSON line per event,
+//!   stamped with a scenario name and seed, for offline analysis and golden
+//!   regression oracles.
+//! - [`Telemetry`] bundles a recorder with a [`Clock`]. **All timing flows
+//!   through the clock**: with the default [`ManualClock`] (virtual time,
+//!   frozen unless advanced) two same-seed runs emit *byte-identical*
+//!   journals; swap in a [`MonotonicClock`] to get real span timings in
+//!   benches at the cost of byte determinism.
+//! - [`histogram`] summarizes span timings and histogram samples into
+//!   p50/p95/p99 quantiles.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use oes_telemetry::{JournalRecorder, Telemetry};
+//!
+//! let journal = Arc::new(JournalRecorder::new("example", 42));
+//! let telemetry = Telemetry::new(journal.clone());
+//! {
+//!     let _span = telemetry.span("work", 0);
+//!     telemetry.counter("items", 0, 3);
+//!     telemetry.gauge("welfare", 1, 117.25);
+//! }
+//! let jsonl = journal.to_jsonl();
+//! assert_eq!(jsonl.lines().count(), 1 + 4); // header + enter/counter/gauge/exit
+//! assert_eq!(oes_telemetry::journal::count_events(&jsonl, "items"), 1);
+//! ```
+//!
+//! # Naming conventions
+//!
+//! Instrumented crates use dotted lowercase names, prefixed by layer:
+//! `engine.*` (in-process game), `game.*` / `net.*` (decentralized runtime),
+//! `sim.*` (traffic), `grid.*` (operator/dispatch), `wpt.*` (co-simulation),
+//! `fairness.*` (equilibrium analysis). The `key` carries the natural index
+//! of the event: the OLEV for per-player events, the update/tick number for
+//! per-iteration gauges, `-1` for run-level summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod histogram;
+pub mod journal;
+pub mod recorder;
+pub mod ring;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use event::{push_json_escaped, push_json_f64, Event, Sample};
+pub use histogram::{histogram_summaries, quantile, span_summaries, HistogramSummary};
+pub use journal::{count_events, sum_counters, JournalRecorder};
+pub use recorder::{NoopRecorder, Recorder, SpanGuard, Telemetry};
+pub use ring::RingBufferRecorder;

@@ -1,0 +1,195 @@
+//! A bounded in-memory sink for tests and interactive inspection.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::event::{Event, Sample};
+use crate::recorder::Recorder;
+
+/// Keeps the most recent `capacity` events; older events are dropped (and
+/// counted) on overflow. Lock-per-event, intended for tests and debugging,
+/// not for the highest-rate production paths.
+#[derive(Debug)]
+pub struct RingBufferRecorder {
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingBufferRecorder {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "ring buffer needs room for at least one event"
+        );
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                events: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.state().events.iter().copied().collect()
+    }
+
+    /// How many events are currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state().events.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state().events.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events were evicted to make room.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.state().dropped
+    }
+
+    /// Sum of the `delta`s of every retained counter event named `name`.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.state()
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| match e.sample {
+                Sample::Counter { delta } => delta,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The most recent gauge observation named `name`, if any.
+    #[must_use]
+    pub fn last_gauge(&self, name: &str) -> Option<f64> {
+        self.state()
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match e.sample {
+                Sample::Gauge { value } if e.name == name => Some(value),
+                _ => None,
+            })
+    }
+
+    /// Discards every retained event (the drop counter is kept).
+    pub fn clear(&self) {
+        self.state().events.clear();
+    }
+}
+
+impl Recorder for RingBufferRecorder {
+    fn record(&self, event: &Event) {
+        let mut state = self.state();
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &'static str, key: i64) -> Event {
+        Event {
+            at_us: 0,
+            name,
+            key,
+            sample: Sample::Counter { delta: 1 },
+        }
+    }
+
+    #[test]
+    fn retains_in_order_under_capacity() {
+        let ring = RingBufferRecorder::new(8);
+        for k in 0..5 {
+            ring.record(&counter("c", k));
+        }
+        assert_eq!(ring.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        let keys: Vec<i64> = ring.events().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.counter_total("c"), 5);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let ring = RingBufferRecorder::new(3);
+        for k in 0..7 {
+            ring.record(&counter("c", k));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.dropped(), 4);
+        let keys: Vec<i64> = ring.events().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![4, 5, 6], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn last_gauge_reads_the_latest_value() {
+        let ring = RingBufferRecorder::new(4);
+        for (k, v) in [(0, 1.0), (1, 2.0), (2, 3.0)] {
+            ring.record(&Event {
+                at_us: 0,
+                name: "g",
+                key: k,
+                sample: Sample::Gauge { value: v },
+            });
+        }
+        assert_eq!(ring.last_gauge("g"), Some(3.0));
+        assert_eq!(ring.last_gauge("missing"), None);
+    }
+
+    #[test]
+    fn clear_keeps_the_drop_count() {
+        let ring = RingBufferRecorder::new(1);
+        ring.record(&counter("c", 0));
+        ring.record(&counter("c", 1));
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_capacity_rejected() {
+        let _ = RingBufferRecorder::new(0);
+    }
+}

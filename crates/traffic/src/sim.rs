@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
+use oes_telemetry::Telemetry;
 use oes_units::{Meters, MetersPerSecond, Seconds};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -83,6 +84,8 @@ pub struct Simulation {
     exited: u64,
     spawns_per_hour: HourlyAccumulator,
     exits_per_hour: HourlyAccumulator,
+    telemetry: Telemetry,
+    ticks: u64,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -119,7 +122,16 @@ impl Simulation {
             exited: 0,
             spawns_per_hour: HourlyAccumulator::new(),
             exits_per_hour: HourlyAccumulator::new(),
+            telemetry: Telemetry::disabled(),
+            ticks: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; every [`Self::step`] then runs inside a
+    /// `sim.step` span and emits per-tick `sim.*` gauges and counters, all
+    /// keyed by the tick index. The simulation itself is unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Replaces the car-following model (default: [`Krauss`]).
@@ -238,6 +250,11 @@ impl Simulation {
 
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
+        let tick = self.ticks as i64;
+        let spawned_before = self.spawned;
+        let exited_before = self.exited;
+        let touches_before: u64 = self.detectors.iter().map(|d| d.vehicle_touches()).sum();
+        let span = self.telemetry.span("sim.step", tick);
         let dt = self.config.step;
         self.release_due_arrivals();
         self.try_insertions();
@@ -318,6 +335,35 @@ impl Simulation {
         self.resolve_overlaps();
         self.observe_detectors(dt);
         self.time += dt;
+        drop(span);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("sim.active", tick, self.vehicles.len() as f64);
+            self.telemetry
+                .gauge("sim.mean_speed", tick, self.mean_speed().value());
+            let greens = self
+                .signals
+                .values()
+                .filter(|p| p.is_green(self.time))
+                .count();
+            self.telemetry.gauge("sim.greens", tick, greens as f64);
+            self.telemetry
+                .gauge("sim.backlog", tick, self.insert_queue.len() as f64);
+            let spawned = self.spawned - spawned_before;
+            if spawned > 0 {
+                self.telemetry.counter("sim.spawned", tick, spawned);
+            }
+            let exited = self.exited - exited_before;
+            if exited > 0 {
+                self.telemetry.counter("sim.exited", tick, exited);
+            }
+            let touches: u64 = self.detectors.iter().map(|d| d.vehicle_touches()).sum();
+            if touches > touches_before {
+                self.telemetry
+                    .counter("sim.detections", tick, touches - touches_before);
+            }
+        }
+        self.ticks += 1;
     }
 
     /// Releases arrivals whose time has come into the insertion queue.

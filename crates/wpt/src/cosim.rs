@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use oes_telemetry::Telemetry;
 use oes_traffic::energy::EnergyModel;
 use oes_traffic::network::EdgeId;
 use oes_traffic::sim::Simulation;
@@ -79,6 +80,8 @@ pub struct CoSimulation {
     received_per_hour: HourlyAccumulator,
     completed: Vec<TripRecord>,
     total_received: KilowattHours,
+    telemetry: Telemetry,
+    steps: u64,
 }
 
 impl core::fmt::Debug for CoSimulation {
@@ -128,7 +131,17 @@ impl CoSimulation {
             received_per_hour: HourlyAccumulator::new(),
             completed: Vec::new(),
             total_received: KilowattHours::ZERO,
+            telemetry: Telemetry::disabled(),
+            steps: 0,
         }
+    }
+
+    /// Attaches a telemetry handle; each [`step`](Self::step) then runs
+    /// inside a `cosim.step` span and emits per-step fleet metrics
+    /// (`cosim.active`, `cosim.mean_soc`, `cosim.received_kwh` gauges and a
+    /// `cosim.trips` completion counter) keyed by the step index.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Adds an energized span.
@@ -188,6 +201,9 @@ impl CoSimulation {
 
     /// Advances traffic and batteries by one step.
     pub fn step(&mut self) {
+        let step_key = self.steps as i64;
+        let trips_before = self.completed.len();
+        let span = self.telemetry.span("cosim.step", step_key);
         let dt = self.sim.config().step;
         // Remember the pre-step speeds for mean-value drain integration.
         let snapshot: Vec<(VehicleId, MetersPerSecond)> =
@@ -281,6 +297,24 @@ impl CoSimulation {
             });
             self.prev_speed.remove(&id);
         }
+
+        drop(span);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("cosim.active", step_key, self.fleet.len() as f64);
+            if let Some(mean) = self.mean_soc() {
+                self.telemetry
+                    .gauge("cosim.mean_soc", step_key, mean.fraction());
+            }
+            self.telemetry
+                .gauge("cosim.received_kwh", step_key, self.total_received.value());
+            let finished = self.completed.len() - trips_before;
+            if finished > 0 {
+                self.telemetry
+                    .counter("cosim.trips", step_key, finished as u64);
+            }
+        }
+        self.steps += 1;
     }
 
     /// Runs whole steps until `duration` has elapsed.
@@ -407,6 +441,44 @@ mod tests {
         co.run_for(Seconds::new(1800.0));
         let sum = co.received_per_hour().total();
         assert!((sum - co.total_received().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_run_matches_and_emits_fleet_metrics() {
+        use oes_telemetry::{RingBufferRecorder, Sample, Telemetry};
+        use std::sync::Arc;
+
+        let mut plain = cosim(1.0, true, 600);
+        plain.run_for(Seconds::new(900.0));
+
+        let ring = Arc::new(RingBufferRecorder::new(1 << 15));
+        let mut instrumented = cosim(1.0, true, 600);
+        instrumented.set_telemetry(Telemetry::new(ring.clone()));
+        instrumented.run_for(Seconds::new(900.0));
+
+        // Attaching a recorder must not perturb the physics.
+        assert_eq!(
+            plain.total_received().value().to_bits(),
+            instrumented.total_received().value().to_bits()
+        );
+        assert_eq!(plain.completed_trips(), instrumented.completed_trips());
+
+        let events = ring.events();
+        let steps = events
+            .iter()
+            .filter(|e| e.name == "cosim.step" && matches!(e.sample, Sample::SpanExit { .. }))
+            .count() as u64;
+        assert_eq!(steps, instrumented.steps);
+        let active_gauges = events.iter().filter(|e| e.name == "cosim.active").count() as u64;
+        assert_eq!(active_gauges, steps);
+        assert_eq!(
+            ring.counter_total("cosim.trips"),
+            instrumented.completed_trips().len() as u64
+        );
+        assert_eq!(
+            ring.last_gauge("cosim.received_kwh"),
+            Some(instrumented.total_received().value())
+        );
     }
 
     #[test]

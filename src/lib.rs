@@ -13,6 +13,8 @@
 //!   OLEVs, intersection times, V2I, placement).
 //! - [`game`] — the paper's core contribution: the game-theoretic pricing
 //!   policy and its decentralized best-response engine.
+//! - [`telemetry`] — structured tracing, deterministic metrics, and JSONL
+//!   run journals instrumenting every layer above.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@ pub mod daily;
 
 pub use oes_game as game;
 pub use oes_grid as grid;
+pub use oes_telemetry as telemetry;
 pub use oes_traffic as traffic;
 pub use oes_units as units;
 pub use oes_wpt as wpt;

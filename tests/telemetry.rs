@@ -1,0 +1,111 @@
+//! Workspace-level telemetry guarantees:
+//!
+//! - **Golden journal** — two same-seed, same-scenario decentralized runs
+//!   emit *byte-identical* JSONL journals (virtual clock + deterministic
+//!   instrumentation points), so a stored journal is a regression oracle.
+//! - **Observer neutrality** — attaching a live recorder must not perturb
+//!   the game: welfare, schedule, and trajectory are bit-equal with and
+//!   without instrumentation.
+//! - **Journal/outcome agreement** — per-iteration gauges in the journal
+//!   line up with the outcome's update count and final welfare.
+
+use std::sync::Arc;
+
+use oes::game::{DistributedGame, GameBuilder, NonlinearPricing, PricingPolicy};
+use oes::telemetry::{count_events, JournalRecorder, RingBufferRecorder, Sample, Telemetry};
+use oes::units::Kilowatts;
+
+fn game() -> oes::game::Game {
+    GameBuilder::new()
+        .sections(12, Kilowatts::new(40.0))
+        .olevs(6, Kilowatts::new(50.0))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
+        .eta(0.9)
+        .build()
+        .expect("valid scenario")
+}
+
+fn journaled_run(seed: u64) -> (String, oes::game::Outcome) {
+    let journal = Arc::new(JournalRecorder::new("golden", seed));
+    let mut g = game();
+    let outcome = DistributedGame::new(&mut g)
+        .telemetry(Telemetry::new(journal.clone()))
+        .run(10_000)
+        .expect("clean run converges");
+    (journal.to_jsonl(), outcome)
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_journals() {
+    let (first, out_a) = journaled_run(23);
+    let (second, out_b) = journaled_run(23);
+    assert!(out_a.converged() && out_b.converged());
+    assert_eq!(first, second, "same-seed journals must match byte-for-byte");
+    // The header is stamped, first, and exact.
+    assert_eq!(
+        first.lines().next().expect("non-empty"),
+        "{\"journal\":\"oes\",\"scenario\":\"golden\",\"seed\":23}"
+    );
+    // A different stamp is visible in the header alone.
+    let (other, _) = journaled_run(24);
+    assert_ne!(first, other);
+}
+
+#[test]
+fn journal_agrees_with_the_outcome() {
+    let (jsonl, outcome) = journaled_run(7);
+    // One welfare gauge per applied update, plus spans in lockstep.
+    assert_eq!(count_events(&jsonl, "game.welfare"), outcome.updates());
+    assert_eq!(
+        count_events(&jsonl, "grid.apply"),
+        2 * outcome.updates(),
+        "span enter + exit per applied update"
+    );
+    assert_eq!(count_events(&jsonl, "game.converged"), 1);
+    // The last welfare gauge is the outcome's final welfare.
+    let last_welfare = jsonl
+        .lines()
+        .filter(|l| l.contains("\"name\":\"game.welfare\""))
+        .last()
+        .expect("welfare gauges exist");
+    let value: f64 = last_welfare
+        .rsplit("\"value\":")
+        .next()
+        .and_then(|t| t.trim_end_matches('}').parse().ok())
+        .expect("gauge value parses");
+    assert_eq!(value.to_bits(), outcome.final_welfare().to_bits());
+}
+
+#[test]
+fn live_recorder_does_not_change_the_outcome() {
+    let mut plain = game();
+    let baseline = DistributedGame::new(&mut plain)
+        .run(10_000)
+        .expect("clean run converges");
+    let plain_schedule = plain.schedule().clone();
+
+    let ring = Arc::new(RingBufferRecorder::new(1 << 16));
+    let mut instrumented = game();
+    let observed = DistributedGame::new(&mut instrumented)
+        .telemetry(Telemetry::new(ring.clone()))
+        .run(10_000)
+        .expect("clean run converges");
+
+    assert_eq!(baseline, observed, "observation must not perturb the game");
+    assert_eq!(plain_schedule, *instrumented.schedule());
+    assert_eq!(
+        plain.welfare().to_bits(),
+        instrumented.welfare().to_bits(),
+        "welfare must be bit-identical under observation"
+    );
+    // And the ring actually saw the run.
+    let events = ring.events();
+    assert!(!events.is_empty());
+    let applies = events
+        .iter()
+        .filter(|e| e.name == "grid.apply" && matches!(e.sample, Sample::SpanExit { .. }))
+        .count();
+    assert_eq!(applies, observed.updates());
+}
