@@ -1,0 +1,59 @@
+//! Emits the engine-scaling artifact `BENCH_engine.json`: best-response
+//! updates/sec at N ∈ {16, 128, 512} × C ∈ {32, 256}.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin engine            # measure + emit
+//! cargo run --release -p oes-bench --bin engine -- --check # + CI perf gate
+//! ```
+//!
+//! With `--check`, the N = 512 / C = 256 point is compared against the
+//! committed baseline (`crates/bench/baselines/engine.json`); a more than
+//! 2× regression exits nonzero and fails the job.
+
+use oes_bench::engine::{
+    engine_summary_json, measure_grid, parse_updates_per_sec, GATED_POINT, REGRESSION_FACTOR,
+};
+
+const BASELINE_PATH: &str = "crates/bench/baselines/engine.json";
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let points = measure_grid();
+    println!("engine scaling (round-robin best responses, nonlinear pricing)");
+    println!(
+        "{:>6} {:>6} {:>9} {:>10} {:>14} {:>12}",
+        "N", "C", "updates", "seconds", "updates/sec", "welfare"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>6} {:>9} {:>10.4} {:>14.1} {:>12.4}",
+            p.olevs, p.sections, p.updates, p.seconds, p.updates_per_sec, p.final_welfare
+        );
+    }
+    let json = engine_summary_json(&points);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+
+    if check {
+        let (n, c) = GATED_POINT;
+        let measured =
+            parse_updates_per_sec(&json, n, c).expect("gated point present in fresh artifact");
+        let baseline_json = std::fs::read_to_string(BASELINE_PATH)
+            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
+        let baseline = parse_updates_per_sec(&baseline_json, n, c)
+            .unwrap_or_else(|| panic!("no N={n}/C={c} point in {BASELINE_PATH}"));
+        let floor = baseline / REGRESSION_FACTOR;
+        println!(
+            "perf gate N={n} C={c}: measured {measured:.1} updates/sec, \
+             baseline {baseline:.1}, floor {floor:.1}"
+        );
+        if measured < floor {
+            eprintln!(
+                "PERF REGRESSION: {measured:.1} updates/sec is more than \
+                 {REGRESSION_FACTOR}x below the committed baseline {baseline:.1}"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate passed");
+    }
+}

@@ -1,0 +1,182 @@
+//! Engine-scaling benchmark: best-response updates/sec across fleet sizes.
+//!
+//! Measures the in-process engine's raw update throughput on an
+//! `N × C` grid of fleet sizes and corridor lengths, seeding the perf
+//! trajectory the ROADMAP's fleet-scale north star is tracked against.
+//! Each point runs a fixed budget of round-robin best responses on the
+//! paper-default nonlinear scenario and reports wall-clock updates/sec,
+//! plus the final welfare and convergence flag so a speedup can never
+//! silently come from computing something different.
+//!
+//! The `engine` binary writes the points to `BENCH_engine.json`; with
+//! `--check` it additionally compares the `N = 512, C = 256` point against
+//! the committed baseline (`crates/bench/baselines/engine.json`) and fails
+//! on a > [`REGRESSION_FACTOR`]× regression — the CI perf gate.
+
+use std::time::Instant;
+
+use oes_game::{GameBuilder, UpdateOrder};
+use oes_units::Kilowatts;
+
+/// The `(N, C)` grid every run measures.
+pub const ENGINE_GRID: [(usize, usize); 6] = [
+    (16, 32),
+    (16, 256),
+    (128, 32),
+    (128, 256),
+    (512, 32),
+    (512, 256),
+];
+
+/// The grid point the CI regression gate watches.
+pub const GATED_POINT: (usize, usize) = (512, 256);
+
+/// How much slower than the committed baseline the gated point may get
+/// before `--check` fails the job.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// One measured grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnginePoint {
+    /// Fleet size `N`.
+    pub olevs: usize,
+    /// Corridor length `C`.
+    pub sections: usize,
+    /// Best-response updates actually performed.
+    pub updates: usize,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// `updates / seconds`.
+    pub updates_per_sec: f64,
+    /// Social welfare at the end of the run (a correctness tripwire: a
+    /// faster engine must land on the same equilibrium).
+    pub final_welfare: f64,
+    /// Whether the run converged within its budget.
+    pub converged: bool,
+}
+
+impl EnginePoint {
+    /// Serializes the point as one JSON object with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"olevs\":{},\"sections\":{},\"updates\":{},\"seconds\":{:.6},\
+             \"updates_per_sec\":{:.1},\"final_welfare\":{:.9},\"converged\":{}}}",
+            self.olevs,
+            self.sections,
+            self.updates,
+            self.seconds,
+            self.updates_per_sec,
+            self.final_welfare,
+            self.converged
+        )
+    }
+}
+
+/// Measures one `(N, C)` point: two round-robin sweeps (or convergence,
+/// whichever comes first) on the paper-default nonlinear scenario.
+#[must_use]
+pub fn measure_point(olevs: usize, sections: usize) -> EnginePoint {
+    let mut game = GameBuilder::new()
+        .sections(sections, Kilowatts::new(60.0))
+        .olevs(olevs, Kilowatts::new(50.0))
+        .build()
+        .expect("valid scenario");
+    let budget = 2 * olevs;
+    let start = Instant::now();
+    let outcome = game
+        .run(UpdateOrder::RoundRobin, budget)
+        .expect("engine run");
+    let seconds = start.elapsed().as_secs_f64();
+    let updates = outcome.updates();
+    EnginePoint {
+        olevs,
+        sections,
+        updates,
+        seconds,
+        updates_per_sec: updates as f64 / seconds.max(1e-12),
+        final_welfare: game.welfare(),
+        converged: outcome.converged(),
+    }
+}
+
+/// Measures the whole [`ENGINE_GRID`].
+#[must_use]
+pub fn measure_grid() -> Vec<EnginePoint> {
+    ENGINE_GRID
+        .iter()
+        .map(|&(n, c)| measure_point(n, c))
+        .collect()
+}
+
+/// Serializes the measured grid as the `BENCH_engine.json` artifact.
+#[must_use]
+pub fn engine_summary_json(points: &[EnginePoint]) -> String {
+    let mut out = String::from("{\"bench\":\"engine\",\"points\":[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&p.to_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extracts `"updates_per_sec"` for one `(N, C)` point from a JSON artifact
+/// (either `BENCH_engine.json` or the committed baseline). Hand-rolled so
+/// the harness stays dependency-free.
+#[must_use]
+pub fn parse_updates_per_sec(json: &str, olevs: usize, sections: usize) -> Option<f64> {
+    let marker = format!("\"olevs\":{olevs},\"sections\":{sections},");
+    let object = json.split('{').find(|chunk| chunk.contains(&marker))?;
+    let tail = object.split("\"updates_per_sec\":").nth(1)?;
+    let value: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_parses() {
+        let points = vec![
+            EnginePoint {
+                olevs: 512,
+                sections: 256,
+                updates: 1024,
+                seconds: 0.5,
+                updates_per_sec: 2048.0,
+                final_welfare: 12.3,
+                converged: false,
+            },
+            EnginePoint {
+                olevs: 16,
+                sections: 32,
+                updates: 32,
+                seconds: 0.001,
+                updates_per_sec: 32000.0,
+                final_welfare: 1.0,
+                converged: true,
+            },
+        ];
+        let json = engine_summary_json(&points);
+        assert_eq!(parse_updates_per_sec(&json, 512, 256), Some(2048.0));
+        assert_eq!(parse_updates_per_sec(&json, 16, 32), Some(32000.0));
+        assert_eq!(parse_updates_per_sec(&json, 99, 99), None);
+    }
+
+    #[test]
+    fn small_point_measures_and_runs() {
+        let p = measure_point(4, 8);
+        assert_eq!(p.olevs, 4);
+        assert!(p.updates > 0);
+        assert!(p.updates_per_sec > 0.0);
+        assert!(p.final_welfare.is_finite());
+    }
+}

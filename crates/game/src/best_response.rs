@@ -8,11 +8,17 @@
 //! are exactly the boundary/interior split below. The marginal of the quote,
 //! `Ψ'_n(p_n)`, is `Z'` at the water level `λ*(p_n)` — the grid never needs
 //! to reveal the other OLEVs' schedules.
+//!
+//! For the water-filling scheduler the root is found in marginal-price space
+//! (see [`demand_at_marginal`]): one bisection over `μ` with O(C) probes,
+//! rather than a bisection over `p_n` whose every probe runs a full
+//! water-filling level search. Greedy scheduling (the linear baseline) keeps
+//! the request-space solve.
 
 use crate::payment::{quote, Scheduler};
 use crate::pricing::SectionCost;
 use crate::satisfaction::Satisfaction;
-use crate::waterfill::Allocation;
+use crate::waterfill::{demand_at_marginal, Allocation};
 
 /// Bisection iterations for the interior root of Eq. 22.
 const BISECT_ITERS: usize = 60;
@@ -52,6 +58,15 @@ pub fn best_response(
     );
     assert_eq!(caps.len(), loads_excl.len(), "caps/loads length mismatch");
 
+    // The fast path: for a strictly convex cost with a closed-form `Z'⁻¹`,
+    // the FOC is solved by a single bisection in marginal-price space
+    // instead of nesting a water-filling level search inside every probe.
+    if scheduler == Scheduler::WaterFilling {
+        if let Some(br) = waterfilling_response(satisfaction, cost, caps, loads_excl, p_max) {
+            return br;
+        }
+    }
+
     let marginal_at = |p: f64| scheduler.allocate(cost, caps, loads_excl, p).marginal;
     let foc = |p: f64| satisfaction.derivative(p) - marginal_at(p);
 
@@ -83,6 +98,71 @@ pub fn best_response(
         payment: q.payment,
         utility,
     }
+}
+
+/// Eq. 22 solved in marginal-price space.
+///
+/// The grid's quote has marginal `Ψ'_n(p) = μ` where `A(μ) = p` and
+/// `A(μ) = Σ_c [Z'⁻¹(μ) − P_{-n,c}]⁺` ([`demand_at_marginal`]) is the
+/// non-decreasing total the water-filling schedule hands out at price level
+/// `μ`. The interior FOC `U'(p) = Ψ'(p)` therefore reads
+/// `g(μ) = U'(A(μ)) − μ = 0` with `g` strictly decreasing, bracketed by
+/// `[min_c Z'(P_{-n,c}), U'(0)]`. One bisection in `μ` with O(C) probes
+/// replaces a bisection in `p` whose every probe was itself a full O(C)
+/// water-filling level search — the hot-path cost per best response drops
+/// from O(iters² · C) to O(iters · C).
+///
+/// Returns `None` (caller falls back to the total-request-space solve) when
+/// the cost lacks a closed-form `Z'⁻¹` or the satisfaction has an unbounded
+/// marginal at zero.
+fn waterfilling_response(
+    satisfaction: &dyn Satisfaction,
+    cost: &SectionCost,
+    caps: &[f64],
+    loads_excl: &[f64],
+    p_max: f64,
+) -> Option<BestResponse> {
+    // Ψ'(0): the cheapest section's current marginal cost.
+    let mu_min = caps
+        .iter()
+        .zip(loads_excl)
+        .map(|(&cap, &load)| cost.z_prime(load, cap))
+        .fold(f64::INFINITY, f64::min);
+
+    let u0 = satisfaction.derivative(0.0);
+    let total = if p_max == 0.0 || u0 - mu_min <= 0.0 {
+        // Case 1: already unprofitable at zero.
+        0.0
+    } else if demand_at_marginal(cost, caps, loads_excl, satisfaction.derivative(p_max))? >= p_max {
+        // Case 2: still profitable at the capacity bound
+        // (U'(p_max) ≥ Ψ'(p_max)  ⇔  A(U'(p_max)) ≥ p_max, A monotone).
+        p_max
+    } else {
+        // Case 3: interior root of g(μ) = U'(A(μ)) − μ.
+        if !u0.is_finite() {
+            return None;
+        }
+        let (mut lo, mut hi) = (mu_min, u0);
+        for _ in 0..BISECT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            let demand = demand_at_marginal(cost, caps, loads_excl, mid)?;
+            if satisfaction.derivative(demand) - mid > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        demand_at_marginal(cost, caps, loads_excl, 0.5 * (lo + hi))?.min(p_max)
+    };
+
+    let q = quote(cost, caps, loads_excl, Scheduler::WaterFilling, total);
+    let utility = satisfaction.value(total) - q.payment;
+    Some(BestResponse {
+        total,
+        allocation: q.allocation,
+        payment: q.payment,
+        utility,
+    })
 }
 
 #[cfg(test)]
@@ -178,6 +258,52 @@ mod tests {
             let q = quote(&cost, &caps, &loads, Scheduler::WaterFilling, p);
             let u = sat.value(p) - q.payment;
             assert!(u <= br.utility + 1e-6, "p={p} gives {u} > {}", br.utility);
+        }
+    }
+
+    #[test]
+    fn marginal_space_solve_matches_request_space_solve() {
+        // The μ-space fast path must land on the same root the pre-existing
+        // request-space bisection finds, across boundary and interior cases.
+        let cost = nl_cost();
+        let caps = [60.0, 45.0, 80.0, 60.0];
+        let loads = [12.0, 40.0, 3.0, 55.0];
+        for (weight, p_max) in [
+            (0.001, 30.0),  // case 1: zero response
+            (1000.0, 25.0), // case 2: bound binds
+            (2.0, 200.0),   // case 3: interior root
+            (0.7, 90.0),    // another interior root
+        ] {
+            let sat = LogSatisfaction::new(weight);
+            let fast = best_response(&sat, &cost, &caps, &loads, p_max, Scheduler::WaterFilling);
+            // Reproduce the request-space solve the fast path replaced.
+            let marginal_at = |p: f64| {
+                Scheduler::WaterFilling
+                    .allocate(&cost, &caps, &loads, p)
+                    .marginal
+            };
+            let foc = |p: f64| sat.derivative(p) - marginal_at(p);
+            let slow_total = if foc(0.0) <= 0.0 {
+                0.0
+            } else if foc(p_max) >= 0.0 {
+                p_max
+            } else {
+                let (mut lo, mut hi) = (0.0, p_max);
+                for _ in 0..BISECT_ITERS {
+                    let mid = 0.5 * (lo + hi);
+                    if foc(mid) > 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            };
+            assert!(
+                (fast.total - slow_total).abs() < 1e-6,
+                "w={weight}: μ-space {} vs p-space {slow_total}",
+                fast.total
+            );
         }
     }
 

@@ -9,6 +9,7 @@ use crate::payment::Scheduler;
 use crate::pricing::{NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost};
 use crate::satisfaction::{LogSatisfaction, Satisfaction};
 use crate::schedule::PowerSchedule;
+use crate::state::ScheduleState;
 
 /// Builds a [`Game`].
 ///
@@ -233,14 +234,17 @@ impl GameBuilder {
         let (p_max, satisfactions): (Vec<f64>, Vec<Box<dyn Satisfaction>>) =
             self.olevs.into_iter().unzip();
         let schedule = PowerSchedule::zeros(p_max.len(), self.caps.len());
+        let state = ScheduleState::new(schedule, &satisfactions, &cost, &self.caps);
+        let scratch_loads = Vec::with_capacity(self.caps.len());
         Ok(Game {
             satisfactions,
             p_max,
             caps: self.caps,
             cost,
             scheduler,
-            schedule,
+            state,
             tolerance: self.tolerance,
+            scratch_loads,
         })
     }
 }
@@ -304,6 +308,21 @@ mod tests {
     fn invalid_parameters_rejected() {
         let err = GameBuilder::new()
             .section(Kilowatts::new(-5.0))
+            .olevs(1, Kilowatts::new(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GameError::InvalidParameter {
+                name: "section capacity",
+                ..
+            }
+        ));
+
+        // Regression for the zero-capacity congestion guard: a 0 kW section
+        // must be rejected here, before it can poison `P_c / cap` gauges.
+        let err = GameBuilder::new()
+            .section(Kilowatts::new(0.0))
             .olevs(1, Kilowatts::new(1.0))
             .build()
             .unwrap_err();

@@ -10,8 +10,8 @@
 use oes_units::OlevId;
 
 use crate::engine::Game;
-use crate::potential::social_welfare;
 use crate::schedule::PowerSchedule;
+use crate::state::ScheduleState;
 
 /// The solver's result.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +38,14 @@ pub fn solve_centralized(game: &Game, max_iterations: usize) -> CentralizedSolut
     let n_sections = game.section_count();
     let caps = game.caps();
     let cost = game.cost();
-    let mut schedule = PowerSchedule::zeros(n_olevs, n_sections);
+    // The incremental state keeps the per-sweep welfare check O(1) and the
+    // loads cached, instead of an O(N·C) recompute per iteration.
+    let mut state = ScheduleState::new(
+        PowerSchedule::zeros(n_olevs, n_sections),
+        game.satisfactions(),
+        cost,
+        caps,
+    );
 
     // A conservative step size from the objective's curvature bounds:
     // |U''| ≤ max weight (≤ U'(0)) and Z'' is β̃/K plus the overload term.
@@ -59,25 +66,28 @@ pub fn solve_centralized(game: &Game, max_iterations: usize) -> CentralizedSolut
     let lipschitz = max_u_curvature + max_z_curvature * n_olevs as f64;
     let step = 0.9 / lipschitz.max(1e-9);
 
-    let mut welfare = social_welfare(game.satisfactions(), cost, caps, &schedule);
+    let mut welfare = state.welfare();
     let mut converged = false;
     let mut iterations = 0;
     let mut row = vec![0.0; n_sections];
+    // The gradient is evaluated Jacobi-style against the loads at the start
+    // of the sweep, while rows update sequentially — snapshot them.
+    let mut loads = vec![0.0; n_sections];
     for it in 0..max_iterations {
         iterations = it + 1;
-        let loads = schedule.section_loads();
+        loads.copy_from_slice(state.schedule().loads());
         for n in 0..n_olevs {
             let id = OlevId(n);
-            let p_n = schedule.olev_total(id);
+            let p_n = state.schedule().olev_total(id);
             let u_prime = game.satisfactions()[n].derivative(p_n);
             for c in 0..n_sections {
                 let grad = u_prime - cost.z_prime(loads[c], caps[c]);
-                row[c] = schedule.get(id, oes_units::SectionId(c)) + step * grad;
+                row[c] = state.schedule().get(id, oes_units::SectionId(c)) + step * grad;
             }
             project_capped_simplex(&mut row, game.p_max()[n]);
-            schedule.set_row(id, &row);
+            state.apply_row(id, &row, game.satisfactions(), cost, caps);
         }
-        let new_welfare = social_welfare(game.satisfactions(), cost, caps, &schedule);
+        let new_welfare = state.welfare();
         if (new_welfare - welfare).abs() < 1e-9 * welfare.abs().max(1.0) && it > 10 {
             welfare = new_welfare;
             converged = true;
@@ -86,7 +96,7 @@ pub fn solve_centralized(game: &Game, max_iterations: usize) -> CentralizedSolut
         welfare = new_welfare;
     }
     CentralizedSolution {
-        schedule,
+        schedule: state.into_schedule(),
         welfare,
         iterations,
         converged,

@@ -56,7 +56,7 @@ use crate::faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, Loss
 use crate::payment::Scheduler;
 use crate::pricing::SectionCost;
 use crate::satisfaction::Satisfaction;
-use crate::schedule::PowerSchedule;
+use crate::state::ScheduleState;
 
 /// Consecutive invalid replies from one OLEV before it is evicted as
 /// misbehaving (fault-injected runs only).
@@ -284,7 +284,10 @@ struct Coordinator<'a> {
     p_max: &'a [f64],
     tolerance: f64,
     satisfactions: &'a [Box<dyn Satisfaction>],
-    schedule: &'a mut PowerSchedule,
+    state: &'a mut ScheduleState,
+    /// Reusable `P_{-n,c}` buffer for dispatch/apply, so the per-offer and
+    /// per-apply paths do not allocate.
+    scratch_loads: Vec<f64>,
     links: Vec<Option<LossyLink<'a, V2iFrame<GridMessage>>>>,
     reply_rx: Receiver<V2iFrame<OlevMessage>>,
     board: &'a [Mutex<Option<String>>],
@@ -356,8 +359,13 @@ impl<'a> Coordinator<'a> {
         self.alive[olev] = false;
         self.live -= 1;
         self.last_evicted = olev;
-        self.schedule
-            .set_row(OlevId(olev), &vec![0.0; self.caps.len()]);
+        self.state.apply_row(
+            OlevId(olev),
+            &vec![0.0; self.caps.len()],
+            self.satisfactions,
+            &self.cost,
+            self.caps,
+        );
         let in_flight: Vec<u64> = self
             .pending
             .iter()
@@ -421,10 +429,12 @@ impl<'a> Coordinator<'a> {
             }
             let seq = self.next_seq;
             self.next_seq += 1;
+            self.state
+                .loads_excluding_into(OlevId(olev), &mut self.scratch_loads);
             let loads_excl: Vec<Kilowatts> = self
-                .schedule
-                .loads_excluding(OlevId(olev))
-                .into_iter()
+                .scratch_loads
+                .iter()
+                .copied()
                 .map(Kilowatts::new)
                 .collect();
             let frame = V2iFrame::new(
@@ -554,23 +564,24 @@ impl<'a> Coordinator<'a> {
     fn apply(&mut self, olev: usize, seq: u64, total: f64) {
         let span = self.telemetry.span("grid.apply", olev as i64);
         let id = OlevId(olev);
-        let fresh_loads = self.schedule.loads_excluding(id);
+        self.state.loads_excluding_into(id, &mut self.scratch_loads);
         let allocation = self
             .scheduler
-            .allocate(&self.cost, self.caps, &fresh_loads, total);
-        let before = self.schedule.olev_total(id);
-        self.schedule.set_row(id, &allocation.shares);
+            .allocate(&self.cost, self.caps, &self.scratch_loads, total);
+        let before = self.state.schedule().olev_total(id);
+        self.state.apply_row(
+            id,
+            &allocation.shares,
+            self.satisfactions,
+            &self.cost,
+            self.caps,
+        );
         let change = (total - before).abs();
         self.updates += 1;
         let snapshot = Snapshot {
             update: self.updates,
-            congestion: self.schedule.system_congestion(self.caps),
-            welfare: crate::potential::social_welfare(
-                self.satisfactions,
-                &self.cost,
-                self.caps,
-                self.schedule,
-            ),
+            congestion: self.state.schedule().system_congestion(self.caps),
+            welfare: self.state.welfare(),
             change,
         };
         drop(span);
@@ -593,7 +604,7 @@ impl<'a> Coordinator<'a> {
         // Close the loop: tell the OLEV what it got and at what marginal
         // price. Fire-and-forget — a lost PaymentUpdate costs nothing.
         if let Some(link) = &self.links[olev] {
-            let allocated = Kilowatts::new(self.schedule.olev_total(id));
+            let allocated = Kilowatts::new(self.state.schedule().olev_total(id));
             let update = GridMessage::PaymentUpdate {
                 id,
                 marginal_price: allocation.marginal,
@@ -889,7 +900,7 @@ fn run_hardened(
     let board: Vec<Mutex<Option<String>>> = (0..n_olevs).map(|_| Mutex::new(None)).collect();
 
     let satisfactions = &game.satisfactions;
-    let schedule = &mut game.schedule;
+    let state = &mut game.state;
     let caps_ref = &caps;
     let board_ref = &board;
 
@@ -933,7 +944,8 @@ fn run_hardened(
             p_max: &p_max,
             tolerance,
             satisfactions,
-            schedule,
+            state,
+            scratch_loads: Vec::with_capacity(caps_ref.len()),
             links: offer_txs
                 .into_iter()
                 .enumerate()
@@ -969,6 +981,7 @@ fn run_hardened(
             updates: coordinator.updates,
             trajectory: std::mem::take(&mut coordinator.trajectory),
             degradation: std::mem::take(&mut coordinator.report),
+            end_welfare: coordinator.state.welfare(),
         };
         result.map(|()| outcome)
     })

@@ -16,10 +16,10 @@ use rand_chacha::ChaCha8Rng;
 use crate::best_response::best_response;
 use crate::error::GameError;
 use crate::payment::{payment_for_schedule, Scheduler};
-use crate::potential::social_welfare;
 use crate::pricing::SectionCost;
 use crate::satisfaction::Satisfaction;
 use crate::schedule::PowerSchedule;
+use crate::state::ScheduleState;
 
 /// The order in which the grid polls OLEVs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,11 @@ pub struct Outcome {
     /// One snapshot per update, in order.
     pub trajectory: Vec<Snapshot>,
     pub(crate) degradation: crate::faults::DegradationReport,
+    /// Welfare of the schedule when the run ended — the fallback for
+    /// [`Outcome::final_welfare`] when the trajectory is empty (a zero-update
+    /// budget, or a hardened run where every OLEV was evicted before an
+    /// update applied).
+    pub(crate) end_welfare: f64,
 }
 
 impl Outcome {
@@ -79,25 +84,42 @@ impl Outcome {
         self.updates
     }
 
-    /// The welfare at the end of the run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the run performed no updates.
+    /// The welfare at the end of the run: the last snapshot's welfare, or the
+    /// welfare of the schedule as the run ended when no update was recorded
+    /// (zero-update budget, or a hardened run that evicted everyone before an
+    /// update applied).
     #[must_use]
     pub fn final_welfare(&self) -> f64 {
-        self.trajectory.last().expect("at least one update").welfare
+        self.trajectory
+            .last()
+            .map_or(self.end_welfare, |s| s.welfare)
     }
 
-    /// The first update index at which congestion reached `fraction` of its
-    /// final value — the convergence-speed measure of Figs. 5(d)/6(d).
+    /// The update index from which congestion *stayed at or above* `fraction`
+    /// of its final value — the convergence-speed measure of Figs. 5(d)/6(d).
+    ///
+    /// Scans for the last crossing, so a transient early spike on a
+    /// non-monotone trajectory does not count as "reached". Returns `None`
+    /// for an empty trajectory or a run that ended with zero congestion: a
+    /// fleet that never drew power has no ramp-up time (the old
+    /// first-crossing scan reported a spurious `Some(1)` there, because the
+    /// target `0 × fraction` is trivially met by the first snapshot).
     #[must_use]
     pub fn updates_to_reach(&self, fraction: f64) -> Option<usize> {
-        let target = self.trajectory.last()?.congestion * fraction;
-        self.trajectory
-            .iter()
-            .find(|s| s.congestion >= target)
-            .map(|s| s.update)
+        let last = self.trajectory.last()?;
+        if last.congestion <= 0.0 {
+            return None;
+        }
+        let target = last.congestion * fraction;
+        let mut reached = None;
+        for s in self.trajectory.iter().rev() {
+            if s.congestion >= target {
+                reached = Some(s.update);
+            } else {
+                break;
+            }
+        }
+        reached
     }
 }
 
@@ -111,8 +133,10 @@ pub struct Game {
     pub(crate) caps: Vec<f64>,
     pub(crate) cost: SectionCost,
     pub(crate) scheduler: Scheduler,
-    pub(crate) schedule: PowerSchedule,
+    pub(crate) state: ScheduleState,
     pub(crate) tolerance: f64,
+    /// Reusable `P_{-n,c}` buffer so the hot update path does not allocate.
+    pub(crate) scratch_loads: Vec<f64>,
 }
 
 impl core::fmt::Debug for Game {
@@ -173,10 +197,11 @@ impl Game {
     /// The current power schedule.
     #[must_use]
     pub fn schedule(&self) -> &PowerSchedule {
-        &self.schedule
+        self.state.schedule()
     }
 
-    /// Replaces the current schedule (e.g. to warm-start from a solution).
+    /// Replaces the current schedule (e.g. to warm-start from a solution),
+    /// recomputing the incremental welfare state exactly.
     ///
     /// # Panics
     ///
@@ -192,42 +217,61 @@ impl Game {
             self.section_count(),
             "section count mismatch"
         );
-        self.schedule = schedule;
+        self.state = ScheduleState::new(schedule, &self.satisfactions, &self.cost, &self.caps);
     }
 
     /// Resets the schedule to all-zero.
     pub fn reset(&mut self) {
-        self.schedule = PowerSchedule::zeros(self.olev_count(), self.section_count());
+        self.set_schedule(PowerSchedule::zeros(
+            self.olev_count(),
+            self.section_count(),
+        ));
+    }
+
+    /// Sets how often the incremental welfare state performs an exact
+    /// from-scratch resync (every `every` applied updates). The default
+    /// ([`crate::state::DEFAULT_RESYNC_EVERY`]) keeps drift far below the
+    /// engine tolerance; an interval of 1 reproduces the naive recompute
+    /// path exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_welfare_resync_interval(&mut self, every: usize) {
+        self.state.set_resync_interval(every);
     }
 
     /// Current per-section loads `P_c`.
     #[must_use]
     pub fn section_loads(&self) -> Vec<f64> {
-        self.schedule.section_loads()
+        self.state.schedule().section_loads()
     }
 
     /// System congestion degree (total load over total capacity).
     #[must_use]
     pub fn system_congestion(&self) -> f64 {
-        self.schedule.system_congestion(&self.caps)
+        self.state.schedule().system_congestion(&self.caps)
     }
 
-    /// Current social welfare `W(p)` (Eq. 7).
+    /// Current social welfare `W(p)` (Eq. 7), from the incrementally
+    /// maintained sums — O(1).
     #[must_use]
     pub fn welfare(&self) -> f64 {
-        social_welfare(&self.satisfactions, &self.cost, &self.caps, &self.schedule)
+        self.state.welfare()
     }
 
     /// Total payment `Σ_n ξ_n` collected at the current schedule.
     #[must_use]
     pub fn total_payment(&self) -> f64 {
-        (0..self.olev_count())
-            .map(|n| {
-                let id = OlevId(n);
-                let loads_excl = self.schedule.loads_excluding(id);
-                payment_for_schedule(&self.cost, &self.caps, &loads_excl, self.schedule.row(id))
-            })
-            .sum()
+        let schedule = self.state.schedule();
+        let mut loads_excl = Vec::with_capacity(self.section_count());
+        let mut total = 0.0;
+        for n in 0..self.olev_count() {
+            let id = OlevId(n);
+            schedule.loads_excluding_into(id, &mut loads_excl);
+            total += payment_for_schedule(&self.cost, &self.caps, &loads_excl, schedule.row(id));
+        }
+        total
     }
 
     /// The average unit payment in $/MWh (total payment over total energy,
@@ -235,7 +279,7 @@ impl Game {
     /// the y-axis of Figs. 5(a)/6(a). Returns zero with no allocation.
     #[must_use]
     pub fn unit_payment_dollars_per_mwh(&self) -> f64 {
-        let power = self.schedule.total();
+        let power = self.state.schedule().total();
         if power <= 0.0 {
             return 0.0;
         }
@@ -253,17 +297,23 @@ impl Game {
             return Err(GameError::UnknownOlev(n));
         }
         let id = OlevId(n);
-        let loads_excl = self.schedule.loads_excluding(id);
-        let before = self.schedule.olev_total(id);
+        self.state.loads_excluding_into(id, &mut self.scratch_loads);
+        let before = self.state.schedule().olev_total(id);
         let br = best_response(
             self.satisfactions[n].as_ref(),
             &self.cost,
             &self.caps,
-            &loads_excl,
+            &self.scratch_loads,
             self.p_max[n],
             self.scheduler,
         );
-        self.schedule.set_row(id, &br.allocation.shares);
+        self.state.apply_row(
+            id,
+            &br.allocation.shares,
+            &self.satisfactions,
+            &self.cost,
+            &self.caps,
+        );
         Ok((br.total - before).abs())
     }
 
@@ -350,6 +400,7 @@ impl Game {
                     updates,
                     trajectory,
                     degradation: report,
+                    end_welfare: self.welfare(),
                 });
             }
         }
@@ -358,6 +409,7 @@ impl Game {
             updates,
             trajectory,
             degradation: report,
+            end_welfare: self.welfare(),
         })
     }
 
@@ -368,7 +420,9 @@ impl Game {
     /// Panics if `c` is out of range.
     #[must_use]
     pub fn section_congestion(&self, c: usize) -> f64 {
-        self.schedule.congestion_degree(SectionId(c), self.caps[c])
+        self.state
+            .schedule()
+            .congestion_degree(SectionId(c), self.caps[c])
     }
 }
 
@@ -553,5 +607,94 @@ mod tests {
         let early = out.updates_to_reach(0.5).unwrap();
         let late = out.updates_to_reach(0.99).unwrap();
         assert!(early <= late);
+    }
+
+    #[test]
+    fn zero_update_run_reports_current_welfare_without_panicking() {
+        // Regression: `final_welfare()` used to panic on an empty trajectory.
+        let mut g = small_game();
+        let out = g.run(UpdateOrder::RoundRobin, 0).unwrap();
+        assert_eq!(out.updates(), 0);
+        assert!(!out.converged());
+        assert!(out.trajectory.is_empty());
+        assert_eq!(out.final_welfare().to_bits(), g.welfare().to_bits());
+        assert_eq!(out.updates_to_reach(0.95), None);
+
+        // Same from a warm start: the fallback is the *current* welfare, not
+        // a hardcoded zero.
+        g.run(UpdateOrder::RoundRobin, 50).unwrap();
+        let warm = g.run(UpdateOrder::RoundRobin, 0).unwrap();
+        assert!(warm.final_welfare() > 0.0);
+        assert_eq!(warm.final_welfare().to_bits(), g.welfare().to_bits());
+    }
+
+    #[test]
+    fn updates_to_reach_is_none_when_the_fleet_never_draws_power() {
+        // Regression: a run whose final congestion is 0 used to report
+        // `Some(1)` because the target `0 × fraction` was trivially met by
+        // the first snapshot.
+        let mut g = GameBuilder::new()
+            .sections(4, Kilowatts::new(60.0))
+            .olevs_weighted(2, Kilowatts::new(50.0), 1e-9)
+            .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+                15.0,
+            )))
+            .build()
+            .expect("valid scenario");
+        let out = g.run(UpdateOrder::RoundRobin, 100).unwrap();
+        assert!(out.updates() > 0, "the engine must actually poll the fleet");
+        let last = out.trajectory.last().unwrap();
+        assert_eq!(last.congestion, 0.0, "weightless fleet draws nothing");
+        assert_eq!(out.updates_to_reach(0.95), None);
+        // A zero-update run likewise has no ramp point.
+        assert_eq!(out.updates_to_reach(0.0), None);
+    }
+
+    #[test]
+    fn updates_to_reach_takes_the_last_crossing_on_non_monotone_trajectories() {
+        let snap = |update, congestion| Snapshot {
+            update,
+            congestion,
+            welfare: 0.0,
+            change: 0.0,
+        };
+        // Transient spike above the final level, then a dip, then the ramp.
+        let out = Outcome {
+            converged: true,
+            updates: 4,
+            trajectory: vec![snap(1, 0.9), snap(2, 0.2), snap(3, 0.75), snap(4, 0.8)],
+            degradation: crate::faults::DegradationReport::default(),
+            end_welfare: 0.0,
+        };
+        // First crossing of 0.72 would be update 1 (the spike); the ramp that
+        // *stays* above it starts at update 3.
+        assert_eq!(out.updates_to_reach(0.9), Some(3));
+        assert_eq!(out.updates_to_reach(1.0), Some(4));
+    }
+
+    #[test]
+    fn incremental_welfare_matches_the_naive_path_along_a_run() {
+        // The core refactor equivalence: the default resync interval must
+        // land on the same equilibrium, update count, and welfare (within
+        // 1e-9) as the resync-every-update configuration, which reproduces
+        // the naive recompute path exactly.
+        let mut cached = small_game();
+        let mut naive = small_game();
+        naive.set_welfare_resync_interval(1);
+        let out_cached = cached.run(UpdateOrder::RoundRobin, 1000).unwrap();
+        let out_naive = naive.run(UpdateOrder::RoundRobin, 1000).unwrap();
+        assert_eq!(out_cached.converged(), out_naive.converged());
+        assert_eq!(out_cached.updates(), out_naive.updates());
+        assert!(
+            (out_cached.final_welfare() - out_naive.final_welfare()).abs() < 1e-9,
+            "{} vs {}",
+            out_cached.final_welfare(),
+            out_naive.final_welfare()
+        );
+        for (a, b) in out_cached.trajectory.iter().zip(&out_naive.trajectory) {
+            assert!((a.welfare - b.welfare).abs() < 1e-9);
+            assert!((a.congestion - b.congestion).abs() < 1e-9);
+        }
+        assert_eq!(cached.schedule(), naive.schedule());
     }
 }

@@ -76,6 +76,7 @@ pub mod revenue;
 pub mod routing;
 pub mod satisfaction;
 pub mod schedule;
+pub mod state;
 pub mod waterfill;
 
 pub use analysis::{compare_regimes, ComparisonScenario, RegimeOutcome, WelfareComparison};
@@ -96,4 +97,5 @@ pub use revenue::{revenue_report, RevenueReport};
 pub use routing::{RouteChoice, RouteOption, RoutingEconomics, RoutingEquilibrium};
 pub use satisfaction::{LogSatisfaction, Satisfaction, SqrtSatisfaction};
 pub use schedule::PowerSchedule;
+pub use state::ScheduleState;
 pub use waterfill::{greedy_fill, water_level, waterfill, Allocation};

@@ -7,6 +7,14 @@
 //! dynamics ascend `W`, which is strictly concave on a compact set, so they
 //! converge to its unique maximizer. [`potential_discrepancy`] measures the
 //! identity numerically and is property-tested.
+//!
+//! [`social_welfare`] recomputes Eq. 7 from the schedule on every call (its
+//! load and total reads are O(1) from the schedule's caches, so the recompute
+//! is O(N + C)); the engines snapshot welfare through the incrementally
+//! maintained [`crate::state::ScheduleState`] instead, and this function is
+//! the exact oracle those cached sums are tested against. [`olev_utility`]
+//! likewise went from an O(N·C) sweep to O(C) via the cached
+//! [`PowerSchedule::loads_excluding`].
 
 use oes_units::OlevId;
 

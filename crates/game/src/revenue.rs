@@ -30,21 +30,17 @@ pub struct RevenueReport {
 /// Computes the revenue report at the game's current schedule.
 #[must_use]
 pub fn revenue_report(game: &Game) -> RevenueReport {
-    let collected: f64 = (0..game.olev_count())
-        .map(|n| {
-            let id = OlevId(n);
-            let loads_excl = game.schedule().loads_excluding(id);
-            payment_for_schedule(
-                game.cost(),
-                game.caps(),
-                &loads_excl,
-                game.schedule().row(id),
-            )
-        })
-        .sum();
-    let incurred_cost: f64 = game
-        .schedule()
-        .section_loads()
+    let schedule = game.schedule();
+    // One scratch buffer for every per-OLEV `P_{-n,c}` (cached O(C) each).
+    let mut loads_excl = Vec::with_capacity(game.section_count());
+    let mut collected = 0.0;
+    for n in 0..game.olev_count() {
+        let id = OlevId(n);
+        schedule.loads_excluding_into(id, &mut loads_excl);
+        collected += payment_for_schedule(game.cost(), game.caps(), &loads_excl, schedule.row(id));
+    }
+    let incurred_cost: f64 = schedule
+        .loads()
         .iter()
         .zip(game.caps())
         .map(|(&load, &cap)| game.cost().z(load, cap) - game.cost().z(0.0, cap))

@@ -1,15 +1,54 @@
-//! The power-schedule matrix `p = (p_{n,c})`.
+//! The power-schedule matrix `p = (p_{n,c})`, with incrementally maintained
+//! aggregates.
+//!
+//! Every quantity the engine reads per update — section loads `P_c`, OLEV
+//! totals `p_n`, the grand total, and `P_{-n,c}` of Eq. 8 — is cached and
+//! maintained as an O(C) delta per [`PowerSchedule::set_row`] (O(1) per
+//! [`PowerSchedule::set`]) instead of being recomputed with an O(N·C) matrix
+//! sweep on every query. Because delta maintenance changes float summation
+//! order, the caches drift from the exact column/row sums by a few ulps per
+//! write; the schedule transparently [resyncs](PowerSchedule::resync) itself
+//! every [`RESYNC_WRITES`] writes, which keeps the residual many orders of
+//! magnitude below the engine's 1e-9 tolerances (property-tested in
+//! `tests/incremental_state.rs`).
 
 use oes_units::{OlevId, SectionId};
 
+/// How many writes the schedule accepts between automatic exact resyncs of
+/// its cached aggregates. The per-write drift is a few ulps, so the residual
+/// stays far below 1e-9 over any such window; the amortized resync cost is
+/// O(N·C / `RESYNC_WRITES`) per write.
+pub const RESYNC_WRITES: usize = 512;
+
 /// An `N × C` matrix of non-negative power allocations: row `n` is OLEV `n`'s
 /// schedule `p_n` across all sections.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Equality compares dimensions and entries only — the cached aggregates are
+/// derived state and two schedules with the same entries are the same
+/// schedule regardless of their write histories.
+#[derive(Debug, Clone)]
 pub struct PowerSchedule {
     olevs: usize,
     sections: usize,
     /// Row-major `olevs × sections` entries, kW.
     entries: Vec<f64>,
+    /// Cached `P_c = Σ_n p_{n,c}` per section.
+    loads: Vec<f64>,
+    /// Cached `p_n = Σ_c p_{n,c}` per OLEV (recomputed exactly from the row
+    /// on every `set_row`; O(1) delta on `set`).
+    totals: Vec<f64>,
+    /// Cached `Σ p_{n,c}`.
+    total: f64,
+    /// Writes since the last exact resync.
+    writes: usize,
+}
+
+impl PartialEq for PowerSchedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.olevs == other.olevs
+            && self.sections == other.sections
+            && self.entries == other.entries
+    }
 }
 
 impl PowerSchedule {
@@ -28,6 +67,10 @@ impl PowerSchedule {
             olevs,
             sections,
             entries: vec![0.0; olevs * sections],
+            loads: vec![0.0; sections],
+            totals: vec![0.0; olevs],
+            total: 0.0,
+            writes: 0,
         }
     }
 
@@ -57,7 +100,7 @@ impl PowerSchedule {
         self.entries[n.index() * self.sections + c.index()]
     }
 
-    /// Sets `p_{n,c}`, clamping negatives to zero.
+    /// Sets `p_{n,c}`, clamping negatives to zero. O(1).
     ///
     /// # Panics
     ///
@@ -68,7 +111,14 @@ impl PowerSchedule {
             "index out of range"
         );
         assert!(value.is_finite(), "schedule entries must be finite");
-        self.entries[n.index() * self.sections + c.index()] = value.max(0.0);
+        let idx = n.index() * self.sections + c.index();
+        let new = value.max(0.0);
+        let delta = new - self.entries[idx];
+        self.entries[idx] = new;
+        self.loads[c.index()] = (self.loads[c.index()] + delta).max(0.0);
+        self.totals[n.index()] = (self.totals[n.index()] + delta).max(0.0);
+        self.total = (self.total + delta).max(0.0);
+        self.count_write();
     }
 
     /// OLEV `n`'s row.
@@ -77,7 +127,8 @@ impl PowerSchedule {
         &self.entries[n.index() * self.sections..(n.index() + 1) * self.sections]
     }
 
-    /// Replaces OLEV `n`'s row.
+    /// Replaces OLEV `n`'s row. O(C): section loads take the per-entry delta,
+    /// the row total is recomputed exactly from the stored row.
     ///
     /// # Panics
     ///
@@ -90,63 +141,122 @@ impl PowerSchedule {
         );
         let start = n.index() * self.sections;
         for (i, &v) in row.iter().enumerate() {
-            self.entries[start + i] = v.max(0.0);
+            let new = v.max(0.0);
+            let delta = new - self.entries[start + i];
+            self.entries[start + i] = new;
+            self.loads[i] = (self.loads[i] + delta).max(0.0);
+        }
+        let new_total: f64 = self.entries[start..start + self.sections].iter().sum();
+        self.total = (self.total + (new_total - self.totals[n.index()])).max(0.0);
+        self.totals[n.index()] = new_total;
+        self.count_write();
+    }
+
+    fn count_write(&mut self) {
+        self.writes += 1;
+        if self.writes >= RESYNC_WRITES {
+            self.resync();
         }
     }
 
-    /// `p_n = Σ_c p_{n,c}` — OLEV `n`'s total power.
-    #[must_use]
-    pub fn olev_total(&self, n: OlevId) -> f64 {
-        self.row(n).iter().sum()
-    }
-
-    /// `P_c = Σ_n p_{n,c}` — section `c`'s load.
-    #[must_use]
-    pub fn section_load(&self, c: SectionId) -> f64 {
-        (0..self.olevs)
-            .map(|n| self.entries[n * self.sections + c.index()])
-            .sum()
-    }
-
-    /// All section loads as a vector.
-    #[must_use]
-    pub fn section_loads(&self) -> Vec<f64> {
-        let mut loads = vec![0.0; self.sections];
+    /// Recomputes every cached aggregate exactly from the entries, absorbing
+    /// any float residual the delta maintenance accumulated. Runs
+    /// automatically every [`RESYNC_WRITES`] writes; callers that need exact
+    /// naive-path summation order (e.g. equivalence tests) can force it.
+    pub fn resync(&mut self) {
+        for load in &mut self.loads {
+            *load = 0.0;
+        }
         for n in 0..self.olevs {
-            for (c, load) in loads.iter_mut().enumerate() {
+            for (c, load) in self.loads.iter_mut().enumerate() {
                 *load += self.entries[n * self.sections + c];
             }
         }
+        for n in 0..self.olevs {
+            self.totals[n] = self.entries[n * self.sections..(n + 1) * self.sections]
+                .iter()
+                .sum();
+        }
+        self.total = self.entries.iter().sum();
+        self.writes = 0;
+    }
+
+    /// `p_n = Σ_c p_{n,c}` — OLEV `n`'s total power. O(1) (cached, exact).
+    #[must_use]
+    pub fn olev_total(&self, n: OlevId) -> f64 {
+        self.totals[n.index()]
+    }
+
+    /// `P_c = Σ_n p_{n,c}` — section `c`'s load. O(1) (cached).
+    #[must_use]
+    pub fn section_load(&self, c: SectionId) -> f64 {
+        self.loads[c.index()]
+    }
+
+    /// All section loads, borrowed from the cache.
+    #[must_use]
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// All section loads as a fresh vector.
+    #[must_use]
+    pub fn section_loads(&self) -> Vec<f64> {
+        self.loads.clone()
+    }
+
+    /// Section loads excluding OLEV `n` (`P_{-n,c}` of Eq. 8). O(C).
+    #[must_use]
+    pub fn loads_excluding(&self, n: OlevId) -> Vec<f64> {
+        let mut loads = self.loads.clone();
+        self.subtract_row(n, &mut loads);
         loads
     }
 
-    /// Section loads excluding OLEV `n` (`P_{-n,c}` of Eq. 8).
-    #[must_use]
-    pub fn loads_excluding(&self, n: OlevId) -> Vec<f64> {
-        let mut loads = self.section_loads();
+    /// [`PowerSchedule::loads_excluding`] into a caller-owned buffer, so hot
+    /// paths can reuse one scratch allocation across updates.
+    pub fn loads_excluding_into(&self, n: OlevId, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.loads);
+        self.subtract_row(n, out);
+    }
+
+    fn subtract_row(&self, n: OlevId, loads: &mut [f64]) {
         for (c, load) in loads.iter_mut().enumerate() {
             *load -= self.entries[n.index() * self.sections + c];
             if *load < 0.0 {
                 *load = 0.0;
             }
         }
-        loads
     }
 
-    /// Total allocated power across the whole system.
+    /// Total allocated power across the whole system. O(1) (cached).
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.entries.iter().sum()
+        self.total
     }
 
     /// Congestion degree of section `c`: `P_c / cap_c` (the paper's
     /// `P_c / P_line`).
+    ///
+    /// A non-positive capacity is degenerate (the builder rejects it): an
+    /// unloaded zero-capacity section reports 0 congestion, a loaded one
+    /// reports `+∞` — never NaN, so trajectory gauges and journals stay
+    /// well-defined.
     #[must_use]
     pub fn congestion_degree(&self, c: SectionId, cap: f64) -> f64 {
-        self.section_load(c) / cap
+        let load = self.section_load(c);
+        if cap <= 0.0 {
+            if load <= 0.0 {
+                return 0.0;
+            }
+            return f64::INFINITY;
+        }
+        load / cap
     }
 
-    /// System congestion degree: total load over total capacity.
+    /// System congestion degree: total load over total capacity, with the
+    /// same zero-capacity guard as [`PowerSchedule::congestion_degree`].
     ///
     /// # Panics
     ///
@@ -155,7 +265,14 @@ impl PowerSchedule {
     pub fn system_congestion(&self, caps: &[f64]) -> f64 {
         assert_eq!(caps.len(), self.sections, "capacity vector length mismatch");
         let cap: f64 = caps.iter().sum();
-        self.total() / cap
+        let total = self.total();
+        if cap <= 0.0 {
+            if total <= 0.0 {
+                return 0.0;
+            }
+            return f64::INFINITY;
+        }
+        total / cap
     }
 }
 
@@ -185,6 +302,9 @@ mod tests {
         let s = sched();
         assert_eq!(s.loads_excluding(OlevId(0)), vec![4.0, 0.0, 6.0]);
         assert_eq!(s.loads_excluding(OlevId(1)), vec![1.0, 2.0, 3.0]);
+        let mut buf = Vec::new();
+        s.loads_excluding_into(OlevId(0), &mut buf);
+        assert_eq!(buf, vec![4.0, 0.0, 6.0]);
     }
 
     #[test]
@@ -192,6 +312,61 @@ mod tests {
         let s = sched();
         assert_eq!(s.congestion_degree(SectionId(2), 18.0), 0.5);
         assert_eq!(s.system_congestion(&[10.0, 10.0, 12.0]), 0.5);
+    }
+
+    #[test]
+    fn zero_capacity_is_guarded_not_nan() {
+        // Regression: `0 load / 0 cap` used to emit NaN and a loaded
+        // zero-capacity section emitted whatever `x / 0.0` gave, poisoning
+        // gauges and journals downstream.
+        let empty = PowerSchedule::zeros(2, 3);
+        assert_eq!(empty.congestion_degree(SectionId(0), 0.0), 0.0);
+        assert_eq!(empty.system_congestion(&[0.0, 0.0, 0.0]), 0.0);
+        let s = sched();
+        assert_eq!(s.congestion_degree(SectionId(0), 0.0), f64::INFINITY);
+        assert_eq!(s.system_congestion(&[0.0, 0.0, 0.0]), f64::INFINITY);
+        assert!(!s.congestion_degree(SectionId(0), 0.0).is_nan());
+    }
+
+    #[test]
+    fn cached_aggregates_track_overwrites() {
+        let mut s = sched();
+        // Overwrite the same row repeatedly; caches must track exactly.
+        s.set_row(OlevId(0), &[0.5, 0.0, 0.25]);
+        s.set(OlevId(1), SectionId(1), 2.0);
+        assert!((s.section_load(SectionId(0)) - 4.5).abs() < 1e-12);
+        assert!((s.olev_total(OlevId(0)) - 0.75).abs() < 1e-12);
+        assert!((s.olev_total(OlevId(1)) - 12.0).abs() < 1e-12);
+        assert!((s.total() - 12.75).abs() < 1e-12);
+        // And a forced resync lands on the same values.
+        let before = s.clone();
+        s.resync();
+        assert_eq!(s, before);
+        assert!((s.total() - 12.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn automatic_resync_kicks_in() {
+        let mut s = PowerSchedule::zeros(2, 3);
+        for k in 0..(2 * RESYNC_WRITES) {
+            let v = (k % 7) as f64 * 0.1;
+            s.set_row(OlevId(k % 2), &[v, v + 0.1, v + 0.2]);
+        }
+        // Cached loads agree with a from-scratch recompute.
+        let cached = s.section_loads();
+        s.resync();
+        for (a, b) in cached.iter().zip(s.section_loads()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_write_history() {
+        let mut a = PowerSchedule::zeros(2, 3);
+        a.set_row(OlevId(0), &[1.0, 2.0, 3.0]);
+        a.set_row(OlevId(0), &[0.0, 0.0, 0.0]);
+        let b = PowerSchedule::zeros(2, 3);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Incremental engine state: a [`PowerSchedule`] plus running welfare sums.
+//!
+//! Eq. 7's welfare `W(p) = Σ_n U_n(p_n) − Σ_c [Z(P_c) − Z(0)]` is what both
+//! engines snapshot after *every* best-response update; recomputing it naively
+//! costs O(N·C) per update when Lemma IV.1 only ever touches one row.
+//! [`ScheduleState`] keeps the satisfaction sum, the charging-cost sum, and a
+//! per-section `Z(P_c)` cache alongside the schedule, so
+//! [`ScheduleState::apply_row`] maintains all of them in O(C) per update and
+//! [`ScheduleState::welfare`] is O(1).
+//!
+//! Delta maintenance changes float summation order, so the running sums drift
+//! from the naive recompute by a few ulps per update. Every
+//! [`resync_every`](ScheduleState::set_resync_interval) applied rows the state
+//! recomputes everything from scratch with *exactly* the naive path's
+//! summation order, absorbing the residual; with an interval of 1 the state
+//! reproduces the pre-incremental engine bit-for-bit, which is how the
+//! equivalence tests pin the refactor (`tests/incremental_state.rs`).
+
+use oes_units::OlevId;
+
+use crate::pricing::SectionCost;
+use crate::satisfaction::Satisfaction;
+use crate::schedule::PowerSchedule;
+
+/// Default number of applied rows between exact welfare resyncs. Drift per
+/// apply is a few ulps, so the residual over a window stays many orders of
+/// magnitude below the engine's 1e-9 convergence tolerance.
+pub const DEFAULT_RESYNC_EVERY: usize = 64;
+
+/// A [`PowerSchedule`] bundled with incrementally maintained welfare state.
+///
+/// The environment (satisfaction functions, section cost, capacities) is
+/// passed into each mutating call rather than stored, so the state can live
+/// inside [`crate::Game`] without self-referential lifetimes.
+#[derive(Debug, Clone)]
+pub struct ScheduleState {
+    schedule: PowerSchedule,
+    /// Cached `Z(P_c)` per section, consistent with the schedule's cached
+    /// loads.
+    z_cache: Vec<f64>,
+    /// Cached `Z(0)` per section (constant in `p`).
+    z_idle: Vec<f64>,
+    /// Running `Σ_c [Z(P_c) − Z(0)]`.
+    charging_cost: f64,
+    /// Running `Σ_n U_n(p_n)`.
+    satisfaction: f64,
+    applies: usize,
+    resync_every: usize,
+}
+
+impl ScheduleState {
+    /// Wraps `schedule`, computing the welfare sums exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `satisfactions` or `caps` dimensions mismatch the schedule.
+    #[must_use]
+    pub fn new(
+        schedule: PowerSchedule,
+        satisfactions: &[Box<dyn Satisfaction>],
+        cost: &SectionCost,
+        caps: &[f64],
+    ) -> Self {
+        assert_eq!(
+            satisfactions.len(),
+            schedule.olev_count(),
+            "satisfaction count mismatch"
+        );
+        assert_eq!(
+            caps.len(),
+            schedule.section_count(),
+            "capacity count mismatch"
+        );
+        let sections = schedule.section_count();
+        let mut state = Self {
+            schedule,
+            z_cache: vec![0.0; sections],
+            z_idle: caps.iter().map(|&cap| cost.z(0.0, cap)).collect(),
+            charging_cost: 0.0,
+            satisfaction: 0.0,
+            applies: 0,
+            resync_every: DEFAULT_RESYNC_EVERY,
+        };
+        state.resync(satisfactions, cost, caps);
+        state
+    }
+
+    /// The wrapped schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &PowerSchedule {
+        &self.schedule
+    }
+
+    /// Unwraps the schedule, dropping the cached sums.
+    #[must_use]
+    pub fn into_schedule(self) -> PowerSchedule {
+        self.schedule
+    }
+
+    /// `W(p)` (Eq. 7) from the running sums. O(1).
+    #[must_use]
+    pub fn welfare(&self) -> f64 {
+        self.satisfaction - self.charging_cost
+    }
+
+    /// How many rows have been applied since construction.
+    #[must_use]
+    pub fn applies(&self) -> usize {
+        self.applies
+    }
+
+    /// Sets the exact-resync interval: every `every` applied rows the running
+    /// sums are recomputed from scratch. An interval of 1 reproduces the
+    /// naive recompute path exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_resync_interval(&mut self, every: usize) {
+        assert!(every > 0, "resync interval must be nonzero");
+        self.resync_every = every;
+    }
+
+    /// [`PowerSchedule::loads_excluding_into`] on the wrapped schedule.
+    pub fn loads_excluding_into(&self, n: OlevId, out: &mut Vec<f64>) {
+        self.schedule.loads_excluding_into(n, out);
+    }
+
+    /// Replaces OLEV `n`'s row and maintains the welfare sums in O(C),
+    /// returning the OLEV's new total `p_n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PowerSchedule::set_row`] does, or on dimension mismatch.
+    pub fn apply_row(
+        &mut self,
+        n: OlevId,
+        row: &[f64],
+        satisfactions: &[Box<dyn Satisfaction>],
+        cost: &SectionCost,
+        caps: &[f64],
+    ) -> f64 {
+        let old_total = self.schedule.olev_total(n);
+        let old_value = satisfactions[n.index()].value(old_total);
+        self.schedule.set_row(n, row);
+        for (c, &cap) in caps.iter().enumerate() {
+            let z_new = cost.z(self.schedule.loads()[c], cap);
+            self.charging_cost += z_new - self.z_cache[c];
+            self.z_cache[c] = z_new;
+        }
+        let new_total = self.schedule.olev_total(n);
+        self.satisfaction += satisfactions[n.index()].value(new_total) - old_value;
+        self.applies += 1;
+        if self.applies.is_multiple_of(self.resync_every) {
+            self.resync(satisfactions, cost, caps);
+        }
+        new_total
+    }
+
+    /// Recomputes schedule aggregates and welfare sums exactly, with the same
+    /// summation order as the naive `social_welfare` recompute, absorbing any
+    /// accumulated float residual.
+    pub fn resync(
+        &mut self,
+        satisfactions: &[Box<dyn Satisfaction>],
+        cost: &SectionCost,
+        caps: &[f64],
+    ) {
+        self.schedule.resync();
+        for (c, &cap) in caps.iter().enumerate() {
+            self.z_cache[c] = cost.z(self.schedule.loads()[c], cap);
+        }
+        self.satisfaction = satisfactions
+            .iter()
+            .enumerate()
+            .map(|(n, s)| s.value(self.schedule.olev_total(OlevId(n))))
+            .sum();
+        self.charging_cost = self
+            .z_cache
+            .iter()
+            .zip(&self.z_idle)
+            .map(|(&z, &z0)| z - z0)
+            .sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::social_welfare;
+    use crate::pricing::{NonlinearPricing, OverloadPenalty, PricingPolicy};
+    use crate::satisfaction::LogSatisfaction;
+
+    fn cost() -> SectionCost {
+        SectionCost::new(
+            PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+            OverloadPenalty::new(0.15),
+            0.9,
+        )
+    }
+
+    fn sats(n: usize) -> Vec<Box<dyn Satisfaction>> {
+        (0..n)
+            .map(|i| Box::new(LogSatisfaction::new(1.0 + i as f64 * 0.5)) as Box<dyn Satisfaction>)
+            .collect()
+    }
+
+    #[test]
+    fn zero_state_has_zero_welfare() {
+        let caps = [60.0; 4];
+        let c = cost();
+        let state = ScheduleState::new(PowerSchedule::zeros(3, 4), &sats(3), &c, &caps);
+        assert!(state.welfare().abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_welfare_matches_naive() {
+        let caps = [60.0, 45.0, 70.0];
+        let c = cost();
+        let ss = sats(3);
+        let mut state = ScheduleState::new(PowerSchedule::zeros(3, 3), &ss, &c, &caps);
+        let rows: [&[f64]; 5] = [
+            &[1.0, 7.0, 2.0],
+            &[0.0, 3.0, 9.0],
+            &[4.0, 4.0, 4.0],
+            &[2.5, 0.0, 6.0],
+            &[0.0, 0.0, 0.0],
+        ];
+        for (k, row) in rows.iter().enumerate() {
+            state.apply_row(OlevId(k % 3), row, &ss, &c, &caps);
+            let naive = social_welfare(&ss, &c, &caps, state.schedule());
+            assert!(
+                (state.welfare() - naive).abs() < 1e-9,
+                "after apply {k}: cached {} vs naive {naive}",
+                state.welfare()
+            );
+        }
+        assert_eq!(state.applies(), 5);
+    }
+
+    #[test]
+    fn resync_interval_one_tracks_naive_exactly() {
+        let caps = [60.0, 45.0];
+        let c = cost();
+        let ss = sats(2);
+        let mut state = ScheduleState::new(PowerSchedule::zeros(2, 2), &ss, &c, &caps);
+        state.set_resync_interval(1);
+        state.apply_row(OlevId(0), &[3.0, 8.0], &ss, &c, &caps);
+        state.apply_row(OlevId(1), &[5.0, 0.5], &ss, &c, &caps);
+        let naive = social_welfare(&ss, &c, &caps, state.schedule());
+        assert_eq!(state.welfare().to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "resync interval must be nonzero")]
+    fn zero_resync_interval_rejected() {
+        let caps = [60.0];
+        let c = cost();
+        let mut state = ScheduleState::new(PowerSchedule::zeros(1, 1), &sats(1), &c, &caps);
+        state.set_resync_interval(0);
+    }
+}

@@ -169,6 +169,30 @@ pub fn marginal_waterfill(
     }
 }
 
+/// The total the water-filling grid hands out at marginal price `μ`:
+/// `A(μ) = Σ_c [x_c(μ) − load_c]⁺` with `Z'(x_c(μ)) = μ` — the inverse of
+/// the [`marginal_waterfill`] level search, evaluated through the closed-form
+/// `Z'⁻¹`. Returns `None` when the cost has no closed-form inverse (the
+/// linear baseline), in which case callers fall back to solving in
+/// total-request space.
+///
+/// `A` is non-decreasing in `μ`, which is what makes the best response's
+/// first-order condition solvable by a *single* bisection in `μ` (see
+/// [`crate::best_response`]) instead of a bisection whose every probe runs a
+/// full water-filling level search.
+#[must_use]
+pub fn demand_at_marginal(cost: &SectionCost, caps: &[f64], loads: &[f64], mu: f64) -> Option<f64> {
+    let mut total = 0.0;
+    for (&cap, &load) in caps.iter().zip(loads) {
+        if cost.z_prime(load, cap) >= mu {
+            continue; // this section is already at or above the price level
+        }
+        let x = cost.z_prime_inverse(mu, cap)?;
+        total += (x - load).max(0.0);
+    }
+    Some(total)
+}
+
 /// Greedy sequential filling for the linear baseline: fill each section in
 /// index order up to its knee; spill any remainder evenly beyond the knees.
 ///

@@ -193,7 +193,15 @@ fn congestion_converges_to_target() {
             .build()
             .unwrap();
         let out = g.run(UpdateOrder::RoundRobin, 20_000).unwrap();
-        (g.system_congestion(), out.updates_to_reach(0.99).unwrap())
+        // `updates_to_reach` is `None` for a run that never drew power; this
+        // fleet provably charges (congestion asserted ≈ 0.9 below), so a
+        // missing ramp point is a real failure worth naming. 95% of final
+        // measures the ramp itself; 99% is convergence-level precision that
+        // the mid-run rebalancing oscillation legitimately re-crosses.
+        let ramp = out
+            .updates_to_reach(0.95)
+            .expect("a charging fleet has a congestion ramp");
+        (g.system_congestion(), ramp)
     };
     let (c60, u60) = run(60.0);
     let (c80, u80) = run(80.0);

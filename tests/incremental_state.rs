@@ -1,0 +1,249 @@
+//! The incremental-state equivalence surface.
+//!
+//! The engines maintain section loads, OLEV totals, and the welfare sums
+//! incrementally (O(C) per update) instead of recomputing them (O(N·C) per
+//! query). These tests pin the refactor to the naive recompute path:
+//!
+//! - seeded property sweeps over random schedules and row deviations assert
+//!   the cached aggregates and cached welfare stay within 1e-9 of the naive
+//!   `section_loads`-from-entries / `social_welfare` recompute, including
+//!   across the periodic exact-resync boundaries;
+//! - the in-process and decentralized engines are exercised with a
+//!   zero-update budget (the empty-trajectory `final_welfare` regression);
+//! - a run with the default resync interval must match a run resyncing on
+//!   every update — which reproduces the pre-incremental path exactly — in
+//!   convergence, update count, and welfare.
+//!
+//! The RNG is a local SplitMix64 so the sweep stays deterministic and free
+//! of external crates.
+
+use oes::game::potential::social_welfare;
+use oes::game::pricing::{NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost};
+use oes::game::satisfaction::{LogSatisfaction, Satisfaction};
+use oes::game::schedule::RESYNC_WRITES;
+use oes::game::{DistributedGame, GameBuilder, PowerSchedule, ScheduleState, UpdateOrder};
+use oes::units::{Kilowatts, OlevId, SectionId};
+
+/// SplitMix64: tiny, seedable, and plenty for test-case generation.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A random row with a healthy mix of zeros (water-filling produces sparse
+/// rows, so the cache must be exercised on them).
+fn random_row(rng: &mut SplitMix64, sections: usize, scale: f64) -> Vec<f64> {
+    (0..sections)
+        .map(|_| {
+            if rng.next_f64() < 0.3 {
+                0.0
+            } else {
+                rng.next_f64() * scale
+            }
+        })
+        .collect()
+}
+
+/// Naive column sums straight from the mirrored rows — no caches involved.
+fn naive_loads(rows: &[Vec<f64>], sections: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; sections];
+    for row in rows {
+        for (c, load) in loads.iter_mut().enumerate() {
+            *load += row[c];
+        }
+    }
+    loads
+}
+
+#[test]
+fn cached_schedule_aggregates_match_naive_recomputes() {
+    let mut rng = SplitMix64(0x0e5_0e5);
+    for _trial in 0..40 {
+        let olevs = 1 + rng.pick(12);
+        let sections = 1 + rng.pick(10);
+        let mut schedule = PowerSchedule::zeros(olevs, sections);
+        let mut mirror = vec![vec![0.0; sections]; olevs];
+        for _step in 0..120 {
+            let n = rng.pick(olevs);
+            if rng.next_f64() < 0.15 {
+                // Exercise the O(1) single-entry path too.
+                let c = rng.pick(sections);
+                let v = rng.next_f64() * 30.0;
+                schedule.set(OlevId(n), SectionId(c), v);
+                mirror[n][c] = v;
+            } else {
+                let row = random_row(&mut rng, sections, 30.0);
+                schedule.set_row(OlevId(n), &row);
+                mirror[n] = row.clone();
+            }
+            let loads = naive_loads(&mirror, sections);
+            for (c, &expected) in loads.iter().enumerate() {
+                assert!(
+                    (schedule.section_load(SectionId(c)) - expected).abs() < 1e-9,
+                    "section {c}: cached {} vs naive {expected}",
+                    schedule.section_load(SectionId(c))
+                );
+            }
+            let total: f64 = loads.iter().sum();
+            assert!((schedule.total() - total).abs() < 1e-9);
+            for (n, row) in mirror.iter().enumerate() {
+                let expected: f64 = row.iter().sum();
+                assert!((schedule.olev_total(OlevId(n)) - expected).abs() < 1e-9);
+            }
+            // P_{-n,c} from the cache vs from the mirror.
+            let probe = rng.pick(olevs);
+            let excl = schedule.loads_excluding(OlevId(probe));
+            for (c, &load) in loads.iter().enumerate() {
+                let expected = (load - mirror[probe][c]).max(0.0);
+                assert!((excl[c] - expected).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_aggregates_survive_the_automatic_resync_boundary() {
+    // Enough writes to cross the schedule's self-resync threshold twice.
+    let mut rng = SplitMix64(77);
+    let (olevs, sections) = (4, 6);
+    let mut schedule = PowerSchedule::zeros(olevs, sections);
+    let mut mirror = vec![vec![0.0; sections]; olevs];
+    for step in 0..(2 * RESYNC_WRITES + 50) {
+        let n = rng.pick(olevs);
+        let row = random_row(&mut rng, sections, 25.0);
+        schedule.set_row(OlevId(n), &row);
+        mirror[n] = row;
+        if step % 97 == 0 || step % RESYNC_WRITES >= RESYNC_WRITES - 2 {
+            let loads = naive_loads(&mirror, sections);
+            for (c, &expected) in loads.iter().enumerate() {
+                assert!(
+                    (schedule.section_load(SectionId(c)) - expected).abs() < 1e-9,
+                    "step {step}, section {c}"
+                );
+            }
+        }
+    }
+}
+
+fn paper_cost() -> SectionCost {
+    SectionCost::new(
+        PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)),
+        OverloadPenalty::new(0.15),
+        0.9,
+    )
+}
+
+#[test]
+fn cached_welfare_matches_naive_social_welfare_across_resyncs() {
+    let mut rng = SplitMix64(2024);
+    for trial in 0..12 {
+        let olevs = 1 + rng.pick(8);
+        let sections = 1 + rng.pick(8);
+        let caps: Vec<f64> = (0..sections)
+            .map(|_| 20.0 + rng.next_f64() * 60.0)
+            .collect();
+        let sats: Vec<Box<dyn Satisfaction>> = (0..olevs)
+            .map(|_| {
+                Box::new(LogSatisfaction::new(0.2 + rng.next_f64() * 3.0)) as Box<dyn Satisfaction>
+            })
+            .collect();
+        let cost = paper_cost();
+        let mut state =
+            ScheduleState::new(PowerSchedule::zeros(olevs, sections), &sats, &cost, &caps);
+        // A short interval forces many exact-resync crossings per trial.
+        state.set_resync_interval(1 + rng.pick(7));
+        for step in 0..80 {
+            let n = rng.pick(olevs);
+            let row = random_row(&mut rng, sections, 20.0);
+            state.apply_row(OlevId(n), &row, &sats, &cost, &caps);
+            let naive = social_welfare(&sats, &cost, &caps, state.schedule());
+            assert!(
+                (state.welfare() - naive).abs() < 1e-9,
+                "trial {trial}, step {step}: cached {} vs naive {naive}",
+                state.welfare()
+            );
+        }
+    }
+}
+
+fn scenario() -> oes::game::Game {
+    GameBuilder::new()
+        .sections(16, Kilowatts::new(45.0))
+        .olevs(12, Kilowatts::new(55.0))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
+        .build()
+        .expect("valid scenario")
+}
+
+#[test]
+fn default_resync_interval_matches_the_per_update_naive_path() {
+    let mut cached = scenario();
+    let mut naive = scenario();
+    // Resyncing after every update reproduces the pre-incremental engine's
+    // exact summation order; the default interval must land within 1e-9.
+    naive.set_welfare_resync_interval(1);
+    let out_cached = cached.run(UpdateOrder::RoundRobin, 5000).expect("runs");
+    let out_naive = naive.run(UpdateOrder::RoundRobin, 5000).expect("runs");
+    assert_eq!(out_cached.converged(), out_naive.converged());
+    assert_eq!(out_cached.updates(), out_naive.updates());
+    assert!((out_cached.final_welfare() - out_naive.final_welfare()).abs() < 1e-9);
+    for (a, b) in out_cached.trajectory.iter().zip(&out_naive.trajectory) {
+        assert!((a.welfare - b.welfare).abs() < 1e-9, "update {}", a.update);
+        assert!((a.congestion - b.congestion).abs() < 1e-9);
+    }
+    // The cached loads feed the best responses, so the two equilibria can
+    // differ by a few ulp per entry — they must agree to 1e-9, not bit-wise.
+    for n in 0..12 {
+        let (a, b) = (
+            cached.schedule().row(OlevId(n)),
+            naive.schedule().row(OlevId(n)),
+        );
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "olev {n}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn zero_update_budget_is_welfare_safe_on_both_engines() {
+    // Regression: `Outcome::final_welfare()` used to panic on the empty
+    // trajectory either engine produces under a zero-update budget.
+    let mut in_process = scenario();
+    let out = in_process.run(UpdateOrder::RoundRobin, 0).expect("runs");
+    assert_eq!(out.updates(), 0);
+    assert_eq!(
+        out.final_welfare().to_bits(),
+        in_process.welfare().to_bits()
+    );
+    assert_eq!(out.updates_to_reach(0.95), None);
+
+    let mut decentralized = scenario();
+    let out = DistributedGame::new(&mut decentralized)
+        .run(0)
+        .expect("runs");
+    assert_eq!(out.updates(), 0);
+    assert!(out.trajectory.is_empty());
+    assert_eq!(
+        out.final_welfare().to_bits(),
+        decentralized.welfare().to_bits()
+    );
+    assert_eq!(out.updates_to_reach(0.95), None);
+}

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use oes::game::{DistributedGame, GameBuilder, NonlinearPricing, PricingPolicy};
+use oes::game::{DistributedGame, GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder};
 use oes::telemetry::{count_events, JournalRecorder, RingBufferRecorder, Sample, Telemetry};
 use oes::units::Kilowatts;
 
@@ -51,6 +51,41 @@ fn same_seed_runs_emit_byte_identical_journals() {
     // A different stamp is visible in the header alone.
     let (other, _) = journaled_run(24);
     assert_ne!(first, other);
+}
+
+#[test]
+fn same_seed_in_process_runs_emit_byte_identical_journals() {
+    // The incremental-state engine must stay telemetry-neutral: two
+    // identically seeded in-process runs emit byte-identical journals, and
+    // the journaled welfare is the outcome's welfare bit-for-bit.
+    let run = |seed: u64| {
+        let journal = Arc::new(JournalRecorder::new("engine-golden", seed));
+        let mut g = game();
+        let outcome = g
+            .run_with(
+                UpdateOrder::RoundRobin,
+                10_000,
+                &Telemetry::new(journal.clone()),
+            )
+            .expect("clean run converges");
+        (journal.to_jsonl(), outcome)
+    };
+    let (first, out_a) = run(5);
+    let (second, out_b) = run(5);
+    assert!(out_a.converged() && out_b.converged());
+    assert_eq!(first, second, "same-seed journals must match byte-for-byte");
+    assert_eq!(count_events(&first, "engine.welfare"), out_a.updates());
+    let last_welfare = first
+        .lines()
+        .filter(|l| l.contains("\"name\":\"engine.welfare\""))
+        .last()
+        .expect("welfare gauges exist");
+    let value: f64 = last_welfare
+        .rsplit("\"value\":")
+        .next()
+        .and_then(|t| t.trim_end_matches('}').parse().ok())
+        .expect("gauge value parses");
+    assert_eq!(value.to_bits(), out_a.final_welfare().to_bits());
 }
 
 #[test]
