@@ -1,0 +1,99 @@
+//! Emits the parallel-sweep scaling artifact `BENCH_parallel.json`:
+//! best-response updates/sec at K ∈ {1, 2, 4, 8} × N ∈ {512, 4096, 16384}.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin parallel            # verify + measure
+//! cargo run --release -p oes-bench --bin parallel -- --check # + CI gates
+//! ```
+//!
+//! Serial-equivalence is verified before any timing (K = 1 bit-identity
+//! and K ∈ {2, 4, 8} welfare agreement) and failure exits nonzero even
+//! without `--check` — a throughput number from a diverging engine is
+//! meaningless. With `--check`, the K = 1 / N = 16384 point is compared
+//! against the committed baseline
+//! (`crates/bench/baselines/parallel.json`), and on hardware with ≥ 8
+//! cores the K = 8 / N = 16384 point must additionally show a ≥ 2×
+//! speedup over K = 1.
+
+use oes_bench::parallel::{
+    measure_grid, parallel_summary_json, parse_updates_per_sec, speedup, verify_serial_identity,
+    verify_sharded_equivalence, GATED_FLEET, GATED_SHARDS, MIN_CORES_FOR_SPEEDUP_GATE,
+    REGRESSION_FACTOR, SPEEDUP_FLOOR,
+};
+
+const BASELINE_PATH: &str = "crates/bench/baselines/parallel.json";
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    if let Err(e) = verify_serial_identity() {
+        eprintln!("EQUIVALENCE FAILURE (K=1 bit-identity): {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = verify_sharded_equivalence() {
+        eprintln!("EQUIVALENCE FAILURE (sharded vs serial optimum): {e}");
+        std::process::exit(1);
+    }
+    println!("serial-equivalence verified: K=1 bit-identical, K∈{{2,4,8}} within 1e-9");
+
+    let points = measure_grid();
+    println!("parallel sweep scaling (round-robin best responses, nonlinear pricing)");
+    println!(
+        "{:>3} {:>7} {:>5} {:>9} {:>10} {:>14} {:>9}",
+        "K", "N", "C", "updates", "seconds", "updates/sec", "speedup"
+    );
+    for p in &points {
+        let s = speedup(&points, p.shards, p.olevs).unwrap_or(f64::NAN);
+        println!(
+            "{:>3} {:>7} {:>5} {:>9} {:>10.4} {:>14.1} {:>8.2}x",
+            p.shards, p.olevs, p.sections, p.updates, p.seconds, p.updates_per_sec, s
+        );
+    }
+    let json = parallel_summary_json(&points);
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+
+    if check {
+        let measured = parse_updates_per_sec(&json, 1, GATED_FLEET)
+            .expect("gated serial point present in fresh artifact");
+        let baseline_json = std::fs::read_to_string(BASELINE_PATH)
+            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
+        let baseline = parse_updates_per_sec(&baseline_json, 1, GATED_FLEET)
+            .unwrap_or_else(|| panic!("no K=1/N={GATED_FLEET} point in {BASELINE_PATH}"));
+        let floor = baseline / REGRESSION_FACTOR;
+        println!(
+            "perf gate K=1 N={GATED_FLEET}: measured {measured:.1} updates/sec, \
+             baseline {baseline:.1}, floor {floor:.1}"
+        );
+        if measured < floor {
+            eprintln!(
+                "PERF REGRESSION: {measured:.1} updates/sec is more than \
+                 {REGRESSION_FACTOR}x below the committed baseline {baseline:.1}"
+            );
+            std::process::exit(1);
+        }
+
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= MIN_CORES_FOR_SPEEDUP_GATE {
+            let s = speedup(&points, GATED_SHARDS, GATED_FLEET)
+                .expect("gated speedup points present in fresh grid");
+            println!(
+                "speedup gate K={GATED_SHARDS} N={GATED_FLEET}: measured {s:.2}x, \
+                 floor {SPEEDUP_FLOOR:.2}x ({cores} cores)"
+            );
+            if s < SPEEDUP_FLOOR {
+                eprintln!(
+                    "SPEEDUP REGRESSION: {s:.2}x at K={GATED_SHARDS} is below the \
+                     {SPEEDUP_FLOOR:.2}x floor"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            println!(
+                "speedup gate skipped: {cores} cores < {MIN_CORES_FOR_SPEEDUP_GATE} \
+                 (equivalence checks still enforced above)"
+            );
+        }
+        println!("perf gate passed");
+    }
+}

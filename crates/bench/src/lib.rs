@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod parallel;
 pub mod report;
 pub mod scenarios;
 pub mod table;

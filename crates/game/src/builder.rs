@@ -8,14 +8,33 @@ use crate::error::GameError;
 use crate::payment::Scheduler;
 use crate::pricing::{NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost};
 use crate::satisfaction::{LogSatisfaction, Satisfaction};
-use crate::schedule::PowerSchedule;
-use crate::state::ScheduleState;
+use crate::schedule::{PowerSchedule, RESYNC_WRITES};
+use crate::state::{ScheduleState, DEFAULT_RESYNC_EVERY};
 
 /// Builds a [`Game`].
 ///
 /// # Examples
 ///
-/// See the [crate-level example](crate).
+/// The quickstart scenario — a charging lane under the paper's nonlinear
+/// policy, run to the social optimum:
+///
+/// ```
+/// use oes_game::{GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder};
+/// use oes_units::Kilowatts;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut game = GameBuilder::new()
+///     .sections(20, Kilowatts::new(60.0))     // 20 road sections, 60 kW each
+///     .olevs(8, Kilowatts::new(50.0))         // 8 OLEVs, P_OLEV = 50 kW
+///     .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(15.0)))
+///     .eta(0.9)
+///     .build()?;
+/// let outcome = game.run(UpdateOrder::RoundRobin, 2_000)?;
+/// assert!(outcome.converged());
+/// assert!(game.welfare() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
 pub struct GameBuilder {
     caps: Vec<f64>,
     olevs: Vec<(f64, Box<dyn Satisfaction>)>,
@@ -24,6 +43,8 @@ pub struct GameBuilder {
     eta: f64,
     tolerance: f64,
     scheduler_override: Option<Scheduler>,
+    welfare_resync_every: usize,
+    schedule_resync_writes: usize,
 }
 
 impl core::fmt::Debug for GameBuilder {
@@ -54,6 +75,8 @@ impl GameBuilder {
             eta: 0.9,
             tolerance: 1e-7,
             scheduler_override: None,
+            welfare_resync_every: DEFAULT_RESYNC_EVERY,
+            schedule_resync_writes: RESYNC_WRITES,
         }
     }
 
@@ -121,6 +144,53 @@ impl GameBuilder {
     #[must_use]
     pub fn tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets how many applied rows pass between exact recomputes of the
+    /// incremental welfare sums (default
+    /// [`DEFAULT_RESYNC_EVERY`]). An
+    /// interval of 1 reproduces the naive recompute path bit-for-bit; larger
+    /// intervals amortize the O(N·C) resync across more O(C) updates. The
+    /// parallel engine snapshots the same cached state, so this is also its
+    /// snapshot-refresh cadence.
+    ///
+    /// ```
+    /// use oes_game::{GameBuilder, UpdateOrder};
+    /// use oes_units::Kilowatts;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // Interval 1 = resync after every update: the incremental welfare is
+    /// // bit-identical to the naive recompute at every step.
+    /// let mut exact = GameBuilder::new()
+    ///     .sections(6, Kilowatts::new(60.0))
+    ///     .olevs(3, Kilowatts::new(40.0))
+    ///     .welfare_resync_interval(1)
+    ///     .build()?;
+    /// let mut cached = GameBuilder::new()
+    ///     .sections(6, Kilowatts::new(60.0))
+    ///     .olevs(3, Kilowatts::new(40.0))
+    ///     .build()?;
+    /// let we = exact.run(UpdateOrder::RoundRobin, 500)?.final_welfare();
+    /// let wc = cached.run(UpdateOrder::RoundRobin, 500)?.final_welfare();
+    /// assert!((we - wc).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn welfare_resync_interval(mut self, every: usize) -> Self {
+        self.welfare_resync_every = every;
+        self
+    }
+
+    /// Sets how many schedule row writes pass between exact recomputes of
+    /// the cached section loads/totals (default
+    /// [`RESYNC_WRITES`]). An interval of 1
+    /// keeps the caches bit-identical to the naive column/row sums — the
+    /// reference configuration the equivalence tests pin against.
+    #[must_use]
+    pub fn schedule_resync_writes(mut self, writes: usize) -> Self {
+        self.schedule_resync_writes = writes;
         self
     }
 
@@ -209,6 +279,18 @@ impl GameBuilder {
                 value: self.tolerance,
             });
         }
+        if self.welfare_resync_every == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "welfare resync interval",
+                value: 0.0,
+            });
+        }
+        if self.schedule_resync_writes == 0 {
+            return Err(GameError::InvalidParameter {
+                name: "schedule resync writes",
+                value: 0.0,
+            });
+        }
         let beta = match &self.policy {
             PricingPolicy::Nonlinear(p) => p.beta,
             PricingPolicy::Linear(p) => p.beta,
@@ -234,7 +316,9 @@ impl GameBuilder {
         let (p_max, satisfactions): (Vec<f64>, Vec<Box<dyn Satisfaction>>) =
             self.olevs.into_iter().unzip();
         let schedule = PowerSchedule::zeros(p_max.len(), self.caps.len());
-        let state = ScheduleState::new(schedule, &satisfactions, &cost, &self.caps);
+        let mut state = ScheduleState::new(schedule, &satisfactions, &cost, &self.caps);
+        state.set_resync_interval(self.welfare_resync_every);
+        state.set_schedule_resync_writes(self.schedule_resync_writes);
         let scratch_loads = Vec::with_capacity(self.caps.len());
         Ok(Game {
             satisfactions,
@@ -245,6 +329,8 @@ impl GameBuilder {
             state,
             tolerance: self.tolerance,
             scratch_loads,
+            welfare_resync_every: self.welfare_resync_every,
+            schedule_resync_writes: self.schedule_resync_writes,
         })
     }
 }
@@ -398,6 +484,72 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, GameError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn zero_resync_intervals_rejected_at_build() {
+        let err = GameBuilder::new()
+            .sections(2, Kilowatts::new(60.0))
+            .olevs(1, Kilowatts::new(40.0))
+            .welfare_resync_interval(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GameError::InvalidParameter {
+                name: "welfare resync interval",
+                ..
+            }
+        ));
+        let err = GameBuilder::new()
+            .sections(2, Kilowatts::new(60.0))
+            .olevs(1, Kilowatts::new(40.0))
+            .schedule_resync_writes(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GameError::InvalidParameter {
+                name: "schedule resync writes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_resync_intervals_survive_reset() {
+        use crate::engine::UpdateOrder;
+        // Interval-1 via the builder must reproduce the naive-path welfare
+        // bit-for-bit even after `reset()` rebuilds the incremental state —
+        // the regression the durable `Game` fields exist for.
+        let build = |exact: bool| {
+            let b = GameBuilder::new()
+                .sections(4, Kilowatts::new(60.0))
+                .olevs(3, Kilowatts::new(40.0));
+            let b = if exact {
+                b.welfare_resync_interval(1).schedule_resync_writes(1)
+            } else {
+                b
+            };
+            b.build().unwrap()
+        };
+        let mut exact = build(true);
+        let mut cached = build(false);
+        exact.run(UpdateOrder::RoundRobin, 100).unwrap();
+        cached.run(UpdateOrder::RoundRobin, 100).unwrap();
+        exact.reset();
+        cached.reset();
+        let oe = exact.run(UpdateOrder::RoundRobin, 300).unwrap();
+        let oc = cached.run(UpdateOrder::RoundRobin, 300).unwrap();
+        assert_eq!(oe.converged(), oc.converged());
+        assert!((oe.final_welfare() - oc.final_welfare()).abs() < 1e-9);
+        // And the exact game's cached loads equal a from-scratch resync bit
+        // for bit (schedule interval 1).
+        let mut resynced = exact.schedule().clone();
+        resynced.resync();
+        for (a, b) in exact.schedule().loads().iter().zip(resynced.loads()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

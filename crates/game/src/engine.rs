@@ -98,6 +98,27 @@ impl Outcome {
     /// The update index from which congestion *stayed at or above* `fraction`
     /// of its final value — the convergence-speed measure of Figs. 5(d)/6(d).
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oes_game::{GameBuilder, UpdateOrder};
+    /// use oes_units::Kilowatts;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut game = GameBuilder::new()
+    ///     .sections(8, Kilowatts::new(60.0))
+    ///     .olevs(5, Kilowatts::new(40.0))
+    ///     .build()?;
+    /// let outcome = game.run(UpdateOrder::RoundRobin, 1_000)?;
+    /// // The fleet reaches 95% of its final congestion within the run, and
+    /// // the trajectory records one snapshot per applied update.
+    /// let ramp = outcome.updates_to_reach(0.95).expect("non-zero load");
+    /// assert!(ramp <= outcome.updates());
+    /// assert_eq!(outcome.trajectory.len(), outcome.updates());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// Scans for the last crossing, so a transient early spike on a
     /// non-monotone trajectory does not count as "reached". Returns `None`
     /// for an empty trajectory or a run that ended with zero congestion: a
@@ -137,6 +158,12 @@ pub struct Game {
     pub(crate) tolerance: f64,
     /// Reusable `P_{-n,c}` buffer so the hot update path does not allocate.
     pub(crate) scratch_loads: Vec<f64>,
+    /// Applied rows between exact welfare resyncs; survives
+    /// [`Game::set_schedule`] / [`Game::reset`].
+    pub(crate) welfare_resync_every: usize,
+    /// Schedule writes between exact aggregate resyncs; survives
+    /// [`Game::set_schedule`] / [`Game::reset`].
+    pub(crate) schedule_resync_writes: usize,
 }
 
 impl core::fmt::Debug for Game {
@@ -218,6 +245,9 @@ impl Game {
             "section count mismatch"
         );
         self.state = ScheduleState::new(schedule, &self.satisfactions, &self.cost, &self.caps);
+        self.state.set_resync_interval(self.welfare_resync_every);
+        self.state
+            .set_schedule_resync_writes(self.schedule_resync_writes);
     }
 
     /// Resets the schedule to all-zero.
@@ -239,6 +269,22 @@ impl Game {
     /// Panics if `every` is zero.
     pub fn set_welfare_resync_interval(&mut self, every: usize) {
         self.state.set_resync_interval(every);
+        self.welfare_resync_every = every;
+    }
+
+    /// Sets how often the schedule's cached aggregates (loads, totals — the
+    /// parallel engine's per-round snapshot source) are recomputed exactly
+    /// (every `writes` row writes). The default
+    /// ([`crate::schedule::RESYNC_WRITES`]) keeps drift far below the engine
+    /// tolerance; an interval of 1 keeps the caches bit-identical to the
+    /// naive column/row sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is zero.
+    pub fn set_schedule_resync_writes(&mut self, writes: usize) {
+        self.state.set_schedule_resync_writes(writes);
+        self.schedule_resync_writes = writes;
     }
 
     /// Current per-section loads `P_c`.
@@ -326,6 +372,30 @@ impl Game {
     ///
     /// Returns [`GameError`] if the scenario is degenerate (cannot happen for
     /// builder-constructed games).
+    ///
+    /// # Examples
+    ///
+    /// The polling order never changes the equilibrium (Theorem IV.1), only
+    /// the path to it:
+    ///
+    /// ```
+    /// use oes_game::{GameBuilder, UpdateOrder};
+    /// use oes_units::Kilowatts;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let build = || GameBuilder::new()
+    ///     .sections(10, Kilowatts::new(60.0))
+    ///     .olevs(6, Kilowatts::new(45.0))
+    ///     .build();
+    /// let mut cyclic = build()?;
+    /// let mut random = build()?;
+    /// let a = cyclic.run(UpdateOrder::RoundRobin, 2_000)?;
+    /// let b = random.run(UpdateOrder::Random { seed: 42 }, 2_000)?;
+    /// assert!(a.converged() && b.converged());
+    /// assert!((cyclic.welfare() - random.welfare()).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn run(&mut self, order: UpdateOrder, max_updates: usize) -> Result<Outcome, GameError> {
         self.run_with(order, max_updates, &Telemetry::disabled())
     }

@@ -388,6 +388,13 @@ pub struct DegradationReport {
     pub hellos: usize,
     /// `Goodbye` messages received.
     pub goodbyes: usize,
+    /// Parallel-sweep moves discarded at apply time because a same-round
+    /// move landed first and made them welfare-decreasing (the player
+    /// retries against fresh loads next sweep). Benign coordination — like
+    /// hellos/goodbyes, not degradation — so not part of
+    /// [`Self::is_clean`].
+    #[serde(default)]
+    pub conflicts: usize,
     /// Graceful evictions, in order.
     pub evictions: Vec<Eviction>,
 }

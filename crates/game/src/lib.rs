@@ -15,17 +15,20 @@
 //! without learning any `U_n`. The mechanism (Section IV):
 //!
 //! 1. Given the others' schedules, the grid serves a request `p_n` with the
-//!    cost-minimizing [water-filling schedule](waterfill) of Lemma IV.1
+//!    cost-minimizing [water-filling schedule](mod@waterfill) of Lemma IV.1
 //!    (`p_{n,c} = [λ* − P_{-n,c}]⁺`, λ* by bisection) and bills the
 //!    *incremental* cost ([`payment`], Eqs. 8–16).
-//! 2. Each OLEV plays its [best response](best_response) (Lemma IV.3) to the
+//! 2. Each OLEV plays its [best response](mod@best_response) (Lemma IV.3) to the
 //!    posted payment function.
 //! 3. The [asynchronous engine](engine) iterates 1–2; because payments equal
 //!    increments of `W`, the game is an *exact potential game*
 //!    ([`potential`]) and the dynamics converge to the welfare maximizer
 //!    (Theorem IV.1). The [centralized solver](centralized) provides an
-//!    independent ground truth, and [`distributed`] runs the same protocol
-//!    across real threads exchanging V2I-style messages.
+//!    independent ground truth, [`distributed`] runs the same protocol
+//!    across real threads exchanging V2I-style messages, and [`parallel`]
+//!    exploits the same bounded-staleness license in-process: seeded,
+//!    sharded best-response sweeps that stay bit-deterministic at any
+//!    thread count.
 //!
 //! The [linear pricing baseline](pricing::LinearPricing) of Section V is
 //! included: its cost is not strictly convex, the cost-minimizing schedule
@@ -69,6 +72,7 @@ pub mod engine;
 pub mod error;
 pub mod fairness;
 pub mod faults;
+pub mod parallel;
 pub mod payment;
 pub mod potential;
 pub mod pricing;
@@ -89,6 +93,7 @@ pub use engine::{Game, Outcome, Snapshot, UpdateOrder};
 pub use error::GameError;
 pub use fairness::{fairness_report, fairness_report_with, jain_index, FairnessReport};
 pub use faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, LinkVerdict, LossyLink};
+pub use parallel::ParallelConfig;
 pub use payment::{payment_for_schedule, quote, PaymentQuote, Scheduler};
 pub use pricing::{
     CostPolicy, LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost,

@@ -14,10 +14,12 @@
 
 use oes_units::{OlevId, SectionId};
 
-/// How many writes the schedule accepts between automatic exact resyncs of
-/// its cached aggregates. The per-write drift is a few ulps, so the residual
-/// stays far below 1e-9 over any such window; the amortized resync cost is
-/// O(N·C / `RESYNC_WRITES`) per write.
+/// Default number of writes the schedule accepts between automatic exact
+/// resyncs of its cached aggregates. The per-write drift is a few ulps, so
+/// the residual stays far below 1e-9 over any such window; the amortized
+/// resync cost is O(N·C / `RESYNC_WRITES`) per write. Configurable per
+/// schedule via [`PowerSchedule::set_resync_writes`] (and at scenario level
+/// via [`crate::GameBuilder::schedule_resync_writes`]).
 pub const RESYNC_WRITES: usize = 512;
 
 /// An `N × C` matrix of non-negative power allocations: row `n` is OLEV `n`'s
@@ -41,6 +43,8 @@ pub struct PowerSchedule {
     total: f64,
     /// Writes since the last exact resync.
     writes: usize,
+    /// Writes between automatic exact resyncs (default [`RESYNC_WRITES`]).
+    resync_writes: usize,
 }
 
 impl PartialEq for PowerSchedule {
@@ -71,7 +75,22 @@ impl PowerSchedule {
             totals: vec![0.0; olevs],
             total: 0.0,
             writes: 0,
+            resync_writes: RESYNC_WRITES,
         }
+    }
+
+    /// Sets how many writes pass between automatic exact resyncs of the
+    /// cached aggregates. An interval of 1 resyncs after *every* write, so
+    /// the caches always equal the exact naive column/row sums bit-for-bit;
+    /// larger intervals trade a bounded ulp-scale drift for an
+    /// O(N·C / interval) amortized resync cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is zero.
+    pub fn set_resync_writes(&mut self, writes: usize) {
+        assert!(writes > 0, "resync interval must be nonzero");
+        self.resync_writes = writes;
     }
 
     /// Number of OLEVs (rows).
@@ -154,7 +173,7 @@ impl PowerSchedule {
 
     fn count_write(&mut self) {
         self.writes += 1;
-        if self.writes >= RESYNC_WRITES {
+        if self.writes >= self.resync_writes {
             self.resync();
         }
     }
@@ -358,6 +377,35 @@ mod tests {
         for (a, b) in cached.iter().zip(s.section_loads()) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn resync_every_write_tracks_naive_sums_bit_for_bit() {
+        // Regression for the configurable interval: at interval 1 every
+        // cached aggregate must equal the exact naive recompute, bit for
+        // bit, after every single write.
+        let mut s = PowerSchedule::zeros(3, 4);
+        s.set_resync_writes(1);
+        for k in 0..200 {
+            let v = (k % 11) as f64 * 0.37 + 0.01;
+            s.set_row(OlevId(k % 3), &[v, v * 0.5, v * 1.5, v * 0.25]);
+            let mut exact = s.clone();
+            exact.resync();
+            for (c, load) in exact.loads().iter().enumerate() {
+                assert_eq!(
+                    s.section_load(SectionId(c)).to_bits(),
+                    load.to_bits(),
+                    "load {c} drifted at write {k}"
+                );
+            }
+            assert_eq!(s.total().to_bits(), exact.total().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resync interval must be nonzero")]
+    fn zero_resync_writes_rejected() {
+        PowerSchedule::zeros(1, 1).set_resync_writes(0);
     }
 
     #[test]

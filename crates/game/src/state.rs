@@ -121,6 +121,17 @@ impl ScheduleState {
         self.resync_every = every;
     }
 
+    /// Sets the wrapped schedule's write-resync interval
+    /// ([`PowerSchedule::set_resync_writes`]) — the cadence at which the
+    /// cached loads snapshot is recomputed exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is zero.
+    pub fn set_schedule_resync_writes(&mut self, writes: usize) {
+        self.schedule.set_resync_writes(writes);
+    }
+
     /// [`PowerSchedule::loads_excluding_into`] on the wrapped schedule.
     pub fn loads_excluding_into(&self, n: OlevId, out: &mut Vec<f64>) {
         self.schedule.loads_excluding_into(n, out);

@@ -178,7 +178,7 @@ pub fn marginal_waterfill(
 ///
 /// `A` is non-decreasing in `μ`, which is what makes the best response's
 /// first-order condition solvable by a *single* bisection in `μ` (see
-/// [`crate::best_response`]) instead of a bisection whose every probe runs a
+/// [`crate::best_response()`]) instead of a bisection whose every probe runs a
 /// full water-filling level search.
 #[must_use]
 pub fn demand_at_marginal(cost: &SectionCost, caps: &[f64], loads: &[f64], mu: f64) -> Option<f64> {

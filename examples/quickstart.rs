@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use oes::game::{DistributedGame, GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder};
+use oes::game::{
+    DistributedGame, GameBuilder, NonlinearPricing, ParallelConfig, PricingPolicy, UpdateOrder,
+};
 use oes::units::Kilowatts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -62,6 +64,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         distributed.converged(),
         game2.welfare(),
         (game.welfare() - game2.welfare()).abs()
+    );
+
+    // Deterministic parallel sweeps: 4 worker shards compute best responses
+    // against frozen load snapshots, applied in a fixed sweep order — same
+    // seed, same bits, same equilibrium at any thread count.
+    let mut game3 = GameBuilder::new()
+        .sections(20, Kilowatts::new(60.0))
+        .olevs(8, Kilowatts::new(50.0))
+        .pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
+        .eta(0.9)
+        .build()?;
+    let parallel = game3.run_parallel(UpdateOrder::RoundRobin, 2_000, ParallelConfig::new(4))?;
+    println!(
+        "parallel sweeps (K=4): converged={} welfare={:.4} (Δ={:.2e})",
+        parallel.converged(),
+        game3.welfare(),
+        (game.welfare() - game3.welfare()).abs()
     );
     Ok(())
 }

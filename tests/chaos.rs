@@ -23,9 +23,10 @@
 use std::time::{Duration, Instant};
 
 use oes::game::{
-    DistributedGame, EvictionReason, FaultPlan, GameBuilder, GameError, Outcome,
+    DistributedGame, EvictionReason, FaultPlan, GameBuilder, GameError, Outcome, ParallelConfig,
     StaleDistributedGame, UpdateOrder,
 };
+use oes::telemetry::Telemetry;
 use oes::units::Kilowatts;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -339,6 +340,53 @@ fn heterogeneous_fleet_survives_a_crash() {
     assert!(
         (welfare - reference).abs() < 1e-6,
         "heterogeneous survivor welfare {welfare} vs reference {reference}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans compose with the in-process parallel sweep engine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_sweeps_compose_with_fault_plans() {
+    // The same deterministic fault plans that drive the decentralized
+    // runtime drive `run_parallel_faulted`: dropped uplinks discard moves
+    // (retried next sweep), departures evict, and the whole composition
+    // stays bit-deterministic under sharding.
+    let run = || {
+        let mut game = build(6, 5, 50.0);
+        let plan = FaultPlan::new(2031).drop_probability(0.2).depart(1, 40);
+        let outcome = game
+            .run_parallel_faulted(
+                UpdateOrder::Random { seed: 9 },
+                20_000,
+                ParallelConfig::new(4),
+                &plan,
+                &Telemetry::disabled(),
+            )
+            .expect("faulted parallel run");
+        let welfare = game.welfare();
+        (outcome, welfare)
+    };
+    let (first, first_welfare) = run();
+    let (second, second_welfare) = run();
+
+    assert_eq!(first, second, "same seed must replay the same Outcome");
+    assert_eq!(first_welfare.to_bits(), second_welfare.to_bits());
+
+    assert!(first.converged(), "survivors must still converge");
+    let report = first.degradation();
+    assert_eq!(report.evicted(), vec![1], "the departed OLEV is evicted");
+    assert!(
+        report.drops > 0,
+        "20% uplink loss over a long run must drop something"
+    );
+
+    // Welfare matches the fault-free optimum of the 4 survivors.
+    let reference = reference_welfare(6, 4, 50.0);
+    assert!(
+        (first_welfare - reference).abs() < 1e-6,
+        "survivor welfare {first_welfare} vs reference {reference}"
     );
 }
 

@@ -1,0 +1,164 @@
+//! The parallel-sweep equivalence surface.
+//!
+//! The sharded sweep engine ([`oes::game::parallel`]) promises two things
+//! the serial engine cannot check for it:
+//!
+//! - **Determinism**: same seed + same `ParallelConfig` ⇒ bit-identical
+//!   `Outcome` and schedule, whatever the thread timing; `K = 1` is the
+//!   serial engine bit for bit.
+//! - **Equivalence**: any shard count lands on the *same* equilibrium —
+//!   Theorem IV.1's potential argument is indifferent to who moves when,
+//!   so `K ∈ {2, 4, 8}` must match the serial welfare within 1e-9 and
+//!   agree on the convergence flag.
+//!
+//! The sweeps run over seeded random scenarios (heterogeneous fleets,
+//! varying corridor lengths) generated with a local SplitMix64, so the
+//! suite stays deterministic and free of external crates.
+
+use oes::game::{GameBuilder, ParallelConfig, UpdateOrder};
+use oes::units::{Kilowatts, OlevId};
+
+/// SplitMix64: tiny, seedable, and plenty for test-case generation.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A seeded random heterogeneous scenario: 3–14 OLEVs with individual
+/// capacity bounds and satisfaction weights over a 4–11 section corridor.
+fn random_scenario(rng: &mut SplitMix64) -> oes::game::Game {
+    let sections = 4 + rng.pick(8);
+    let olevs = 3 + rng.pick(12);
+    let mut builder = GameBuilder::new().sections(sections, Kilowatts::new(50.0));
+    for _ in 0..olevs {
+        let p_max = 25.0 + rng.next_f64() * 35.0;
+        let weight = 0.5 + rng.next_f64() * 2.0;
+        builder = builder.olevs_weighted(1, Kilowatts::new(p_max), weight);
+    }
+    builder.build().expect("valid scenario")
+}
+
+const BUDGET: usize = 20_000;
+
+#[test]
+fn sharded_sweeps_match_the_serial_outcome_across_seeds() {
+    for seed in 0..10u64 {
+        let mut rng = SplitMix64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let mut serial = random_scenario(&mut rng);
+        let order = UpdateOrder::Random { seed };
+        let reference = serial.run(order, BUDGET).expect("serial run");
+        for shards in [2usize, 4, 8] {
+            let mut rng = SplitMix64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+            let mut game = random_scenario(&mut rng);
+            let outcome = game
+                .run_parallel(order, BUDGET, ParallelConfig::new(shards))
+                .expect("parallel run");
+            assert_eq!(
+                outcome.converged(),
+                reference.converged(),
+                "seed {seed}, K={shards}: convergence flags disagree"
+            );
+            let gap = (outcome.final_welfare() - reference.final_welfare()).abs();
+            assert!(
+                gap < 1e-9,
+                "seed {seed}, K={shards}: welfare gap {gap:e} vs serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_shard_replays_the_serial_engine_bit_for_bit() {
+    for seed in [3u64, 17, 99] {
+        let mut rng = SplitMix64(seed);
+        let mut serial = random_scenario(&mut rng);
+        let mut rng = SplitMix64(seed);
+        let mut parallel = random_scenario(&mut rng);
+        let order = UpdateOrder::Random { seed };
+        let a = serial.run(order, 800).expect("serial run");
+        let b = parallel
+            .run_parallel(order, 800, ParallelConfig::serial())
+            .expect("K=1 run");
+        assert_eq!(a, b, "seed {seed}: K=1 Outcome differs from serial");
+        for n in 0..serial.olev_count() {
+            let (x, y) = (
+                serial.schedule().row(OlevId(n)),
+                parallel.schedule().row(OlevId(n)),
+            );
+            for (c, (a, b)) in x.iter().zip(y).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "seed {seed}: schedule ({n}, {c}) differs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_config_replays_bit_identically() {
+    for shards in [2usize, 4, 8] {
+        let run = || {
+            let mut rng = SplitMix64(0xCAFE);
+            let mut game = random_scenario(&mut rng);
+            let outcome = game
+                .run_parallel(
+                    UpdateOrder::Random { seed: 11 },
+                    BUDGET,
+                    ParallelConfig::new(shards).with_batch(shards * 3),
+                )
+                .expect("parallel run");
+            let loads: Vec<u64> = game.section_loads().iter().map(|l| l.to_bits()).collect();
+            (outcome, loads)
+        };
+        let (a, a_loads) = run();
+        let (b, b_loads) = run();
+        assert_eq!(a, b, "K={shards}: outcomes diverge across replays");
+        assert_eq!(a_loads, b_loads, "K={shards}: loads diverge across replays");
+    }
+}
+
+#[test]
+fn batch_shape_changes_the_path_not_the_equilibrium() {
+    // Different batch sizes take different routes through the potential
+    // landscape but must land on the unique maximizer.
+    let build = || {
+        let mut rng = SplitMix64(0xBEEF);
+        random_scenario(&mut rng)
+    };
+    let mut serial = build();
+    let reference = serial
+        .run(UpdateOrder::RoundRobin, BUDGET)
+        .expect("serial run");
+    assert!(reference.converged(), "reference must converge");
+    for batch in [2usize, 5, 13] {
+        let mut game = build();
+        let outcome = game
+            .run_parallel(
+                UpdateOrder::RoundRobin,
+                BUDGET,
+                ParallelConfig::new(3).with_batch(batch),
+            )
+            .expect("parallel run");
+        assert!(outcome.converged(), "batch {batch} must converge");
+        let gap = (outcome.final_welfare() - reference.final_welfare()).abs();
+        assert!(gap < 1e-9, "batch {batch}: welfare gap {gap:e}");
+    }
+}
