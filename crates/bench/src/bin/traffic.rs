@@ -1,0 +1,109 @@
+//! Emits the traffic-throughput artifact `BENCH_traffic.json`:
+//! vehicle-updates/sec for the indexed vs naive-scan engine at
+//! N ∈ {256, 2048, 8192} on a signalized grid co-simulation.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin traffic            # verify + measure
+//! cargo run --release -p oes-bench --bin traffic -- --check # + CI gates
+//! ```
+//!
+//! Bit-identity is verified before any timing (a small indexed vs naive
+//! differential) and again across the full grid (every benchmarked
+//! point's state digest must agree between modes); either failure exits
+//! nonzero even without `--check` — a throughput number from a diverging
+//! engine is meaningless. With `--check`, the indexed N = 8192 point is
+//! compared against the committed baseline
+//! (`crates/bench/baselines/traffic.json`), and on hardware with ≥ 2
+//! cores the indexed-over-naive speedup at N = 8192 must clear 5×.
+
+use oes_bench::traffic::{
+    measure_grid, parse_updates_per_sec, speedup, traffic_summary_json, verify_mode_identity,
+    verify_scan_equivalence, GATED_FLEET, MIN_CORES_FOR_SPEEDUP_GATE, REGRESSION_FACTOR,
+    SPEEDUP_FLOOR,
+};
+
+const BASELINE_PATH: &str = "crates/bench/baselines/traffic.json";
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    if let Err(e) = verify_scan_equivalence() {
+        eprintln!("EQUIVALENCE FAILURE (indexed vs naive, small fleet): {e}");
+        std::process::exit(1);
+    }
+    println!("scan-equivalence verified: indexed and naive digests agree on the small fleet");
+
+    let points = measure_grid();
+    if let Err(e) = verify_mode_identity(&points) {
+        eprintln!("EQUIVALENCE FAILURE (benchmarked grid): {e}");
+        std::process::exit(1);
+    }
+    println!("grid differential verified: every benchmarked point is bit-identical across modes");
+
+    println!("traffic microsimulation throughput (grid co-simulation, whole steps)");
+    println!(
+        "{:>8} {:>7} {:>6} {:>11} {:>14} {:>10} {:>14} {:>9}",
+        "mode", "N", "steps", "mean act", "updates", "seconds", "updates/sec", "speedup"
+    );
+    for p in &points {
+        let s = speedup(&points, p.vehicles).unwrap_or(f64::NAN);
+        println!(
+            "{:>8} {:>7} {:>6} {:>11.1} {:>14} {:>10.4} {:>14.1} {:>8.2}x",
+            p.mode,
+            p.vehicles,
+            p.steps,
+            p.mean_active,
+            p.vehicle_updates,
+            p.seconds,
+            p.updates_per_sec,
+            s
+        );
+    }
+    let json = traffic_summary_json(&points);
+    std::fs::write("BENCH_traffic.json", &json).expect("write BENCH_traffic.json");
+    println!("wrote BENCH_traffic.json");
+
+    if check {
+        let measured = parse_updates_per_sec(&json, "indexed", GATED_FLEET)
+            .expect("gated indexed point present in fresh artifact");
+        let baseline_json = std::fs::read_to_string(BASELINE_PATH)
+            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
+        let baseline = parse_updates_per_sec(&baseline_json, "indexed", GATED_FLEET)
+            .unwrap_or_else(|| panic!("no indexed N={GATED_FLEET} point in {BASELINE_PATH}"));
+        let floor = baseline / REGRESSION_FACTOR;
+        println!(
+            "perf gate indexed N={GATED_FLEET}: measured {measured:.1} updates/sec, \
+             baseline {baseline:.1}, floor {floor:.1}"
+        );
+        if measured < floor {
+            eprintln!(
+                "PERF REGRESSION: {measured:.1} updates/sec is more than \
+                 {REGRESSION_FACTOR}x below the committed baseline {baseline:.1}"
+            );
+            std::process::exit(1);
+        }
+
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= MIN_CORES_FOR_SPEEDUP_GATE {
+            let s =
+                speedup(&points, GATED_FLEET).expect("gated speedup points present in fresh grid");
+            println!(
+                "speedup gate N={GATED_FLEET}: indexed is {s:.2}x naive, \
+                 floor {SPEEDUP_FLOOR:.2}x ({cores} cores)"
+            );
+            if s < SPEEDUP_FLOOR {
+                eprintln!(
+                    "SPEEDUP REGRESSION: {s:.2}x at N={GATED_FLEET} is below the \
+                     {SPEEDUP_FLOOR:.2}x floor"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            println!(
+                "speedup gate skipped: {cores} cores < {MIN_CORES_FOR_SPEEDUP_GATE} \
+                 (digest differential still enforced above)"
+            );
+        }
+        println!("perf gate passed");
+    }
+}

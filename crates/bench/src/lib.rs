@@ -15,3 +15,4 @@ pub mod report;
 pub mod scenarios;
 pub mod table;
 pub mod telemetry;
+pub mod traffic;

@@ -1,0 +1,471 @@
+//! Traffic microsimulation throughput benchmark: vehicle-updates/sec for
+//! the lane-indexed engine vs the seed full-population scan.
+//!
+//! Each point builds a signalized grid co-simulation (2-lane lattice,
+//! charging spans, span detectors, 40% OLEV participation), queues a
+//! fixed fleet over a seeded origin–destination pool, fills the network
+//! in indexed mode until the insertion backlog drains, then switches the
+//! engine to the measured [`ScanMode`] and times whole co-simulation
+//! steps. Throughput is *vehicle updates per second*: the sum of active
+//! vehicle counts over the measured steps divided by wall-clock time.
+//!
+//! Correctness is gated inside the benchmark. Every measured step folds
+//! the full per-tick state — each vehicle's `(id, route index, lane,
+//! position bits, speed bits)`, every detector's occupancy bits, and the
+//! co-simulation's received-energy bits — into an FNV-1a digest, and the
+//! `traffic` binary refuses to emit an artifact unless the indexed and
+//! naive digests agree at *every* benchmarked fleet size (the naive run
+//! also uses the seed reference span walk, so the differential covers
+//! the edge-bucketed span matching too). A throughput number from a
+//! diverging engine is meaningless.
+//!
+//! The binary writes `BENCH_traffic.json`; with `--check` it gates the
+//! indexed [`GATED_FLEET`] point against the committed baseline
+//! (`crates/bench/baselines/traffic.json`) by [`REGRESSION_FACTOR`], and
+//! on hardware with at least [`MIN_CORES_FOR_SPEEDUP_GATE`] cores the
+//! indexed-over-naive speedup at [`GATED_FLEET`] must clear
+//! [`SPEEDUP_FLOOR`]. On smaller machines the speedup gate is skipped
+//! with a message — the digest differential still runs everywhere.
+
+use std::time::Instant;
+
+use oes_traffic::routing::shortest_path;
+use oes_traffic::vehicle::VehicleParams;
+use oes_traffic::{EnergyModel, GridNetworkBuilder, ScanMode, SpanDetector};
+use oes_units::{Meters, SectionId, StateOfCharge};
+use oes_wpt::{ChargingSection, ChargingSpan, CoSimulation, OlevSpec};
+
+/// Fleet sizes every run measures.
+pub const TRAFFIC_FLEETS: [usize; 3] = [256, 2048, 8192];
+
+/// The fleet size the CI gates watch.
+pub const GATED_FLEET: usize = 8192;
+
+/// Minimum indexed-over-naive throughput ratio at [`GATED_FLEET`]
+/// required on capable hardware (the ISSUE's acceptance criterion).
+pub const SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Cores below which the speedup gate is skipped: on a single shared
+/// core a CI neighbor can stall either run arbitrarily, so the ratio
+/// measures the scheduler rather than the index.
+pub const MIN_CORES_FOR_SPEEDUP_GATE: usize = 2;
+
+/// How much slower than the committed baseline the gated indexed point
+/// may get before `--check` fails the job.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Distinct origin–destination routes the queued fleet cycles through.
+const OD_POOL: usize = 64;
+
+/// Fill-phase step cap: insertion is headway-limited, so a congested
+/// grid may never fully drain its backlog — measure anyway.
+const FILL_STEP_CAP: usize = 900;
+
+/// One measured point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficPoint {
+    /// Engine path: `"indexed"` or `"naive"`.
+    pub mode: &'static str,
+    /// Queued fleet size `N`.
+    pub vehicles: usize,
+    /// Measured steps.
+    pub steps: usize,
+    /// Mean active vehicles over the measured steps.
+    pub mean_active: f64,
+    /// Total vehicle updates (sum of active counts per step).
+    pub vehicle_updates: u64,
+    /// Wall-clock seconds inside [`CoSimulation::step`].
+    pub seconds: f64,
+    /// `vehicle_updates / seconds`.
+    pub updates_per_sec: f64,
+    /// FNV-1a digest of every measured tick's full state (correctness
+    /// tripwire: indexed and naive must agree bit for bit).
+    pub digest: u64,
+}
+
+impl TrafficPoint {
+    /// Serializes the point as one JSON object with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"vehicles\":{},\"steps\":{},\
+             \"mean_active\":{:.1},\"vehicle_updates\":{},\
+             \"seconds\":{:.6},\"updates_per_sec\":{:.1},\
+             \"digest\":\"{:016x}\"}}",
+            self.mode,
+            self.vehicles,
+            self.steps,
+            self.mean_active,
+            self.vehicle_updates,
+            self.seconds,
+            self.updates_per_sec,
+            self.digest
+        )
+    }
+}
+
+/// The artifact label for a scan mode.
+#[must_use]
+pub fn mode_label(mode: ScanMode) -> &'static str {
+    match mode {
+        ScanMode::Indexed => "indexed",
+        ScanMode::NaiveScan => "naive",
+    }
+}
+
+/// FNV-1a 64-bit state digest.
+#[derive(Debug, Clone, Copy)]
+struct StateDigest(u64);
+
+impl StateDigest {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// SplitMix64 — the benchmark's own scenario stream, independent of the
+/// simulator's RNG so the OD pool is stable across rand versions.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Lattice side for a fleet: enough one-way blocks that the fleet fits
+/// without gridlocking, clamped to keep route lengths sane.
+fn grid_dim(fleet: usize) -> usize {
+    let d = (fleet as f64 / 24.0).sqrt().ceil() as usize;
+    d.clamp(4, 20)
+}
+
+/// Measured steps per fleet: fewer at large `N` so the naive O(N²) run
+/// stays affordable while the update count stays comparable.
+fn measured_steps(fleet: usize) -> usize {
+    if fleet >= 8192 {
+        10
+    } else if fleet >= 2048 {
+        32
+    } else {
+        96
+    }
+}
+
+/// Builds the benchmark co-simulation: a 2-lane signalized lattice sized
+/// for the fleet, `fleet` vehicles queued over a seeded southeast-bound
+/// OD pool, charging spans and detectors mid-route, 40% participation.
+#[must_use]
+pub fn build_scenario(fleet: usize) -> CoSimulation {
+    let dim = grid_dim(fleet);
+    let grid = GridNetworkBuilder::new()
+        .size(dim, dim)
+        .lanes(2)
+        .seed(41)
+        .build();
+    // Seeded OD pool: strictly-southeast pairs are always routable on the
+    // one-way east/south lattice.
+    let mut stream = 0x6f65_735f_7472_6166u64;
+    let mut draw = |bound: usize| (splitmix64(&mut stream) % bound as u64) as usize;
+    let mut routes = Vec::with_capacity(OD_POOL);
+    while routes.len() < OD_POOL {
+        let r0 = draw(dim - 1);
+        let c0 = draw(dim - 1);
+        let r1 = r0 + 1 + draw(dim - 1 - r0);
+        let c1 = c0 + 1 + draw(dim - 1 - c0);
+        let route = shortest_path(grid.network(), grid.node_at(r0, c0), grid.node_at(r1, c1))
+            .expect("southeast OD pairs are routable");
+        routes.push(route);
+    }
+    let mut sim = grid.sim;
+    // Spans and detectors mid-route on edges the pool actually traverses,
+    // so detector occupancy and received energy feed the state digest.
+    for (k, route) in routes.iter().take(4).enumerate() {
+        let edge = route[route.len() / 2];
+        sim.add_detector(SpanDetector::new(
+            format!("bench-span-{k}"),
+            edge,
+            Meters::new(20.0),
+            Meters::new(180.0),
+        ));
+    }
+    for i in 0..fleet {
+        sim.queue_vehicle(
+            routes[i % routes.len()].clone(),
+            VehicleParams::passenger_car(),
+        );
+    }
+    let mut co = CoSimulation::new(
+        sim,
+        EnergyModel::chevy_spark_ev(),
+        OlevSpec::chevy_spark_default(),
+        0.4,
+        StateOfCharge::saturating(0.5),
+        23,
+    );
+    for (k, route) in routes.iter().take(4).enumerate() {
+        co.add_span(ChargingSpan {
+            edge: route[route.len() / 2],
+            start: Meters::new(20.0),
+            end: Meters::new(180.0),
+            section: ChargingSection::paper_default(SectionId(k)),
+        });
+    }
+    co
+}
+
+/// Folds one tick's full observable state into the digest.
+fn absorb_tick(co: &CoSimulation, digest: &mut StateDigest) {
+    for v in co.traffic().vehicles() {
+        digest.write_u64(v.id.0);
+        digest.write_u64(v.route_index as u64);
+        digest.write_u64(u64::from(v.lane));
+        digest.write_u64(v.position.value().to_bits());
+        digest.write_u64(v.speed.value().to_bits());
+    }
+    for d in co.traffic().detectors() {
+        digest.write_u64(d.total_occupancy().value().to_bits());
+    }
+    digest.write_u64(co.total_received().value().to_bits());
+}
+
+/// Measures one `(mode, fleet)` point.
+///
+/// The fill phase always runs indexed so both modes reach an identical
+/// (bit-for-bit) warm state cheaply; the measured phase then runs in
+/// `mode`. The naive point also switches the co-simulation to the seed
+/// reference span walk, so its measured path is the full pre-index code.
+#[must_use]
+pub fn measure_point(mode: ScanMode, fleet: usize) -> TrafficPoint {
+    let mut co = build_scenario(fleet);
+    let mut fill = 0;
+    while co.traffic().insertion_backlog() > 0 && fill < FILL_STEP_CAP {
+        co.step();
+        fill += 1;
+    }
+    co.traffic_mut().set_scan_mode(mode);
+    co.set_reference_span_matching(mode == ScanMode::NaiveScan);
+    let steps = measured_steps(fleet);
+    let mut digest = StateDigest::new();
+    let mut vehicle_updates = 0u64;
+    let mut seconds = 0.0;
+    for _ in 0..steps {
+        let t = Instant::now();
+        co.step();
+        seconds += t.elapsed().as_secs_f64();
+        vehicle_updates += co.traffic().active_count() as u64;
+        absorb_tick(&co, &mut digest);
+    }
+    TrafficPoint {
+        mode: mode_label(mode),
+        vehicles: fleet,
+        steps,
+        mean_active: vehicle_updates as f64 / steps as f64,
+        vehicle_updates,
+        seconds,
+        updates_per_sec: vehicle_updates as f64 / seconds.max(1e-12),
+        digest: digest.finish(),
+    }
+}
+
+/// Measures both modes at every fleet size in [`TRAFFIC_FLEETS`].
+#[must_use]
+pub fn measure_grid() -> Vec<TrafficPoint> {
+    let mut points = Vec::with_capacity(2 * TRAFFIC_FLEETS.len());
+    for &n in &TRAFFIC_FLEETS {
+        points.push(measure_point(ScanMode::Indexed, n));
+        points.push(measure_point(ScanMode::NaiveScan, n));
+    }
+    points
+}
+
+/// Quick pre-timing differential on a small fleet: indexed and naive
+/// runs must produce the same digest over the same vehicle updates, and
+/// the scenario must actually move vehicles. Run by the binary before
+/// the expensive grid.
+///
+/// # Errors
+///
+/// Returns a description of the divergence.
+pub fn verify_scan_equivalence() -> Result<(), String> {
+    let a = measure_point(ScanMode::Indexed, 96);
+    let b = measure_point(ScanMode::NaiveScan, 96);
+    if a.vehicle_updates == 0 {
+        return Err("small scenario moved no vehicles".into());
+    }
+    if a.vehicle_updates != b.vehicle_updates {
+        return Err(format!(
+            "update counts differ: indexed {} vs naive {}",
+            a.vehicle_updates, b.vehicle_updates
+        ));
+    }
+    if a.digest != b.digest {
+        return Err(format!(
+            "state digests differ: indexed {:016x} vs naive {:016x}",
+            a.digest, b.digest
+        ));
+    }
+    Ok(())
+}
+
+/// Proves the measured grid is internally consistent: at every fleet
+/// size the indexed and naive points saw bit-identical per-tick state.
+///
+/// # Errors
+///
+/// Returns a description of the first benchmarked point that diverges.
+pub fn verify_mode_identity(points: &[TrafficPoint]) -> Result<(), String> {
+    for &n in &TRAFFIC_FLEETS {
+        let at = |mode: &str| points.iter().find(|p| p.mode == mode && p.vehicles == n);
+        let (Some(ix), Some(nv)) = (at("indexed"), at("naive")) else {
+            return Err(format!("grid is missing a mode at N={n}"));
+        };
+        if ix.vehicle_updates != nv.vehicle_updates {
+            return Err(format!(
+                "N={n}: update counts differ (indexed {} vs naive {})",
+                ix.vehicle_updates, nv.vehicle_updates
+            ));
+        }
+        if ix.digest != nv.digest {
+            return Err(format!(
+                "N={n}: state digests differ (indexed {:016x} vs naive {:016x})",
+                ix.digest, nv.digest
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes the measured grid as the `BENCH_traffic.json` artifact.
+#[must_use]
+pub fn traffic_summary_json(points: &[TrafficPoint]) -> String {
+    let mut out = String::from("{\"bench\":\"traffic\",\"points\":[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&p.to_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extracts `"updates_per_sec"` for one `(mode, N)` point from a JSON
+/// artifact (fresh or committed baseline). Hand-rolled so the harness
+/// stays dependency-free.
+#[must_use]
+pub fn parse_updates_per_sec(json: &str, mode: &str, vehicles: usize) -> Option<f64> {
+    let marker = format!("\"mode\":\"{mode}\",\"vehicles\":{vehicles},");
+    let object = json.split('{').find(|chunk| chunk.contains(&marker))?;
+    let tail = object.split("\"updates_per_sec\":").nth(1)?;
+    let value: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+/// Indexed-over-naive throughput ratio at one fleet size, from a
+/// measured grid. `None` when either point is missing.
+#[must_use]
+pub fn speedup(points: &[TrafficPoint], vehicles: usize) -> Option<f64> {
+    let at = |mode: &str| {
+        points
+            .iter()
+            .find(|p| p.mode == mode && p.vehicles == vehicles)
+            .map(|p| p.updates_per_sec)
+    };
+    let naive = at("naive")?;
+    let indexed = at("indexed")?;
+    (naive > 0.0).then(|| indexed / naive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_parses() {
+        let points = vec![
+            TrafficPoint {
+                mode: "indexed",
+                vehicles: 8192,
+                steps: 10,
+                mean_active: 8000.0,
+                vehicle_updates: 80_000,
+                seconds: 0.5,
+                updates_per_sec: 160_000.0,
+                digest: 0xdead_beef_0123_4567,
+            },
+            TrafficPoint {
+                mode: "naive",
+                vehicles: 8192,
+                steps: 10,
+                mean_active: 8000.0,
+                vehicle_updates: 80_000,
+                seconds: 5.0,
+                updates_per_sec: 16_000.0,
+                digest: 0xdead_beef_0123_4567,
+            },
+        ];
+        let json = traffic_summary_json(&points);
+        assert_eq!(
+            parse_updates_per_sec(&json, "indexed", 8192),
+            Some(160_000.0)
+        );
+        assert_eq!(parse_updates_per_sec(&json, "naive", 8192), Some(16_000.0));
+        assert_eq!(parse_updates_per_sec(&json, "indexed", 256), None);
+        assert_eq!(speedup(&points, 8192), Some(10.0));
+    }
+
+    #[test]
+    fn mode_identity_flags_divergence() {
+        let mut points = Vec::new();
+        for &n in &TRAFFIC_FLEETS {
+            for mode in ["indexed", "naive"] {
+                points.push(TrafficPoint {
+                    mode,
+                    vehicles: n,
+                    steps: 4,
+                    mean_active: n as f64,
+                    vehicle_updates: 4 * n as u64,
+                    seconds: 1.0,
+                    updates_per_sec: 4.0 * n as f64,
+                    digest: 7,
+                });
+            }
+        }
+        assert_eq!(verify_mode_identity(&points), Ok(()));
+        points[1].digest = 8;
+        assert!(verify_mode_identity(&points).is_err());
+        points[1].digest = 7;
+        points[0].vehicle_updates += 1;
+        assert!(verify_mode_identity(&points).is_err());
+    }
+
+    #[test]
+    fn small_point_measures_and_runs() {
+        let p = measure_point(ScanMode::Indexed, 48);
+        assert_eq!(p.mode, "indexed");
+        assert_eq!(p.vehicles, 48);
+        assert!(p.vehicle_updates > 0, "scenario must move vehicles");
+        assert!(p.updates_per_sec > 0.0);
+    }
+
+    #[test]
+    fn equivalence_check_passes() {
+        verify_scan_equivalence().expect("indexed vs naive bit-identity");
+    }
+}

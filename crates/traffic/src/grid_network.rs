@@ -275,7 +275,7 @@ mod tests {
                 .push((v.position.value(), v.params.length.value()));
         }
         for list in per_lane.values_mut() {
-            list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            list.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in list.windows(2) {
                 assert!(w[0].0 <= w[1].0 - w[1].1 + 1e-6, "overlap in grid network");
             }

@@ -1,0 +1,277 @@
+//! The lane index: an incrementally maintained, position-sorted vehicle
+//! ordering per `(edge, lane)`.
+//!
+//! The seed engine answered every neighbor question — "who is my leader?",
+//! "is this gap safe?", "how much clear space behind the entrance?", "who
+//! overlaps whom after the synchronous move?" — by scanning the *entire*
+//! vehicle population, making one co-simulation step O(N²). This module is
+//! the a-b-street-style alternative: each `(edge, lane)` pair owns a vector
+//! of `(front position, vehicle id)` entries kept sorted ascending by
+//! `(position, id)`, updated in O(log k) search plus a short memmove on
+//! every insert, removal, advance, and lane change (k = vehicles in the
+//! bucket, never the population).
+//!
+//! # Determinism contract
+//!
+//! The bucket ordering `(position, id)` is *exactly* the key of the naive
+//! engine's `min_by` leader searches, so "first matching entry of a bucket
+//! walk" selects the same vehicle the full scan selected, bit for bit.
+//! Bucket membership is the same set the naive filters selected, so
+//! fold-style queries (minimum rear, safety conjunctions) see the same
+//! operands. The engine keeps the naive path alive behind
+//! [`ScanMode::NaiveScan`](crate::sim::ScanMode) and the differential
+//! suite (`tests/traffic_index.rs`) plus the `oes-bench --bin traffic`
+//! gate prove the two paths produce bit-identical vehicle traces, detector
+//! readings, and co-simulation energy accounting for the same seed.
+//!
+//! Positions must be finite: a NaN or infinite position is a corrupted
+//! simulation state, and the index panics with a diagnostic naming the
+//! vehicle instead of feeding the poison to a comparator.
+
+use std::collections::BTreeMap;
+
+use crate::network::EdgeId;
+use crate::vehicle::{Vehicle, VehicleId};
+
+/// One sorted bucket entry: `(front-bumper position, vehicle id)`.
+pub type LaneEntry = (f64, VehicleId);
+
+/// Position-sorted per-`(edge, lane)` vehicle index.
+///
+/// See the [module docs](self) for the ordering and determinism contract.
+#[derive(Debug, Default)]
+pub struct LaneIndex {
+    /// `(edge id, lane) → entries sorted ascending by (position, id)`.
+    buckets: BTreeMap<(usize, u32), Vec<LaneEntry>>,
+    vehicles: usize,
+    rebuilds: u64,
+}
+
+impl LaneIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every entry (the naive scan mode runs with an empty index).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.vehicles = 0;
+    }
+
+    /// Rebuilds the index from scratch over the given vehicles. Used when a
+    /// simulation switches into indexed mode mid-run; counted as a rebuild
+    /// in the `sim.index.rebuilds` telemetry.
+    pub fn rebuild<'a>(&mut self, vehicles: impl Iterator<Item = &'a Vehicle>) {
+        self.clear();
+        for v in vehicles {
+            self.insert(v.current_edge(), v.lane, v.position.value(), v.id);
+        }
+        self.rebuilds += 1;
+    }
+
+    /// Total vehicles tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vehicles
+    }
+
+    /// Whether the index tracks no vehicles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vehicles == 0
+    }
+
+    /// How many bucket-order repairs and full rebuilds happened so far
+    /// (the `sim.index.rebuilds` telemetry source).
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The sorted entries on `(edge, lane)`; empty if never occupied.
+    #[must_use]
+    pub fn bucket(&self, edge: EdgeId, lane: u32) -> &[LaneEntry] {
+        self.buckets
+            .get(&(edge.0, lane))
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    /// Inserts a vehicle entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if `position` is not finite — a NaN
+    /// position would otherwise corrupt every comparator downstream.
+    pub fn insert(&mut self, edge: EdgeId, lane: u32, position: f64, id: VehicleId) {
+        assert!(
+            position.is_finite(),
+            "non-finite position {position} for {id} on {edge} lane {lane}"
+        );
+        let bucket = self.buckets.entry((edge.0, lane)).or_default();
+        let at = slot(bucket, position, id);
+        bucket.insert(at, (position, id));
+        self.vehicles += 1;
+    }
+
+    /// Removes a vehicle entry previously inserted at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry is missing — the engine and the index have
+    /// diverged, which voids the determinism contract.
+    pub fn remove(&mut self, edge: EdgeId, lane: u32, position: f64, id: VehicleId) {
+        let bucket = self
+            .buckets
+            .get_mut(&(edge.0, lane))
+            .unwrap_or_else(|| panic!("lane index out of sync: no bucket for {edge} lane {lane}"));
+        let at = slot(bucket, position, id);
+        assert!(
+            bucket.get(at).is_some_and(|&(_, oid)| oid == id),
+            "lane index out of sync: {id} not at {position} on {edge} lane {lane}"
+        );
+        bucket.remove(at);
+        self.vehicles -= 1;
+    }
+
+    /// Moves a vehicle from `(edge, lane, position)` to a new location —
+    /// the per-step advance, an edge transition, or a lane change.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::insert`] and [`Self::remove`].
+    pub fn relocate(&mut self, from: (EdgeId, u32, f64), to: (EdgeId, u32, f64), id: VehicleId) {
+        self.remove(from.0, from.1, from.2, id);
+        self.insert(to.0, to.1, to.2, id);
+    }
+
+    /// Mutable access to every non-empty bucket, for the overlap-resolution
+    /// pass that clamps followers and rewrites positions in place.
+    pub(crate) fn buckets_mut(&mut self) -> impl Iterator<Item = &mut Vec<LaneEntry>> {
+        self.buckets.values_mut().filter(|b| !b.is_empty())
+    }
+
+    /// Records `n` bucket-order repairs in the rebuild counter.
+    pub(crate) fn note_rebuilds(&mut self, n: u64) {
+        self.rebuilds += n;
+    }
+}
+
+/// The insertion slot for `(position, id)` in a bucket sorted ascending by
+/// that key (`f64::total_cmp` on positions, so a stray non-finite value
+/// orders deterministically instead of breaking the search).
+pub(crate) fn slot(bucket: &[LaneEntry], position: f64, id: VehicleId) -> usize {
+    bucket.partition_point(|&(p, oid)| match p.total_cmp(&position) {
+        core::cmp::Ordering::Less => true,
+        core::cmp::Ordering::Equal => oid < id,
+        core::cmp::Ordering::Greater => false,
+    })
+}
+
+/// Repairs a bucket's `(position, id)` ascending order after in-place
+/// position rewrites. Insertion sort: the overlap clamp perturbs order only
+/// locally, so the pass is near-linear. Returns whether anything moved.
+pub(crate) fn sort_bucket(bucket: &mut [LaneEntry]) -> bool {
+    let mut moved = false;
+    for i in 1..bucket.len() {
+        let mut j = i;
+        while j > 0 && entry_gt(bucket[j - 1], bucket[j]) {
+            bucket.swap(j - 1, j);
+            j -= 1;
+            moved = true;
+        }
+    }
+    moved
+}
+
+fn entry_gt(a: LaneEntry, b: LaneEntry) -> bool {
+    match a.0.total_cmp(&b.0) {
+        core::cmp::Ordering::Greater => true,
+        core::cmp::Ordering::Equal => a.1 > b.1,
+        core::cmp::Ordering::Less => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: usize) -> EdgeId {
+        EdgeId(i)
+    }
+    fn v(i: u64) -> VehicleId {
+        VehicleId(i)
+    }
+
+    #[test]
+    fn keeps_buckets_sorted_by_position_then_id() {
+        let mut idx = LaneIndex::new();
+        idx.insert(e(0), 0, 50.0, v(2));
+        idx.insert(e(0), 0, 10.0, v(7));
+        idx.insert(e(0), 0, 50.0, v(1));
+        idx.insert(e(0), 1, 30.0, v(3));
+        assert_eq!(idx.len(), 4);
+        assert_eq!(
+            idx.bucket(e(0), 0),
+            &[(10.0, v(7)), (50.0, v(1)), (50.0, v(2))]
+        );
+        assert_eq!(idx.bucket(e(0), 1), &[(30.0, v(3))]);
+        assert!(idx.bucket(e(1), 0).is_empty());
+    }
+
+    #[test]
+    fn remove_and_relocate_maintain_order() {
+        let mut idx = LaneIndex::new();
+        idx.insert(e(0), 0, 10.0, v(1));
+        idx.insert(e(0), 0, 20.0, v(2));
+        idx.insert(e(0), 0, 30.0, v(3));
+        idx.remove(e(0), 0, 20.0, v(2));
+        assert_eq!(idx.bucket(e(0), 0), &[(10.0, v(1)), (30.0, v(3))]);
+        // Advance past the leader (transient overshoot) and cross edges.
+        idx.relocate((e(0), 0, 10.0), (e(0), 0, 35.0), v(1));
+        assert_eq!(idx.bucket(e(0), 0), &[(30.0, v(3)), (35.0, v(1))]);
+        idx.relocate((e(0), 0, 35.0), (e(1), 0, 5.0), v(1));
+        assert_eq!(idx.bucket(e(0), 0), &[(30.0, v(3))]);
+        assert_eq!(idx.bucket(e(1), 0), &[(5.0, v(1))]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_construction() {
+        let mut veh = Vehicle::new(
+            v(4),
+            crate::vehicle::VehicleParams::deterministic(),
+            vec![e(0), e(1)],
+        );
+        veh.position = oes_units::Meters::new(42.0);
+        veh.lane = 1;
+        let mut idx = LaneIndex::new();
+        idx.rebuild([&veh].into_iter());
+        assert_eq!(idx.bucket(e(0), 1), &[(42.0, v(4))]);
+        assert_eq!(idx.rebuilds(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite position")]
+    fn nan_position_panics_with_diagnostic() {
+        let mut idx = LaneIndex::new();
+        idx.insert(e(0), 0, f64::NAN, v(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index out of sync")]
+    fn removing_a_missing_entry_panics() {
+        let mut idx = LaneIndex::new();
+        idx.insert(e(0), 0, 10.0, v(1));
+        idx.remove(e(0), 0, 10.0, v(2));
+    }
+
+    #[test]
+    fn sort_bucket_repairs_local_disorder() {
+        let mut bucket = vec![(10.0, v(1)), (8.0, v(2)), (30.0, v(3))];
+        assert!(sort_bucket(&mut bucket));
+        assert_eq!(bucket, vec![(8.0, v(2)), (10.0, v(1)), (30.0, v(3))]);
+        assert!(!sort_bucket(&mut bucket));
+    }
+}

@@ -53,6 +53,7 @@ pub mod detector;
 pub mod energy;
 pub mod following;
 pub mod grid_network;
+pub mod index;
 pub mod network;
 pub mod od_matrix;
 pub mod routing;
@@ -70,12 +71,13 @@ pub use detector::SpanDetector;
 pub use energy::EnergyModel;
 pub use following::{CarFollowing, Idm, Krauss};
 pub use grid_network::{GridNetwork, GridNetworkBuilder};
+pub use index::LaneIndex;
 pub use network::{Edge, EdgeId, NetworkError, NodeId, RoadNetwork};
 pub use od_matrix::{exponential_impedance, gravity_model, OdMatrix};
 pub use routing::{route_travel_time, shortest_path};
 pub use signal::SignalPlan;
 pub use signal_timing::{uniform_delay, webster_timing, PhaseDemand, TimingError, WebsterTiming};
-pub use sim::{Simulation, SimulationConfig};
+pub use sim::{ScanMode, Simulation, SimulationConfig};
 pub use stats::HourlyAccumulator;
 pub use trace::{queue_length, TracePoint, TrajectoryRecorder};
 pub use vehicle::{Vehicle, VehicleId, VehicleParams};

@@ -21,6 +21,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::demand::PoissonArrivals;
 use crate::detector::SpanDetector;
 use crate::following::{Ahead, CarFollowing, Krauss};
+use crate::index::LaneIndex;
 use crate::network::{EdgeId, NodeId, RoadNetwork};
 use crate::signal::SignalPlan;
 use crate::stats::HourlyAccumulator;
@@ -65,6 +66,24 @@ struct DemandStream {
     pending: Option<Seconds>,
 }
 
+/// Which neighbor-query implementation the engine uses.
+///
+/// Both modes are bit-identical for the same seed — `NaiveScan` is the seed
+/// O(N²) full-population scan kept alive as the reference path for the
+/// differential suite (`tests/traffic_index.rs`) and the `oes-bench --bin
+/// traffic` baseline; `Indexed` answers the same queries from the
+/// incrementally maintained [`LaneIndex`]. Switching mid-run is allowed and
+/// deterministic: entering `Indexed` rebuilds the index from the live
+/// vehicle set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Per-`(edge, lane)` sorted index, O(log n) maintenance (default).
+    #[default]
+    Indexed,
+    /// Full-population scans, O(N) per query — the seed reference path.
+    NaiveScan,
+}
+
 /// The microscopic traffic simulation.
 pub struct Simulation {
     network: RoadNetwork,
@@ -86,6 +105,18 @@ pub struct Simulation {
     exits_per_hour: HourlyAccumulator,
     telemetry: Telemetry,
     ticks: u64,
+    index: LaneIndex,
+    scan_mode: ScanMode,
+    /// Detector indices bucketed by the edge they observe.
+    detectors_by_edge: BTreeMap<usize, Vec<usize>>,
+    scratch_ids: Vec<VehicleId>,
+    scratch_speeds: Vec<(VehicleId, MetersPerSecond)>,
+    scratch_exited: Vec<VehicleId>,
+    scratch_order: Vec<(f64, VehicleId)>,
+    /// Leader/safety probes issued (the `sim.index.queries` source).
+    stat_queries: u64,
+    /// Overlap-clamp corrections applied (the `sim.index.clamps` source).
+    stat_clamps: u64,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -124,7 +155,45 @@ impl Simulation {
             exits_per_hour: HourlyAccumulator::new(),
             telemetry: Telemetry::disabled(),
             ticks: 0,
+            index: LaneIndex::new(),
+            scan_mode: ScanMode::Indexed,
+            detectors_by_edge: BTreeMap::new(),
+            scratch_ids: Vec::new(),
+            scratch_speeds: Vec::new(),
+            scratch_exited: Vec::new(),
+            scratch_order: Vec::new(),
+            stat_queries: 0,
+            stat_clamps: 0,
         }
+    }
+
+    /// Selects the neighbor-query implementation (see [`ScanMode`]).
+    /// Switching into `Indexed` rebuilds the lane index from the live
+    /// vehicle set; switching away drops it. Either way the subsequent
+    /// trajectory is bit-identical to a run that never switched.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        if mode == self.scan_mode {
+            return;
+        }
+        self.scan_mode = mode;
+        match mode {
+            ScanMode::Indexed => {
+                self.index.rebuild(self.vehicles.values());
+                // Rebuilds inside `step` are journaled as step deltas; this
+                // one happens between steps, so emit it directly.
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .counter("sim.index.rebuilds", self.ticks as i64, 1);
+                }
+            }
+            ScanMode::NaiveScan => self.index.clear(),
+        }
+    }
+
+    /// The active neighbor-query implementation.
+    #[must_use]
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
     }
 
     /// Attaches a telemetry handle; every [`Self::step`] then runs inside a
@@ -147,8 +216,13 @@ impl Simulation {
 
     /// Installs a span detector and returns its index.
     pub fn add_detector(&mut self, detector: SpanDetector) -> usize {
+        let idx = self.detectors.len();
+        self.detectors_by_edge
+            .entry(detector.edge().0)
+            .or_default()
+            .push(idx);
         self.detectors.push(detector);
-        self.detectors.len() - 1
+        idx
     }
 
     /// Attaches a Poisson demand stream spawning vehicles on `route`.
@@ -253,6 +327,9 @@ impl Simulation {
         let tick = self.ticks as i64;
         let spawned_before = self.spawned;
         let exited_before = self.exited;
+        let queries_before = self.stat_queries;
+        let clamps_before = self.stat_clamps;
+        let rebuilds_before = self.index.rebuilds();
         let touches_before: u64 = self.detectors.iter().map(|d| d.vehicle_touches()).sum();
         let span = self.telemetry.span("sim.step", tick);
         let dt = self.config.step;
@@ -261,8 +338,12 @@ impl Simulation {
         self.perform_lane_changes();
 
         // Phase 1: next speeds from the previous state, in id order.
-        let ids: Vec<VehicleId> = self.vehicles.keys().copied().collect();
-        let mut next_speeds: Vec<(VehicleId, MetersPerSecond)> = Vec::with_capacity(ids.len());
+        let mut ids = core::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.vehicles.keys().copied());
+        let mut next_speeds = core::mem::take(&mut self.scratch_speeds);
+        next_speeds.clear();
+        self.stat_queries += ids.len() as u64;
         for &id in &ids {
             let veh = &self.vehicles[&id];
             let edge = self
@@ -280,11 +361,13 @@ impl Simulation {
         }
 
         // Phase 2: move.
-        let mut exited: Vec<VehicleId> = Vec::new();
+        let indexed = self.scan_mode == ScanMode::Indexed;
+        let mut exited = core::mem::take(&mut self.scratch_exited);
+        exited.clear();
         let time = self.time;
         let network = &self.network;
         let signals = &self.signals;
-        for (id, v) in next_speeds {
+        for &(id, v) in &next_speeds {
             let red_stop = |edge_id: EdgeId| -> bool {
                 let edge = network.edge(edge_id).expect("route edges exist");
                 signals
@@ -293,6 +376,8 @@ impl Simulation {
                     .unwrap_or(false)
             };
             let veh = self.vehicles.get_mut(&id).expect("vehicle present");
+            let from = (veh.current_edge(), veh.lane, veh.position.value());
+            let mut did_exit = false;
             veh.speed = v;
             let mut advance = v.value() * dt.value();
             loop {
@@ -311,7 +396,7 @@ impl Simulation {
                     break;
                 }
                 if veh.on_final_edge() {
-                    exited.push(id);
+                    did_exit = true;
                     break;
                 }
                 advance -= room;
@@ -324,13 +409,28 @@ impl Simulation {
                     .lanes;
                 veh.lane = veh.lane.min(next_lanes - 1);
             }
+            if did_exit {
+                exited.push(id);
+                if indexed {
+                    self.index.remove(from.0, from.1, from.2, id);
+                }
+            } else if indexed {
+                let veh = &self.vehicles[&id];
+                let to = (veh.current_edge(), veh.lane, veh.position.value());
+                if to != from {
+                    self.index.relocate(from, to, id);
+                }
+            }
         }
-        for id in exited {
+        for &id in &exited {
             self.vehicles.remove(&id);
             self.last_lane_change.remove(&id);
             self.exited += 1;
             self.exits_per_hour.add(self.time, 1.0);
         }
+        self.scratch_ids = ids;
+        self.scratch_speeds = next_speeds;
+        self.scratch_exited = exited;
 
         self.resolve_overlaps();
         self.observe_detectors(dt);
@@ -361,6 +461,21 @@ impl Simulation {
             if touches > touches_before {
                 self.telemetry
                     .counter("sim.detections", tick, touches - touches_before);
+            }
+            // Index statistics are kept in both scan modes (queries and
+            // clamps are bit-identical across modes by the determinism
+            // contract), so same-seed journals stay byte-identical.
+            let queries = self.stat_queries - queries_before;
+            if queries > 0 {
+                self.telemetry.counter("sim.index.queries", tick, queries);
+            }
+            let clamps = self.stat_clamps - clamps_before;
+            if clamps > 0 {
+                self.telemetry.counter("sim.index.clamps", tick, clamps);
+            }
+            let rebuilds = self.index.rebuilds() - rebuilds_before;
+            if rebuilds > 0 {
+                self.telemetry.counter("sim.index.rebuilds", tick, rebuilds);
             }
         }
         self.ticks += 1;
@@ -396,18 +511,31 @@ impl Simulation {
                 .expect("route edges exist")
                 .lanes;
             // Per lane: the nearest vehicle's rear bounds the free space
-            // (f64::INFINITY for an empty lane).
+            // (f64::INFINITY for an empty lane). The min-fold visits the
+            // same value set in both scan modes, and `f64::min` over it is
+            // order-independent, so the chosen lane is mode-independent.
             let (lane, clearance, nearest_rear) = (0..lanes)
                 .map(|lane| {
-                    let rear = self
-                        .vehicles
-                        .values()
-                        .filter(|v| v.current_edge() == entry_edge && v.lane == lane)
-                        .map(|v| v.position.value() - v.params.length.value())
-                        .fold(f64::INFINITY, f64::min);
+                    let rear = match self.scan_mode {
+                        ScanMode::NaiveScan => self
+                            .vehicles
+                            .values()
+                            .filter(|v| v.current_edge() == entry_edge && v.lane == lane)
+                            .map(|v| v.position.value() - v.params.length.value())
+                            .fold(f64::INFINITY, f64::min),
+                        ScanMode::Indexed => self
+                            .index
+                            .bucket(entry_edge, lane)
+                            .iter()
+                            .map(|&(_, id)| {
+                                let v = &self.vehicles[&id];
+                                v.position.value() - v.params.length.value()
+                            })
+                            .fold(f64::INFINITY, f64::min),
+                    };
                     (lane, rear - params.length.value(), rear)
                 })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gaps are finite or inf"))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("at least one lane");
             if clearance < self.config.insertion_headway.value() {
                 break;
@@ -433,6 +561,10 @@ impl Simulation {
             veh.position = params.length;
             veh.lane = lane;
             veh.speed = MetersPerSecond::new(depart);
+            if self.scan_mode == ScanMode::Indexed {
+                self.index
+                    .insert(entry_edge, lane, veh.position.value(), id);
+            }
             self.vehicles.insert(id, veh);
             self.spawned += 1;
             self.spawns_per_hour.add(self.time, 1.0);
@@ -457,30 +589,12 @@ impl Simulation {
             let edge = self.network.edge(edge_id).expect("route edges exist");
             // The lane this vehicle would occupy on the scanned edge.
             let scan_lane = lane.min(edge.lanes - 1);
-            // Nearest same-edge leader beyond `scan_from`.
-            let leader = self
-                .vehicles
-                .values()
-                .filter(|o| {
-                    o.id != veh.id
-                        && o.current_edge() == edge_id
-                        && o.lane == scan_lane
-                        && if idx == veh.route_index {
-                            // Same edge: only vehicles whose rear is ahead of
-                            // our front bumper count as leaders.
-                            o.position.value() - o.params.length.value() >= scan_from - 1e-9
-                        } else {
-                            // A later edge: every vehicle on it is ahead of
-                            // us, including one still straddling the
-                            // boundary (rear < 0).
-                            true
-                        }
-                })
-                .min_by(|a, b| {
-                    (a.position.value(), a.id)
-                        .partial_cmp(&(b.position.value(), b.id))
-                        .expect("positions are finite")
-                });
+            // Nearest same-edge leader beyond `scan_from`. On the vehicle's
+            // own edge only vehicles whose rear is ahead of our front bumper
+            // count; on a later edge every vehicle is ahead of us, including
+            // one still straddling the boundary (rear < 0).
+            let rear_min = (idx == veh.route_index).then_some(scan_from - 1e-9);
+            let leader = self.leader_on_edge(edge_id, scan_lane, rear_min, veh.id);
             if let Some(l) = leader {
                 // `traveled` measures from this vehicle's front bumper to the
                 // start of the scanned edge (zero while scanning its own
@@ -530,6 +644,63 @@ impl Simulation {
         None
     }
 
+    /// The nearest vehicle on `(edge, lane)` by `(position, id)`, skipping
+    /// `exclude` and, when `rear_min` is given, any vehicle whose rear
+    /// bumper is behind that threshold.
+    ///
+    /// Both arms pick the minimum of the same filtered set under the same
+    /// `(position, id)` key — the index bucket is sorted by exactly that
+    /// key, so its first passing entry *is* the naive scan's `min_by`
+    /// winner, bit for bit.
+    fn leader_on_edge(
+        &self,
+        edge_id: EdgeId,
+        lane: u32,
+        rear_min: Option<f64>,
+        exclude: VehicleId,
+    ) -> Option<&Vehicle> {
+        match self.scan_mode {
+            ScanMode::NaiveScan => self
+                .vehicles
+                .values()
+                .filter(|o| {
+                    o.id != exclude
+                        && o.current_edge() == edge_id
+                        && o.lane == lane
+                        && rear_min
+                            .is_none_or(|t| o.position.value() - o.params.length.value() >= t)
+                })
+                .min_by(|a, b| {
+                    a.position
+                        .value()
+                        .total_cmp(&b.position.value())
+                        .then(a.id.cmp(&b.id))
+                }),
+            ScanMode::Indexed => {
+                let bucket = self.index.bucket(edge_id, lane);
+                match rear_min {
+                    None => bucket
+                        .iter()
+                        .map(|&(_, id)| &self.vehicles[&id])
+                        .find(|o| o.id != exclude),
+                    Some(t) => {
+                        // A qualifying rear (pos − len ≥ t) implies pos ≥ t,
+                        // so skip straight to the first entry at or past the
+                        // threshold; the short forward scan drops the few
+                        // entries whose front passed `t` but rear did not.
+                        let start = bucket.partition_point(|&(p, _)| p.total_cmp(&t).is_lt());
+                        bucket[start..]
+                            .iter()
+                            .map(|&(_, id)| &self.vehicles[&id])
+                            .find(|o| {
+                                o.id != exclude && o.position.value() - o.params.length.value() >= t
+                            })
+                    }
+                }
+            }
+        }
+    }
+
     /// The lane-change phase: each vehicle may move one lane sideways when
     /// the neighbor lane promises a real speed gain and both the new leader
     /// and the new follower gaps are safe (an LC2013-style incentive/safety
@@ -537,8 +708,11 @@ impl Simulation {
     /// changes apply immediately.
     fn perform_lane_changes(&mut self) {
         let dt = self.config.step;
-        let ids: Vec<VehicleId> = self.vehicles.keys().copied().collect();
-        for id in ids {
+        let mut ids = core::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.vehicles.keys().copied());
+        let mut queries: u64 = 0;
+        for &id in &ids {
             let veh = self.vehicles[&id].clone();
             let edge = self
                 .network
@@ -554,33 +728,53 @@ impl Simulation {
             }
             let desired =
                 MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
-            let prospect = |lane: u32| {
-                let ahead = self.obstacle_ahead_in_lane(&veh, lane);
-                self.model
+            let prospect = |sim: &Self, queries: &mut u64, lane: u32| {
+                *queries += 1;
+                let ahead = sim.obstacle_ahead_in_lane(&veh, lane);
+                sim.model
                     .next_speed(&veh.params, veh.speed, desired, ahead, dt, 0.0)
                     .value()
             };
-            let current = prospect(veh.lane);
-            let mut candidates: Vec<u32> = Vec::with_capacity(2);
+            let current = prospect(self, &mut queries, veh.lane);
+            let mut candidates: [Option<u32>; 2] = [None, None];
             if veh.lane + 1 < edge.lanes {
-                candidates.push(veh.lane + 1);
+                candidates[0] = Some(veh.lane + 1);
             }
             if veh.lane > 0 {
-                candidates.push(veh.lane - 1);
+                candidates[1] = Some(veh.lane - 1);
             }
-            let best = candidates
-                .into_iter()
-                .map(|lane| (lane, prospect(lane)))
-                .filter(|&(lane, v)| {
-                    v >= current + self.config.lane_change_gain && self.lane_is_safe(&veh, lane)
-                })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("speeds are finite"));
+            // Equivalent to the seed's `filter(..).max_by(..)` chain:
+            // candidates in the same order, ties replace (last max wins).
+            let mut best: Option<(u32, f64)> = None;
+            for lane in candidates.into_iter().flatten() {
+                let v = prospect(self, &mut queries, lane);
+                if v < current + self.config.lane_change_gain {
+                    continue;
+                }
+                queries += 1;
+                if !self.lane_is_safe(&veh, lane) {
+                    continue;
+                }
+                if best.is_none_or(|(_, bv)| v.total_cmp(&bv).is_ge()) {
+                    best = Some((lane, v));
+                }
+            }
             if let Some((lane, _)) = best {
                 let now = self.time.value();
                 self.vehicles.get_mut(&id).expect("id valid").lane = lane;
+                if self.scan_mode == ScanMode::Indexed {
+                    let pos = veh.position.value();
+                    self.index.relocate(
+                        (veh.current_edge(), veh.lane, pos),
+                        (veh.current_edge(), lane, pos),
+                        id,
+                    );
+                }
                 self.last_lane_change.insert(id, now);
             }
         }
+        self.scratch_ids = ids;
+        self.stat_queries += queries;
     }
 
     /// Safety criterion for entering `lane`: the nearest vehicle behind our
@@ -588,30 +782,53 @@ impl Simulation {
     /// we must not land on top of anyone.
     fn lane_is_safe(&self, veh: &Vehicle, lane: u32) -> bool {
         let my_rear = veh.position.value() - veh.params.length.value();
-        for o in self.vehicles.values() {
-            if o.id == veh.id || o.current_edge() != veh.current_edge() || o.lane != lane {
-                continue;
+        // Pure conjunction over the target-lane vehicles — the same set in
+        // both scan modes, so visit order cannot change the verdict.
+        let blocks = |o: &Vehicle| -> bool {
+            if o.id == veh.id {
+                return false;
             }
             let o_rear = o.position.value() - o.params.length.value();
             // Overlap with anyone in the target lane is disqualifying.
             if o_rear < veh.position.value() && my_rear < o.position.value() {
-                return false;
+                return true;
             }
             // A follower (front behind our rear) needs reaction headroom.
             if o.position.value() <= my_rear {
                 let gap = my_rear - o.position.value();
                 let needed = o.speed.value() * o.params.tau + o.params.min_gap.value();
                 if gap < needed {
-                    return false;
+                    return true;
                 }
             }
+            false
+        };
+        match self.scan_mode {
+            ScanMode::NaiveScan => !self
+                .vehicles
+                .values()
+                .any(|o| o.current_edge() == veh.current_edge() && o.lane == lane && blocks(o)),
+            ScanMode::Indexed => !self
+                .index
+                .bucket(veh.current_edge(), lane)
+                .iter()
+                .any(|&(_, id)| blocks(&self.vehicles[&id])),
         }
-        true
     }
 
     /// Safety net for invariant 1: clamp same-lane followers out of their
     /// leaders (synchronous updates can very occasionally overshoot).
     fn resolve_overlaps(&mut self) {
+        match self.scan_mode {
+            ScanMode::NaiveScan => self.resolve_overlaps_naive(),
+            ScanMode::Indexed => self.resolve_overlaps_indexed(),
+        }
+    }
+
+    /// The seed overlap pass: rebuild per-`(edge, lane)` id lists from
+    /// scratch, sort descending by position (ties ascending id), clamp
+    /// front-to-back.
+    fn resolve_overlaps_naive(&mut self) {
         let mut by_edge: BTreeMap<(usize, u32), Vec<VehicleId>> = BTreeMap::new();
         for v in self.vehicles.values() {
             by_edge
@@ -623,9 +840,7 @@ impl Simulation {
             ids.sort_by(|a, b| {
                 let pa = self.vehicles[a].position.value();
                 let pb = self.vehicles[b].position.value();
-                pb.partial_cmp(&pa)
-                    .expect("positions are finite")
-                    .then(a.cmp(b))
+                pb.total_cmp(&pa).then(a.cmp(b))
             });
             // Front-to-back: each follower is clamped against the (already
             // final) leader position.
@@ -639,31 +854,130 @@ impl Simulation {
                         Meters::new(limit.max(follower.params.length.value() * 0.0));
                     follower.speed =
                         MetersPerSecond::new(follower.speed.value().min(leader_speed.value()));
+                    self.stat_clamps += 1;
                 }
             }
         }
     }
 
+    /// The indexed overlap pass: walk each live bucket instead of rebuilding
+    /// and re-sorting id lists from the full population.
+    ///
+    /// The naive clamp order is descending position with ties ascending id;
+    /// a bucket is ascending `(position, id)`, so reversing it flips ties
+    /// the wrong way — equal-position runs are therefore emitted in forward
+    /// (ascending-id) order while the runs themselves are walked back to
+    /// front. Clamped positions are written back into the bucket, and an
+    /// insertion-sort repair restores the bucket invariant in the rare case
+    /// a floor clamp (`limit.max(0)`) reorders entries; each repair counts
+    /// as a rebuild in `sim.index.rebuilds`.
+    fn resolve_overlaps_indexed(&mut self) {
+        let mut order = core::mem::take(&mut self.scratch_order);
+        let vehicles = &mut self.vehicles;
+        let mut clamps: u64 = 0;
+        let mut repairs: u64 = 0;
+        for bucket in self.index.buckets_mut() {
+            if bucket.len() < 2 {
+                continue;
+            }
+            // Build the naive clamp order from the sorted bucket.
+            order.clear();
+            let mut end = bucket.len();
+            while end > 0 {
+                let mut start = end - 1;
+                while start > 0 && bucket[start - 1].0.total_cmp(&bucket[end - 1].0).is_eq() {
+                    start -= 1;
+                }
+                order.extend_from_slice(&bucket[start..end]);
+                end = start;
+            }
+            // Front-to-back clamp against the (already final) leader, as in
+            // the naive pass — bit-identical arithmetic, expression for
+            // expression.
+            let mut changed = false;
+            let lead = &vehicles[&order[0].1];
+            let mut lead_rear = lead.position.value() - lead.params.length.value();
+            let mut lead_speed = lead.speed.value();
+            for entry in order.iter_mut().skip(1) {
+                let limit = lead_rear - 0.1;
+                let follower = vehicles.get_mut(&entry.1).expect("id valid");
+                if follower.position.value() > limit {
+                    follower.position =
+                        Meters::new(limit.max(follower.params.length.value() * 0.0));
+                    follower.speed = MetersPerSecond::new(follower.speed.value().min(lead_speed));
+                    clamps += 1;
+                    changed = true;
+                    entry.0 = follower.position.value();
+                }
+                lead_rear = follower.position.value() - follower.params.length.value();
+                lead_speed = follower.speed.value();
+            }
+            if changed {
+                bucket.clear();
+                bucket.extend(order.iter().rev().copied());
+                if crate::index::sort_bucket(bucket) {
+                    repairs += 1;
+                }
+            }
+        }
+        self.scratch_order = order;
+        self.stat_clamps += clamps;
+        self.index.note_rebuilds(repairs);
+    }
+
     /// Feeds every detector with this step's occupancy.
+    ///
+    /// The indexed arm looks up only the detectors on each vehicle's edge
+    /// (skipped detectors reject off-edge vehicles without touching state in
+    /// the naive arm, so the observations are identical); within one
+    /// detector, vehicles still arrive in id order either way.
     fn observe_detectors(&mut self, dt: Seconds) {
         if self.detectors.is_empty() {
             return;
         }
-        for veh in self.vehicles.values() {
-            for (di, det) in self.detectors.iter_mut().enumerate() {
-                let key = (veh.id, di);
-                let first = !self.detector_touched.contains(&key);
-                let before = det.total_occupancy();
-                det.observe(
-                    veh.current_edge(),
-                    veh.position,
-                    veh.params.length,
-                    self.time,
-                    dt,
-                    first,
-                );
-                if first && det.total_occupancy() > before {
-                    self.detector_touched.insert(key);
+        match self.scan_mode {
+            ScanMode::NaiveScan => {
+                for veh in self.vehicles.values() {
+                    for (di, det) in self.detectors.iter_mut().enumerate() {
+                        let key = (veh.id, di);
+                        let first = !self.detector_touched.contains(&key);
+                        let before = det.total_occupancy();
+                        det.observe(
+                            veh.current_edge(),
+                            veh.position,
+                            veh.params.length,
+                            self.time,
+                            dt,
+                            first,
+                        );
+                        if first && det.total_occupancy() > before {
+                            self.detector_touched.insert(key);
+                        }
+                    }
+                }
+            }
+            ScanMode::Indexed => {
+                for veh in self.vehicles.values() {
+                    let Some(on_edge) = self.detectors_by_edge.get(&veh.current_edge().0) else {
+                        continue;
+                    };
+                    for &di in on_edge {
+                        let det = &mut self.detectors[di];
+                        let key = (veh.id, di);
+                        let first = !self.detector_touched.contains(&key);
+                        let before = det.total_occupancy();
+                        det.observe(
+                            veh.current_edge(),
+                            veh.position,
+                            veh.params.length,
+                            self.time,
+                            dt,
+                            first,
+                        );
+                        if first && det.total_occupancy() > before {
+                            self.detector_touched.insert(key);
+                        }
+                    }
                 }
             }
         }
@@ -801,7 +1115,7 @@ mod tests {
                     .push((v.position.value(), v.params.length.value()));
             }
             for list in per_edge.values_mut() {
-                list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                list.sort_by(|a, b| a.0.total_cmp(&b.0));
                 for w in list.windows(2) {
                     let (follower_front, _) = w[0];
                     let (leader_front, leader_len) = w[1];
@@ -941,7 +1255,7 @@ mod tests {
                     .push((v.position.value(), v.params.length.value()));
             }
             for list in per_lane.values_mut() {
-                list.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                list.sort_by(|a, b| a.0.total_cmp(&b.0));
                 for w in list.windows(2) {
                     assert!(
                         w[0].0 <= w[1].0 - w[1].1 + 1e-6,
@@ -1049,6 +1363,63 @@ mod tests {
             (mixed as f64) < 0.9 * cars_only as f64,
             "mixed {mixed} !< cars {cars_only}"
         );
+    }
+
+    /// Full per-vehicle state bits plus detector occupancy bits after every
+    /// step — the currency of the scan-mode determinism contract.
+    fn trace_run(mode_switches: &[(usize, ScanMode)], steps: usize) -> Vec<Vec<u64>> {
+        let (mut sim, edges, nodes) = sim_with(13);
+        sim.add_signal(
+            nodes[1],
+            SignalPlan::new(Seconds::new(25.0), Seconds::new(35.0), Seconds::ZERO),
+        );
+        sim.add_detector(SpanDetector::new(
+            "trace",
+            edges[0],
+            Meters::new(80.0),
+            Meters::new(180.0),
+        ));
+        sim.add_demand(
+            PoissonArrivals::new(HourlyCounts::new(vec![1200]), 4),
+            edges,
+            VehicleParams::passenger_car(),
+        );
+        let mut trace = Vec::with_capacity(steps);
+        for i in 0..steps {
+            if let Some(&(_, mode)) = mode_switches.iter().find(|&&(at, _)| at == i) {
+                sim.set_scan_mode(mode);
+            }
+            sim.step();
+            let mut row: Vec<u64> = Vec::new();
+            for v in sim.vehicles() {
+                row.extend([
+                    v.id.0,
+                    v.route_index as u64,
+                    u64::from(v.lane),
+                    v.position.value().to_bits(),
+                    v.speed.value().to_bits(),
+                ]);
+            }
+            row.push(sim.detectors()[0].total_occupancy().value().to_bits());
+            row.push(sim.spawned());
+            row.push(sim.exited());
+            trace.push(row);
+        }
+        trace
+    }
+
+    #[test]
+    fn scan_modes_are_bit_identical() {
+        let indexed = trace_run(&[(0, ScanMode::Indexed)], 300);
+        let naive = trace_run(&[(0, ScanMode::NaiveScan)], 300);
+        assert_eq!(indexed, naive);
+    }
+
+    #[test]
+    fn switching_scan_mode_mid_run_is_seamless() {
+        let pure = trace_run(&[(0, ScanMode::Indexed)], 300);
+        let switched = trace_run(&[(120, ScanMode::NaiveScan), (200, ScanMode::Indexed)], 300);
+        assert_eq!(pure, switched);
     }
 
     #[test]

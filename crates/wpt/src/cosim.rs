@@ -63,10 +63,21 @@ pub struct TripRecord {
     pub drained: KilowattHours,
 }
 
+/// One row of the per-step vehicle snapshot.
+type VehState = (VehicleId, EdgeId, Meters, Meters, MetersPerSecond);
+
 /// The co-simulation: a traffic [`Simulation`] plus batteries and spans.
 pub struct CoSimulation {
     sim: Simulation,
     spans: Vec<ChargingSpan>,
+    /// Span indices bucketed by the edge they energize — per-vehicle span
+    /// matching only visits co-located spans.
+    span_buckets: BTreeMap<usize, Vec<usize>>,
+    /// Every span index in insertion order (the reference walk).
+    all_spans: Vec<usize>,
+    /// Walk every span for every vehicle, as the seed did. Bit-identical to
+    /// the bucketed default; kept alive for the regression suite.
+    reference_span_matching: bool,
     energy_model: EnergyModel,
     spec: OlevSpec,
     participation: f64,
@@ -82,6 +93,9 @@ pub struct CoSimulation {
     total_received: KilowattHours,
     telemetry: Telemetry,
     steps: u64,
+    scratch_snapshot: Vec<(VehicleId, MetersPerSecond)>,
+    scratch_states: Vec<VehState>,
+    scratch_gone: Vec<VehicleId>,
 }
 
 impl core::fmt::Debug for CoSimulation {
@@ -120,6 +134,9 @@ impl CoSimulation {
         Self {
             sim,
             spans: Vec::new(),
+            span_buckets: BTreeMap::new(),
+            all_spans: Vec::new(),
+            reference_span_matching: false,
             energy_model,
             spec,
             participation,
@@ -133,7 +150,19 @@ impl CoSimulation {
             total_received: KilowattHours::ZERO,
             telemetry: Telemetry::disabled(),
             steps: 0,
+            scratch_snapshot: Vec::new(),
+            scratch_states: Vec::new(),
+            scratch_gone: Vec::new(),
         }
+    }
+
+    /// Switches per-vehicle span matching to the seed reference walk over
+    /// *every* span. [`ChargingSpan::covers`] requires edge equality, so the
+    /// bucketed default visits the same covering spans in the same insertion
+    /// order and the energy accounting is bit-identical either way; the flag
+    /// exists for the regression suite and the bench differential.
+    pub fn set_reference_span_matching(&mut self, reference: bool) {
+        self.reference_span_matching = reference;
     }
 
     /// Attaches a telemetry handle; each [`step`](Self::step) then runs
@@ -146,6 +175,9 @@ impl CoSimulation {
 
     /// Adds an energized span.
     pub fn add_span(&mut self, span: ChargingSpan) {
+        let si = self.spans.len();
+        self.span_buckets.entry(span.edge.0).or_default().push(si);
+        self.all_spans.push(si);
         self.spans.push(span);
     }
 
@@ -206,20 +238,25 @@ impl CoSimulation {
         let span = self.telemetry.span("cosim.step", step_key);
         let dt = self.sim.config().step;
         // Remember the pre-step speeds for mean-value drain integration.
-        let snapshot: Vec<(VehicleId, MetersPerSecond)> =
-            self.sim.vehicles().map(|v| (v.id, v.speed)).collect();
-        for (id, speed) in snapshot {
+        let mut snapshot = core::mem::take(&mut self.scratch_snapshot);
+        snapshot.clear();
+        snapshot.extend(self.sim.vehicles().map(|v| (v.id, v.speed)));
+        for &(id, speed) in &snapshot {
             self.prev_speed.entry(id).or_insert(speed);
         }
         self.sim.step();
         let now = self.sim.time();
 
         // Classify new vehicles, then update every active OLEV battery.
-        let states: Vec<(VehicleId, EdgeId, Meters, Meters, MetersPerSecond)> = self
-            .sim
-            .vehicles()
-            .map(|v| (v.id, v.current_edge(), v.position, v.params.length, v.speed))
-            .collect();
+        // `states` is in ascending id order (the simulation iterates its
+        // id-keyed map), which the retirement binary search below relies on.
+        let mut states = core::mem::take(&mut self.scratch_states);
+        states.clear();
+        states.extend(
+            self.sim
+                .vehicles()
+                .map(|v| (v.id, v.current_edge(), v.position, v.params.length, v.speed)),
+        );
         for (id, edge, position, len, speed) in &states {
             if !self.seen.contains_key(id) {
                 let is_olev = self.rng.gen_bool(self.participation);
@@ -256,9 +293,20 @@ impl CoSimulation {
                 olev.battery_mut().charge(-delta);
                 *drained -= -delta;
             }
-            // Wireless transfer while over an energized span.
+            // Wireless transfer while over an energized span. The bucketed
+            // walk visits only spans on this vehicle's edge; `covers`
+            // requires edge equality, so the covering set — and its
+            // insertion order — matches the reference full walk exactly.
             let spec_max = self.spec.soc_max;
-            for span in &self.spans {
+            let span_ids: &[usize] = if self.reference_span_matching {
+                &self.all_spans
+            } else {
+                self.span_buckets
+                    .get(&edge.0)
+                    .map_or(&[][..], Vec::as_slice)
+            };
+            for &si in span_ids {
+                let span = &self.spans[si];
                 if span.covers(*edge, *position, *len) && olev.battery().soc() < spec_max {
                     let offered = span.section.power_rating()
                         * dt.to_hours()
@@ -278,15 +326,17 @@ impl CoSimulation {
             self.prev_speed.insert(*id, *speed);
         }
 
-        // Retire OLEVs whose vehicles exited.
-        let active: Vec<VehicleId> = states.iter().map(|s| s.0).collect();
-        let gone: Vec<VehicleId> = self
-            .fleet
-            .keys()
-            .filter(|id| !active.contains(id))
-            .copied()
-            .collect();
-        for id in gone {
+        // Retire OLEVs whose vehicles exited (binary search over the
+        // id-sorted state rows instead of a linear membership scan).
+        let mut gone = core::mem::take(&mut self.scratch_gone);
+        gone.clear();
+        gone.extend(
+            self.fleet
+                .keys()
+                .filter(|id| states.binary_search_by_key(id, |s| &s.0).is_err())
+                .copied(),
+        );
+        for &id in &gone {
             let (olev, received, drained, soc_start) =
                 self.fleet.remove(&id).expect("key just listed");
             self.completed.push(TripRecord {
@@ -297,6 +347,17 @@ impl CoSimulation {
             });
             self.prev_speed.remove(&id);
         }
+        // Drop bookkeeping for vehicles that left the road. Vehicle ids
+        // never recur, so classification stays one-shot and the RNG stream
+        // is untouched — without this, `seen` and `prev_speed` grow without
+        // bound over a long run.
+        self.prev_speed
+            .retain(|id, _| states.binary_search_by_key(&id, |s| &s.0).is_ok());
+        self.seen
+            .retain(|id, _| states.binary_search_by_key(&id, |s| &s.0).is_ok());
+        self.scratch_snapshot = snapshot;
+        self.scratch_states = states;
+        self.scratch_gone = gone;
 
         drop(span);
         if self.telemetry.is_enabled() {
@@ -478,6 +539,73 @@ mod tests {
         assert_eq!(
             ring.last_gauge("cosim.received_kwh"),
             Some(instrumented.total_received().value())
+        );
+    }
+
+    #[test]
+    fn bucketed_span_matching_matches_reference_walk() {
+        // Two overlapping spans stacked on edge 0 (insertion order matters
+        // when the SOC ceiling truncates the second top-up) plus one
+        // downstream on edge 1 — the received-energy accounting must pin to
+        // the seed full-walk behavior bit for bit.
+        let build = |reference: bool| {
+            let mut co = cosim(0.8, false, 700);
+            co.add_span(ChargingSpan {
+                edge: EdgeId(0),
+                start: Meters::new(40.0),
+                end: Meters::new(140.0),
+                section: ChargingSection::paper_default(SectionId(0)),
+            });
+            co.add_span(ChargingSpan {
+                edge: EdgeId(0),
+                start: Meters::new(100.0),
+                end: Meters::new(240.0),
+                section: ChargingSection::paper_default(SectionId(1)),
+            });
+            co.add_span(ChargingSpan {
+                edge: EdgeId(1),
+                start: Meters::new(10.0),
+                end: Meters::new(200.0),
+                section: ChargingSection::paper_default(SectionId(2)),
+            });
+            co.set_reference_span_matching(reference);
+            co.run_for(Seconds::new(1200.0));
+            let hours: Vec<u64> = co
+                .received_per_hour()
+                .series()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (
+                co.total_received().value().to_bits(),
+                hours,
+                co.completed_trips().to_vec(),
+            )
+        };
+        let bucketed = build(false);
+        let reference = build(true);
+        assert!(
+            f64::from_bits(bucketed.0) > 0.0,
+            "scenario must actually transfer energy"
+        );
+        assert_eq!(bucketed, reference);
+    }
+
+    #[test]
+    fn bookkeeping_maps_do_not_leak_exited_vehicles() {
+        let mut co = cosim(0.5, true, 700);
+        co.run_for(Seconds::new(1800.0));
+        let active = co.traffic().active_count();
+        assert!(
+            co.completed_trips().len() > 5,
+            "vehicles must have exited ({} trips)",
+            co.completed_trips().len()
+        );
+        assert!(co.seen.len() <= active, "seen leaks: {}", co.seen.len());
+        assert!(
+            co.prev_speed.len() <= active,
+            "prev_speed leaks: {}",
+            co.prev_speed.len()
         );
     }
 

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use oes::game::{DistributedGame, GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder};
 use oes::telemetry::{count_events, JournalRecorder, RingBufferRecorder, Sample, Telemetry};
+use oes::traffic::{GridNetworkBuilder, HourlyCounts, ScanMode};
 use oes::units::Kilowatts;
 
 fn game() -> oes::game::Game {
@@ -143,4 +144,91 @@ fn live_recorder_does_not_change_the_outcome() {
         .filter(|e| e.name == "grid.apply" && matches!(e.sample, Sample::SpanExit { .. }))
         .count();
     assert_eq!(applies, observed.updates());
+}
+
+/// A journaled grid-traffic run under one scan mode.
+fn traffic_journal(seed: u64, mode: ScanMode) -> (String, u64, Vec<u64>) {
+    let journal = Arc::new(JournalRecorder::new("traffic-golden", seed));
+    let mut g = GridNetworkBuilder::new().size(4, 4).seed(seed).build();
+    assert!(g.add_od_demand((0, 0), (3, 3), HourlyCounts::new(vec![900])));
+    assert!(g.add_od_demand((0, 1), (3, 2), HourlyCounts::new(vec![700])));
+    g.sim.set_telemetry(Telemetry::new(journal.clone()));
+    // Force a journaled naive→indexed switch so the rebuild is visible.
+    g.sim.set_scan_mode(ScanMode::NaiveScan);
+    g.sim.set_scan_mode(mode);
+    for _ in 0..180 {
+        g.sim.step();
+    }
+    let trace = g
+        .sim
+        .vehicles()
+        .flat_map(|v| [v.id.0, v.position.value().to_bits()])
+        .collect();
+    (journal.to_jsonl(), g.sim.spawned(), trace)
+}
+
+#[test]
+fn traffic_journals_are_byte_identical_and_cover_the_index() {
+    // Same-seed indexed runs journal byte-for-byte, and the index
+    // instrumentation actually fires.
+    let (first, spawned, trace_a) = traffic_journal(31, ScanMode::Indexed);
+    let (second, _, _) = traffic_journal(31, ScanMode::Indexed);
+    assert_eq!(first, second, "same-seed journals must match byte-for-byte");
+    assert!(spawned > 0, "scenario must spawn traffic");
+    assert!(
+        count_events(&first, "sim.index.queries") > 0,
+        "indexed runs must journal their neighbor queries"
+    );
+    assert!(
+        count_events(&first, "sim.index.rebuilds") > 0,
+        "switching into indexed mode must journal the rebuild"
+    );
+
+    // The query and clamp counters are mode-independent by the
+    // determinism contract: the naive journal carries the same
+    // `sim.index.queries`/`sim.index.clamps` lines (only the
+    // indexed-only rebuild lines may differ) and the same physics.
+    let (naive, _, trace_b) = traffic_journal(31, ScanMode::NaiveScan);
+    assert_eq!(trace_a, trace_b, "modes must agree bit-for-bit");
+    let strip = |j: &str| {
+        j.lines()
+            .filter(|l| !l.contains("\"name\":\"sim.index.rebuilds\""))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strip(&first),
+        strip(&naive),
+        "journals must agree outside rebuild lines"
+    );
+}
+
+#[test]
+fn traffic_recorder_does_not_change_the_physics() {
+    let run = |telemetry: Option<Telemetry>| {
+        let mut g = GridNetworkBuilder::new().size(4, 4).seed(17).build();
+        assert!(g.add_od_demand((0, 0), (3, 3), HourlyCounts::new(vec![800])));
+        if let Some(t) = telemetry {
+            g.sim.set_telemetry(t);
+        }
+        for _ in 0..150 {
+            g.sim.step();
+        }
+        g.sim
+            .vehicles()
+            .flat_map(|v| {
+                [
+                    v.id.0,
+                    u64::from(v.lane),
+                    v.position.value().to_bits(),
+                    v.speed.value().to_bits(),
+                ]
+            })
+            .collect::<Vec<u64>>()
+    };
+    let plain = run(None);
+    let ring = Arc::new(RingBufferRecorder::new(1 << 16));
+    let observed = run(Some(Telemetry::new(ring.clone())));
+    assert_eq!(plain, observed, "observation must not perturb the traffic");
+    assert!(ring.counter_total("sim.index.queries") > 0);
 }

@@ -1,0 +1,224 @@
+//! Differential property suite for the lane-indexed traffic engine.
+//!
+//! Ten seeded random grid co-simulations (lattice size, lane count, signal
+//! timing, OD demand, OLEV participation all drawn from a SplitMix64
+//! stream) each run twice — once on the indexed engine, once on the seed
+//! full-population scan with the reference span walk — and every tick's
+//! positions, speeds, lanes, detector occupancies, and received energy
+//! must agree bit for bit, as must the completed-trip energy ledgers. A
+//! second pass checks the physical invariants the index must preserve on
+//! its own: no overlapping vehicles and no teleports.
+
+use std::collections::BTreeMap;
+
+use oes::traffic::{
+    shortest_path, EnergyModel, GridNetworkBuilder, HourlyCounts, ScanMode, SpanDetector,
+};
+use oes::units::{Meters, Seconds, SectionId, StateOfCharge};
+use oes::wpt::{ChargingSection, ChargingSpan, CoSimulation, OlevSpec, TripRecord};
+
+/// Ticks each scenario runs (long enough for trips to complete).
+const STEPS: usize = 240;
+
+/// Scenarios in the suite.
+const SCENARIOS: u64 = 10;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds the `k`-th random scenario: a signalized grid co-simulation
+/// with southeast-bound Poisson OD demand, two charging spans, and two
+/// detectors on the diagonal route. Block length and speed limit stay at
+/// the builder defaults (200 m, 13.4 m/s) — the no-teleport check below
+/// relies on both.
+fn build(k: u64) -> CoSimulation {
+    let mut s = 0x7452_6146_6649_6378 ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut draw = |bound: u64| splitmix64(&mut s) % bound;
+    let dim = 3 + draw(4) as usize;
+    let lanes = 1 + draw(3) as u32;
+    let green = Seconds::new(20.0 + draw(25) as f64);
+    let red = Seconds::new(15.0 + draw(30) as f64);
+    let sim_seed = draw(1 << 20);
+    let mut grid = GridNetworkBuilder::new()
+        .size(dim, dim)
+        .lanes(lanes)
+        .signal(green, red)
+        .seed(sim_seed)
+        .build();
+    for _ in 0..2 + draw(3) {
+        let r0 = draw(dim as u64 - 1) as usize;
+        let c0 = draw(dim as u64 - 1) as usize;
+        let r1 = r0 + 1 + draw((dim - 1 - r0) as u64) as usize;
+        let c1 = c0 + 1 + draw((dim - 1 - c0) as u64) as usize;
+        let demand = 400 + draw(900) as u32;
+        assert!(
+            grid.add_od_demand((r0, c0), (r1, c1), HourlyCounts::new(vec![demand])),
+            "southeast OD pairs are always routable"
+        );
+    }
+    let diag = shortest_path(
+        grid.network(),
+        grid.node_at(0, 0),
+        grid.node_at(dim - 1, dim - 1),
+    )
+    .expect("diagonal is routable");
+    let span_edges = [diag[0], diag[diag.len() / 2]];
+    for (i, &edge) in span_edges.iter().enumerate() {
+        grid.sim.add_detector(SpanDetector::new(
+            format!("diff-{i}"),
+            edge,
+            Meters::new(30.0),
+            Meters::new(170.0),
+        ));
+    }
+    let participation = 0.2 + draw(8) as f64 / 10.0;
+    let co_seed = draw(1 << 20);
+    let mut co = CoSimulation::new(
+        grid.sim,
+        EnergyModel::chevy_spark_ev(),
+        OlevSpec::chevy_spark_default(),
+        participation,
+        StateOfCharge::saturating(0.5),
+        co_seed,
+    );
+    for (i, &edge) in span_edges.iter().enumerate() {
+        co.add_span(ChargingSpan {
+            edge,
+            start: Meters::new(30.0),
+            end: Meters::new(170.0),
+            section: ChargingSection::paper_default(SectionId(i)),
+        });
+    }
+    co
+}
+
+type Ledger = (u64, Vec<u64>, Vec<TripRecord>);
+
+/// Runs scenario `k` under `mode`, returning every tick's full state row
+/// plus the final energy ledger. The naive run also takes the seed
+/// reference span walk, so it is the full pre-index code path.
+fn run(k: u64, mode: ScanMode) -> (Vec<Vec<u64>>, Ledger) {
+    let mut co = build(k);
+    co.traffic_mut().set_scan_mode(mode);
+    co.set_reference_span_matching(mode == ScanMode::NaiveScan);
+    let mut ticks = Vec::with_capacity(STEPS);
+    for _ in 0..STEPS {
+        co.step();
+        let mut row = Vec::new();
+        for v in co.traffic().vehicles() {
+            row.extend([
+                v.id.0,
+                v.route_index as u64,
+                u64::from(v.lane),
+                v.position.value().to_bits(),
+                v.speed.value().to_bits(),
+            ]);
+        }
+        for d in co.traffic().detectors() {
+            row.push(d.total_occupancy().value().to_bits());
+        }
+        row.push(co.total_received().value().to_bits());
+        ticks.push(row);
+    }
+    let hours = co
+        .received_per_hour()
+        .series()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let ledger = (
+        co.total_received().value().to_bits(),
+        hours,
+        co.completed_trips().to_vec(),
+    );
+    (ticks, ledger)
+}
+
+#[test]
+fn ten_seeded_scenarios_are_bit_identical_across_modes() {
+    for k in 0..SCENARIOS {
+        let (ticks_indexed, ledger_indexed) = run(k, ScanMode::Indexed);
+        let (ticks_naive, ledger_naive) = run(k, ScanMode::NaiveScan);
+        assert_eq!(ticks_indexed.len(), ticks_naive.len());
+        for (t, (a, b)) in ticks_indexed.iter().zip(&ticks_naive).enumerate() {
+            assert_eq!(a, b, "scenario {k} diverged at tick {t}");
+        }
+        assert_eq!(
+            ledger_indexed, ledger_naive,
+            "scenario {k}: energy ledgers diverged"
+        );
+        // The suite must exercise real traffic, not empty grids.
+        assert!(
+            ticks_indexed.last().is_some_and(|row| row.len() > 3),
+            "scenario {k} stayed empty"
+        );
+    }
+}
+
+#[test]
+fn indexed_path_preserves_physical_invariants() {
+    for k in 0..SCENARIOS {
+        let mut co = build(k);
+        assert_eq!(co.traffic().scan_mode(), ScanMode::Indexed);
+        let dt = co.traffic().config().step.value();
+        // Builder defaults the suite relies on (see `build`).
+        let (block, limit) = (200.0, 13.4);
+        let mut prev: BTreeMap<u64, (usize, f64)> = BTreeMap::new();
+        for step in 0..STEPS {
+            co.step();
+            let mut per_lane: BTreeMap<(usize, u32), Vec<(f64, f64)>> = BTreeMap::new();
+            let mut now: BTreeMap<u64, (usize, f64)> = BTreeMap::new();
+            for v in co.traffic().vehicles() {
+                per_lane
+                    .entry((v.current_edge().0, v.lane))
+                    .or_default()
+                    .push((v.position.value(), v.params.length.value()));
+                now.insert(v.id.0, (v.route_index, v.position.value()));
+            }
+            // No overlap: per (edge, lane), each follower's front stays
+            // behind its leader's rear. The one sanctioned exception is
+            // gridlock spillback: the overlap clamp floors positions at
+            // the edge start, so a leader whose rear hangs before 0 can
+            // have followers stacked on the floor beneath it.
+            for ((edge, lane), mut list) in per_lane {
+                list.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w in list.windows(2) {
+                    let leader_rear = w[1].0 - w[1].1;
+                    assert!(
+                        w[0].0 <= leader_rear + 1e-6 || leader_rear < 0.0,
+                        "scenario {k} step {step}: overlap on edge {edge} lane {lane}"
+                    );
+                }
+            }
+            // No teleport: at most one edge boundary per tick (13.4
+            // m/step << 200 m blocks), forward motion bounded by the
+            // speed limit, backward motion by a few car lengths (the
+            // overlap clamp correcting a spillback pile-up) — an index
+            // corruption would show up as a jump of hundreds of meters.
+            for (id, &(ri, pos)) in &now {
+                let Some(&(ri0, pos0)) = prev.get(id) else {
+                    continue;
+                };
+                let dist = match ri.checked_sub(ri0) {
+                    Some(0) => pos - pos0,
+                    Some(1) => (block - pos0) + pos,
+                    _ => panic!("scenario {k} step {step}: vehicle {id} teleported ({ri0}→{ri})"),
+                };
+                assert!(
+                    (-15.0..=limit * dt + 1e-6).contains(&dist),
+                    "scenario {k} step {step}: vehicle {id} moved {dist} m in one tick"
+                );
+            }
+            prev = now;
+        }
+        assert!(
+            co.traffic().spawned() > 0,
+            "scenario {k} spawned no vehicles"
+        );
+    }
+}

@@ -31,7 +31,7 @@ fn assert_no_overlaps(sim: &Simulation) {
             .push((v.position.value(), v.params.length.value()));
     }
     for (edge, list) in per_edge.iter_mut() {
-        list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite positions"));
+        list.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in list.windows(2) {
             let (follower_front, _) = w[0];
             let (leader_front, leader_len) = w[1];
