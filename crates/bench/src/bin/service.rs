@@ -1,0 +1,78 @@
+//! Emits the service load artifact `BENCH_service.json`: offers/sec and
+//! p50/p95/p99 offer round-trip latency at 1k/10k/100k loopback clients
+//! plus a real Unix-domain-socket tier.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin service            # measure + emit
+//! cargo run --release -p oes-bench --bin service -- --check # + CI perf gate
+//! ```
+//!
+//! With `--check`, the loopback 10 000-client tier is compared against the
+//! committed baseline (`crates/bench/baselines/service.json`); a more than
+//! 2× regression exits nonzero and fails the job.
+
+use oes_bench::service::{
+    measure_tiers, parse_offers_per_sec, service_summary_json, GATED_TIER, REGRESSION_FACTOR,
+};
+
+const BASELINE_PATH: &str = "crates/bench/baselines/service.json";
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let points = measure_tiers();
+    println!("service load (networked coordinator, framed wire protocol)");
+    println!(
+        "{:>9} {:>8} {:>8} {:>8} {:>9} {:>12} {:>9} {:>9} {:>9} {:>7}",
+        "transport",
+        "clients",
+        "updates",
+        "offers",
+        "seconds",
+        "offers/sec",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "evicted"
+    );
+    for p in &points {
+        println!(
+            "{:>9} {:>8} {:>8} {:>8} {:>9.3} {:>12.1} {:>9.1} {:>9.1} {:>9.1} {:>7}",
+            p.transport,
+            p.clients,
+            p.updates,
+            p.offers,
+            p.seconds,
+            p.offers_per_sec,
+            p.latency_p50_us,
+            p.latency_p95_us,
+            p.latency_p99_us,
+            p.evicted
+        );
+    }
+    let json = service_summary_json(&points);
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+
+    if check {
+        let (transport, clients) = GATED_TIER;
+        let measured = parse_offers_per_sec(&json, transport, clients)
+            .expect("gated tier present in fresh artifact");
+        let baseline_json = std::fs::read_to_string(BASELINE_PATH)
+            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
+        let baseline = parse_offers_per_sec(&baseline_json, transport, clients)
+            .unwrap_or_else(|| panic!("no {transport}/{clients} tier in {BASELINE_PATH}"));
+        let floor = baseline / REGRESSION_FACTOR;
+        println!(
+            "perf gate {transport}/{clients}: measured {measured:.1} offers/sec, \
+             baseline {baseline:.1}, floor {floor:.1}"
+        );
+        if measured < floor {
+            eprintln!(
+                "PERF REGRESSION: {measured:.1} offers/sec is more than \
+                 {REGRESSION_FACTOR}x below the committed baseline {baseline:.1}"
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate passed");
+    }
+}

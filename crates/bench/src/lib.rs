@@ -13,6 +13,7 @@ pub mod engine;
 pub mod parallel;
 pub mod report;
 pub mod scenarios;
+pub mod service;
 pub mod table;
 pub mod telemetry;
 pub mod traffic;

@@ -1,0 +1,440 @@
+//! Service load benchmark: the networked coordinator under simulated
+//! client fleets.
+//!
+//! Measures `oes-service` end to end — session coordinator, service
+//! envelopes, checksummed framing, byte transport — at fleet sizes from
+//! 1 000 to 100 000 clients over the deterministic in-memory loopback, plus
+//! a real Unix-domain-socket tier with the client fleet on its own thread.
+//! Each tier reports offers/sec plus p50/p95/p99 offer round-trip latency
+//! (microseconds, straight from the core's `service.latency` histogram),
+//! with the eviction count and convergence flag as correctness tripwires:
+//! a faster service must still run a clean protocol.
+//!
+//! The `service` binary writes the tiers to `BENCH_service.json`; with
+//! `--check` it additionally compares the loopback 10 000-client tier
+//! against the committed baseline (`crates/bench/baselines/service.json`)
+//! and fails on a > [`REGRESSION_FACTOR`]× regression — the CI perf gate.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use oes_game::{GameBuilder, LogSatisfaction};
+use oes_service::{
+    loopback_pair, BestResponder, ClientConfig, ClientSession, CoordinatorService, ServiceConfig,
+    ServiceStatus,
+};
+use oes_telemetry::{histogram_summaries, Clock, MonotonicClock, RingBufferRecorder, Telemetry};
+use oes_units::Kilowatts;
+
+/// Loopback fleet sizes every run measures.
+pub const LOOPBACK_TIERS: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Fleet size of the Unix-domain-socket tier (kept well under default
+/// file-descriptor limits: two sockets per client).
+pub const UDS_TIER: usize = 256;
+
+/// The tier the CI regression gate watches.
+pub const GATED_TIER: (&str, usize) = ("loopback", 10_000);
+
+/// How much slower than the committed baseline the gated tier may get
+/// before `--check` fails the job.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Clients attached per poll cycle, so a 100k fleet's attach storm never
+/// outruns the service's bounded inbound queues.
+const CONNECT_WAVE: usize = 2_048;
+
+/// Corridor length shared by every tier: load scales in clients, not
+/// sections.
+const SECTIONS: usize = 32;
+
+/// Wall-clock safety valve per tier.
+const TIER_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One measured tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServicePoint {
+    /// Transport: `"loopback"` or `"uds"`.
+    pub transport: &'static str,
+    /// Simulated client count.
+    pub clients: usize,
+    /// Best-response updates applied.
+    pub updates: usize,
+    /// Offers put on the wire (first sends plus retransmissions).
+    pub offers: usize,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// `offers / seconds`.
+    pub offers_per_sec: f64,
+    /// Median offer round-trip, microseconds (issue → reply accepted).
+    pub latency_p50_us: f64,
+    /// 95th-percentile offer round-trip, microseconds.
+    pub latency_p95_us: f64,
+    /// 99th-percentile offer round-trip, microseconds.
+    pub latency_p99_us: f64,
+    /// Sessions evicted (a load tier must run a clean protocol).
+    pub evicted: usize,
+    /// Whether the game converged within the tier's update budget.
+    pub converged: bool,
+}
+
+impl ServicePoint {
+    /// Serializes the point as one JSON object with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"transport\":\"{}\",\"clients\":{},\"updates\":{},\"offers\":{},\
+             \"seconds\":{:.6},\"offers_per_sec\":{:.1},\"latency_p50_us\":{:.1},\
+             \"latency_p95_us\":{:.1},\"latency_p99_us\":{:.1},\"evicted\":{},\
+             \"converged\":{}}}",
+            self.transport,
+            self.clients,
+            self.updates,
+            self.offers,
+            self.seconds,
+            self.offers_per_sec,
+            self.latency_p50_us,
+            self.latency_p95_us,
+            self.latency_p99_us,
+            self.evicted,
+            self.converged
+        )
+    }
+}
+
+/// Update budget for a tier: roughly two best responses per client, capped
+/// so the 100k tier stays CI-sized.
+fn update_budget(clients: usize) -> usize {
+    (2 * clients).min(100_000)
+}
+
+/// Service tuning for a load tier: a wide offer window (throughput, not
+/// the window-1 bit-identity mode), generous deadlines so a loaded CI
+/// runner never trips spurious retries, and inbound queues sized to the
+/// connect wave.
+fn tier_config(clients: usize) -> ServiceConfig {
+    let defaults = ServiceConfig::default();
+    ServiceConfig {
+        session: oes_game::SessionConfig {
+            window: clients.min(1_024),
+            max_updates: update_budget(clients),
+            offer_timeout: Duration::from_secs(2),
+            ..defaults.session
+        },
+        global_queue: 8 * CONNECT_WAVE,
+        ..defaults
+    }
+}
+
+struct TierGauges {
+    updates: usize,
+    offers: usize,
+    evicted: usize,
+    converged: bool,
+    latency: Option<(f64, f64, f64)>,
+}
+
+fn latency_summary(ring: &RingBufferRecorder) -> Option<(f64, f64, f64)> {
+    histogram_summaries(&ring.events())
+        .into_iter()
+        .find(|h| h.name == "service.latency")
+        .map(|h| (h.p50, h.p95, h.p99))
+}
+
+fn point(transport: &'static str, clients: usize, seconds: f64, g: TierGauges) -> ServicePoint {
+    let (p50, p95, p99) = g.latency.unwrap_or((0.0, 0.0, 0.0));
+    ServicePoint {
+        transport,
+        clients,
+        updates: g.updates,
+        offers: g.offers,
+        seconds,
+        offers_per_sec: g.offers as f64 / seconds.max(1e-12),
+        latency_p50_us: p50,
+        latency_p95_us: p95,
+        latency_p99_us: p99,
+        evicted: g.evicted,
+        converged: g.converged,
+    }
+}
+
+/// Measures one loopback tier: the whole fleet and the service in one
+/// thread over in-memory pipes, timestamps from a real monotonic clock.
+#[must_use]
+pub fn measure_loopback(clients: usize) -> ServicePoint {
+    let mut game = GameBuilder::new()
+        .sections(SECTIONS, Kilowatts::new(60.0))
+        .olevs(clients, Kilowatts::new(50.0))
+        .build()
+        .expect("valid scenario");
+    let cost = *game.cost();
+    let caps = game.caps().to_vec();
+    let p_max = game.p_max().to_vec();
+    let scheduler = game.scheduler();
+    let ring = Arc::new(RingBufferRecorder::new(1 << 18));
+    let telemetry = Telemetry::new(ring.clone());
+    let mut fleet: Vec<ClientSession> = (0..clients)
+        .map(|olev| {
+            let responder = BestResponder::new(
+                Box::new(LogSatisfaction::new(1.0)),
+                cost,
+                caps.clone(),
+                p_max[olev],
+                scheduler,
+            );
+            ClientSession::new(
+                olev,
+                Box::new(responder),
+                ClientConfig::default(),
+                Telemetry::disabled(),
+            )
+        })
+        .collect();
+    let mut service = CoordinatorService::new(&mut game, tier_config(clients), telemetry);
+    let clock = MonotonicClock::new();
+    let start = Instant::now();
+    let mut connected = 0;
+    loop {
+        let now = clock.now_micros();
+        let wave = (connected + CONNECT_WAVE).min(clients);
+        for session in &mut fleet[connected..wave] {
+            let (client_end, server_end) = loopback_pair(1 << 16);
+            service.accept(Box::new(server_end));
+            session.connect(Box::new(client_end), now);
+        }
+        connected = wave;
+        for session in &mut fleet {
+            session.poll(now);
+        }
+        let status = service.poll(clock.now_micros());
+        let now = clock.now_micros();
+        for session in &mut fleet {
+            session.poll(now);
+        }
+        if status == ServiceStatus::Done || start.elapsed() > TIER_TIMEOUT {
+            break;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let gauges = TierGauges {
+        updates: 0,
+        offers: service.report().offers_sent,
+        evicted: service.report().evictions.len(),
+        converged: service.converged(),
+        latency: latency_summary(&ring),
+    };
+    let updates = match service.finish() {
+        Ok(outcome) => outcome.updates(),
+        Err(_) => 0,
+    };
+    point(
+        "loopback",
+        clients,
+        seconds,
+        TierGauges { updates, ..gauges },
+    )
+}
+
+/// Measures the Unix-domain-socket tier: the server accept loop on this
+/// thread, the whole client fleet polled on a second thread over real
+/// sockets.
+#[cfg(unix)]
+#[must_use]
+pub fn measure_uds(clients: usize) -> ServicePoint {
+    use oes_service::{serve_uds, unix_stream};
+
+    let path = std::env::temp_dir().join(format!(
+        "oes-bench-service-{}-{clients}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind UDS");
+    let mut game = GameBuilder::new()
+        .sections(SECTIONS, Kilowatts::new(60.0))
+        .olevs(clients, Kilowatts::new(50.0))
+        .build()
+        .expect("valid scenario");
+    let cost = *game.cost();
+    let caps = game.caps().to_vec();
+    let p_max = game.p_max().to_vec();
+    let scheduler = game.scheduler();
+    let ring = Arc::new(RingBufferRecorder::new(1 << 18));
+    let telemetry = Telemetry::new(ring.clone());
+    let client_path = path.clone();
+    let fleet = std::thread::spawn(move || {
+        let clock = MonotonicClock::new();
+        let mut sessions: Vec<ClientSession> = (0..clients)
+            .map(|olev| {
+                let responder = BestResponder::new(
+                    Box::new(LogSatisfaction::new(1.0)),
+                    cost,
+                    caps.clone(),
+                    p_max[olev],
+                    scheduler,
+                );
+                let mut session = ClientSession::new(
+                    olev,
+                    Box::new(responder),
+                    ClientConfig::default(),
+                    Telemetry::disabled(),
+                );
+                let stream = connect_retry(&client_path);
+                session.connect(
+                    Box::new(unix_stream(stream).expect("nonblocking UDS")),
+                    clock.now_micros(),
+                );
+                session
+            })
+            .collect();
+        let deadline = Instant::now() + TIER_TIMEOUT;
+        while sessions.iter().any(|s| !s.is_done() && !s.is_failed()) && Instant::now() < deadline {
+            let now = clock.now_micros();
+            for session in &mut sessions {
+                if !session.is_done() {
+                    session.poll(now);
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    let start = Instant::now();
+    let outcome = serve_uds(
+        &mut game,
+        tier_config(clients),
+        telemetry,
+        &listener,
+        Duration::from_micros(200),
+    );
+    let seconds = start.elapsed().as_secs_f64();
+    fleet.join().expect("client fleet thread");
+    let _ = std::fs::remove_file(&path);
+    let (updates, offers, evicted, converged) = match &outcome {
+        Ok(out) => (
+            out.updates(),
+            out.degradation().offers_sent,
+            out.degradation().evictions.len(),
+            out.converged(),
+        ),
+        Err(_) => (0, 0, 0, false),
+    };
+    point(
+        "uds",
+        clients,
+        seconds,
+        TierGauges {
+            updates,
+            offers,
+            evicted,
+            converged,
+            latency: latency_summary(&ring),
+        },
+    )
+}
+
+/// Blocking UDS connect with retries: a connect burst can transiently
+/// overflow the listener backlog while the accept loop drains it.
+#[cfg(unix)]
+fn connect_retry(path: &std::path::Path) -> std::os::unix::net::UnixStream {
+    for _ in 0..5_000 {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => return stream,
+            Err(_) => std::thread::sleep(Duration::from_micros(500)),
+        }
+    }
+    panic!("UDS connect kept failing at {}", path.display());
+}
+
+/// Measures every tier: the loopback ladder, then the UDS tier (Unix
+/// only).
+#[must_use]
+pub fn measure_tiers() -> Vec<ServicePoint> {
+    let mut points: Vec<ServicePoint> = LOOPBACK_TIERS
+        .iter()
+        .map(|&clients| measure_loopback(clients))
+        .collect();
+    #[cfg(unix)]
+    points.push(measure_uds(UDS_TIER));
+    points
+}
+
+/// Serializes the measured tiers as the `BENCH_service.json` artifact.
+#[must_use]
+pub fn service_summary_json(points: &[ServicePoint]) -> String {
+    let mut out = String::from("{\"bench\":\"service\",\"points\":[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&p.to_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extracts `"offers_per_sec"` for one tier from a JSON artifact (either
+/// `BENCH_service.json` or the committed baseline). Hand-rolled so the
+/// harness stays dependency-free.
+#[must_use]
+pub fn parse_offers_per_sec(json: &str, transport: &str, clients: usize) -> Option<f64> {
+    let marker = format!("\"transport\":\"{transport}\",\"clients\":{clients},");
+    let object = json.split('{').find(|chunk| chunk.contains(&marker))?;
+    let tail = object.split("\"offers_per_sec\":").nth(1)?;
+    let value: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_parses() {
+        let points = vec![ServicePoint {
+            transport: "loopback",
+            clients: 10_000,
+            updates: 20_000,
+            offers: 20_100,
+            seconds: 2.5,
+            offers_per_sec: 8_040.0,
+            latency_p50_us: 180.0,
+            latency_p95_us: 400.0,
+            latency_p99_us: 900.0,
+            evicted: 0,
+            converged: false,
+        }];
+        let json = service_summary_json(&points);
+        assert_eq!(
+            parse_offers_per_sec(&json, "loopback", 10_000),
+            Some(8_040.0)
+        );
+        assert_eq!(parse_offers_per_sec(&json, "uds", 10_000), None);
+        assert_eq!(parse_offers_per_sec(&json, "loopback", 99), None);
+    }
+
+    #[test]
+    fn small_loopback_tier_measures_cleanly() {
+        let p = measure_loopback(8);
+        assert_eq!(p.transport, "loopback");
+        assert_eq!(p.clients, 8);
+        assert!(p.updates > 0, "the run must apply updates");
+        assert!(p.offers > 0);
+        assert!(p.offers_per_sec > 0.0);
+        assert_eq!(p.evicted, 0, "a clean loopback tier must not evict");
+        assert!(p.latency_p50_us <= p.latency_p99_us);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn small_uds_tier_measures_cleanly() {
+        let p = measure_uds(4);
+        assert_eq!(p.transport, "uds");
+        assert_eq!(p.clients, 4);
+        assert!(p.updates > 0);
+        assert!(p.offers > 0);
+        assert_eq!(p.evicted, 0, "a clean UDS tier must not evict");
+    }
+}

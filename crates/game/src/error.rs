@@ -52,6 +52,15 @@ pub enum GameError {
     /// Every OLEV was evicted; the value is the last one removed. A game
     /// with no live players has no welfare to optimize.
     OlevEvicted(usize),
+    /// Bytes on the wire failed to decode into a protocol frame — a bad
+    /// checksum, a truncated stream, an oversized length prefix, or a
+    /// payload the token codec rejected. The transport layer resynchronizes
+    /// and the offending session takes a strike; this variant surfaces when
+    /// the damage has to be reported upward.
+    MalformedFrame {
+        /// What the framing or codec layer rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GameError {
@@ -81,6 +90,9 @@ impl fmt::Display for GameError {
                     f,
                     "all OLEVs evicted (last was OLEV {n}); no live players remain"
                 )
+            }
+            Self::MalformedFrame { detail } => {
+                write!(f, "malformed protocol frame: {detail}")
             }
         }
     }
@@ -134,5 +146,11 @@ mod tests {
 
         let w = GameError::WorkerFailed("olev 1 panicked: boom".into());
         assert!(w.to_string().contains("boom"));
+
+        let m = GameError::MalformedFrame {
+            detail: "checksum mismatch".into(),
+        };
+        assert!(m.to_string().contains("malformed"));
+        assert!(m.to_string().contains("checksum mismatch"));
     }
 }

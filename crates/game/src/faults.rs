@@ -426,6 +426,29 @@ impl DegradationReport {
         let gone = self.evicted();
         (0..n).filter(|i| !gone.contains(i)).collect()
     }
+
+    /// Folds another report into this one: every counter sums, and the
+    /// eviction lists interleave in `at_update` order (ties keep `self`'s
+    /// entries first). A deployment that runs the protocol core behind a
+    /// transport accumulates degradation in *two* places — the session
+    /// layer (shed, disconnected, malformed-frame evictions) and the
+    /// in-process core — and callers previously had to pick one; merging
+    /// yields a single account of the whole run.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        self.offers_sent += other.offers_sent;
+        self.drops += other.drops;
+        self.duplicates += other.duplicates;
+        self.stale += other.stale;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.invalid_replies += other.invalid_replies;
+        self.clamped_replies += other.clamped_replies;
+        self.hellos += other.hellos;
+        self.goodbyes += other.goodbyes;
+        self.conflicts += other.conflicts;
+        self.evictions.extend(other.evictions.iter().cloned());
+        self.evictions.sort_by_key(|e| e.at_update);
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +570,61 @@ mod tests {
         assert!(!r.is_clean());
         assert_eq!(r.evicted(), vec![2]);
         assert_eq!(r.survivors(4), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_interleaves_evictions() {
+        let mut service_side = DegradationReport {
+            offers_sent: 10,
+            drops: 1,
+            retries: 2,
+            timeouts: 3,
+            hellos: 4,
+            ..DegradationReport::default()
+        };
+        service_side.evictions.push(Eviction {
+            olev: 0,
+            at_update: 5,
+            reason: EvictionReason::Unresponsive,
+        });
+        service_side.evictions.push(Eviction {
+            olev: 3,
+            at_update: 20,
+            reason: EvictionReason::Departed,
+        });
+        let mut in_process = DegradationReport {
+            offers_sent: 7,
+            duplicates: 2,
+            stale: 1,
+            invalid_replies: 1,
+            clamped_replies: 1,
+            goodbyes: 4,
+            conflicts: 1,
+            ..DegradationReport::default()
+        };
+        in_process.evictions.push(Eviction {
+            olev: 1,
+            at_update: 9,
+            reason: EvictionReason::Misbehaving,
+        });
+        service_side.merge(&in_process);
+        assert_eq!(service_side.offers_sent, 17);
+        assert_eq!(service_side.drops, 1);
+        assert_eq!(service_side.duplicates, 2);
+        assert_eq!(service_side.stale, 1);
+        assert_eq!(service_side.retries, 2);
+        assert_eq!(service_side.timeouts, 3);
+        assert_eq!(service_side.invalid_replies, 1);
+        assert_eq!(service_side.clamped_replies, 1);
+        assert_eq!(service_side.hellos, 4);
+        assert_eq!(service_side.goodbyes, 4);
+        assert_eq!(service_side.conflicts, 1);
+        assert_eq!(service_side.evicted(), vec![0, 1, 3], "at_update order");
+
+        // Merging an empty report is the identity.
+        let snapshot = service_side.clone();
+        service_side.merge(&DegradationReport::default());
+        assert_eq!(service_side, snapshot);
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod revenue;
 pub mod routing;
 pub mod satisfaction;
 pub mod schedule;
+pub mod session;
 pub mod state;
 pub mod waterfill;
 
@@ -102,5 +103,8 @@ pub use revenue::{revenue_report, RevenueReport};
 pub use routing::{RouteChoice, RouteOption, RoutingEconomics, RoutingEquilibrium};
 pub use satisfaction::{LogSatisfaction, Satisfaction, SqrtSatisfaction};
 pub use schedule::PowerSchedule;
+pub use session::{
+    OutboundOffer, ReplyDisposition, SessionConfig, SessionCoordinator, MAX_STRIKES,
+};
 pub use state::ScheduleState;
 pub use waterfill::{greedy_fill, water_level, waterfill, Allocation};

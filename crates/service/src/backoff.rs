@@ -1,0 +1,166 @@
+//! Retry pacing: exponential backoff with deterministic seeded jitter.
+//!
+//! Clients re-dial a lost coordinator with exponentially growing pauses so
+//! a restarting server is not stampeded, plus jitter so a fleet of clients
+//! that died together does not come back in lockstep. Two properties are
+//! load-bearing and tested:
+//!
+//! - **Deterministic per seed.** The jitter is a pure function of
+//!   `(seed, attempt)` via SplitMix64 — the same chaos-test seed replays
+//!   the same reconnect schedule, byte for byte.
+//! - **Strictly bounded.** No delay ever exceeds the configured cap, and a
+//!   zero base produces a schedule of all zeros — the virtual-clock test
+//!   path never sleeps at all.
+
+/// SplitMix64: the same tiny, high-quality mixer the fault plans use to
+/// derive per-event randomness from a seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An exponential backoff schedule with seeded jitter.
+///
+/// Attempt `k` waits `min(cap, base·2^min(k,20)) ± 25%` (jittered
+/// deterministically from the seed), re-clamped to `cap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry delay, microseconds. Zero disables waiting entirely.
+    pub base_us: u64,
+    /// Hard upper bound on any single delay, microseconds.
+    pub cap_us: u64,
+    /// Jitter seed; same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Backoff {
+    /// A schedule for tests on the virtual clock: all delays are zero, so
+    /// nothing ever sleeps.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            base_us: 0,
+            cap_us: 0,
+            seed: 0,
+        }
+    }
+
+    /// The delay before retry `attempt` (0-based), microseconds.
+    #[must_use]
+    pub fn delay_us(&self, attempt: u32) -> u64 {
+        if self.base_us == 0 {
+            return 0;
+        }
+        let exp = self
+            .base_us
+            .saturating_mul(1u64 << u64::from(attempt.min(20)));
+        let nominal = exp.min(self.cap_us);
+        // ±25% jitter, deterministic in (seed, attempt).
+        let span = nominal / 2;
+        if span == 0 {
+            return nominal;
+        }
+        let r = splitmix64(self.seed ^ (u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407)));
+        let offset = r % (span + 1);
+        (nominal - span / 2 + offset).min(self.cap_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = Backoff {
+            base_us: 1_000,
+            cap_us: 64_000,
+            seed: 42,
+        };
+        let b = a;
+        for attempt in 0..32 {
+            assert_eq!(a.delay_us(attempt), b.delay_us(attempt));
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = Backoff {
+            base_us: 1_000,
+            cap_us: 1 << 40,
+            seed: 1,
+        };
+        let b = Backoff { seed: 2, ..a };
+        let diverges = (0..32).any(|k| a.delay_us(k) != b.delay_us(k));
+        assert!(
+            diverges,
+            "independent seeds should produce different jitter"
+        );
+    }
+
+    #[test]
+    fn every_delay_is_bounded_by_the_cap() {
+        for seed in 0..50 {
+            let backoff = Backoff {
+                base_us: 777,
+                cap_us: 10_000,
+                seed,
+            };
+            for attempt in 0..64 {
+                assert!(
+                    backoff.delay_us(attempt) <= backoff.cap_us,
+                    "seed {seed} attempt {attempt} exceeded the cap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delays_grow_roughly_exponentially_until_the_cap() {
+        let backoff = Backoff {
+            base_us: 1_000,
+            cap_us: 1 << 40,
+            seed: 9,
+        };
+        // Nominal (pre-jitter) doubling: attempt k is within ±25% of
+        // base·2^k, so attempt k+2 strictly exceeds attempt k.
+        for k in 0..18 {
+            assert!(
+                backoff.delay_us(k + 2) > backoff.delay_us(k),
+                "attempt {} should outgrow attempt {k}",
+                k + 2
+            );
+        }
+    }
+
+    #[test]
+    fn zero_base_never_waits() {
+        let backoff = Backoff::none();
+        for attempt in 0..64 {
+            assert_eq!(backoff.delay_us(attempt), 0, "virtual path must not sleep");
+        }
+        let seeded_zero = Backoff {
+            base_us: 0,
+            cap_us: 1_000_000,
+            seed: 1234,
+        };
+        for attempt in 0..64 {
+            assert_eq!(seeded_zero.delay_us(attempt), 0);
+        }
+    }
+
+    #[test]
+    fn attempt_exponent_saturates_instead_of_overflowing() {
+        let backoff = Backoff {
+            base_us: u64::MAX / 2,
+            cap_us: u64::MAX,
+            seed: 5,
+        };
+        // Would overflow without saturation; must stay within the cap.
+        assert!(backoff.delay_us(63) <= backoff.cap_us);
+        assert!(backoff.delay_us(u32::MAX) <= backoff.cap_us);
+    }
+}

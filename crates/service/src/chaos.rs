@@ -1,0 +1,544 @@
+//! A deterministic socket-level chaos proxy.
+//!
+//! Sits between a client and the coordinator as a frame-aware middlebox:
+//! it reassembles each direction's byte stream into protocol frames, rolls
+//! seeded dice per frame, and re-emits the (possibly abused) bytes toward
+//! the destination. The menu covers the classic network pathologies —
+//!
+//! | knob | effect |
+//! |---|---|
+//! | drop | frame vanishes |
+//! | delay | frame delivered `delay_ms` late |
+//! | duplicate | frame delivered twice |
+//! | reorder | frame held back so its successor overtakes it |
+//! | corrupt | one payload byte flipped (checksum will catch it) |
+//! | cut | only a prefix of the frame's bytes delivered (mid-frame cut) |
+//! | partition | time windows in which *everything* is dropped |
+//! | slow-loris | at most N bytes delivered per pump |
+//!
+//! Drop, delay, and duplicate reuse the PR 1 [`FaultPlan`] vocabulary
+//! verbatim (`uplink(direction, frame_index, 0)`), so a chaos scenario is
+//! described in the same terms whether it is injected in-process or at the
+//! socket. The rest draw from SplitMix64 streams keyed by
+//! `(seed, knob, direction, frame_index)` — pure functions of the event
+//! coordinates, so the same seed replays the same abuse byte for byte, and
+//! **nothing ever sleeps**: delays are stamped as virtual due-times and
+//! released when [`ChaosProxy::pump`] observes the clock has passed them.
+
+use std::collections::VecDeque;
+
+use oes_game::FaultPlan;
+use oes_wpt::framing::{frame_tokens, FrameDecoder};
+
+use crate::transport::{loopback_pair, ByteStream, LoopbackPipe};
+
+/// Domain tags decorrelating the proxy's dice streams.
+const DOMAIN_CORRUPT: u64 = 0xC0;
+const DOMAIN_CUT: u64 = 0xC1;
+const DOMAIN_REORDER: u64 = 0xC2;
+const DOMAIN_BYTE: u64 = 0xC3;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The proxy's full fault menu. [`Default`] is a transparent proxy.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Drop/delay/duplicate verdicts, in the PR 1 fault-plan vocabulary.
+    /// `None` forwards every frame immediately, exactly once.
+    pub plan: Option<FaultPlan>,
+    /// Per-frame probability of flipping one payload byte.
+    pub corrupt_probability: f64,
+    /// Per-frame probability of delivering only a prefix (mid-frame cut).
+    pub cut_probability: f64,
+    /// Per-frame probability of holding the frame back so its successor
+    /// overtakes it.
+    pub reorder_probability: f64,
+    /// How long a reordered frame is held, microseconds.
+    pub reorder_hold_us: u64,
+    /// `[start_us, end_us)` windows during which every frame is dropped.
+    pub partitions: Vec<(u64, u64)>,
+    /// Maximum bytes delivered per direction per [`ChaosProxy::pump`]
+    /// (0 = unlimited). Small values starve the receiver: slow-loris.
+    pub slowloris_bytes_per_pump: usize,
+    /// Seed for the proxy's own dice (corrupt/cut/reorder/byte-choice).
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// A transparent proxy: every frame forwarded immediately, unchanged.
+    #[must_use]
+    pub fn transparent() -> Self {
+        Self::default()
+    }
+}
+
+/// Counters of everything the proxy did, per direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Frames forwarded (possibly damaged, possibly late).
+    pub forwarded: u64,
+    /// Frames dropped by verdict or partition.
+    pub dropped: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Frames stamped with a nonzero delivery delay.
+    pub delayed: u64,
+    /// Frames with a flipped payload byte.
+    pub corrupted: u64,
+    /// Frames delivered as a bare prefix.
+    pub cut: u64,
+    /// Frames held back behind their successor.
+    pub reordered: u64,
+}
+
+/// A frame staged for future delivery.
+#[derive(Debug)]
+struct Staged {
+    due_us: u64,
+    stage_id: u64,
+    bytes: Vec<u8>,
+}
+
+/// One direction of the proxy.
+#[derive(Debug)]
+struct Direction {
+    decoder: FrameDecoder,
+    frames_seen: u64,
+    next_stage_id: u64,
+    staged: Vec<Staged>,
+    outbox: VecDeque<u8>,
+    stats: ChaosStats,
+    peer_closed: bool,
+}
+
+impl Direction {
+    fn new() -> Self {
+        Self {
+            decoder: FrameDecoder::new(),
+            frames_seen: 0,
+            next_stage_id: 0,
+            staged: Vec::new(),
+            outbox: VecDeque::new(),
+            stats: ChaosStats::default(),
+            peer_closed: false,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.staged.is_empty() && self.outbox.is_empty()
+    }
+}
+
+/// Direction indices for the fault-plan's `olev` coordinate.
+const UP: usize = 0;
+const DOWN: usize = 1;
+
+/// The middlebox. Build with [`ChaosProxy::new`], hand the returned outer
+/// pipes to the client and server, and call [`pump`](Self::pump) from the
+/// harness loop with the current virtual time.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    cfg: ChaosConfig,
+    client_side: LoopbackPipe,
+    server_side: LoopbackPipe,
+    up: Direction,
+    down: Direction,
+}
+
+impl ChaosProxy {
+    /// Builds a proxy with `capacity`-byte pipes on both sides. Returns
+    /// `(proxy, client_end, server_end)`.
+    #[must_use]
+    pub fn new(cfg: ChaosConfig, capacity: usize) -> (Self, LoopbackPipe, LoopbackPipe) {
+        let (client_end, client_side) = loopback_pair(capacity);
+        let (server_end, server_side) = loopback_pair(capacity);
+        (
+            Self {
+                cfg,
+                client_side,
+                server_side,
+                up: Direction::new(),
+                down: Direction::new(),
+            },
+            client_end,
+            server_end,
+        )
+    }
+
+    /// Client-to-server statistics.
+    #[must_use]
+    pub fn up_stats(&self) -> ChaosStats {
+        self.up.stats
+    }
+
+    /// Server-to-client statistics.
+    #[must_use]
+    pub fn down_stats(&self) -> ChaosStats {
+        self.down.stats
+    }
+
+    /// Whether anything is still staged or buffered for delivery.
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.up.idle() && self.down.idle()
+    }
+
+    /// Applies the menu to one reassembled frame and stages the survivors.
+    fn abuse_frame(
+        cfg: &ChaosConfig,
+        dir: &mut Direction,
+        which: usize,
+        now_us: u64,
+        bytes: Vec<u8>,
+    ) {
+        let idx = dir.frames_seen;
+        dir.frames_seen += 1;
+
+        // Partition: everything in the window vanishes.
+        let partitioned = cfg
+            .partitions
+            .iter()
+            .any(|&(start, end)| now_us >= start && now_us < end);
+        if partitioned {
+            dir.stats.dropped += 1;
+            return;
+        }
+
+        // PR 1 vocabulary: drop / duplicate / delay.
+        let verdict = cfg.plan.as_ref().map(|p| p.uplink(which, idx, 0));
+        if verdict.as_ref().is_some_and(|v| v.dropped) {
+            dir.stats.dropped += 1;
+            return;
+        }
+        let mut due_us = now_us;
+        if let Some(v) = &verdict {
+            if v.delay_ms > 0 {
+                dir.stats.delayed += 1;
+                due_us = now_us.saturating_add(v.delay_ms.saturating_mul(1_000));
+            }
+        }
+        let copies = if verdict.as_ref().is_some_and(|v| v.duplicated) {
+            dir.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+
+        // The proxy's own dice: corrupt, cut, reorder.
+        let dice = |domain: u64| {
+            unit(splitmix64(
+                cfg.seed ^ domain.rotate_left(32) ^ ((which as u64) << 20) ^ idx,
+            ))
+        };
+        let mut bytes = bytes;
+        if cfg.corrupt_probability > 0.0 && dice(DOMAIN_CORRUPT) < cfg.corrupt_probability {
+            // Flip a byte past the magic so the receiver's resync gets a
+            // realistic damaged frame; the checksum rejects it.
+            let r = splitmix64(cfg.seed ^ DOMAIN_BYTE.rotate_left(32) ^ idx);
+            let pos = 2 + (r as usize % bytes.len().saturating_sub(2).max(1));
+            let pos = pos.min(bytes.len() - 1);
+            bytes[pos] ^= 0x55;
+            dir.stats.corrupted += 1;
+        }
+        if cfg.cut_probability > 0.0 && dice(DOMAIN_CUT) < cfg.cut_probability {
+            // Keep a strict prefix: at least one byte, never the whole
+            // frame. The receiver must resynchronize on the next magic.
+            let r = splitmix64(cfg.seed ^ DOMAIN_CUT.rotate_left(16) ^ idx);
+            let keep = 1 + (r as usize % bytes.len().saturating_sub(1).max(1));
+            bytes.truncate(keep.min(bytes.len() - 1).max(1));
+            dir.stats.cut += 1;
+        }
+        if cfg.reorder_probability > 0.0 && dice(DOMAIN_REORDER) < cfg.reorder_probability {
+            due_us = due_us.saturating_add(cfg.reorder_hold_us.max(1));
+            dir.stats.reordered += 1;
+        }
+
+        for _ in 0..copies {
+            let stage_id = dir.next_stage_id;
+            dir.next_stage_id += 1;
+            dir.staged.push(Staged {
+                due_us,
+                stage_id,
+                bytes: bytes.clone(),
+            });
+        }
+        dir.stats.forwarded += 1;
+    }
+
+    /// Ingests one direction: reads available bytes, reassembles frames,
+    /// applies the menu, stages survivors.
+    fn ingest(
+        cfg: &ChaosConfig,
+        src: &mut LoopbackPipe,
+        dir: &mut Direction,
+        which: usize,
+        now_us: u64,
+    ) {
+        if dir.peer_closed {
+            return;
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            match src.read_some(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => dir.decoder.push(&buf[..n]),
+                Err(_) => {
+                    dir.peer_closed = true;
+                    break;
+                }
+            }
+        }
+        loop {
+            match dir.decoder.next_frame() {
+                Ok(Some(tokens)) => {
+                    // Canonical encoding: re-framing the tokens reproduces
+                    // the sender's exact bytes.
+                    let bytes = frame_tokens(&tokens);
+                    Self::abuse_frame(cfg, dir, which, now_us, bytes);
+                }
+                Ok(None) => break,
+                // The endpoints emit clean frames; damage before the proxy
+                // means a harness bug, but never wedge: drop and move on.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Moves due frames into the outbox and flushes it, honoring the
+    /// slow-loris budget and destination backpressure.
+    fn deliver(cfg: &ChaosConfig, dst: &mut LoopbackPipe, dir: &mut Direction, now_us: u64) {
+        // Release everything due, in (due, stage) order.
+        dir.staged.sort_by_key(|s| (s.due_us, s.stage_id));
+        while dir.staged.first().is_some_and(|s| s.due_us <= now_us) {
+            let s = dir.staged.remove(0);
+            dir.outbox.extend(s.bytes);
+        }
+        let mut budget = if cfg.slowloris_bytes_per_pump == 0 {
+            usize::MAX
+        } else {
+            cfg.slowloris_bytes_per_pump
+        };
+        while budget > 0 && !dir.outbox.is_empty() {
+            let chunk: Vec<u8> = dir.outbox.iter().copied().take(budget.min(4096)).collect();
+            match dst.write_some(&chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    dir.outbox.drain(..n);
+                    budget -= n;
+                }
+                Err(_) => {
+                    dir.outbox.clear();
+                    dir.staged.clear();
+                    break;
+                }
+            }
+        }
+        if dir.peer_closed && dir.idle() {
+            dst.close();
+        }
+    }
+
+    /// One proxy cycle at virtual time `now_us`: ingest both directions,
+    /// deliver everything due. Call from the harness loop after advancing
+    /// the clock; never blocks, never sleeps.
+    pub fn pump(&mut self, now_us: u64) {
+        Self::ingest(&self.cfg, &mut self.client_side, &mut self.up, UP, now_us);
+        Self::ingest(
+            &self.cfg,
+            &mut self.server_side,
+            &mut self.down,
+            DOWN,
+            now_us,
+        );
+        Self::deliver(&self.cfg, &mut self.server_side, &mut self.up, now_us);
+        Self::deliver(&self.cfg, &mut self.client_side, &mut self.down, now_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::TransportError;
+    use oes_wpt::framing::encode_frame;
+
+    fn frame_bytes(n: u64) -> Vec<u8> {
+        encode_frame(&(n, format!("payload-{n}"))).unwrap()
+    }
+
+    fn recv_frames(pipe: &mut LoopbackPipe, decoder: &mut FrameDecoder) -> usize {
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = pipe.read_some(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            decoder.push(&buf[..n]);
+        }
+        let mut got = 0;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn transparent_proxy_forwards_everything_in_order() {
+        let (mut proxy, mut client, mut server) =
+            ChaosProxy::new(ChaosConfig::transparent(), 1 << 16);
+        for n in 0..10 {
+            let bytes = frame_bytes(n);
+            assert_eq!(client.write_some(&bytes).unwrap(), bytes.len());
+        }
+        proxy.pump(0);
+        let mut decoder = FrameDecoder::new();
+        assert_eq!(recv_frames(&mut server, &mut decoder), 10);
+        assert_eq!(proxy.up_stats().forwarded, 10);
+        assert_eq!(proxy.up_stats().dropped, 0);
+    }
+
+    #[test]
+    fn same_seed_same_abuse() {
+        let cfg = ChaosConfig {
+            plan: Some(FaultPlan::new(7).drop_probability(0.3).max_delay_ms(5)),
+            corrupt_probability: 0.2,
+            cut_probability: 0.1,
+            reorder_probability: 0.2,
+            reorder_hold_us: 1_500,
+            seed: 99,
+            ..ChaosConfig::default()
+        };
+        let run = |cfg: ChaosConfig| {
+            let (mut proxy, mut client, mut server) = ChaosProxy::new(cfg, 1 << 16);
+            for n in 0..50 {
+                let bytes = frame_bytes(n);
+                client.write_some(&bytes).unwrap();
+            }
+            let mut decoder = FrameDecoder::new();
+            let mut got = 0;
+            for t in 0..20 {
+                proxy.pump(t * 1_000);
+                got += recv_frames(&mut server, &mut decoder);
+            }
+            (got, proxy.up_stats(), decoder.rejected_total())
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a, b, "same seed must replay the same fault trace");
+        assert!(a.1.dropped > 0, "the dice should actually drop something");
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let cfg = ChaosConfig {
+            partitions: vec![(0, 10_000)],
+            ..ChaosConfig::default()
+        };
+        let (mut proxy, mut client, mut server) = ChaosProxy::new(cfg, 1 << 16);
+        client.write_some(&frame_bytes(1)).unwrap();
+        proxy.pump(5_000); // inside the window: dropped
+        client.write_some(&frame_bytes(2)).unwrap();
+        proxy.pump(20_000); // healed
+        let mut decoder = FrameDecoder::new();
+        assert_eq!(recv_frames(&mut server, &mut decoder), 1);
+        assert_eq!(proxy.up_stats().dropped, 1);
+        assert_eq!(proxy.up_stats().forwarded, 1);
+    }
+
+    #[test]
+    fn slowloris_trickles_bytes_across_pumps() {
+        let cfg = ChaosConfig {
+            slowloris_bytes_per_pump: 3,
+            ..ChaosConfig::default()
+        };
+        let (mut proxy, mut client, mut server) = ChaosProxy::new(cfg, 1 << 16);
+        let bytes = frame_bytes(1);
+        client.write_some(&bytes).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut pumps = 0;
+        let mut got = 0;
+        while got == 0 && pumps < 1_000 {
+            proxy.pump(pumps);
+            got = recv_frames(&mut server, &mut decoder);
+            pumps += 1;
+        }
+        assert_eq!(got, 1, "the frame eventually arrives whole");
+        assert!(
+            pumps as usize >= bytes.len() / 3,
+            "3 bytes per pump needs at least len/3 pumps"
+        );
+    }
+
+    #[test]
+    fn corruption_is_caught_by_the_receivers_checksum() {
+        let cfg = ChaosConfig {
+            corrupt_probability: 1.0,
+            seed: 5,
+            ..ChaosConfig::default()
+        };
+        let (mut proxy, mut client, mut server) = ChaosProxy::new(cfg, 1 << 16);
+        for n in 0..5 {
+            client.write_some(&frame_bytes(n)).unwrap();
+        }
+        proxy.pump(0);
+        let mut decoder = FrameDecoder::new();
+        let got = recv_frames(&mut server, &mut decoder);
+        assert_eq!(got, 0, "every frame was damaged");
+        assert!(decoder.rejected_total() > 0 || decoder.skipped_total() > 0);
+        assert_eq!(proxy.up_stats().corrupted, 5);
+    }
+
+    #[test]
+    fn mid_frame_cut_loses_the_frame_but_not_the_stream() {
+        let cfg = ChaosConfig {
+            cut_probability: 1.0,
+            seed: 11,
+            ..ChaosConfig::default()
+        };
+        let (mut proxy_c, mut client, mut server) = ChaosProxy::new(cfg, 1 << 16);
+        client.write_some(&frame_bytes(1)).unwrap();
+        proxy_c.pump(0);
+        // Heal the link (new transparent proxy semantics): subsequent clean
+        // frame still decodes after the decoder resynchronizes.
+        let mut decoder = FrameDecoder::new();
+        assert_eq!(recv_frames(&mut server, &mut decoder), 0, "prefix only");
+        // Push a clean frame straight into the same decoder stream.
+        decoder.push(&frame_bytes(2));
+        let mut got = 0;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        assert_eq!(got, 1, "stream recovers at the next magic");
+        assert_eq!(proxy_c.up_stats().cut, 1);
+    }
+
+    #[test]
+    fn closed_client_end_propagates_to_the_server_after_draining() {
+        let (mut proxy, mut client, mut server) =
+            ChaosProxy::new(ChaosConfig::transparent(), 1 << 16);
+        client.write_some(&frame_bytes(1)).unwrap();
+        client.close();
+        proxy.pump(0);
+        let mut decoder = FrameDecoder::new();
+        assert_eq!(recv_frames(&mut server, &mut decoder), 1, "drains first");
+        proxy.pump(1);
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read_some(&mut buf), Err(TransportError::Closed));
+    }
+}

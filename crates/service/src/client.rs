@@ -1,0 +1,441 @@
+//! The OLEV client: a session handle over any [`ByteStream`].
+//!
+//! A [`ClientSession`] owns one vehicle's side of the protocol: it attaches
+//! (and re-attaches) to the coordinator, answers payment-function offers
+//! through a pluggable [`Responder`], respects the propagated per-offer
+//! time budget, and survives transport death with bounded retries and
+//! seeded exponential [`Backoff`]. Like the server it is sans-clock —
+//! [`poll`](ClientSession::poll) takes explicit time and never sleeps, so
+//! chaos tests drive whole client fleets on a virtual clock.
+
+use std::collections::VecDeque;
+
+use oes_game::{best_response, Satisfaction, Scheduler, SectionCost};
+use oes_telemetry::Telemetry;
+use oes_units::{Kilowatts, MetersPerSecond, OlevId, StateOfCharge};
+use oes_wpt::framing::{encode_frame, FrameDecoder};
+use oes_wpt::v2i::{GridMessage, OlevMessage, V2iFrame};
+
+use crate::backoff::Backoff;
+use crate::messages::{decode_server_frame, ClientToServer, ServerToClient};
+use crate::transport::ByteStream;
+
+/// Computes a vehicle's answer to a payment-function offer.
+pub trait Responder {
+    /// The requested total power given the other OLEVs' per-section loads.
+    fn respond(&mut self, loads_excl: &[f64]) -> f64;
+}
+
+/// The honest responder: the paper's best response against the offered
+/// loads, holding the satisfaction function privately on the client side.
+pub struct BestResponder {
+    satisfaction: Box<dyn Satisfaction>,
+    cost: SectionCost,
+    caps: Vec<f64>,
+    p_max: f64,
+    scheduler: Scheduler,
+}
+
+impl BestResponder {
+    /// Builds a responder from the vehicle's private pieces.
+    #[must_use]
+    pub fn new(
+        satisfaction: Box<dyn Satisfaction>,
+        cost: SectionCost,
+        caps: Vec<f64>,
+        p_max: f64,
+        scheduler: Scheduler,
+    ) -> Self {
+        Self {
+            satisfaction,
+            cost,
+            caps,
+            p_max,
+            scheduler,
+        }
+    }
+}
+
+impl core::fmt::Debug for BestResponder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BestResponder")
+            .field("p_max", &self.p_max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Responder for BestResponder {
+    fn respond(&mut self, loads_excl: &[f64]) -> f64 {
+        best_response(
+            self.satisfaction.as_ref(),
+            &self.cost,
+            &self.caps,
+            loads_excl,
+            self.p_max,
+            self.scheduler,
+        )
+        .total
+    }
+}
+
+/// Knobs of a [`ClientSession`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Reconnect pacing. [`Backoff::none`] never waits (virtual-clock
+    /// tests).
+    pub backoff: Backoff,
+    /// Reconnect attempts before the client gives up for good.
+    pub max_connect_attempts: u32,
+    /// Silence on an attached session before the client declares the
+    /// transport dead and fails over to a reconnect (0 = never).
+    pub idle_timeout_us: u64,
+    /// Virtual time the responder "thinks" before answering an offer —
+    /// answers later than the propagated budget are dropped client-side.
+    pub respond_delay_us: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            backoff: Backoff::none(),
+            max_connect_attempts: 8,
+            idle_timeout_us: 0,
+            respond_delay_us: 0,
+        }
+    }
+}
+
+/// What one client saw, for assertions and load reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Offers answered with a best response.
+    pub offers_answered: u64,
+    /// Offers dropped client-side because the time budget had lapsed.
+    pub budget_expired: u64,
+    /// `PaymentUpdate`s received.
+    pub updates_received: u64,
+    /// Typed shed responses received.
+    pub sheds: u64,
+    /// `Welcome`s received (one per successful attach).
+    pub welcomes: u64,
+    /// Transport deaths survived (reconnects scheduled).
+    pub disconnects: u64,
+    /// Frames from the server the codec rejected.
+    pub malformed: u64,
+}
+
+/// An offer waiting out the responder's virtual think time.
+#[derive(Debug)]
+struct QueuedOffer {
+    due_us: u64,
+    received_at_us: u64,
+    budget_us: u64,
+    seq: u64,
+    loads_excl: Vec<f64>,
+}
+
+/// One OLEV's connection-surviving session handle.
+pub struct ClientSession {
+    olev: usize,
+    responder: Box<dyn Responder>,
+    config: ClientConfig,
+    telemetry: Telemetry,
+    stream: Option<Box<dyn ByteStream>>,
+    decoder: FrameDecoder,
+    outbox: VecDeque<u8>,
+    queued: VecDeque<QueuedOffer>,
+    attempts: u32,
+    next_connect_at_us: u64,
+    last_rx_us: u64,
+    muted_until_us: u64,
+    /// Highest offer sequence already answered; carried through reconnects
+    /// so the server can log the resume point.
+    answered: u64,
+    saying_goodbye: bool,
+    done: bool,
+    stats: ClientStats,
+}
+
+impl core::fmt::Debug for ClientSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ClientSession")
+            .field("olev", &self.olev)
+            .field("connected", &self.stream.is_some())
+            .field("done", &self.done)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientSession {
+    /// Builds a detached session; call [`connect`](Self::connect) to give
+    /// it a transport.
+    #[must_use]
+    pub fn new(
+        olev: usize,
+        responder: Box<dyn Responder>,
+        config: ClientConfig,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self {
+            olev,
+            responder,
+            config,
+            telemetry,
+            stream: None,
+            decoder: FrameDecoder::new(),
+            outbox: VecDeque::new(),
+            queued: VecDeque::new(),
+            attempts: 0,
+            next_connect_at_us: 0,
+            last_rx_us: 0,
+            muted_until_us: 0,
+            answered: 0,
+            saying_goodbye: false,
+            done: false,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The session's OLEV index.
+    #[must_use]
+    pub fn olev(&self) -> usize {
+        self.olev
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Whether the session finished cleanly (received `Bye`).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether the client has burned its whole reconnect budget.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        !self.done && self.attempts > self.config.max_connect_attempts
+    }
+
+    /// Whether the harness should hand the session a fresh transport now:
+    /// it is detached, not done, within its retry budget, and its backoff
+    /// pause has elapsed.
+    #[must_use]
+    pub fn needs_reconnect(&self, now_us: u64) -> bool {
+        !self.done
+            && self.stream.is_none()
+            && self.attempts <= self.config.max_connect_attempts
+            && now_us >= self.next_connect_at_us
+    }
+
+    /// When the next reconnect attempt is allowed, microseconds.
+    #[must_use]
+    pub fn next_connect_at_us(&self) -> u64 {
+        self.next_connect_at_us
+    }
+
+    /// Attaches over a fresh transport: sends `Attach` (with the resume
+    /// point) and the paper's `Hello` bring-up in one flight.
+    pub fn connect(&mut self, stream: Box<dyn ByteStream>, now_us: u64) {
+        self.stream = Some(stream);
+        self.decoder = FrameDecoder::new();
+        self.outbox.clear();
+        self.queued.clear();
+        self.last_rx_us = now_us;
+        self.telemetry
+            .counter("service.client.connect", self.olev as i64, 1);
+        self.enqueue(&ClientToServer::Attach {
+            olev: self.olev,
+            resume_from: self.answered,
+        });
+        let hello = OlevMessage::Hello {
+            id: OlevId(self.olev),
+            velocity: MetersPerSecond::new(0.0),
+            soc: StateOfCharge::EMPTY,
+            soc_required: StateOfCharge::FULL,
+        };
+        self.enqueue(&ClientToServer::Reply(V2iFrame::new(0, hello)));
+    }
+
+    fn enqueue(&mut self, msg: &ClientToServer) {
+        if let Ok(bytes) = encode_frame(msg) {
+            self.outbox.extend(bytes);
+        }
+    }
+
+    fn disconnect(&mut self, now_us: u64) {
+        if let Some(mut stream) = self.stream.take() {
+            stream.shutdown();
+        }
+        self.stats.disconnects += 1;
+        self.telemetry
+            .counter("service.client.disconnect", self.olev as i64, 1);
+        let pause = self.config.backoff.delay_us(self.attempts);
+        self.attempts += 1;
+        self.next_connect_at_us = now_us.saturating_add(pause);
+    }
+
+    fn on_frame(&mut self, msg: ServerToClient, now_us: u64) {
+        self.last_rx_us = now_us;
+        match msg {
+            ServerToClient::Welcome { olev } => {
+                if olev == self.olev {
+                    self.stats.welcomes += 1;
+                    // A successful attach resets the failure streak.
+                    self.attempts = 0;
+                }
+            }
+            ServerToClient::Offer { frame, budget_us } => {
+                let GridMessage::PaymentFunction { id, loads_excl } = frame.payload else {
+                    return;
+                };
+                if id.0 != self.olev {
+                    return;
+                }
+                self.queued.push_back(QueuedOffer {
+                    due_us: now_us.saturating_add(self.config.respond_delay_us),
+                    received_at_us: now_us,
+                    budget_us,
+                    seq: frame.seq,
+                    loads_excl: loads_excl.iter().map(|kw| kw.value()).collect(),
+                });
+            }
+            ServerToClient::Update(_) => {
+                self.stats.updates_received += 1;
+            }
+            ServerToClient::Shed {
+                reason: _,
+                retry_after_us,
+            } => {
+                self.stats.sheds += 1;
+                self.telemetry
+                    .counter("service.client.shed", self.olev as i64, 1);
+                self.muted_until_us = now_us.saturating_add(retry_after_us);
+            }
+            ServerToClient::Bye => {
+                self.saying_goodbye = true;
+                self.enqueue(&ClientToServer::Reply(V2iFrame::new(
+                    0,
+                    OlevMessage::Goodbye {
+                        id: OlevId(self.olev),
+                    },
+                )));
+            }
+        }
+    }
+
+    /// Answers every queued offer that is due and still within its budget.
+    fn answer_due(&mut self, now_us: u64) {
+        if now_us < self.muted_until_us {
+            return;
+        }
+        while self.queued.front().is_some_and(|q| q.due_us <= now_us) {
+            let q = self.queued.pop_front().expect("checked above");
+            let elapsed = now_us.saturating_sub(q.received_at_us);
+            if elapsed > q.budget_us {
+                // The propagated deadline has lapsed: a reply now would be
+                // discarded as stale server-side, so save the bytes.
+                self.stats.budget_expired += 1;
+                self.telemetry
+                    .counter("service.client.budget_expired", self.olev as i64, 1);
+                continue;
+            }
+            let total = self.responder.respond(&q.loads_excl);
+            self.answered = self.answered.max(q.seq);
+            self.stats.offers_answered += 1;
+            self.enqueue(&ClientToServer::Reply(V2iFrame::new(
+                q.seq,
+                OlevMessage::PowerRequest {
+                    id: OlevId(self.olev),
+                    total: Kilowatts::new(total),
+                },
+            )));
+        }
+    }
+
+    fn flush(&mut self, now_us: u64) {
+        let Some(stream) = self.stream.as_mut() else {
+            return;
+        };
+        let mut dead = false;
+        while !self.outbox.is_empty() {
+            let chunk: Vec<u8> = self.outbox.iter().copied().take(4096).collect();
+            match stream.write_some(&chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.outbox.drain(..n);
+                }
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.disconnect(now_us);
+        } else if self.saying_goodbye && self.outbox.is_empty() {
+            // The goodbye is on the wire; the session is over.
+            if let Some(mut stream) = self.stream.take() {
+                stream.shutdown();
+            }
+            self.done = true;
+        }
+    }
+
+    /// One client cycle at `now_us`: read, react, answer due offers, flush.
+    /// Never blocks, never sleeps.
+    pub fn poll(&mut self, now_us: u64) {
+        if self.done {
+            return;
+        }
+        if self.stream.is_some() {
+            let mut dead = false;
+            {
+                let stream = self.stream.as_mut().expect("checked above");
+                let mut buf = [0u8; 4096];
+                loop {
+                    match stream.read_some(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => self.decoder.push(&buf[..n]),
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if dead {
+                self.disconnect(now_us);
+            }
+        }
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(tokens)) => match decode_server_frame(&tokens) {
+                    Ok(msg) => self.on_frame(msg, now_us),
+                    Err(_) => {
+                        self.stats.malformed += 1;
+                    }
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    self.stats.malformed += 1;
+                }
+            }
+        }
+        // Idle failover: a silent attached transport is a dead one.
+        if self.config.idle_timeout_us > 0
+            && self.stream.is_some()
+            && now_us.saturating_sub(self.last_rx_us) > self.config.idle_timeout_us
+        {
+            self.telemetry
+                .counter("service.client.idle_failover", self.olev as i64, 1);
+            self.disconnect(now_us);
+        }
+        self.answer_due(now_us);
+        self.flush(now_us);
+    }
+}

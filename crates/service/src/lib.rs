@@ -1,0 +1,53 @@
+//! # oes-service — the pricing game as a long-running networked service
+//!
+//! Everything below the `crates/game` line assumes the coordinator and the
+//! OLEVs share a process. This crate removes that assumption: the same
+//! offer/best-response protocol (the same [`oes_game::SessionCoordinator`]
+//! float-op order, the same duplicate/stale/invalid handling) runs over
+//! real byte transports — TCP, Unix-domain sockets, or a deterministic
+//! in-memory loopback — behind a checksummed framing layer.
+//!
+//! The transport stack, top to bottom:
+//!
+//! ```text
+//! SessionCoordinator (oes-game)     the protocol brain, sans-IO
+//!   CoordinatorService / ClientSession   sessions, queues, shedding
+//!     ClientToServer / ServerToClient    service envelopes (this crate)
+//!       oes_wpt::v2i                     the paper's V2I vocabulary
+//!         oes_wpt::framing              length + checksum + resync
+//!           ByteStream                  loopback | TCP | UDS
+//!             [ChaosProxy]              optional seeded fault injection
+//! ```
+//!
+//! The design invariant carried through every layer: **no wall clocks in
+//! the logic**. Server, client, chaos proxy, and backoff all take explicit
+//! `now_us` time and never sleep, so a whole fleet plus a misbehaving
+//! network runs single-threaded on a virtual clock — and a clean loopback
+//! run is bit-identical to the in-process [`oes_game::DistributedGame`].
+//! Real sockets get time from [`oes_telemetry::MonotonicClock`] in the
+//! [`server::serve_tcp`]/[`server::serve_uds`] accept loops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod chaos;
+pub mod client;
+pub mod messages;
+pub mod server;
+pub mod transport;
+
+pub use backoff::Backoff;
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use client::{BestResponder, ClientConfig, ClientSession, ClientStats, Responder};
+pub use messages::{
+    decode_client_frame, decode_server_frame, ClientToServer, ServerToClient, ShedReason,
+};
+#[cfg(unix)]
+pub use server::serve_uds;
+pub use server::{serve_tcp, CoordinatorService, ServiceConfig, ServiceStatus};
+#[cfg(unix)]
+pub use transport::unix_stream;
+pub use transport::{
+    loopback_pair, tcp_stream, ByteStream, LoopbackPipe, SocketStream, TransportError,
+};

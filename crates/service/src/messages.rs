@@ -1,0 +1,209 @@
+//! The service-layer message envelopes.
+//!
+//! The game protocol itself — payment-function offers, best-response power
+//! requests — is [`oes_wpt::v2i`]'s vocabulary, unchanged. A long-running
+//! service needs a thin envelope around it for the things an in-process
+//! runtime never says out loud: *who is this connection* (attach/resume),
+//! *how long do you have* (the propagated deadline budget), *come back
+//! later* (typed load-shedding instead of a silent drop), and *we are done*
+//! (an orderly goodbye). Every envelope rides the PR 1 token codec inside a
+//! checksummed [`oes_wpt::framing`] frame, so the wire format stays one
+//! self-describing stack.
+
+use oes_game::GameError;
+use oes_wpt::framing::decode_tokens;
+use oes_wpt::v2i::{GridMessage, OlevMessage, V2iFrame};
+use oes_wpt::wire::Token;
+
+/// Why the server refused to process a frame right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ShedReason {
+    /// This session's inbound queue is full; the client is sending faster
+    /// than its offers are being served.
+    SessionQueueFull,
+    /// The server-wide inbound budget for this poll cycle is exhausted.
+    GlobalQueueFull,
+    /// The run is over and the server is draining; no new work is accepted.
+    Draining,
+}
+
+impl core::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::SessionQueueFull => write!(f, "session queue full"),
+            Self::GlobalQueueFull => write!(f, "global queue full"),
+            Self::Draining => write!(f, "server draining"),
+        }
+    }
+}
+
+/// Everything an OLEV client says to the coordinator service.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ClientToServer {
+    /// Binds this connection to OLEV `olev`'s session. Sent first on every
+    /// connection — including reconnects, where the server-side session
+    /// (sequence numbers, accepted/abandoned sets) survives the socket and
+    /// resumes idempotently: replies to already-applied offers are
+    /// discarded as duplicates exactly as in-process.
+    Attach {
+        /// The OLEV this connection speaks for.
+        olev: usize,
+        /// The highest offer sequence number the client has already
+        /// answered (0 on a first connection) — purely diagnostic; the
+        /// server's own accepted-set is authoritative.
+        resume_from: u64,
+    },
+    /// A game-protocol message: `Hello`, a `PowerRequest` best response, or
+    /// `Goodbye`.
+    Reply(V2iFrame<OlevMessage>),
+}
+
+/// Everything the coordinator service says to an OLEV client.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ServerToClient {
+    /// Acknowledges an [`ClientToServer::Attach`]; the session is live.
+    Welcome {
+        /// The bound OLEV.
+        olev: usize,
+    },
+    /// A payment-function offer with its propagated time budget: the client
+    /// must answer within `budget_us` of receipt or not at all — a reply
+    /// past the budget would arrive stale and be discarded anyway.
+    Offer {
+        /// The offer frame (`GridMessage::PaymentFunction`).
+        frame: V2iFrame<GridMessage>,
+        /// Remaining time budget, microseconds, measured from receipt.
+        budget_us: u64,
+    },
+    /// A fire-and-forget `PaymentUpdate` closing an accepted reply's loop.
+    Update(V2iFrame<GridMessage>),
+    /// The server refused a frame under load; retry after the given delay.
+    Shed {
+        /// Why the frame was refused.
+        reason: ShedReason,
+        /// Suggested client-side pause before retrying, microseconds.
+        retry_after_us: u64,
+    },
+    /// The run is over; the client should disconnect.
+    Bye,
+}
+
+/// Decodes a client-to-server frame, converting any codec failure into the
+/// typed [`GameError::MalformedFrame`] protocol-violation variant.
+///
+/// # Errors
+///
+/// [`GameError::MalformedFrame`] with the codec's diagnostic.
+pub fn decode_client_frame(tokens: &[Token]) -> Result<ClientToServer, GameError> {
+    decode_tokens(tokens).map_err(|e| GameError::MalformedFrame {
+        detail: e.to_string(),
+    })
+}
+
+/// Decodes a server-to-client frame, converting any codec failure into the
+/// typed [`GameError::MalformedFrame`] protocol-violation variant.
+///
+/// # Errors
+///
+/// [`GameError::MalformedFrame`] with the codec's diagnostic.
+pub fn decode_server_frame(tokens: &[Token]) -> Result<ServerToClient, GameError> {
+    decode_tokens(tokens).map_err(|e| GameError::MalformedFrame {
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oes_units::{Kilowatts, OlevId};
+    use oes_wpt::framing::{decode_tokens, encode_frame, FrameDecoder};
+
+    fn roundtrip_c2s(msg: &ClientToServer) -> ClientToServer {
+        let bytes = encode_frame(msg).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        let tokens = decoder.next_frame().unwrap().unwrap();
+        decode_tokens(&tokens).unwrap()
+    }
+
+    fn roundtrip_s2c(msg: &ServerToClient) -> ServerToClient {
+        let bytes = encode_frame(msg).unwrap();
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&bytes);
+        let tokens = decoder.next_frame().unwrap().unwrap();
+        decode_tokens(&tokens).unwrap()
+    }
+
+    #[test]
+    fn every_envelope_shape_survives_the_wire() {
+        let attach = ClientToServer::Attach {
+            olev: 3,
+            resume_from: 17,
+        };
+        assert_eq!(roundtrip_c2s(&attach), attach);
+
+        let reply = ClientToServer::Reply(V2iFrame::new(
+            9,
+            OlevMessage::PowerRequest {
+                id: OlevId(3),
+                total: Kilowatts::new(12.5),
+            },
+        ));
+        assert_eq!(roundtrip_c2s(&reply), reply);
+
+        let welcome = ServerToClient::Welcome { olev: 3 };
+        assert_eq!(roundtrip_s2c(&welcome), welcome);
+
+        let offer = ServerToClient::Offer {
+            frame: V2iFrame::new(
+                9,
+                GridMessage::PaymentFunction {
+                    id: OlevId(3),
+                    loads_excl: vec![Kilowatts::new(1.0), Kilowatts::new(2.0)],
+                },
+            ),
+            budget_us: 250_000,
+        };
+        assert_eq!(roundtrip_s2c(&offer), offer);
+
+        let update = ServerToClient::Update(V2iFrame::new(
+            9,
+            GridMessage::PaymentUpdate {
+                id: OlevId(3),
+                marginal_price: 0.03,
+                allocated: Kilowatts::new(11.0),
+            },
+        ));
+        assert_eq!(roundtrip_s2c(&update), update);
+
+        for reason in [
+            ShedReason::SessionQueueFull,
+            ShedReason::GlobalQueueFull,
+            ShedReason::Draining,
+        ] {
+            let shed = ServerToClient::Shed {
+                reason,
+                retry_after_us: 1_000,
+            };
+            assert_eq!(roundtrip_s2c(&shed), shed);
+        }
+
+        assert_eq!(roundtrip_s2c(&ServerToClient::Bye), ServerToClient::Bye);
+    }
+
+    #[test]
+    fn codec_failures_become_the_typed_game_error() {
+        // A bare integer is not a valid envelope shape.
+        let tokens = vec![Token::U64(7)];
+        match decode_client_frame(&tokens) {
+            Err(GameError::MalformedFrame { detail }) => {
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected MalformedFrame, got {other:?}"),
+        }
+        match decode_server_frame(&tokens) {
+            Err(GameError::MalformedFrame { .. }) => {}
+            other => panic!("expected MalformedFrame, got {other:?}"),
+        }
+    }
+}

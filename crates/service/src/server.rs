@@ -1,0 +1,555 @@
+//! The coordinator service: the grid side of the game over byte transports.
+//!
+//! [`CoordinatorService`] wraps the transport-free
+//! [`oes_game::SessionCoordinator`] with everything a long-running network
+//! deployment adds: framed connections, attach/resume session binding,
+//! bounded inbound queues with typed load-shedding, malformed-frame
+//! strikes, and an orderly drain. The service is itself sans-clock — drive
+//! [`poll`](CoordinatorService::poll) with explicit microsecond timestamps
+//! (a [`oes_telemetry::ManualClock`] in tests, a monotonic clock in
+//! [`serve_tcp`]/[`serve_uds`]) and nothing in it ever sleeps or blocks.
+//!
+//! # Session model
+//!
+//! A *connection* (one [`ByteStream`]) and a *session* (one OLEV's
+//! protocol state) are deliberately different lifetimes:
+//!
+//! ```text
+//!  socket closed              Attach(olev)
+//! ┌──────────────┐  accept  ┌─────────────┐  Welcome  ┌──────────┐
+//! │ disconnected │ ───────► │   unbound   │ ────────► │  bound   │
+//! └──────────────┘          └─────────────┘           └──────────┘
+//!        ▲                       │ garbage / bad attach     │ socket dies
+//!        │                       ▼                          ▼
+//!        │                   connection closed      session stays live;
+//!        └──────────────────────────────────────── offers expire until the
+//!                     reconnect + Attach            client re-attaches or
+//!                                                   the retry budget evicts
+//! ```
+//!
+//! The session — sequence numbers, accepted/abandoned sets, strikes —
+//! lives in the [`SessionCoordinator`] and survives any number of socket
+//! deaths; a reconnecting client re-attaches and resumes idempotently,
+//! its duplicate replies discarded exactly as in-process.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use oes_game::engine::{Game, Outcome};
+use oes_game::error::GameError;
+use oes_game::session::{OutboundOffer, SessionConfig, SessionCoordinator};
+use oes_telemetry::{Clock, Telemetry};
+use oes_wpt::framing::{encode_frame, FrameDecoder};
+use oes_wpt::v2i::{GridMessage, V2iFrame};
+
+use crate::messages::{decode_client_frame, ClientToServer, ServerToClient, ShedReason};
+use crate::transport::ByteStream;
+
+/// Tuning knobs of a [`CoordinatorService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The protocol core's knobs (window, deadlines, retry budget).
+    pub session: SessionConfig,
+    /// Inbound frames buffered per connection before typed shedding.
+    pub session_queue: usize,
+    /// Inbound frames buffered across all connections before typed
+    /// shedding, and the per-poll processing budget.
+    pub global_queue: usize,
+    /// `retry_after_us` stamped on shed responses.
+    pub shed_retry_after_us: u64,
+    /// Outbound bytes buffered per connection before the connection is
+    /// declared a slow consumer and closed (its session stays live).
+    pub max_outbox_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            session: SessionConfig::default(),
+            session_queue: 32,
+            global_queue: 1024,
+            shed_retry_after_us: 10_000,
+            max_outbox_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What [`CoordinatorService::poll`] reports back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceStatus {
+    /// The run is in progress.
+    Running,
+    /// The run is over; goodbye frames are still flushing.
+    Draining,
+    /// Everything is flushed; call [`CoordinatorService::finish`].
+    Done,
+}
+
+/// One framed connection.
+struct Conn {
+    stream: Box<dyn ByteStream>,
+    decoder: FrameDecoder,
+    outbox: VecDeque<u8>,
+    backlog: VecDeque<ClientToServer>,
+    olev: Option<usize>,
+    open: bool,
+}
+
+impl Conn {
+    fn new(stream: Box<dyn ByteStream>) -> Self {
+        Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            outbox: VecDeque::new(),
+            backlog: VecDeque::new(),
+            olev: None,
+            open: true,
+        }
+    }
+}
+
+impl core::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Conn")
+            .field("olev", &self.olev)
+            .field("open", &self.open)
+            .field("outbox", &self.outbox.len())
+            .field("backlog", &self.backlog.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The networked coordinator.
+pub struct CoordinatorService<'g> {
+    core: SessionCoordinator<'g>,
+    config: ServiceConfig,
+    telemetry: Telemetry,
+    conns: Vec<Conn>,
+    /// `olev -> conn index` for bound sessions.
+    session_conn: Vec<Option<usize>>,
+    draining: bool,
+    scratch_offers: Vec<OutboundOffer>,
+    scratch_updates: Vec<(usize, V2iFrame<GridMessage>)>,
+}
+
+impl std::fmt::Debug for CoordinatorService<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordinatorService")
+            .field("core", &self.core)
+            .field("connections", &self.conns.len())
+            .field("draining", &self.draining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g> CoordinatorService<'g> {
+    /// Wraps a game for networked execution.
+    pub fn new(game: &'g mut Game, config: ServiceConfig, telemetry: Telemetry) -> Self {
+        let n = game.olev_count();
+        let core = SessionCoordinator::new(game, config.session.clone(), telemetry.clone());
+        Self {
+            core,
+            config,
+            telemetry,
+            conns: Vec::new(),
+            session_conn: vec![None; n],
+            draining: false,
+            scratch_offers: Vec::new(),
+            scratch_updates: Vec::new(),
+        }
+    }
+
+    /// Registers a new connection (unbound until it attaches) and returns
+    /// its id.
+    pub fn accept(&mut self, stream: Box<dyn ByteStream>) -> usize {
+        self.telemetry.counter("service.accept", -1, 1);
+        self.conns.push(Conn::new(stream));
+        self.conns.len() - 1
+    }
+
+    /// The protocol core's degradation accounting so far.
+    #[must_use]
+    pub fn report(&self) -> &oes_game::DegradationReport {
+        self.core.report()
+    }
+
+    /// Whether the convergence test has passed.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.core.converged()
+    }
+
+    /// Sessions still in the game.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.core.live()
+    }
+
+    /// Open connections (bound or not).
+    #[must_use]
+    pub fn open_conns(&self) -> usize {
+        self.conns.iter().filter(|c| c.open).count()
+    }
+
+    fn enqueue(conn: &mut Conn, telemetry: &Telemetry, max_outbox: usize, msg: &ServerToClient) {
+        if !conn.open {
+            return;
+        }
+        match encode_frame(msg) {
+            Ok(bytes) => {
+                if conn.outbox.len() + bytes.len() > max_outbox {
+                    // A consumer this slow is indistinguishable from a dead
+                    // one; drop the connection, keep the session.
+                    telemetry.counter("service.slow_consumer", -1, 1);
+                    conn.open = false;
+                    return;
+                }
+                conn.outbox.extend(bytes);
+            }
+            Err(_) => {
+                // Our own envelopes always encode; never wedge on one.
+                telemetry.counter("service.encode_error", -1, 1);
+            }
+        }
+    }
+
+    fn send_to_olev(&mut self, olev: usize, msg: &ServerToClient) {
+        if let Some(conn_idx) = self.session_conn.get(olev).copied().flatten() {
+            Self::enqueue(
+                &mut self.conns[conn_idx],
+                &self.telemetry,
+                self.config.max_outbox_bytes,
+                msg,
+            );
+        }
+        // No live connection: the frame is lost exactly like a dropped
+        // packet; the offer deadline machinery handles it.
+    }
+
+    /// Reads every connection's socket into its frame decoder and backlog,
+    /// applying the queue bounds with typed shedding.
+    fn ingest(&mut self, _now_us: u64) {
+        let total_backlog: usize = self.conns.iter().map(|c| c.backlog.len()).sum();
+        let mut total = total_backlog;
+        for i in 0..self.conns.len() {
+            let conn = &mut self.conns[i];
+            if !conn.open {
+                continue;
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.stream.read_some(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => conn.decoder.push(&buf[..n]),
+                    Err(_) => {
+                        // The socket died; the session (if bound) lives on
+                        // awaiting a re-attach. The binding on the `Conn`
+                        // itself is kept so frames that arrived before the
+                        // death (a final goodbye, a last reply) still reach
+                        // their session.
+                        conn.open = false;
+                        self.telemetry.counter("service.disconnect", -1, 1);
+                        if let Some(olev) = conn.olev {
+                            if self.session_conn[olev] == Some(i) {
+                                self.session_conn[olev] = None;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+            loop {
+                let conn = &mut self.conns[i];
+                match conn.decoder.next_frame() {
+                    Ok(Some(tokens)) => match decode_client_frame(&tokens) {
+                        Ok(msg) => {
+                            if total >= self.config.global_queue {
+                                self.telemetry.counter("service.shed", -1, 1);
+                                Self::enqueue(
+                                    conn,
+                                    &self.telemetry,
+                                    self.config.max_outbox_bytes,
+                                    &ServerToClient::Shed {
+                                        reason: ShedReason::GlobalQueueFull,
+                                        retry_after_us: self.config.shed_retry_after_us,
+                                    },
+                                );
+                            } else if conn.backlog.len() >= self.config.session_queue {
+                                self.telemetry.counter("service.shed", -1, 1);
+                                Self::enqueue(
+                                    conn,
+                                    &self.telemetry,
+                                    self.config.max_outbox_bytes,
+                                    &ServerToClient::Shed {
+                                        reason: ShedReason::SessionQueueFull,
+                                        retry_after_us: self.config.shed_retry_after_us,
+                                    },
+                                );
+                            } else {
+                                conn.backlog.push_back(msg);
+                                total += 1;
+                            }
+                        }
+                        Err(_) => self.malformed(i),
+                    },
+                    Ok(None) => break,
+                    Err(_) => self.malformed(i),
+                }
+            }
+        }
+    }
+
+    /// A connection produced bytes the framing or codec layer rejected
+    /// (already converted to [`GameError::MalformedFrame`] upstream).
+    fn malformed(&mut self, conn_idx: usize) {
+        match self.conns[conn_idx].olev {
+            Some(olev) => self.core.strike_malformed(olev),
+            None => {
+                // Garbage before attaching: nothing to strike, nothing to
+                // resume. Drop the connection.
+                self.telemetry.counter("service.malformed", -1, 1);
+                self.conns[conn_idx].open = false;
+            }
+        }
+    }
+
+    /// Processes up to the global budget of backlogged frames, round-robin
+    /// across connections.
+    fn process(&mut self, now_us: u64) {
+        let mut budget = self.config.global_queue;
+        let mut progressed = true;
+        while budget > 0 && progressed {
+            progressed = false;
+            for i in 0..self.conns.len() {
+                if budget == 0 {
+                    break;
+                }
+                let Some(msg) = self.conns[i].backlog.pop_front() else {
+                    continue;
+                };
+                budget -= 1;
+                progressed = true;
+                self.handle(i, msg, now_us);
+            }
+        }
+    }
+
+    fn handle(&mut self, conn_idx: usize, msg: ClientToServer, now_us: u64) {
+        match msg {
+            ClientToServer::Attach { olev, resume_from } => {
+                if olev >= self.session_conn.len() {
+                    self.telemetry.counter("service.bad_attach", -1, 1);
+                    self.conns[conn_idx].open = false;
+                    return;
+                }
+                // Rebinding replaces any previous connection for the
+                // session: last writer wins, the stale socket is dropped
+                // (its binding is kept so already-received frames stay
+                // attributed; the core discards any that duplicate).
+                if let Some(prev) = self.session_conn[olev] {
+                    if prev != conn_idx {
+                        self.conns[prev].open = false;
+                    }
+                }
+                self.conns[conn_idx].olev = Some(olev);
+                self.session_conn[olev] = Some(conn_idx);
+                self.telemetry.counter("service.attach", olev as i64, 1);
+                self.telemetry
+                    .gauge("service.resume_from", olev as i64, resume_from as f64);
+                let welcome = ServerToClient::Welcome { olev };
+                Self::enqueue(
+                    &mut self.conns[conn_idx],
+                    &self.telemetry,
+                    self.config.max_outbox_bytes,
+                    &welcome,
+                );
+                if self.draining {
+                    let bye = ServerToClient::Bye;
+                    Self::enqueue(
+                        &mut self.conns[conn_idx],
+                        &self.telemetry,
+                        self.config.max_outbox_bytes,
+                        &bye,
+                    );
+                }
+            }
+            ClientToServer::Reply(frame) => {
+                if self.conns[conn_idx].olev.is_none() {
+                    // Game traffic before attaching is a protocol violation.
+                    self.telemetry.counter("service.unbound_reply", -1, 1);
+                    self.conns[conn_idx].open = false;
+                    return;
+                }
+                self.scratch_offers.clear();
+                self.scratch_updates.clear();
+                let mut offers = std::mem::take(&mut self.scratch_offers);
+                let mut updates = std::mem::take(&mut self.scratch_updates);
+                self.core
+                    .on_message(frame, now_us, &mut offers, &mut updates);
+                self.transmit(&offers, &updates);
+                self.scratch_offers = offers;
+                self.scratch_updates = updates;
+            }
+        }
+    }
+
+    /// Sends retransmissions/offers and payment updates to their sessions.
+    fn transmit(&mut self, offers: &[OutboundOffer], updates: &[(usize, V2iFrame<GridMessage>)]) {
+        for offer in offers {
+            let msg = ServerToClient::Offer {
+                frame: offer.frame.clone(),
+                budget_us: offer.budget_us,
+            };
+            self.send_to_olev(offer.olev, &msg);
+        }
+        for (olev, update) in updates {
+            let msg = ServerToClient::Update(update.clone());
+            self.send_to_olev(*olev, &msg);
+        }
+    }
+
+    /// Flushes every connection's outbox as far as the transport allows.
+    fn flush(&mut self) {
+        for conn in &mut self.conns {
+            if !conn.open {
+                continue;
+            }
+            while !conn.outbox.is_empty() {
+                let chunk: Vec<u8> = conn.outbox.iter().copied().take(4096).collect();
+                match conn.stream.write_some(&chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        conn.outbox.drain(..n);
+                    }
+                    Err(_) => {
+                        conn.open = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One service cycle at `now_us`: ingest, process, expire, refill,
+    /// flush. Returns the run status; never blocks, never sleeps.
+    pub fn poll(&mut self, now_us: u64) -> ServiceStatus {
+        let span = self.telemetry.span("service.poll", -1);
+        self.ingest(now_us);
+        self.process(now_us);
+
+        if !self.draining {
+            self.scratch_offers.clear();
+            let mut offers = std::mem::take(&mut self.scratch_offers);
+            self.core.expire(now_us, &mut offers);
+            self.core.pump(now_us, &mut offers);
+            self.transmit(&offers, &[]);
+            self.scratch_offers = offers;
+
+            if self.core.done() {
+                self.draining = true;
+                self.core.drain();
+                for conn in &mut self.conns {
+                    Self::enqueue(
+                        conn,
+                        &self.telemetry,
+                        self.config.max_outbox_bytes,
+                        &ServerToClient::Bye,
+                    );
+                }
+                self.telemetry.counter("service.drained", -1, 1);
+            }
+        }
+        self.flush();
+        drop(span);
+        if !self.draining {
+            return ServiceStatus::Running;
+        }
+        let flushed = self.conns.iter().all(|c| !c.open || c.outbox.is_empty());
+        if flushed {
+            ServiceStatus::Done
+        } else {
+            ServiceStatus::Draining
+        }
+    }
+
+    /// Finishes the run, producing the same [`Outcome`] shape as the
+    /// in-process runtimes.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::OlevEvicted`] if every session was evicted.
+    pub fn finish(self) -> Result<Outcome, GameError> {
+        self.core.finish()
+    }
+}
+
+/// Serves the game over a nonblocking TCP listener until the run finishes.
+/// One poll cycle per `tick` of wall time; new connections are accepted
+/// between cycles. Intended to run on a dedicated thread.
+///
+/// # Errors
+///
+/// [`GameError::WorkerFailed`] if the listener cannot be made nonblocking;
+/// [`GameError::OlevEvicted`] if every session was evicted.
+pub fn serve_tcp(
+    game: &mut Game,
+    config: ServiceConfig,
+    telemetry: Telemetry,
+    listener: &std::net::TcpListener,
+    tick: Duration,
+) -> Result<Outcome, GameError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GameError::WorkerFailed(format!("listener: {e}")))?;
+    let clock = oes_telemetry::MonotonicClock::new();
+    let mut service = CoordinatorService::new(game, config, telemetry);
+    loop {
+        while let Ok((stream, _)) = listener.accept() {
+            match crate::transport::tcp_stream(stream) {
+                Ok(s) => {
+                    service.accept(Box::new(s));
+                }
+                Err(_) => continue,
+            }
+        }
+        if service.poll(clock.now_micros()) == ServiceStatus::Done {
+            return service.finish();
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// [`serve_tcp`] over a Unix-domain listener.
+///
+/// # Errors
+///
+/// [`GameError::WorkerFailed`] if the listener cannot be made nonblocking;
+/// [`GameError::OlevEvicted`] if every session was evicted.
+#[cfg(unix)]
+pub fn serve_uds(
+    game: &mut Game,
+    config: ServiceConfig,
+    telemetry: Telemetry,
+    listener: &std::os::unix::net::UnixListener,
+    tick: Duration,
+) -> Result<Outcome, GameError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GameError::WorkerFailed(format!("listener: {e}")))?;
+    let clock = oes_telemetry::MonotonicClock::new();
+    let mut service = CoordinatorService::new(game, config, telemetry);
+    loop {
+        while let Ok((stream, _)) = listener.accept() {
+            match crate::transport::unix_stream(stream) {
+                Ok(s) => {
+                    service.accept(Box::new(s));
+                }
+                Err(_) => continue,
+            }
+        }
+        if service.poll(clock.now_micros()) == ServiceStatus::Done {
+            return service.finish();
+        }
+        std::thread::sleep(tick);
+    }
+}

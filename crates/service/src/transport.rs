@@ -1,0 +1,311 @@
+//! Byte transports: an in-memory loopback pipe and nonblocking sockets.
+//!
+//! The service's whole runtime is written against one trait,
+//! [`ByteStream`]: a duplex, *nonblocking* byte pipe. Three implementations
+//! exist —
+//!
+//! - [`LoopbackPipe`]: a bounded in-memory pipe. Deterministic (no threads,
+//!   no syscalls) and backpressured (a full pipe accepts zero bytes), it is
+//!   the transport under every chaos test and the reference tier of the
+//!   loopback-vs-sockets determinism contract.
+//! - [`SocketStream`] over [`std::net::TcpStream`]: TCP with
+//!   `TCP_NODELAY`-free defaults, `set_nonblocking(true)`.
+//! - [`SocketStream`] over `std::os::unix::net::UnixStream` (Unix only):
+//!   the low-latency local deployment tier.
+//!
+//! The nonblocking contract: `read_some`/`write_some` never wait. Zero
+//! returned bytes means "try again later", and a vanished peer surfaces as
+//! [`TransportError::Closed`] — never a panic, never a block.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::rc::Rc;
+
+/// What a transport can report beyond plain byte counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The peer closed or reset the connection; no more bytes will flow.
+    Closed,
+    /// An I/O error other than would-block/interrupted.
+    Io(String),
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "transport closed by peer"),
+            Self::Io(msg) => write!(f, "transport I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A duplex nonblocking byte pipe.
+pub trait ByteStream {
+    /// Reads whatever is available into `buf`, returning the byte count.
+    /// `Ok(0)` means nothing is available *right now*; a closed peer is
+    /// [`TransportError::Closed`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] on closed or failed transports.
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, TransportError>;
+
+    /// Writes as much of `buf` as the transport will take right now,
+    /// returning the accepted count. `Ok(0)` means the transport is
+    /// backpressured; the caller keeps the bytes and retries later.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] on closed or failed transports.
+    fn write_some(&mut self, buf: &[u8]) -> Result<usize, TransportError>;
+
+    /// Signals an orderly end of the conversation. Sockets already close on
+    /// drop, so the default is a no-op; [`LoopbackPipe`] overrides it to
+    /// mark its lanes closed (dropping an `Rc` clone alone would not).
+    fn shutdown(&mut self) {}
+}
+
+/// One direction of a loopback pair: a bounded byte queue plus a closed
+/// flag.
+#[derive(Debug)]
+struct Lane {
+    bytes: VecDeque<u8>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl Lane {
+    fn new(capacity: usize) -> Self {
+        Self {
+            bytes: VecDeque::new(),
+            capacity,
+            closed: false,
+        }
+    }
+}
+
+/// One end of an in-memory duplex pipe; see [`loopback_pair`].
+///
+/// Single-threaded by design (`Rc<RefCell<…>>`): the deterministic tests
+/// and the loopback bench drive both ends from one thread, which is exactly
+/// what makes same-seed runs bit-identical. Use [`SocketStream`] when the
+/// two ends live on different threads.
+#[derive(Debug, Clone)]
+pub struct LoopbackPipe {
+    /// The lane this end reads from.
+    rx: Rc<RefCell<Lane>>,
+    /// The lane this end writes to.
+    tx: Rc<RefCell<Lane>>,
+}
+
+impl LoopbackPipe {
+    /// Closes this end: the peer drains what is buffered, then sees
+    /// [`TransportError::Closed`].
+    pub fn close(&self) {
+        self.tx.borrow_mut().closed = true;
+        self.rx.borrow_mut().closed = true;
+    }
+
+    /// Bytes currently buffered toward this end (readable without waiting).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.borrow().bytes.len()
+    }
+}
+
+impl ByteStream for LoopbackPipe {
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        let mut lane = self.rx.borrow_mut();
+        if lane.bytes.is_empty() {
+            return if lane.closed {
+                Err(TransportError::Closed)
+            } else {
+                Ok(0)
+            };
+        }
+        let mut count = 0;
+        while count < buf.len() {
+            match lane.bytes.pop_front() {
+                Some(b) => {
+                    buf[count] = b;
+                    count += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(count)
+    }
+
+    fn write_some(&mut self, buf: &[u8]) -> Result<usize, TransportError> {
+        let mut lane = self.tx.borrow_mut();
+        if lane.closed {
+            return Err(TransportError::Closed);
+        }
+        let room = lane.capacity.saturating_sub(lane.bytes.len());
+        let count = room.min(buf.len());
+        lane.bytes.extend(&buf[..count]);
+        Ok(count)
+    }
+
+    fn shutdown(&mut self) {
+        LoopbackPipe::close(self);
+    }
+}
+
+/// Builds a connected duplex loopback pipe. Each end reads what the other
+/// wrote; each direction buffers at most `capacity` bytes, so a slow reader
+/// backpressures the writer instead of growing memory without bound.
+#[must_use]
+pub fn loopback_pair(capacity: usize) -> (LoopbackPipe, LoopbackPipe) {
+    let a_to_b = Rc::new(RefCell::new(Lane::new(capacity)));
+    let b_to_a = Rc::new(RefCell::new(Lane::new(capacity)));
+    let a = LoopbackPipe {
+        rx: Rc::clone(&b_to_a),
+        tx: Rc::clone(&a_to_b),
+    };
+    let b = LoopbackPipe {
+        rx: a_to_b,
+        tx: b_to_a,
+    };
+    (a, b)
+}
+
+/// [`ByteStream`] over any nonblocking [`Read`]`+`[`Write`] socket.
+///
+/// The constructor does **not** flip the socket into nonblocking mode —
+/// call `set_nonblocking(true)` first; the helpers [`tcp_stream`] and
+/// [`unix_stream`] do both.
+#[derive(Debug)]
+pub struct SocketStream<S> {
+    inner: S,
+}
+
+impl<S> SocketStream<S> {
+    /// Wraps an already-nonblocking socket.
+    pub fn new(inner: S) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped socket.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read + Write> ByteStream for SocketStream<S> {
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        match self.inner.read(buf) {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {
+                Err(TransportError::Closed)
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+
+    fn write_some(&mut self, buf: &[u8]) -> Result<usize, TransportError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        match self.inner.write(buf) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(0),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                Err(TransportError::Closed)
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Wraps a TCP stream as a nonblocking [`ByteStream`].
+///
+/// # Errors
+///
+/// [`TransportError::Io`] if the socket refuses nonblocking mode.
+pub fn tcp_stream(
+    stream: std::net::TcpStream,
+) -> Result<SocketStream<std::net::TcpStream>, TransportError> {
+    stream
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    Ok(SocketStream::new(stream))
+}
+
+/// Wraps a Unix-domain stream as a nonblocking [`ByteStream`].
+///
+/// # Errors
+///
+/// [`TransportError::Io`] if the socket refuses nonblocking mode.
+#[cfg(unix)]
+pub fn unix_stream(
+    stream: std::os::unix::net::UnixStream,
+) -> Result<SocketStream<std::os::unix::net::UnixStream>, TransportError> {
+    stream
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    Ok(SocketStream::new(stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_delivers_bytes_both_ways() {
+        let (mut a, mut b) = loopback_pair(64);
+        assert_eq!(a.write_some(b"hello").unwrap(), 5);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read_some(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(b.write_some(b"yo").unwrap(), 2);
+        assert_eq!(a.read_some(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"yo");
+    }
+
+    #[test]
+    fn full_pipe_backpressures_instead_of_growing() {
+        let (mut a, mut b) = loopback_pair(4);
+        assert_eq!(a.write_some(b"123456").unwrap(), 4, "only capacity fits");
+        assert_eq!(a.write_some(b"56").unwrap(), 0, "full pipe takes nothing");
+        let mut buf = [0u8; 2];
+        assert_eq!(b.read_some(&mut buf).unwrap(), 2);
+        assert_eq!(a.write_some(b"56").unwrap(), 2, "drained room reopens");
+    }
+
+    #[test]
+    fn empty_pipe_reads_zero_until_closed() {
+        let (mut a, b) = loopback_pair(16);
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read_some(&mut buf).unwrap(), 0, "empty, not closed");
+        b.close();
+        assert_eq!(
+            a.read_some(&mut buf),
+            Err(TransportError::Closed),
+            "closed and drained"
+        );
+        assert_eq!(a.write_some(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn close_lets_buffered_bytes_drain_first() {
+        let (mut a, mut b) = loopback_pair(16);
+        a.write_some(b"last words").unwrap();
+        a.close();
+        let mut buf = [0u8; 16];
+        let n = b.read_some(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"last words");
+        assert_eq!(b.read_some(&mut buf), Err(TransportError::Closed));
+    }
+}

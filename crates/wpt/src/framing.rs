@@ -1,0 +1,563 @@
+//! Length-prefixed, checksummed byte framing for the V2I wire codec.
+//!
+//! [`crate::wire`] turns a message into a flat [`Token`] stream; this module
+//! turns that stream into bytes that can cross a real socket. Each frame is
+//!
+//! ```text
+//! ┌───────┬─────────────┬─────────────┬──────────────────┐
+//! │ magic │ payload len │  checksum   │     payload      │
+//! │ 2 B   │   u32 LE    │ u32 LE FNV  │ encoded tokens   │
+//! └───────┴─────────────┴─────────────┴──────────────────┘
+//! ```
+//!
+//! where the payload is the self-describing token byte codec below and the
+//! checksum is FNV-1a over the payload. The framing survives everything a
+//! byte stream can do to it: a [`FrameDecoder`] consumes arbitrary chunks,
+//! reassembles partial frames, rejects frames whose checksum or token
+//! encoding is damaged, and **resynchronizes** after garbage by scanning
+//! forward to the next magic — a mid-frame cut or corrupted length prefix
+//! costs the frames it touched, never the connection. Decoding arbitrary
+//! bytes never panics; every failure is a typed [`FramingError`].
+
+use core::fmt;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::wire::{decode, encode, Token, WireError};
+
+/// The two-byte frame preamble (chosen to be unlikely in token payloads).
+pub const MAGIC: [u8; 2] = [0xE5, 0x0E];
+
+/// Frames larger than this are rejected outright — a corrupted length prefix
+/// must never make the decoder buffer unbounded garbage.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Token-payload tags of the byte codec.
+const TAG_BOOL_FALSE: u8 = 0x01;
+const TAG_BOOL_TRUE: u8 = 0x02;
+const TAG_U64: u8 = 0x03;
+const TAG_I64: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_SEQ: u8 = 0x07;
+const TAG_VARIANT: u8 = 0x08;
+const TAG_UNIT: u8 = 0x09;
+
+/// A framing-layer failure. All variants are recoverable at the stream
+/// level: the decoder resynchronizes on the next magic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FramingError {
+    /// Bytes before the next magic were skipped (desync or mid-frame cut).
+    Desync {
+        /// How many bytes were discarded while hunting for the magic.
+        skipped: usize,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        claimed: usize,
+    },
+    /// The payload checksum did not match (bytes corrupted in flight).
+    ChecksumMismatch {
+        /// The checksum carried by the header.
+        expected: u32,
+        /// The checksum computed over the received payload.
+        actual: u32,
+    },
+    /// The payload was not a well-formed token byte stream.
+    MalformedPayload(String),
+    /// The token stream did not decode into the requested message type.
+    MalformedMessage(String),
+}
+
+impl fmt::Display for FramingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Desync { skipped } => {
+                write!(f, "desynchronized: skipped {skipped} bytes to next magic")
+            }
+            Self::Oversized { claimed } => {
+                write!(
+                    f,
+                    "frame claims {claimed} payload bytes (max {MAX_FRAME_PAYLOAD})"
+                )
+            }
+            Self::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
+            }
+            Self::MalformedPayload(msg) => write!(f, "malformed token payload: {msg}"),
+            Self::MalformedMessage(msg) => write!(f, "malformed message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FramingError {}
+
+impl From<WireError> for FramingError {
+    fn from(e: WireError) -> Self {
+        Self::MalformedMessage(e.to_string())
+    }
+}
+
+/// FNV-1a over `bytes`, truncated to 32 bits.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash ^ (hash >> 32)) as u32
+}
+
+// ------------------------------------------------------------ token codec
+
+fn push_token(out: &mut Vec<u8>, token: &Token) {
+    match token {
+        Token::Bool(false) => out.push(TAG_BOOL_FALSE),
+        Token::Bool(true) => out.push(TAG_BOOL_TRUE),
+        Token::U64(v) => {
+            out.push(TAG_U64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Token::I64(v) => {
+            out.push(TAG_I64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Token::F64(v) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Token::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Token::Seq(len) => {
+            out.push(TAG_SEQ);
+            out.extend_from_slice(&(*len as u32).to_le_bytes());
+        }
+        Token::Variant(idx) => {
+            out.push(TAG_VARIANT);
+            out.extend_from_slice(&idx.to_le_bytes());
+        }
+        Token::Unit => out.push(TAG_UNIT),
+    }
+}
+
+/// Serializes a token stream into the byte payload of a frame.
+#[must_use]
+pub fn tokens_to_bytes(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tokens.len() * 4);
+    for token in tokens {
+        push_token(&mut out, token);
+    }
+    out
+}
+
+struct ByteReader<'b> {
+    bytes: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> ByteReader<'b> {
+    fn take(&mut self, n: usize) -> Result<&'b [u8], FramingError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                FramingError::MalformedPayload(format!(
+                    "truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len().saturating_sub(self.pos)
+                ))
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, FramingError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, FramingError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Deserializes a frame payload back into a token stream. Never panics;
+/// truncated, oversized, or mistagged payloads yield a typed error.
+pub fn tokens_from_bytes(bytes: &[u8]) -> Result<Vec<Token>, FramingError> {
+    let mut reader = ByteReader { bytes, pos: 0 };
+    let mut tokens = Vec::new();
+    while reader.pos < bytes.len() {
+        let tag = reader.take(1)?[0];
+        let token = match tag {
+            TAG_BOOL_FALSE => Token::Bool(false),
+            TAG_BOOL_TRUE => Token::Bool(true),
+            TAG_U64 => Token::U64(reader.take_u64()?),
+            TAG_I64 => Token::I64(reader.take_u64()? as i64),
+            TAG_F64 => Token::F64(f64::from_bits(reader.take_u64()?)),
+            TAG_STR => {
+                let len = reader.take_u32()? as usize;
+                if len > MAX_FRAME_PAYLOAD {
+                    return Err(FramingError::MalformedPayload(format!(
+                        "string length {len} exceeds the frame bound"
+                    )));
+                }
+                let raw = reader.take(len)?;
+                let s = core::str::from_utf8(raw).map_err(|e| {
+                    FramingError::MalformedPayload(format!("invalid utf-8 string: {e}"))
+                })?;
+                Token::Str(s.to_owned())
+            }
+            TAG_SEQ => {
+                let len = reader.take_u32()? as usize;
+                if len > MAX_FRAME_PAYLOAD {
+                    return Err(FramingError::MalformedPayload(format!(
+                        "sequence length {len} exceeds the frame bound"
+                    )));
+                }
+                Token::Seq(len)
+            }
+            TAG_VARIANT => Token::Variant(reader.take_u32()?),
+            TAG_UNIT => Token::Unit,
+            other => {
+                return Err(FramingError::MalformedPayload(format!(
+                    "unknown token tag {other:#04x} at offset {}",
+                    reader.pos - 1
+                )))
+            }
+        };
+        tokens.push(token);
+    }
+    Ok(tokens)
+}
+
+/// Encodes one already-tokenized message as a complete wire frame.
+#[must_use]
+pub fn frame_tokens(tokens: &[Token]) -> Vec<u8> {
+    let payload = tokens_to_bytes(tokens);
+    let mut out = Vec::with_capacity(payload.len() + 10);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serializes `message` straight to a complete wire frame.
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the message uses a shape the token codec does
+/// not support (maps, raw bytes, unsized sequences).
+pub fn encode_frame<T: Serialize + ?Sized>(message: &T) -> Result<Vec<u8>, WireError> {
+    Ok(frame_tokens(&encode(message)?))
+}
+
+/// Decodes one frame payload's token stream into a message.
+///
+/// # Errors
+///
+/// Returns [`FramingError::MalformedMessage`] on token/type mismatch.
+pub fn decode_tokens<T: DeserializeOwned>(tokens: &[Token]) -> Result<T, FramingError> {
+    decode(tokens).map_err(FramingError::from)
+}
+
+/// An incremental frame reassembler over an arbitrary byte stream.
+///
+/// Push received chunks with [`push`](Self::push); pull completed token
+/// streams with [`next_frame`](Self::next_frame). The decoder never panics
+/// on any input and recovers from damage by scanning to the next magic.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes discarded while resynchronizing, total over the stream's life.
+    skipped_total: u64,
+    /// Frames rejected (checksum or payload damage), total.
+    rejected_total: u64,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes to the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (a partial frame, or nothing).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total bytes discarded while hunting for a magic after damage.
+    #[must_use]
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped_total
+    }
+
+    /// Total frames rejected for checksum or payload damage.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total
+    }
+
+    /// Discards buffered bytes until the buffer starts with [`MAGIC`] (or is
+    /// too short to tell). Returns how many bytes were dropped.
+    fn resync(&mut self, from: usize) -> usize {
+        let start = self
+            .buf
+            .windows(2)
+            .skip(from)
+            .position(|w| w == MAGIC)
+            .map_or_else(
+                || self.buf.len().saturating_sub(1).max(from),
+                |found| from + found,
+            );
+        self.buf.drain(..start);
+        self.skipped_total += start as u64;
+        start
+    }
+
+    /// Extracts the next complete, intact frame's token stream.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. Returns an error when
+    /// damage was detected and skipped — the caller should count it and call
+    /// again; the decoder has already resynchronized past the damage.
+    ///
+    /// # Errors
+    ///
+    /// [`FramingError::Desync`], [`FramingError::Oversized`],
+    /// [`FramingError::ChecksumMismatch`], or
+    /// [`FramingError::MalformedPayload`]; all leave the decoder ready for
+    /// the next call.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<Token>>, FramingError> {
+        // Hunt for the magic first so garbage never blocks the stream.
+        if !self.buf.is_empty() && !self.buf.starts_with(&MAGIC) {
+            if self.buf.len() == 1 && (self.buf[0] == MAGIC[0]) {
+                return Ok(None); // could be a split magic; wait for more
+            }
+            let skipped = self.resync(0);
+            if skipped > 0 {
+                return Err(FramingError::Desync { skipped });
+            }
+            return Ok(None);
+        }
+        if self.buf.len() < 10 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[2], self.buf[3], self.buf[4], self.buf[5]]) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            // The length prefix itself is garbage: skip the magic and hunt.
+            self.resync(1);
+            self.rejected_total += 1;
+            return Err(FramingError::Oversized { claimed: len });
+        }
+        if self.buf.len() < 10 + len {
+            return Ok(None);
+        }
+        let expected = u32::from_le_bytes([self.buf[6], self.buf[7], self.buf[8], self.buf[9]]);
+        let payload: Vec<u8> = self.buf[10..10 + len].to_vec();
+        self.buf.drain(..10 + len);
+        let actual = checksum(&payload);
+        if actual != expected {
+            self.rejected_total += 1;
+            return Err(FramingError::ChecksumMismatch { expected, actual });
+        }
+        match tokens_from_bytes(&payload) {
+            Ok(tokens) => Ok(Some(tokens)),
+            Err(e) => {
+                self.rejected_total += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains every currently decodable frame, silently dropping damaged
+    /// ones (they are still tallied in [`rejected_total`](Self::rejected_total)
+    /// / [`skipped_total`](Self::skipped_total)).
+    pub fn drain_frames(&mut self) -> Vec<Vec<Token>> {
+        let mut frames = Vec::new();
+        loop {
+            match self.next_frame() {
+                Ok(Some(tokens)) => frames.push(tokens),
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::v2i::{GridMessage, OlevMessage, V2iFrame};
+    use oes_units::{Kilowatts, OlevId};
+
+    fn sample_frame() -> V2iFrame<GridMessage> {
+        V2iFrame::new(
+            7,
+            GridMessage::PaymentFunction {
+                id: OlevId(3),
+                loads_excl: vec![Kilowatts::new(1.5), Kilowatts::new(0.0)],
+            },
+        )
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = sample_frame();
+        let bytes = encode_frame(&msg).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let tokens = dec.next_frame().unwrap().expect("one frame");
+        let back: V2iFrame<GridMessage> = decode_tokens(&tokens).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembly() {
+        let msg = V2iFrame::new(
+            1,
+            OlevMessage::PowerRequest {
+                id: OlevId(0),
+                total: Kilowatts::new(12.25),
+            },
+        );
+        let bytes = encode_frame(&msg).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut seen = 0;
+        for b in &bytes {
+            dec.push(core::slice::from_ref(b));
+            if let Some(tokens) = dec.next_frame().unwrap() {
+                let back: V2iFrame<OlevMessage> = decode_tokens(&tokens).unwrap();
+                assert_eq!(back, msg);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_then_stream_recovers() {
+        let a = encode_frame(&sample_frame()).unwrap();
+        let b = encode_frame(&V2iFrame::new(8, OlevMessage::Goodbye { id: OlevId(1) })).unwrap();
+        let mut wire = a.clone();
+        wire[12] ^= 0xFF; // corrupt a payload byte of frame A
+        wire.extend_from_slice(&b);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FramingError::ChecksumMismatch { .. })
+        ));
+        let tokens = dec.next_frame().unwrap().expect("frame B survives");
+        let back: V2iFrame<OlevMessage> = decode_tokens(&tokens).unwrap();
+        assert_eq!(back.seq, 8);
+        assert_eq!(dec.rejected_total(), 1);
+    }
+
+    #[test]
+    fn mid_frame_cut_resynchronizes_on_next_magic() {
+        let a = encode_frame(&sample_frame()).unwrap();
+        let b = encode_frame(&V2iFrame::new(9, OlevMessage::Goodbye { id: OlevId(2) })).unwrap();
+        // Deliver only the first half of A, then all of B (reconnect).
+        let mut dec = FrameDecoder::new();
+        dec.push(&a[..a.len() / 2]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.push(&b);
+        // The truncated A bytes must be skipped to reach B's magic.
+        let mut got = None;
+        for _ in 0..4 {
+            match dec.next_frame() {
+                Ok(Some(tokens)) => {
+                    got = Some(tokens);
+                    break;
+                }
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        let tokens = got.expect("frame B recovered");
+        let back: V2iFrame<OlevMessage> = decode_tokens(&tokens).unwrap();
+        assert_eq!(back.seq, 9);
+        assert!(dec.skipped_total() > 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_not_buffered() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 64]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FramingError::Oversized { .. })
+        ));
+        // The decoder moved past the bad header instead of waiting for 4 GiB.
+        assert!(dec.buffered() < wire.len());
+    }
+
+    #[test]
+    fn token_codec_roundtrips_every_token_shape() {
+        let tokens = vec![
+            Token::Bool(true),
+            Token::Bool(false),
+            Token::U64(u64::MAX),
+            Token::I64(-42),
+            Token::F64(f64::NAN),
+            Token::Str("héllo".into()),
+            Token::Seq(3),
+            Token::Variant(2),
+            Token::Unit,
+        ];
+        let bytes = tokens_to_bytes(&tokens);
+        let back = tokens_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), tokens.len());
+        for (a, b) in tokens.iter().zip(&back) {
+            match (a, b) {
+                (Token::F64(x), Token::F64(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_returns_a_frame() {
+        let garbage: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(31) % 251) as u8)
+            .collect();
+        let mut dec = FrameDecoder::new();
+        dec.push(&garbage);
+        for _ in 0..1024 {
+            match dec.next_frame() {
+                Ok(Some(_)) => panic!("garbage produced a valid frame"),
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+    }
+}

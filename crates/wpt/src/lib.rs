@@ -32,6 +32,7 @@
 pub mod battery;
 pub mod cosim;
 pub mod coupling;
+pub mod framing;
 pub mod intersection;
 pub mod olev;
 pub mod placement;
@@ -42,6 +43,10 @@ pub mod wire;
 pub use battery::{Battery, BatterySpec};
 pub use cosim::{ChargingSpan, CoSimulation, TripRecord};
 pub use coupling::CouplingModel;
+pub use framing::{
+    decode_tokens, encode_frame, frame_tokens, tokens_from_bytes, tokens_to_bytes, FrameDecoder,
+    FramingError,
+};
 pub use intersection::{HourlyEnergy, IntersectionStudy, StudyReport};
 pub use olev::{Olev, OlevSpec};
 pub use placement::{greedy_placement, optimal_placement, PlacementCandidate, PlacementPlan};

@@ -13,6 +13,9 @@
 //!   OLEVs, intersection times, V2I, placement).
 //! - [`game`] — the paper's core contribution: the game-theoretic pricing
 //!   policy and its decentralized best-response engine.
+//! - [`service`] — the pricing game as a long-running networked
+//!   coordinator: sessions over TCP/Unix sockets, deadlines, backpressure,
+//!   and a seeded chaos proxy for fault injection.
 //! - [`telemetry`] — structured tracing, deterministic metrics, and JSONL
 //!   run journals instrumenting every layer above.
 //!
@@ -43,6 +46,7 @@ pub mod daily;
 
 pub use oes_game as game;
 pub use oes_grid as grid;
+pub use oes_service as service;
 pub use oes_telemetry as telemetry;
 pub use oes_traffic as traffic;
 pub use oes_units as units;

@@ -1,0 +1,184 @@
+//! Property tests for the wire framing layer: the [`FrameDecoder`] must
+//! never panic, never wedge, and always resynchronize — no matter what
+//! bytes the network (or the chaos proxy) throws at it. Decode failures
+//! above the framing layer must surface as the typed
+//! [`GameError::MalformedFrame`] protocol violation, never a panic.
+
+use oes::game::GameError;
+use oes::service::decode_client_frame;
+use oes::units::{Kilowatts, OlevId};
+use oes::wpt::framing::{frame_tokens, FrameDecoder};
+use oes::wpt::v2i::{OlevMessage, V2iFrame};
+use oes::wpt::wire::{encode, Token};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Pushes `bytes` split at `cuts` and pulls the decoder dry, panicking on
+/// any violation of the bounded-progress guarantee. Returns the decoded
+/// token frames in order.
+fn drive(decoder: &mut FrameDecoder, bytes: &[u8], cuts: &[usize]) -> Vec<Vec<Token>> {
+    let mut frames = Vec::new();
+    let mut start = 0;
+    let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    boundaries.push(bytes.len());
+    boundaries.sort_unstable();
+    for end in boundaries {
+        decoder.push(&bytes[start..end.max(start)]);
+        start = start.max(end);
+        // Every Err and every Ok(Some) consumes at least one buffered byte,
+        // so the decoder can never yield more results than bytes pushed.
+        let mut fuel = end + 1;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(tokens)) => frames.push(tokens),
+                Ok(None) => break,
+                Err(_) => {}
+            }
+            fuel = fuel
+                .checked_sub(1)
+                .expect("decoder yielded more results than bytes pushed: no progress");
+        }
+    }
+    frames
+}
+
+fn arb_token() -> impl Strategy<Value = Token> {
+    prop_oneof![
+        any::<bool>().prop_map(Token::Bool),
+        any::<u64>().prop_map(Token::U64),
+        any::<i64>().prop_map(Token::I64),
+        any::<f64>().prop_map(Token::F64),
+        ".{0,12}".prop_map(Token::Str),
+        (0usize..8).prop_map(Token::Seq),
+        (0u32..8).prop_map(Token::Variant),
+        Just(Token::Unit),
+    ]
+}
+
+fn sample_frame(olev: usize, seq: u64, total: f64) -> Vec<u8> {
+    let msg = V2iFrame::new(
+        seq,
+        OlevMessage::PowerRequest {
+            id: OlevId(olev),
+            total: Kilowatts::new(total),
+        },
+    );
+    frame_tokens(&encode(&msg).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage, arbitrarily chunked: no panic, no livelock.
+    #[test]
+    fn arbitrary_byte_streams_never_panic_or_wedge(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut decoder = FrameDecoder::new();
+        drive(&mut decoder, &bytes, &cuts);
+        prop_assert!(decoder.buffered() <= bytes.len());
+    }
+
+    /// Real frames survive any chunking: every split of the byte stream
+    /// reassembles the same frames in the same order.
+    #[test]
+    fn chunking_never_loses_or_reorders_frames(
+        specs in proptest::collection::vec((0usize..8, 0u64..1000, 0.0f64..50.0), 1..6),
+        cuts in proptest::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let mut wire = Vec::new();
+        let mut expected = Vec::new();
+        for (olev, seq, total) in &specs {
+            wire.extend(sample_frame(*olev, *seq, *total));
+            expected.push((*olev, *seq, *total));
+        }
+        let mut decoder = FrameDecoder::new();
+        let frames = drive(&mut decoder, &wire, &cuts);
+        prop_assert_eq!(frames.len(), expected.len());
+        prop_assert_eq!(decoder.skipped_total(), 0);
+        prop_assert_eq!(decoder.rejected_total(), 0);
+        for (tokens, (olev, seq, total)) in frames.iter().zip(&expected) {
+            let decoded: V2iFrame<OlevMessage> =
+                oes::wpt::framing::decode_tokens(tokens).unwrap();
+            prop_assert_eq!(decoded.seq, *seq);
+            let OlevMessage::PowerRequest { id, total: t } = decoded.payload else {
+                return Err(TestCaseError::fail("wrong payload shape"));
+            };
+            prop_assert_eq!(id.0, *olev);
+            prop_assert_eq!(t.value().to_bits(), total.to_bits());
+        }
+    }
+
+    /// A frame sandwiched in magic-free garbage is still recovered: the
+    /// decoder skips the garbage (tallying it) and decodes the frame.
+    #[test]
+    fn frames_are_recovered_from_surrounding_garbage(
+        prefix in proptest::collection::vec(0u8..0xE5, 0..64),
+        suffix in proptest::collection::vec(0u8..0xE5, 0..64),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut wire = prefix.clone();
+        wire.extend(sample_frame(3, 42, 17.5));
+        wire.extend(&suffix);
+        let mut decoder = FrameDecoder::new();
+        let frames = drive(&mut decoder, &wire, &cuts);
+        prop_assert_eq!(frames.len(), 1, "the intact frame must be recovered");
+        prop_assert!(decoder.skipped_total() >= prefix.len() as u64);
+    }
+
+    /// Truncating a frame anywhere never panics; the partial bytes either
+    /// sit waiting for more input or are skipped as damage — and an intact
+    /// frame pushed afterwards with a fresh decoder always decodes.
+    #[test]
+    fn truncated_frames_never_panic(
+        cut_at in 0usize..64,
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let frame = sample_frame(1, 7, 12.25);
+        let cut_at = cut_at % frame.len();
+        let mut decoder = FrameDecoder::new();
+        let frames = drive(&mut decoder, &frame[..cut_at], &cuts);
+        prop_assert!(frames.is_empty(), "a truncated frame must not decode");
+        // The rest of the bytes complete the frame.
+        let frames = drive(&mut decoder, &frame[cut_at..], &[]);
+        prop_assert_eq!(frames.len(), 1);
+    }
+
+    /// Any single corrupted byte is detected: the frame is rejected or
+    /// desynced (or, if the length field grew, held as incomplete) — never
+    /// decoded as valid, never a panic.
+    #[test]
+    fn single_byte_corruption_never_yields_a_valid_frame(
+        pos in 0usize..64,
+        flip in 1u8..=255,
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut frame = sample_frame(2, 9, 33.0);
+        let pos = pos % frame.len();
+        frame[pos] ^= flip;
+        let mut decoder = FrameDecoder::new();
+        let frames = drive(&mut decoder, &frame, &cuts);
+        prop_assert!(
+            frames.is_empty(),
+            "a damaged frame must never decode as valid"
+        );
+    }
+
+    /// Structurally valid token streams that are not a service envelope
+    /// decode to the typed protocol-violation error, never a panic.
+    #[test]
+    fn arbitrary_tokens_decode_to_typed_errors(
+        tokens in proptest::collection::vec(arb_token(), 0..12),
+    ) {
+        match decode_client_frame(&tokens) {
+            Ok(_) => {}
+            Err(GameError::MalformedFrame { detail }) => prop_assert!(!detail.is_empty()),
+            Err(other) => {
+                return Err(TestCaseError::fail(format!(
+                    "expected MalformedFrame, got {other:?}"
+                )));
+            }
+        }
+    }
+}

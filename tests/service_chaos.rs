@@ -1,0 +1,591 @@
+//! Service chaos suite: the networked coordinator under socket-level fault
+//! injection.
+//!
+//! The in-process chaos suite (`tests/chaos.rs`) injects faults at the
+//! message layer; this suite injects them at the *byte* layer, between a
+//! real client/server pair speaking the framed wire protocol through a
+//! seeded [`ChaosProxy`]. The acceptance properties:
+//!
+//! 1. **Bit identity.** A clean loopback service run — full stack: session
+//!    coordinator, service envelopes, framing, transparent proxy, client
+//!    session — produces the *identical* `Outcome` (trajectory, report,
+//!    welfare bits) as the in-process `DistributedGame`.
+//! 2. **Graceful degradation.** Under every seeded fault plan the surviving
+//!    sessions converge, and every eviction is bounded and accounted in the
+//!    `DegradationReport`.
+//! 3. **Determinism.** Same seed, same run: outcomes, client stats, and
+//!    final schedule bits all replay exactly.
+//!
+//! Everything below the two socket smoke tests runs on a virtual clock —
+//! no test sleeps to make a deadline fire.
+
+use std::time::Duration;
+
+use oes::game::{
+    DistributedGame, EvictionReason, FaultPlan, Game, GameBuilder, GameError, LogSatisfaction,
+    Outcome, UpdateOrder,
+};
+use oes::service::{
+    decode_server_frame, serve_tcp, BestResponder, ChaosConfig, ChaosProxy, ClientConfig,
+    ClientSession, ClientStats, CoordinatorService, ServerToClient, ServiceConfig, ServiceStatus,
+    ShedReason,
+};
+use oes::telemetry::{Clock, MonotonicClock, Telemetry};
+use oes::units::{Kilowatts, OlevId};
+use oes::wpt::framing::{encode_frame, FrameDecoder};
+use oes::wpt::v2i::{OlevMessage, V2iFrame};
+
+const SECTION_CAP: f64 = 60.0;
+const PIPE_CAPACITY: usize = 1 << 16;
+
+fn build(sections: usize, olevs: usize) -> Game {
+    GameBuilder::new()
+        .sections(sections, Kilowatts::new(SECTION_CAP))
+        .olevs(olevs, Kilowatts::new(50.0))
+        .build()
+        .unwrap()
+}
+
+/// A short-deadline session config so virtual-clock fault runs stay brief.
+fn fast_session() -> ServiceConfig {
+    let mut config = ServiceConfig::default();
+    config.session.offer_timeout = Duration::from_millis(5);
+    config
+}
+
+/// The honest client for OLEV `olev` of a game shaped like [`build`].
+fn make_client(game: &Game, olev: usize, config: ClientConfig) -> ClientSession {
+    let responder = BestResponder::new(
+        Box::new(LogSatisfaction::new(1.0)),
+        *game.cost(),
+        game.caps().to_vec(),
+        game.p_max()[olev],
+        game.scheduler(),
+    );
+    ClientSession::new(olev, Box::new(responder), config, Telemetry::disabled())
+}
+
+/// Drives a whole fleet against the service over chaos-proxied loopback
+/// pipes on a virtual clock. `chaos(olev, incarnation)` configures the
+/// proxy for each (re)connection; `client_config(olev)` the client knobs.
+/// Panics if the run outlives `max_iters` ticks.
+fn run_service(
+    game: &mut Game,
+    service_config: ServiceConfig,
+    client_config: &dyn Fn(usize) -> ClientConfig,
+    chaos: &dyn Fn(usize, u64) -> ChaosConfig,
+    tick_us: u64,
+    max_iters: usize,
+) -> (Result<Outcome, GameError>, Vec<ClientStats>) {
+    let n = game.olev_count();
+    let mut clients: Vec<ClientSession> = (0..n)
+        .map(|olev| make_client(game, olev, client_config(olev)))
+        .collect();
+    let mut service = CoordinatorService::new(game, service_config, Telemetry::disabled());
+    let mut proxies: Vec<ChaosProxy> = Vec::new();
+    let mut incarnation = vec![0u64; n];
+    let mut now = 0u64;
+    // Iterations to keep running after the server reports Done, so in-flight
+    // goodbyes land in the report before `finish`.
+    let mut grace = 8;
+    for _ in 0..max_iters {
+        for client in &mut clients {
+            if client.needs_reconnect(now) {
+                let olev = client.olev();
+                let (proxy, client_end, server_end) =
+                    ChaosProxy::new(chaos(olev, incarnation[olev]), PIPE_CAPACITY);
+                incarnation[olev] += 1;
+                service.accept(Box::new(server_end));
+                client.connect(Box::new(client_end), now);
+                proxies.push(proxy);
+            }
+        }
+        for proxy in &mut proxies {
+            proxy.pump(now);
+        }
+        for client in &mut clients {
+            client.poll(now);
+        }
+        for proxy in &mut proxies {
+            proxy.pump(now);
+        }
+        let status = service.poll(now);
+        for proxy in &mut proxies {
+            proxy.pump(now);
+        }
+        for client in &mut clients {
+            client.poll(now);
+        }
+        if status == ServiceStatus::Done {
+            grace -= 1;
+            if grace == 0 {
+                let stats = clients.iter().map(ClientSession::stats).collect();
+                return (service.finish(), stats);
+            }
+        }
+        now += tick_us;
+    }
+    panic!("service run did not finish within {max_iters} virtual ticks");
+}
+
+fn transparent(_olev: usize, _incarnation: u64) -> ChaosConfig {
+    ChaosConfig::transparent()
+}
+
+fn default_client(_olev: usize) -> ClientConfig {
+    ClientConfig::default()
+}
+
+// ---------------------------------------------------------------- identity
+
+#[test]
+fn clean_loopback_run_is_bit_identical_to_the_in_process_runtime() {
+    let mut a = build(6, 4);
+    let mut b = build(6, 4);
+    let (outcome, stats) = run_service(
+        &mut a,
+        ServiceConfig::default(),
+        &default_client,
+        &transparent,
+        0, // frozen clock: no deadline can fire, exactly like in-process
+        50_000,
+    );
+    let via_service = outcome.unwrap();
+    let via_threads = DistributedGame::new(&mut b).run(10_000).unwrap();
+    assert_eq!(
+        via_service, via_threads,
+        "full service stack must replay the in-process run exactly"
+    );
+    assert!(via_service.converged());
+    assert_eq!(a.welfare().to_bits(), b.welfare().to_bits());
+    for (la, lb) in a.section_loads().iter().zip(b.section_loads()) {
+        assert_eq!(la.to_bits(), lb.to_bits());
+    }
+    for s in &stats {
+        assert!(s.offers_answered > 0);
+        assert_eq!(s.budget_expired, 0);
+        assert_eq!(s.disconnects, 0);
+        assert_eq!(s.welcomes, 1);
+    }
+}
+
+// ------------------------------------------------------------- determinism
+
+#[test]
+fn same_seed_chaos_runs_replay_bit_for_bit() {
+    let chaos = |olev: usize, incarnation: u64| ChaosConfig {
+        plan: Some(
+            FaultPlan::new(40 + olev as u64)
+                .drop_probability(0.10)
+                .duplicate_probability(0.10)
+                .max_delay_ms(3),
+        ),
+        corrupt_probability: 0.05,
+        cut_probability: 0.03,
+        reorder_probability: 0.10,
+        reorder_hold_us: 2_000,
+        seed: 7_000 + olev as u64 * 37 + incarnation,
+        ..ChaosConfig::default()
+    };
+    let client = |_olev: usize| ClientConfig {
+        idle_timeout_us: 20_000,
+        ..ClientConfig::default()
+    };
+    let run = || {
+        let mut game = build(6, 4);
+        let (outcome, stats) =
+            run_service(&mut game, fast_session(), &client, &chaos, 1_000, 60_000);
+        (format!("{outcome:?}"), stats, game.welfare().to_bits())
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seeds must replay the same run");
+}
+
+// ------------------------------------------------------- graceful eviction
+
+#[test]
+fn blackholed_session_is_evicted_and_survivors_reach_their_equilibrium() {
+    // OLEV 0's link drops every frame in both directions; the other three
+    // OLEVs ride transparent links.
+    let chaos = |olev: usize, _inc: u64| {
+        if olev == 0 {
+            ChaosConfig {
+                plan: Some(FaultPlan::new(1).drop_probability(1.0)),
+                ..ChaosConfig::default()
+            }
+        } else {
+            ChaosConfig::transparent()
+        }
+    };
+    let mut game = build(6, 4);
+    let (outcome, _) = run_service(
+        &mut game,
+        fast_session(),
+        &default_client,
+        &chaos,
+        1_000,
+        60_000,
+    );
+    let outcome = outcome.unwrap();
+    assert!(outcome.converged(), "survivors must still converge");
+    let report = outcome.degradation();
+    assert_eq!(report.evictions.len(), 1, "exactly the blackholed session");
+    assert_eq!(report.evictions[0].olev, 0);
+    assert!(matches!(
+        report.evictions[0].reason,
+        EvictionReason::Unresponsive
+    ));
+    // Retry budget 6: the first send plus six retransmissions all time out.
+    assert_eq!(report.retries, 6);
+    assert_eq!(report.timeouts, 7);
+
+    // The survivors' equilibrium is the equilibrium of the surviving fleet:
+    // OLEV 0's row is zeroed, so welfare is directly comparable to a
+    // three-OLEV game of the same shape.
+    let mut reference = build(6, 3);
+    reference.run(UpdateOrder::RoundRobin, 10_000).unwrap();
+    assert!(
+        (game.welfare() - reference.welfare()).abs() < 1e-6,
+        "survivor welfare {} vs reference {}",
+        game.welfare(),
+        reference.welfare()
+    );
+}
+
+#[test]
+fn corrupting_links_strike_only_their_own_sessions() {
+    // OLEVs 0 and 1 get abusive links (corruption and mid-frame cuts);
+    // OLEVs 2..4 are clean and must be untouched by the damage.
+    let chaos = |olev: usize, inc: u64| {
+        if olev <= 1 {
+            ChaosConfig {
+                corrupt_probability: 0.30,
+                cut_probability: 0.20,
+                seed: 1_000 + olev as u64 * 37 + inc,
+                ..ChaosConfig::default()
+            }
+        } else {
+            ChaosConfig::transparent()
+        }
+    };
+    let client = |_olev: usize| ClientConfig {
+        idle_timeout_us: 20_000,
+        ..ClientConfig::default()
+    };
+    let mut game = build(6, 5);
+    let (outcome, _) = run_service(&mut game, fast_session(), &client, &chaos, 1_000, 60_000);
+    let outcome = outcome.unwrap();
+    assert!(outcome.converged(), "the clean majority must converge");
+    let report = outcome.degradation();
+    for eviction in &report.evictions {
+        assert!(
+            eviction.olev <= 1,
+            "clean links must never be evicted, yet OLEV {} was",
+            eviction.olev
+        );
+        assert!(matches!(
+            eviction.reason,
+            EvictionReason::Misbehaving | EvictionReason::Unresponsive
+        ));
+    }
+    assert!(report.evictions.len() <= 2);
+}
+
+// ----------------------------------------------------- reconnect and resume
+
+#[test]
+fn partitioned_client_fails_over_reconnects_and_resumes() {
+    // OLEV 1's first connection is partitioned for its whole useful life;
+    // its idle-timeout failover dials a fresh (clean) connection, the
+    // session rebinds, and the run completes with no evictions at the
+    // full-fleet equilibrium.
+    let chaos = |olev: usize, inc: u64| {
+        if olev == 1 && inc == 0 {
+            ChaosConfig {
+                partitions: vec![(0, 60_000)],
+                ..ChaosConfig::default()
+            }
+        } else {
+            ChaosConfig::transparent()
+        }
+    };
+    let client = |_olev: usize| ClientConfig {
+        idle_timeout_us: 15_000,
+        ..ClientConfig::default()
+    };
+    let mut game = build(6, 4);
+    let (outcome, stats) = run_service(&mut game, fast_session(), &client, &chaos, 1_000, 60_000);
+    let outcome = outcome.unwrap();
+    assert!(outcome.converged());
+    let report = outcome.degradation();
+    assert!(
+        report.evictions.is_empty(),
+        "a reconnect within the retry budget must not cost the session: {report:?}"
+    );
+    assert!(report.retries > 0, "the partition must have cost retries");
+    assert!(stats[1].disconnects >= 1, "OLEV 1 must have failed over");
+    assert!(stats[1].welcomes >= 1, "OLEV 1 must have re-attached");
+
+    // Full quorum survived, so the equilibrium is the fault-free one.
+    let mut reference = build(6, 4);
+    reference.run(UpdateOrder::RoundRobin, 10_000).unwrap();
+    assert!((game.welfare() - reference.welfare()).abs() < 1e-6);
+}
+
+// ------------------------------------------------------- deadline budgets
+
+#[test]
+fn propagated_budget_makes_slow_clients_drop_doomed_replies() {
+    // OLEV 0 "thinks" for 8ms. The first offer grants a 5ms budget, so the
+    // client drops it client-side (a reply would arrive stale anyway); the
+    // retry doubles the budget to 10ms, which the client meets. The run
+    // converges with retries but no evictions — and the client accounted
+    // every doomed reply it refused to send.
+    let client = |olev: usize| ClientConfig {
+        respond_delay_us: if olev == 0 { 8_000 } else { 0 },
+        ..ClientConfig::default()
+    };
+    let mut game = build(6, 3);
+    let (outcome, stats) = run_service(
+        &mut game,
+        fast_session(),
+        &client,
+        &transparent,
+        1_000,
+        60_000,
+    );
+    let outcome = outcome.unwrap();
+    assert!(outcome.converged());
+    let report = outcome.degradation();
+    assert!(report.evictions.is_empty(), "{report:?}");
+    assert!(report.retries > 0, "every OLEV-0 offer needs a second send");
+    assert!(report.timeouts > 0);
+    assert!(
+        stats[0].budget_expired > 0,
+        "the slow client must refuse doomed replies"
+    );
+    assert_eq!(stats[1].budget_expired, 0);
+    assert_eq!(stats[2].budget_expired, 0);
+}
+
+// ----------------------------------------------------------- backpressure
+
+#[test]
+fn queue_bounds_shed_typed_responses_instead_of_dropping() {
+    let spam_burst = |service_config: ServiceConfig, frames: usize| {
+        let mut game = build(4, 2);
+        let mut service = CoordinatorService::new(&mut game, service_config, Telemetry::disabled());
+        let (mut client_end, server_end) = oes::service::loopback_pair(PIPE_CAPACITY);
+        service.accept(Box::new(server_end));
+        // Attach, then spam replies far faster than any session could earn.
+        let attach = oes::service::ClientToServer::Attach {
+            olev: 0,
+            resume_from: 0,
+        };
+        let mut wire = encode_frame(&attach).unwrap();
+        for _ in 0..frames {
+            let reply = oes::service::ClientToServer::Reply(V2iFrame::new(
+                9_999,
+                OlevMessage::PowerRequest {
+                    id: OlevId(0),
+                    total: Kilowatts::new(1.0),
+                },
+            ));
+            wire.extend(encode_frame(&reply).unwrap());
+        }
+        use oes::service::ByteStream;
+        assert_eq!(client_end.write_some(&wire).unwrap(), wire.len());
+        service.poll(0);
+        // Collect everything the server said back.
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        while let Ok(n) = client_end.read_some(&mut buf) {
+            if n == 0 {
+                break;
+            }
+            decoder.push(&buf[..n]);
+        }
+        let mut sheds = Vec::new();
+        let mut welcomes = 0;
+        for tokens in decoder.drain_frames() {
+            match decode_server_frame(&tokens).unwrap() {
+                ServerToClient::Shed {
+                    reason,
+                    retry_after_us,
+                } => {
+                    assert!(retry_after_us > 0);
+                    sheds.push(reason);
+                }
+                ServerToClient::Welcome { olev } => {
+                    assert_eq!(olev, 0);
+                    welcomes += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(welcomes, 1);
+        assert_eq!(service.live(), 2, "shedding must never evict a session");
+        sheds
+    };
+
+    // Tight per-session queue: the session bound trips first.
+    let mut config = ServiceConfig::default();
+    config.session_queue = 2;
+    let sheds = spam_burst(config, 10);
+    assert_eq!(sheds.len(), 9, "attach + 1 queued reply fit; 9 shed");
+    assert!(sheds.iter().all(|r| *r == ShedReason::SessionQueueFull));
+
+    // Tight global queue: the server-wide bound trips first.
+    let mut config = ServiceConfig::default();
+    config.global_queue = 3;
+    let sheds = spam_burst(config, 10);
+    assert_eq!(sheds.len(), 8, "attach + 2 queued replies fit; 8 shed");
+    assert!(sheds.iter().all(|r| *r == ShedReason::GlobalQueueFull));
+}
+
+// -------------------------------------------------------- socket smoke
+
+/// Runs `n` real-socket clients on their own threads against a blocking
+/// accept loop on this thread, returning the outcome and per-client stats.
+fn socket_smoke<L, C>(game: &mut Game, n: usize, serve: L, connect: C) -> Outcome
+where
+    L: FnOnce(&mut Game) -> Result<Outcome, GameError>,
+    C: Fn(usize) -> std::thread::JoinHandle<ClientStats>,
+{
+    let handles: Vec<_> = (0..n).map(connect).collect();
+    let outcome = serve(game).unwrap();
+    for handle in handles {
+        let stats = handle.join().unwrap();
+        assert!(stats.offers_answered > 0, "every client must participate");
+    }
+    outcome
+}
+
+fn spawn_socket_client<S, F>(
+    olev: usize,
+    cost: oes::game::SectionCost,
+    caps: Vec<f64>,
+    p_max: f64,
+    scheduler: oes::game::Scheduler,
+    dial: F,
+) -> std::thread::JoinHandle<ClientStats>
+where
+    S: oes::service::ByteStream + 'static,
+    F: Fn() -> S + Send + 'static,
+{
+    std::thread::spawn(move || {
+        let responder = BestResponder::new(
+            Box::new(LogSatisfaction::new(1.0)),
+            cost,
+            caps,
+            p_max,
+            scheduler,
+        );
+        let mut client = ClientSession::new(
+            olev,
+            Box::new(responder),
+            ClientConfig::default(),
+            Telemetry::disabled(),
+        );
+        let clock = MonotonicClock::new();
+        client.connect(Box::new(dial()), clock.now_micros());
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !client.is_done() {
+            assert!(!client.is_failed(), "client burned its reconnect budget");
+            let now = clock.now_micros();
+            if client.needs_reconnect(now) {
+                client.connect(Box::new(dial()), now);
+            }
+            client.poll(now);
+            assert!(
+                std::time::Instant::now() < deadline,
+                "socket client timed out"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        client.stats()
+    })
+}
+
+#[test]
+fn tcp_service_converges_with_real_sockets() {
+    let mut game = build(6, 3);
+    let cost = *game.cost();
+    let caps = game.caps().to_vec();
+    let p_max = game.p_max().to_vec();
+    let scheduler = game.scheduler();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let outcome = socket_smoke(
+        &mut game,
+        3,
+        |game| {
+            serve_tcp(
+                game,
+                ServiceConfig::default(),
+                Telemetry::disabled(),
+                &listener,
+                Duration::from_micros(200),
+            )
+        },
+        |olev| {
+            spawn_socket_client(
+                olev,
+                cost,
+                caps.clone(),
+                p_max[olev],
+                scheduler,
+                move || {
+                    let stream = std::net::TcpStream::connect(addr).unwrap();
+                    oes::service::tcp_stream(stream).unwrap()
+                },
+            )
+        },
+    );
+    assert!(outcome.converged());
+    assert!(outcome.degradation().hellos >= 3);
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_service_converges_with_real_sockets() {
+    let path = std::env::temp_dir().join(format!("oes-service-uds-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut game = build(6, 3);
+    let cost = *game.cost();
+    let caps = game.caps().to_vec();
+    let p_max = game.p_max().to_vec();
+    let scheduler = game.scheduler();
+    let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+    let outcome = socket_smoke(
+        &mut game,
+        3,
+        |game| {
+            oes::service::serve_uds(
+                game,
+                ServiceConfig::default(),
+                Telemetry::disabled(),
+                &listener,
+                Duration::from_micros(200),
+            )
+        },
+        |olev| {
+            let path = path.clone();
+            spawn_socket_client(
+                olev,
+                cost,
+                caps.clone(),
+                p_max[olev],
+                scheduler,
+                move || {
+                    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+                    oes::service::unix_stream(stream).unwrap()
+                },
+            )
+        },
+    );
+    let _ = std::fs::remove_file(&path);
+    assert!(outcome.converged());
+    assert!(outcome.degradation().hellos >= 3);
+}
