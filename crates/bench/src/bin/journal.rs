@@ -1,0 +1,149 @@
+//! Journal analysis CLI: summaries, trace timelines, determinism diffs,
+//! and the golden-journal regression gate.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin journal -- summarize <file.jsonl>
+//! cargo run --release -p oes-bench --bin journal -- trace <file.jsonl> [trace-id-hex]
+//! cargo run --release -p oes-bench --bin journal -- diff <a.jsonl> <b.jsonl>
+//! cargo run --release -p oes-bench --bin journal -- golden <out.jsonl>
+//! cargo run --release -p oes-bench --bin journal -- check [golden.jsonl]
+//! ```
+//!
+//! `diff` exits nonzero at the first divergence. `check` regenerates the
+//! golden scenario deterministically and diffs it against the committed
+//! fixture (default `crates/bench/baselines/golden.jsonl`) — the CI gate
+//! that catches any unintended change to journal bytes, event order, or
+//! trace assignment.
+
+use oes_bench::journal::{
+    diff_journals, golden_run, render_timeline, summarize_journal, trace_timelines, GOLDEN_SEED,
+};
+
+const GOLDEN_PATH: &str = "crates/bench/baselines/golden.jsonl";
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: journal summarize <file.jsonl>\n\
+         \x20      journal trace <file.jsonl> [trace-id-hex]\n\
+         \x20      journal diff <a.jsonl> <b.jsonl>\n\
+         \x20      journal golden <out.jsonl>\n\
+         \x20      journal check [golden.jsonl]"
+    );
+    std::process::exit(2);
+}
+
+fn summarize(path: &str) {
+    let summary = summarize_journal(&read(path));
+    println!(
+        "{path}: {} header(s), {} events, {} unparsed",
+        summary.headers, summary.events, summary.unparsed
+    );
+    println!("namespaces:");
+    for (ns, events) in summary.namespaces() {
+        println!("  {ns:<16} {events:>8} events");
+    }
+    println!(
+        "{:<28} {:>8} {:>10} {:>8} {:>10} {:>8}",
+        "name", "events", "counter", "hist n", "hist sum", "traced"
+    );
+    for (name, s) in &summary.names {
+        println!(
+            "{name:<28} {:>8} {:>10} {:>8} {:>10.1} {:>8}",
+            s.events, s.counter_total, s.histogram_count, s.histogram_sum, s.traced
+        );
+    }
+}
+
+fn trace(path: &str, wanted: Option<&str>) {
+    let timelines = trace_timelines(&read(path));
+    if timelines.is_empty() {
+        println!("{path}: no traced events (trace_seed was zero?)");
+        return;
+    }
+    let wanted = wanted.map(|hex| {
+        u64::from_str_radix(hex, 16).unwrap_or_else(|_| {
+            eprintln!("trace id must be hex, got {hex:?}");
+            std::process::exit(2);
+        })
+    });
+    let mut shown = 0usize;
+    for (id, steps) in &timelines {
+        if wanted.is_some_and(|w| w != *id) {
+            continue;
+        }
+        print!("{}", render_timeline(*id, steps));
+        shown += 1;
+    }
+    match wanted {
+        Some(w) if shown == 0 => {
+            eprintln!(
+                "trace {w:016x} not found ({} traces present)",
+                timelines.len()
+            );
+            std::process::exit(1);
+        }
+        _ => println!("{shown} trace(s) shown"),
+    }
+}
+
+fn diff(a: &str, b: &str) {
+    match diff_journals(&read(a), &read(b)) {
+        None => println!("{a} and {b} are identical"),
+        Some(divergence) => {
+            eprintln!("{divergence}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") => match args.get(1) {
+            Some(path) => summarize(path),
+            None => usage(),
+        },
+        Some("trace") => match args.get(1) {
+            Some(path) => trace(path, args.get(2).map(String::as_str)),
+            None => usage(),
+        },
+        Some("diff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => diff(a, b),
+            _ => usage(),
+        },
+        Some("golden") => match args.get(1) {
+            Some(out) => {
+                std::fs::write(out, golden_run(GOLDEN_SEED))
+                    .unwrap_or_else(|e| panic!("write {out}: {e}"));
+                println!("wrote golden journal (seed {GOLDEN_SEED}) to {out}");
+            }
+            None => usage(),
+        },
+        Some("check") => {
+            let path = args.get(1).map_or(GOLDEN_PATH, String::as_str);
+            let fresh = golden_run(GOLDEN_SEED);
+            match diff_journals(&read(path), &fresh) {
+                None => println!(
+                    "golden journal gate passed: regenerated run matches {path} byte for byte"
+                ),
+                Some(divergence) => {
+                    eprintln!(
+                        "GOLDEN JOURNAL DRIFT: the deterministic run no longer matches {path}\n\
+                         {divergence}\n\
+                         If the change is intentional, regenerate with:\n\
+                         \x20 cargo run --release -p oes-bench --bin journal -- golden {path}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,6 +1,7 @@
-//! Emits the service load artifact `BENCH_service.json`: offers/sec and
+//! Emits the service load artifact `BENCH_service.json` (offers/sec and
 //! p50/p95/p99 offer round-trip latency at 1k/10k/100k loopback clients
-//! plus a real Unix-domain-socket tier.
+//! plus a real Unix-domain-socket tier) and `BENCH_service_metrics.prom`
+//! (the live `/metrics` exposition of a 256-client loopback run).
 //!
 //! ```sh
 //! cargo run --release -p oes-bench --bin service            # measure + emit
@@ -12,7 +13,8 @@
 //! 2× regression exits nonzero and fails the job.
 
 use oes_bench::service::{
-    measure_tiers, parse_offers_per_sec, service_summary_json, GATED_TIER, REGRESSION_FACTOR,
+    measure_tiers, metrics_snapshot, parse_offers_per_sec, service_summary_json, GATED_TIER,
+    REGRESSION_FACTOR,
 };
 
 const BASELINE_PATH: &str = "crates/bench/baselines/service.json";
@@ -52,6 +54,14 @@ fn main() {
     let json = service_summary_json(&points);
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");
+
+    let exposition = metrics_snapshot(256);
+    std::fs::write("BENCH_service_metrics.prom", &exposition)
+        .expect("write BENCH_service_metrics.prom");
+    println!(
+        "wrote BENCH_service_metrics.prom ({} metric lines)",
+        exposition.lines().count()
+    );
 
     if check {
         let (transport, clients) = GATED_TIER;

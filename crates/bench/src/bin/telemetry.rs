@@ -1,15 +1,62 @@
 //! Emits the telemetry artifacts for the benchmark suite:
 //! `BENCH_telemetry.json` (per-scenario iteration counts, span p50/p95/p99
-//! timings, fault counters) and `BENCH_telemetry.jsonl` (the raw seed- and
-//! scenario-stamped journals).
+//! timings, fault counters), `BENCH_telemetry.jsonl` (the raw seed- and
+//! scenario-stamped journals), and `BENCH_telemetry_overhead.json` (the
+//! aggregator-vs-noop hot-loop comparison).
 //!
 //! ```sh
-//! cargo run --release -p oes-bench --bin telemetry
+//! cargo run --release -p oes-bench --bin telemetry            # measure + emit
+//! cargo run --release -p oes-bench --bin telemetry -- --check # + overhead gate
 //! ```
+//!
+//! With `--check`, the measured aggregator overhead must stay under
+//! [`OVERHEAD_LIMIT`] (5% of the noop-recorder engine hot loop) or the
+//! job fails. The committed reference is
+//! `crates/bench/baselines/telemetry_overhead.json`.
 
+use oes_bench::overhead::{measure_overhead, parse_overhead_frac, OVERHEAD_LIMIT, TRIAL_UPDATES};
 use oes_bench::telemetry::{bench_journals, bench_scenarios, bench_summary_json};
 
+const OVERHEAD_BASELINE_PATH: &str = "crates/bench/baselines/telemetry_overhead.json";
+
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    // The overhead comparison runs first: it is the CI gate, and it has no
+    // dependency on the fault-injected scenarios below.
+    let point = measure_overhead(5, TRIAL_UPDATES);
+    println!(
+        "aggregator overhead: noop {:.3} ms, aggregating {:.3} ms, overhead {:+.2}%",
+        point.noop_ns as f64 / 1e6,
+        point.aggregating_ns as f64 / 1e6,
+        point.overhead_frac * 100.0
+    );
+    if let Ok(baseline) = std::fs::read_to_string(OVERHEAD_BASELINE_PATH) {
+        if let Some(frac) = parse_overhead_frac(&baseline) {
+            println!("committed baseline overhead: {:+.2}%", frac * 100.0);
+        }
+    }
+    std::fs::write("BENCH_telemetry_overhead.json", point.to_json())
+        .expect("write BENCH_telemetry_overhead.json");
+    println!("wrote BENCH_telemetry_overhead.json");
+
+    if check {
+        if point.overhead_frac > OVERHEAD_LIMIT {
+            eprintln!(
+                "TELEMETRY OVERHEAD REGRESSION: aggregator adds {:+.2}% to the engine \
+                 hot loop, over the {:.0}% limit",
+                point.overhead_frac * 100.0,
+                OVERHEAD_LIMIT * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "overhead gate passed: {:+.2}% <= {:.0}%",
+            point.overhead_frac * 100.0,
+            OVERHEAD_LIMIT * 100.0
+        );
+    }
+
     let seed = 23;
     let scenarios = bench_scenarios(seed);
     for s in &scenarios {

@@ -1,0 +1,379 @@
+//! Journal analysis: summaries, offer-lifecycle timelines, and divergence
+//! diffs over the telemetry JSONL format.
+//!
+//! The journals the runtimes emit are byte-exact and seed-deterministic,
+//! which makes them *evidence*: two same-seed runs must produce identical
+//! files, and one offer's whole lifecycle is linked by its trace id. This
+//! module turns a journal back into answers —
+//!
+//! - [`summarize_journal`]: per-event-name totals (counter sums, histogram
+//!   counts/sums, last gauge) plus a namespace rollup, the quick "what did
+//!   this run do" view.
+//! - [`trace_timelines`]: groups traced events by trace id in journal
+//!   order, reconstructing each offer's enqueue → send → retry → reply →
+//!   apply chain.
+//! - [`diff_journals`]: first line where two journals diverge — the
+//!   determinism regression check, wired into CI against the committed
+//!   golden journal.
+//! - [`golden_run`]: the deterministic fixture generator behind that gate —
+//!   a virtual-clock loopback service run with tracing on, no randomness
+//!   anywhere, so the bytes depend only on the code under test.
+//!
+//! The `journal` binary exposes all four over files.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use oes_game::{GameBuilder, LogSatisfaction};
+use oes_service::{
+    loopback_pair, BestResponder, ClientConfig, ClientSession, CoordinatorService, ServiceConfig,
+    ServiceStatus,
+};
+use oes_telemetry::{parse_event_line, JournalRecorder, ManualClock, Telemetry, TraceId};
+use oes_units::Kilowatts;
+
+/// Accumulated totals for one event name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NameSummary {
+    /// Events seen under this name (all kinds).
+    pub events: u64,
+    /// Sum of counter deltas.
+    pub counter_total: u64,
+    /// Histogram samples seen.
+    pub histogram_count: u64,
+    /// Sum of histogram sample values.
+    pub histogram_sum: f64,
+    /// Completed spans (exit events) and their total elapsed microseconds.
+    pub span_exits: u64,
+    /// Total elapsed microseconds across completed spans.
+    pub span_elapsed_us: u64,
+    /// The last gauge value, if any was recorded.
+    pub last_gauge: Option<f64>,
+    /// Events carrying a nonzero trace id.
+    pub traced: u64,
+}
+
+/// What [`summarize_journal`] extracts from one JSONL document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalSummary {
+    /// Journal header lines (one per recorded scenario).
+    pub headers: u64,
+    /// Parsed telemetry events.
+    pub events: u64,
+    /// Non-empty lines that were neither headers nor parseable events.
+    pub unparsed: u64,
+    /// Per-name totals, sorted by name.
+    pub names: BTreeMap<String, NameSummary>,
+}
+
+impl JournalSummary {
+    /// Rolls the per-name totals up to their first dotted segment
+    /// (`service.client.reply` → `service`), yielding event counts per
+    /// namespace.
+    #[must_use]
+    pub fn namespaces(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, s) in &self.names {
+            let ns = name.split('.').next().unwrap_or(name).to_owned();
+            *out.entry(ns).or_default() += s.events;
+        }
+        out
+    }
+}
+
+/// Folds a JSONL journal into per-name totals. Header lines (`{"journal"…`)
+/// are counted, not parsed; anything else unparseable is tallied rather
+/// than dropped silently.
+#[must_use]
+pub fn summarize_journal(jsonl: &str) -> JournalSummary {
+    let mut summary = JournalSummary::default();
+    for line in jsonl.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("{\"journal\"") {
+            summary.headers += 1;
+            continue;
+        }
+        let Some(event) = parse_event_line(line) else {
+            summary.unparsed += 1;
+            continue;
+        };
+        summary.events += 1;
+        let entry = summary.names.entry(event.name.clone()).or_default();
+        entry.events += 1;
+        if event.trace != 0 {
+            entry.traced += 1;
+        }
+        match event.kind.as_str() {
+            "counter" => entry.counter_total += event.delta.unwrap_or(0),
+            "histogram" => {
+                entry.histogram_count += 1;
+                entry.histogram_sum += event.value.unwrap_or(0.0);
+            }
+            "gauge" => entry.last_gauge = event.value.or(entry.last_gauge),
+            "span_exit" => {
+                entry.span_exits += 1;
+                entry.span_elapsed_us += event.elapsed_us.unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    summary
+}
+
+/// One step of an offer's lifecycle, in journal order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Event timestamp, microseconds on the run's clock.
+    pub at_us: u64,
+    /// Event name (`service.offer`, `service.retry`, …).
+    pub name: String,
+    /// Event key (the OLEV index for session events).
+    pub key: i64,
+    /// Event kind (`counter`, `histogram`, …).
+    pub kind: String,
+}
+
+/// Groups every traced event by trace id, preserving journal order within
+/// each trace. Untraced events (trace 0) are excluded.
+#[must_use]
+pub fn trace_timelines(jsonl: &str) -> BTreeMap<u64, Vec<TraceStep>> {
+    let mut out: BTreeMap<u64, Vec<TraceStep>> = BTreeMap::new();
+    for line in jsonl.lines() {
+        let Some(event) = parse_event_line(line) else {
+            continue;
+        };
+        if event.trace == 0 {
+            continue;
+        }
+        out.entry(event.trace).or_default().push(TraceStep {
+            at_us: event.at_us,
+            name: event.name,
+            key: event.key,
+            kind: event.kind,
+        });
+    }
+    out
+}
+
+/// Renders one trace's timeline as indented text, one step per line.
+#[must_use]
+pub fn render_timeline(trace: u64, steps: &[TraceStep]) -> String {
+    let mut out = format!("trace {}\n", TraceId(trace));
+    for step in steps {
+        out.push_str(&format!(
+            "  {:>10} us  {:<24} key={}\n",
+            step.at_us, step.name, step.key
+        ));
+    }
+    out
+}
+
+/// Where two journals first part ways.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDivergence {
+    /// 1-based line number of the first difference.
+    pub line: usize,
+    /// That line in the left journal (`None` = left ended early).
+    pub left: Option<String>,
+    /// That line in the right journal (`None` = right ended early).
+    pub right: Option<String>,
+}
+
+impl core::fmt::Display for JournalDivergence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "journals diverge at line {}:", self.line)?;
+        match &self.left {
+            Some(l) => writeln!(f, "  left : {l}")?,
+            None => writeln!(f, "  left : <ended at line {}>", self.line - 1)?,
+        }
+        match &self.right {
+            Some(r) => write!(f, "  right: {r}"),
+            None => write!(f, "  right: <ended at line {}>", self.line - 1),
+        }
+    }
+}
+
+/// Compares two journals line by line, reporting the first divergence
+/// (`None` means byte-identical up to trailing newlines).
+#[must_use]
+pub fn diff_journals(left: &str, right: &str) -> Option<JournalDivergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => {}
+            (a, b) => {
+                return Some(JournalDivergence {
+                    line,
+                    left: a.map(str::to_owned),
+                    right: b.map(str::to_owned),
+                })
+            }
+        }
+    }
+}
+
+/// OLEVs in the golden scenario.
+pub const GOLDEN_OLEVS: usize = 4;
+/// Charging sections in the golden scenario.
+pub const GOLDEN_SECTIONS: usize = 6;
+/// The seed the committed golden journal was generated with.
+pub const GOLDEN_SEED: u64 = 23;
+
+/// Runs the deterministic golden scenario — a clean loopback service run
+/// on a virtual clock with offer tracing enabled — and returns its
+/// journal. No randomness enters anywhere (seeded trace stream, loopback
+/// transport, manual clock), so the bytes are a pure function of the code:
+/// any divergence from the committed fixture is a behavior change.
+///
+/// # Panics
+///
+/// If the scenario fails to build or the run does not finish within its
+/// virtual-time budget — both indicate a broken build, not bad input.
+#[must_use]
+pub fn golden_run(seed: u64) -> String {
+    let mut game = GameBuilder::new()
+        .sections(GOLDEN_SECTIONS, Kilowatts::new(60.0))
+        .olevs(GOLDEN_OLEVS, Kilowatts::new(50.0))
+        .build()
+        .expect("golden scenario is valid");
+    let cost = *game.cost();
+    let caps = game.caps().to_vec();
+    let p_max = game.p_max().to_vec();
+    let scheduler = game.scheduler();
+
+    let clock = Arc::new(ManualClock::new());
+    let journal = Arc::new(JournalRecorder::new("golden loopback service", seed));
+    let telemetry = Telemetry::with_clock(journal.clone(), clock.clone());
+
+    let mut config = ServiceConfig::default();
+    config.session.max_updates = 48;
+    config.session.offer_timeout = Duration::from_millis(5);
+    config.session.trace_seed = seed;
+
+    let mut clients: Vec<ClientSession> = (0..GOLDEN_OLEVS)
+        .map(|olev| {
+            let responder = BestResponder::new(
+                Box::new(LogSatisfaction::new(1.0)),
+                cost,
+                caps.clone(),
+                p_max[olev],
+                scheduler,
+            );
+            ClientSession::new(
+                olev,
+                Box::new(responder),
+                ClientConfig::default(),
+                Telemetry::disabled(),
+            )
+        })
+        .collect();
+    let mut service = CoordinatorService::new(&mut game, config, telemetry);
+    let mut now = 0u64;
+    for client in &mut clients {
+        let (client_end, server_end) = loopback_pair(1 << 16);
+        service.accept(Box::new(server_end));
+        client.connect(Box::new(client_end), now);
+    }
+    for _ in 0..100_000 {
+        clock.set_micros(now);
+        for client in &mut clients {
+            client.poll(now);
+        }
+        let status = service.poll(now);
+        for client in &mut clients {
+            client.poll(now);
+        }
+        if status == ServiceStatus::Done {
+            return journal.to_jsonl();
+        }
+        now += 1_000;
+    }
+    panic!("golden run did not finish within its virtual-time budget");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_run_is_deterministic_and_traced() {
+        let a = golden_run(GOLDEN_SEED);
+        let b = golden_run(GOLDEN_SEED);
+        assert!(diff_journals(&a, &b).is_none(), "same seed, same bytes");
+        let timelines = trace_timelines(&a);
+        assert!(
+            !timelines.is_empty(),
+            "tracing was enabled; offers must carry trace ids"
+        );
+        // Every timeline holds at least the offer counter and, for applied
+        // offers, the latency histogram.
+        let offers_with_latency = timelines
+            .values()
+            .filter(|steps| steps.iter().any(|s| s.name == "service.latency"))
+            .count();
+        assert!(offers_with_latency > 0, "applied offers close their trace");
+        let other = golden_run(GOLDEN_SEED + 1);
+        assert!(
+            diff_journals(&a, &other).is_some(),
+            "the trace seed must reach the journal bytes"
+        );
+    }
+
+    #[test]
+    fn summarize_counts_names_and_namespaces() {
+        let jsonl = golden_run(GOLDEN_SEED);
+        let summary = summarize_journal(&jsonl);
+        assert_eq!(summary.headers, 1);
+        assert_eq!(summary.unparsed, 0, "every journal line must parse");
+        assert!(summary.events > 0);
+        let offers = &summary.names["service.offer"];
+        assert!(offers.counter_total > 0);
+        assert_eq!(offers.traced, offers.events, "offers are all traced");
+        let latency = &summary.names["service.latency"];
+        assert!(latency.histogram_count > 0);
+        assert!(summary.names["service.poll"].span_exits > 0);
+        let namespaces = summary.namespaces();
+        assert_eq!(
+            namespaces.values().sum::<u64>(),
+            summary.events,
+            "rollup partitions the events"
+        );
+        assert!(namespaces.contains_key("service"));
+    }
+
+    #[test]
+    fn diff_pinpoints_first_divergence_and_length_mismatch() {
+        assert_eq!(diff_journals("a\nb\n", "a\nb"), None);
+        let d = diff_journals("a\nb\nc", "a\nX\nc").unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("b"));
+        assert_eq!(d.right.as_deref(), Some("X"));
+        let tail = diff_journals("a\nb", "a").unwrap();
+        assert_eq!(tail.line, 2);
+        assert_eq!(tail.left.as_deref(), Some("b"));
+        assert_eq!(tail.right, None);
+        assert!(format!("{tail}").contains("ended at line 1"));
+    }
+
+    #[test]
+    fn timelines_group_by_trace_in_order() {
+        let jsonl = "{\"at_us\":1,\"name\":\"service.offer\",\"key\":0,\"kind\":\"counter\",\"delta\":1,\"trace\":7}\n\
+             {\"at_us\":2,\"name\":\"service.offer\",\"key\":1,\"kind\":\"counter\",\"delta\":1,\"trace\":9}\n\
+             {\"at_us\":3,\"name\":\"service.retry\",\"key\":0,\"kind\":\"counter\",\"delta\":1,\"trace\":7}\n\
+             {\"at_us\":4,\"name\":\"service.accepted\",\"key\":0,\"kind\":\"counter\",\"delta\":1}\n";
+        let timelines = trace_timelines(jsonl);
+        assert_eq!(timelines.len(), 2);
+        let seven: Vec<&str> = timelines[&7].iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(seven, ["service.offer", "service.retry"]);
+        let rendered = render_timeline(7, &timelines[&7]);
+        assert!(rendered.starts_with("trace 0000000000000007\n"));
+        assert!(rendered.contains("service.retry"));
+    }
+}

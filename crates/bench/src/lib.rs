@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
+pub mod overhead;
 pub mod parallel;
 pub mod report;
 pub mod scenarios;

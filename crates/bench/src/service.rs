@@ -331,6 +331,76 @@ pub fn measure_uds(clients: usize) -> ServicePoint {
     )
 }
 
+/// Runs a small loopback tier with a live
+/// [`AggregatingRecorder`](oes_telemetry::AggregatingRecorder) and returns
+/// the rendered `/metrics` exposition — the `BENCH_service_metrics.prom`
+/// artifact, a sample of exactly what the admin endpoint serves under
+/// load. The run is virtual-clock-free (real monotonic time), so the
+/// histogram contents vary run to run, but the *shape* — which families
+/// and names exist, sorted order — is stable and diffable.
+#[must_use]
+pub fn metrics_snapshot(clients: usize) -> String {
+    let mut game = GameBuilder::new()
+        .sections(SECTIONS, Kilowatts::new(60.0))
+        .olevs(clients, Kilowatts::new(50.0))
+        .build()
+        .expect("valid scenario");
+    let cost = *game.cost();
+    let caps = game.caps().to_vec();
+    let p_max = game.p_max().to_vec();
+    let scheduler = game.scheduler();
+    let aggregator = Arc::new(oes_telemetry::AggregatingRecorder::with_labels(
+        8,
+        vec![
+            ("transport".to_owned(), "loopback".to_owned()),
+            ("clients".to_owned(), clients.to_string()),
+        ],
+    ));
+    let telemetry = Telemetry::new(aggregator.clone());
+    let mut fleet: Vec<ClientSession> = (0..clients)
+        .map(|olev| {
+            let responder = BestResponder::new(
+                Box::new(LogSatisfaction::new(1.0)),
+                cost,
+                caps.clone(),
+                p_max[olev],
+                scheduler,
+            );
+            ClientSession::new(
+                olev,
+                Box::new(responder),
+                ClientConfig::default(),
+                Telemetry::disabled(),
+            )
+        })
+        .collect();
+    let mut service = CoordinatorService::new(&mut game, tier_config(clients), telemetry);
+    let health = Arc::new(oes_service::HealthState::new());
+    service.set_health(Arc::clone(&health));
+    let clock = MonotonicClock::new();
+    let start = Instant::now();
+    for session in &mut fleet {
+        let (client_end, server_end) = loopback_pair(1 << 16);
+        service.accept(Box::new(server_end));
+        session.connect(Box::new(client_end), clock.now_micros());
+    }
+    loop {
+        let now = clock.now_micros();
+        for session in &mut fleet {
+            session.poll(now);
+        }
+        let status = service.poll(clock.now_micros());
+        let now = clock.now_micros();
+        for session in &mut fleet {
+            session.poll(now);
+        }
+        if status == ServiceStatus::Done || start.elapsed() > TIER_TIMEOUT {
+            break;
+        }
+    }
+    aggregator.render()
+}
+
 /// Blocking UDS connect with retries: a connect burst can transiently
 /// overflow the listener backlog while the accept loop drains it.
 #[cfg(unix)]
@@ -425,6 +495,19 @@ mod tests {
         assert!(p.offers_per_sec > 0.0);
         assert_eq!(p.evicted, 0, "a clean loopback tier must not evict");
         assert!(p.latency_p50_us <= p.latency_p99_us);
+    }
+
+    #[test]
+    fn metrics_snapshot_exposes_service_counters() {
+        let prom = metrics_snapshot(4);
+        assert!(
+            prom.contains("name=\"service.offer\"") && prom.contains("transport=\"loopback\""),
+            "snapshot must carry labeled service counters:\n{prom}"
+        );
+        assert!(
+            prom.contains("oes_histogram_count{name=\"service.latency\""),
+            "snapshot must carry the latency histogram:\n{prom}"
+        );
     }
 
     #[cfg(unix)]

@@ -15,7 +15,7 @@ use oes_game::{
     DistributedGame, FaultPlan, GameBuilder, NonlinearPricing, PricingPolicy, UpdateOrder,
 };
 use oes_telemetry::{
-    span_summaries, sum_counters, Event, HistogramSummary, JournalRecorder, Recorder,
+    span_summaries, sum_counters, FanoutRecorder, HistogramSummary, JournalRecorder,
     RingBufferRecorder, Telemetry,
 };
 use oes_units::Kilowatts;
@@ -95,24 +95,18 @@ impl ScenarioTelemetry {
     }
 }
 
-/// Forwards each event to both sinks: the ring keeps structured [`Event`]s
-/// for span summaries, the journal keeps the byte-exact JSONL.
-struct Fanout(Arc<RingBufferRecorder>, Arc<JournalRecorder>);
-
-impl Recorder for Fanout {
-    fn record(&self, event: &Event) {
-        self.0.record(event);
-        self.1.record(event);
-    }
-}
-
 fn instrumented(
     scenario: &str,
     seed: u64,
 ) -> (Telemetry, Arc<RingBufferRecorder>, Arc<JournalRecorder>) {
     let ring = Arc::new(RingBufferRecorder::new(1 << 18));
     let journal = Arc::new(JournalRecorder::new(scenario, seed));
-    let telemetry = Telemetry::new(Arc::new(Fanout(ring.clone(), journal.clone())));
+    // The fanout keeps structured events in the ring (span summaries) and
+    // the byte-exact JSONL in the journal.
+    let telemetry = Telemetry::new(Arc::new(FanoutRecorder::new(vec![
+        ring.clone(),
+        journal.clone(),
+    ])));
     (telemetry, ring, journal)
 }
 

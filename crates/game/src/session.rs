@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, HashSet};
 use std::time::Duration;
 
-use oes_telemetry::Telemetry;
+use oes_telemetry::{Telemetry, TraceId, TraceIdGen};
 use oes_units::{Kilowatts, OlevId};
 use oes_wpt::v2i::{GridMessage, OlevMessage, V2iFrame};
 
@@ -51,6 +51,10 @@ pub struct SessionConfig {
     pub retry_budget: u32,
     /// Best-response updates to run before stopping.
     pub max_updates: usize,
+    /// Seed for the offer-lifecycle trace-id stream. Zero (the default)
+    /// disables tracing entirely: frames carry trace 0 and journals stay
+    /// byte-identical to the pre-trace format. Same seed ⇒ same trace tree.
+    pub trace_seed: u64,
 }
 
 impl Default for SessionConfig {
@@ -60,6 +64,7 @@ impl Default for SessionConfig {
             offer_timeout: Duration::from_millis(250),
             retry_budget: 6,
             max_updates: 10_000,
+            trace_seed: 0,
         }
     }
 }
@@ -73,6 +78,9 @@ pub struct OutboundOffer {
     pub seq: u64,
     /// Which retransmission of the logical offer this is (0 = first).
     pub attempt: u32,
+    /// The causal trace of the logical offer — retries share it, and the
+    /// reply (plus the closing `PaymentUpdate`) echo it.
+    pub trace: TraceId,
     /// The payment-function offer frame.
     pub frame: V2iFrame<GridMessage>,
     /// Absolute expiry on the coordinator clock, microseconds.
@@ -115,6 +123,7 @@ pub struct SessionCoordinator<'g> {
     state: &'g mut ScheduleState,
     config: SessionConfig,
     telemetry: Telemetry,
+    trace_gen: TraceIdGen,
     scratch_loads: Vec<f64>,
 
     alive: Vec<bool>,
@@ -153,6 +162,7 @@ struct PendingOffer {
     olev: usize,
     attempt: u32,
     invalids: u32,
+    trace: TraceId,
     sent_at_us: u64,
     deadline_us: u64,
 }
@@ -171,6 +181,7 @@ impl<'g> SessionCoordinator<'g> {
             tolerance: game.tolerance,
             satisfactions: &game.satisfactions,
             state: &mut game.state,
+            trace_gen: TraceIdGen::new(config.trace_seed),
             config,
             telemetry,
             scratch_loads: Vec::with_capacity(sections),
@@ -268,11 +279,13 @@ impl<'g> SessionCoordinator<'g> {
         olev: usize,
         attempt: u32,
         invalids: u32,
+        trace: TraceId,
         now_us: u64,
     ) -> OutboundOffer {
         if attempt > 0 {
             self.report.retries += 1;
-            self.telemetry.counter("service.retry", olev as i64, 1);
+            self.telemetry
+                .counter_traced("service.retry", olev as i64, trace, 1);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -284,15 +297,17 @@ impl<'g> SessionCoordinator<'g> {
             .copied()
             .map(Kilowatts::new)
             .collect();
-        let frame = V2iFrame::new(
+        let frame = V2iFrame::with_trace(
             seq,
+            trace.0,
             GridMessage::PaymentFunction {
                 id: OlevId(olev),
                 loads_excl,
             },
         );
         self.report.offers_sent += 1;
-        self.telemetry.counter("service.offer", olev as i64, 1);
+        self.telemetry
+            .counter_traced("service.offer", olev as i64, trace, 1);
         let budget_us = self.timeout_for_us(attempt);
         let deadline_us = now_us.saturating_add(budget_us);
         self.pending.insert(
@@ -301,6 +316,7 @@ impl<'g> SessionCoordinator<'g> {
                 olev,
                 attempt,
                 invalids,
+                trace,
                 sent_at_us: now_us,
                 deadline_us,
             },
@@ -309,6 +325,7 @@ impl<'g> SessionCoordinator<'g> {
             olev,
             seq,
             attempt,
+            trace,
             frame,
             deadline_us,
             budget_us,
@@ -326,7 +343,10 @@ impl<'g> SessionCoordinator<'g> {
         while self.pending.len() < window && self.issued < self.config.max_updates && self.live > 0
         {
             let olev = self.next_live();
-            let offer = self.make_offer(olev, 0, 0, now_us);
+            // A fresh logical offer starts a fresh causal trace; every
+            // retry, reply, and the closing update inherit it.
+            let trace = self.trace_gen.next_id();
+            let offer = self.make_offer(olev, 0, 0, trace, now_us);
             self.issued += 1;
             out.push(offer);
         }
@@ -354,14 +374,15 @@ impl<'g> SessionCoordinator<'g> {
             };
             self.abandoned.insert(seq);
             self.report.timeouts += 1;
-            self.telemetry.counter("service.timeout", p.olev as i64, 1);
+            self.telemetry
+                .counter_traced("service.timeout", p.olev as i64, p.trace, 1);
             if !self.alive[p.olev] {
                 continue;
             }
             if p.attempt >= self.config.retry_budget {
-                self.evict(p.olev, EvictionReason::Unresponsive);
+                self.evict_traced(p.olev, EvictionReason::Unresponsive, p.trace);
             } else {
-                let offer = self.make_offer(p.olev, p.attempt + 1, p.invalids, now_us);
+                let offer = self.make_offer(p.olev, p.attempt + 1, p.invalids, p.trace, now_us);
                 out.push(offer);
             }
         }
@@ -370,6 +391,12 @@ impl<'g> SessionCoordinator<'g> {
     /// Evicts a session: zeroes its schedule row, abandons its in-flight
     /// offers, and shrinks the convergence quorum. Idempotent.
     pub fn evict(&mut self, olev: usize, reason: EvictionReason) {
+        self.evict_traced(olev, reason, TraceId::NONE);
+    }
+
+    /// [`evict`](Self::evict) attributed to the causal trace of the offer
+    /// whose failure triggered it.
+    pub fn evict_traced(&mut self, olev: usize, reason: EvictionReason, trace: TraceId) {
         if olev >= self.alive.len() || !self.alive[olev] {
             return;
         }
@@ -394,7 +421,8 @@ impl<'g> SessionCoordinator<'g> {
             self.abandoned.insert(seq);
         }
         self.calm_streak = 0;
-        self.telemetry.counter("service.evicted", olev as i64, 1);
+        self.telemetry
+            .counter_traced("service.evicted", olev as i64, trace, 1);
         self.report.evictions.push(Eviction {
             olev,
             at_update: self.updates,
@@ -430,7 +458,13 @@ impl<'g> SessionCoordinator<'g> {
 
     /// Applies an accepted best response exactly as the in-process engines
     /// do, and returns the `PaymentUpdate` to close the loop with.
-    fn apply(&mut self, olev: usize, seq: u64, total: f64) -> V2iFrame<GridMessage> {
+    fn apply(
+        &mut self,
+        olev: usize,
+        seq: u64,
+        trace: TraceId,
+        total: f64,
+    ) -> V2iFrame<GridMessage> {
         let id = OlevId(olev);
         self.state.loads_excluding_into(id, &mut self.scratch_loads);
         let allocation =
@@ -467,8 +501,9 @@ impl<'g> SessionCoordinator<'g> {
             self.converged = true;
         }
         let allocated = Kilowatts::new(self.state.schedule().olev_total(id));
-        V2iFrame::new(
+        V2iFrame::with_trace(
             seq,
+            trace.0,
             GridMessage::PaymentUpdate {
                 id,
                 marginal_price: allocation.marginal,
@@ -503,17 +538,23 @@ impl<'g> SessionCoordinator<'g> {
             OlevMessage::PowerRequest { id, total } => (id, total.value()),
         };
         let seq = frame.seq;
+        // Duplicates and stale replies have no pending entry; the frame's
+        // echoed trace (if any) still attributes them to their lifecycle.
+        let echoed = TraceId(frame.trace);
         if self.accepted.contains(&seq) {
             self.report.duplicates += 1;
-            self.telemetry.counter("service.duplicate", id.0 as i64, 1);
+            self.telemetry
+                .counter_traced("service.duplicate", id.0 as i64, echoed, 1);
             return ReplyDisposition::Duplicate;
         }
         let Some(p) = self.pending.get(&seq) else {
             self.report.stale += 1;
-            self.telemetry.counter("service.stale", id.0 as i64, 1);
+            self.telemetry
+                .counter_traced("service.stale", id.0 as i64, echoed, 1);
             return ReplyDisposition::Stale;
         };
-        let (olev, attempt, invalids, sent_at_us) = (p.olev, p.attempt, p.invalids, p.sent_at_us);
+        let (olev, attempt, invalids, trace, sent_at_us) =
+            (p.olev, p.attempt, p.invalids, p.trace, p.sent_at_us);
         let fault = if id.0 != olev {
             Some(format!(
                 "reply claims OLEV {} for OLEV {olev}'s offer",
@@ -527,13 +568,13 @@ impl<'g> SessionCoordinator<'g> {
             self.abandoned.insert(seq);
             self.report.invalid_replies += 1;
             self.telemetry
-                .counter("service.invalid_reply", olev as i64, 1);
+                .counter_traced("service.invalid_reply", olev as i64, trace, 1);
             if invalids + 1 >= MAX_STRIKES {
-                self.evict(olev, EvictionReason::Misbehaving);
+                self.evict_traced(olev, EvictionReason::Misbehaving, trace);
             } else if attempt >= self.config.retry_budget {
-                self.evict(olev, EvictionReason::Unresponsive);
+                self.evict_traced(olev, EvictionReason::Unresponsive, trace);
             } else {
-                let offer = self.make_offer(olev, attempt + 1, invalids + 1, now_us);
+                let offer = self.make_offer(olev, attempt + 1, invalids + 1, trace, now_us);
                 out.push(offer);
             }
             return ReplyDisposition::Invalid;
@@ -544,7 +585,7 @@ impl<'g> SessionCoordinator<'g> {
             if total > bound + 1e-9 {
                 self.report.clamped_replies += 1;
                 self.telemetry
-                    .counter("service.clamped_reply", olev as i64, 1);
+                    .counter_traced("service.clamped_reply", olev as i64, trace, 1);
             }
             bound
         } else {
@@ -552,11 +593,13 @@ impl<'g> SessionCoordinator<'g> {
         };
         self.pending.remove(&seq);
         self.accepted.insert(seq);
-        let update = self.apply(olev, seq, total);
-        self.telemetry.counter("service.accepted", olev as i64, 1);
-        self.telemetry.histogram(
+        let update = self.apply(olev, seq, trace, total);
+        self.telemetry
+            .counter_traced("service.accepted", olev as i64, trace, 1);
+        self.telemetry.histogram_traced(
             "service.latency",
             olev as i64,
+            trace,
             now_us.saturating_sub(sent_at_us) as f64,
         );
         updates_out.push((olev, update));
@@ -794,6 +837,83 @@ mod tests {
             EvictionReason::Departed
         ));
         assert_eq!(core.report().goodbyes, 1);
+    }
+
+    #[test]
+    fn traces_span_the_offer_lifecycle() {
+        let mut game = build(4, 2);
+        let config = SessionConfig {
+            trace_seed: 7,
+            offer_timeout: Duration::from_millis(10),
+            ..SessionConfig::default()
+        };
+        let mut core = SessionCoordinator::new(&mut game, config, Telemetry::disabled());
+        let mut offers = Vec::new();
+        let mut updates = Vec::new();
+        core.pump(0, &mut offers);
+        let first = offers[0].clone();
+        assert!(first.trace.is_some(), "seeded runs trace every offer");
+        assert_eq!(first.frame.trace, first.trace.0, "frame carries the trace");
+        // Let it expire: the retry keeps the trace under a fresh seq.
+        offers.clear();
+        core.expire(first.deadline_us + 1, &mut offers);
+        let retry = offers[0].clone();
+        assert_eq!(retry.trace, first.trace);
+        assert_ne!(retry.seq, first.seq);
+        assert_eq!(retry.attempt, 1);
+        // Answer the retry: the closing update echoes the same trace.
+        let reply = V2iFrame::with_trace(
+            retry.seq,
+            retry.frame.trace,
+            OlevMessage::PowerRequest {
+                id: OlevId(retry.olev),
+                total: Kilowatts::new(10.0),
+            },
+        );
+        offers.clear();
+        core.on_message(reply, 0, &mut offers, &mut updates);
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].1.trace, first.trace.0);
+        // A second logical offer gets a distinct trace.
+        offers.clear();
+        core.pump(0, &mut offers);
+        assert_ne!(offers[0].trace, first.trace);
+        assert!(offers[0].trace.is_some());
+    }
+
+    #[test]
+    fn same_seed_runs_emit_identical_trace_streams() {
+        let traces_of = |seed: u64| -> Vec<u64> {
+            let mut game = build(4, 2);
+            let config = SessionConfig {
+                trace_seed: seed,
+                ..SessionConfig::default()
+            };
+            let mut core = SessionCoordinator::new(&mut game, config, Telemetry::disabled());
+            let mut out = Vec::new();
+            let mut updates = Vec::new();
+            let mut traces = Vec::new();
+            for round in 0..6u64 {
+                out.clear();
+                core.pump(round, &mut out);
+                for offer in &out {
+                    traces.push(offer.trace.0);
+                    let reply = V2iFrame::with_trace(
+                        offer.seq,
+                        offer.frame.trace,
+                        OlevMessage::PowerRequest {
+                            id: OlevId(offer.olev),
+                            total: Kilowatts::new(5.0),
+                        },
+                    );
+                    core.on_message(reply.clone(), round, &mut Vec::new(), &mut updates);
+                }
+            }
+            traces
+        };
+        assert_eq!(traces_of(42), traces_of(42));
+        assert_ne!(traces_of(42), traces_of(43));
+        assert!(traces_of(0).iter().all(|&t| t == 0), "zero seed = untraced");
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl Backoff {
         }
         let r = splitmix64(self.seed ^ (u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407)));
         let offset = r % (span + 1);
-        (nominal - span / 2 + offset).min(self.cap_us)
+        (nominal - span / 2).saturating_add(offset).min(self.cap_us)
     }
 }
 

@@ -131,6 +131,9 @@ struct QueuedOffer {
     received_at_us: u64,
     budget_us: u64,
     seq: u64,
+    /// The offer frame's causal trace, echoed on the reply so the server
+    /// can stitch both directions of the lifecycle together.
+    trace: u64,
     loads_excl: Vec<f64>,
 }
 
@@ -301,6 +304,7 @@ impl ClientSession {
                     received_at_us: now_us,
                     budget_us,
                     seq: frame.seq,
+                    trace: frame.trace,
                     loads_excl: loads_excl.iter().map(|kw| kw.value()).collect(),
                 });
             }
@@ -340,15 +344,26 @@ impl ClientSession {
                 // The propagated deadline has lapsed: a reply now would be
                 // discarded as stale server-side, so save the bytes.
                 self.stats.budget_expired += 1;
-                self.telemetry
-                    .counter("service.client.budget_expired", self.olev as i64, 1);
+                self.telemetry.counter_traced(
+                    "service.client.budget_expired",
+                    self.olev as i64,
+                    oes_telemetry::TraceId(q.trace),
+                    1,
+                );
                 continue;
             }
             let total = self.responder.respond(&q.loads_excl);
             self.answered = self.answered.max(q.seq);
             self.stats.offers_answered += 1;
-            self.enqueue(&ClientToServer::Reply(V2iFrame::new(
+            self.telemetry.counter_traced(
+                "service.client.reply",
+                self.olev as i64,
+                oes_telemetry::TraceId(q.trace),
+                1,
+            );
+            self.enqueue(&ClientToServer::Reply(V2iFrame::with_trace(
                 q.seq,
+                q.trace,
                 OlevMessage::PowerRequest {
                     id: OlevId(self.olev),
                     total: Kilowatts::new(total),

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod backoff;
 pub mod chaos;
 pub mod client;
@@ -37,6 +38,7 @@ pub mod messages;
 pub mod server;
 pub mod transport;
 
+pub use admin::{AdminServer, HealthState};
 pub use backoff::Backoff;
 pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
 pub use client::{BestResponder, ClientConfig, ClientSession, ClientStats, Responder};
@@ -45,7 +47,9 @@ pub use messages::{
 };
 #[cfg(unix)]
 pub use server::serve_uds;
-pub use server::{serve_tcp, CoordinatorService, ServiceConfig, ServiceStatus};
+pub use server::{
+    serve_tcp, serve_tcp_with_admin, CoordinatorService, ServiceConfig, ServiceStatus,
+};
 #[cfg(unix)]
 pub use transport::unix_stream;
 pub use transport::{

@@ -60,6 +60,14 @@ pub struct ServiceConfig {
     /// Outbound bytes buffered per connection before the connection is
     /// declared a slow consumer and closed (its session stays live).
     pub max_outbox_bytes: usize,
+    /// Sweep-stall watchdog budget, microseconds of service-clock time.
+    /// While offers are in flight, the coordinator must apply at least one
+    /// reply within this window or readiness drops and
+    /// `service.admin.stall` is bumped (readiness recovers on the next
+    /// applied update). Zero disables the watchdog. The default is
+    /// generous — thirty virtual seconds — so chaos schedules with
+    /// sub-second gaps never trip it.
+    pub stall_budget_us: u64,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +78,7 @@ impl Default for ServiceConfig {
             global_queue: 1024,
             shed_retry_after_us: 10_000,
             max_outbox_bytes: 1 << 20,
+            stall_budget_us: 30_000_000,
         }
     }
 }
@@ -130,6 +139,14 @@ pub struct CoordinatorService<'g> {
     draining: bool,
     scratch_offers: Vec<OutboundOffer>,
     scratch_updates: Vec<(usize, V2iFrame<GridMessage>)>,
+    /// Shared admin-surface health bits, if an admin listener is attached.
+    health: Option<std::sync::Arc<crate::admin::HealthState>>,
+    /// Applied-update count at the last poll, for the stall watchdog.
+    last_updates: usize,
+    /// Service-clock time of the last apply progress (or idle cycle).
+    last_progress_us: Option<u64>,
+    /// Whether the stall watchdog currently holds readiness down.
+    stalled: bool,
 }
 
 impl std::fmt::Debug for CoordinatorService<'_> {
@@ -156,7 +173,24 @@ impl<'g> CoordinatorService<'g> {
             draining: false,
             scratch_offers: Vec::new(),
             scratch_updates: Vec::new(),
+            health: None,
+            last_updates: 0,
+            last_progress_us: None,
+            stalled: false,
         }
+    }
+
+    /// Attaches the shared health bits an [`crate::admin::AdminServer`]
+    /// serves; every subsequent [`poll`](Self::poll) publishes attached
+    /// sessions, queue depth, drain state, and the watchdog verdict there.
+    pub fn set_health(&mut self, health: std::sync::Arc<crate::admin::HealthState>) {
+        self.health = Some(health);
+    }
+
+    /// Whether the sweep-stall watchdog currently holds readiness down.
+    #[must_use]
+    pub fn stalled(&self) -> bool {
+        self.stalled
     }
 
     /// Registers a new connection (unbound until it attaches) and returns
@@ -460,15 +494,63 @@ impl<'g> CoordinatorService<'g> {
             }
         }
         self.flush();
+        self.watchdog(now_us);
         drop(span);
-        if !self.draining {
-            return ServiceStatus::Running;
-        }
-        let flushed = self.conns.iter().all(|c| !c.open || c.outbox.is_empty());
-        if flushed {
+        let status = if !self.draining {
+            ServiceStatus::Running
+        } else if self.conns.iter().all(|c| !c.open || c.outbox.is_empty()) {
             ServiceStatus::Done
         } else {
             ServiceStatus::Draining
+        };
+        self.publish_health(status);
+        status
+    }
+
+    /// The sweep-stall watchdog: while offers are in flight, some reply
+    /// must be applied within `stall_budget_us` of service-clock time or
+    /// readiness drops and `service.admin.stall` is bumped. Idle cycles
+    /// (nothing in flight) re-arm the budget rather than consuming it, and
+    /// the next applied update recovers readiness.
+    fn watchdog(&mut self, now_us: u64) {
+        if self.config.stall_budget_us == 0 || self.draining {
+            self.last_updates = self.core.updates();
+            return;
+        }
+        let applied = self.core.updates();
+        let progressed = applied > self.last_updates || self.core.in_flight() == 0;
+        self.last_updates = applied;
+        if progressed {
+            self.last_progress_us = Some(now_us);
+            if self.stalled {
+                self.stalled = false;
+                self.telemetry.counter("service.admin.recover", -1, 1);
+            }
+            return;
+        }
+        let last = *self.last_progress_us.get_or_insert(now_us);
+        if !self.stalled && now_us.saturating_sub(last) > self.config.stall_budget_us {
+            self.stalled = true;
+            self.telemetry.counter("service.admin.stall", -1, 1);
+        }
+    }
+
+    /// Publishes this cycle's readiness inputs to the admin surface.
+    fn publish_health(&self, status: ServiceStatus) {
+        let Some(health) = &self.health else {
+            return;
+        };
+        let attached = self.session_conn.iter().filter(|c| c.is_some()).count() as u64;
+        let depth: usize = self.conns.iter().map(|c| c.backlog.len()).sum();
+        health.publish(
+            attached,
+            depth as u64,
+            self.config.global_queue as u64,
+            self.draining,
+        );
+        health.set_stalled(self.stalled);
+        if status == ServiceStatus::Done {
+            health.set_finished();
         }
     }
 
@@ -513,6 +595,59 @@ pub fn serve_tcp(
             }
         }
         if service.poll(clock.now_micros()) == ServiceStatus::Done {
+            return service.finish();
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// [`serve_tcp`] plus the admin surface: a second nonblocking listener
+/// answers `GET /metrics`, `/healthz`, and `/readyz` from the same poll
+/// loop (see [`crate::admin`]). The service publishes its health bits into
+/// `admin`'s [`crate::admin::HealthState`] every cycle, and the admin
+/// responder gets one final flush cycle after the run completes so a probe
+/// racing the shutdown still receives its response.
+///
+/// # Errors
+///
+/// [`GameError::WorkerFailed`] if either listener cannot be made
+/// nonblocking; [`GameError::OlevEvicted`] if every session was evicted.
+pub fn serve_tcp_with_admin(
+    game: &mut Game,
+    config: ServiceConfig,
+    telemetry: Telemetry,
+    listener: &std::net::TcpListener,
+    admin_listener: &std::net::TcpListener,
+    admin: &mut crate::admin::AdminServer,
+    tick: Duration,
+) -> Result<Outcome, GameError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| GameError::WorkerFailed(format!("listener: {e}")))?;
+    admin_listener
+        .set_nonblocking(true)
+        .map_err(|e| GameError::WorkerFailed(format!("admin listener: {e}")))?;
+    let clock = oes_telemetry::MonotonicClock::new();
+    let mut service = CoordinatorService::new(game, config, telemetry);
+    service.set_health(std::sync::Arc::clone(admin.health()));
+    loop {
+        while let Ok((stream, _)) = listener.accept() {
+            match crate::transport::tcp_stream(stream) {
+                Ok(s) => {
+                    service.accept(Box::new(s));
+                }
+                Err(_) => continue,
+            }
+        }
+        while let Ok((stream, _)) = admin_listener.accept() {
+            match crate::transport::tcp_stream(stream) {
+                Ok(s) => admin.accept(Box::new(s)),
+                Err(_) => continue,
+            }
+        }
+        admin.poll();
+        if service.poll(clock.now_micros()) == ServiceStatus::Done {
+            admin.poll();
             return service.finish();
         }
         std::thread::sleep(tick);

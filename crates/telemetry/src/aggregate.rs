@@ -1,0 +1,739 @@
+//! Live metrics aggregation: bounded-memory, lock-cheap, deterministic.
+//!
+//! The journal path ([`crate::JournalRecorder`]) keeps every raw event —
+//! perfect for byte-exact regression oracles, unusable as the live surface
+//! of a coordinator fielding millions of offer round-trips. This module is
+//! the other half of the observability layer: an [`AggregatingRecorder`]
+//! that folds the event stream into sharded atomic counters, last-write
+//! gauges, and fixed-bucket log-scale histograms (exact count and sum), and
+//! snapshots the result as a sorted Prometheus-style text exposition.
+//!
+//! # Hot-path cost
+//!
+//! Recording takes no locks once a metric name is registered: the registry
+//! is an `RwLock` map taken for *read* on the hit path, and each metric's
+//! cells are per-shard atomics indexed by a thread-local shard slot, so
+//! concurrent writers on different threads touch different cache lines.
+//! Memory is bounded by the number of distinct metric *names* (a static,
+//! code-defined set) — aggregation deliberately drops the per-event `key`
+//! to keep cardinality flat no matter how many OLEVs a run simulates.
+//!
+//! # Determinism
+//!
+//! Snapshots are rendered in sorted order with fixed formatting. A
+//! single-threaded run lands every sample on one shard, so the summed
+//! float totals — and therefore the exposition body — are identical across
+//! shard counts, which is what lets tests pin `/metrics` bytes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+use crate::event::{push_json_f64, Event, Sample};
+use crate::recorder::Recorder;
+
+/// Histogram bucket upper bounds: powers of two from `1` to `2^40`, in
+/// microseconds for span/latency metrics (`2^40 µs` ≈ 13 days), plus an
+/// implicit `+Inf` bucket. Fixed at compile time so memory per histogram
+/// is constant.
+const BUCKET_POWERS: u32 = 41;
+
+/// One shard slot per thread, assigned round-robin on first use.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// An `AtomicU64` padded to its own cache line so sharded writers don't
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+#[derive(Debug)]
+struct ShardedCounter {
+    shards: Vec<PaddedU64>,
+}
+
+impl ShardedCounter {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| PaddedU64::default()).collect(),
+        }
+    }
+
+    fn add(&self, shard: usize, delta: u64) {
+        self.shards[shard].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Last-write-wins gauge: the float's bits in an atomic, plus a set flag so
+/// an unobserved gauge renders nothing rather than a phantom zero.
+#[derive(Debug)]
+struct GaugeCell {
+    bits: AtomicU64,
+    set: AtomicBool,
+}
+
+impl GaugeCell {
+    fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0),
+            set: AtomicBool::new(false),
+        }
+    }
+
+    fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+        self.set.store(true, Ordering::Release);
+    }
+
+    fn load(&self) -> Option<f64> {
+        if self.set.load(Ordering::Acquire) {
+            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-shard histogram cells: fixed log-scale bucket counts plus exact
+/// count and exact sum (compare-and-swap on the float's bits).
+#[derive(Debug)]
+struct HistogramShard {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl HistogramShard {
+    fn new() -> Self {
+        Self {
+            // +1 for the +Inf bucket.
+            buckets: (0..=BUCKET_POWERS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardedHistogram {
+    shards: Vec<HistogramShard>,
+}
+
+impl ShardedHistogram {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| HistogramShard::new()).collect(),
+        }
+    }
+
+    fn observe(&self, shard: usize, value: f64) {
+        self.shards[shard].observe(value);
+    }
+
+    /// (per-bucket counts, total count, exact sum). Shard sums are added in
+    /// shard order so the float total is deterministic for a fixed
+    /// assignment of threads to shards.
+    fn snapshot(&self) -> (Vec<u64>, u64, f64) {
+        let mut buckets = vec![0u64; BUCKET_POWERS as usize + 1];
+        let mut count = 0u64;
+        let mut sum = 0f64;
+        for shard in &self.shards {
+            for (total, cell) in buckets.iter_mut().zip(&shard.buckets) {
+                *total += cell.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum += f64::from_bits(shard.sum_bits.load(Ordering::Relaxed));
+        }
+        (buckets, count, sum)
+    }
+}
+
+/// The first bucket whose upper bound (`2^i`) is ≥ `value`; the last slot
+/// is the `+Inf` bucket. Non-positive values land in bucket 0; NaN (which
+/// compares false against every bound) lands in `+Inf`.
+fn bucket_index(value: f64) -> usize {
+    for i in 0..BUCKET_POWERS {
+        if value <= (1u64 << i) as f64 {
+            return i as usize;
+        }
+    }
+    BUCKET_POWERS as usize
+}
+
+/// The upper-bound label for bucket `i` ("1", "2", …, `+Inf` last).
+fn bucket_le(i: usize) -> String {
+    if i < BUCKET_POWERS as usize {
+        (1u64 << i).to_string()
+    } else {
+        "+Inf".to_owned()
+    }
+}
+
+/// A bounded-memory live-metrics sink.
+///
+/// Counters sum per-name deltas, gauges keep the last observed value,
+/// histogram samples *and* span-exit elapsed times fold into fixed
+/// log-scale buckets with exact count and sum. The per-event `key` is
+/// deliberately dropped: cardinality is one series per metric *name*, flat
+/// in fleet size. [`render`](Self::render) produces the sorted text
+/// exposition served at `/metrics`.
+#[derive(Debug)]
+pub struct AggregatingRecorder {
+    shards: usize,
+    const_labels: Vec<(String, String)>,
+    counters: RwLock<BTreeMap<&'static str, ShardedCounter>>,
+    gauges: RwLock<BTreeMap<&'static str, GaugeCell>>,
+    histograms: RwLock<BTreeMap<&'static str, ShardedHistogram>>,
+}
+
+impl AggregatingRecorder {
+    /// An aggregator with `shards` write lanes per metric (clamped to ≥ 1).
+    /// Shard count trades memory for write concurrency; it never changes
+    /// totals.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self::with_labels(shards, Vec::new())
+    }
+
+    /// An aggregator whose every exposition line also carries `labels`
+    /// (e.g. `scenario`, `seed`) — sorted by label name at render time.
+    #[must_use]
+    pub fn with_labels(shards: usize, mut labels: Vec<(String, String)>) -> Self {
+        labels.sort();
+        Self {
+            shards: shards.max(1),
+            const_labels: labels,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn shard(&self) -> usize {
+        THREAD_SLOT.with(|slot| *slot % self.shards)
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        let shard = self.shard();
+        {
+            let counters = read_lock(&self.counters);
+            if let Some(cell) = counters.get(name) {
+                cell.add(shard, delta);
+                return;
+            }
+        }
+        let mut counters = write_lock(&self.counters);
+        counters
+            .entry(name)
+            .or_insert_with(|| ShardedCounter::new(self.shards))
+            .add(shard, delta);
+    }
+
+    fn set_gauge(&self, name: &'static str, value: f64) {
+        {
+            let gauges = read_lock(&self.gauges);
+            if let Some(cell) = gauges.get(name) {
+                cell.store(value);
+                return;
+            }
+        }
+        let mut gauges = write_lock(&self.gauges);
+        gauges
+            .entry(name)
+            .or_insert_with(GaugeCell::new)
+            .store(value);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        let shard = self.shard();
+        {
+            let histograms = read_lock(&self.histograms);
+            if let Some(cell) = histograms.get(name) {
+                cell.observe(shard, value);
+                return;
+            }
+        }
+        let mut histograms = write_lock(&self.histograms);
+        histograms
+            .entry(name)
+            .or_insert_with(|| ShardedHistogram::new(self.shards))
+            .observe(shard, value);
+    }
+
+    /// The summed total of counter `name` (zero if never incremented).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        read_lock(&self.counters)
+            .get(name)
+            .map_or(0, ShardedCounter::total)
+    }
+
+    /// The last observed value of gauge `name`.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        read_lock(&self.gauges).get(name).and_then(GaugeCell::load)
+    }
+
+    /// A point-in-time copy of every aggregated series, keyed by name.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        let mut out = BTreeMap::new();
+        for (name, cell) in read_lock(&self.counters).iter() {
+            out.insert((*name).to_owned(), MetricValue::Counter(cell.total()));
+        }
+        for (name, cell) in read_lock(&self.gauges).iter() {
+            if let Some(value) = cell.load() {
+                out.insert((*name).to_owned(), MetricValue::Gauge(value));
+            }
+        }
+        for (name, cell) in read_lock(&self.histograms).iter() {
+            let (buckets, count, sum) = cell.snapshot();
+            let buckets = buckets
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (bucket_le(i), *n))
+                .collect();
+            out.insert(
+                (*name).to_owned(),
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                },
+            );
+        }
+        out
+    }
+
+    /// Renders the sorted text exposition (Prometheus-style).
+    ///
+    /// Metric names become escaped label values on fixed families
+    /// (`oes_counter`, `oes_gauge`, `oes_histogram_*`), so arbitrary names
+    /// round-trip without constraining the dotted-namespace convention.
+    /// Histogram buckets are cumulative, ascending, `+Inf` last. The body
+    /// is deterministic: same aggregated state ⇒ same bytes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, cell) in read_lock(&self.counters).iter() {
+            self.push_line(&mut out, "oes_counter", name, &[], cell.total() as f64);
+        }
+        for (name, cell) in read_lock(&self.gauges).iter() {
+            if let Some(value) = cell.load() {
+                self.push_line(&mut out, "oes_gauge", name, &[], value);
+            }
+        }
+        for (name, cell) in read_lock(&self.histograms).iter() {
+            let (buckets, count, sum) = cell.snapshot();
+            let mut cumulative = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                cumulative += n;
+                self.push_line(
+                    &mut out,
+                    "oes_histogram_bucket",
+                    name,
+                    &[("le", &bucket_le(i))],
+                    cumulative as f64,
+                );
+            }
+            self.push_line(&mut out, "oes_histogram_count", name, &[], count as f64);
+            self.push_line(&mut out, "oes_histogram_sum", name, &[], sum);
+        }
+        out
+    }
+
+    fn push_line(
+        &self,
+        out: &mut String,
+        family: &str,
+        name: &str,
+        extra: &[(&str, &str)],
+        value: f64,
+    ) {
+        out.push_str(family);
+        out.push_str("{name=\"");
+        push_label_escaped(out, name);
+        out.push('"');
+        for (k, v) in extra {
+            out.push(',');
+            out.push_str(k);
+            out.push_str("=\"");
+            push_label_escaped(out, v);
+            out.push('"');
+        }
+        for (k, v) in &self.const_labels {
+            out.push(',');
+            out.push_str(k);
+            out.push_str("=\"");
+            push_label_escaped(out, v);
+            out.push('"');
+        }
+        out.push_str("} ");
+        push_json_f64(out, value);
+        out.push('\n');
+    }
+}
+
+impl Recorder for AggregatingRecorder {
+    fn record(&self, event: &Event) {
+        match event.sample {
+            Sample::Counter { delta } => self.add_counter(event.name, delta),
+            Sample::Gauge { value } => self.set_gauge(event.name, value),
+            Sample::Histogram { value } => self.observe(event.name, value),
+            Sample::SpanExit { elapsed_us } => self.observe(event.name, elapsed_us as f64),
+            Sample::SpanEnter => {}
+        }
+    }
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One aggregated series in a [`AggregatingRecorder::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A summed counter total.
+    Counter(u64),
+    /// The last observed gauge value.
+    Gauge(f64),
+    /// A folded distribution.
+    Histogram {
+        /// Per-bucket (upper bound label, non-cumulative count), `+Inf`
+        /// last.
+        buckets: Vec<(String, u64)>,
+        /// Exact number of samples.
+        count: u64,
+        /// Exact sum of samples.
+        sum: f64,
+    },
+}
+
+/// Appends `s` with exposition label-value escaping (`\` → `\\`, `"` →
+/// `\"`, newline → `\n`), the inverse of the unescaping in
+/// [`parse_exposition`].
+pub fn push_label_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// One parsed line of a text exposition body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpositionLine {
+    /// Metric family (`oes_counter`, `oes_histogram_bucket`, …).
+    pub family: String,
+    /// Labels in emission order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl ExpositionLine {
+    /// The value of label `key`, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a text exposition body back into lines. Blank and `#` comment
+/// lines are skipped; a malformed line returns `None`.
+#[must_use]
+pub fn parse_exposition(body: &str) -> Option<Vec<ExpositionLine>> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_exposition_line(line)?);
+    }
+    Some(out)
+}
+
+fn parse_exposition_line(line: &str) -> Option<ExpositionLine> {
+    let brace = line.find('{')?;
+    let family = line[..brace].to_owned();
+    let mut rest = &line[brace + 1..];
+    let mut labels = Vec::new();
+    loop {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].to_owned();
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        let (value, tail) = take_label_value(rest)?;
+        labels.push((key, value));
+        if let Some(tail) = tail.strip_prefix(',') {
+            rest = tail;
+        } else {
+            rest = tail.strip_prefix('}')?;
+            break;
+        }
+    }
+    let value = rest.trim().parse().ok()?;
+    Some(ExpositionLine {
+        family,
+        labels,
+        value,
+    })
+}
+
+/// Consumes an escaped label value up to (and including) its closing
+/// quote; returns the unescaped value and the remainder.
+fn take_label_value(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceId;
+    use std::sync::Arc;
+
+    fn event(name: &'static str, sample: Sample) -> Event {
+        Event {
+            at_us: 0,
+            name,
+            key: 0,
+            trace: TraceId::NONE,
+            sample,
+        }
+    }
+
+    #[test]
+    fn counters_sum_across_events_and_keys() {
+        let agg = AggregatingRecorder::new(4);
+        agg.record(&event("service.retry", Sample::Counter { delta: 2 }));
+        agg.record(&event("service.retry", Sample::Counter { delta: 3 }));
+        agg.record(&event("service.shed", Sample::Counter { delta: 1 }));
+        assert_eq!(agg.counter_value("service.retry"), 5);
+        assert_eq!(agg.counter_value("service.shed"), 1);
+        assert_eq!(agg.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let agg = AggregatingRecorder::new(1);
+        assert_eq!(agg.gauge_value("g"), None);
+        agg.record(&event("g", Sample::Gauge { value: 1.0 }));
+        agg.record(&event("g", Sample::Gauge { value: -2.5 }));
+        assert_eq!(agg.gauge_value("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn histograms_fold_samples_and_span_exits() {
+        let agg = AggregatingRecorder::new(2);
+        agg.record(&event("h", Sample::Histogram { value: 3.0 }));
+        agg.record(&event("h", Sample::Histogram { value: 100.0 }));
+        agg.record(&event("s", Sample::SpanEnter));
+        agg.record(&event("s", Sample::SpanExit { elapsed_us: 7 }));
+        let snapshot = agg.snapshot();
+        match snapshot.get("h").unwrap() {
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 2);
+                assert_eq!(*sum, 103.0);
+                let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+                assert_eq!(total, 2);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match snapshot.get("s").unwrap() {
+            MetricValue::Histogram { count, sum, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(*sum, 7.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bucket_index_covers_the_range() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(1.0), 0);
+        assert_eq!(bucket_index(1.5), 1);
+        assert_eq!(bucket_index(2.0), 1);
+        assert_eq!(bucket_index(1024.0), 10);
+        assert_eq!(bucket_index(1e30), BUCKET_POWERS as usize);
+        assert_eq!(
+            bucket_index(f64::NAN),
+            BUCKET_POWERS as usize,
+            "NaN compares false against every bound, so it falls to +Inf"
+        );
+        assert_eq!(bucket_le(0), "1");
+        assert_eq!(bucket_le(10), "1024");
+        assert_eq!(bucket_le(BUCKET_POWERS as usize), "+Inf");
+    }
+
+    #[test]
+    fn render_is_sorted_and_parses_back() {
+        let agg = AggregatingRecorder::with_labels(2, vec![("seed".to_owned(), "42".to_owned())]);
+        agg.record(&event("b.counter", Sample::Counter { delta: 1 }));
+        agg.record(&event("a.counter", Sample::Counter { delta: 2 }));
+        agg.record(&event("z.gauge", Sample::Gauge { value: 0.5 }));
+        agg.record(&event("m.hist", Sample::Histogram { value: 3.0 }));
+        let body = agg.render();
+        let lines = parse_exposition(&body).unwrap();
+        let counters: Vec<&str> = lines
+            .iter()
+            .filter(|l| l.family == "oes_counter")
+            .map(|l| l.label("name").unwrap())
+            .collect();
+        assert_eq!(counters, vec!["a.counter", "b.counter"], "sorted by name");
+        assert!(lines.iter().all(|l| l.label("seed") == Some("42")));
+        // Histogram buckets are cumulative and end with +Inf == count.
+        let buckets: Vec<&ExpositionLine> = lines
+            .iter()
+            .filter(|l| l.family == "oes_histogram_bucket")
+            .collect();
+        assert_eq!(buckets.len(), BUCKET_POWERS as usize + 1);
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 1.0);
+        let count = lines
+            .iter()
+            .find(|l| l.family == "oes_histogram_count")
+            .unwrap();
+        assert_eq!(count.value, 1.0);
+    }
+
+    #[test]
+    fn render_is_identical_across_shard_counts() {
+        let bodies: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&shards| {
+                let agg = AggregatingRecorder::new(shards);
+                for i in 0..100u64 {
+                    agg.record(&event("c", Sample::Counter { delta: i }));
+                    agg.record(&event(
+                        "h",
+                        Sample::Histogram {
+                            value: (i as f64) * 0.37,
+                        },
+                    ));
+                    agg.record(&event(
+                        "g",
+                        Sample::Gauge {
+                            value: i as f64 / 3.0,
+                        },
+                    ));
+                }
+                agg.render()
+            })
+            .collect();
+        assert_eq!(bodies[0], bodies[1]);
+        assert_eq!(bodies[1], bodies[2]);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        for hostile in [
+            "plain",
+            "with\"quote",
+            "back\\slash",
+            "new\nline",
+            "a\\\"\n",
+        ] {
+            let mut escaped = String::new();
+            push_label_escaped(&mut escaped, hostile);
+            let line = format!("f{{name=\"{escaped}\"}} 1");
+            let parsed = parse_exposition(&line).unwrap();
+            assert_eq!(parsed[0].label("name"), Some(hostile));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("no_braces 1").is_none());
+        assert!(parse_exposition("f{name=\"unterminated} 1").is_none());
+        assert!(parse_exposition("f{name=\"x\"} not_a_number").is_none());
+        assert_eq!(parse_exposition("# comment\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let agg = Arc::new(AggregatingRecorder::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let agg = Arc::clone(&agg);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        agg.record(&event("c", Sample::Counter { delta: 1 }));
+                        agg.record(&event("h", Sample::Histogram { value: 1.0 }));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(agg.counter_value("c"), 4000);
+        match agg.snapshot().get("h").unwrap() {
+            MetricValue::Histogram { count, sum, .. } => {
+                assert_eq!(*count, 4000);
+                assert_eq!(*sum, 4000.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

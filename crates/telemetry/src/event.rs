@@ -1,5 +1,7 @@
 //! The single wire unit every recorder consumes.
 
+use crate::trace::TraceId;
+
 /// The measurement a single [`Event`] carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Sample {
@@ -51,6 +53,9 @@ pub struct Event {
     /// The natural index of the event: OLEV id, update number, sim tick, or
     /// `-1` for run-level summaries.
     pub key: i64,
+    /// The causal trace this event belongs to ([`TraceId::NONE`] for
+    /// untraced events — the default for all pre-trace instrumentation).
+    pub trace: TraceId,
     /// The measurement.
     pub sample: Sample,
 }
@@ -60,7 +65,9 @@ impl Event {
     ///
     /// Field order and float formatting are fixed, so two identical event
     /// streams serialize to byte-identical journals. Non-finite floats are
-    /// emitted as `null` to keep every line valid JSON.
+    /// emitted as `null` to keep every line valid JSON. The trace field is
+    /// emitted only when present, so untraced events serialize exactly as
+    /// they did before trace context existed.
     #[must_use]
     pub fn to_json_line(&self) -> String {
         let mut line = String::with_capacity(96);
@@ -88,6 +95,10 @@ impl Event {
                 line.push_str(",\"value\":");
                 push_json_f64(&mut line, value);
             }
+        }
+        if self.trace.is_some() {
+            line.push_str(",\"trace\":");
+            line.push_str(&self.trace.0.to_string());
         }
         line.push('}');
         line
@@ -136,6 +147,7 @@ mod tests {
             at_us: 12,
             name: "engine.welfare",
             key: 3,
+            trace: TraceId::NONE,
             sample: Sample::Gauge { value: 1.5 },
         };
         assert_eq!(
@@ -146,6 +158,7 @@ mod tests {
             at_us: 0,
             name: "net.retry",
             key: -1,
+            trace: TraceId::NONE,
             sample: Sample::Counter { delta: 2 },
         };
         assert_eq!(
@@ -160,6 +173,7 @@ mod tests {
             at_us: 0,
             name: "g",
             key: 0,
+            trace: TraceId::NONE,
             sample: Sample::Gauge { value: f64::NAN },
         };
         assert!(e.to_json_line().ends_with("\"value\":null}"));
@@ -171,6 +185,7 @@ mod tests {
             at_us: 1,
             name: "s",
             key: 0,
+            trace: TraceId::NONE,
             sample: Sample::SpanEnter,
         };
         assert!(enter.to_json_line().contains("\"kind\":\"span_enter\""));
@@ -178,6 +193,7 @@ mod tests {
             at_us: 9,
             name: "s",
             key: 0,
+            trace: TraceId::NONE,
             sample: Sample::SpanExit { elapsed_us: 8 },
         };
         assert!(exit.to_json_line().contains("\"elapsed_us\":8"));

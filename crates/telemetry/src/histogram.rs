@@ -59,14 +59,28 @@ impl HistogramSummary {
 ///
 /// # Panics
 ///
-/// Panics if `sorted` is empty.
+/// Panics if `sorted` is empty. Callers that cannot rule out an empty
+/// sample set should use [`try_quantile`] instead.
 #[must_use]
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile of an empty sample set");
+    try_quantile(sorted, q).expect("quantile of an empty sample set")
+}
+
+/// The nearest-rank `q`-quantile of an ascending-sorted slice, or `None`
+/// when the slice is empty.
+///
+/// The non-panicking sibling of [`quantile`]: same clamping and
+/// nearest-rank convention, safe on sample sets whose emptiness the caller
+/// cannot rule out (e.g. filtered journals, live aggregator snapshots).
+#[must_use]
+pub fn try_quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let q = q.clamp(0.0, 1.0);
     let n = sorted.len();
     let rank = (q * n as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(n - 1)]
+    Some(sorted[rank.saturating_sub(1).min(n - 1)])
 }
 
 /// Summarizes raw samples (order irrelevant). Returns `None` when empty.
@@ -85,9 +99,9 @@ pub fn summarize(name: &str, samples: &[f64]) -> Option<HistogramSummary> {
         min: sorted[0],
         max: sorted[count - 1],
         mean,
-        p50: quantile(&sorted, 0.50),
-        p95: quantile(&sorted, 0.95),
-        p99: quantile(&sorted, 0.99),
+        p50: try_quantile(&sorted, 0.50)?,
+        p95: try_quantile(&sorted, 0.95)?,
+        p99: try_quantile(&sorted, 0.99)?,
     })
 }
 
@@ -160,6 +174,15 @@ mod tests {
     }
 
     #[test]
+    fn try_quantile_is_total() {
+        assert_eq!(try_quantile(&[], 0.5), None);
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(try_quantile(&s, 0.95), Some(95.0));
+        assert_eq!(try_quantile(&s, 0.95), Some(quantile(&s, 0.95)));
+        assert_eq!(try_quantile(&[3.0], 0.0), Some(3.0));
+    }
+
+    #[test]
     fn summarize_computes_all_fields() {
         let summary = summarize("t", &[4.0, 1.0, 3.0, 2.0]).unwrap();
         assert_eq!(summary.count, 4);
@@ -179,6 +202,7 @@ mod tests {
                 at_us: 0,
                 name: if name == "a" { "a" } else { "b" },
                 key: 0,
+                trace: crate::trace::TraceId::NONE,
                 sample: Sample::SpanExit { elapsed_us: us },
             });
         }
@@ -187,6 +211,7 @@ mod tests {
             at_us: 0,
             name: "a",
             key: 0,
+            trace: crate::trace::TraceId::NONE,
             sample: Sample::Gauge { value: 999.0 },
         });
         let summaries = span_summaries(&events);

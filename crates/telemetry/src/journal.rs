@@ -2,7 +2,8 @@
 //! scenario-stamped, suitable both for offline analysis and as a byte-exact
 //! regression oracle (same seed + virtual clock ⇒ identical journal).
 
-use std::io;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -13,32 +14,63 @@ use crate::recorder::Recorder;
 ///
 /// The header is `{"journal":"oes","scenario":"…","seed":N}`; every
 /// subsequent line is an [`Event`] via [`Event::to_json_line`]. Lines are
-/// buffered in memory; call [`write_to`](Self::write_to) or
-/// [`to_jsonl`](Self::to_jsonl) to extract them.
+/// always buffered in memory (call [`write_to`](Self::write_to) or
+/// [`to_jsonl`](Self::to_jsonl) to extract them); a recorder built with
+/// [`with_file`](Self::with_file) additionally streams every line to disk
+/// through a buffered writer, flushed by [`flush`](Self::flush) and on
+/// drop, so a journal truncated by process exit cannot lose tail events.
 #[derive(Debug)]
 pub struct JournalRecorder {
     header: String,
-    lines: Mutex<Vec<String>>,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    lines: Vec<String>,
+    sink: Option<BufWriter<File>>,
 }
 
 impl JournalRecorder {
     /// A journal stamped with a scenario label and the run's seed.
     #[must_use]
     pub fn new(scenario: &str, seed: u64) -> Self {
-        let mut header = String::with_capacity(48 + scenario.len());
-        header.push_str("{\"journal\":\"oes\",\"scenario\":\"");
-        push_json_escaped(&mut header, scenario);
-        header.push_str("\",\"seed\":");
-        header.push_str(&seed.to_string());
-        header.push('}');
         Self {
-            header,
-            lines: Mutex::new(Vec::new()),
+            header: make_header(scenario, seed),
+            inner: Mutex::new(Inner {
+                lines: Vec::new(),
+                sink: None,
+            }),
         }
     }
 
-    fn lines(&self) -> std::sync::MutexGuard<'_, Vec<String>> {
-        self.lines
+    /// A journal that also streams every line to `path` as it is recorded.
+    ///
+    /// The header line is written (and flushed) immediately, so even an
+    /// empty run leaves a valid journal file behind. Subsequent events pass
+    /// through a buffered writer; call [`flush`](Self::flush) at
+    /// checkpoints — the recorder also flushes when dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from creating or writing the file.
+    pub fn with_file(scenario: &str, seed: u64, path: impl AsRef<Path>) -> io::Result<Self> {
+        let header = make_header(scenario, seed);
+        let mut sink = BufWriter::new(File::create(path)?);
+        sink.write_all(header.as_bytes())?;
+        sink.write_all(b"\n")?;
+        sink.flush()?;
+        Ok(Self {
+            header,
+            inner: Mutex::new(Inner {
+                lines: Vec::new(),
+                sink: Some(sink),
+            }),
+        })
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -46,19 +78,19 @@ impl JournalRecorder {
     /// Number of recorded events (excluding the header).
     #[must_use]
     pub fn event_count(&self) -> usize {
-        self.lines().len()
+        self.inner().lines.len()
     }
 
     /// The whole journal as a JSONL string (header first, trailing newline).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
-        let lines = self.lines();
+        let inner = self.inner();
         let mut out = String::with_capacity(
-            self.header.len() + 1 + lines.iter().map(|l| l.len() + 1).sum::<usize>(),
+            self.header.len() + 1 + inner.lines.iter().map(|l| l.len() + 1).sum::<usize>(),
         );
         out.push_str(&self.header);
         out.push('\n');
-        for line in lines.iter() {
+        for line in inner.lines.iter() {
             out.push_str(line);
             out.push('\n');
         }
@@ -73,13 +105,187 @@ impl JournalRecorder {
     pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
         std::fs::write(path, self.to_jsonl())
     }
+
+    /// Flushes the streaming file sink, if any. A no-op for purely
+    /// in-memory journals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn flush(&self) -> io::Result<()> {
+        match self.inner().sink.as_mut() {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for JournalRecorder {
+    fn drop(&mut self) {
+        // Best-effort: a journal is diagnostics, not data of record, so a
+        // failing flush at teardown must not turn into a panic-in-drop.
+        if let Some(sink) = self.inner().sink.as_mut() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+fn make_header(scenario: &str, seed: u64) -> String {
+    let mut header = String::with_capacity(48 + scenario.len());
+    header.push_str("{\"journal\":\"oes\",\"scenario\":\"");
+    push_json_escaped(&mut header, scenario);
+    header.push_str("\",\"seed\":");
+    header.push_str(&seed.to_string());
+    header.push('}');
+    header
 }
 
 impl Recorder for JournalRecorder {
     fn record(&self, event: &Event) {
         let line = event.to_json_line();
-        self.lines().push(line);
+        let mut inner = self.inner();
+        if let Some(sink) = inner.sink.as_mut() {
+            // Buffered, so the hot path stays cheap; losing an event to an
+            // I/O error is acceptable for diagnostics output.
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.write_all(b"\n");
+        }
+        inner.lines.push(line);
     }
+}
+
+/// One journal event line decoded back into its fields.
+///
+/// Produced by [`parse_event_line`] from the exact format
+/// [`Event::to_json_line`] emits. At most one of `elapsed_us` / `delta` /
+/// `value` is set, matching the event's `kind`; `value` is `None` for a
+/// gauge/histogram line whose float serialized as `null` (non-finite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Clock timestamp, microseconds.
+    pub at_us: u64,
+    /// Metric/span name (unescaped).
+    pub name: String,
+    /// The event's integer key.
+    pub key: i64,
+    /// The sample kind tag ("counter", "gauge", "histogram", "span_enter",
+    /// "span_exit").
+    pub kind: String,
+    /// Span-exit elapsed time, when `kind == "span_exit"`.
+    pub elapsed_us: Option<u64>,
+    /// Counter increment, when `kind == "counter"`.
+    pub delta: Option<u64>,
+    /// Gauge/histogram sample, when finite.
+    pub value: Option<f64>,
+    /// The causal trace id (zero when the line carries no trace field).
+    pub trace: u64,
+}
+
+/// Parses one event line produced by [`Event::to_json_line`].
+///
+/// This is a cursor-based parser for the journal's *fixed* field order, not
+/// a general JSON parser: header lines and foreign JSON return `None`.
+#[must_use]
+pub fn parse_event_line(line: &str) -> Option<ParsedEvent> {
+    let rest = line.strip_prefix("{\"at_us\":")?;
+    let (at_us, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(",\"name\":\"")?;
+    let (name, rest) = take_json_string(rest)?;
+    let rest = rest.strip_prefix(",\"key\":")?;
+    let (key, rest) = take_i64(rest)?;
+    let rest = rest.strip_prefix(",\"kind\":\"")?;
+    let (kind, mut rest) = take_json_string(rest)?;
+    let mut event = ParsedEvent {
+        at_us,
+        name,
+        key,
+        kind,
+        elapsed_us: None,
+        delta: None,
+        value: None,
+        trace: 0,
+    };
+    if let Some(tail) = rest.strip_prefix(",\"elapsed_us\":") {
+        let (v, tail) = take_u64(tail)?;
+        event.elapsed_us = Some(v);
+        rest = tail;
+    } else if let Some(tail) = rest.strip_prefix(",\"delta\":") {
+        let (v, tail) = take_u64(tail)?;
+        event.delta = Some(v);
+        rest = tail;
+    } else if let Some(tail) = rest.strip_prefix(",\"value\":") {
+        if let Some(tail) = tail.strip_prefix("null") {
+            rest = tail;
+        } else {
+            let (v, tail) = take_f64(tail)?;
+            event.value = Some(v);
+            rest = tail;
+        }
+    }
+    if let Some(tail) = rest.strip_prefix(",\"trace\":") {
+        let (v, tail) = take_u64(tail)?;
+        event.trace = v;
+        rest = tail;
+    }
+    if rest == "}" {
+        Some(event)
+    } else {
+        None
+    }
+}
+
+fn take_u64(s: &str) -> Option<(u64, &str)> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (digits, rest) = s.split_at(end);
+    Some((digits.parse().ok()?, rest))
+}
+
+fn take_i64(s: &str) -> Option<(i64, &str)> {
+    let signed = s.starts_with('-');
+    let body = if signed { &s[1..] } else { s };
+    let end = body
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(body.len());
+    let token_len = usize::from(signed) + end;
+    let (digits, rest) = s.split_at(token_len);
+    Some((digits.parse().ok()?, rest))
+}
+
+fn take_f64(s: &str) -> Option<(f64, &str)> {
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    let (token, rest) = s.split_at(end);
+    Some((token.parse().ok()?, rest))
+}
+
+/// Consumes an escaped JSON string body up to (and including) its closing
+/// quote; returns the unescaped content and the remainder after the quote.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
 }
 
 /// Counts journal lines recording an event named exactly `name`.
@@ -112,6 +318,7 @@ pub fn sum_counters(jsonl: &str, name: &str) -> u64 {
 mod tests {
     use super::*;
     use crate::event::Sample;
+    use crate::trace::TraceId;
 
     fn journal_with_events() -> JournalRecorder {
         let j = JournalRecorder::new("unit-test", 7);
@@ -119,18 +326,21 @@ mod tests {
             at_us: 0,
             name: "net.retry",
             key: 2,
+            trace: TraceId::NONE,
             sample: Sample::Counter { delta: 3 },
         });
         j.record(&Event {
             at_us: 0,
             name: "net.retry",
             key: 1,
+            trace: TraceId::NONE,
             sample: Sample::Counter { delta: 2 },
         });
         j.record(&Event {
             at_us: 0,
             name: "game.welfare",
             key: 1,
+            trace: TraceId::NONE,
             sample: Sample::Gauge { value: 4.25 },
         });
         j
@@ -167,5 +377,137 @@ mod tests {
         let read = std::fs::read_to_string(&path).unwrap();
         assert_eq!(read, j.to_jsonl());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_survives_drop_mid_run() {
+        // The regression this guards: a journal truncated by process exit
+        // used to lose its tail because nothing flushed the buffer. Drop
+        // the recorder mid-run and re-read the file.
+        let path = std::env::temp_dir().join("oes-telemetry-journal-drop-test.jsonl");
+        let expected = {
+            let j = JournalRecorder::with_file("drop-test", 9, &path).unwrap();
+            j.record(&Event {
+                at_us: 1,
+                name: "net.retry",
+                key: 0,
+                trace: TraceId::NONE,
+                sample: Sample::Counter { delta: 1 },
+            });
+            j.record(&Event {
+                at_us: 2,
+                name: "engine.welfare",
+                key: -1,
+                trace: TraceId(7),
+                sample: Sample::Gauge { value: 0.5 },
+            });
+            j.to_jsonl()
+            // Recorder dropped here without an explicit flush.
+        };
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, expected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_sink_flush_makes_tail_visible() {
+        let path = std::env::temp_dir().join("oes-telemetry-journal-flush-test.jsonl");
+        let j = JournalRecorder::with_file("flush-test", 3, &path).unwrap();
+        // The header is flushed eagerly at creation.
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read.lines().count(), 1);
+        j.record(&Event {
+            at_us: 0,
+            name: "c",
+            key: 0,
+            trace: TraceId::NONE,
+            sample: Sample::Counter { delta: 1 },
+        });
+        j.flush().unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, j.to_jsonl());
+        drop(j);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_round_trips_every_kind() {
+        let events = [
+            Event {
+                at_us: 12,
+                name: "engine.apply",
+                key: 3,
+                trace: TraceId::NONE,
+                sample: Sample::Counter { delta: 2 },
+            },
+            Event {
+                at_us: 13,
+                name: "engine.welfare",
+                key: -1,
+                trace: TraceId(0xDEAD),
+                sample: Sample::Gauge { value: -1.25 },
+            },
+            Event {
+                at_us: 14,
+                name: "service.latency",
+                key: 0,
+                trace: TraceId(1),
+                sample: Sample::Histogram { value: 2e3 },
+            },
+            Event {
+                at_us: 15,
+                name: "service.poll",
+                key: 0,
+                trace: TraceId::NONE,
+                sample: Sample::SpanEnter,
+            },
+            Event {
+                at_us: 16,
+                name: "service.poll",
+                key: 0,
+                trace: TraceId::NONE,
+                sample: Sample::SpanExit { elapsed_us: 1 },
+            },
+        ];
+        for e in events {
+            let parsed = parse_event_line(&e.to_json_line()).unwrap();
+            assert_eq!(parsed.at_us, e.at_us);
+            assert_eq!(parsed.name, e.name);
+            assert_eq!(parsed.key, e.key);
+            assert_eq!(parsed.kind, e.sample.kind());
+            assert_eq!(parsed.trace, e.trace.0);
+            match e.sample {
+                Sample::Counter { delta } => assert_eq!(parsed.delta, Some(delta)),
+                Sample::Gauge { value } | Sample::Histogram { value } => {
+                    assert_eq!(parsed.value, Some(value));
+                }
+                Sample::SpanEnter => assert_eq!(parsed.value, None),
+                Sample::SpanExit { elapsed_us } => {
+                    assert_eq!(parsed.elapsed_us, Some(elapsed_us));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_headers_and_foreign_json() {
+        assert!(parse_event_line("{\"journal\":\"oes\",\"scenario\":\"x\",\"seed\":1}").is_none());
+        assert!(parse_event_line("").is_none());
+        assert!(parse_event_line("{\"at_us\":1}").is_none());
+        assert!(parse_event_line("not json").is_none());
+    }
+
+    #[test]
+    fn parse_handles_escaped_names_and_null_values() {
+        let e = Event {
+            at_us: 0,
+            name: "weird\"name\\with\nescapes",
+            key: 0,
+            trace: TraceId::NONE,
+            sample: Sample::Gauge { value: f64::NAN },
+        };
+        let parsed = parse_event_line(&e.to_json_line()).unwrap();
+        assert_eq!(parsed.name, "weird\"name\\with\nescapes");
+        assert_eq!(parsed.value, None, "non-finite serializes as null");
     }
 }

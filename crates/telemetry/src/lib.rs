@@ -57,16 +57,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod clock;
 pub mod event;
 pub mod histogram;
 pub mod journal;
 pub mod recorder;
 pub mod ring;
+pub mod trace;
 
+pub use aggregate::{parse_exposition, AggregatingRecorder, ExpositionLine, MetricValue};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{push_json_escaped, push_json_f64, Event, Sample};
-pub use histogram::{histogram_summaries, quantile, span_summaries, HistogramSummary};
-pub use journal::{count_events, sum_counters, JournalRecorder};
-pub use recorder::{NoopRecorder, Recorder, SpanGuard, Telemetry};
+pub use histogram::{
+    histogram_summaries, quantile, span_summaries, try_quantile, HistogramSummary,
+};
+pub use journal::{count_events, parse_event_line, sum_counters, JournalRecorder, ParsedEvent};
+pub use recorder::{FanoutRecorder, NoopRecorder, Recorder, SpanGuard, Telemetry};
 pub use ring::RingBufferRecorder;
+pub use trace::{TraceId, TraceIdGen};

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::clock::{Clock, ManualClock};
 use crate::event::{Event, Sample};
+use crate::trace::TraceId;
 
 /// A telemetry sink. Implementations must be cheap and non-blocking on the
 /// hot path; recorders are shared by reference across threads.
@@ -28,6 +29,43 @@ impl Recorder for NoopRecorder {
 
     fn enabled(&self) -> bool {
         false
+    }
+}
+
+/// Tees every event to several sinks, so one instrumented run can feed a
+/// byte-exact journal *and* a live metrics aggregator at once.
+///
+/// Reports itself enabled while any sink is; disabled sinks still receive
+/// `record` calls (they are no-ops by contract).
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Fans out to `sinks`, in order.
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl core::fmt::Debug for FanoutRecorder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FanoutRecorder")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
     }
 }
 
@@ -102,33 +140,44 @@ impl Telemetry {
         self.clock.now_micros()
     }
 
-    fn emit(&self, name: &'static str, key: i64, sample: Sample) {
+    fn emit(&self, name: &'static str, key: i64, trace: TraceId, sample: Sample) {
         self.recorder.record(&Event {
             at_us: self.clock.now_micros(),
             name,
             key,
+            trace,
             sample,
         });
     }
 
     /// Increments counter `name` by `delta`.
     pub fn counter(&self, name: &'static str, key: i64, delta: u64) {
+        self.counter_traced(name, key, TraceId::NONE, delta);
+    }
+
+    /// Increments counter `name` by `delta` within causal trace `trace`.
+    pub fn counter_traced(&self, name: &'static str, key: i64, trace: TraceId, delta: u64) {
         if self.recorder.enabled() {
-            self.emit(name, key, Sample::Counter { delta });
+            self.emit(name, key, trace, Sample::Counter { delta });
         }
     }
 
     /// Observes gauge `name` at `value`.
     pub fn gauge(&self, name: &'static str, key: i64, value: f64) {
         if self.recorder.enabled() {
-            self.emit(name, key, Sample::Gauge { value });
+            self.emit(name, key, TraceId::NONE, Sample::Gauge { value });
         }
     }
 
     /// Adds `value` to histogram `name`.
     pub fn histogram(&self, name: &'static str, key: i64, value: f64) {
+        self.histogram_traced(name, key, TraceId::NONE, value);
+    }
+
+    /// Adds `value` to histogram `name` within causal trace `trace`.
+    pub fn histogram_traced(&self, name: &'static str, key: i64, trace: TraceId, value: f64) {
         if self.recorder.enabled() {
-            self.emit(name, key, Sample::Histogram { value });
+            self.emit(name, key, trace, Sample::Histogram { value });
         }
     }
 
@@ -140,20 +189,29 @@ impl Telemetry {
     /// `&mut self` calls.
     #[must_use]
     pub fn span(&self, name: &'static str, key: i64) -> SpanGuard {
+        self.span_traced(name, key, TraceId::NONE)
+    }
+
+    /// Enters span `name` within causal trace `trace`; the enter and exit
+    /// events both carry the trace.
+    #[must_use]
+    pub fn span_traced(&self, name: &'static str, key: i64, trace: TraceId) -> SpanGuard {
         if !self.recorder.enabled() {
             return SpanGuard {
                 telemetry: None,
                 name,
                 key,
+                trace,
                 entered_us: 0,
             };
         }
         let entered_us = self.clock.now_micros();
-        self.emit(name, key, Sample::SpanEnter);
+        self.emit(name, key, trace, Sample::SpanEnter);
         SpanGuard {
             telemetry: Some(self.clone()),
             name,
             key,
+            trace,
             entered_us,
         }
     }
@@ -166,6 +224,7 @@ pub struct SpanGuard {
     telemetry: Option<Telemetry>,
     name: &'static str,
     key: i64,
+    trace: TraceId,
     entered_us: u64,
 }
 
@@ -173,7 +232,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(t) = &self.telemetry {
             let elapsed_us = t.clock.now_micros().saturating_sub(self.entered_us);
-            t.emit(self.name, self.key, Sample::SpanExit { elapsed_us });
+            t.emit(
+                self.name,
+                self.key,
+                self.trace,
+                Sample::SpanExit { elapsed_us },
+            );
         }
     }
 }

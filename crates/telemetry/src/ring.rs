@@ -125,12 +125,14 @@ impl Recorder for RingBufferRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceId;
 
     fn counter(name: &'static str, key: i64) -> Event {
         Event {
             at_us: 0,
             name,
             key,
+            trace: TraceId::NONE,
             sample: Sample::Counter { delta: 1 },
         }
     }
@@ -169,6 +171,7 @@ mod tests {
                 at_us: 0,
                 name: "g",
                 key: k,
+                trace: TraceId::NONE,
                 sample: Sample::Gauge { value: v },
             });
         }

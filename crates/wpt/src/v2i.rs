@@ -86,15 +86,37 @@ pub enum GridMessage {
 pub struct V2iFrame<M> {
     /// Per-transmission sequence number (duplicated copies share it).
     pub seq: u64,
+    /// The causal trace id of the offer lifecycle this frame belongs to
+    /// (zero = untraced). Retries of one offer share the trace while taking
+    /// fresh `seq`s, and a reply echoes the trace of the offer it answers,
+    /// so one offer's enqueue → send → retry → reply → apply chain is
+    /// linkable across both ends of the link.
+    #[serde(default)]
+    pub trace: u64,
     /// The wrapped message.
     pub payload: M,
 }
 
 impl<M> V2iFrame<M> {
-    /// Wraps `payload` under sequence number `seq`.
+    /// Wraps `payload` under sequence number `seq`, untraced.
     #[must_use]
     pub fn new(seq: u64, payload: M) -> Self {
-        Self { seq, payload }
+        Self {
+            seq,
+            trace: 0,
+            payload,
+        }
+    }
+
+    /// Wraps `payload` under sequence number `seq` within causal trace
+    /// `trace`.
+    #[must_use]
+    pub fn with_trace(seq: u64, trace: u64, payload: M) -> Self {
+        Self {
+            seq,
+            trace,
+            payload,
+        }
     }
 }
 

@@ -1,0 +1,135 @@
+//! Exposition format properties: escaping round-trips, deterministic
+//! ordering, and shard-count invariance of the rendered `/metrics` body.
+//!
+//! The exposition is consumed by scrapers and diffed byte-for-byte in
+//! tests and CI, so its format carries real contracts:
+//!
+//! - **Escaping is total.** Any event name and any constant-label value —
+//!   quotes, backslashes, newlines, unicode — renders to a line that
+//!   [`parse_exposition`] reads back verbatim.
+//! - **Rendering is deterministic.** Families and names emit in sorted
+//!   order, so equal contents mean equal bytes regardless of insertion
+//!   order, and the shard count (a concurrency knob) never leaks into the
+//!   rendering.
+
+use std::sync::Arc;
+
+use oes::telemetry::{parse_exposition, AggregatingRecorder, Telemetry};
+use proptest::prelude::*;
+
+/// Event names are `&'static str` by design (they are compile-time
+/// constants in production); the property tests leak their generated
+/// names to get the same lifetime. A few bytes per case, test-only.
+fn leak(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+proptest! {
+    #[test]
+    fn gauge_names_round_trip_any_escaping(
+        name in "[\\x00-\\x7F]{1,24}",
+        value in -1.0e12f64..1.0e12,
+    ) {
+        let recorder = Arc::new(AggregatingRecorder::new(1));
+        let telemetry = Telemetry::new(recorder.clone());
+        let static_name = leak(name.clone());
+        telemetry.gauge(static_name, -1, value);
+        let body = recorder.render();
+        let lines = parse_exposition(&body)
+            .unwrap_or_else(|| panic!("rendered exposition must parse:\n{body}"));
+        let gauge = lines
+            .iter()
+            .find(|l| l.family == "oes_gauge")
+            .expect("one gauge rendered");
+        prop_assert_eq!(gauge.label("name"), Some(name.as_str()));
+        prop_assert!(
+            (gauge.value - value).abs() <= value.abs() * 1e-12,
+            "value {} survived as {}", value, gauge.value
+        );
+    }
+
+    #[test]
+    fn constant_label_values_round_trip_any_escaping(
+        key in "[a-z][a-z0-9_]{0,8}",
+        label_value in "\\PC{0,16}",
+        delta in 1u64..1_000_000,
+    ) {
+        let recorder = Arc::new(AggregatingRecorder::with_labels(
+            2,
+            vec![(key.clone(), label_value.clone())],
+        ));
+        let telemetry = Telemetry::new(recorder.clone());
+        telemetry.counter("service.offer", -1, delta);
+        let body = recorder.render();
+        let lines = parse_exposition(&body)
+            .unwrap_or_else(|| panic!("rendered exposition must parse:\n{body}"));
+        let counter = lines
+            .iter()
+            .find(|l| l.family == "oes_counter")
+            .expect("one counter rendered");
+        prop_assert_eq!(counter.label("name"), Some("service.offer"));
+        prop_assert_eq!(counter.label(key.as_str()), Some(label_value.as_str()));
+        prop_assert_eq!(counter.value, delta as f64);
+    }
+
+    #[test]
+    fn rendering_is_invariant_to_shard_count_and_insertion_order(
+        shards in 1usize..17,
+        seed in 0u64..1_000,
+    ) {
+        // The same single-threaded event sequence, recorded into
+        // differently-sharded aggregators, must render byte-identically —
+        // and so must a permuted insertion order of distinct names.
+        let reference = Arc::new(AggregatingRecorder::new(1));
+        let sharded = Arc::new(AggregatingRecorder::new(shards));
+        let names: [&'static str; 4] =
+            ["service.offer", "service.retry", "engine.update", "net.drop"];
+        for (i, recorder) in [reference.clone(), sharded.clone()].into_iter().enumerate() {
+            let telemetry = Telemetry::new(recorder);
+            // Rotate the emission order per recorder; totals are equal.
+            for k in 0..names.len() {
+                let name = names[(k + i + seed as usize) % names.len()];
+                telemetry.counter(name, -1, 1 + seed % 5);
+                telemetry.histogram(name, -1, (seed % 97) as f64);
+            }
+        }
+        prop_assert_eq!(reference.render(), sharded.render());
+    }
+}
+
+#[test]
+fn histogram_buckets_render_cumulative_ascending_with_inf_last() {
+    let recorder = Arc::new(AggregatingRecorder::new(2));
+    let telemetry = Telemetry::new(recorder.clone());
+    for value in [0.5, 3.0, 3.0, 1e12] {
+        telemetry.histogram("service.latency", -1, value);
+    }
+    let body = recorder.render();
+    let lines = parse_exposition(&body).expect("exposition parses");
+    let buckets: Vec<_> = lines
+        .iter()
+        .filter(|l| l.family == "oes_histogram_bucket")
+        .collect();
+    assert!(buckets.len() >= 2);
+    assert_eq!(
+        buckets.last().unwrap().label("le"),
+        Some("+Inf"),
+        "+Inf closes the bucket ladder"
+    );
+    let counts: Vec<f64> = buckets.iter().map(|l| l.value).collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] <= w[1]),
+        "bucket counts are cumulative: {counts:?}"
+    );
+    assert_eq!(*counts.last().unwrap(), 4.0, "+Inf holds every sample");
+    let count = lines
+        .iter()
+        .find(|l| l.family == "oes_histogram_count")
+        .unwrap();
+    let sum = lines
+        .iter()
+        .find(|l| l.family == "oes_histogram_sum")
+        .unwrap();
+    assert_eq!(count.value, 4.0);
+    assert!((sum.value - (0.5 + 3.0 + 3.0 + 1e12)).abs() < 1e-3);
+}
