@@ -1,25 +1,32 @@
 //! Emits the parallel-sweep scaling artifact `BENCH_parallel.json`:
-//! best-response updates/sec at K ∈ {1, 2, 4, 8} × N ∈ {512, 4096, 16384}.
+//! best-response updates/sec at K ∈ {1, 2, 4, 8} × N ∈ {512, 4096, 16384},
+//! for both apply modes (serialized on the uniform corridor, partitioned
+//! on the windowed corridor).
 //!
 //! ```sh
 //! cargo run --release -p oes-bench --bin parallel            # verify + measure
 //! cargo run --release -p oes-bench --bin parallel -- --check # + CI gates
 //! ```
 //!
-//! Serial-equivalence is verified before any timing (K = 1 bit-identity
-//! and K ∈ {2, 4, 8} welfare agreement) and failure exits nonzero even
-//! without `--check` — a throughput number from a diverging engine is
-//! meaningless. With `--check`, the K = 1 / N = 16384 point is compared
-//! against the committed baseline
+//! Serial-equivalence is verified before any timing (K = 1 bit-identity,
+//! K ∈ {2, 4, 8} welfare agreement, and partitioned-apply welfare
+//! agreement on uniform and windowed corridors) and failure exits nonzero
+//! even without `--check` — a throughput number from a diverging engine
+//! is meaningless. Every partitioned grid point is additionally
+//! welfare-checked in-measurement against a serialized replay of its
+//! exact scenario. With `--check`, the serialized K = 1 / N = 16384 point
+//! is compared against the committed baseline
 //! (`crates/bench/baselines/parallel.json`), and on hardware with ≥ 8
-//! cores the K = 8 / N = 16384 point must additionally show a ≥ 2×
-//! speedup over K = 1.
+//! cores the K = 8 / N = 16384 points must show a ≥ 2× (serialized) and
+//! ≥ 3× (partitioned) speedup over their K = 1 base.
 
 use oes_bench::parallel::{
-    measure_grid, parallel_summary_json, parse_updates_per_sec, speedup, verify_serial_identity,
-    verify_sharded_equivalence, GATED_FLEET, GATED_SHARDS, MIN_CORES_FOR_SPEEDUP_GATE,
+    measure_grid, mode_name, parallel_summary_json, parse_updates_per_sec, speedup,
+    verify_partitioned_equivalence, verify_serial_identity, verify_sharded_equivalence,
+    GATED_FLEET, GATED_SHARDS, MIN_CORES_FOR_SPEEDUP_GATE, PARTITIONED_SPEEDUP_FLOOR,
     REGRESSION_FACTOR, SPEEDUP_FLOOR,
 };
+use oes_game::ApplyMode;
 
 const BASELINE_PATH: &str = "crates/bench/baselines/parallel.json";
 
@@ -34,19 +41,34 @@ fn main() {
         eprintln!("EQUIVALENCE FAILURE (sharded vs serial optimum): {e}");
         std::process::exit(1);
     }
-    println!("serial-equivalence verified: K=1 bit-identical, K∈{{2,4,8}} within 1e-9");
+    if let Err(e) = verify_partitioned_equivalence() {
+        eprintln!("EQUIVALENCE FAILURE (partitioned vs serial optimum): {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "serial-equivalence verified: K=1 bit-identical, K∈{{2,4,8}} within 1e-9 \
+         (both apply modes)"
+    );
 
     let points = measure_grid();
     println!("parallel sweep scaling (round-robin best responses, nonlinear pricing)");
     println!(
-        "{:>3} {:>7} {:>5} {:>9} {:>10} {:>14} {:>9}",
-        "K", "N", "C", "updates", "seconds", "updates/sec", "speedup"
+        "{:>11} {:>3} {:>7} {:>5} {:>5} {:>9} {:>10} {:>14} {:>9}",
+        "mode", "K", "N", "C", "spans", "updates", "seconds", "updates/sec", "speedup"
     );
     for p in &points {
-        let s = speedup(&points, p.shards, p.olevs).unwrap_or(f64::NAN);
+        let s = speedup(&points, p.mode, p.shards, p.olevs).unwrap_or(f64::NAN);
         println!(
-            "{:>3} {:>7} {:>5} {:>9} {:>10.4} {:>14.1} {:>8.2}x",
-            p.shards, p.olevs, p.sections, p.updates, p.seconds, p.updates_per_sec, s
+            "{:>11} {:>3} {:>7} {:>5} {:>5} {:>9} {:>10.4} {:>14.1} {:>8.2}x",
+            mode_name(p.mode),
+            p.shards,
+            p.olevs,
+            p.sections,
+            p.spans,
+            p.updates,
+            p.seconds,
+            p.updates_per_sec,
+            s
         );
     }
     let json = parallel_summary_json(&points);
@@ -54,12 +76,14 @@ fn main() {
     println!("wrote BENCH_parallel.json");
 
     if check {
-        let measured = parse_updates_per_sec(&json, 1, GATED_FLEET)
+        let measured = parse_updates_per_sec(&json, ApplyMode::Serialized, 1, GATED_FLEET)
             .expect("gated serial point present in fresh artifact");
         let baseline_json = std::fs::read_to_string(BASELINE_PATH)
             .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
-        let baseline = parse_updates_per_sec(&baseline_json, 1, GATED_FLEET)
-            .unwrap_or_else(|| panic!("no K=1/N={GATED_FLEET} point in {BASELINE_PATH}"));
+        let baseline = parse_updates_per_sec(&baseline_json, ApplyMode::Serialized, 1, GATED_FLEET)
+            .unwrap_or_else(|| {
+                panic!("no serialized K=1/N={GATED_FLEET} point in {BASELINE_PATH}")
+            });
         let floor = baseline / REGRESSION_FACTOR;
         println!(
             "perf gate K=1 N={GATED_FLEET}: measured {measured:.1} updates/sec, \
@@ -75,22 +99,29 @@ fn main() {
 
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         if cores >= MIN_CORES_FOR_SPEEDUP_GATE {
-            let s = speedup(&points, GATED_SHARDS, GATED_FLEET)
-                .expect("gated speedup points present in fresh grid");
-            println!(
-                "speedup gate K={GATED_SHARDS} N={GATED_FLEET}: measured {s:.2}x, \
-                 floor {SPEEDUP_FLOOR:.2}x ({cores} cores)"
-            );
-            if s < SPEEDUP_FLOOR {
-                eprintln!(
-                    "SPEEDUP REGRESSION: {s:.2}x at K={GATED_SHARDS} is below the \
-                     {SPEEDUP_FLOOR:.2}x floor"
+            for (mode, floor) in [
+                (ApplyMode::Serialized, SPEEDUP_FLOOR),
+                (ApplyMode::Partitioned, PARTITIONED_SPEEDUP_FLOOR),
+            ] {
+                let s = speedup(&points, mode, GATED_SHARDS, GATED_FLEET)
+                    .expect("gated speedup points present in fresh grid");
+                println!(
+                    "speedup gate {} K={GATED_SHARDS} N={GATED_FLEET}: measured {s:.2}x, \
+                     floor {floor:.2}x ({cores} cores)",
+                    mode_name(mode)
                 );
-                std::process::exit(1);
+                if s < floor {
+                    eprintln!(
+                        "SPEEDUP REGRESSION: {} {s:.2}x at K={GATED_SHARDS} is below the \
+                         {floor:.2}x floor",
+                        mode_name(mode)
+                    );
+                    std::process::exit(1);
+                }
             }
         } else {
             println!(
-                "speedup gate skipped: {cores} cores < {MIN_CORES_FOR_SPEEDUP_GATE} \
+                "speedup gates skipped: {cores} cores < {MIN_CORES_FOR_SPEEDUP_GATE} \
                  (equivalence checks still enforced above)"
             );
         }

@@ -10,27 +10,34 @@
 //!
 //! Correctness is gated *inside* the benchmark, before any timing:
 //! [`verify_serial_identity`] proves `K = 1` is bit-identical to the
-//! serial engine on a seeded random order, and
+//! serial engine on a seeded random order,
 //! [`verify_sharded_equivalence`] proves `K ∈ {2, 4, 8}` converge to the
-//! serial optimum (welfare within `1e-9`). A throughput number from a
-//! build that fails either check is meaningless, so the `parallel`
-//! binary refuses to emit one.
+//! serial optimum (welfare within `1e-9`), and
+//! [`verify_partitioned_equivalence`] proves the same for
+//! [`ApplyMode::Partitioned`] on both a uniform corridor (one partition)
+//! and a windowed corridor (many partitions). Each partitioned grid point
+//! additionally replays its exact scenario and budget through the
+//! serialized apply and asserts the welfare gap stays under `1e-9`. A
+//! throughput number from a build that fails any check is meaningless, so
+//! the `parallel` binary refuses to emit one.
 //!
 //! The binary writes the grid to `BENCH_parallel.json`; with `--check`
-//! it additionally gates two regressions against the committed baseline
+//! it additionally gates regressions against the committed baseline
 //! (`crates/bench/baselines/parallel.json`):
 //!
 //! - the serial point `K = 1, N = 16384` may not slow by more than
 //!   [`REGRESSION_FACTOR`]×, and
 //! - on hardware with at least [`MIN_CORES_FOR_SPEEDUP_GATE`] cores, the
-//!   `K = 8, N = 16384` point must beat `K = 1` by at least
-//!   [`SPEEDUP_FLOOR`]×. On smaller machines (including the container
-//!   the baseline was recorded on) the speedup gate is skipped with a
-//!   message — the equivalence checks still run everywhere.
+//!   serialized `K = 8, N = 16384` point must beat `K = 1` by at least
+//!   [`SPEEDUP_FLOOR`]× and the partitioned one by at least
+//!   [`PARTITIONED_SPEEDUP_FLOOR`]×. On smaller machines (including the
+//!   container the baseline was recorded on) the speedup gates are
+//!   skipped with a message — the equivalence checks still run
+//!   everywhere.
 
 use std::time::Instant;
 
-use oes_game::{GameBuilder, ParallelConfig, UpdateOrder};
+use oes_game::{ApplyMode, GameBuilder, ParallelConfig, UpdateOrder};
 use oes_units::Kilowatts;
 
 /// Shard counts every run measures.
@@ -42,6 +49,12 @@ pub const PARALLEL_FLEETS: [usize; 3] = [512, 4096, 16384];
 /// Corridor length shared by every grid point.
 pub const PARALLEL_SECTIONS: usize = 64;
 
+/// Disjoint OLEV window spans in the partitioned-mode corridor. Each span
+/// holds an equal slice of the fleet, so every round's footprint
+/// union-find splits into up to this many independently committable
+/// partitions — the workload the concurrent apply path exists for.
+pub const PARALLEL_SPANS: usize = 8;
+
 /// The fleet size the CI gates watch.
 pub const GATED_FLEET: usize = 16384;
 
@@ -51,6 +64,11 @@ pub const GATED_SHARDS: usize = 8;
 /// Minimum `K = 8` vs `K = 1` throughput ratio at [`GATED_FLEET`]
 /// required on capable hardware (the ISSUE's acceptance criterion).
 pub const SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Minimum partitioned-apply `K = 8` vs `K = 1` throughput ratio at
+/// [`GATED_FLEET`] on capable hardware: the concurrent-commit path must
+/// actually buy the scaling the serialized apply could not.
+pub const PARTITIONED_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// Cores below which the speedup gate is skipped: asking an
 /// oversubscribed box for a 2× eight-way speedup only measures the
@@ -64,12 +82,19 @@ pub const REGRESSION_FACTOR: f64 = 2.0;
 /// One measured grid point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParallelPoint {
+    /// Commit strategy for the apply phase.
+    pub mode: ApplyMode,
     /// Shard (worker thread) count `K`.
     pub shards: usize,
     /// Fleet size `N`.
     pub olevs: usize,
     /// Corridor length `C`.
     pub sections: usize,
+    /// Disjoint OLEV window spans in the scenario (1 = the uniform
+    /// corridor; [`PARALLEL_SPANS`] = the partitioned-mode workload).
+    /// Points with different span counts run different scenarios, so
+    /// their welfare columns are not comparable to each other.
+    pub spans: usize,
     /// Best-response updates actually applied.
     pub updates: usize,
     /// Wall-clock seconds for the run.
@@ -82,17 +107,29 @@ pub struct ParallelPoint {
     pub converged: bool,
 }
 
+/// The JSON/marker spelling of an [`ApplyMode`].
+#[must_use]
+pub fn mode_name(mode: ApplyMode) -> &'static str {
+    match mode {
+        ApplyMode::Serialized => "serialized",
+        ApplyMode::Partitioned => "partitioned",
+    }
+}
+
 impl ParallelPoint {
     /// Serializes the point as one JSON object with fixed field order.
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"shards\":{},\"olevs\":{},\"sections\":{},\"updates\":{},\
+            "{{\"mode\":\"{}\",\"shards\":{},\"olevs\":{},\"sections\":{},\
+             \"spans\":{},\"updates\":{},\
              \"seconds\":{:.6},\"updates_per_sec\":{:.1},\
              \"final_welfare\":{:.9},\"converged\":{}}}",
+            mode_name(self.mode),
             self.shards,
             self.olevs,
             self.sections,
+            self.spans,
             self.updates,
             self.seconds,
             self.updates_per_sec,
@@ -103,7 +140,8 @@ impl ParallelPoint {
 }
 
 /// Measures one `(K, N)` point: a two-sweep round-robin budget on the
-/// paper-default nonlinear scenario at `C =` [`PARALLEL_SECTIONS`].
+/// paper-default nonlinear scenario at `C =` [`PARALLEL_SECTIONS`],
+/// serialized apply (the original, baseline-comparable workload).
 #[must_use]
 pub fn measure_point(shards: usize, olevs: usize, sections: usize) -> ParallelPoint {
     let mut game = GameBuilder::new()
@@ -120,9 +158,11 @@ pub fn measure_point(shards: usize, olevs: usize, sections: usize) -> ParallelPo
     let seconds = start.elapsed().as_secs_f64();
     let updates = outcome.updates();
     ParallelPoint {
+        mode: ApplyMode::Serialized,
         shards,
         olevs,
         sections,
+        spans: 1,
         updates,
         seconds,
         updates_per_sec: updates as f64 / seconds.max(1e-12),
@@ -131,13 +171,83 @@ pub fn measure_point(shards: usize, olevs: usize, sections: usize) -> ParallelPo
     }
 }
 
-/// Measures the whole `K × N` grid.
+/// The windowed corridor for partitioned-mode timing: `sections` split
+/// into [`PARALLEL_SPANS`] disjoint spans, each holding an equal slice of
+/// the fleet, so rounds decompose into many independently committable
+/// partitions.
+fn windowed_scenario(olevs: usize, sections: usize) -> oes_game::Game {
+    let span_len = sections / PARALLEL_SPANS;
+    let per_span = olevs / PARALLEL_SPANS;
+    let mut builder = GameBuilder::new().sections(sections, Kilowatts::new(60.0));
+    for s in 0..PARALLEL_SPANS {
+        builder = builder.olevs_in(
+            per_span,
+            Kilowatts::new(50.0),
+            s * span_len..(s + 1) * span_len,
+        );
+    }
+    builder.build().expect("valid windowed scenario")
+}
+
+/// Measures one partitioned-apply `(K, N)` point on the windowed
+/// corridor, then replays the identical scenario and budget through the
+/// serialized apply and panics if the two final welfares disagree beyond
+/// `1e-9` — every emitted partitioned number is welfare-checked against
+/// the serialized oracle, not just the to-convergence verifier.
+#[must_use]
+pub fn measure_partitioned_point(shards: usize, olevs: usize, sections: usize) -> ParallelPoint {
+    let budget = 2 * olevs;
+    let config = ParallelConfig::new(shards).with_apply(ApplyMode::Partitioned);
+    let mut game = windowed_scenario(olevs, sections);
+    let start = Instant::now();
+    let outcome = game
+        .run_parallel(UpdateOrder::RoundRobin, budget, config)
+        .expect("partitioned engine run");
+    let seconds = start.elapsed().as_secs_f64();
+    let welfare = game.welfare();
+
+    let mut oracle = windowed_scenario(olevs, sections);
+    oracle
+        .run_parallel(
+            UpdateOrder::RoundRobin,
+            budget,
+            config.with_apply(ApplyMode::Serialized),
+        )
+        .expect("serialized oracle run");
+    let gap = (welfare - oracle.welfare()).abs();
+    assert!(
+        gap < 1e-9,
+        "PARTITIONED WELFARE DIVERGENCE at K={shards} N={olevs}: \
+         gap {gap:e} vs the serialized apply on the same scenario"
+    );
+
+    let updates = outcome.updates();
+    ParallelPoint {
+        mode: ApplyMode::Partitioned,
+        shards,
+        olevs,
+        sections,
+        spans: PARALLEL_SPANS,
+        updates,
+        seconds,
+        updates_per_sec: updates as f64 / seconds.max(1e-12),
+        final_welfare: welfare,
+        converged: outcome.converged(),
+    }
+}
+
+/// Measures the whole `K × N` grid: the serialized uniform-corridor
+/// points (baseline-comparable) followed by the partitioned
+/// windowed-corridor points, per fleet size.
 #[must_use]
 pub fn measure_grid() -> Vec<ParallelPoint> {
-    let mut points = Vec::with_capacity(PARALLEL_SHARDS.len() * PARALLEL_FLEETS.len());
+    let mut points = Vec::with_capacity(2 * PARALLEL_SHARDS.len() * PARALLEL_FLEETS.len());
     for &n in &PARALLEL_FLEETS {
         for &k in &PARALLEL_SHARDS {
             points.push(measure_point(k, n, PARALLEL_SECTIONS));
+        }
+        for &k in &PARALLEL_SHARDS {
+            points.push(measure_partitioned_point(k, n, PARALLEL_SECTIONS));
         }
     }
     points
@@ -219,6 +329,57 @@ pub fn verify_sharded_equivalence() -> Result<(), String> {
     Ok(())
 }
 
+/// Proves the partitioned apply lands on the serial optimum: for
+/// `K ∈ {2, 4, 8}` on both the uniform corridor (everything collapses to
+/// one partition) and the windowed corridor (many partitions), the run
+/// converges and final welfare agrees with the serial engine within
+/// `1e-9`. Run by the binary before any timing.
+///
+/// # Errors
+///
+/// Returns a description of the first configuration that diverges.
+pub fn verify_partitioned_equivalence() -> Result<(), String> {
+    type Build = fn() -> oes_game::Game;
+    let uniform: Build = || {
+        GameBuilder::new()
+            .sections(12, Kilowatts::new(60.0))
+            .olevs(24, Kilowatts::new(50.0))
+            .build()
+            .expect("valid scenario")
+    };
+    let windowed: Build = || windowed_scenario(24, 16);
+    let scenarios = [("uniform", uniform), ("windowed", windowed)];
+    for (label, build) in scenarios {
+        let mut serial = build();
+        let reference = serial
+            .run(UpdateOrder::RoundRobin, 20_000)
+            .map_err(|e| e.to_string())?;
+        if !reference.converged() {
+            return Err(format!("{label}: serial reference did not converge"));
+        }
+        for k in [2usize, 4, 8] {
+            let mut game = build();
+            let outcome = game
+                .run_parallel(
+                    UpdateOrder::RoundRobin,
+                    20_000,
+                    ParallelConfig::new(k).with_apply(ApplyMode::Partitioned),
+                )
+                .map_err(|e| e.to_string())?;
+            if !outcome.converged() {
+                return Err(format!("{label}: partitioned K={k} did not converge"));
+            }
+            let gap = (outcome.final_welfare() - reference.final_welfare()).abs();
+            if gap >= 1e-9 {
+                return Err(format!(
+                    "{label}: partitioned K={k} welfare gap {gap:e} exceeds 1e-9"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Serializes the measured grid as the `BENCH_parallel.json` artifact.
 #[must_use]
 pub fn parallel_summary_json(points: &[ParallelPoint]) -> String {
@@ -234,12 +395,20 @@ pub fn parallel_summary_json(points: &[ParallelPoint]) -> String {
     out
 }
 
-/// Extracts `"updates_per_sec"` for one `(K, N)` point from a JSON
+/// Extracts `"updates_per_sec"` for one `(mode, K, N)` point from a JSON
 /// artifact (fresh or committed baseline). Hand-rolled so the harness
 /// stays dependency-free.
 #[must_use]
-pub fn parse_updates_per_sec(json: &str, shards: usize, olevs: usize) -> Option<f64> {
-    let marker = format!("\"shards\":{shards},\"olevs\":{olevs},");
+pub fn parse_updates_per_sec(
+    json: &str,
+    mode: ApplyMode,
+    shards: usize,
+    olevs: usize,
+) -> Option<f64> {
+    let marker = format!(
+        "\"mode\":\"{}\",\"shards\":{shards},\"olevs\":{olevs},",
+        mode_name(mode)
+    );
     let object = json.split('{').find(|chunk| chunk.contains(&marker))?;
     let tail = object.split("\"updates_per_sec\":").nth(1)?;
     let value: String = tail
@@ -249,14 +418,19 @@ pub fn parse_updates_per_sec(json: &str, shards: usize, olevs: usize) -> Option<
     value.parse().ok()
 }
 
-/// `K = shards` vs `K = 1` throughput ratio at one fleet size, from a
-/// measured grid. `None` when either point is missing.
+/// `K = shards` vs `K = 1` throughput ratio at one fleet size within one
+/// apply mode, from a measured grid. `None` when either point is missing.
 #[must_use]
-pub fn speedup(points: &[ParallelPoint], shards: usize, olevs: usize) -> Option<f64> {
+pub fn speedup(
+    points: &[ParallelPoint],
+    mode: ApplyMode,
+    shards: usize,
+    olevs: usize,
+) -> Option<f64> {
     let at = |k: usize| {
         points
             .iter()
-            .find(|p| p.shards == k && p.olevs == olevs)
+            .find(|p| p.mode == mode && p.shards == k && p.olevs == olevs)
             .map(|p| p.updates_per_sec)
     };
     let base = at(1)?;
@@ -270,41 +444,68 @@ mod tests {
 
     #[test]
     fn json_roundtrip_parses() {
+        let point = |mode, shards, ups| ParallelPoint {
+            mode,
+            shards,
+            olevs: 16384,
+            sections: 64,
+            spans: if mode == ApplyMode::Partitioned {
+                PARALLEL_SPANS
+            } else {
+                1
+            },
+            updates: 32768,
+            seconds: 0.5,
+            updates_per_sec: ups,
+            final_welfare: 99.5,
+            converged: false,
+        };
         let points = vec![
-            ParallelPoint {
-                shards: 8,
-                olevs: 16384,
-                sections: 64,
-                updates: 32768,
-                seconds: 0.5,
-                updates_per_sec: 65536.0,
-                final_welfare: 99.5,
-                converged: false,
-            },
-            ParallelPoint {
-                shards: 1,
-                olevs: 16384,
-                sections: 64,
-                updates: 32768,
-                seconds: 2.0,
-                updates_per_sec: 16384.0,
-                final_welfare: 99.5,
-                converged: false,
-            },
+            point(ApplyMode::Serialized, 8, 65536.0),
+            point(ApplyMode::Serialized, 1, 16384.0),
+            point(ApplyMode::Partitioned, 8, 98304.0),
+            point(ApplyMode::Partitioned, 1, 16384.0),
         ];
         let json = parallel_summary_json(&points);
-        assert_eq!(parse_updates_per_sec(&json, 8, 16384), Some(65536.0));
-        assert_eq!(parse_updates_per_sec(&json, 1, 16384), Some(16384.0));
-        assert_eq!(parse_updates_per_sec(&json, 2, 512), None);
-        assert_eq!(speedup(&points, 8, 16384), Some(4.0));
+        let serialized = ApplyMode::Serialized;
+        let partitioned = ApplyMode::Partitioned;
+        assert_eq!(
+            parse_updates_per_sec(&json, serialized, 8, 16384),
+            Some(65536.0)
+        );
+        assert_eq!(
+            parse_updates_per_sec(&json, serialized, 1, 16384),
+            Some(16384.0)
+        );
+        assert_eq!(
+            parse_updates_per_sec(&json, partitioned, 8, 16384),
+            Some(98304.0),
+            "mode must disambiguate same-(K, N) points"
+        );
+        assert_eq!(parse_updates_per_sec(&json, serialized, 2, 512), None);
+        assert_eq!(speedup(&points, serialized, 8, 16384), Some(4.0));
+        assert_eq!(speedup(&points, partitioned, 8, 16384), Some(6.0));
     }
 
     #[test]
     fn small_point_measures_and_runs() {
         let p = measure_point(2, 8, 8);
         assert_eq!(p.shards, 2);
+        assert_eq!(p.mode, ApplyMode::Serialized);
         assert!(p.updates > 0);
         assert!(p.updates_per_sec > 0.0);
+        assert!(p.final_welfare.is_finite());
+    }
+
+    #[test]
+    fn small_partitioned_point_measures_and_welfare_checks() {
+        // 16 OLEVs over 16 sections: 2 per span. The in-point serialized
+        // oracle comparison is part of the measurement, so this also
+        // exercises the divergence tripwire.
+        let p = measure_partitioned_point(2, 16, 16);
+        assert_eq!(p.mode, ApplyMode::Partitioned);
+        assert_eq!(p.spans, PARALLEL_SPANS);
+        assert!(p.updates > 0);
         assert!(p.final_welfare.is_finite());
     }
 
@@ -312,5 +513,10 @@ mod tests {
     fn equivalence_checks_pass() {
         verify_serial_identity().expect("K=1 bit-identity");
         verify_sharded_equivalence().expect("sharded equivalence");
+    }
+
+    #[test]
+    fn partitioned_equivalence_check_passes() {
+        verify_partitioned_equivalence().expect("partitioned equivalence");
     }
 }

@@ -37,7 +37,7 @@ use crate::state::{ScheduleState, DEFAULT_RESYNC_EVERY};
 /// ```
 pub struct GameBuilder {
     caps: Vec<f64>,
-    olevs: Vec<(f64, Box<dyn Satisfaction>)>,
+    olevs: Vec<OlevSpecEntry>,
     policy: PricingPolicy,
     kappa: Option<f64>,
     eta: f64,
@@ -45,6 +45,14 @@ pub struct GameBuilder {
     scheduler_override: Option<Scheduler>,
     welfare_resync_every: usize,
     schedule_resync_writes: usize,
+}
+
+/// One OLEV as accumulated by the builder: capacity bound, satisfaction,
+/// and an optional accessible-section window (`None` = the full corridor).
+struct OlevSpecEntry {
+    p_max: f64,
+    satisfaction: Box<dyn Satisfaction>,
+    window: Option<(usize, usize)>,
 }
 
 impl core::fmt::Debug for GameBuilder {
@@ -106,8 +114,46 @@ impl GameBuilder {
     #[must_use]
     pub fn olevs_weighted(mut self, count: usize, p_max: Kilowatts, weight: f64) -> Self {
         for _ in 0..count {
-            self.olevs
-                .push((p_max.value(), Box::new(LogSatisfaction::new(weight))));
+            self.olevs.push(OlevSpecEntry {
+                p_max: p_max.value(),
+                satisfaction: Box::new(LogSatisfaction::new(weight)),
+                window: None,
+            });
+        }
+        self
+    }
+
+    /// Adds `count` identical unit-weight OLEVs restricted to the
+    /// half-open section window `window` — a corridor span, the physical
+    /// reality that a vehicle traversing sections `[a, b)` can only draw
+    /// power there. The serial and parallel in-process engines schedule such
+    /// an OLEV over its window only (its row stays zero outside), which is
+    /// what gives fleets on disjoint spans genuinely disjoint section
+    /// footprints — the structural independence
+    /// [`crate::parallel::ApplyMode::Partitioned`] commits exploit.
+    ///
+    /// Window bounds are validated at [`GameBuilder::build`] (sections may be
+    /// added after OLEVs): an empty or out-of-range window is rejected.
+    #[must_use]
+    pub fn olevs_in(self, count: usize, p_max: Kilowatts, window: core::ops::Range<usize>) -> Self {
+        self.olevs_weighted_in(count, p_max, 1.0, window)
+    }
+
+    /// [`GameBuilder::olevs_in`] with an explicit satisfaction weight.
+    #[must_use]
+    pub fn olevs_weighted_in(
+        mut self,
+        count: usize,
+        p_max: Kilowatts,
+        weight: f64,
+        window: core::ops::Range<usize>,
+    ) -> Self {
+        for _ in 0..count {
+            self.olevs.push(OlevSpecEntry {
+                p_max: p_max.value(),
+                satisfaction: Box::new(LogSatisfaction::new(weight)),
+                window: Some((window.start, window.end)),
+            });
         }
         self
     }
@@ -115,7 +161,11 @@ impl GameBuilder {
     /// Adds one OLEV with a custom satisfaction function.
     #[must_use]
     pub fn olev_with(mut self, p_max: Kilowatts, satisfaction: Box<dyn Satisfaction>) -> Self {
-        self.olevs.push((p_max.value(), satisfaction));
+        self.olevs.push(OlevSpecEntry {
+            p_max: p_max.value(),
+            satisfaction,
+            window: None,
+        });
         self
     }
 
@@ -229,10 +279,11 @@ impl GameBuilder {
                 .push(s.sustained_capacity(vel, passes_per_hour).value());
         }
         for o in olevs {
-            self.olevs.push((
-                o.receivable_power().value(),
-                Box::new(LogSatisfaction::new(1.0)),
-            ));
+            self.olevs.push(OlevSpecEntry {
+                p_max: o.receivable_power().value(),
+                satisfaction: Box::new(LogSatisfaction::new(1.0)),
+                window: None,
+            });
         }
         self
     }
@@ -259,12 +310,20 @@ impl GameBuilder {
                 });
             }
         }
-        for (p_max, _) in &self.olevs {
-            if !(*p_max >= 0.0 && p_max.is_finite()) {
+        for o in &self.olevs {
+            if !(o.p_max >= 0.0 && o.p_max.is_finite()) {
                 return Err(GameError::InvalidParameter {
                     name: "olev p_max",
-                    value: *p_max,
+                    value: o.p_max,
                 });
+            }
+            if let Some((start, end)) = o.window {
+                if start >= end || end > self.caps.len() {
+                    return Err(GameError::InvalidParameter {
+                        name: "olev section window",
+                        value: end as f64,
+                    });
+                }
             }
         }
         if !(self.eta > 0.0 && self.eta <= 1.0) {
@@ -313,13 +372,21 @@ impl GameBuilder {
             Some(s) => s,
             None => Scheduler::for_cost(&cost),
         };
-        let (p_max, satisfactions): (Vec<f64>, Vec<Box<dyn Satisfaction>>) =
-            self.olevs.into_iter().unzip();
+        let full_window = (0, self.caps.len());
+        let mut p_max = Vec::with_capacity(self.olevs.len());
+        let mut satisfactions: Vec<Box<dyn Satisfaction>> = Vec::with_capacity(self.olevs.len());
+        let mut windows = Vec::with_capacity(self.olevs.len());
+        for o in self.olevs {
+            p_max.push(o.p_max);
+            satisfactions.push(o.satisfaction);
+            windows.push(o.window.unwrap_or(full_window));
+        }
         let schedule = PowerSchedule::zeros(p_max.len(), self.caps.len());
         let mut state = ScheduleState::new(schedule, &satisfactions, &cost, &self.caps);
         state.set_resync_interval(self.welfare_resync_every);
         state.set_schedule_resync_writes(self.schedule_resync_writes);
         let scratch_loads = Vec::with_capacity(self.caps.len());
+        let scratch_row = vec![0.0; self.caps.len()];
         Ok(Game {
             satisfactions,
             p_max,
@@ -329,6 +396,8 @@ impl GameBuilder {
             state,
             tolerance: self.tolerance,
             scratch_loads,
+            scratch_row,
+            windows,
             welfare_resync_every: self.welfare_resync_every,
             schedule_resync_writes: self.schedule_resync_writes,
         })

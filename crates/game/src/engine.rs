@@ -158,6 +158,11 @@ pub struct Game {
     pub(crate) tolerance: f64,
     /// Reusable `P_{-n,c}` buffer so the hot update path does not allocate.
     pub(crate) scratch_loads: Vec<f64>,
+    /// Reusable full-width row buffer for scattering windowed allocations.
+    pub(crate) scratch_row: Vec<f64>,
+    /// Per-OLEV accessible-section windows `[start, end)` — the corridor
+    /// span the OLEV can draw power on. Defaults to the full section range.
+    pub(crate) windows: Vec<(usize, usize)>,
     /// Applied rows between exact welfare resyncs; survives
     /// [`Game::set_schedule`] / [`Game::reset`].
     pub(crate) welfare_resync_every: usize,
@@ -219,6 +224,16 @@ impl Game {
     #[must_use]
     pub fn satisfactions(&self) -> &[Box<dyn Satisfaction>] {
         &self.satisfactions
+    }
+
+    /// Per-OLEV accessible-section windows `[start, end)` — the corridor
+    /// span each OLEV can draw power on ([`crate::GameBuilder::olevs_in`]).
+    /// OLEVs without an explicit window cover the full section range. Honored
+    /// by the in-process engines (serial and parallel); the decentralized
+    /// runtime plays full-width best responses.
+    #[must_use]
+    pub fn windows(&self) -> &[(usize, usize)] {
+        &self.windows
     }
 
     /// The current power schedule.
@@ -345,21 +360,26 @@ impl Game {
         let id = OlevId(n);
         self.state.loads_excluding_into(id, &mut self.scratch_loads);
         let before = self.state.schedule().olev_total(id);
+        let (w0, w1) = self.windows[n];
         let br = best_response(
             self.satisfactions[n].as_ref(),
             &self.cost,
-            &self.caps,
-            &self.scratch_loads,
+            &self.caps[w0..w1],
+            &self.scratch_loads[w0..w1],
             self.p_max[n],
             self.scheduler,
         );
-        self.state.apply_row(
-            id,
-            &br.allocation.shares,
-            &self.satisfactions,
-            &self.cost,
-            &self.caps,
-        );
+        let row: &[f64] = if (w0, w1) == (0, self.caps.len()) {
+            &br.allocation.shares
+        } else {
+            // Scatter the windowed allocation into a full-width row: the
+            // schedule stays zero outside the OLEV's corridor span.
+            self.scratch_row.fill(0.0);
+            self.scratch_row[w0..w1].copy_from_slice(&br.allocation.shares);
+            &self.scratch_row
+        };
+        self.state
+            .apply_row(id, row, &self.satisfactions, &self.cost, &self.caps);
         Ok((br.total - before).abs())
     }
 

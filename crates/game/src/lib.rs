@@ -94,7 +94,7 @@ pub use engine::{Game, Outcome, Snapshot, UpdateOrder};
 pub use error::GameError;
 pub use fairness::{fairness_report, fairness_report_with, jain_index, FairnessReport};
 pub use faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, LinkVerdict, LossyLink};
-pub use parallel::ParallelConfig;
+pub use parallel::{ApplyMode, ParallelConfig};
 pub use payment::{payment_for_schedule, quote, PaymentQuote, Scheduler};
 pub use pricing::{
     CostPolicy, LinearPricing, NonlinearPricing, OverloadPenalty, PricingPolicy, SectionCost,

@@ -42,10 +42,18 @@
 //!   differ from serial Gauss–Seidel ones — but both converge to the unique
 //!   welfare maximizer (the potential function argument of Theorem IV.1),
 //!   which the equivalence tests pin to within `1e-9` in welfare.
+//! - [`ApplyMode::Partitioned`] moves the guard-and-commit work off the
+//!   coordinator: moves with disjoint section footprints are guarded and
+//!   committed concurrently, then merged in deterministic sweep order. The
+//!   mode keeps the bit-identical-replay guarantee within itself and agrees
+//!   with the serialized oracle to within `1e-9` in welfare (see
+//!   [`ApplyMode`] for the contract).
 //!
 //! Telemetry (all emitted from the coordinator thread, so journals stay
 //! deterministic): an `engine.parallel.sweep` span per sweep,
-//! `engine.parallel.rounds` / `engine.parallel.dropped` counters, an
+//! `engine.parallel.rounds` / `engine.parallel.dropped` /
+//! `engine.parallel.conflicts` counters, an `engine.parallel.partitions`
+//! counter per partitioned round (value = number of footprint groups), an
 //! `engine.parallel.shards` gauge at run start, and the same per-update
 //! `engine.welfare` / `engine.congestion` / `engine.change` gauges the serial
 //! engine emits.
@@ -95,26 +103,66 @@ pub const PARALLEL_ENDGAME_FACTOR: f64 = 1e3;
 /// and the engine switches to the serial endgame regardless of scale.
 pub const PARALLEL_STALL_SWEEPS: usize = 8;
 
+/// How a round's computed moves are guarded and committed.
+///
+/// The guard-and-apply loop is the scaling bottleneck of the serialized
+/// path: each apply costs four full-width payment evaluations on the
+/// coordinator thread, so K=8 sweeps run no faster than K=1 (the committed
+/// parallel baseline documents this). But a move's guard and its commit
+/// only read and write sections in the move's *footprint* — the union of
+/// the current row's support and the proposed shares' support — because
+/// zero entries contribute exactly `+0.0` to every payment sum. Moves whose
+/// footprints are disjoint therefore commute exactly, and the partitioned
+/// mode exploits that: it groups a round's moves by footprint overlap
+/// (union-find over sections), ships each group to a shard worker that
+/// guards and locally applies it against partition-local loads, and merges
+/// the accepted deltas on the coordinator in deterministic sweep order
+/// through the sparse O(footprint) commit path.
+///
+/// Tolerance contract (same shape as `ScanMode::NaiveScan` in the traffic
+/// crate): each mode is bit-identically replayable *within itself* — same
+/// seed, same [`ParallelConfig`] ⇒ same bits, on any machine — and the two
+/// modes agree on converged welfare to within `1e-9`. The serialized mode
+/// stays the default and the bit-identity oracle; partitioned trajectories
+/// may differ from it in the last ulps because partition-local guard
+/// arithmetic sums payments over the footprint only and cached-load resyncs
+/// land at different points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyMode {
+    /// Guard and commit every move sequentially on the coordinator thread,
+    /// in sweep order — the original path and the bit-identity oracle.
+    #[default]
+    Serialized,
+    /// Partition each round's moves by section-footprint overlap and let
+    /// shard workers guard and commit each partition concurrently against
+    /// partition-local loads; the coordinator merges partition deltas in
+    /// deterministic sweep order via the sparse commit path.
+    Partitioned,
+}
+
 /// Opt-in configuration for [`Game::run_parallel`].
 ///
 /// `shards` is the number of worker threads `K`; `batch` is how many players
 /// respond to one frozen snapshot per round (the bounded-staleness window of
-/// Theorem IV.1). Both are part of the determinism key: changing either
-/// changes the round partition and therefore the (still deterministic)
-/// trajectory.
+/// Theorem IV.1); `apply` picks the commit strategy ([`ApplyMode`]). All
+/// three are part of the determinism key: changing any of them changes the
+/// (still deterministic) trajectory.
 ///
 /// # Examples
 ///
 /// ```
-/// use oes_game::ParallelConfig;
+/// use oes_game::{ApplyMode, ParallelConfig};
 ///
 /// let serial = ParallelConfig::default();
 /// assert_eq!((serial.shards, serial.batch), (1, 1));
+/// assert_eq!(serial.apply, ApplyMode::Serialized);
 /// let four = ParallelConfig::new(4);
 /// assert_eq!(four.shards, 4);
 /// assert_eq!(four.batch, 4 * oes_game::parallel::DEFAULT_BATCH_PER_SHARD);
 /// let tuned = ParallelConfig::new(4).with_batch(64);
 /// assert_eq!(tuned.batch, 64);
+/// let partitioned = ParallelConfig::new(8).with_apply(ApplyMode::Partitioned);
+/// assert_eq!(partitioned.apply, ApplyMode::Partitioned);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
@@ -123,6 +171,8 @@ pub struct ParallelConfig {
     pub shards: usize,
     /// Players dispatched against one snapshot per round.
     pub batch: usize,
+    /// Commit strategy for the apply phase.
+    pub apply: ApplyMode,
 }
 
 impl ParallelConfig {
@@ -133,6 +183,7 @@ impl ParallelConfig {
         Self {
             shards,
             batch: shards.saturating_mul(DEFAULT_BATCH_PER_SHARD).max(1),
+            apply: ApplyMode::Serialized,
         }
     }
 
@@ -143,6 +194,7 @@ impl ParallelConfig {
         Self {
             shards: 1,
             batch: 1,
+            apply: ApplyMode::Serialized,
         }
     }
 
@@ -150,6 +202,13 @@ impl ParallelConfig {
     #[must_use]
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Overrides the apply-phase commit strategy.
+    #[must_use]
+    pub fn with_apply(mut self, apply: ApplyMode) -> Self {
+        self.apply = apply;
         self
     }
 
@@ -191,33 +250,166 @@ struct ShardTask {
 
 type ShardMoves = Vec<(usize, BestResponse)>;
 
+/// One pending move inside a partition commit, restricted to the
+/// partition's footprint sections.
+struct CommitMove {
+    /// Player index.
+    n: usize,
+    /// Current row values at the partition footprint sections.
+    row: Vec<f64>,
+    /// Current cached total `p_n`.
+    total: f64,
+    /// Proposed shares at the partition footprint sections.
+    shares: Vec<f64>,
+    /// Proposed total `p*_n`.
+    br_total: f64,
+}
+
+/// A partition of a round's moves whose footprints are disjoint from every
+/// other partition's, shipped to a shard worker for concurrent
+/// guard-and-commit against partition-local loads.
+struct CommitTask {
+    /// Partition position in deterministic merge order, used to reassemble
+    /// verdicts regardless of completion order.
+    slot: usize,
+    /// Ascending section indices of the partition footprint.
+    sections: Vec<usize>,
+    /// Current loads at those sections.
+    loads: Vec<f64>,
+    /// The partition's moves, in sweep order.
+    members: Vec<CommitMove>,
+}
+
+enum ShardJob {
+    Compute(ShardTask),
+    Commit(CommitTask),
+}
+
+enum ShardReply {
+    Moves(usize, ShardMoves),
+    /// Per-member `(accepted, |Δp_n|)` verdicts, in member order.
+    Commits(usize, Vec<(bool, f64)>),
+}
+
+/// Guards and locally applies one partition's moves, replicating the
+/// serialized apply arithmetic operation-for-operation on the footprint
+/// slice: the subtract-then-clamp loads exclusion, the
+/// [`payment_for_schedule`] guard against the evolving partition loads with
+/// the same `-1e-12` threshold, and the clamp-and-delta load maintenance of
+/// an accepted commit. Sections outside the footprint contribute exactly
+/// `+0.0` to every payment sum (zero shares on non-negative loads), so the
+/// footprint-restricted guard decides exactly as a full-width one would.
+fn commit_partition(
+    task: CommitTask,
+    satisfactions: &[Box<dyn Satisfaction>],
+    cost: &SectionCost,
+    caps: &[f64],
+) -> Vec<(bool, f64)> {
+    let caps_fp: Vec<f64> = task.sections.iter().map(|&c| caps[c]).collect();
+    let mut loads = task.loads;
+    let mut loads_excl = vec![0.0; caps_fp.len()];
+    let mut verdicts = Vec::with_capacity(task.members.len());
+    for m in &task.members {
+        for ((out, &load), &row) in loads_excl.iter_mut().zip(&loads).zip(&m.row) {
+            *out = load - row;
+            if *out < 0.0 {
+                *out = 0.0;
+            }
+        }
+        let f_old = satisfactions[m.n].value(m.total)
+            - payment_for_schedule(cost, &caps_fp, &loads_excl, &m.row);
+        let f_new = satisfactions[m.n].value(m.br_total)
+            - payment_for_schedule(cost, &caps_fp, &loads_excl, &m.shares);
+        if f_new - f_old < -1e-12 {
+            verdicts.push((false, 0.0));
+            continue;
+        }
+        for (i, &share) in m.shares.iter().enumerate() {
+            let new = share.max(0.0);
+            let delta = new - m.row[i];
+            loads[i] = (loads[i] + delta).max(0.0);
+        }
+        verdicts.push((true, (m.br_total - m.total).abs()));
+    }
+    verdicts
+}
+
+/// Path-halving union-find over section indices; groups a round's moves by
+/// footprint overlap. Roots are canonicalized to the smallest member so
+/// grouping is a pure function of the footprints.
+struct SectionDsu {
+    parent: Vec<usize>,
+}
+
+impl SectionDsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
-    tasks: &mpsc::Receiver<ShardTask>,
-    results: &mpsc::Sender<(usize, ShardMoves)>,
+    tasks: &mpsc::Receiver<ShardJob>,
+    results: &mpsc::Sender<ShardReply>,
     satisfactions: &[Box<dyn Satisfaction>],
     cost: &SectionCost,
     caps: &[f64],
     p_max: &[f64],
+    windows: &[(usize, usize)],
     scheduler: Scheduler,
 ) {
     let mut loads_excl = vec![0.0; caps.len()];
-    while let Ok(task) = tasks.recv() {
-        let mut moves = Vec::with_capacity(task.players.len());
-        for (n, row) in &task.players {
-            for (c, out) in loads_excl.iter_mut().enumerate() {
-                *out = (task.loads[c] - row[c]).max(0.0);
+    while let Ok(job) = tasks.recv() {
+        let reply = match job {
+            ShardJob::Compute(task) => {
+                let mut moves = Vec::with_capacity(task.players.len());
+                for (n, row) in &task.players {
+                    for (c, out) in loads_excl.iter_mut().enumerate() {
+                        *out = (task.loads[c] - row[c]).max(0.0);
+                    }
+                    let (w0, w1) = windows[*n];
+                    let mut br = best_response(
+                        satisfactions[*n].as_ref(),
+                        cost,
+                        &caps[w0..w1],
+                        &loads_excl[w0..w1],
+                        p_max[*n],
+                        scheduler,
+                    );
+                    if (w0, w1) != (0, caps.len()) {
+                        // Scatter the windowed allocation to full width so
+                        // the apply phase sees ordinary rows.
+                        let mut shares = vec![0.0; caps.len()];
+                        shares[w0..w1].copy_from_slice(&br.allocation.shares);
+                        br.allocation.shares = shares;
+                    }
+                    moves.push((*n, br));
+                }
+                ShardReply::Moves(task.slot, moves)
             }
-            let br = best_response(
-                satisfactions[*n].as_ref(),
-                cost,
-                caps,
-                &loads_excl,
-                p_max[*n],
-                scheduler,
-            );
-            moves.push((*n, br));
-        }
-        if results.send((task.slot, moves)).is_err() {
+            ShardJob::Commit(task) => {
+                let slot = task.slot;
+                ShardReply::Commits(slot, commit_partition(task, satisfactions, cost, caps))
+            }
+        };
+        if results.send(reply).is_err() {
             return;
         }
     }
@@ -365,6 +557,7 @@ impl Game {
         let caps = &self.caps;
         let cost = &self.cost;
         let p_max = &self.p_max;
+        let windows = &self.windows;
         let scheduler = self.scheduler;
         let state = &mut self.state;
 
@@ -404,10 +597,10 @@ impl Game {
         }
 
         thread::scope(|scope| {
-            let (result_tx, result_rx) = mpsc::channel::<(usize, ShardMoves)>();
+            let (result_tx, result_rx) = mpsc::channel::<ShardReply>();
             let mut task_txs = Vec::with_capacity(shards);
             for _ in 0..shards {
-                let (task_tx, task_rx) = mpsc::channel::<ShardTask>();
+                let (task_tx, task_rx) = mpsc::channel::<ShardJob>();
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     shard_worker(
@@ -417,6 +610,7 @@ impl Game {
                         cost,
                         caps,
                         p_max,
+                        windows,
                         scheduler,
                     );
                 });
@@ -473,7 +667,8 @@ impl Game {
                     // Freeze the snapshot every round: all moves in a round
                     // respond to the same P_c, the bounded staleness window
                     // Theorem IV.1 tolerates.
-                    let slots: Vec<Option<ShardMoves>> = if round.len() == 1 {
+                    let round_len = round.len();
+                    let slots: Vec<Option<ShardMoves>> = if round_len == 1 {
                         // Fresh-load round of one (the endgame path, or a
                         // batch-1 config): computing inline skips the
                         // channel round-trip and is exactly the serial
@@ -481,14 +676,20 @@ impl Game {
                         let n = round[0];
                         let id = OlevId(n);
                         state.loads_excluding_into(id, &mut scratch_excl);
-                        let br = best_response(
+                        let (w0, w1) = windows[n];
+                        let mut br = best_response(
                             satisfactions[n].as_ref(),
                             cost,
-                            caps,
-                            &scratch_excl,
+                            &caps[w0..w1],
+                            &scratch_excl[w0..w1],
                             p_max[n],
                             scheduler,
                         );
+                        if (w0, w1) != (0, caps.len()) {
+                            let mut shares = vec![0.0; caps.len()];
+                            shares[w0..w1].copy_from_slice(&br.allocation.shares);
+                            br.allocation.shares = shares;
+                        }
                         vec![Some(vec![(n, br)])]
                     } else {
                         let loads = state.schedule().loads().to_vec();
@@ -503,110 +704,352 @@ impl Game {
                                     .map(|&n| (n, state.schedule().row(OlevId(n)).to_vec()))
                                     .collect(),
                             };
-                            task_txs[slot].send(task).expect("shard worker alive");
+                            task_txs[slot]
+                                .send(ShardJob::Compute(task))
+                                .expect("shard worker alive");
                             sent += 1;
                         }
                         let mut slots: Vec<Option<ShardMoves>> = (0..sent).map(|_| None).collect();
                         for _ in 0..sent {
-                            let (slot, moves) = result_rx.recv().expect("shard worker alive");
-                            slots[slot] = Some(moves);
-                        }
-                        slots
-                    };
-                    // Apply phase: sequential, in sweep order — the fixed
-                    // seed-derived order that makes the run deterministic.
-                    for (n, br) in slots.into_iter().flatten().flatten() {
-                        if !active[n] {
-                            continue;
-                        }
-                        sweep_polled += 1;
-                        report.offers_sent += 1;
-                        if let Some(plan) = plan {
-                            let seq = offer_seq[n];
-                            offer_seq[n] += 1;
-                            let verdict = plan.uplink(n, seq, 0);
-                            if verdict.dropped {
-                                // The move never reaches the grid: the row
-                                // stays stale and the player retries next
-                                // sweep — exactly the staleness Theorem
-                                // IV.1's bounded-asynchrony argument covers.
-                                report.drops += 1;
-                                telemetry.counter("engine.parallel.dropped", n as i64, 1);
-                                continue;
-                            }
-                            if verdict.duplicated {
-                                // Second copy is discarded as already
-                                // applied, as the coordinator's (olev, seq)
-                                // dedup would.
-                                report.duplicates += 1;
-                            }
-                        }
-                        let id = OlevId(n);
-                        let before = state.schedule().olev_total(id);
-                        // Potential-ascent guard: against the *current*
-                        // loads, the welfare change of swapping this row in
-                        // equals the player's utility change (exact
-                        // potential). A same-round predecessor can have made
-                        // the snapshot-computed move worsening — discard it
-                        // and let the player respond to fresh loads next
-                        // sweep.
-                        state.loads_excluding_into(id, &mut scratch_excl);
-                        let f_old = satisfactions[n].value(before)
-                            - payment_for_schedule(
-                                cost,
-                                caps,
-                                &scratch_excl,
-                                state.schedule().row(id),
-                            );
-                        let f_new = satisfactions[n].value(br.total)
-                            - payment_for_schedule(
-                                cost,
-                                caps,
-                                &scratch_excl,
-                                &br.allocation.shares,
-                            );
-                        if f_new - f_old < -1e-12 {
-                            report.conflicts += 1;
-                            telemetry.counter("engine.parallel.conflicts", n as i64, 1);
-                            continue;
-                        }
-                        state.apply_row(id, &br.allocation.shares, satisfactions, cost, caps);
-                        replies[n] += 1;
-                        let change = (br.total - before).abs();
-                        updates += 1;
-                        sweep_applied += 1;
-                        sweep_max_change = sweep_max_change.max(change);
-                        let snapshot = Snapshot {
-                            update: updates,
-                            congestion: state.schedule().system_congestion(caps),
-                            welfare: state.welfare(),
-                            change,
-                        };
-                        let key = updates as i64;
-                        telemetry.gauge("engine.welfare", key, snapshot.welfare);
-                        telemetry.gauge("engine.congestion", key, snapshot.congestion);
-                        telemetry.gauge("engine.change", key, snapshot.change);
-                        trajectory.push(snapshot);
-                        if let Some(plan) = plan {
-                            for d in plan.departures_at(updates) {
-                                if active[d] {
-                                    evict(
-                                        d,
-                                        updates,
-                                        EvictionReason::Departed,
-                                        state,
-                                        satisfactions,
-                                        cost,
-                                        caps,
-                                        &mut active,
-                                        &mut report,
-                                        &zero_row,
-                                    );
+                            match result_rx.recv().expect("shard worker alive") {
+                                ShardReply::Moves(slot, moves) => slots[slot] = Some(moves),
+                                ShardReply::Commits(..) => {
+                                    unreachable!("commit reply during compute phase")
                                 }
                             }
                         }
-                        if updates >= max_updates {
-                            break 'run;
+                        slots
+                    };
+                    if matches!(config.apply, ApplyMode::Serialized) || round_len == 1 {
+                        // Apply phase: sequential, in sweep order — the fixed
+                        // seed-derived order that makes the run
+                        // deterministic. Rounds of one (the endgame tail)
+                        // always take this path: there is nothing to
+                        // partition.
+                        for (n, br) in slots.into_iter().flatten().flatten() {
+                            if !active[n] {
+                                continue;
+                            }
+                            sweep_polled += 1;
+                            report.offers_sent += 1;
+                            if let Some(plan) = plan {
+                                let seq = offer_seq[n];
+                                offer_seq[n] += 1;
+                                let verdict = plan.uplink(n, seq, 0);
+                                if verdict.dropped {
+                                    // The move never reaches the grid: the
+                                    // row stays stale and the player retries
+                                    // next sweep — exactly the staleness
+                                    // Theorem IV.1's bounded-asynchrony
+                                    // argument covers.
+                                    report.drops += 1;
+                                    telemetry.counter("engine.parallel.dropped", n as i64, 1);
+                                    continue;
+                                }
+                                if verdict.duplicated {
+                                    // Second copy is discarded as already
+                                    // applied, as the coordinator's
+                                    // (olev, seq) dedup would.
+                                    report.duplicates += 1;
+                                }
+                            }
+                            let id = OlevId(n);
+                            let before = state.schedule().olev_total(id);
+                            // Potential-ascent guard: against the *current*
+                            // loads, the welfare change of swapping this row
+                            // in equals the player's utility change (exact
+                            // potential). A same-round predecessor can have
+                            // made the snapshot-computed move worsening —
+                            // discard it and let the player respond to fresh
+                            // loads next sweep.
+                            state.loads_excluding_into(id, &mut scratch_excl);
+                            let f_old = satisfactions[n].value(before)
+                                - payment_for_schedule(
+                                    cost,
+                                    caps,
+                                    &scratch_excl,
+                                    state.schedule().row(id),
+                                );
+                            let f_new = satisfactions[n].value(br.total)
+                                - payment_for_schedule(
+                                    cost,
+                                    caps,
+                                    &scratch_excl,
+                                    &br.allocation.shares,
+                                );
+                            if f_new - f_old < -1e-12 {
+                                report.conflicts += 1;
+                                telemetry.counter("engine.parallel.conflicts", n as i64, 1);
+                                continue;
+                            }
+                            state.apply_row(id, &br.allocation.shares, satisfactions, cost, caps);
+                            replies[n] += 1;
+                            let change = (br.total - before).abs();
+                            updates += 1;
+                            sweep_applied += 1;
+                            sweep_max_change = sweep_max_change.max(change);
+                            let snapshot = Snapshot {
+                                update: updates,
+                                congestion: state.schedule().system_congestion(caps),
+                                welfare: state.welfare(),
+                                change,
+                            };
+                            let key = updates as i64;
+                            telemetry.gauge("engine.welfare", key, snapshot.welfare);
+                            telemetry.gauge("engine.congestion", key, snapshot.congestion);
+                            telemetry.gauge("engine.change", key, snapshot.change);
+                            trajectory.push(snapshot);
+                            if let Some(plan) = plan {
+                                for d in plan.departures_at(updates) {
+                                    if active[d] {
+                                        evict(
+                                            d,
+                                            updates,
+                                            EvictionReason::Departed,
+                                            state,
+                                            satisfactions,
+                                            cost,
+                                            caps,
+                                            &mut active,
+                                            &mut report,
+                                            &zero_row,
+                                        );
+                                    }
+                                }
+                            }
+                            if updates >= max_updates {
+                                break 'run;
+                            }
+                        }
+                    } else {
+                        // Partitioned apply (see [`ApplyMode::Partitioned`]).
+                        //
+                        // Phase 1: fault verdicts in sweep order — identical
+                        // accounting to the serialized path — collecting the
+                        // moves that survive the uplink.
+                        let mut pending: Vec<(usize, BestResponse)> = Vec::new();
+                        for (n, br) in slots.into_iter().flatten().flatten() {
+                            if !active[n] {
+                                continue;
+                            }
+                            sweep_polled += 1;
+                            report.offers_sent += 1;
+                            if let Some(plan) = plan {
+                                let seq = offer_seq[n];
+                                offer_seq[n] += 1;
+                                let verdict = plan.uplink(n, seq, 0);
+                                if verdict.dropped {
+                                    report.drops += 1;
+                                    telemetry.counter("engine.parallel.dropped", n as i64, 1);
+                                    continue;
+                                }
+                                if verdict.duplicated {
+                                    report.duplicates += 1;
+                                }
+                            }
+                            pending.push((n, br));
+                        }
+                        // Phase 2: group by footprint overlap. A move's
+                        // footprint is the support of its current row union
+                        // the support of its proposed shares; its guard and
+                        // commit read and write nothing outside it, so moves
+                        // in different groups commute exactly.
+                        let mut dsu = SectionDsu::new(caps.len());
+                        let footprints: Vec<Vec<usize>> = pending
+                            .iter()
+                            .map(|&(n, ref br)| {
+                                let row = state.schedule().row(OlevId(n));
+                                let fp: Vec<usize> = (0..caps.len())
+                                    .filter(|&c| row[c] > 0.0 || br.allocation.shares[c] > 0.0)
+                                    .collect();
+                                for w in fp.windows(2) {
+                                    dsu.union(w[0], w[1]);
+                                }
+                                fp
+                            })
+                            .collect();
+                        // Groups keyed by DSU root, ordered by first member
+                        // in sweep order; footprint-free no-op moves get
+                        // singleton groups.
+                        let mut groups: Vec<Vec<usize>> = Vec::new();
+                        let mut root_group = vec![usize::MAX; caps.len()];
+                        for (i, fp) in footprints.iter().enumerate() {
+                            match fp.first() {
+                                None => groups.push(vec![i]),
+                                Some(&c0) => {
+                                    let root = dsu.find(c0);
+                                    if root_group[root] == usize::MAX {
+                                        root_group[root] = groups.len();
+                                        groups.push(vec![i]);
+                                    } else {
+                                        groups[root_group[root]].push(i);
+                                    }
+                                }
+                            }
+                        }
+                        telemetry.counter(
+                            "engine.parallel.partitions",
+                            sweep as i64,
+                            groups.len() as u64,
+                        );
+                        // Phase 3: ship each partition to a shard worker for
+                        // concurrent guard-and-commit against
+                        // partition-local loads.
+                        let mut verdict_slots: Vec<Option<Vec<(bool, f64)>>> =
+                            (0..groups.len()).map(|_| None).collect();
+                        for (g, members) in groups.iter().enumerate() {
+                            let mut sections: Vec<usize> = members
+                                .iter()
+                                .flat_map(|&i| footprints[i].iter().copied())
+                                .collect();
+                            sections.sort_unstable();
+                            sections.dedup();
+                            let task = CommitTask {
+                                slot: g,
+                                loads: sections
+                                    .iter()
+                                    .map(|&c| state.schedule().loads()[c])
+                                    .collect(),
+                                members: members
+                                    .iter()
+                                    .map(|&i| {
+                                        let (n, ref br) = pending[i];
+                                        let row = state.schedule().row(OlevId(n));
+                                        CommitMove {
+                                            n,
+                                            row: sections.iter().map(|&c| row[c]).collect(),
+                                            total: state.schedule().olev_total(OlevId(n)),
+                                            shares: sections
+                                                .iter()
+                                                .map(|&c| br.allocation.shares[c])
+                                                .collect(),
+                                            br_total: br.total,
+                                        }
+                                    })
+                                    .collect(),
+                                sections,
+                            };
+                            task_txs[g % shards]
+                                .send(ShardJob::Commit(task))
+                                .expect("shard worker alive");
+                        }
+                        for _ in 0..groups.len() {
+                            match result_rx.recv().expect("shard worker alive") {
+                                ShardReply::Commits(slot, v) => verdict_slots[slot] = Some(v),
+                                ShardReply::Moves(..) => {
+                                    unreachable!("compute reply during commit phase")
+                                }
+                            }
+                        }
+                        // Phase 4: deterministic merge, partition by
+                        // partition in first-member sweep order, committing
+                        // accepted moves through the sparse O(footprint)
+                        // path. A mid-merge eviction invalidates the
+                        // workers' frozen-state assumption (the zeroed row
+                        // changes loads other partitions guarded against),
+                        // so the rest of the round falls back to the
+                        // serialized guard against live state.
+                        let mut serial_fallback = false;
+                        for (g, members) in groups.iter().enumerate() {
+                            let verdicts = verdict_slots[g].take().expect("verdict collected");
+                            for (k, &i) in members.iter().enumerate() {
+                                let (n, ref br) = pending[i];
+                                if !active[n] {
+                                    // Evicted since its guard ran; its move
+                                    // dies with it and the round is tainted.
+                                    serial_fallback = true;
+                                    continue;
+                                }
+                                let id = OlevId(n);
+                                let change = if serial_fallback {
+                                    let before = state.schedule().olev_total(id);
+                                    state.loads_excluding_into(id, &mut scratch_excl);
+                                    let f_old = satisfactions[n].value(before)
+                                        - payment_for_schedule(
+                                            cost,
+                                            caps,
+                                            &scratch_excl,
+                                            state.schedule().row(id),
+                                        );
+                                    let f_new = satisfactions[n].value(br.total)
+                                        - payment_for_schedule(
+                                            cost,
+                                            caps,
+                                            &scratch_excl,
+                                            &br.allocation.shares,
+                                        );
+                                    if f_new - f_old < -1e-12 {
+                                        report.conflicts += 1;
+                                        telemetry.counter("engine.parallel.conflicts", n as i64, 1);
+                                        continue;
+                                    }
+                                    state.apply_row(
+                                        id,
+                                        &br.allocation.shares,
+                                        satisfactions,
+                                        cost,
+                                        caps,
+                                    );
+                                    (br.total - before).abs()
+                                } else {
+                                    let (accepted, ch) = verdicts[k];
+                                    if !accepted {
+                                        report.conflicts += 1;
+                                        telemetry.counter("engine.parallel.conflicts", n as i64, 1);
+                                        continue;
+                                    }
+                                    let values: Vec<f64> = footprints[i]
+                                        .iter()
+                                        .map(|&c| br.allocation.shares[c])
+                                        .collect();
+                                    state.apply_row_sparse(
+                                        id,
+                                        &footprints[i],
+                                        &values,
+                                        satisfactions,
+                                        cost,
+                                        caps,
+                                    );
+                                    ch
+                                };
+                                replies[n] += 1;
+                                updates += 1;
+                                sweep_applied += 1;
+                                sweep_max_change = sweep_max_change.max(change);
+                                let snapshot = Snapshot {
+                                    update: updates,
+                                    congestion: state.schedule().system_congestion(caps),
+                                    welfare: state.welfare(),
+                                    change,
+                                };
+                                let key = updates as i64;
+                                telemetry.gauge("engine.welfare", key, snapshot.welfare);
+                                telemetry.gauge("engine.congestion", key, snapshot.congestion);
+                                telemetry.gauge("engine.change", key, snapshot.change);
+                                trajectory.push(snapshot);
+                                if let Some(plan) = plan {
+                                    for d in plan.departures_at(updates) {
+                                        if active[d] {
+                                            evict(
+                                                d,
+                                                updates,
+                                                EvictionReason::Departed,
+                                                state,
+                                                satisfactions,
+                                                cost,
+                                                caps,
+                                                &mut active,
+                                                &mut report,
+                                                &zero_row,
+                                            );
+                                            serial_fallback = true;
+                                        }
+                                    }
+                                }
+                                if updates >= max_updates {
+                                    break 'run;
+                                }
+                            }
                         }
                     }
                 }
@@ -673,6 +1116,7 @@ mod tests {
         let cfg = ParallelConfig {
             shards: 0,
             batch: 1,
+            apply: ApplyMode::Serialized,
         };
         assert!(matches!(
             g.run_parallel(UpdateOrder::RoundRobin, 10, cfg),
@@ -684,6 +1128,7 @@ mod tests {
         let cfg = ParallelConfig {
             shards: 2,
             batch: 0,
+            apply: ApplyMode::Serialized,
         };
         assert!(matches!(
             g.run_parallel(UpdateOrder::RoundRobin, 10, cfg),
@@ -880,6 +1325,121 @@ mod tests {
             EvictionReason::Crashed(_)
         ));
         assert_eq!(g.schedule().olev_total(OlevId(1)), 0.0);
+    }
+
+    /// `spans` disjoint corridors of `sections_per_span` sections, each
+    /// populated by `n_per_span` OLEVs windowed to that corridor — the
+    /// footprint structure partitioned applies exploit.
+    fn windowed_game(n_per_span: usize, spans: usize, sections_per_span: usize) -> Game {
+        let mut b = GameBuilder::new().sections(spans * sections_per_span, Kilowatts::new(60.0));
+        for s in 0..spans {
+            b = b.olevs_in(
+                n_per_span,
+                Kilowatts::new(50.0),
+                s * sections_per_span..(s + 1) * sections_per_span,
+            );
+        }
+        b.pricing(PricingPolicy::Nonlinear(NonlinearPricing::paper_default(
+            15.0,
+        )))
+        .build()
+        .expect("valid windowed scenario")
+    }
+
+    #[test]
+    fn partitioned_apply_reaches_the_serial_optimum() {
+        let mut serial = game(8, 6);
+        let reference = serial.run(UpdateOrder::RoundRobin, 4000).unwrap();
+        assert!(reference.converged());
+        let mut g = game(8, 6);
+        let out = g
+            .run_parallel(
+                UpdateOrder::RoundRobin,
+                4000,
+                ParallelConfig::new(2)
+                    .with_batch(4)
+                    .with_apply(ApplyMode::Partitioned),
+            )
+            .unwrap();
+        assert!(out.converged());
+        assert!(
+            (out.final_welfare() - reference.final_welfare()).abs() < 1e-9,
+            "{} vs {}",
+            out.final_welfare(),
+            reference.final_welfare()
+        );
+    }
+
+    #[test]
+    fn disjoint_windows_split_rounds_into_many_partitions() {
+        use oes_telemetry::{RingBufferRecorder, Sample, Telemetry};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingBufferRecorder::new(1 << 15));
+        let telemetry = Telemetry::new(ring.clone());
+        let mut g = windowed_game(2, 4, 3);
+        let out = g
+            .run_parallel_with(
+                UpdateOrder::RoundRobin,
+                6000,
+                ParallelConfig::new(2)
+                    .with_batch(8)
+                    .with_apply(ApplyMode::Partitioned),
+                &telemetry,
+            )
+            .unwrap();
+        assert!(out.converged());
+        // A full-batch round holds OLEVs from all four disjoint corridors,
+        // so at least one partitioned round must split into several groups.
+        let max_groups = ring
+            .events()
+            .iter()
+            .filter(|e| e.name == "engine.parallel.partitions")
+            .map(|e| match e.sample {
+                Sample::Counter { delta } => delta,
+                _ => 0,
+            })
+            .max()
+            .expect("partitioned rounds emit the partitions counter");
+        assert!(
+            max_groups >= 2,
+            "expected multi-group rounds, got {max_groups}"
+        );
+        // Rows stay inside their window.
+        let sections = 4 * 3;
+        for n in 0..8 {
+            let (w0, w1) = g.windows()[n];
+            let row = g.schedule().row(OlevId(n));
+            for (c, &v) in row.iter().enumerate().take(sections) {
+                if c < w0 || c >= w1 {
+                    assert_eq!(v, 0.0, "olev {n} leaked load into section {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_partitioned_welfare_matches_windowed_serial() {
+        let mut serial = windowed_game(2, 3, 4);
+        let reference = serial.run(UpdateOrder::RoundRobin, 6000).unwrap();
+        assert!(reference.converged());
+        let mut g = windowed_game(2, 3, 4);
+        let out = g
+            .run_parallel(
+                UpdateOrder::RoundRobin,
+                6000,
+                ParallelConfig::new(3)
+                    .with_batch(6)
+                    .with_apply(ApplyMode::Partitioned),
+            )
+            .unwrap();
+        assert!(out.converged());
+        assert!(
+            (out.final_welfare() - reference.final_welfare()).abs() < 1e-9,
+            "{} vs {}",
+            out.final_welfare(),
+            reference.final_welfare()
+        );
     }
 
     #[test]

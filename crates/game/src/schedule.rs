@@ -171,6 +171,61 @@ impl PowerSchedule {
         self.count_write();
     }
 
+    /// Replaces OLEV `n`'s row *sparsely*: only the entries at the given
+    /// ascending `sections` are written, with the same per-entry delta
+    /// maintenance as [`PowerSchedule::set_row`]. The partitioned parallel
+    /// apply path uses this to commit a move in O(|footprint|) instead of
+    /// O(C).
+    ///
+    /// Contract: the row must be zero outside `sections` (both before and
+    /// after the write — `sections` is the move's footprint, the union of the
+    /// old and new supports). Under that contract the resulting entries,
+    /// cached loads, and totals are bit-identical to a full-width
+    /// [`PowerSchedule::set_row`] of the scattered row: the skipped sections
+    /// would have contributed exact-zero deltas and exact-zero row-total
+    /// terms, and adding `0.0` to a non-negative partial sum is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections` and `values` lengths mismatch, a section index is
+    /// out of range or out of ascending order, or a value is negative/NaN.
+    /// Debug builds also assert the zero-outside-footprint contract.
+    pub fn patch_row(&mut self, n: OlevId, sections: &[usize], values: &[f64]) {
+        assert_eq!(
+            sections.len(),
+            values.len(),
+            "footprint/values length mismatch"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= -1e-12),
+            "schedule rows must be non-negative"
+        );
+        let start = n.index() * self.sections;
+        let mut prev = None;
+        for (&c, &v) in sections.iter().zip(values) {
+            assert!(c < self.sections, "index out of range");
+            assert!(prev.is_none_or(|p| p < c), "footprint must be ascending");
+            prev = Some(c);
+            let new = v.max(0.0);
+            let delta = new - self.entries[start + c];
+            self.entries[start + c] = new;
+            self.loads[c] = (self.loads[c] + delta).max(0.0);
+        }
+        debug_assert!(
+            self.entries[start..start + self.sections]
+                .iter()
+                .enumerate()
+                .all(|(c, &v)| v == 0.0 || sections.contains(&c)),
+            "patch_row row must be zero outside its footprint"
+        );
+        // The footprint holds every nonzero entry, in ascending order, so
+        // this partial sum replays the full-width row sum bit for bit.
+        let new_total: f64 = sections.iter().map(|&c| self.entries[start + c]).sum();
+        self.total = (self.total + (new_total - self.totals[n.index()])).max(0.0);
+        self.totals[n.index()] = new_total;
+        self.count_write();
+    }
+
     fn count_write(&mut self) {
         self.writes += 1;
         if self.writes >= self.resync_writes {
@@ -406,6 +461,47 @@ mod tests {
     #[should_panic(expected = "resync interval must be nonzero")]
     fn zero_resync_writes_rejected() {
         PowerSchedule::zeros(1, 1).set_resync_writes(0);
+    }
+
+    #[test]
+    fn patch_row_is_bit_identical_to_full_set_row() {
+        // The sparse commit path must replay the full-width write exactly:
+        // same entries, same cached loads/totals, bit for bit.
+        let mut full = PowerSchedule::zeros(3, 6);
+        let mut sparse = PowerSchedule::zeros(3, 6);
+        let writes: [(usize, &[usize], &[f64]); 4] = [
+            (0, &[1, 3], &[2.5, 4.0]),
+            (1, &[0, 1, 5], &[1.0, 0.5, 3.25]),
+            (0, &[1, 3], &[0.0, 7.5]),
+            (2, &[2], &[9.0]),
+        ];
+        for (n, sections, values) in writes {
+            let mut row = vec![0.0; 6];
+            for (&c, &v) in sections.iter().zip(values) {
+                row[c] = v;
+            }
+            full.set_row(OlevId(n), &row);
+            sparse.patch_row(OlevId(n), sections, values);
+            assert_eq!(full, sparse);
+            for c in 0..6 {
+                assert_eq!(
+                    full.section_load(SectionId(c)).to_bits(),
+                    sparse.section_load(SectionId(c)).to_bits()
+                );
+            }
+            assert_eq!(
+                full.olev_total(OlevId(n)).to_bits(),
+                sparse.olev_total(OlevId(n)).to_bits()
+            );
+            assert_eq!(full.total().to_bits(), sparse.total().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint must be ascending")]
+    fn patch_row_rejects_unsorted_footprints() {
+        let mut s = PowerSchedule::zeros(1, 4);
+        s.patch_row(OlevId(0), &[2, 1], &[1.0, 1.0]);
     }
 
     #[test]

@@ -168,6 +168,47 @@ impl ScheduleState {
         new_total
     }
 
+    /// [`ScheduleState::apply_row`] through the sparse
+    /// [`PowerSchedule::patch_row`] path: only the `Z` caches of the given
+    /// ascending footprint `sections` are refreshed, so one commit costs
+    /// O(|footprint|) cost evaluations instead of O(C).
+    ///
+    /// Contract (inherited from `patch_row`): the row is zero outside
+    /// `sections`. Loads elsewhere are untouched, so their cached `Z` values
+    /// are already exact and the skipped sections would have contributed
+    /// exact-zero deltas to the running charging cost — under the contract
+    /// this is bit-identical to the full-width [`ScheduleState::apply_row`]
+    /// of the scattered row.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PowerSchedule::patch_row`] does.
+    pub fn apply_row_sparse(
+        &mut self,
+        n: OlevId,
+        sections: &[usize],
+        values: &[f64],
+        satisfactions: &[Box<dyn Satisfaction>],
+        cost: &SectionCost,
+        caps: &[f64],
+    ) -> f64 {
+        let old_total = self.schedule.olev_total(n);
+        let old_value = satisfactions[n.index()].value(old_total);
+        self.schedule.patch_row(n, sections, values);
+        for &c in sections {
+            let z_new = cost.z(self.schedule.loads()[c], caps[c]);
+            self.charging_cost += z_new - self.z_cache[c];
+            self.z_cache[c] = z_new;
+        }
+        let new_total = self.schedule.olev_total(n);
+        self.satisfaction += satisfactions[n.index()].value(new_total) - old_value;
+        self.applies += 1;
+        if self.applies.is_multiple_of(self.resync_every) {
+            self.resync(satisfactions, cost, caps);
+        }
+        new_total
+    }
+
     /// Recomputes schedule aggregates and welfare sums exactly, with the same
     /// summation order as the naive `social_welfare` recompute, absorbing any
     /// accumulated float residual.
@@ -260,6 +301,36 @@ mod tests {
         state.apply_row(OlevId(1), &[5.0, 0.5], &ss, &c, &caps);
         let naive = social_welfare(&ss, &c, &caps, state.schedule());
         assert_eq!(state.welfare().to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn sparse_apply_is_bit_identical_to_full_apply() {
+        // The partitioned commit path: applying a row through its footprint
+        // must reproduce the full-width apply exactly — schedule bits,
+        // running sums, and returned totals.
+        let caps = [60.0, 45.0, 70.0, 55.0];
+        let c = cost();
+        let ss = sats(2);
+        let mut full = ScheduleState::new(PowerSchedule::zeros(2, 4), &ss, &c, &caps);
+        let mut sparse = ScheduleState::new(PowerSchedule::zeros(2, 4), &ss, &c, &caps);
+        let moves: [(usize, &[usize], &[f64]); 4] = [
+            (0, &[0, 2], &[3.0, 8.0]),
+            (1, &[1, 2, 3], &[5.0, 0.5, 2.0]),
+            (0, &[0, 2], &[0.0, 1.25]),
+            (1, &[1, 2, 3], &[0.0, 0.0, 0.0]),
+        ];
+        for (n, sections, values) in moves {
+            let mut row = vec![0.0; 4];
+            for (&s, &v) in sections.iter().zip(values) {
+                row[s] = v;
+            }
+            let a = full.apply_row(OlevId(n), &row, &ss, &c, &caps);
+            let b = sparse.apply_row_sparse(OlevId(n), sections, values, &ss, &c, &caps);
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(full.welfare().to_bits(), sparse.welfare().to_bits());
+            assert_eq!(full.schedule(), sparse.schedule());
+        }
+        assert_eq!(full.applies(), sparse.applies());
     }
 
     #[test]

@@ -154,6 +154,10 @@ struct AdminConn {
     outbox: VecDeque<u8>,
     responded: bool,
     open: bool,
+    /// Virtual-clock time the connection was first polled; the request must
+    /// complete within [`AdminServer::idle_timeout_us`] of this or the
+    /// connection is reaped.
+    first_polled_us: Option<u64>,
 }
 
 impl AdminConn {
@@ -164,6 +168,7 @@ impl AdminConn {
             outbox: VecDeque::new(),
             responded: false,
             open: true,
+            first_polled_us: None,
         }
     }
 }
@@ -181,6 +186,7 @@ pub struct AdminServer {
     metrics: Arc<AggregatingRecorder>,
     telemetry: Telemetry,
     conns: Vec<AdminConn>,
+    idle_timeout_us: u64,
 }
 
 impl std::fmt::Debug for AdminServer {
@@ -194,6 +200,12 @@ impl std::fmt::Debug for AdminServer {
 /// Largest request head the admin listener will buffer before dropping the
 /// connection; probes send a few hundred bytes at most.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Default request-completion deadline: a connection that has not produced
+/// a complete request within this many virtual-clock microseconds of its
+/// first poll is reaped. Probes complete in one round trip; anything slower
+/// (an idle socket, a slow-loris trickle) is holding a conn slot hostage.
+pub const ADMIN_IDLE_TIMEOUT_US: u64 = 5_000_000;
 
 impl AdminServer {
     /// Builds a responder over the shared health bits and metrics
@@ -210,7 +222,16 @@ impl AdminServer {
             metrics,
             telemetry,
             conns: Vec::new(),
+            idle_timeout_us: ADMIN_IDLE_TIMEOUT_US,
         }
+    }
+
+    /// Overrides the request-completion deadline
+    /// ([`ADMIN_IDLE_TIMEOUT_US`] by default).
+    #[must_use]
+    pub fn with_idle_timeout_us(mut self, idle_timeout_us: u64) -> Self {
+        self.idle_timeout_us = idle_timeout_us;
+        self
     }
 
     /// The shared health bits this responder reads.
@@ -231,11 +252,27 @@ impl AdminServer {
     }
 
     /// One nonblocking cycle: read, respond, flush, reap. Never blocks.
-    pub fn poll(&mut self) {
+    ///
+    /// `now_us` is the caller's clock (the same virtual clock that drives
+    /// the service deadlines): a connection that has not completed a
+    /// request within the idle timeout of its first poll is reaped, so an
+    /// idle or byte-trickling client cannot hold a conn slot forever.
+    pub fn poll(&mut self, now_us: u64) {
         for i in 0..self.conns.len() {
+            let first = *self.conns[i].first_polled_us.get_or_insert(now_us);
             self.read_request(i);
             self.respond(i);
             Self::flush(&mut self.conns[i]);
+            let timed_out = {
+                let conn = &self.conns[i];
+                conn.open && !conn.responded && now_us.saturating_sub(first) >= self.idle_timeout_us
+            };
+            if timed_out {
+                self.telemetry.counter("service.admin.idle_timeout", -1, 1);
+                let conn = &mut self.conns[i];
+                conn.stream.shutdown();
+                conn.open = false;
+            }
         }
         self.conns
             .retain(|c| c.open && !(c.responded && c.outbox.is_empty()));
@@ -279,9 +316,16 @@ impl AdminServer {
         };
         let head = String::from_utf8_lossy(&self.conns[i].request[..head_len]).into_owned();
         let response = match parse_request_line(&head) {
-            Some(("GET" | "HEAD", path)) => {
+            Some((method @ ("GET" | "HEAD"), path)) => {
                 self.telemetry.counter("service.admin.request", -1, 1);
-                self.route(path)
+                let full = self.route(path);
+                if method == "HEAD" {
+                    // Headers only, `content-length` still describing the
+                    // body a GET would have returned (RFC 9110 §9.3.2).
+                    strip_body(full)
+                } else {
+                    full
+                }
             }
             Some(_) => {
                 self.telemetry.counter("service.admin.bad_request", -1, 1);
@@ -321,8 +365,11 @@ impl AdminServer {
             return;
         }
         while !conn.outbox.is_empty() {
-            let chunk: Vec<u8> = conn.outbox.iter().copied().take(4096).collect();
-            match conn.stream.write_some(&chunk) {
+            // Write straight out of the deque's contiguous front — no
+            // per-poll copy of the (possibly large) /metrics body.
+            let (front, _) = conn.outbox.as_slices();
+            let chunk = &front[..front.len().min(4096)];
+            match conn.stream.write_some(chunk) {
                 Ok(0) => break,
                 Ok(n) => {
                     conn.outbox.drain(..n);
@@ -336,6 +383,19 @@ impl AdminServer {
         if conn.responded && conn.outbox.is_empty() {
             conn.stream.shutdown();
         }
+    }
+}
+
+/// Truncates a rendered response to its head (through the blank line), for
+/// `HEAD` responses.
+fn strip_body(response: String) -> String {
+    match response.find("\r\n\r\n") {
+        Some(p) => {
+            let mut head = response;
+            head.truncate(p + 4);
+            head
+        }
+        None => response,
     }
 }
 
@@ -382,7 +442,7 @@ mod tests {
         let (mut probe, serviced) = loopback_pair(1 << 16);
         server.accept(Box::new(serviced));
         probe.write_some(req.as_bytes()).unwrap();
-        server.poll();
+        server.poll(0);
         let mut buf = [0u8; 65536];
         let mut out = Vec::new();
         loop {
@@ -460,16 +520,82 @@ mod tests {
         let (mut probe, serviced) = loopback_pair(1 << 16);
         s.accept(Box::new(serviced));
         probe.write_some(b"GET /healthz HT").unwrap();
-        s.poll();
+        s.poll(0);
         assert_eq!(s.open_conns(), 1, "incomplete request keeps waiting");
         let mut buf = [0u8; 1024];
         assert_eq!(probe.read_some(&mut buf).unwrap(), 0, "no early response");
         probe.write_some(b"TP/1.1\r\n\r\n").unwrap();
-        s.poll();
+        s.poll(1);
         let n = probe.read_some(&mut buf).unwrap();
         assert!(std::str::from_utf8(&buf[..n])
             .unwrap()
             .starts_with("HTTP/1.1 200"));
         assert_eq!(s.open_conns(), 0, "connection closes once flushed");
+    }
+
+    #[test]
+    fn head_returns_headers_only_with_get_content_length() {
+        let mut s = server();
+        let get = request(&mut s, "GET /healthz HTTP/1.1\r\n\r\n");
+        let head = request(&mut s, "HEAD /healthz HTTP/1.1\r\n\r\n");
+        let get_head = get.split("\r\n\r\n").next().unwrap();
+        assert_eq!(
+            head,
+            format!("{get_head}\r\n\r\n"),
+            "HEAD must be the GET response minus the body"
+        );
+        assert!(
+            head.contains("content-length: 3"),
+            "content-length still describes the GET body `ok\\n`: {head}"
+        );
+        // The same holds on a body-bearing endpoint.
+        let head_metrics = request(&mut s, "HEAD /metrics HTTP/1.1\r\n\r\n");
+        assert!(head_metrics.starts_with("HTTP/1.1 200"), "{head_metrics}");
+        assert!(
+            head_metrics.ends_with("\r\n\r\n"),
+            "no body after the blank line: {head_metrics}"
+        );
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_after_the_deadline() {
+        let mut s = server().with_idle_timeout_us(1_000);
+        let (mut probe, serviced) = loopback_pair(1 << 16);
+        s.accept(Box::new(serviced));
+        // Zero bytes sent: the connection may wait, but not forever.
+        s.poll(0);
+        assert_eq!(s.open_conns(), 1, "within the deadline");
+        s.poll(999);
+        assert_eq!(s.open_conns(), 1, "still within the deadline");
+        s.poll(1_000);
+        assert_eq!(s.open_conns(), 0, "reaped at the deadline");
+        let mut buf = [0u8; 64];
+        assert!(
+            matches!(probe.read_some(&mut buf), Ok(0) | Err(_)),
+            "no response bytes, stream shut down"
+        );
+    }
+
+    #[test]
+    fn trickling_bytes_do_not_extend_the_deadline() {
+        // Slow-loris shape: the client keeps the connection "active" with
+        // one header byte per poll but never completes the request. The
+        // deadline is measured from first poll, not last activity.
+        let mut s = server().with_idle_timeout_us(500);
+        let (mut probe, serviced) = loopback_pair(1 << 16);
+        s.accept(Box::new(serviced));
+        let req = b"GET /metrics HTTP/1.1\r\nx-pad: aaaa"; // never completed
+        let mut t = 0u64;
+        for byte in req.iter() {
+            probe.write_some(std::slice::from_ref(byte)).unwrap();
+            s.poll(t);
+            assert_eq!(s.open_conns(), 1, "incomplete request within deadline");
+            t += 10;
+        }
+        s.poll(500);
+        assert_eq!(s.open_conns(), 0, "trickler reaped at the deadline");
+        // A well-behaved probe on a fresh connection is unaffected.
+        let ok = request(&mut s, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
     }
 }

@@ -70,6 +70,13 @@ pub struct ChaosConfig {
     /// Maximum bytes delivered per direction per [`ChaosProxy::pump`]
     /// (0 = unlimited). Small values starve the receiver: slow-loris.
     pub slowloris_bytes_per_pump: usize,
+    /// Treat the streams as opaque byte flows instead of protocol frames:
+    /// bytes are staged for delivery as they arrive, with no frame
+    /// reassembly. Per-frame knobs (plan, corrupt, cut, reorder) do not
+    /// apply; partitions and the slow-loris budget do. This is how the
+    /// proxy fronts non-framed surfaces such as the admin HTTP listener,
+    /// whose bytes the frame decoder would otherwise discard as garbage.
+    pub raw_bytes: bool,
     /// Seed for the proxy's own dice (corrupt/cut/reorder/byte-choice).
     pub seed: u64,
 }
@@ -288,6 +295,39 @@ impl ChaosProxy {
             return;
         }
         let mut buf = [0u8; 4096];
+        if cfg.raw_bytes {
+            // Opaque byte flow: stage each read chunk as-is. Delivery still
+            // honors partitions (via the drop here) and the slow-loris
+            // budget (in `deliver`).
+            loop {
+                match src.read_some(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        let partitioned = cfg
+                            .partitions
+                            .iter()
+                            .any(|&(start, end)| now_us >= start && now_us < end);
+                        if partitioned {
+                            dir.stats.dropped += 1;
+                            continue;
+                        }
+                        let stage_id = dir.next_stage_id;
+                        dir.next_stage_id += 1;
+                        dir.staged.push(Staged {
+                            due_us: now_us,
+                            stage_id,
+                            bytes: buf[..n].to_vec(),
+                        });
+                        dir.stats.forwarded += 1;
+                    }
+                    Err(_) => {
+                        dir.peer_closed = true;
+                        break;
+                    }
+                }
+            }
+            return;
+        }
         loop {
             match src.read_some(&mut buf) {
                 Ok(0) => break,
@@ -526,6 +566,37 @@ mod tests {
         }
         assert_eq!(got, 1, "stream recovers at the next magic");
         assert_eq!(proxy_c.up_stats().cut, 1);
+    }
+
+    #[test]
+    fn raw_byte_mode_trickles_unframed_streams_intact() {
+        let cfg = ChaosConfig {
+            raw_bytes: true,
+            slowloris_bytes_per_pump: 4,
+            ..ChaosConfig::default()
+        };
+        let (mut proxy, mut client, mut server) = ChaosProxy::new(cfg, 1 << 16);
+        let req = b"GET /healthz HTTP/1.1\r\n\r\n";
+        client.write_some(req).unwrap();
+        let mut out = Vec::new();
+        let mut buf = [0u8; 64];
+        proxy.pump(0);
+        if let Ok(n) = server.read_some(&mut buf) {
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert!(
+            out.len() <= 4,
+            "slow-loris budget caps each pump: got {} bytes",
+            out.len()
+        );
+        for t in 1..20 {
+            proxy.pump(t);
+            if let Ok(n) = server.read_some(&mut buf) {
+                out.extend_from_slice(&buf[..n]);
+            }
+        }
+        assert_eq!(out, req, "raw bytes arrive unchanged, no frame decoding");
+        assert!(proxy.up_stats().forwarded > 0);
     }
 
     #[test]

@@ -645,9 +645,9 @@ pub fn serve_tcp_with_admin(
                 Err(_) => continue,
             }
         }
-        admin.poll();
+        admin.poll(clock.now_micros());
         if service.poll(clock.now_micros()) == ServiceStatus::Done {
-            admin.poll();
+            admin.poll(clock.now_micros());
             return service.finish();
         }
         std::thread::sleep(tick);

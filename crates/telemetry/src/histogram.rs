@@ -90,7 +90,12 @@ pub fn summarize(name: &str, samples: &[f64]) -> Option<HistogramSummary> {
         return None;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    // `total_cmp`, not `partial_cmp(..).expect(..)`: journals replayed from
+    // disk or live rings can legitimately carry NaN samples (e.g. a gauge
+    // derived from 0/0), and a summary must never panic on observability
+    // data. The IEEE total order sorts NaNs above +inf, so they surface in
+    // `max`/upper quantiles instead of aborting the run.
+    sorted.sort_by(f64::total_cmp);
     let count = sorted.len();
     let mean = sorted.iter().sum::<f64>() / count as f64;
     Some(HistogramSummary {
@@ -221,6 +226,23 @@ mod tests {
         assert_eq!(summaries[0].p50, 20.0);
         assert_eq!(summaries[1].name, "b");
         assert_eq!(summaries[1].count, 2);
+    }
+
+    #[test]
+    fn summarize_survives_nan_samples() {
+        // Regression: `sort_by(partial_cmp)` panicked on NaN-bearing sample
+        // sets. NaNs now sort above +inf (IEEE total order) and the summary
+        // is produced from the remaining finite structure.
+        let summary = summarize("t", &[2.0, f64::NAN, 1.0, 3.0]).unwrap();
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.min, 1.0);
+        assert!(summary.max.is_nan(), "NaN sorts last, surfacing in max");
+        assert_eq!(summary.p50, 2.0);
+        assert!(summary.mean.is_nan());
+        // All-NaN input still summarizes rather than panicking.
+        let all_nan = summarize("t", &[f64::NAN, f64::NAN]).unwrap();
+        assert_eq!(all_nan.count, 2);
+        assert!(all_nan.p50.is_nan());
     }
 
     #[test]

@@ -23,8 +23,8 @@
 use std::time::{Duration, Instant};
 
 use oes::game::{
-    DistributedGame, EvictionReason, FaultPlan, GameBuilder, GameError, Outcome, ParallelConfig,
-    StaleDistributedGame, UpdateOrder,
+    ApplyMode, DistributedGame, EvictionReason, FaultPlan, GameBuilder, GameError, Outcome,
+    ParallelConfig, StaleDistributedGame, UpdateOrder,
 };
 use oes::telemetry::Telemetry;
 use oes::units::Kilowatts;
@@ -383,6 +383,44 @@ fn parallel_sweeps_compose_with_fault_plans() {
     );
 
     // Welfare matches the fault-free optimum of the 4 survivors.
+    let reference = reference_welfare(6, 4, 50.0);
+    assert!(
+        (first_welfare - reference).abs() < 1e-6,
+        "survivor welfare {first_welfare} vs reference {reference}"
+    );
+}
+
+#[test]
+fn partitioned_apply_composes_with_fault_plans() {
+    // Same composition as above, but with the concurrent-commit apply
+    // path: dropped uplinks and mid-run departures must neither break
+    // same-seed bit-determinism nor pull the survivors off the fault-free
+    // optimum when commits are guarded per partition.
+    let run = || {
+        let mut game = build(6, 5, 50.0);
+        let plan = FaultPlan::new(2031).drop_probability(0.2).depart(1, 40);
+        let outcome = game
+            .run_parallel_faulted(
+                UpdateOrder::Random { seed: 9 },
+                20_000,
+                ParallelConfig::new(4).with_apply(ApplyMode::Partitioned),
+                &plan,
+                &Telemetry::disabled(),
+            )
+            .expect("faulted partitioned run");
+        let welfare = game.welfare();
+        (outcome, welfare)
+    };
+    let (first, first_welfare) = run();
+    let (second, second_welfare) = run();
+
+    assert_eq!(first, second, "same seed must replay the same Outcome");
+    assert_eq!(first_welfare.to_bits(), second_welfare.to_bits());
+
+    assert!(first.converged(), "survivors must still converge");
+    let report = first.degradation();
+    assert_eq!(report.evicted(), vec![1], "the departed OLEV is evicted");
+
     let reference = reference_welfare(6, 4, 50.0);
     assert!(
         (first_welfare - reference).abs() < 1e-6,

@@ -276,8 +276,30 @@ fn admin_surface_answers_over_real_tcp() {
         body
     };
 
+    let probe_head = |path: &str| -> String {
+        let mut sock = connect_retry(admin_addr);
+        sock.write_all(format!("HEAD {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut body = String::new();
+        sock.read_to_string(&mut body).unwrap();
+        body
+    };
+
     // Before any client attaches: live but not ready.
     assert!(probe("/healthz").starts_with("HTTP/1.1 200"));
+    // HEAD answers with the GET's headers and no body (RFC 9110 §9.3.2):
+    // the content-length advertises the suppressed body so probes that
+    // HEAD-check before GET see truthful sizes.
+    let head = probe_head("/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.to_ascii_lowercase().contains("content-length:"),
+        "{head}"
+    );
+    assert!(
+        head.ends_with("\r\n\r\n"),
+        "HEAD must carry no body: {head:?}"
+    );
     let not_ready = probe("/readyz");
     assert!(not_ready.starts_with("HTTP/1.1 503"), "{not_ready}");
     assert!(not_ready.contains("no attached sessions"), "{not_ready}");
@@ -353,4 +375,60 @@ fn connect_retry(addr: std::net::SocketAddr) -> std::net::TcpStream {
         std::thread::sleep(Duration::from_micros(500));
     }
     panic!("TCP connect kept failing at {addr}");
+}
+
+/// Satellite claim: a slow-loris client — bytes trickling in forever,
+/// request never completing — cannot hold an admin conn slot past the
+/// request-completion deadline. The trickle is produced by a real
+/// [`ChaosProxy`] in raw-byte mode fronting the admin surface, and a
+/// fresh well-behaved probe is still served after the reap.
+#[test]
+fn slow_loris_against_the_admin_port_is_reaped() {
+    use oes::service::{ByteStream, ChaosConfig, ChaosProxy};
+
+    let aggregator = Arc::new(AggregatingRecorder::new(4));
+    let telemetry = Telemetry::new(aggregator.clone());
+    let mut admin = AdminServer::new(Arc::new(HealthState::new()), aggregator.clone(), telemetry)
+        .with_idle_timeout_us(200);
+
+    // One byte per pump: the ~40-byte request cannot complete within the
+    // 200 µs deadline at one pump per 10 µs.
+    let cfg = ChaosConfig {
+        raw_bytes: true,
+        slowloris_bytes_per_pump: 1,
+        ..ChaosConfig::default()
+    };
+    let (mut proxy, mut client_end, server_end) = ChaosProxy::new(cfg, PIPE);
+    admin.accept(Box::new(server_end));
+    client_end
+        .write_some(b"GET /healthz HTTP/1.1\r\nhost: loris\r\n\r\n")
+        .unwrap();
+    assert_eq!(admin.open_conns(), 1);
+
+    let mut reaped_at = None;
+    for t in (0..=600).step_by(10) {
+        proxy.pump(t);
+        admin.poll(t);
+        if admin.open_conns() == 0 {
+            reaped_at = Some(t);
+            break;
+        }
+    }
+    let reaped_at = reaped_at.expect("slow-loris conn must be reaped");
+    assert!(reaped_at >= 200, "deadline honored, not an early cut");
+    assert_eq!(aggregator.counter_value("service.admin.idle_timeout"), 1);
+    // No response ever went back down the trickled connection.
+    let mut buf = [0u8; 256];
+    assert!(matches!(client_end.read_some(&mut buf), Ok(0) | Err(_)));
+
+    // The slot is free again: an honest probe is answered in one poll.
+    let (mut probe, server_end) = loopback_pair(PIPE);
+    admin.accept(Box::new(server_end));
+    probe
+        .write_some(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    admin.poll(1_000);
+    let n = probe.read_some(&mut buf).unwrap();
+    let response = std::str::from_utf8(&buf[..n]).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
 }

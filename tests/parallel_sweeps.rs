@@ -15,7 +15,7 @@
 //! varying corridor lengths) generated with a local SplitMix64, so the
 //! suite stays deterministic and free of external crates.
 
-use oes::game::{GameBuilder, ParallelConfig, UpdateOrder};
+use oes::game::{ApplyMode, GameBuilder, ParallelConfig, UpdateOrder};
 use oes::units::{Kilowatts, OlevId};
 
 /// SplitMix64: tiny, seedable, and plenty for test-case generation.
@@ -133,6 +133,132 @@ fn same_seed_same_config_replays_bit_identically() {
         assert_eq!(a, b, "K={shards}: outcomes diverge across replays");
         assert_eq!(a_loads, b_loads, "K={shards}: loads diverge across replays");
     }
+}
+
+// ---------------------------------------------------------------------------
+// ApplyMode::Partitioned: the concurrent-commit path honors the same
+// determinism and equivalence contract (ARCHITECTURE.md, "Parallel apply
+// modes"): bit-identical replay within the mode, welfare within 1e-9 of
+// the serialized oracle.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn partitioned_apply_matches_the_serial_welfare_across_seeds() {
+    for seed in 0..10u64 {
+        let mut rng = SplitMix64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let mut serial = random_scenario(&mut rng);
+        let reference = serial
+            .run(UpdateOrder::RoundRobin, BUDGET)
+            .expect("serial run");
+        for shards in [2usize, 4, 8] {
+            let mut rng = SplitMix64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+            let mut game = random_scenario(&mut rng);
+            let outcome = game
+                .run_parallel(
+                    UpdateOrder::RoundRobin,
+                    BUDGET,
+                    ParallelConfig::new(shards)
+                        .with_batch(shards * 2)
+                        .with_apply(ApplyMode::Partitioned),
+                )
+                .expect("partitioned run");
+            assert_eq!(
+                outcome.converged(),
+                reference.converged(),
+                "seed {seed}, K={shards}: convergence flags disagree"
+            );
+            let gap = (outcome.final_welfare() - reference.final_welfare()).abs();
+            assert!(
+                gap < 1e-9,
+                "seed {seed}, K={shards}: partitioned welfare gap {gap:e} vs serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_same_seed_same_config_replays_bit_identically() {
+    for shards in [2usize, 4, 8] {
+        let run = || {
+            let mut rng = SplitMix64(0xCAFE);
+            let mut game = random_scenario(&mut rng);
+            let outcome = game
+                .run_parallel(
+                    UpdateOrder::Random { seed: 11 },
+                    BUDGET,
+                    ParallelConfig::new(shards)
+                        .with_batch(shards * 3)
+                        .with_apply(ApplyMode::Partitioned),
+                )
+                .expect("partitioned run");
+            let loads: Vec<u64> = game.section_loads().iter().map(|l| l.to_bits()).collect();
+            (outcome, loads)
+        };
+        let (a, a_loads) = run();
+        let (b, b_loads) = run();
+        assert_eq!(
+            a, b,
+            "K={shards}: partitioned outcomes diverge across replays"
+        );
+        assert_eq!(a_loads, b_loads, "K={shards}: partitioned loads diverge");
+    }
+}
+
+#[test]
+fn all_overlapping_footprints_degenerate_to_the_serialized_path() {
+    // A uniform fleet over one shared corridor: every best response
+    // touches every section, so each round's footprint union-find
+    // collapses to a single partition whose cached guard base is exactly
+    // the live state. The partitioned apply must then reproduce the
+    // serialized apply bit for bit — same Outcome, same schedule bits,
+    // same load bits. Resync intervals are pushed out of reach so a
+    // mid-round cache rebuild cannot perturb the comparison.
+    let build = || {
+        GameBuilder::new()
+            .sections(6, Kilowatts::new(55.0))
+            .olevs(8, Kilowatts::new(45.0))
+            .welfare_resync_interval(1_000_000)
+            .schedule_resync_writes(1_000_000)
+            .build()
+            .expect("valid scenario")
+    };
+    let config = ParallelConfig::new(4).with_batch(8);
+    let mut serialized = build();
+    let a = serialized
+        .run_parallel(UpdateOrder::RoundRobin, BUDGET, config)
+        .expect("serialized run");
+    let mut partitioned = build();
+    let b = partitioned
+        .run_parallel(
+            UpdateOrder::RoundRobin,
+            BUDGET,
+            config.with_apply(ApplyMode::Partitioned),
+        )
+        .expect("partitioned run");
+    assert_eq!(
+        a, b,
+        "degenerate partitioned Outcome differs from serialized"
+    );
+    for n in 0..serialized.olev_count() {
+        let (x, y) = (
+            serialized.schedule().row(OlevId(n)),
+            partitioned.schedule().row(OlevId(n)),
+        );
+        for (c, (p, q)) in x.iter().zip(y).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "schedule ({n}, {c}) differs");
+        }
+    }
+    let a_loads: Vec<u64> = serialized
+        .section_loads()
+        .iter()
+        .map(|l| l.to_bits())
+        .collect();
+    let b_loads: Vec<u64> = partitioned
+        .section_loads()
+        .iter()
+        .map(|l| l.to_bits())
+        .collect();
+    assert_eq!(a_loads, b_loads, "degenerate partitioned loads differ");
 }
 
 #[test]
