@@ -1,0 +1,122 @@
+//! Emits the mean-field fast-path artifact `BENCH_meanfield.json`:
+//! solve time, probe count, and welfare gap vs the exact symmetric Nash at
+//! N ∈ {512, 4096, 16384} (C = 32), plus the warm-start updates saved at
+//! the gated N = 4096 point.
+//!
+//! ```sh
+//! cargo run --release -p oes-bench --bin meanfield            # measure + emit
+//! cargo run --release -p oes-bench --bin meanfield -- --check # + CI gates
+//! ```
+//!
+//! With `--check`, four gates run against the committed baseline
+//! (`crates/bench/baselines/meanfield.json`):
+//!
+//! 1. N-independence: solve time at N = 16384 must stay within
+//!    `SOLVE_NOISE_FACTOR`× the N = 512 time (plus a small absolute slack).
+//! 2. Convergence contract: the welfare gap must strictly shrink across the
+//!    N grid.
+//! 3. Warm-start value: the saved-updates fraction at N = 4096 must reach
+//!    at least `SAVINGS_HEADROOM`× the committed baseline.
+//! 4. No welfare regression: warm vs cold welfare within 1e-9.
+
+use oes_bench::meanfield::{
+    meanfield_summary_json, measure_grid, measure_warm_start, parse_warm_field, MF_GRID,
+    MF_SECTIONS, SAVINGS_HEADROOM, SOLVE_ABS_SLACK, SOLVE_NOISE_FACTOR, WARM_GATED_N,
+    WARM_WELFARE_TOLERANCE,
+};
+
+const BASELINE_PATH: &str = "crates/bench/baselines/meanfield.json";
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let points = measure_grid();
+    println!("mean-field fast path (paper-default nonlinear scenario, C = {MF_SECTIONS})");
+    println!(
+        "{:>7} {:>6} {:>11} {:>7} {:>14} {:>14} {:>13}",
+        "N", "C", "solve (s)", "probes", "mf welfare", "exact welfare", "welfare gap"
+    );
+    for p in &points {
+        println!(
+            "{:>7} {:>6} {:>11.6} {:>7} {:>14.6} {:>14.6} {:>13.6e}",
+            p.olevs,
+            p.sections,
+            p.solve_seconds,
+            p.probes,
+            p.mf_welfare,
+            p.exact_welfare,
+            p.welfare_gap
+        );
+    }
+    println!("warm-start at gated N = {WARM_GATED_N}...");
+    let warm = measure_warm_start(WARM_GATED_N, MF_SECTIONS);
+    println!(
+        "cold {} updates, warm {} updates, saved {:.1}%, welfare diff {:.3e}, converged {}",
+        warm.cold_updates,
+        warm.warm_updates,
+        100.0 * warm.saved_fraction,
+        warm.welfare_diff,
+        warm.converged
+    );
+    let json = meanfield_summary_json(&points, &warm);
+    std::fs::write("BENCH_meanfield.json", &json).expect("write BENCH_meanfield.json");
+    println!("wrote BENCH_meanfield.json");
+
+    if check {
+        let mut failed = false;
+
+        let t_small = points[0].solve_seconds;
+        let t_large = points[points.len() - 1].solve_seconds;
+        let ceiling = SOLVE_NOISE_FACTOR * t_small + SOLVE_ABS_SLACK;
+        println!(
+            "gate 1 (N-independence): t(N={}) = {:.6}s, ceiling {:.6}s \
+             ({SOLVE_NOISE_FACTOR}x t(N={}) + {SOLVE_ABS_SLACK}s)",
+            MF_GRID[MF_GRID.len() - 1],
+            t_large,
+            ceiling,
+            MF_GRID[0]
+        );
+        if t_large > ceiling {
+            eprintln!("GATE 1 FAILED: mean-field solve time grows with N");
+            failed = true;
+        }
+
+        let gaps: Vec<f64> = points.iter().map(|p| p.welfare_gap).collect();
+        println!("gate 2 (gap shrinks): gaps {gaps:?}");
+        if !gaps.windows(2).all(|w| w[1] < w[0]) || gaps.iter().any(|&g| g <= 0.0) {
+            eprintln!("GATE 2 FAILED: welfare gap is not positive and strictly shrinking");
+            failed = true;
+        }
+
+        let baseline_json = std::fs::read_to_string(BASELINE_PATH)
+            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
+        let baseline_saved = parse_warm_field(&baseline_json, "saved_fraction")
+            .unwrap_or_else(|| panic!("no saved_fraction in {BASELINE_PATH}"));
+        let floor = SAVINGS_HEADROOM * baseline_saved;
+        println!(
+            "gate 3 (warm-start savings): measured {:.3}, baseline {:.3}, floor {:.3}",
+            warm.saved_fraction, baseline_saved, floor
+        );
+        if warm.saved_fraction < floor {
+            eprintln!(
+                "GATE 3 FAILED: warm-start savings {:.3} fell below {:.3} \
+                 ({SAVINGS_HEADROOM}x committed baseline)",
+                warm.saved_fraction, floor
+            );
+            failed = true;
+        }
+
+        println!(
+            "gate 4 (welfare parity): diff {:.3e}, tolerance {WARM_WELFARE_TOLERANCE:.0e}",
+            warm.welfare_diff
+        );
+        if warm.welfare_diff > WARM_WELFARE_TOLERANCE || !warm.converged {
+            eprintln!("GATE 4 FAILED: warm-started run regressed welfare or did not converge");
+            failed = true;
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+        println!("all mean-field gates passed");
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod engine;
 pub mod journal;
+pub mod meanfield;
 pub mod overhead;
 pub mod parallel;
 pub mod report;

@@ -1,0 +1,360 @@
+//! Mean-field fast-path benchmark: solve-time N-independence, welfare gap
+//! vs the exact Nash, and warm-start updates saved.
+//!
+//! Three claims back the ARCHITECTURE.md "Mean-field fast path" contract,
+//! and this bench measures all of them on the paper-default nonlinear
+//! scenario (60 kW sections, 50 kW OLEVs, C = 32):
+//!
+//! 1. **O(C) solve**: `solve_mean_field` wall-clock at N = 16384 stays
+//!    within noise of N = 512 (gate: ≤ [`SOLVE_NOISE_FACTOR`]× plus a small
+//!    absolute slack — the only N-dependent work is the single O(N) pass
+//!    that groups OLEVs into types).
+//! 2. **~1/N welfare gap**: the gap to the exact symmetric Nash (computed
+//!    by the O(C) scalar oracle, itself pinned to the Gauss–Seidel engine
+//!    in `tests/meanfield.rs`) must shrink across N ∈ {512, 4096, 16384}.
+//! 3. **Warm-start savings**: at the gated N = 4096 point, a
+//!    `WarmStart::MeanField` exact run must converge with at least half the
+//!    committed baseline's saved-updates fraction, and land within 1e-9 of
+//!    the cold-start welfare.
+//!
+//! The `meanfield` binary writes `BENCH_meanfield.json`; with `--check` it
+//! gates all three against `crates/bench/baselines/meanfield.json`.
+
+use std::time::Instant;
+
+use oes_game::waterfill::marginal_waterfill;
+use oes_game::{best_response, solve_mean_field, Game, GameBuilder, Scheduler, WarmStart};
+use oes_units::Kilowatts;
+
+/// The fleet sizes every run measures (corridor fixed at [`MF_SECTIONS`]).
+pub const MF_GRID: [usize; 3] = [512, 4096, 16384];
+
+/// Corridor length for every grid point.
+pub const MF_SECTIONS: usize = 32;
+
+/// The fleet size whose warm-start savings the CI gate watches.
+pub const WARM_GATED_N: usize = 4096;
+
+/// How much slower than the N = 512 solve the N = 16384 solve may be
+/// before `--check` fails ("within noise": the solver's only N-dependent
+/// work is the O(N) type-grouping pass).
+pub const SOLVE_NOISE_FACTOR: f64 = 3.0;
+
+/// Absolute slack (seconds) added to the N-independence gate so micro-run
+/// timer noise cannot fail it.
+pub const SOLVE_ABS_SLACK: f64 = 0.005;
+
+/// The measured saved-updates fraction may fall to half the committed
+/// baseline before `--check` fails (shared-runner noise headroom).
+pub const SAVINGS_HEADROOM: f64 = 0.5;
+
+/// Warm and cold runs must agree on the equilibrium welfare to this bound.
+pub const WARM_WELFARE_TOLERANCE: f64 = 1e-9;
+
+/// Timed solve repetitions per grid point (the median is reported).
+pub const SOLVE_REPS: usize = 5;
+
+/// One measured grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldPoint {
+    /// Fleet size `N`.
+    pub olevs: usize,
+    /// Corridor length `C`.
+    pub sections: usize,
+    /// Median wall-clock seconds of [`SOLVE_REPS`] `solve_mean_field` calls.
+    pub solve_seconds: f64,
+    /// Fixed-point residual evaluations (N-independent by construction).
+    pub probes: usize,
+    /// Mean-field welfare estimate for the finite population.
+    pub mf_welfare: f64,
+    /// Exact symmetric-Nash welfare from the O(C) scalar oracle.
+    pub exact_welfare: f64,
+    /// `exact_welfare − mf_welfare` (positive: the mean-field
+    /// representative under-requests by its own O(1/N) share).
+    pub welfare_gap: f64,
+}
+
+impl MeanFieldPoint {
+    /// Serializes the point as one JSON object with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"olevs\":{},\"sections\":{},\"solve_seconds\":{:.6},\"probes\":{},\
+             \"mf_welfare\":{:.9},\"exact_welfare\":{:.9},\"welfare_gap\":{:.9}}}",
+            self.olevs,
+            self.sections,
+            self.solve_seconds,
+            self.probes,
+            self.mf_welfare,
+            self.exact_welfare,
+            self.welfare_gap
+        )
+    }
+}
+
+/// The warm-start measurement at the gated fleet size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartPoint {
+    /// Fleet size `N`.
+    pub olevs: usize,
+    /// Corridor length `C`.
+    pub sections: usize,
+    /// Cold-start updates to convergence.
+    pub cold_updates: usize,
+    /// Mean-field warm-started updates to convergence.
+    pub warm_updates: usize,
+    /// `1 − warm/cold`.
+    pub saved_fraction: f64,
+    /// `|W_warm − W_cold|` at convergence.
+    pub welfare_diff: f64,
+    /// Whether both runs converged within budget.
+    pub converged: bool,
+}
+
+impl WarmStartPoint {
+    /// Serializes the point as one JSON object with fixed field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"olevs\":{},\"sections\":{},\"cold_updates\":{},\"warm_updates\":{},\
+             \"saved_fraction\":{:.6},\"welfare_diff\":{:.3e},\"converged\":{}}}",
+            self.olevs,
+            self.sections,
+            self.cold_updates,
+            self.warm_updates,
+            self.saved_fraction,
+            self.welfare_diff,
+            self.converged
+        )
+    }
+}
+
+fn paper_default(n: usize, c: usize, warm: WarmStart) -> Game {
+    GameBuilder::new()
+        .sections(c, Kilowatts::new(60.0))
+        .olevs(n, Kilowatts::new(50.0))
+        .warm_start(warm)
+        .build()
+        .expect("valid scenario")
+}
+
+/// The exact symmetric Nash welfare of a homogeneous fleet, O(C) at any N:
+/// solves `p = BR((N−1)·p as a balanced background)` by scalar bisection.
+/// Unlike the mean-field representative, this keeps the own-row exclusion,
+/// so it is the engine's exact fixed point (`tests/meanfield.rs` pins the
+/// two against each other at an engine-affordable N).
+#[must_use]
+pub fn symmetric_nash_welfare(game: &Game) -> f64 {
+    let n = game.olev_count();
+    let caps = game.caps();
+    let cost = game.cost();
+    let sat = game.satisfactions()[0].as_ref();
+    let p_max = game.p_max()[0];
+    let zeros = vec![0.0; caps.len()];
+    let others = |p: f64| -> Vec<f64> {
+        let total = (n as f64 - 1.0) * p;
+        if total <= 0.0 {
+            zeros.clone()
+        } else {
+            marginal_waterfill(cost, caps, &zeros, total).shares
+        }
+    };
+    let residual = |p: f64| -> f64 {
+        best_response(sat, cost, caps, &others(p), p_max, Scheduler::WaterFilling).total - p
+    };
+    let (mut lo, mut hi) = (0.0, p_max);
+    if residual(0.0) <= 0.0 {
+        hi = 0.0;
+    } else if residual(p_max) >= 0.0 {
+        lo = p_max;
+    } else {
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if residual(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    let p = 0.5 * (lo + hi);
+    let background = others(p);
+    let br = best_response(sat, cost, caps, &background, p_max, Scheduler::WaterFilling);
+    let mut welfare = n as f64 * sat.value(br.total);
+    for ((&bg, &cap), &own) in background.iter().zip(caps).zip(&br.allocation.shares) {
+        welfare -= cost.z(bg + own, cap) - cost.z(0.0, cap);
+    }
+    welfare
+}
+
+/// Measures one grid point: median solve time over [`SOLVE_REPS`] reps plus
+/// the welfare gap against the scalar exact-Nash oracle.
+#[must_use]
+pub fn measure_point(olevs: usize, sections: usize) -> MeanFieldPoint {
+    let game = paper_default(olevs, sections, WarmStart::Cold);
+    let mut times = Vec::with_capacity(SOLVE_REPS);
+    let mut solution = None;
+    for _ in 0..SOLVE_REPS {
+        let start = Instant::now();
+        let sol = solve_mean_field(&game).expect("paper-default scenario is in-contract");
+        times.push(start.elapsed().as_secs_f64());
+        solution = Some(sol);
+    }
+    times.sort_by(f64::total_cmp);
+    let solution = solution.expect("at least one rep");
+    let exact_welfare = symmetric_nash_welfare(&game);
+    MeanFieldPoint {
+        olevs,
+        sections,
+        solve_seconds: times[times.len() / 2],
+        probes: solution.probes(),
+        mf_welfare: solution.welfare(),
+        exact_welfare,
+        welfare_gap: exact_welfare - solution.welfare(),
+    }
+}
+
+/// Measures the whole [`MF_GRID`].
+#[must_use]
+pub fn measure_grid() -> Vec<MeanFieldPoint> {
+    MF_GRID
+        .iter()
+        .map(|&n| measure_point(n, MF_SECTIONS))
+        .collect()
+}
+
+/// Measures cold vs mean-field-warm-started exact runs at one fleet size.
+#[must_use]
+pub fn measure_warm_start(olevs: usize, sections: usize) -> WarmStartPoint {
+    use oes_game::UpdateOrder;
+    let budget = 400 * olevs;
+    let mut cold = paper_default(olevs, sections, WarmStart::Cold);
+    let oc = cold.run(UpdateOrder::RoundRobin, budget).expect("cold run");
+    let mut warm = paper_default(olevs, sections, WarmStart::MeanField);
+    let ow = warm.run(UpdateOrder::RoundRobin, budget).expect("warm run");
+    WarmStartPoint {
+        olevs,
+        sections,
+        cold_updates: oc.updates(),
+        warm_updates: ow.updates(),
+        saved_fraction: 1.0 - ow.updates() as f64 / oc.updates().max(1) as f64,
+        welfare_diff: (ow.final_welfare() - oc.final_welfare()).abs(),
+        converged: oc.converged() && ow.converged(),
+    }
+}
+
+/// Serializes the measurements as the `BENCH_meanfield.json` artifact.
+#[must_use]
+pub fn meanfield_summary_json(points: &[MeanFieldPoint], warm: &WarmStartPoint) -> String {
+    let mut out = String::from("{\"bench\":\"meanfield\",\"points\":[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  ");
+        out.push_str(&p.to_json());
+    }
+    out.push_str("\n],\"warm_start\":");
+    out.push_str(&warm.to_json());
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts a numeric field from the point whose `"olevs":N,"sections":C,`
+/// marker matches, from either a fresh artifact or the committed baseline.
+/// Hand-rolled so the harness stays dependency-free.
+#[must_use]
+pub fn parse_point_field(json: &str, olevs: usize, sections: usize, field: &str) -> Option<f64> {
+    let marker = format!("\"olevs\":{olevs},\"sections\":{sections},");
+    let object = json.split('{').find(|chunk| chunk.contains(&marker))?;
+    parse_field(object, field)
+}
+
+/// Extracts a numeric field from the `"warm_start"` object.
+#[must_use]
+pub fn parse_warm_field(json: &str, field: &str) -> Option<f64> {
+    let object = json.split("\"warm_start\":").nth(1)?;
+    parse_field(object, field)
+}
+
+fn parse_field(object: &str, field: &str) -> Option<f64> {
+    let tail = object.split(&format!("\"{field}\":")).nth(1)?;
+    let value: String = tail
+        .chars()
+        .take_while(|c| {
+            c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == 'E' || *c == '+'
+        })
+        .collect();
+    value.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_parses() {
+        let points = vec![
+            MeanFieldPoint {
+                olevs: 512,
+                sections: 32,
+                solve_seconds: 0.002,
+                probes: 66,
+                mf_welfare: 740.5,
+                exact_welfare: 740.9,
+                welfare_gap: 0.4,
+            },
+            MeanFieldPoint {
+                olevs: 16384,
+                sections: 32,
+                solve_seconds: 0.003,
+                probes: 66,
+                mf_welfare: 1996.0,
+                exact_welfare: 1996.1,
+                welfare_gap: 0.1,
+            },
+        ];
+        let warm = WarmStartPoint {
+            olevs: 4096,
+            sections: 32,
+            cold_updates: 444365,
+            warm_updates: 212028,
+            saved_fraction: 0.522,
+            welfare_diff: 6.4e-12,
+            converged: true,
+        };
+        let json = meanfield_summary_json(&points, &warm);
+        assert_eq!(
+            parse_point_field(&json, 512, 32, "solve_seconds"),
+            Some(0.002)
+        );
+        assert_eq!(
+            parse_point_field(&json, 16384, 32, "welfare_gap"),
+            Some(0.1)
+        );
+        assert_eq!(parse_point_field(&json, 99, 32, "welfare_gap"), None);
+        assert_eq!(parse_warm_field(&json, "saved_fraction"), Some(0.522));
+        assert_eq!(parse_warm_field(&json, "welfare_diff"), Some(6.4e-12));
+    }
+
+    #[test]
+    fn small_point_measures_and_runs() {
+        let p = measure_point(64, 8);
+        assert_eq!(p.olevs, 64);
+        assert_eq!(p.probes, 66);
+        assert!(p.solve_seconds >= 0.0);
+        assert!(
+            p.welfare_gap > 0.0,
+            "gap {} must be positive",
+            p.welfare_gap
+        );
+    }
+
+    #[test]
+    fn small_warm_start_saves_updates() {
+        let w = measure_warm_start(96, 8);
+        assert!(w.converged);
+        assert!(w.warm_updates < w.cold_updates);
+        assert!(w.welfare_diff <= WARM_WELFARE_TOLERANCE);
+    }
+}

@@ -45,6 +45,24 @@ pub struct GameBuilder {
     scheduler_override: Option<Scheduler>,
     welfare_resync_every: usize,
     schedule_resync_writes: usize,
+    warm_start: WarmStart,
+}
+
+/// How [`GameBuilder::build`] seeds the initial [`PowerSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStart {
+    /// The paper's cold start: an all-zero schedule, best responses climb
+    /// the potential from the origin.
+    #[default]
+    Cold,
+    /// Seed every row from the [mean-field limit](crate::meanfield): each
+    /// OLEV starts at its type representative's equilibrium allocation, so
+    /// the exact engine only burns down the O(1/N) mean-field bias instead
+    /// of climbing from zero — same equilibrium (within the engine's
+    /// tolerance), far fewer updates. Requires a scenario the mean-field
+    /// contract covers, else [`GameBuilder::build`] returns
+    /// [`GameError::MeanFieldUnsupported`].
+    MeanField,
 }
 
 /// One OLEV as accumulated by the builder: capacity bound, satisfaction,
@@ -85,6 +103,7 @@ impl GameBuilder {
             scheduler_override: None,
             welfare_resync_every: DEFAULT_RESYNC_EVERY,
             schedule_resync_writes: RESYNC_WRITES,
+            warm_start: WarmStart::Cold,
         }
     }
 
@@ -244,6 +263,35 @@ impl GameBuilder {
         self
     }
 
+    /// Chooses how the initial schedule is seeded (default
+    /// [`WarmStart::Cold`]).
+    ///
+    /// ```
+    /// use oes_game::{GameBuilder, UpdateOrder, WarmStart};
+    /// use oes_units::Kilowatts;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let build = |ws| {
+    ///     GameBuilder::new()
+    ///         .sections(8, Kilowatts::new(60.0))
+    ///         .olevs(128, Kilowatts::new(50.0))
+    ///         .warm_start(ws)
+    ///         .build()
+    /// };
+    /// let warm = build(WarmStart::MeanField)?.run(UpdateOrder::RoundRobin, 512 * 128)?;
+    /// let cold = build(WarmStart::Cold)?.run(UpdateOrder::RoundRobin, 512 * 128)?;
+    /// // Same equilibrium, fewer updates to reach it.
+    /// assert!((warm.final_welfare() - cold.final_welfare()).abs() < 1e-9);
+    /// assert!(warm.updates() < cold.updates());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn warm_start(mut self, warm_start: WarmStart) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// Forces a specific scheduler instead of the one the pricing policy
     /// admits — an ablation knob (e.g. nonlinear pricing *with greedy
     /// filling* shows the load balance of Fig. 5(c) needs the water-filling
@@ -295,6 +343,8 @@ impl GameBuilder {
     /// Returns [`GameError::NoSections`] / [`GameError::NoOlevs`] for empty
     /// scenarios and [`GameError::InvalidParameter`] for non-positive
     /// capacities, non-finite bounds, or an out-of-range `η`/κ/tolerance.
+    /// With [`WarmStart::MeanField`], scenarios outside the mean-field
+    /// contract are rejected with [`GameError::MeanFieldUnsupported`].
     pub fn build(self) -> Result<Game, GameError> {
         if self.caps.is_empty() {
             return Err(GameError::NoSections);
@@ -387,7 +437,7 @@ impl GameBuilder {
         state.set_schedule_resync_writes(self.schedule_resync_writes);
         let scratch_loads = Vec::with_capacity(self.caps.len());
         let scratch_row = vec![0.0; self.caps.len()];
-        Ok(Game {
+        let mut game = Game {
             satisfactions,
             p_max,
             caps: self.caps,
@@ -400,7 +450,11 @@ impl GameBuilder {
             windows,
             welfare_resync_every: self.welfare_resync_every,
             schedule_resync_writes: self.schedule_resync_writes,
-        })
+        };
+        if self.warm_start == WarmStart::MeanField {
+            game.warm_start_mean_field()?;
+        }
+        Ok(game)
     }
 }
 

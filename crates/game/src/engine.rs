@@ -265,6 +265,24 @@ impl Game {
             .set_schedule_resync_writes(self.schedule_resync_writes);
     }
 
+    /// Solves the [mean-field limit](crate::meanfield) of this game and
+    /// seeds the schedule from it (every OLEV starts at its type
+    /// representative's equilibrium row), returning the solution. The exact
+    /// engine then only has to burn down the O(1/N) mean-field bias —
+    /// [`Game::reset`] returns to the cold all-zero start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::MeanFieldUnsupported`] when the scenario falls
+    /// outside the mean-field contract (see [`crate::meanfield`]).
+    pub fn warm_start_mean_field(
+        &mut self,
+    ) -> Result<crate::meanfield::MeanFieldSolution, GameError> {
+        let solution = crate::meanfield::solve_mean_field(self)?;
+        self.set_schedule(solution.to_schedule());
+        Ok(solution)
+    }
+
     /// Resets the schedule to all-zero.
     pub fn reset(&mut self) {
         self.set_schedule(PowerSchedule::zeros(

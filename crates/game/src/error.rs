@@ -61,6 +61,14 @@ pub enum GameError {
         /// What the framing or codec layer rejected.
         detail: String,
     },
+    /// The scenario falls outside the mean-field contract (see
+    /// ARCHITECTURE.md "Mean-field fast path"): a non-strictly-convex cost,
+    /// a forced non-water-filling scheduler, or overlapping unequal section
+    /// windows. The exact engines still handle it.
+    MeanFieldUnsupported {
+        /// Which part of the contract the scenario violates.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for GameError {
@@ -93,6 +101,9 @@ impl fmt::Display for GameError {
             }
             Self::MalformedFrame { detail } => {
                 write!(f, "malformed protocol frame: {detail}")
+            }
+            Self::MeanFieldUnsupported { reason } => {
+                write!(f, "mean-field fast path unsupported: {reason}")
             }
         }
     }

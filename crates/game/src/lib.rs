@@ -72,6 +72,7 @@ pub mod engine;
 pub mod error;
 pub mod fairness;
 pub mod faults;
+pub mod meanfield;
 pub mod parallel;
 pub mod payment;
 pub mod potential;
@@ -86,7 +87,7 @@ pub mod waterfill;
 
 pub use analysis::{compare_regimes, ComparisonScenario, RegimeOutcome, WelfareComparison};
 pub use best_response::best_response;
-pub use builder::GameBuilder;
+pub use builder::{GameBuilder, WarmStart};
 pub use centralized::{solve_centralized, CentralizedSolution};
 pub use distributed::{DistributedGame, StaleDistributedGame};
 pub use dynamics::{uniform_fleet, RoundOutcome, SocCoupledGame};
@@ -94,6 +95,7 @@ pub use engine::{Game, Outcome, Snapshot, UpdateOrder};
 pub use error::GameError;
 pub use fairness::{fairness_report, fairness_report_with, jain_index, FairnessReport};
 pub use faults::{DegradationReport, Eviction, EvictionReason, FaultPlan, LinkVerdict, LossyLink};
+pub use meanfield::{solve_mean_field, solve_mean_field_with, MeanFieldSolution, MeanFieldType};
 pub use parallel::{ApplyMode, ParallelConfig};
 pub use payment::{payment_for_schedule, quote, PaymentQuote, Scheduler};
 pub use pricing::{

@@ -1,0 +1,476 @@
+//! The mean-field fast path: an O(C) solver for the limit game.
+//!
+//! The exact Gauss–Seidel engine touches one agent per update against the
+//! full aggregate, so a sweep costs O(N·C) and convergence needs several
+//! sweeps — the wall on the road to millions of OLEVs. Couillet et al.
+//! ("Electrical Vehicles in the Smart Grid: A Mean Field Game Analysis")
+//! observe that as N→∞ the game collapses: each agent becomes negligible
+//! and best-responds to the *aggregate load distribution alone*. That limit
+//! object is computable without ever enumerating agents:
+//!
+//! 1. **Types.** OLEVs are grouped into types `t = (U, P_OLEV, window)` —
+//!    same satisfaction (by [`Satisfaction::name`] +
+//!    [`Satisfaction::type_fingerprint`]), same capacity bound, same
+//!    accessible-section window. A fleet of a million identical vehicles is
+//!    *one* type with `count = 1_000_000`. OLEVs whose satisfaction offers
+//!    no fingerprint become singleton types — always correct, just larger T.
+//! 2. **Fixed point.** The limit aggregate `L` on a window is
+//!    marginal-balanced (every agent's water-filled row equalizes `Z'`
+//!    across the active sections, so their sum does too), hence fully
+//!    determined by its total `P`: `L(P) = marginal_waterfill(0, P)`. The
+//!    representative of type `t` best-responds to `L(P)` as an exogenous
+//!    background — the mean-field approximation: unlike the exact game it
+//!    does **not** subtract its own row first — giving a per-agent total
+//!    `p_t(P)`. The mean-field equilibrium is the root of
+//!
+//!    ```text
+//!    R(P) = Σ_t count_t · p_t(P) − P = 0
+//!    ```
+//!
+//!    `R` is strictly decreasing (raising the background weakly lowers
+//!    every best response), so a single bisection on `P ∈ [0, Σ count·P_OLEV]`
+//!    finds the fixed point — cost O((T + 1) · C) per probe, independent
+//!    of N.
+//! 3. **Bias.** The only approximation is the self-inclusion in step 2:
+//!    the representative faces marginal prices inflated by its own O(1/N)
+//!    share of the aggregate, so it slightly under-requests and the welfare
+//!    gap to the exact Nash vanishes as N grows (`tests/meanfield.rs` pins
+//!    the decay on the N∈{512, 4096, 16384} grid). See ARCHITECTURE.md
+//!    "Mean-field fast path" for the written validity contract.
+//!
+//! Two ways to consume the solution:
+//!
+//! - **Standalone serving** ([`solve_mean_field`]): limit loads, per-type
+//!   allocations, a welfare estimate, and a materializable
+//!   [`PowerSchedule`] — for populations where the exact game is infeasible.
+//! - **Warm start** ([`crate::GameBuilder::warm_start`] with
+//!   [`WarmStart::MeanField`](crate::WarmStart)): seed the exact engine's
+//!   initial schedule from the mean-field rows; the engine then only has to
+//!   burn down the O(1/N) residual instead of climbing from zero.
+//!
+//! # Examples
+//!
+//! ```
+//! use oes_game::{solve_mean_field, GameBuilder, UpdateOrder, WarmStart};
+//! use oes_units::Kilowatts;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Standalone: one representative type stands in for the whole fleet,
+//! // so the solve cost is the same at N = 512 or N = 1_000_000.
+//! let game = GameBuilder::new()
+//!     .sections(8, Kilowatts::new(60.0))
+//!     .olevs(512, Kilowatts::new(50.0))
+//!     .build()?;
+//! let mf = solve_mean_field(&game)?;
+//! assert_eq!(mf.types().len(), 1); // 512 identical OLEVs = one type
+//! assert!(mf.welfare() > 0.0);
+//!
+//! // Warm start: the exact engine starts at the mean-field profile and
+//! // converges to the same equilibrium in fewer updates.
+//! let mut warm = GameBuilder::new()
+//!     .sections(8, Kilowatts::new(60.0))
+//!     .olevs(512, Kilowatts::new(50.0))
+//!     .warm_start(WarmStart::MeanField)
+//!     .build()?;
+//! let outcome = warm.run(UpdateOrder::RoundRobin, 256 * 512)?;
+//! assert!(outcome.converged());
+//! assert!((outcome.final_welfare() - mf.welfare()).abs() < 1e-3 * mf.welfare());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use oes_telemetry::Telemetry;
+use oes_units::OlevId;
+
+use crate::best_response::best_response;
+use crate::engine::Game;
+use crate::error::GameError;
+use crate::payment::Scheduler;
+use crate::satisfaction::Satisfaction;
+use crate::schedule::PowerSchedule;
+use crate::waterfill::marginal_waterfill;
+
+/// Bisection iterations for the fixed-point total `P*`. The interval is
+/// `[0, Σ count·P_OLEV]`, so 64 halvings land within a relative `2⁻⁶⁴` of
+/// the root — float precision, matching the engine's own bisection budgets.
+const FIXED_POINT_ITERS: usize = 64;
+
+/// One mean-field vehicle type: a cohort of OLEVs indistinguishable to the
+/// solver (same satisfaction, capacity bound, and section window), carrying
+/// the representative's equilibrium allocation for every member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldType {
+    /// How many OLEVs collapsed into this type.
+    pub count: usize,
+    /// The shared capacity bound `P_OLEV` (kW).
+    pub p_max: f64,
+    /// The shared half-open accessible-section window.
+    pub window: (usize, usize),
+    /// Index of the first member OLEV — the representative whose
+    /// satisfaction the solver evaluates.
+    pub representative: usize,
+    /// The representative's equilibrium total request (kW per member).
+    pub total: f64,
+    /// The representative's full-width per-section allocation (kW); zero
+    /// outside [`MeanFieldType::window`]. Every member receives this row.
+    pub allocation: Vec<f64>,
+}
+
+/// The mean-field equilibrium of a [`Game`]: the limit aggregate profile,
+/// the per-type representative allocations, and a welfare estimate for the
+/// finite population it approximates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanFieldSolution {
+    types: Vec<MeanFieldType>,
+    /// OLEV index → index into `types`.
+    assignment: Vec<usize>,
+    /// Materialized per-section loads: `Σ_t count_t · allocation_t` (kW).
+    section_loads: Vec<f64>,
+    /// The marginal-balanced limit profile `L(P*)` the representatives
+    /// responded to (kW).
+    limit_loads: Vec<f64>,
+    /// Eq. 7 welfare of the materialized schedule.
+    welfare: f64,
+    /// Residual-evaluation count across all window groups (each probe costs
+    /// O((T + 1) · C), independent of N).
+    probes: usize,
+    /// Number of independent window groups solved.
+    groups: usize,
+}
+
+impl MeanFieldSolution {
+    /// The derived types, sorted by (window, `p_max`, satisfaction).
+    #[must_use]
+    pub fn types(&self) -> &[MeanFieldType] {
+        &self.types
+    }
+
+    /// The type index serving OLEV `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn type_of(&self, n: usize) -> usize {
+        self.assignment[n]
+    }
+
+    /// Materialized per-section loads `Σ_t count_t · allocation_t` (kW) —
+    /// what the finite population draws if every member plays its
+    /// representative's row.
+    #[must_use]
+    pub fn section_loads(&self) -> &[f64] {
+        &self.section_loads
+    }
+
+    /// The marginal-balanced limit profile `L(P*)` (kW) the representatives
+    /// best-responded to. Within float precision of
+    /// [`MeanFieldSolution::section_loads`] for homogeneous sections; the
+    /// O(1/N) mean-field bias lives in the difference.
+    #[must_use]
+    pub fn limit_loads(&self) -> &[f64] {
+        &self.limit_loads
+    }
+
+    /// Eq. 7 social welfare of the materialized schedule for the finite
+    /// population (`Σ_t count_t·U_t(p_t) − Σ_c [Z(L_c) − Z(0)]`).
+    #[must_use]
+    pub fn welfare(&self) -> f64 {
+        self.welfare
+    }
+
+    /// Total aggregate power at the fixed point (kW).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.types.iter().map(|t| t.count as f64 * t.total).sum()
+    }
+
+    /// How many residual evaluations the fixed-point bisections spent —
+    /// a structural O(C)-independence witness: it depends on the number of
+    /// window groups, never on N.
+    #[must_use]
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// How many independent window groups were solved.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Materializes the full N×C [`PowerSchedule`]: every OLEV gets its
+    /// type's representative row. This is the only O(N·C) step of the fast
+    /// path — skip it for mean-field-only serving, use it to seed the exact
+    /// engine (see [`crate::GameBuilder::warm_start`]).
+    #[must_use]
+    pub fn to_schedule(&self) -> PowerSchedule {
+        let sections = self.section_loads.len();
+        let mut schedule = PowerSchedule::zeros(self.assignment.len(), sections);
+        for (n, &t) in self.assignment.iter().enumerate() {
+            schedule.set_row(OlevId(n), &self.types[t].allocation);
+        }
+        schedule
+    }
+}
+
+/// The grouping key of one OLEV. Satisfactions merge only when the name and
+/// the parameter fingerprint both match; fingerprint-less satisfactions get
+/// singleton types keyed by their OLEV index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum TypeKey<'a> {
+    Shared {
+        window: (usize, usize),
+        p_max_bits: u64,
+        name: &'a str,
+        fingerprint: u64,
+    },
+    Singleton(usize),
+}
+
+/// Computes the mean-field equilibrium of `game`'s population. O(C) in the
+/// population: cost depends on the number of *types* and sections only.
+///
+/// # Errors
+///
+/// Returns [`GameError::MeanFieldUnsupported`] when the scenario falls
+/// outside the mean-field contract (see ARCHITECTURE.md):
+///
+/// - the cost is not strictly convex (the linear baseline's greedy filling
+///   has no marginal-balanced limit profile), or the scheduler was forced
+///   away from water-filling;
+/// - two types have overlapping but unequal section windows (their limit
+///   profiles couple and the per-window fixed point no longer separates).
+///
+/// Disjoint windows are fine — each window group is solved independently.
+pub fn solve_mean_field(game: &Game) -> Result<MeanFieldSolution, GameError> {
+    solve_mean_field_with(game, &Telemetry::disabled())
+}
+
+/// [`solve_mean_field`] with `engine.meanfield.*` telemetry: a
+/// `engine.meanfield.solve` span around the solve, gauges for the type and
+/// group counts, the fixed-point total and welfare, and a probe counter.
+///
+/// # Errors
+///
+/// As [`solve_mean_field`].
+pub fn solve_mean_field_with(
+    game: &Game,
+    telemetry: &Telemetry,
+) -> Result<MeanFieldSolution, GameError> {
+    let _span = telemetry.span("engine.meanfield.solve", -1);
+    if game.scheduler() != Scheduler::WaterFilling || !game.cost().supports_waterfilling() {
+        return Err(GameError::MeanFieldUnsupported {
+            reason: "mean-field limit needs the water-filling scheduler over a strictly convex Z \
+                     (the greedy/linear path has no marginal-balanced limit profile)",
+        });
+    }
+
+    let (mut types, assignment) = derive_types(game);
+    let caps = game.caps();
+
+    // Group types by window; windows must be pairwise equal or disjoint so
+    // the per-window fixed points separate.
+    let mut windows: Vec<(usize, usize)> = types.iter().map(|t| t.window).collect();
+    windows.sort_unstable();
+    windows.dedup();
+    for (i, &(a0, a1)) in windows.iter().enumerate() {
+        for &(b0, b1) in &windows[i + 1..] {
+            if a0 < b1 && b0 < a1 {
+                return Err(GameError::MeanFieldUnsupported {
+                    reason: "overlapping unequal section windows couple the per-window limit \
+                             profiles; make windows equal or disjoint",
+                });
+            }
+        }
+    }
+
+    let mut limit_loads = vec![0.0; caps.len()];
+    let mut probes = 0usize;
+    for &window in &windows {
+        let members: Vec<usize> = (0..types.len())
+            .filter(|&t| types[t].window == window)
+            .collect();
+        probes += solve_group(game, &mut types, &members, window, &mut limit_loads);
+    }
+
+    // Materialize the per-section loads and the Eq. 7 welfare estimate.
+    let mut section_loads = vec![0.0; caps.len()];
+    let mut welfare = 0.0;
+    for t in &types {
+        let count = t.count as f64;
+        for (load, &x) in section_loads.iter_mut().zip(&t.allocation) {
+            *load += count * x;
+        }
+        welfare += count * game.satisfactions()[t.representative].value(t.total);
+    }
+    let cost = game.cost();
+    for (&load, &cap) in section_loads.iter().zip(caps) {
+        welfare -= cost.z(load, cap) - cost.z(0.0, cap);
+    }
+
+    let solution = MeanFieldSolution {
+        groups: windows.len(),
+        types,
+        assignment,
+        section_loads,
+        limit_loads,
+        welfare,
+        probes,
+    };
+    telemetry.gauge("engine.meanfield.types", -1, solution.types.len() as f64);
+    telemetry.gauge("engine.meanfield.groups", -1, solution.groups as f64);
+    telemetry.counter("engine.meanfield.probes", -1, probes as u64);
+    telemetry.gauge("engine.meanfield.total", -1, solution.total());
+    telemetry.gauge("engine.meanfield.welfare", -1, solution.welfare);
+    Ok(solution)
+}
+
+/// Collapses the population into types. Deterministic: types are sorted by
+/// their [`TypeKey`], so two populations with the same type mixture produce
+/// bit-identical solver inputs regardless of OLEV enumeration order.
+fn derive_types(game: &Game) -> (Vec<MeanFieldType>, Vec<usize>) {
+    let satisfactions = game.satisfactions();
+    let p_max = game.p_max();
+    let windows = game.windows();
+    let mut keyed: HashMap<TypeKey<'_>, usize> = HashMap::new();
+    let mut types: Vec<(TypeKey<'_>, MeanFieldType)> = Vec::new();
+    let mut raw_assignment = Vec::with_capacity(p_max.len());
+    for n in 0..p_max.len() {
+        let key = match satisfactions[n].type_fingerprint() {
+            Some(fingerprint) => TypeKey::Shared {
+                window: windows[n],
+                p_max_bits: p_max[n].to_bits(),
+                name: satisfactions[n].name(),
+                fingerprint,
+            },
+            None => TypeKey::Singleton(n),
+        };
+        let idx = *keyed.entry(key).or_insert_with(|| {
+            types.push((
+                key,
+                MeanFieldType {
+                    count: 0,
+                    p_max: p_max[n],
+                    window: windows[n],
+                    representative: n,
+                    total: 0.0,
+                    allocation: Vec::new(),
+                },
+            ));
+            types.len() - 1
+        });
+        types[idx].1.count += 1;
+        raw_assignment.push(idx);
+    }
+    // Canonical order: by key, so enumeration order cannot leak into the
+    // residual's floating-point summation order.
+    let mut order: Vec<usize> = (0..types.len()).collect();
+    order.sort_by(|&a, &b| types[a].0.cmp(&types[b].0));
+    let mut rank = vec![0usize; types.len()];
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        rank[old_idx] = new_idx;
+    }
+    let mut sorted: Vec<MeanFieldType> = Vec::with_capacity(types.len());
+    for &old_idx in &order {
+        sorted.push(types[old_idx].1.clone());
+    }
+    let assignment = raw_assignment.into_iter().map(|t| rank[t]).collect();
+    (sorted, assignment)
+}
+
+/// Solves one window group's fixed point by bisection on the aggregate
+/// total `P` and writes the representatives' equilibrium allocations into
+/// `types`. Returns the number of residual evaluations spent.
+fn solve_group(
+    game: &Game,
+    types: &mut [MeanFieldType],
+    members: &[usize],
+    window: (usize, usize),
+    limit_loads: &mut [f64],
+) -> usize {
+    let caps = &game.caps()[window.0..window.1];
+    let cost = game.cost();
+    let satisfactions = game.satisfactions();
+    let sections = game.caps().len();
+    let zeros = vec![0.0; caps.len()];
+
+    // The limit aggregate is marginal-balanced, so it is the zero-based
+    // water-fill of its own total; the residual needs only the total.
+    let aggregate_of = |total: f64| -> Vec<f64> {
+        if total <= 0.0 {
+            zeros.clone()
+        } else {
+            marginal_waterfill(cost, caps, &zeros, total).shares
+        }
+    };
+    let mut probes = 0usize;
+    let mut residual = |total: f64| -> f64 {
+        probes += 1;
+        let aggregate = aggregate_of(total);
+        let demand: f64 = members
+            .iter()
+            .map(|&t| {
+                let ty = &types[t];
+                let sat: &dyn Satisfaction = satisfactions[ty.representative].as_ref();
+                let br = best_response(
+                    sat,
+                    cost,
+                    caps,
+                    &aggregate,
+                    ty.p_max,
+                    Scheduler::WaterFilling,
+                );
+                ty.count as f64 * br.total
+            })
+            .sum();
+        demand - total
+    };
+
+    let p_hi: f64 = members
+        .iter()
+        .map(|&t| types[t].count as f64 * types[t].p_max)
+        .sum();
+    let fixed_point = if p_hi <= 0.0 || residual(0.0) <= 0.0 {
+        0.0
+    } else if residual(p_hi) >= 0.0 {
+        // Demand saturates even against the fullest background: every type
+        // is capacity-bound and the fixed point sits at the ceiling.
+        p_hi
+    } else {
+        let (mut lo, mut hi) = (0.0, p_hi);
+        for _ in 0..FIXED_POINT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            if residual(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    let aggregate = aggregate_of(fixed_point);
+    for (slot, &x) in limit_loads[window.0..window.1].iter_mut().zip(&aggregate) {
+        *slot = x;
+    }
+    for &t in members {
+        let ty = &types[t];
+        let sat: &dyn Satisfaction = satisfactions[ty.representative].as_ref();
+        let br = best_response(
+            sat,
+            cost,
+            caps,
+            &aggregate,
+            ty.p_max,
+            Scheduler::WaterFilling,
+        );
+        let mut row = vec![0.0; sections];
+        row[window.0..window.1].copy_from_slice(&br.allocation.shares);
+        types[t].total = br.total;
+        types[t].allocation = row;
+    }
+    probes
+}

@@ -20,6 +20,19 @@ pub trait Satisfaction: Send + Sync {
 
     /// A short name for reports.
     fn name(&self) -> &str;
+
+    /// A stable fingerprint of this function's *parameters*, or `None` when
+    /// the implementation cannot offer one.
+    ///
+    /// The [mean-field solver](crate::meanfield) collapses OLEVs into one
+    /// representative type only when their satisfactions share both the
+    /// [`Satisfaction::name`] and an equal fingerprint (on top of equal
+    /// `p_max` and section window), so equal fingerprints **must** imply
+    /// identical functions. The default `None` makes every such OLEV its own
+    /// singleton type — always correct, merely slower for large fleets.
+    fn type_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The paper's evaluation choice: `U(p) = w · ln(1 + p)`.
@@ -63,6 +76,10 @@ impl Satisfaction for LogSatisfaction {
     fn name(&self) -> &str {
         "log"
     }
+
+    fn type_fingerprint(&self) -> Option<u64> {
+        Some(self.weight.to_bits())
+    }
 }
 
 /// An alternative concave satisfaction: `U(p) = w · (√(1 + p) − 1)`.
@@ -102,6 +119,10 @@ impl Satisfaction for SqrtSatisfaction {
 
     fn name(&self) -> &str {
         "sqrt"
+    }
+
+    fn type_fingerprint(&self) -> Option<u64> {
+        Some(self.weight.to_bits())
     }
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Doc-coverage lint, run by CI next to the test suite:
+#
+#   1. Every public item in oes-game must carry rustdoc. The crate already
+#      declares `#![warn(missing_docs)]`; this promotes the warning (and
+#      every other rustdoc warning, e.g. broken intra-doc links) to an
+#      error so a bare `pub fn` cannot land.
+#   2. Every telemetry namespace emitted in code must have a row in
+#      ARCHITECTURE.md's "Telemetry namespaces" table — enforced by the
+#      std-only scan in tests/doc_coverage.rs.
+#
+# Usage: scripts/doc_lint.sh   (from the workspace root)
+set -euo pipefail
+
+echo "doc lint 1/2: rustdoc coverage of oes-game's public API"
+RUSTDOCFLAGS="-D warnings -D missing_docs" cargo doc --no-deps -p oes-game
+
+echo "doc lint 2/2: telemetry namespaces documented in ARCHITECTURE.md"
+cargo test -q --test doc_coverage
+
+echo "doc lint passed"

@@ -1,0 +1,137 @@
+//! Doc-coverage lint: every telemetry namespace emitted anywhere in the
+//! workspace must have a row in ARCHITECTURE.md's "Telemetry namespaces"
+//! table.
+//!
+//! This is the half of the doc lint that rustdoc cannot enforce; the other
+//! half (`-D missing_docs` on `oes-game`'s public API) runs in
+//! `scripts/doc_lint.sh`, which CI invokes alongside this test. The scan is
+//! intentionally textual and std-only: it walks `crates/*/src`, collects
+//! every string literal passed to `.counter(` / `.gauge(` / `.span(` /
+//! `.histogram(` in non-test code, maps each metric name to its namespace
+//! (everything up to the last `.`-segment), and demands a `` `ns.*` ``
+//! first-column cell in the table. A new `engine.meanfield.probes` counter
+//! without an `engine.meanfield.*` row fails this test, not a reviewer.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const EMITTERS: [&str; 4] = [".counter(", ".gauge(", ".span(", ".histogram("];
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Drops everything from the conventional trailing `#[cfg(test)]` module on
+/// (unit tests emit scratch metric names that are not part of the public
+/// telemetry surface), plus comment lines (rustdoc prose may mention
+/// emitter calls without emitting).
+fn production_lines(source: &str) -> impl Iterator<Item = &str> {
+    source
+        .lines()
+        .take_while(|line| line.trim_start() != "#[cfg(test)]")
+        .filter(|line| !line.trim_start().starts_with("//"))
+}
+
+/// Extracts the metric-name literals passed to telemetry emitters on one
+/// line. Only dotted lowercase literals count: a variable or single-segment
+/// name has no namespace for the table to document, so it is skipped.
+fn metric_names(line: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for emitter in EMITTERS {
+        for (at, _) in line.match_indices(emitter) {
+            let tail = &line[at + emitter.len()..];
+            let Some(literal) = tail.strip_prefix('"') else {
+                continue;
+            };
+            let name: String = literal
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || *c == '.' || *c == '_')
+                .collect();
+            if literal[name.len()..].starts_with('"') && name.contains('.') {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+#[test]
+fn every_emitted_namespace_is_documented_in_architecture_md() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let architecture =
+        fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md at repo root");
+    let table = architecture
+        .split("## Telemetry namespaces")
+        .nth(1)
+        .expect("ARCHITECTURE.md keeps a 'Telemetry namespaces' section");
+
+    let mut files = Vec::new();
+    for crate_dir in fs::read_dir(root.join("crates")).expect("crates/ at repo root") {
+        let crate_dir = crate_dir.expect("dir entry").path();
+        // The telemetry crate implements the recorder API; the names its own
+        // docs and helpers mention are placeholders, not emitted namespaces.
+        if crate_dir.file_name().is_some_and(|n| n == "telemetry") {
+            continue;
+        }
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files);
+        }
+    }
+    assert!(files.len() > 10, "source scan found too few files to trust");
+
+    let mut namespaces = BTreeSet::new();
+    for file in &files {
+        let source = fs::read_to_string(file).expect("readable source file");
+        for line in production_lines(&source) {
+            for name in metric_names(line) {
+                let namespace = name.rsplit_once('.').expect("dotted name").0;
+                namespaces.insert(namespace.to_owned());
+            }
+        }
+    }
+    assert!(
+        namespaces.contains("engine.meanfield"),
+        "scan must see the mean-field solver's own telemetry; \
+         emitter extraction is broken if it does not"
+    );
+
+    let missing: Vec<&String> = namespaces
+        .iter()
+        .filter(|ns| !table.contains(&format!("| `{ns}.*`")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "telemetry namespaces emitted in code but missing from \
+         ARCHITECTURE.md's 'Telemetry namespaces' table: {missing:?} — \
+         add a `| `ns.*` |` row describing the events"
+    );
+}
+
+#[cfg(test)]
+mod extraction {
+    use super::metric_names;
+
+    #[test]
+    fn extracts_literal_dotted_names_only() {
+        assert_eq!(
+            metric_names(r#"telemetry.gauge("engine.meanfield.types", -1, 3.0);"#),
+            vec!["engine.meanfield.types".to_owned()]
+        );
+        assert_eq!(
+            metric_names(r#"t.counter("a.b", 0, 1); t.span("c.d.e", -1);"#),
+            vec!["a.b".to_owned(), "c.d.e".to_owned()]
+        );
+        // Variables and single-segment names are not in contract.
+        assert!(metric_names("telemetry.counter(name, 0, 1);").is_empty());
+        assert!(metric_names(r#"telemetry.counter("loose", 0, 1);"#).is_empty());
+    }
+}
