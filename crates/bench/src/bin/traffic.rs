@@ -1,54 +1,90 @@
 //! Emits the traffic-throughput artifact `BENCH_traffic.json`:
 //! vehicle-updates/sec for the indexed vs naive-scan engine at
-//! N ∈ {256, 2048, 8192} on a signalized grid co-simulation.
+//! N ∈ {256, 2048, 8192} on a signalized grid co-simulation, and for
+//! the event vs ticked raw engine at N ∈ {2048, 8192, 100000} on the
+//! same grid with a σ = 0 fleet.
 //!
 //! ```sh
-//! cargo run --release -p oes-bench --bin traffic            # verify + measure
-//! cargo run --release -p oes-bench --bin traffic -- --check # + CI gates
+//! cargo run --release -p oes-bench --bin traffic             # verify + measure
+//! cargo run --release -p oes-bench --bin traffic -- --check  # + CI gates
+//! cargo run --release -p oes-bench --bin traffic -- --seed 7 # reshuffled scenario
 //! ```
 //!
-//! Bit-identity is verified before any timing (a small indexed vs naive
-//! differential) and again across the full grid (every benchmarked
-//! point's state digest must agree between modes); either failure exits
-//! nonzero even without `--check` — a throughput number from a diverging
-//! engine is meaningless. With `--check`, the indexed N = 8192 point is
-//! compared against the committed baseline
+//! Bit-identity is verified before any timing (a small indexed-vs-naive
+//! differential plus a per-tick ticked-vs-event twin differential) and
+//! again across the full grid (scan modes must agree on every measured
+//! tick; raw engines must agree on the flushed end state); any failure
+//! exits nonzero even without `--check` — a throughput number from a
+//! diverging engine is meaningless. With `--check`, the indexed and
+//! event N = 8192 points are compared against the committed baseline
 //! (`crates/bench/baselines/traffic.json`), and on hardware with ≥ 2
-//! cores the indexed-over-naive speedup at N = 8192 must clear 5×.
+//! cores the indexed-over-naive speedup at N = 8192 must clear 5× and
+//! the event-over-ticked speedup must clear 10×. `--seed` reshuffles
+//! the scenario; baseline gates only apply to the committed seed 0.
 
 use oes_bench::traffic::{
-    measure_grid, parse_updates_per_sec, speedup, traffic_summary_json, verify_mode_identity,
-    verify_scan_equivalence, GATED_FLEET, MIN_CORES_FOR_SPEEDUP_GATE, REGRESSION_FACTOR,
-    SPEEDUP_FLOOR,
+    event_speedup, measure_grid, parse_updates_per_sec, speedup, traffic_summary_json,
+    verify_event_equivalence, verify_mode_identity, verify_scan_equivalence, EVENT_SPEEDUP_FLOOR,
+    GATED_FLEET, MIN_CORES_FOR_SPEEDUP_GATE, REGRESSION_FACTOR, SPEEDUP_FLOOR,
 };
 
 const BASELINE_PATH: &str = "crates/bench/baselines/traffic.json";
 
+fn parse_seed() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--seed requires a value");
+                std::process::exit(2);
+            });
+            return v.parse().unwrap_or_else(|e| {
+                eprintln!("--seed {v}: {e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let seed = parse_seed();
+    if seed != 0 {
+        println!("scenario seed {seed} (baseline gates apply to seed 0 only)");
+    }
 
-    if let Err(e) = verify_scan_equivalence() {
+    if let Err(e) = verify_scan_equivalence(seed) {
         eprintln!("EQUIVALENCE FAILURE (indexed vs naive, small fleet): {e}");
         std::process::exit(1);
     }
     println!("scan-equivalence verified: indexed and naive digests agree on the small fleet");
+    if let Err(e) = verify_event_equivalence(seed) {
+        eprintln!("EQUIVALENCE FAILURE (ticked vs event, per-tick twins): {e}");
+        std::process::exit(1);
+    }
+    println!("event-equivalence verified: ticked and event twins agree on every tick");
 
-    let points = measure_grid();
+    let points = measure_grid(seed);
     if let Err(e) = verify_mode_identity(&points) {
         eprintln!("EQUIVALENCE FAILURE (benchmarked grid): {e}");
         std::process::exit(1);
     }
     println!("grid differential verified: every benchmarked point is bit-identical across modes");
 
-    println!("traffic microsimulation throughput (grid co-simulation, whole steps)");
+    println!("traffic microsimulation throughput (whole steps)");
     println!(
-        "{:>8} {:>7} {:>6} {:>11} {:>14} {:>10} {:>14} {:>9}",
+        "{:>10} {:>7} {:>6} {:>11} {:>14} {:>10} {:>14} {:>9}",
         "mode", "N", "steps", "mean act", "updates", "seconds", "updates/sec", "speedup"
     );
     for p in &points {
-        let s = speedup(&points, p.vehicles).unwrap_or(f64::NAN);
+        let s = match p.mode {
+            "indexed" | "naive" => speedup(&points, p.vehicles),
+            _ => event_speedup(&points, p.vehicles),
+        }
+        .unwrap_or(f64::NAN);
         println!(
-            "{:>8} {:>7} {:>6} {:>11.1} {:>14} {:>10.4} {:>14.1} {:>8.2}x",
+            "{:>10} {:>7} {:>6} {:>11.1} {:>14} {:>10.4} {:>14.1} {:>8.2}x",
             p.mode,
             p.vehicles,
             p.steps,
@@ -64,23 +100,31 @@ fn main() {
     println!("wrote BENCH_traffic.json");
 
     if check {
-        let measured = parse_updates_per_sec(&json, "indexed", GATED_FLEET)
-            .expect("gated indexed point present in fresh artifact");
-        let baseline_json = std::fs::read_to_string(BASELINE_PATH)
-            .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
-        let baseline = parse_updates_per_sec(&baseline_json, "indexed", GATED_FLEET)
-            .unwrap_or_else(|| panic!("no indexed N={GATED_FLEET} point in {BASELINE_PATH}"));
-        let floor = baseline / REGRESSION_FACTOR;
-        println!(
-            "perf gate indexed N={GATED_FLEET}: measured {measured:.1} updates/sec, \
-             baseline {baseline:.1}, floor {floor:.1}"
-        );
-        if measured < floor {
-            eprintln!(
-                "PERF REGRESSION: {measured:.1} updates/sec is more than \
-                 {REGRESSION_FACTOR}x below the committed baseline {baseline:.1}"
-            );
-            std::process::exit(1);
+        if seed == 0 {
+            let baseline_json = std::fs::read_to_string(BASELINE_PATH)
+                .unwrap_or_else(|e| panic!("read {BASELINE_PATH}: {e}"));
+            for mode in ["indexed", "event"] {
+                let measured = parse_updates_per_sec(&json, mode, GATED_FLEET)
+                    .expect("gated point present in fresh artifact");
+                let baseline = parse_updates_per_sec(&baseline_json, mode, GATED_FLEET)
+                    .unwrap_or_else(|| {
+                        panic!("no {mode} N={GATED_FLEET} point in {BASELINE_PATH}")
+                    });
+                let floor = baseline / REGRESSION_FACTOR;
+                println!(
+                    "perf gate {mode} N={GATED_FLEET}: measured {measured:.1} updates/sec, \
+                     baseline {baseline:.1}, floor {floor:.1}"
+                );
+                if measured < floor {
+                    eprintln!(
+                        "PERF REGRESSION: {mode} {measured:.1} updates/sec is more than \
+                         {REGRESSION_FACTOR}x below the committed baseline {baseline:.1}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            println!("baseline gates skipped: seed {seed} != 0");
         }
 
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -98,10 +142,23 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+            let es = event_speedup(&points, GATED_FLEET)
+                .expect("gated raw-engine points present in fresh grid");
+            println!(
+                "event speedup gate N={GATED_FLEET}: event is {es:.2}x ticked, \
+                 floor {EVENT_SPEEDUP_FLOOR:.2}x ({cores} cores)"
+            );
+            if es < EVENT_SPEEDUP_FLOOR {
+                eprintln!(
+                    "EVENT SPEEDUP REGRESSION: {es:.2}x at N={GATED_FLEET} is below the \
+                     {EVENT_SPEEDUP_FLOOR:.2}x floor"
+                );
+                std::process::exit(1);
+            }
         } else {
             println!(
-                "speedup gate skipped: {cores} cores < {MIN_CORES_FOR_SPEEDUP_GATE} \
-                 (digest differential still enforced above)"
+                "speedup gates skipped: {cores} cores < {MIN_CORES_FOR_SPEEDUP_GATE} \
+                 (digest differentials still enforced above)"
             );
         }
         println!("perf gate passed");

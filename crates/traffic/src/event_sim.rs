@@ -1,0 +1,1991 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulation::step`] is an O(N) wall: every tick touches every vehicle,
+//! even the tens of thousands idling in red-light queues or cruising down
+//! empty arterials whose next state is a foregone conclusion. This module
+//! replaces that wall with per-agent *wake events*: a vehicle whose
+//! behavior over the coming ticks is **provably frozen** goes to sleep, and
+//! the engine ticks only the awake subset. Sleepers are reconciled lazily
+//! ("settled") when — and only when — something actually reads or invalidates
+//! their state.
+//!
+//! # Why this can be exact, not approximate
+//!
+//! The ticked engine is deterministic synchronous dynamics: each vehicle's
+//! next speed is a pure function of its own state, its nearest obstacle
+//! (leader vehicle or red stop line), and a dawdling noise draw. Two frozen
+//! regimes fall out of the model algebra:
+//!
+//! * **Parked** — speed is exactly `0.0` and the model returns `0.0` for
+//!   *every* noise value (checked by evaluating the model at the noise
+//!   extremes 0 and 1; the bundled models are monotone in noise). A queued
+//!   vehicle behind a red light or a standstill leader stays bit-identical
+//!   forever until its obstacle changes.
+//! * **Cruise** — `sigma == 0` and speed already equals the effective
+//!   desired speed. Obstacles ahead *cap* the sleep horizon rather than
+//!   forbid it: a leader or red stop line shortens the window so the
+//!   frozen scan never reaches it (per-lane positions only move forward,
+//!   and the one backward motion — an overlap clamp — disturbs the
+//!   watchers), while a *green* signal is transparent to the scan and
+//!   merely caps the sleep to end strictly before its next flip. A
+//!   follower whose nearest obstacle is a leader — on its own edge or
+//!   further along the route with only green signals in between — that is
+//!   itself asleep with a bit-identical advance freezes too (*convoy*
+//!   sleep): the gap is constant while both replay the same advance, so
+//!   the model's input never changes. The follower registers a
+//!   *dependency* on its anchor and wakes when the anchor **deviates**
+//!   from that constant advance (speed-bit change, lane change, edge
+//!   crossing, or exit) — exactly the tick after which the ticked engine
+//!   would first compute a different gap. An anchor that is merely awake
+//!   but still reproducing its frozen moves leaves its followers asleep.
+//!
+//! Settling replays exactly the arithmetic the ticked engine would have
+//! performed: repeated addition `pos += advance` (never the closed form
+//! `pos0 + k*advance`, whose low-bit drift could flip a detector or
+//! charging-span boundary predicate), and per-tick detector observation
+//! with a bit-exact replay of the simulation clock. Because every addend is
+//! identical, occupancy accumulation commutes and lazy replay lands on the
+//! same bits as eager observation.
+//!
+//! Wakes come from three sources, all conservative (a spurious wake costs a
+//! re-evaluation, a missed wake would cost correctness, so the design only
+//! permits the former):
+//!
+//! * **Disturbances** — every index mutation (insert, move, lane change,
+//!   exit, overlap clamp) notifies watchers. A sleeper registers watch
+//!   intervals covering everything its obstacle scan could see. Parked
+//!   sleepers hear every disturbance class; cruise sleepers hear only
+//!   *entries* (a vehicle newly appearing inside the interval), because
+//!   their interval interior is provably vehicle-free up to the anchor —
+//!   routine moves and exits ahead of the anchor are shielded from their
+//!   scan and stay silent.
+//! * **Anchor deviations** — a convoy follower is woken by its anchor's
+//!   first departure from the frozen plan (speed-bit change, lane change,
+//!   edge crossing, or exit), tracked by id rather than position.
+//! * **Signal flips** — a parked vehicle that can see a signal (in its own
+//!   or an adjacent lane's lookahead) schedules a wake for the tick of the
+//!   signal's next phase flip in the binary-heap [`Scheduler`].
+//! * **Cruise horizons** — a cruising sleeper wakes shortly before its
+//!   frozen trajectory would leave the validated window.
+//!
+//! # Tolerance contract
+//!
+//! For fleets with `sigma == 0` (deterministic dawdling), an event-driven
+//! run is **bit-identical** to the ticked engine: positions, speeds,
+//! detector occupancy and touch counts, trip ledgers, and delivered-energy
+//! totals all match exactly at every tick boundary (the differential suite
+//! in `tests/traffic_events.rs` asserts this, and `oes-bench --bin
+//! traffic` gates it per fleet size). With `sigma > 0`, sleeping vehicles
+//! skip their per-tick noise draws, so the two engines realize *different
+//! but individually deterministic* random executions; same-seed event runs
+//! remain bit-reproducible, but cross-engine comparison is only meaningful
+//! through `sigma == 0` scenarios. See `ARCHITECTURE.md` for the full
+//! contract table.
+//!
+//! Positions read through [`EventSimulation::traffic`] are only current
+//! after [`EventSimulation::flush`]; speeds are always current (a sleeping
+//! vehicle's speed is constant by construction).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use oes_units::{Meters, MetersPerSecond, Seconds};
+use rand::Rng;
+
+use crate::following::Ahead;
+use crate::network::EdgeId;
+use crate::scheduler::Scheduler;
+use crate::sim::{ScanMode, Simulation};
+use crate::vehicle::{Vehicle, VehicleId};
+
+/// Which stepping engine a co-simulation (or bench harness) drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum StepMode {
+    /// The synchronous engine: every vehicle, every tick (the reference).
+    #[default]
+    Ticked,
+    /// The discrete-event engine: only awake vehicles tick; sleepers are
+    /// settled lazily and woken by events.
+    EventDriven,
+}
+
+/// Lazy state of one sleeping vehicle.
+#[derive(Debug, Clone)]
+struct Sleep {
+    /// Edge (fixed while asleep — sleeps never span edge transitions).
+    edge: usize,
+    /// Lane (fixed while asleep).
+    lane: u32,
+    /// Movement replay cursor: front position as of step `settled`.
+    pos: f64,
+    /// Independent observation replay cursor (same bit sequence as `pos`;
+    /// observation can lag movement within a step because the ticked engine
+    /// observes detectors *after* the overlap clamp).
+    obs_pos: f64,
+    /// Per-tick advance, bit-identical to phase 2's `v * dt`.
+    advance: f64,
+    /// Replay of the simulation clock for deferred observation.
+    time: f64,
+    /// Last step index whose movement is applied to `pos`.
+    settled: u64,
+    /// Last step index whose detector observation has been replayed.
+    observed: u64,
+    /// Whether the edge carries any span detector (fixed while asleep; the
+    /// engine requires detectors to be installed before stepping).
+    on_detector_edge: bool,
+}
+
+/// One watch-interval registration: wake `id` when a disturbance lands in
+/// `[from, to]` on the registered bucket. `moves` selects whether routine
+/// *move*-class disturbances (vehicles already present advancing, leaving,
+/// or exiting) fire the watcher, or only *entry*-class ones (a vehicle
+/// newly appearing in the interval: insertion, lane change in, edge
+/// crossing in, overlap clamp). Parked sleepers watch their obstacle
+/// directly and need both; a cruise sleeper's interval interior is
+/// provably vehicle-free up to its anchor — which is tracked by an
+/// explicit dependency instead — so it subscribes to entries only, and
+/// the routine churn ahead of the anchor (exits included) stays silent.
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    id: VehicleId,
+    gen: u32,
+    from: f64,
+    to: f64,
+    moves: bool,
+}
+
+/// Minimum profitable sleep length; shorter horizons stay awake.
+const MIN_SLEEP_TICKS: u64 = 3;
+/// Cap on a cruise sleep horizon (bounds scan reach and heap churn).
+const HORIZON_CAP_TICKS: u64 = 512;
+/// A cruise sleeper keeps this much room before its edge end, absorbing
+/// the sub-nanometre drift of repeated addition versus `n * advance`.
+const EDGE_MARGIN: f64 = 0.5;
+/// Slack added to the cruise clear-window reach for scan-threshold ties.
+const REACH_SLACK: f64 = 1.0;
+/// Gap slack for the convoy eligibility check. The ticked engine
+/// recomputes the bumper gap from replayed positions every tick; although
+/// both vehicles add the same advance, the float low bits of the
+/// difference drift within a sub-picometre band over a sleep window.
+/// Requiring the model to hold the speed with this much *less* gap (safe
+/// speed is monotone in gap for the bundled models) absorbs the entire
+/// band, so followers whose safe speed sits within an ulp of desired —
+/// the ones the ticked engine nudges below desired mid-window — stay
+/// awake instead of freezing incorrectly.
+const CONVOY_GAP_SLACK: f64 = 1e-6;
+
+/// The nearest leader along a cruising vehicle's route when no red stop
+/// line precedes it — the anchor a convoy sleep can freeze against.
+#[derive(Debug, Clone, Copy)]
+struct ConvoyLead {
+    id: VehicleId,
+    /// Bumper gap, computed exactly as the obstacle scan computes it.
+    gap: f64,
+    /// Index into the *follower's* route of the edge the leader occupies.
+    route_idx: usize,
+}
+
+/// The discrete-event engine: wraps a [`Simulation`] and mirrors its step
+/// phases over the awake subset of vehicles (see the [module docs](self)).
+#[derive(Debug)]
+pub struct EventSimulation {
+    sim: Simulation,
+    sched: Scheduler,
+    /// Sleep state, indexed by `VehicleId.0`.
+    sleeps: Vec<Option<Sleep>>,
+    /// Wake generation per vehicle id; bumping it invalidates every
+    /// outstanding watcher registration and scheduled wake.
+    gens: Vec<u32>,
+    awake: BTreeSet<VehicleId>,
+    /// Watch intervals per `(edge, lane)` bucket.
+    watchers: BTreeMap<(usize, u32), Vec<Watcher>>,
+    /// Convoy dependents per anchor id: followers frozen against the
+    /// anchor's constant advance, woken when the anchor *deviates* from
+    /// that plan (speed-bit change, lane change, edge crossing, or exit).
+    /// A merely awake anchor that keeps reproducing its frozen moves
+    /// leaves its dependents asleep — this is what stops one exit or
+    /// crossing from unzipping an entire platoon chain.
+    deps: BTreeMap<u64, Vec<(VehicleId, u32)>>,
+    /// Sleepers per bucket — lets settling skip untouched buckets in O(1).
+    sleeper_count: BTreeMap<(usize, u32), u32>,
+    /// Buckets mutated this step (insertions, moves, lane changes, exits);
+    /// the overlap pass visits exactly these.
+    dirty: BTreeSet<(usize, u32)>,
+    sleeping: usize,
+    // Telemetry tallies.
+    wakeups: u64,
+    disturb_wakes: u64,
+    sleeps_total: u64,
+    // Scratch buffers.
+    lc_queue: BTreeSet<VehicleId>,
+    just_woken: Vec<VehicleId>,
+    scratch_ids: Vec<VehicleId>,
+    scratch_speeds: Vec<(VehicleId, MetersPerSecond)>,
+    scratch_exited: Vec<VehicleId>,
+    scratch_disturbs: Vec<(usize, u32, f64, bool)>,
+    scratch_deviated: Vec<VehicleId>,
+    scratch_buckets: Vec<(usize, u32)>,
+    scratch_envelope: Vec<(usize, u32, f64, f64)>,
+    scratch_order: Vec<(f64, VehicleId)>,
+    scratch_hits: Vec<VehicleId>,
+    scratch_sleep_order: Vec<(usize, u32, f64, VehicleId)>,
+    scratch_retry: Vec<VehicleId>,
+}
+
+impl EventSimulation {
+    /// Wraps a simulation for event-driven stepping. Forces
+    /// [`ScanMode::Indexed`] (the lane index doubles as the queue-based
+    /// lane state); every vehicle starts awake.
+    ///
+    /// Install detectors, demands, and signals on the [`Simulation`]
+    /// *before* wrapping it — the engine snapshots detector placement when
+    /// vehicles go to sleep.
+    #[must_use]
+    pub fn new(mut sim: Simulation) -> Self {
+        sim.set_scan_mode(ScanMode::Indexed);
+        let awake: BTreeSet<VehicleId> = sim.vehicles.keys().copied().collect();
+        let cap = sim.next_vehicle_id as usize;
+        Self {
+            sim,
+            sched: Scheduler::new(),
+            sleeps: vec![None; cap],
+            gens: vec![0; cap],
+            awake,
+            watchers: BTreeMap::new(),
+            deps: BTreeMap::new(),
+            sleeper_count: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            sleeping: 0,
+            wakeups: 0,
+            disturb_wakes: 0,
+            sleeps_total: 0,
+            lc_queue: BTreeSet::new(),
+            just_woken: Vec::new(),
+            scratch_ids: Vec::new(),
+            scratch_speeds: Vec::new(),
+            scratch_exited: Vec::new(),
+            scratch_disturbs: Vec::new(),
+            scratch_deviated: Vec::new(),
+            scratch_buckets: Vec::new(),
+            scratch_envelope: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_hits: Vec::new(),
+            scratch_sleep_order: Vec::new(),
+            scratch_retry: Vec::new(),
+        }
+    }
+
+    /// Read access to the wrapped simulation. Vehicle *positions* are only
+    /// current directly after [`Self::flush`]; speeds always are.
+    #[must_use]
+    pub fn traffic(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Unwraps the simulation, settling every sleeper first. The returned
+    /// simulation can continue ticking conventionally.
+    #[must_use]
+    pub fn into_inner(mut self) -> Simulation {
+        self.flush();
+        self.sim
+    }
+
+    /// Number of currently sleeping vehicles.
+    #[must_use]
+    pub fn sleeping_count(&self) -> usize {
+        self.sleeping
+    }
+
+    /// Number of currently awake vehicles.
+    #[must_use]
+    pub fn awake_count(&self) -> usize {
+        self.awake.len()
+    }
+
+    /// Entries in the wake-event heap (including stale ones).
+    #[must_use]
+    pub fn scheduled_wakes(&self) -> usize {
+        self.sched.len()
+    }
+
+    /// Settles every sleeping vehicle to the current tick boundary, making
+    /// all positions (and pending detector observations) current. Sleepers
+    /// stay asleep — this is a read barrier, not a wake.
+    pub fn flush(&mut self) {
+        if self.sleeping == 0 {
+            return;
+        }
+        let target = self.sim.ticks.saturating_sub(1);
+        let mut buckets = core::mem::take(&mut self.scratch_buckets);
+        buckets.clear();
+        buckets.extend(
+            self.sleeper_count
+                .iter()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(&k, _)| k),
+        );
+        for &(e, l) in &buckets {
+            self.settle_bucket(e, l, target, target);
+        }
+        self.scratch_buckets = buckets;
+    }
+
+    /// Runs whole steps until at least `duration` has elapsed.
+    pub fn run_for(&mut self, duration: Seconds) {
+        let end = self.sim.time + duration;
+        while self.sim.time < end {
+            self.step();
+        }
+    }
+
+    /// Advances the simulation by one step, ticking only awake vehicles.
+    ///
+    /// Mirrors [`Simulation::step`] phase for phase; every expression that
+    /// touches vehicle state is copied verbatim so the `sigma == 0`
+    /// trajectory is bit-identical to the ticked engine's.
+    pub fn step(&mut self) {
+        let t = self.sim.ticks;
+        let tick = t as i64;
+        let base = self.sim.step_baselines();
+        let sched_base = (
+            self.sched.scheduled(),
+            self.sched.fired(),
+            self.sched.cancelled(),
+        );
+        let wake_base = self.wakeups;
+        let sleeps_base = self.sleeps_total;
+        let span = self.sim.telemetry.span("sim.step", tick);
+        let dt = self.sim.config.step;
+
+        // Timer wakes due at this step join it before any phase runs.
+        loop {
+            let Self { sched, gens, .. } = self;
+            let due = sched.pop_due(t, |v| gens.get(v.0 as usize).copied().unwrap_or(u32::MAX));
+            match due {
+                Some(id) => {
+                    self.wake_pre(id, t);
+                }
+                None => break,
+            }
+        }
+        self.just_woken.clear();
+
+        self.sim.release_due_arrivals();
+        self.try_insertions(t);
+        self.perform_lane_changes(t);
+
+        // Phase 1: next speeds from the previous state, awake only, id
+        // order. Buckets the obstacle scan reads are settled first.
+        let prev = t.saturating_sub(1);
+        let mut ids = core::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(self.awake.iter().copied());
+        let mut next_speeds = core::mem::take(&mut self.scratch_speeds);
+        next_speeds.clear();
+        self.sim.stat_queries += ids.len() as u64;
+        for &id in &ids {
+            let lane = self.sim.vehicles[&id].lane;
+            self.settle_route(id, lane, self.sim.config.lookahead.value(), prev, prev);
+            let veh = &self.sim.vehicles[&id];
+            let edge = self
+                .sim
+                .network
+                .edge(veh.current_edge())
+                .expect("route edges exist");
+            let desired =
+                MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
+            let ahead = self.sim.obstacle_ahead(veh);
+            let noise: f64 = self.sim.rng.gen_range(0.0..1.0);
+            let v = self
+                .sim
+                .model
+                .next_speed(&veh.params, veh.speed, desired, ahead, dt, noise);
+            next_speeds.push((id, v));
+        }
+
+        // Phase 2: move awake vehicles; record disturbances and dirty
+        // buckets for the watcher and overlap passes.
+        let mut exited = core::mem::take(&mut self.scratch_exited);
+        exited.clear();
+        let mut disturbs = core::mem::take(&mut self.scratch_disturbs);
+        disturbs.clear();
+        let mut deviated = core::mem::take(&mut self.scratch_deviated);
+        deviated.clear();
+        {
+            let Self {
+                sim, dirty, deps, ..
+            } = self;
+            let time = sim.time;
+            let crate::sim::Simulation {
+                network,
+                signals,
+                vehicles,
+                index,
+                ..
+            } = sim;
+            for &(id, v) in &next_speeds {
+                let red_stop = |edge_id: EdgeId| -> bool {
+                    let edge = network.edge(edge_id).expect("route edges exist");
+                    signals
+                        .get(&edge.to.0)
+                        .map(|p| !p.is_green(time))
+                        .unwrap_or(false)
+                };
+                let veh = vehicles.get_mut(&id).expect("vehicle present");
+                let from = (veh.current_edge(), veh.lane, veh.position.value());
+                let old_speed_bits = veh.speed.value().to_bits();
+                let mut did_exit = false;
+                let mut crossed = false;
+                veh.speed = v;
+                let mut advance = v.value() * dt.value();
+                loop {
+                    let edge_id = veh.current_edge();
+                    let edge_len = network.edge(edge_id).expect("route edges exist").length;
+                    let room = edge_len.value() - veh.position.value();
+                    if advance < room {
+                        veh.position += Meters::new(advance);
+                        break;
+                    }
+                    if red_stop(edge_id) {
+                        veh.position = edge_len - Meters::new(0.1);
+                        veh.speed = MetersPerSecond::ZERO;
+                        break;
+                    }
+                    if veh.on_final_edge() {
+                        did_exit = true;
+                        break;
+                    }
+                    advance -= room;
+                    veh.route_index += 1;
+                    veh.position = Meters::ZERO;
+                    crossed = true;
+                    let next_lanes = network
+                        .edge(veh.current_edge())
+                        .expect("route edges exist")
+                        .lanes;
+                    veh.lane = veh.lane.min(next_lanes - 1);
+                }
+                if did_exit {
+                    exited.push(id);
+                    index.remove(from.0, from.1, from.2, id);
+                    disturbs.push((from.0 .0, from.1, from.2, false));
+                    dirty.insert((from.0 .0, from.1));
+                } else {
+                    let veh = &vehicles[&id];
+                    let to = (veh.current_edge(), veh.lane, veh.position.value());
+                    if to != from {
+                        index.relocate(from, to, id);
+                        // The departure is move-class; arriving on a *new*
+                        // edge is an entry (a vehicle appearing between a
+                        // cross-edge sleeper and its anchor must wake it).
+                        disturbs.push((from.0 .0, from.1, from.2, false));
+                        disturbs.push((to.0 .0, to.1, to.2, crossed));
+                        dirty.insert((from.0 .0, from.1));
+                        dirty.insert((to.0 .0, to.1));
+                    }
+                    if deps.contains_key(&id.0)
+                        && (crossed
+                            || to.1 != from.1
+                            || veh.speed.value().to_bits() != old_speed_bits)
+                    {
+                        deviated.push(id);
+                    }
+                }
+            }
+        }
+        for &id in &exited {
+            self.sim.vehicles.remove(&id);
+            self.sim.last_lane_change.remove(&id);
+            self.sim.exited += 1;
+            let now = self.sim.time;
+            self.sim.exits_per_hour.add(now, 1.0);
+            self.awake.remove(&id);
+            self.gens[id.0 as usize] = self.gens[id.0 as usize].wrapping_add(1);
+            // An exit is the terminal deviation: convoy followers frozen
+            // against this vehicle re-evaluate from the next tick on.
+            self.deviate(id, t, true);
+        }
+        self.scratch_ids = ids;
+        self.scratch_speeds = next_speeds;
+        self.scratch_exited = exited;
+        // Movement disturbances take effect next tick (the moves of this
+        // tick already used pre-move state, as in the ticked engine).
+        for &(e, l, p, entry) in &disturbs {
+            self.disturb(e, l, p, t, true, entry);
+        }
+        disturbs.clear();
+        self.scratch_disturbs = disturbs;
+        for &id in &deviated {
+            self.deviate(id, t, true);
+        }
+        deviated.clear();
+        self.scratch_deviated = deviated;
+
+        self.resolve_overlaps(t);
+        self.observe_awake(dt);
+        self.sim.time += dt;
+        drop(span);
+        // Sleep scan runs at the post-step clock — exactly the state the
+        // next phase 1 will read.
+        self.sleep_scan(t);
+        self.sim.emit_step_telemetry(tick, base);
+        if self.sim.telemetry.is_enabled() {
+            self.sim
+                .telemetry
+                .gauge("sim.event.sleeping", tick, self.sleeping as f64);
+            self.sim
+                .telemetry
+                .gauge("sim.event.heap", tick, self.sched.len() as f64);
+            let scheduled = self.sched.scheduled() - sched_base.0;
+            if scheduled > 0 {
+                self.sim
+                    .telemetry
+                    .counter("sim.event.scheduled", tick, scheduled);
+            }
+            let fired = self.sched.fired() - sched_base.1;
+            if fired > 0 {
+                self.sim.telemetry.counter("sim.event.fired", tick, fired);
+            }
+            let cancelled = self.sched.cancelled() - sched_base.2;
+            if cancelled > 0 {
+                self.sim
+                    .telemetry
+                    .counter("sim.event.cancelled", tick, cancelled);
+            }
+            let wakeups = self.wakeups - wake_base;
+            if wakeups > 0 {
+                self.sim
+                    .telemetry
+                    .counter("sim.event.wakeups", tick, wakeups);
+            }
+            let slept = self.sleeps_total - sleeps_base;
+            if slept > 0 {
+                self.sim.telemetry.counter("sim.event.sleeps", tick, slept);
+            }
+        }
+        self.sim.ticks += 1;
+    }
+
+    /// FIFO insertion over settled entry-edge buckets — the indexed arm of
+    /// [`Simulation::try_insertions`], plus disturbance notification.
+    fn try_insertions(&mut self, t: u64) {
+        let prev = t.saturating_sub(1);
+        loop {
+            let Some((front_edge, front_len)) = self
+                .sim
+                .insert_queue
+                .front()
+                .map(|(route, params)| (route[0], params.length.value()))
+            else {
+                return;
+            };
+            let entry_edge = front_edge;
+            let lanes = self
+                .sim
+                .network
+                .edge(entry_edge)
+                .expect("route edges exist")
+                .lanes;
+            for lane in 0..lanes {
+                self.settle_bucket(entry_edge.0, lane, prev, prev);
+            }
+            let (lane, clearance, nearest_rear) = (0..lanes)
+                .map(|lane| {
+                    let rear = self
+                        .sim
+                        .index
+                        .bucket(entry_edge, lane)
+                        .iter()
+                        .map(|&(_, id)| {
+                            let v = &self.sim.vehicles[&id];
+                            v.position.value() - v.params.length.value()
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    (lane, rear - front_len, rear)
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one lane");
+            if clearance < self.sim.config.insertion_headway.value() {
+                return;
+            }
+            let (route, params) = self.sim.insert_queue.pop_front().expect("checked front");
+            let limit = self
+                .sim
+                .network
+                .edge(route[0])
+                .expect("route edges exist")
+                .speed_limit
+                .value()
+                .min(params.max_speed.value());
+            let depart = if nearest_rear < limit * params.tau + params.min_gap.value() {
+                0.0
+            } else {
+                limit
+            };
+            let id = VehicleId(self.sim.next_vehicle_id);
+            self.sim.next_vehicle_id += 1;
+            let mut veh = Vehicle::new(id, params, route);
+            veh.position = params.length;
+            veh.lane = lane;
+            veh.speed = MetersPerSecond::new(depart);
+            let pos = veh.position.value();
+            self.sim.index.insert(entry_edge, lane, pos, id);
+            self.sim.vehicles.insert(id, veh);
+            self.sim.spawned += 1;
+            let now = self.sim.time;
+            self.sim.spawns_per_hour.add(now, 1.0);
+            self.ensure_capacity();
+            self.awake.insert(id);
+            self.dirty.insert((entry_edge.0, lane));
+            // An insertion is visible to this tick's phases already.
+            self.disturb(entry_edge.0, lane, pos, t, false, true);
+        }
+    }
+
+    /// The lane-change phase over awake vehicles — the indexed arm of
+    /// [`Simulation::perform_lane_changes`], processed through a queue so a
+    /// sleeper woken by an earlier change still gets its own consideration
+    /// this pass (in id order, matching the ticked engine).
+    fn perform_lane_changes(&mut self, t: u64) {
+        let prev = t.saturating_sub(1);
+        let dt = self.sim.config.step;
+        let lookahead = self.sim.config.lookahead.value();
+        let mut queue = core::mem::take(&mut self.lc_queue);
+        queue.clear();
+        queue.extend(self.awake.iter().copied());
+        let mut queries: u64 = 0;
+        while let Some(id) = queue.pop_first() {
+            let Some(veh) = self.sim.vehicles.get(&id) else {
+                continue;
+            };
+            let veh = veh.clone();
+            let edge = self
+                .sim
+                .network
+                .edge(veh.current_edge())
+                .expect("route edges exist");
+            if edge.lanes < 2 {
+                continue;
+            }
+            if let Some(&last) = self.sim.last_lane_change.get(&id) {
+                if self.sim.time.value() - last < self.sim.config.lane_change_cooldown {
+                    continue;
+                }
+            }
+            let lanes = edge.lanes;
+            let desired =
+                MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
+            self.settle_route(id, veh.lane, lookahead, prev, prev);
+            let prospect = |sim: &Simulation, queries: &mut u64, lane: u32| {
+                *queries += 1;
+                let ahead = sim.obstacle_ahead_in_lane(&veh, lane);
+                sim.model
+                    .next_speed(&veh.params, veh.speed, desired, ahead, dt, 0.0)
+                    .value()
+            };
+            let current = prospect(&self.sim, &mut queries, veh.lane);
+            let mut candidates: [Option<u32>; 2] = [None, None];
+            if veh.lane + 1 < lanes {
+                candidates[0] = Some(veh.lane + 1);
+            }
+            if veh.lane > 0 {
+                candidates[1] = Some(veh.lane - 1);
+            }
+            let mut best: Option<(u32, f64)> = None;
+            for lane in candidates.into_iter().flatten() {
+                self.settle_route(id, lane, lookahead, prev, prev);
+                let v = prospect(&self.sim, &mut queries, lane);
+                if v < current + self.sim.config.lane_change_gain {
+                    continue;
+                }
+                queries += 1;
+                if !self.sim.lane_is_safe(&veh, lane) {
+                    continue;
+                }
+                if best.is_none_or(|(_, bv)| v.total_cmp(&bv).is_ge()) {
+                    best = Some((lane, v));
+                }
+            }
+            if let Some((lane, _)) = best {
+                let now = self.sim.time.value();
+                self.sim.vehicles.get_mut(&id).expect("id valid").lane = lane;
+                let pos = veh.position.value();
+                self.sim.index.relocate(
+                    (veh.current_edge(), veh.lane, pos),
+                    (veh.current_edge(), lane, pos),
+                    id,
+                );
+                self.sim.last_lane_change.insert(id, now);
+                let e = veh.current_edge().0;
+                self.dirty.insert((e, veh.lane));
+                self.dirty.insert((e, lane));
+                // A change is visible to this tick already: sleepers it
+                // disturbs join the current pass if their turn (id order)
+                // has not passed yet; skipping an earlier id is exact
+                // because nothing it could see has changed.
+                self.just_woken.clear();
+                // Leaving a lane is move-class (a cruise interval's
+                // interior holds no vehicle that could leave it; a convoy
+                // anchor's own change fires the dependency below);
+                // arriving in one is an entry.
+                self.disturb(e, veh.lane, pos, t, false, false);
+                self.disturb(e, lane, pos, t, false, true);
+                self.deviate(id, t, false);
+                for &w in &self.just_woken {
+                    if w > id {
+                        queue.insert(w);
+                    }
+                }
+            }
+        }
+        self.lc_queue = queue;
+        self.sim.stat_queries += queries;
+    }
+
+    /// Overlap resolution over this step's dirty buckets only — per bucket
+    /// the exact arithmetic of [`Simulation::resolve_overlaps`]'s indexed
+    /// arm. Untouched buckets were clean after the previous pass and no
+    /// position in them changed, so skipping them is exact.
+    fn resolve_overlaps(&mut self, t: u64) {
+        let prev = t.saturating_sub(1);
+        let mut buckets = core::mem::take(&mut self.scratch_buckets);
+        buckets.clear();
+        buckets.extend(core::mem::take(&mut self.dirty));
+        let mut disturbs = core::mem::take(&mut self.scratch_disturbs);
+        disturbs.clear();
+        let mut order = core::mem::take(&mut self.scratch_order);
+        let mut woken: Vec<VehicleId> = Vec::new();
+        for &(e, l) in &buckets {
+            // Clamping compares final positions, so sleepers in the bucket
+            // must carry this tick's frozen move; their tick-`t`
+            // observation stays deferred until after the clamp.
+            self.settle_bucket(e, l, t, prev);
+            let mut clamps: u64 = 0;
+            let mut repairs: u64 = 0;
+            {
+                let Self { sim, sleeps, .. } = self;
+                let crate::sim::Simulation {
+                    vehicles, index, ..
+                } = sim;
+                let Some(bucket) = index.bucket_vec_mut(e, l) else {
+                    continue;
+                };
+                if bucket.len() < 2 {
+                    continue;
+                }
+                order.clear();
+                let mut end = bucket.len();
+                while end > 0 {
+                    let mut start = end - 1;
+                    while start > 0 && bucket[start - 1].0.total_cmp(&bucket[end - 1].0).is_eq() {
+                        start -= 1;
+                    }
+                    order.extend_from_slice(&bucket[start..end]);
+                    end = start;
+                }
+                let mut changed = false;
+                let lead = &vehicles[&order[0].1];
+                let mut lead_rear = lead.position.value() - lead.params.length.value();
+                let mut lead_speed = lead.speed.value();
+                for entry in order.iter_mut().skip(1) {
+                    let limit = lead_rear - 0.1;
+                    let follower = vehicles.get_mut(&entry.1).expect("id valid");
+                    if follower.position.value() > limit {
+                        let old = follower.position.value();
+                        follower.position =
+                            Meters::new(limit.max(follower.params.length.value() * 0.0));
+                        follower.speed =
+                            MetersPerSecond::new(follower.speed.value().min(lead_speed));
+                        clamps += 1;
+                        changed = true;
+                        entry.0 = follower.position.value();
+                        // Clamps are the one backward motion; they stay
+                        // entry-class so every envelope hears them.
+                        disturbs.push((e, l, old, true));
+                        disturbs.push((e, l, follower.position.value(), true));
+                        // A clamped sleeper's frozen plan is void: wake it.
+                        if sleeps.get(entry.1 .0 as usize).is_some_and(|s| s.is_some()) {
+                            woken.push(entry.1);
+                        }
+                    }
+                    lead_rear = follower.position.value() - follower.params.length.value();
+                    lead_speed = follower.speed.value();
+                }
+                if changed {
+                    bucket.clear();
+                    bucket.extend(order.iter().rev().copied());
+                    if crate::index::sort_bucket(bucket) {
+                        repairs += 1;
+                    }
+                }
+            }
+            self.sim.stat_clamps += clamps;
+            self.sim.index.note_repairs(repairs);
+            for id in woken.drain(..) {
+                // Settled to `t` already; the clamp rewrote its position.
+                // Drop the sleep record — its tick-`t` observation runs in
+                // this step's awake observe pass at the clamped position,
+                // exactly as the ticked engine would.
+                self.drop_sleep(id);
+            }
+        }
+        for &(e, l, p, entry) in &disturbs {
+            self.disturb(e, l, p, t, true, entry);
+        }
+        disturbs.clear();
+        self.scratch_disturbs = disturbs;
+        self.scratch_order = order;
+        buckets.clear();
+        self.scratch_buckets = buckets;
+    }
+
+    /// Detector observation for awake vehicles (sleepers replay theirs
+    /// lazily during settling, at the same positions and clock bits).
+    fn observe_awake(&mut self, dt: Seconds) {
+        if self.sim.detectors.is_empty() {
+            return;
+        }
+        let Self { sim, awake, .. } = self;
+        let crate::sim::Simulation {
+            vehicles,
+            detectors,
+            detectors_by_edge,
+            detector_touched,
+            time,
+            ..
+        } = sim;
+        for id in awake.iter() {
+            let veh = &vehicles[id];
+            let Some(on_edge) = detectors_by_edge.get(&veh.current_edge().0) else {
+                continue;
+            };
+            for &di in on_edge {
+                let det = &mut detectors[di];
+                let key = (veh.id, di);
+                let first = !detector_touched.contains(&key);
+                let before = det.total_occupancy();
+                det.observe(
+                    veh.current_edge(),
+                    veh.position,
+                    veh.params.length,
+                    *time,
+                    dt,
+                    first,
+                );
+                if first && det.total_occupancy() > before {
+                    detector_touched.insert(key);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Settling
+    // ------------------------------------------------------------------
+
+    /// Settles every sleeper in one bucket: movement replay to
+    /// `move_target`, observation replay to `obs_target` (both inclusive
+    /// step indices). Bucket entry positions and vehicle records are
+    /// updated in place. A bucket is sorted by *stored* positions, which
+    /// mix stale (sleeper) and current (awake) coordinates — an awake
+    /// vehicle can legitimately pass a sleeper's stale stored position
+    /// while staying physically behind it — so settling re-sorts by
+    /// `(position, id)` afterwards, which reproduces exactly the bucket
+    /// the ticked engine maintains (the key is unique per entry).
+    fn settle_bucket(&mut self, edge: usize, lane: u32, move_target: u64, obs_target: u64) {
+        match self.sleeper_count.get(&(edge, lane)) {
+            Some(&n) if n > 0 => {}
+            _ => return,
+        }
+        let Some(mut bucket) = self.sim.index.take_bucket(edge, lane) else {
+            return;
+        };
+        let mut moved = false;
+        {
+            let Self { sim, sleeps, .. } = self;
+            let crate::sim::Simulation {
+                vehicles,
+                detectors,
+                detectors_by_edge,
+                detector_touched,
+                config,
+                ..
+            } = sim;
+            let dt = config.step;
+            for entry in bucket.iter_mut() {
+                let id = entry.1;
+                let Some(sleep) = sleeps.get_mut(id.0 as usize).and_then(|s| s.as_mut()) else {
+                    continue;
+                };
+                if sleep.settled < move_target {
+                    if sleep.advance == 0.0 {
+                        sleep.settled = move_target;
+                    } else {
+                        while sleep.settled < move_target {
+                            sleep.pos += sleep.advance;
+                            sleep.settled += 1;
+                        }
+                        entry.0 = sleep.pos;
+                        vehicles
+                            .get_mut(&id)
+                            .expect("sleeping vehicle present")
+                            .position = Meters::new(sleep.pos);
+                        moved = true;
+                    }
+                }
+                if sleep.observed < obs_target.min(sleep.settled) {
+                    let target = obs_target.min(sleep.settled);
+                    if sleep.on_detector_edge {
+                        let len = vehicles[&id].params.length;
+                        let dets = detectors_by_edge
+                            .get(&edge)
+                            .map(Vec::as_slice)
+                            .unwrap_or(&[]);
+                        while sleep.observed < target {
+                            sleep.obs_pos += sleep.advance;
+                            for &di in dets {
+                                let det = &mut detectors[di];
+                                let key = (id, di);
+                                let first = !detector_touched.contains(&key);
+                                let before = det.total_occupancy();
+                                det.observe(
+                                    EdgeId(edge),
+                                    Meters::new(sleep.obs_pos),
+                                    len,
+                                    Seconds::new(sleep.time),
+                                    dt,
+                                    first,
+                                );
+                                if first && det.total_occupancy() > before {
+                                    detector_touched.insert(key);
+                                }
+                            }
+                            sleep.time += dt.value();
+                            sleep.observed += 1;
+                        }
+                    } else {
+                        sleep.observed = target;
+                    }
+                }
+            }
+        }
+        if moved {
+            let _ = crate::index::sort_bucket(&mut bucket);
+        }
+        self.sim.index.put_bucket(edge, lane, bucket);
+    }
+
+    /// Settles every bucket an obstacle scan from `(vehicle, lane)` could
+    /// read: the route walk within `reach`, whole buckets (covering
+    /// followers for the lane-safety check too).
+    fn settle_route(&mut self, id: VehicleId, lane: u32, reach: f64, move_t: u64, obs_t: u64) {
+        if self.sleeping == 0 {
+            return;
+        }
+        let mut list = core::mem::take(&mut self.scratch_buckets);
+        list.clear();
+        {
+            let veh = &self.sim.vehicles[&id];
+            let mut traveled = 0.0;
+            for idx in veh.route_index..veh.route.len() {
+                let edge_id = veh.route[idx];
+                let edge = self.sim.network.edge(edge_id).expect("route edges exist");
+                list.push((edge_id.0, lane.min(edge.lanes - 1)));
+                let dist_to_end = traveled
+                    + (edge.length.value()
+                        - if idx == veh.route_index {
+                            veh.position.value()
+                        } else {
+                            0.0
+                        });
+                traveled = dist_to_end;
+                if traveled > reach {
+                    break;
+                }
+            }
+        }
+        for &(e, l) in &list {
+            self.settle_bucket(e, l, move_t, obs_t);
+        }
+        list.clear();
+        self.scratch_buckets = list;
+    }
+
+    // ------------------------------------------------------------------
+    // Waking
+    // ------------------------------------------------------------------
+
+    /// Wakes `id` into the *current* step `t` (used before phase 2): the
+    /// sleeper is settled through step `t - 1` and participates in this
+    /// tick's phases like any awake vehicle.
+    fn wake_pre(&mut self, id: VehicleId, t: u64) -> bool {
+        let Some(sleep) = self.sleeps.get(id.0 as usize).and_then(|s| s.as_ref()) else {
+            return false;
+        };
+        let (e, l) = (sleep.edge, sleep.lane);
+        let prev = t.saturating_sub(1);
+        self.settle_bucket(e, l, prev, prev);
+        self.drop_sleep(id);
+        true
+    }
+
+    /// Wakes `id` *after* this step's movement (used by phase-2 and clamp
+    /// disturbances): its frozen tick-`t` move is applied by settling, its
+    /// tick-`t` detector observation runs in this step's awake observe
+    /// pass, and it computes its own speed again from step `t + 1` on.
+    fn wake_post(&mut self, id: VehicleId, t: u64) -> bool {
+        let Some(sleep) = self.sleeps.get(id.0 as usize).and_then(|s| s.as_ref()) else {
+            return false;
+        };
+        let (e, l) = (sleep.edge, sleep.lane);
+        self.settle_bucket(e, l, t, t.saturating_sub(1));
+        self.drop_sleep(id);
+        true
+    }
+
+    /// Removes the sleep record and rejoins the awake set. The generation
+    /// bump lazily invalidates watcher registrations and scheduled wakes.
+    fn drop_sleep(&mut self, id: VehicleId) {
+        let Some(sleep) = self.sleeps[id.0 as usize].take() else {
+            return;
+        };
+        self.gens[id.0 as usize] = self.gens[id.0 as usize].wrapping_add(1);
+        self.awake.insert(id);
+        self.sleeping -= 1;
+        if let Some(n) = self.sleeper_count.get_mut(&(sleep.edge, sleep.lane)) {
+            *n -= 1;
+        }
+        self.wakeups += 1;
+    }
+
+    /// Notifies watchers of a state change at front position `p` on bucket
+    /// `(edge, lane)`. `post` selects [`Self::wake_post`] semantics
+    /// (movement-phase and clamp disturbances) over [`Self::wake_pre`]
+    /// (insertion and lane-change disturbances, visible same-tick).
+    /// `entry` marks a vehicle newly appearing at `p` (insertion, lane
+    /// change in, edge crossing in, clamp); move-class disturbances only
+    /// fire watchers that asked for them.
+    fn disturb(&mut self, edge: usize, lane: u32, p: f64, t: u64, post: bool, entry: bool) {
+        let mut hits = core::mem::take(&mut self.scratch_hits);
+        hits.clear();
+        {
+            let Self { watchers, gens, .. } = self;
+            let Some(ws) = watchers.get_mut(&(edge, lane)) else {
+                self.scratch_hits = hits;
+                return;
+            };
+            ws.retain(|w| {
+                if gens.get(w.id.0 as usize).is_none_or(|&g| g != w.gen) {
+                    return false;
+                }
+                if (entry || w.moves) && p >= w.from && p <= w.to {
+                    hits.push(w.id);
+                }
+                true
+            });
+        }
+        for &id in &hits {
+            let woke = if post {
+                self.wake_post(id, t)
+            } else {
+                self.wake_pre(id, t)
+            };
+            if woke {
+                self.disturb_wakes += 1;
+                self.just_woken.push(id);
+            }
+        }
+        hits.clear();
+        self.scratch_hits = hits;
+    }
+
+    /// Wakes every live convoy dependent of `anchor` — followers whose
+    /// frozen plan assumed its constant advance — after the anchor
+    /// deviated from that plan: its speed bits changed, it changed lane,
+    /// crossed onto its next edge, or exited. A woken dependent does *not*
+    /// recursively deviate its own dependents: while it keeps reproducing
+    /// its frozen moves their plans still hold, so a congestion wave
+    /// propagates backward one vehicle per tick exactly as the ticked
+    /// engine's does, instead of unzipping the whole chain at once.
+    fn deviate(&mut self, anchor: VehicleId, t: u64, post: bool) {
+        let Some(followers) = self.deps.remove(&anchor.0) else {
+            return;
+        };
+        for (fid, gen) in followers {
+            if self.gens.get(fid.0 as usize).copied() != Some(gen) {
+                continue;
+            }
+            let woke = if post {
+                self.wake_post(fid, t)
+            } else {
+                self.wake_pre(fid, t)
+            };
+            if woke {
+                self.disturb_wakes += 1;
+                self.just_woken.push(fid);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sleep eligibility
+    // ------------------------------------------------------------------
+
+    /// End-of-step scan: puts provably frozen awake vehicles to sleep. Runs
+    /// after the clock advance, so eligibility is judged against exactly
+    /// the state the next phase 1 will read.
+    ///
+    /// Vehicles are visited front-to-back per `(edge, lane)` bucket, so a
+    /// platoon's head sleeps before its followers and the whole chain can
+    /// anchor convoys in a single pass instead of re-forming one vehicle
+    /// per tick. Followers whose anchor lives in a bucket visited later
+    /// (a cross-edge convoy) are retried while anchors keep freezing.
+    fn sleep_scan(&mut self, t: u64) {
+        let mut order = core::mem::take(&mut self.scratch_sleep_order);
+        order.clear();
+        for &id in &self.awake {
+            let v = &self.sim.vehicles[&id];
+            order.push((v.current_edge().0, v.lane, v.position.value(), id));
+        }
+        order.sort_unstable_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(b.2.total_cmp(&a.2))
+                .then(a.3.cmp(&b.3))
+        });
+        let mut ids = core::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.extend(order.iter().map(|e| e.3));
+        order.clear();
+        self.scratch_sleep_order = order;
+        let mut retry = core::mem::take(&mut self.scratch_retry);
+        loop {
+            retry.clear();
+            let before = self.sleeping;
+            for &id in &ids {
+                let veh = &self.sim.vehicles[&id];
+                if veh.speed.value() == 0.0 {
+                    self.try_sleep_parked(id, t);
+                } else if veh.params.sigma == 0.0 && self.try_sleep_cruise(id, t) {
+                    retry.push(id);
+                }
+            }
+            if retry.is_empty() || self.sleeping == before {
+                break;
+            }
+            core::mem::swap(&mut ids, &mut retry);
+        }
+        retry.clear();
+        self.scratch_retry = retry;
+        self.scratch_ids = ids;
+    }
+
+    /// Parked sleep: the model returns exactly zero for every noise value
+    /// and no lane change can look attractive. Watches its obstacle
+    /// envelope (own and adjacent lanes) and the next flip of any visible
+    /// signal.
+    fn try_sleep_parked(&mut self, id: VehicleId, t: u64) {
+        let lookahead = self.sim.config.lookahead.value();
+        let (lane, lanes) = {
+            let veh = &self.sim.vehicles[&id];
+            let edge = self
+                .sim
+                .network
+                .edge(veh.current_edge())
+                .expect("route edges exist");
+            (veh.lane, edge.lanes)
+        };
+        self.settle_route(id, lane, lookahead, t, t);
+        if lane + 1 < lanes {
+            self.settle_route(id, lane + 1, lookahead, t, t);
+        }
+        if lane > 0 {
+            self.settle_route(id, lane - 1, lookahead, t, t);
+        }
+        let veh = self.sim.vehicles[&id].clone();
+        let edge = self
+            .sim
+            .network
+            .edge(veh.current_edge())
+            .expect("route edges exist");
+        let dt = self.sim.config.step;
+        let desired =
+            MetersPerSecond::new(edge.speed_limit.value().min(veh.params.max_speed.value()));
+        let ahead = self.sim.obstacle_ahead(&veh);
+        let lo = self
+            .sim
+            .model
+            .next_speed(&veh.params, veh.speed, desired, ahead, dt, 0.0)
+            .value();
+        let hi = self
+            .sim
+            .model
+            .next_speed(&veh.params, veh.speed, desired, ahead, dt, 1.0)
+            .value();
+        if lo != 0.0 || hi != 0.0 {
+            return;
+        }
+        // No lane-change desire, ignoring the cooldown (conservative): the
+        // own-lane prospect is `lo` (zero), so any adjacent prospect at or
+        // above the gain threshold keeps the vehicle awake.
+        if lanes >= 2 {
+            let mut adjacent: [Option<u32>; 2] = [None, None];
+            if veh.lane + 1 < lanes {
+                adjacent[0] = Some(veh.lane + 1);
+            }
+            if veh.lane > 0 {
+                adjacent[1] = Some(veh.lane - 1);
+            }
+            for l in adjacent.into_iter().flatten() {
+                let ahead_l = self.sim.obstacle_ahead_in_lane(&veh, l);
+                let p = self
+                    .sim
+                    .model
+                    .next_speed(&veh.params, veh.speed, desired, ahead_l, dt, 0.0)
+                    .value();
+                if p >= lo + self.sim.config.lane_change_gain {
+                    return;
+                }
+            }
+        }
+        let mut envs = core::mem::take(&mut self.scratch_envelope);
+        envs.clear();
+        self.collect_envelope(&veh, veh.lane, &mut envs);
+        if veh.lane + 1 < lanes {
+            self.collect_envelope(&veh, veh.lane + 1, &mut envs);
+        }
+        if veh.lane > 0 {
+            self.collect_envelope(&veh, veh.lane - 1, &mut envs);
+        }
+        let flip = self.nearest_flip_tick(&veh, t);
+        self.apply_sleep(id, &envs, flip, None, true, t);
+        envs.clear();
+        self.scratch_envelope = envs;
+    }
+
+    /// Cruise sleep: `sigma == 0` and speed already bit-equal to the
+    /// effective desired speed. Two frozen regimes, tried in order:
+    ///
+    /// * **Convoy** — the nearest obstacle is a leader (own edge or a
+    ///   later route edge with only green signals before it) that is
+    ///   itself asleep with a bit-identical per-tick advance. The gap is
+    ///   then constant while both sleep — a frozen leader never leaves its
+    ///   edge, so the scan recomputes the same distance every tick — and
+    ///   the model's output is the same every tick (verified at both noise
+    ///   extremes, against the obstacle the scan actually sees). Green
+    ///   signals before the leader cap the horizon at their next flip; a
+    ///   red before it vetoes the convoy outright (the stop line would be
+    ///   the nearer obstacle). The anchor dependency wakes the follower
+    ///   the tick the leader first *deviates* from the frozen advance;
+    ///   that tick is still bit-exact because phase 1 reads pre-move
+    ///   state, which the frozen plan matched. This is what lets an
+    ///   entire steady platoon sleep, with wake cascades propagating
+    ///   backward one vehicle per tick — the same speed congestion waves
+    ///   travel in the ticked engine — while an anchor that wakes but
+    ///   keeps reproducing its frozen moves leaves the chain asleep.
+    /// * **Clear window** — a window of `n` moves plus a full lookahead
+    ///   provably free of vehicles and red stop lines, where obstacles cap
+    ///   `n` instead of rejecting the sleep (see
+    ///   [`Self::cruise_window_caps`]). The model keeps returning the same
+    ///   speed bit-for-bit and the move is the same `v * dt` every tick.
+    ///
+    /// Wakes at the horizon or on any disturbance in the envelope.
+    ///
+    /// Returns `true` when the only thing standing between the vehicle and
+    /// a convoy sleep is that its would-be anchor is still awake — the
+    /// caller can retry in the same scan pass once the anchor freezes.
+    fn try_sleep_cruise(&mut self, id: VehicleId, t: u64) -> bool {
+        let dt = self.sim.config.step;
+        let lookahead = self.sim.config.lookahead.value();
+        let veh = self.sim.vehicles[&id].clone();
+        let edge = self
+            .sim
+            .network
+            .edge(veh.current_edge())
+            .expect("route edges exist");
+        if edge.lanes >= 2 && self.sim.config.lane_change_gain <= 0.0 {
+            // A zero gain lets an equal prospect trigger a change; only a
+            // strictly positive threshold makes "no desire" provable.
+            return false;
+        }
+        let desired = edge.speed_limit.value().min(veh.params.max_speed.value());
+        if veh.speed.value() != desired {
+            return false;
+        }
+        let advance = veh.speed.value() * dt.value();
+        if advance <= 0.0 {
+            return false;
+        }
+        let room = edge.length.value() - EDGE_MARGIN - veh.position.value();
+        let n_max = (room / advance).floor();
+        if n_max < MIN_SLEEP_TICKS as f64 {
+            return false;
+        }
+        let n_room = (n_max as u64).min(HORIZON_CAP_TICKS);
+        let reach_max = (n_room as f64) * advance + lookahead + REACH_SLACK;
+        self.settle_route(id, veh.lane, reach_max, t, t);
+        let (plain_cap, convoy_cap, candidate) = self.cruise_window_caps(&veh, reach_max, advance);
+        // Belt and braces for custom models: the model itself must hold the
+        // speed for every noise value under the frozen obstacle picture.
+        let desired_mps = MetersPerSecond::new(desired);
+        let holds = |this: &Self, ahead: Option<Ahead>| {
+            let lo = this
+                .sim
+                .model
+                .next_speed(&veh.params, veh.speed, desired_mps, ahead, dt, 0.0)
+                .value();
+            let hi = this
+                .sim
+                .model
+                .next_speed(&veh.params, veh.speed, desired_mps, ahead, dt, 1.0)
+                .value();
+            lo == veh.speed.value() && hi == veh.speed.value()
+        };
+        let mut anchor_awake = false;
+        if let Some(lead) = candidate {
+            let frozen_leader = self.sleeps.get(lead.id.0 as usize).is_some_and(|s| {
+                s.as_ref()
+                    .is_some_and(|s| s.advance.to_bits() == advance.to_bits())
+            });
+            let n_conv = n_room.min(convoy_cap);
+            if !frozen_leader {
+                anchor_awake = n_conv >= MIN_SLEEP_TICKS;
+            } else if n_conv >= MIN_SLEEP_TICKS {
+                // Evaluate against the leader with a slack-shrunk gap: it
+                // bounds below every gap the ticked engine can recompute
+                // during the window. The obstacle-free eval covers ticks
+                // where drift pushes the gap past the lookahead and the
+                // scan reports nothing.
+                let lv = self.sim.vehicles[&lead.id].speed;
+                let shrunk = Ahead {
+                    gap: Meters::new((lead.gap - CONVOY_GAP_SLACK).max(0.0)),
+                    leader_speed: lv,
+                };
+                if holds(self, Some(shrunk)) && holds(self, None) {
+                    // The leader shields everything beyond it from the
+                    // scan, signals included. The envelope walks every
+                    // route edge up to the leader and spans its entire
+                    // frozen path there — entries only, so a vehicle
+                    // merging between follower and anchor wakes the
+                    // follower while the routine churn ahead of the
+                    // anchor (moves, exits) stays silent. The anchor
+                    // itself is tracked by the dependency below: it wakes
+                    // the follower when (and only when) it deviates from
+                    // the constant advance this plan froze against.
+                    let lead_pos = self.sim.vehicles[&lead.id].position.value();
+                    let lead_to = lead_pos + (n_conv as f64) * advance + REACH_SLACK;
+                    let mut envs = core::mem::take(&mut self.scratch_envelope);
+                    envs.clear();
+                    self.convoy_envelope(&veh, lead.route_idx, lead_to, &mut envs);
+                    self.apply_sleep(id, &envs, None, Some(t + 1 + n_conv), false, t);
+                    envs.clear();
+                    self.scratch_envelope = envs;
+                    {
+                        let Self { deps, gens, .. } = self;
+                        let slot = deps.entry(lead.id.0).or_default();
+                        slot.retain(|&(f, g)| gens.get(f.0 as usize).copied() == Some(g));
+                        slot.push((id, gens[id.0 as usize]));
+                    }
+                    return false;
+                }
+            }
+        }
+        let n = n_room.min(plain_cap);
+        if n < MIN_SLEEP_TICKS {
+            return anchor_awake;
+        }
+        if !holds(self, None) {
+            return anchor_awake;
+        }
+        let reach = (n as f64) * advance + lookahead + REACH_SLACK;
+        let mut envs = core::mem::take(&mut self.scratch_envelope);
+        envs.clear();
+        self.cruise_envelope(&veh, reach, &mut envs);
+        self.apply_sleep(id, &envs, None, Some(t + 1 + n), false, t);
+        envs.clear();
+        self.scratch_envelope = envs;
+        false
+    }
+
+    /// Watch intervals covering everything the obstacle scan for `lane`
+    /// can see, mirroring [`Simulation::obstacle_ahead_in_lane`]'s walk:
+    /// per visited edge `[from, to]` in front-bumper coordinates, ending at
+    /// the first leader (anything nearer can only appear inside the
+    /// interval, and the leader's own movement lands a disturbance at its
+    /// old position, which the interval includes).
+    fn collect_envelope(&self, veh: &Vehicle, lane: u32, out: &mut Vec<(usize, u32, f64, f64)>) {
+        let lookahead = self.sim.config.lookahead.value();
+        let mut traveled = 0.0;
+        let mut scan_from = veh.position.value();
+        for idx in veh.route_index..veh.route.len() {
+            let edge_id = veh.route[idx];
+            let edge = self.sim.network.edge(edge_id).expect("route edges exist");
+            let scan_lane = lane.min(edge.lanes - 1);
+            let rear_min = (idx == veh.route_index).then_some(scan_from - 1e-9);
+            let from = if idx == veh.route_index {
+                scan_from - 1e-9
+            } else {
+                0.0
+            };
+            if let Some(l) = self
+                .sim
+                .leader_on_edge(edge_id, scan_lane, rear_min, veh.id)
+            {
+                out.push((edge_id.0, scan_lane, from, l.position.value()));
+                return;
+            }
+            out.push((edge_id.0, scan_lane, from, edge.length.value()));
+            let red = self
+                .sim
+                .signals
+                .get(&edge.to.0)
+                .map(|p| !p.is_green(self.sim.time))
+                .unwrap_or(false);
+            if red {
+                // The scan stops at a red stop line; a later green extends
+                // it, which the signal-flip wake covers.
+                return;
+            }
+            let dist_to_end = traveled
+                + (edge.length.value()
+                    - if idx == veh.route_index {
+                        veh.position.value()
+                    } else {
+                        0.0
+                    });
+            traveled = dist_to_end;
+            scan_from = 0.0;
+            if traveled > lookahead || idx + 1 == veh.route.len() {
+                return;
+            }
+        }
+    }
+
+    /// The largest number of `advance`-sized sleep moves the window ahead
+    /// permits (own lane, walked `reach_max` metres along the route), plus
+    /// the nearest leader when no red stop line precedes it (the convoy
+    /// candidate, possibly on a later edge) and the flip cap that applies
+    /// to a convoy on it. Every constraint *caps* rather than rejects:
+    ///
+    /// * a leader caps the sleep so the frozen scan never reaches its
+    ///   *current* rear. Per-lane positions only move forward; the one
+    ///   backward motion — an overlap clamp — lands a disturbance at the
+    ///   clamped position, inside the sleeper's envelope when it matters.
+    ///   So nothing at or beyond the capped reach can enter the scan's
+    ///   range silently, and the walk can stop at the first leader;
+    /// * a red stop line is a stationary obstacle and caps identically —
+    ///   the scan then never reaches the stop line, so whatever lies
+    ///   beyond it stays invisible even if the light flips green
+    ///   mid-sleep, and the walk can stop there too;
+    /// * a *green* signal is transparent to the scan but caps the sleep
+    ///   to end strictly before its next flip: sleep tick `k` (1-based)
+    ///   queries the signal at `now + (k-1)*dt`, and green holds strictly
+    ///   before `now + until`, so `floor(until/dt)` moves are covered;
+    /// * the route end constrains nothing — it is no obstacle to the
+    ///   scan, and the room cap already pins the frozen motion to its
+    ///   current edge.
+    fn cruise_window_caps(
+        &self,
+        veh: &Vehicle,
+        reach_max: f64,
+        advance: f64,
+    ) -> (u64, u64, Option<ConvoyLead>) {
+        let now = self.sim.time;
+        let dt = self.sim.config.step.value();
+        let lookahead = self.sim.config.lookahead.value();
+        // Moves covered by `dist` metres of clearance: the scan at sleep
+        // tick `k` runs from `pos + (k-1)*advance`, so `n` moves stay clear
+        // of an obstacle at `dist` whenever `n*advance + lookahead +
+        // REACH_SLACK <= dist` (conservative by one advance).
+        let clearance = |dist: f64| {
+            let d = dist - lookahead - REACH_SLACK;
+            if d <= 0.0 {
+                0
+            } else {
+                (d / advance).floor() as u64
+            }
+        };
+        let mut cap = u64::MAX;
+        let mut traveled = 0.0;
+        for idx in veh.route_index..veh.route.len() {
+            let edge_id = veh.route[idx];
+            let edge = self.sim.network.edge(edge_id).expect("route edges exist");
+            let scan_lane = veh.lane.min(edge.lanes - 1);
+            let rear_min = (idx == veh.route_index).then_some(veh.position.value() - 1e-9);
+            if let Some(l) = self
+                .sim
+                .leader_on_edge(edge_id, scan_lane, rear_min, veh.id)
+            {
+                let leader_rear = l.position.value() - l.params.length.value();
+                let dist = if idx == veh.route_index {
+                    leader_rear - veh.position.value()
+                } else {
+                    traveled + leader_rear
+                };
+                let convoy = ConvoyLead {
+                    id: l.id,
+                    gap: dist,
+                    route_idx: idx,
+                };
+                // `cap` at this point holds exactly the green-flip caps of
+                // the signals strictly before the leader — the constraints
+                // that still bind a convoy tolerating the leader itself.
+                return (cap.min(clearance(dist)), cap, Some(convoy));
+            }
+            let dist_to_end = traveled
+                + (edge.length.value()
+                    - if idx == veh.route_index {
+                        veh.position.value()
+                    } else {
+                        0.0
+                    });
+            if dist_to_end < reach_max {
+                if let Some(plan) = self.sim.signals.get(&edge.to.0) {
+                    if !plan.is_green(now) {
+                        // A red stop line would be the nearest obstacle, so
+                        // no leader beyond it can anchor a convoy.
+                        return (cap.min(clearance(dist_to_end)), 0, None);
+                    }
+                    if let Some(until) = plan.time_to_flip(now) {
+                        cap = cap.min((until.value() / dt).floor() as u64);
+                    }
+                }
+            }
+            traveled = dist_to_end;
+            if traveled >= reach_max || idx + 1 == veh.route.len() {
+                return (cap, 0, None);
+            }
+        }
+        (cap, 0, None)
+    }
+
+    /// Watch intervals for a clear-window cruise sleep: a purely geometric
+    /// walk `reach` metres ahead (own lane, along the route), clipped at
+    /// the reach boundary. Nothing at or beyond the boundary is watched —
+    /// the caps guarantee the frozen scan never reads that far, forward
+    /// motion cannot bring an obstacle from beyond the boundary into
+    /// range, and the only backward motion (an overlap clamp) disturbs at
+    /// the clamped position inside the interval. Keeping the far leader
+    /// *out* of the envelope is what lets dense traffic sleep: its routine
+    /// forward moves no longer wake every follower behind it.
+    fn cruise_envelope(&self, veh: &Vehicle, reach: f64, out: &mut Vec<(usize, u32, f64, f64)>) {
+        let mut traveled = 0.0;
+        for idx in veh.route_index..veh.route.len() {
+            let edge_id = veh.route[idx];
+            let edge = self.sim.network.edge(edge_id).expect("route edges exist");
+            let scan_lane = veh.lane.min(edge.lanes - 1);
+            let (from, start) = if idx == veh.route_index {
+                (veh.position.value() - 1e-9, veh.position.value())
+            } else {
+                (0.0, 0.0)
+            };
+            let boundary = start + (reach - traveled);
+            out.push((
+                edge_id.0,
+                scan_lane,
+                from,
+                boundary.min(edge.length.value()),
+            ));
+            traveled += edge.length.value() - start;
+            if traveled >= reach {
+                return;
+            }
+        }
+    }
+
+    /// Watch intervals for a convoy sleep: every route edge from the
+    /// follower to its anchor, in full, with the anchor's edge clipped at
+    /// `lead_to` (the far end of the anchor's frozen path). The watchers
+    /// subscribe to *entries only*: full coverage of the intermediate
+    /// edges is what makes a mid-corridor merge — a nearer obstacle
+    /// appearing between follower and anchor — wake the follower, while
+    /// the anchor itself is tracked by the deviation dependency and the
+    /// routine moves and exits of traffic ahead of it stay silent (this
+    /// is what keeps one exit at a route end from waking every convoy
+    /// sleeper whose envelope reaches it). Beyond `lead_to` the anchor
+    /// shields the scan.
+    fn convoy_envelope(
+        &self,
+        veh: &Vehicle,
+        lead_idx: usize,
+        lead_to: f64,
+        out: &mut Vec<(usize, u32, f64, f64)>,
+    ) {
+        for idx in veh.route_index..=lead_idx {
+            let edge_id = veh.route[idx];
+            let edge = self.sim.network.edge(edge_id).expect("route edges exist");
+            let scan_lane = veh.lane.min(edge.lanes - 1);
+            let from = if idx == veh.route_index {
+                veh.position.value() - 1e-9
+            } else {
+                0.0
+            };
+            let to = if idx == lead_idx {
+                lead_to.min(edge.length.value())
+            } else {
+                edge.length.value()
+            };
+            out.push((edge_id.0, scan_lane, from, to));
+        }
+    }
+
+    /// The earliest wake tick for a flip of any signal within the
+    /// lookahead along the route (either direction — a flip can create
+    /// lane-change desire as well as release a queue). `None` when no
+    /// flippable signal is visible.
+    fn nearest_flip_tick(&self, veh: &Vehicle, t: u64) -> Option<u64> {
+        let dt = self.sim.config.step.value();
+        let now = self.sim.time;
+        let lookahead = self.sim.config.lookahead.value();
+        let mut traveled = 0.0;
+        let mut best: Option<u64> = None;
+        for idx in veh.route_index..veh.route.len() {
+            let edge_id = veh.route[idx];
+            let edge = self.sim.network.edge(edge_id).expect("route edges exist");
+            let dist_to_end = traveled
+                + (edge.length.value()
+                    - if idx == veh.route_index {
+                        veh.position.value()
+                    } else {
+                        0.0
+                    });
+            if dist_to_end <= lookahead {
+                if let Some(until) = self
+                    .sim
+                    .signals
+                    .get(&edge.to.0)
+                    .and_then(|p| p.time_to_flip(now))
+                {
+                    // Flooring wakes at or before the first affected tick;
+                    // an early wake re-evaluates and goes straight back to
+                    // sleep, a late one would be a missed update.
+                    let ticks = ((until.value() / dt).floor() as u64).max(1);
+                    let wake = t + 1 + ticks;
+                    best = Some(best.map_or(wake, |b| b.min(wake)));
+                }
+            }
+            traveled = dist_to_end;
+            if traveled > lookahead {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Installs the sleep record, watcher registrations, and scheduled
+    /// wakes for a vehicle judged frozen at the end of step `t`.
+    /// `watch_moves` subscribes the watchers to move-class disturbances as
+    /// well as entries (parked sleepers watch their obstacle directly and
+    /// need it; cruise envelopes subscribe to entries only).
+    fn apply_sleep(
+        &mut self,
+        id: VehicleId,
+        envelopes: &[(usize, u32, f64, f64)],
+        flip_wake: Option<u64>,
+        horizon_wake: Option<u64>,
+        watch_moves: bool,
+        t: u64,
+    ) {
+        let veh = &self.sim.vehicles[&id];
+        let edge = veh.current_edge().0;
+        let lane = veh.lane;
+        let pos = veh.position.value();
+        let advance = veh.speed.value() * self.sim.config.step.value();
+        let on_detector_edge = self.sim.detectors_by_edge.contains_key(&edge);
+        self.sleeps[id.0 as usize] = Some(Sleep {
+            edge,
+            lane,
+            pos,
+            obs_pos: pos,
+            advance,
+            time: self.sim.time.value(),
+            settled: t,
+            observed: t,
+            on_detector_edge,
+        });
+        self.awake.remove(&id);
+        self.sleeping += 1;
+        *self.sleeper_count.entry((edge, lane)).or_insert(0) += 1;
+        let gen = self.gens[id.0 as usize];
+        for &(e, l, from, to) in envelopes {
+            self.watchers.entry((e, l)).or_default().push(Watcher {
+                id,
+                gen,
+                from,
+                to,
+                moves: watch_moves,
+            });
+        }
+        if let Some(w) = flip_wake {
+            self.sched.schedule(w, id, gen);
+        }
+        if let Some(w) = horizon_wake {
+            self.sched.schedule(w, id, gen);
+        }
+        self.sleeps_total += 1;
+    }
+
+    /// Grows the per-id tables to cover freshly spawned vehicles.
+    fn ensure_capacity(&mut self) {
+        let cap = self.sim.next_vehicle_id as usize;
+        if self.sleeps.len() < cap {
+            self.sleeps.resize(cap, None);
+            self.gens.resize(cap, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::HourlyCounts;
+    use crate::demand::PoissonArrivals;
+    use crate::detector::SpanDetector;
+    use crate::network::{NodeId, RoadNetwork};
+    use crate::signal::SignalPlan;
+    use crate::sim::SimulationConfig;
+    use crate::vehicle::VehicleParams;
+
+    /// A 3-edge straight corridor, 200 m each, 15 m/s limit.
+    fn corridor() -> (RoadNetwork, Vec<EdgeId>, Vec<NodeId>) {
+        let mut net = RoadNetwork::new();
+        let nodes: Vec<NodeId> = (0..4).map(|_| net.add_node()).collect();
+        let edges = nodes
+            .windows(2)
+            .map(|w| {
+                net.add_edge(w[0], w[1], Meters::new(200.0), MetersPerSecond::new(15.0))
+                    .unwrap()
+            })
+            .collect();
+        (net, edges, nodes)
+    }
+
+    fn build(seed: u64, configure: impl Fn(&mut Simulation, &[EdgeId], &[NodeId])) -> Simulation {
+        let (net, edges, nodes) = corridor();
+        let mut sim = Simulation::new(net, SimulationConfig::default(), seed);
+        configure(&mut sim, &edges, &nodes);
+        sim
+    }
+
+    /// Per-tick full state bits of both engines over `steps` steps.
+    fn differential(
+        seed: u64,
+        steps: usize,
+        configure: impl Fn(&mut Simulation, &[EdgeId], &[NodeId]) + Copy,
+    ) -> (Vec<Vec<u64>>, Vec<Vec<u64>>, usize) {
+        let digest = |sim: &Simulation| -> Vec<u64> {
+            let mut row: Vec<u64> = Vec::new();
+            for v in sim.vehicles() {
+                row.extend([
+                    v.id.0,
+                    v.route_index as u64,
+                    u64::from(v.lane),
+                    v.position.value().to_bits(),
+                    v.speed.value().to_bits(),
+                ]);
+            }
+            for d in sim.detectors() {
+                row.push(d.total_occupancy().value().to_bits());
+                row.push(d.vehicle_touches());
+            }
+            row.push(sim.spawned());
+            row.push(sim.exited());
+            row
+        };
+        let mut ticked = build(seed, configure);
+        let mut trace_t = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            ticked.step();
+            trace_t.push(digest(&ticked));
+        }
+        let mut event = EventSimulation::new(build(seed, configure));
+        let mut trace_e = Vec::with_capacity(steps);
+        let mut total_sleeping = 0usize;
+        for _ in 0..steps {
+            event.step();
+            total_sleeping += event.sleeping_count();
+            event.flush();
+            trace_e.push(digest(event.traffic()));
+        }
+        (trace_t, trace_e, total_sleeping)
+    }
+
+    #[test]
+    fn single_cruiser_is_bit_identical_and_sleeps() {
+        let (t, e, slept) = differential(1, 120, |sim, edges, _| {
+            sim.queue_vehicle(edges.to_vec(), VehicleParams::deterministic());
+        });
+        assert_eq!(t, e);
+        assert!(slept > 20, "cruise sleep never engaged ({slept})");
+    }
+
+    #[test]
+    fn parked_queue_against_red_is_bit_identical_and_sleeps() {
+        let (t, e, slept) = differential(2, 150, |sim, edges, nodes| {
+            sim.add_signal(nodes[1], SignalPlan::always_red());
+            sim.add_detector(SpanDetector::new(
+                "approach",
+                edges[0],
+                Meters::new(100.0),
+                Meters::new(200.0),
+            ));
+            for _ in 0..5 {
+                sim.queue_vehicle(edges.to_vec(), VehicleParams::deterministic());
+            }
+        });
+        assert_eq!(t, e);
+        assert!(slept > 100, "parked sleep never engaged ({slept})");
+    }
+
+    #[test]
+    fn signal_cycle_with_demand_is_bit_identical() {
+        let (t, e, slept) = differential(3, 400, |sim, edges, nodes| {
+            sim.add_signal(
+                nodes[1],
+                SignalPlan::new(Seconds::new(25.0), Seconds::new(35.0), Seconds::ZERO),
+            );
+            sim.add_detector(SpanDetector::new(
+                "stopline",
+                edges[0],
+                Meters::new(120.0),
+                Meters::new(200.0),
+            ));
+            sim.add_detector(SpanDetector::new(
+                "midblock",
+                edges[1],
+                Meters::new(50.0),
+                Meters::new(150.0),
+            ));
+            sim.add_demand(
+                PoissonArrivals::new(HourlyCounts::new(vec![900]), 4),
+                edges.to_vec(),
+                VehicleParams::deterministic(),
+            );
+        });
+        assert_eq!(t, e);
+        assert!(slept > 0, "no sleep at a cycling signal");
+    }
+
+    #[test]
+    fn two_lane_merge_with_demand_is_bit_identical() {
+        let make = || {
+            let mut net = RoadNetwork::new();
+            let a = net.add_node();
+            let b = net.add_node();
+            let c = net.add_node();
+            let wide = net
+                .add_edge_with_lanes(a, b, Meters::new(300.0), MetersPerSecond::new(14.0), 2)
+                .unwrap();
+            let narrow = net
+                .add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(14.0))
+                .unwrap();
+            let mut sim = Simulation::new(net, SimulationConfig::default(), 6);
+            sim.add_signal(
+                c,
+                SignalPlan::new(Seconds::new(20.0), Seconds::new(30.0), Seconds::ZERO),
+            );
+            sim.add_demand(
+                PoissonArrivals::new(HourlyCounts::new(vec![1100]), 6),
+                vec![wide, narrow],
+                VehicleParams::deterministic(),
+            );
+            sim
+        };
+        let digest = |sim: &Simulation| -> Vec<u64> {
+            sim.vehicles()
+                .flat_map(|v| {
+                    [
+                        v.id.0,
+                        u64::from(v.lane),
+                        v.position.value().to_bits(),
+                        v.speed.value().to_bits(),
+                    ]
+                })
+                .chain([sim.spawned(), sim.exited()])
+                .collect()
+        };
+        let mut ticked = make();
+        let mut tt = Vec::new();
+        for _ in 0..350 {
+            ticked.step();
+            tt.push(digest(&ticked));
+        }
+        let mut event = EventSimulation::new(make());
+        let mut te = Vec::new();
+        for _ in 0..350 {
+            event.step();
+            event.flush();
+            te.push(digest(event.traffic()));
+        }
+        assert_eq!(tt, te);
+    }
+
+    #[test]
+    fn into_inner_resumes_ticked_stepping_exactly() {
+        let make = |seed| {
+            build(seed, |sim, edges, nodes| {
+                sim.add_signal(
+                    nodes[1],
+                    SignalPlan::new(Seconds::new(20.0), Seconds::new(40.0), Seconds::ZERO),
+                );
+                sim.add_demand(
+                    PoissonArrivals::new(HourlyCounts::new(vec![800]), 9),
+                    edges.to_vec(),
+                    VehicleParams::deterministic(),
+                );
+            })
+        };
+        let mut pure = make(8);
+        for _ in 0..300 {
+            pure.step();
+        }
+        let mut event = EventSimulation::new(make(8));
+        for _ in 0..150 {
+            event.step();
+        }
+        let mut resumed = event.into_inner();
+        for _ in 0..150 {
+            resumed.step();
+        }
+        let digest = |sim: &Simulation| -> Vec<u64> {
+            sim.vehicles()
+                .flat_map(|v| {
+                    [
+                        v.id.0,
+                        v.position.value().to_bits(),
+                        v.speed.value().to_bits(),
+                    ]
+                })
+                .chain([sim.spawned(), sim.exited()])
+                .collect()
+        };
+        assert_eq!(digest(&pure), digest(&resumed));
+    }
+
+    #[test]
+    fn event_counters_track_sleep_wake_traffic() {
+        let mut event = EventSimulation::new(build(10, |sim, edges, nodes| {
+            sim.add_signal(
+                nodes[1],
+                SignalPlan::new(Seconds::new(15.0), Seconds::new(45.0), Seconds::ZERO),
+            );
+            sim.add_demand(
+                PoissonArrivals::new(HourlyCounts::new(vec![1000]), 3),
+                edges.to_vec(),
+                VehicleParams::deterministic(),
+            );
+        }));
+        for _ in 0..400 {
+            event.step();
+        }
+        assert!(event.sleeps_total > 0, "nothing ever slept");
+        assert!(event.wakeups > 0, "nothing ever woke");
+        assert!(
+            event.sched.scheduled() > 0,
+            "no timer wakes were scheduled at a cycling signal"
+        );
+        assert_eq!(
+            event.traffic().active_count(),
+            event.awake_count() + event.sleeping_count()
+        );
+    }
+}

@@ -45,6 +45,7 @@ pub struct LaneIndex {
     buckets: BTreeMap<(usize, u32), Vec<LaneEntry>>,
     vehicles: usize,
     rebuilds: u64,
+    repairs: u64,
 }
 
 impl LaneIndex {
@@ -83,11 +84,21 @@ impl LaneIndex {
         self.vehicles == 0
     }
 
-    /// How many bucket-order repairs and full rebuilds happened so far
-    /// (the `sim.index.rebuilds` telemetry source).
+    /// How many full from-scratch rebuilds happened so far (the
+    /// `sim.index.rebuilds` telemetry source). Single-bucket insertion-sort
+    /// repairs are counted separately in [`Self::repairs`].
     #[must_use]
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// How many single-bucket insertion-sort repairs happened so far (the
+    /// `sim.index.repairs` telemetry source). A repair restores one bucket's
+    /// `(position, id)` order after the overlap clamp rewrote positions in
+    /// place; it never touches the rest of the index.
+    #[must_use]
+    pub fn repairs(&self) -> u64 {
+        self.repairs
     }
 
     /// The sorted entries on `(edge, lane)`; empty if never occupied.
@@ -152,9 +163,42 @@ impl LaneIndex {
         self.buckets.values_mut().filter(|b| !b.is_empty())
     }
 
-    /// Records `n` bucket-order repairs in the rebuild counter.
-    pub(crate) fn note_rebuilds(&mut self, n: u64) {
-        self.rebuilds += n;
+    /// Records `n` bucket-order repairs in the repair counter.
+    pub(crate) fn note_repairs(&mut self, n: u64) {
+        self.repairs += n;
+    }
+
+    /// Mutable access to one bucket's entry vector, for the event engine's
+    /// dirty-bucket overlap pass. `None` when the bucket is empty or was
+    /// never created.
+    pub(crate) fn bucket_vec_mut(&mut self, edge: usize, lane: u32) -> Option<&mut Vec<LaneEntry>> {
+        self.buckets
+            .get_mut(&(edge, lane))
+            .filter(|b| !b.is_empty())
+    }
+
+    /// Temporarily takes ownership of one bucket's entry vector (swapped
+    /// with an empty vector), so the event engine can settle sleeping
+    /// vehicles — which touches the simulation's vehicle map and detectors —
+    /// while rewriting entry positions in place. Must be paired with
+    /// [`Self::put_bucket`]; no other index operation may run in between.
+    pub(crate) fn take_bucket(&mut self, edge: usize, lane: u32) -> Option<Vec<LaneEntry>> {
+        self.buckets
+            .get_mut(&(edge, lane))
+            .map(core::mem::take)
+            .filter(|b| !b.is_empty())
+    }
+
+    /// Returns a bucket taken with [`Self::take_bucket`]. The entry *set*
+    /// must be unchanged (only positions may have been rewritten, in a way
+    /// that preserves the `(position, id)` order).
+    pub(crate) fn put_bucket(&mut self, edge: usize, lane: u32, bucket: Vec<LaneEntry>) {
+        let slot = self
+            .buckets
+            .get_mut(&(edge, lane))
+            .expect("put_bucket pairs with take_bucket");
+        debug_assert!(slot.is_empty(), "bucket mutated while taken");
+        *slot = bucket;
     }
 }
 
@@ -250,6 +294,17 @@ mod tests {
         idx.rebuild([&veh].into_iter());
         assert_eq!(idx.bucket(e(0), 1), &[(42.0, v(4))]);
         assert_eq!(idx.rebuilds(), 1);
+        assert_eq!(idx.repairs(), 0, "a rebuild is not a repair");
+    }
+
+    #[test]
+    fn repairs_and_rebuilds_count_separately() {
+        let mut idx = LaneIndex::new();
+        idx.note_repairs(3);
+        assert_eq!(idx.repairs(), 3);
+        assert_eq!(idx.rebuilds(), 0, "a repair is not a rebuild");
+        idx.rebuild([].into_iter());
+        assert_eq!((idx.rebuilds(), idx.repairs()), (1, 3));
     }
 
     #[test]

@@ -51,12 +51,14 @@ pub mod counts;
 pub mod demand;
 pub mod detector;
 pub mod energy;
+pub mod event_sim;
 pub mod following;
 pub mod grid_network;
 pub mod index;
 pub mod network;
 pub mod od_matrix;
 pub mod routing;
+pub mod scheduler;
 pub mod signal;
 pub mod signal_timing;
 pub mod sim;
@@ -69,12 +71,14 @@ pub use counts::HourlyCounts;
 pub use demand::PoissonArrivals;
 pub use detector::SpanDetector;
 pub use energy::EnergyModel;
+pub use event_sim::{EventSimulation, StepMode};
 pub use following::{CarFollowing, Idm, Krauss};
 pub use grid_network::{GridNetwork, GridNetworkBuilder};
 pub use index::LaneIndex;
 pub use network::{Edge, EdgeId, NetworkError, NodeId, RoadNetwork};
 pub use od_matrix::{exponential_impedance, gravity_model, OdMatrix};
 pub use routing::{route_travel_time, shortest_path};
+pub use scheduler::Scheduler;
 pub use signal::SignalPlan;
 pub use signal_timing::{uniform_delay, webster_timing, PhaseDemand, TimingError, WebsterTiming};
 pub use sim::{ScanMode, Simulation, SimulationConfig};

@@ -31,16 +31,26 @@ pub struct SignalPlan {
 impl SignalPlan {
     /// Creates a plan with the given green and red durations and offset.
     ///
+    /// Both phases must be strictly positive: a zero-duration phase makes
+    /// phase-flip instants ill-defined (the event engine schedules wakes at
+    /// green onsets) and silently degenerates into [`Self::always_green`] /
+    /// [`Self::always_red`] — ask for those explicitly instead.
+    ///
     /// # Panics
     ///
-    /// Panics if either duration is negative or the cycle is empty.
+    /// Panics if either duration is zero, negative, or non-finite.
     #[must_use]
     pub fn new(green: Seconds, red: Seconds, offset: Seconds) -> Self {
         assert!(
-            green.value() >= 0.0 && red.value() >= 0.0,
-            "negative signal phase"
+            green.value() > 0.0 && green.value().is_finite(),
+            "zero-duration signal phase: green must be strictly positive \
+             (use SignalPlan::always_red for a permanently red signal)"
         );
-        assert!(green.value() + red.value() > 0.0, "empty signal cycle");
+        assert!(
+            red.value() > 0.0 && red.value().is_finite(),
+            "zero-duration signal phase: red must be strictly positive \
+             (use SignalPlan::always_green for a permanently green signal)"
+        );
         Self {
             green: green.value(),
             red: red.value(),
@@ -55,6 +65,18 @@ impl SignalPlan {
             green: 1.0,
             red: 0.0,
             offset: 0.0,
+        }
+    }
+
+    /// A plan that is always red within any practical horizon (the green
+    /// onset sits ~31 000 years out), for blocked-approach tests and
+    /// permanently closed stop lines.
+    #[must_use]
+    pub fn always_red() -> Self {
+        Self {
+            green: 1.0,
+            red: 1e12,
+            offset: 1.0,
         }
     }
 
@@ -86,6 +108,27 @@ impl SignalPlan {
     #[must_use]
     pub fn green_ratio(&self) -> f64 {
         self.green / (self.green + self.red)
+    }
+
+    /// Time until the next phase flip (green→red or red→green) at `t`.
+    ///
+    /// Returns `None` for a plan that never changes state
+    /// ([`Self::always_green`], whose red phase is empty). The event engine
+    /// uses this to schedule the wake of a sleeping vehicle whose frozen
+    /// behavior depends on a visible signal's state.
+    #[must_use]
+    pub fn time_to_flip(&self, t: Seconds) -> Option<Seconds> {
+        if self.red == 0.0 {
+            return None;
+        }
+        let cycle = self.green + self.red;
+        let phase = (t.value() + self.offset).rem_euclid(cycle);
+        let until = if phase < self.green {
+            self.green - phase
+        } else {
+            cycle - phase
+        };
+        Some(Seconds::new(until))
     }
 }
 
@@ -140,8 +183,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty signal cycle")]
+    fn always_red_never_greens() {
+        let p = SignalPlan::always_red();
+        for t in 0..1000 {
+            assert!(!p.is_green(s(t as f64 * 3600.0)));
+        }
+        assert!(p.time_to_green(s(0.0)) > s(1e11));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration signal phase")]
     fn empty_cycle_panics() {
         let _ = SignalPlan::new(Seconds::ZERO, Seconds::ZERO, Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration signal phase")]
+    fn zero_green_panics() {
+        let _ = SignalPlan::new(Seconds::ZERO, s(30.0), Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration signal phase")]
+    fn zero_red_panics() {
+        let _ = SignalPlan::new(s(30.0), Seconds::ZERO, Seconds::ZERO);
+    }
+
+    #[test]
+    fn flip_instants_are_exact() {
+        // The phase boundary itself belongs to the *next* phase: green ends
+        // at exactly t = green and resumes at exactly t = cycle.
+        let p = SignalPlan::new(s(30.0), s(45.0), Seconds::ZERO);
+        assert!(!p.is_green(s(30.0)));
+        assert!(p.is_green(s(75.0)));
+        assert_eq!(p.time_to_green(s(30.0)), s(45.0));
+        assert_eq!(p.time_to_green(s(75.0)), Seconds::ZERO);
+        // An offset that lands the flip mid-cycle keeps exactness.
+        let q = SignalPlan::new(s(20.0), s(40.0), s(10.0));
+        assert!(q.is_green(s(9.0)));
+        assert!(!q.is_green(s(10.0)));
+        assert_eq!(q.time_to_green(s(10.0)), s(40.0));
+        assert!(q.is_green(s(50.0)));
     }
 }

@@ -84,39 +84,56 @@ pub enum ScanMode {
     NaiveScan,
 }
 
+/// Per-step counter baselines for telemetry deltas (see
+/// [`Simulation::step_baselines`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepBaselines {
+    pub(crate) spawned: u64,
+    pub(crate) exited: u64,
+    pub(crate) queries: u64,
+    pub(crate) clamps: u64,
+    pub(crate) rebuilds: u64,
+    pub(crate) repairs: u64,
+    pub(crate) touches: u64,
+}
+
 /// The microscopic traffic simulation.
+///
+/// Fields are `pub(crate)` for the benefit of the discrete-event engine
+/// ([`crate::event_sim`]), which wraps a `Simulation` and mirrors its step
+/// phases over the awake subset of vehicles only.
 pub struct Simulation {
-    network: RoadNetwork,
-    signals: BTreeMap<usize, SignalPlan>,
-    model: Box<dyn CarFollowing + Send>,
-    config: SimulationConfig,
-    vehicles: BTreeMap<VehicleId, Vehicle>,
-    detectors: Vec<SpanDetector>,
-    detector_touched: HashSet<(VehicleId, usize)>,
+    pub(crate) network: RoadNetwork,
+    pub(crate) signals: BTreeMap<usize, SignalPlan>,
+    pub(crate) model: Box<dyn CarFollowing + Send>,
+    pub(crate) config: SimulationConfig,
+    pub(crate) vehicles: BTreeMap<VehicleId, Vehicle>,
+    pub(crate) detectors: Vec<SpanDetector>,
+    pub(crate) detector_touched: HashSet<(VehicleId, usize)>,
     demands: Vec<DemandStream>,
-    insert_queue: VecDeque<(Vec<EdgeId>, VehicleParams)>,
-    time: Seconds,
-    rng: ChaCha8Rng,
-    last_lane_change: BTreeMap<VehicleId, f64>,
-    next_vehicle_id: u64,
-    spawned: u64,
-    exited: u64,
-    spawns_per_hour: HourlyAccumulator,
-    exits_per_hour: HourlyAccumulator,
-    telemetry: Telemetry,
-    ticks: u64,
-    index: LaneIndex,
-    scan_mode: ScanMode,
+    pub(crate) insert_queue: VecDeque<(Vec<EdgeId>, VehicleParams)>,
+    pub(crate) time: Seconds,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) last_lane_change: BTreeMap<VehicleId, f64>,
+    pub(crate) next_vehicle_id: u64,
+    pub(crate) spawned: u64,
+    pub(crate) exited: u64,
+    pub(crate) spawns_per_hour: HourlyAccumulator,
+    pub(crate) exits_per_hour: HourlyAccumulator,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) ticks: u64,
+    pub(crate) index: LaneIndex,
+    pub(crate) scan_mode: ScanMode,
     /// Detector indices bucketed by the edge they observe.
-    detectors_by_edge: BTreeMap<usize, Vec<usize>>,
+    pub(crate) detectors_by_edge: BTreeMap<usize, Vec<usize>>,
     scratch_ids: Vec<VehicleId>,
     scratch_speeds: Vec<(VehicleId, MetersPerSecond)>,
     scratch_exited: Vec<VehicleId>,
     scratch_order: Vec<(f64, VehicleId)>,
     /// Leader/safety probes issued (the `sim.index.queries` source).
-    stat_queries: u64,
+    pub(crate) stat_queries: u64,
     /// Overlap-clamp corrections applied (the `sim.index.clamps` source).
-    stat_clamps: u64,
+    pub(crate) stat_clamps: u64,
 }
 
 impl core::fmt::Debug for Simulation {
@@ -325,12 +342,7 @@ impl Simulation {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let tick = self.ticks as i64;
-        let spawned_before = self.spawned;
-        let exited_before = self.exited;
-        let queries_before = self.stat_queries;
-        let clamps_before = self.stat_clamps;
-        let rebuilds_before = self.index.rebuilds();
-        let touches_before: u64 = self.detectors.iter().map(|d| d.vehicle_touches()).sum();
+        let base = self.step_baselines();
         let span = self.telemetry.span("sim.step", tick);
         let dt = self.config.step;
         self.release_due_arrivals();
@@ -436,53 +448,78 @@ impl Simulation {
         self.observe_detectors(dt);
         self.time += dt;
         drop(span);
-        if self.telemetry.is_enabled() {
-            self.telemetry
-                .gauge("sim.active", tick, self.vehicles.len() as f64);
-            self.telemetry
-                .gauge("sim.mean_speed", tick, self.mean_speed().value());
-            let greens = self
-                .signals
-                .values()
-                .filter(|p| p.is_green(self.time))
-                .count();
-            self.telemetry.gauge("sim.greens", tick, greens as f64);
-            self.telemetry
-                .gauge("sim.backlog", tick, self.insert_queue.len() as f64);
-            let spawned = self.spawned - spawned_before;
-            if spawned > 0 {
-                self.telemetry.counter("sim.spawned", tick, spawned);
-            }
-            let exited = self.exited - exited_before;
-            if exited > 0 {
-                self.telemetry.counter("sim.exited", tick, exited);
-            }
-            let touches: u64 = self.detectors.iter().map(|d| d.vehicle_touches()).sum();
-            if touches > touches_before {
-                self.telemetry
-                    .counter("sim.detections", tick, touches - touches_before);
-            }
-            // Index statistics are kept in both scan modes (queries and
-            // clamps are bit-identical across modes by the determinism
-            // contract), so same-seed journals stay byte-identical.
-            let queries = self.stat_queries - queries_before;
-            if queries > 0 {
-                self.telemetry.counter("sim.index.queries", tick, queries);
-            }
-            let clamps = self.stat_clamps - clamps_before;
-            if clamps > 0 {
-                self.telemetry.counter("sim.index.clamps", tick, clamps);
-            }
-            let rebuilds = self.index.rebuilds() - rebuilds_before;
-            if rebuilds > 0 {
-                self.telemetry.counter("sim.index.rebuilds", tick, rebuilds);
-            }
-        }
+        self.emit_step_telemetry(tick, base);
         self.ticks += 1;
     }
 
+    /// Counter values at the top of a step, diffed against in
+    /// [`Self::emit_step_telemetry`].
+    pub(crate) fn step_baselines(&self) -> StepBaselines {
+        StepBaselines {
+            spawned: self.spawned,
+            exited: self.exited,
+            queries: self.stat_queries,
+            clamps: self.stat_clamps,
+            rebuilds: self.index.rebuilds(),
+            repairs: self.index.repairs(),
+            touches: self.detectors.iter().map(|d| d.vehicle_touches()).sum(),
+        }
+    }
+
+    /// Emits the per-tick `sim.*` gauges and counters shared by both the
+    /// ticked and the event-driven engines.
+    pub(crate) fn emit_step_telemetry(&mut self, tick: i64, base: StepBaselines) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .gauge("sim.active", tick, self.vehicles.len() as f64);
+        self.telemetry
+            .gauge("sim.mean_speed", tick, self.mean_speed().value());
+        let greens = self
+            .signals
+            .values()
+            .filter(|p| p.is_green(self.time))
+            .count();
+        self.telemetry.gauge("sim.greens", tick, greens as f64);
+        self.telemetry
+            .gauge("sim.backlog", tick, self.insert_queue.len() as f64);
+        let spawned = self.spawned - base.spawned;
+        if spawned > 0 {
+            self.telemetry.counter("sim.spawned", tick, spawned);
+        }
+        let exited = self.exited - base.exited;
+        if exited > 0 {
+            self.telemetry.counter("sim.exited", tick, exited);
+        }
+        let touches: u64 = self.detectors.iter().map(|d| d.vehicle_touches()).sum();
+        if touches > base.touches {
+            self.telemetry
+                .counter("sim.detections", tick, touches - base.touches);
+        }
+        // Index statistics are kept in both scan modes (queries and
+        // clamps are bit-identical across modes by the determinism
+        // contract), so same-seed journals stay byte-identical.
+        let queries = self.stat_queries - base.queries;
+        if queries > 0 {
+            self.telemetry.counter("sim.index.queries", tick, queries);
+        }
+        let clamps = self.stat_clamps - base.clamps;
+        if clamps > 0 {
+            self.telemetry.counter("sim.index.clamps", tick, clamps);
+        }
+        let rebuilds = self.index.rebuilds() - base.rebuilds;
+        if rebuilds > 0 {
+            self.telemetry.counter("sim.index.rebuilds", tick, rebuilds);
+        }
+        let repairs = self.index.repairs() - base.repairs;
+        if repairs > 0 {
+            self.telemetry.counter("sim.index.repairs", tick, repairs);
+        }
+    }
+
     /// Releases arrivals whose time has come into the insertion queue.
-    fn release_due_arrivals(&mut self) {
+    pub(crate) fn release_due_arrivals(&mut self) {
         let now = self.time;
         for d in &mut self.demands {
             loop {
@@ -573,14 +610,14 @@ impl Simulation {
 
     /// Finds the nearest obstacle (leader vehicle or red stop line) within
     /// the lookahead along the vehicle's route, in the vehicle's own lane.
-    fn obstacle_ahead(&self, veh: &Vehicle) -> Option<Ahead> {
+    pub(crate) fn obstacle_ahead(&self, veh: &Vehicle) -> Option<Ahead> {
         self.obstacle_ahead_in_lane(veh, veh.lane)
     }
 
     /// As [`Self::obstacle_ahead`], but as if the vehicle occupied `lane` on
     /// its current edge (the lane-change model probes neighbor lanes with
     /// this).
-    fn obstacle_ahead_in_lane(&self, veh: &Vehicle, lane: u32) -> Option<Ahead> {
+    pub(crate) fn obstacle_ahead_in_lane(&self, veh: &Vehicle, lane: u32) -> Option<Ahead> {
         let lookahead = self.config.lookahead.value();
         let mut traveled = 0.0; // distance from veh front to the start of the scanned edge
         let mut scan_from = veh.position.value();
@@ -652,7 +689,7 @@ impl Simulation {
     /// `(position, id)` key — the index bucket is sorted by exactly that
     /// key, so its first passing entry *is* the naive scan's `min_by`
     /// winner, bit for bit.
-    fn leader_on_edge(
+    pub(crate) fn leader_on_edge(
         &self,
         edge_id: EdgeId,
         lane: u32,
@@ -780,7 +817,7 @@ impl Simulation {
     /// Safety criterion for entering `lane`: the nearest vehicle behind our
     /// rear bumper in that lane must keep a gap it could brake across, and
     /// we must not land on top of anyone.
-    fn lane_is_safe(&self, veh: &Vehicle, lane: u32) -> bool {
+    pub(crate) fn lane_is_safe(&self, veh: &Vehicle, lane: u32) -> bool {
         let my_rear = veh.position.value() - veh.params.length.value();
         // Pure conjunction over the target-lane vehicles — the same set in
         // both scan modes, so visit order cannot change the verdict.
@@ -870,7 +907,7 @@ impl Simulation {
     /// front. Clamped positions are written back into the bucket, and an
     /// insertion-sort repair restores the bucket invariant in the rare case
     /// a floor clamp (`limit.max(0)`) reorders entries; each repair counts
-    /// as a rebuild in `sim.index.rebuilds`.
+    /// in `sim.index.repairs`, distinct from the full `sim.index.rebuilds`.
     fn resolve_overlaps_indexed(&mut self) {
         let mut order = core::mem::take(&mut self.scratch_order);
         let vehicles = &mut self.vehicles;
@@ -922,7 +959,7 @@ impl Simulation {
         }
         self.scratch_order = order;
         self.stat_clamps += clamps;
-        self.index.note_rebuilds(repairs);
+        self.index.note_repairs(repairs);
     }
 
     /// Feeds every detector with this step's occupancy.
@@ -1038,10 +1075,7 @@ mod tests {
     fn red_light_stops_vehicle() {
         let (mut sim, edges, nodes) = sim_with(1);
         // Permanently red at the end of edge 0 (node 1).
-        sim.add_signal(
-            nodes[1],
-            SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO),
-        );
+        sim.add_signal(nodes[1], SignalPlan::always_red());
         sim.queue_vehicle(edges, VehicleParams::deterministic());
         sim.run_for(Seconds::new(120.0));
         assert_eq!(sim.exited(), 0);
@@ -1059,10 +1093,7 @@ mod tests {
     #[test]
     fn green_wave_lets_vehicle_through() {
         let (mut sim, edges, nodes) = sim_with(1);
-        sim.add_signal(
-            nodes[1],
-            SignalPlan::new(Seconds::new(1e9), Seconds::ZERO, Seconds::ZERO),
-        );
+        sim.add_signal(nodes[1], SignalPlan::always_green());
         sim.queue_vehicle(edges, VehicleParams::deterministic());
         sim.run_for(Seconds::new(120.0));
         assert_eq!(sim.exited(), 1);
@@ -1426,10 +1457,7 @@ mod tests {
     fn insertion_blocks_when_entrance_jammed() {
         let (mut sim, edges, nodes) = sim_with(7);
         // Permanently red: edge 0 fills up, then insertions must queue.
-        sim.add_signal(
-            nodes[1],
-            SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO),
-        );
+        sim.add_signal(nodes[1], SignalPlan::always_red());
         for _ in 0..60 {
             sim.queue_vehicle(edges.clone(), VehicleParams::deterministic());
         }

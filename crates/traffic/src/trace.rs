@@ -204,10 +204,7 @@ mod tests {
             .add_edge(b, c, Meters::new(200.0), MetersPerSecond::new(15.0))
             .unwrap();
         let mut sim = crate::sim::Simulation::new(net, SimulationConfig::default(), 1);
-        sim.add_signal(
-            b,
-            SignalPlan::new(Seconds::ZERO, Seconds::new(1e9), Seconds::ZERO),
-        );
+        sim.add_signal(b, SignalPlan::always_red());
         sim.queue_vehicle(vec![e1, e2], VehicleParams::deterministic());
         let mut rec = TrajectoryRecorder::new(threshold());
         for _ in 0..120 {

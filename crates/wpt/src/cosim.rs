@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use oes_telemetry::Telemetry;
 use oes_traffic::energy::EnergyModel;
+use oes_traffic::event_sim::{EventSimulation, StepMode};
 use oes_traffic::network::EdgeId;
 use oes_traffic::sim::Simulation;
 use oes_traffic::stats::HourlyAccumulator;
@@ -66,9 +67,47 @@ pub struct TripRecord {
 /// One row of the per-step vehicle snapshot.
 type VehState = (VehicleId, EdgeId, Meters, Meters, MetersPerSecond);
 
+/// The stepping engine behind a co-simulation: the synchronous reference
+/// ([`StepMode::Ticked`]) or the discrete-event engine
+/// ([`StepMode::EventDriven`]). For `sigma == 0` fleets the two are
+/// bit-identical at every tick boundary (see
+/// [`oes_traffic::event_sim`] for the tolerance contract); switching
+/// mid-run converts in place, settling every sleeper first.
+enum Engine {
+    Ticked(Box<Simulation>),
+    Event(Box<EventSimulation>),
+    /// Transient placeholder while a mode switch moves the engine.
+    Switching,
+}
+
+impl Engine {
+    fn traffic(&self) -> &Simulation {
+        match self {
+            Engine::Ticked(sim) => sim,
+            Engine::Event(ev) => ev.traffic(),
+            Engine::Switching => unreachable!("engine is mid-switch"),
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            Engine::Ticked(sim) => sim.step(),
+            Engine::Event(ev) => {
+                // Flush after every step so the battery/span accounting
+                // below reads current positions; sleepers stay asleep, so
+                // the wake bookkeeping (and its savings) carries across
+                // steps.
+                ev.step();
+                ev.flush();
+            }
+            Engine::Switching => unreachable!("engine is mid-switch"),
+        }
+    }
+}
+
 /// The co-simulation: a traffic [`Simulation`] plus batteries and spans.
 pub struct CoSimulation {
-    sim: Simulation,
+    engine: Engine,
     spans: Vec<ChargingSpan>,
     /// Span indices bucketed by the edge they energize — per-vehicle span
     /// matching only visits co-located spans.
@@ -132,7 +171,7 @@ impl CoSimulation {
             "participation must be a probability"
         );
         Self {
-            sim,
+            engine: Engine::Ticked(Box::new(sim)),
             spans: Vec::new(),
             span_buckets: BTreeMap::new(),
             all_spans: Vec::new(),
@@ -181,15 +220,58 @@ impl CoSimulation {
         self.spans.push(span);
     }
 
-    /// Read access to the wrapped traffic simulation.
+    /// Read access to the wrapped traffic simulation. In event-driven mode
+    /// vehicle positions are current at every step boundary (the engine
+    /// flushes after each step).
     #[must_use]
     pub fn traffic(&self) -> &Simulation {
-        &self.sim
+        self.engine.traffic()
     }
 
     /// Mutable access (to attach demand, signals, detectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`StepMode::EventDriven`]: direct mutation would bypass
+    /// the event engine's wake bookkeeping. Switch back to
+    /// [`StepMode::Ticked`] first.
     pub fn traffic_mut(&mut self) -> &mut Simulation {
-        &mut self.sim
+        match &mut self.engine {
+            Engine::Ticked(sim) => sim,
+            Engine::Event(_) => panic!(
+                "traffic_mut is unavailable in event-driven mode; \
+                 set_step_mode(StepMode::Ticked) first"
+            ),
+            Engine::Switching => unreachable!("engine is mid-switch"),
+        }
+    }
+
+    /// The active stepping engine.
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        match self.engine {
+            Engine::Ticked(_) => StepMode::Ticked,
+            Engine::Event(_) => StepMode::EventDriven,
+            Engine::Switching => unreachable!("engine is mid-switch"),
+        }
+    }
+
+    /// Switches the stepping engine in place. Entering event-driven mode
+    /// forces the indexed scan path; leaving it settles every sleeper, so
+    /// the ticked engine resumes from exactly the state an uninterrupted
+    /// run would hold (bit-identical for `sigma == 0` fleets).
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        if self.step_mode() == mode {
+            return;
+        }
+        let engine = core::mem::replace(&mut self.engine, Engine::Switching);
+        self.engine = match (engine, mode) {
+            (Engine::Ticked(sim), StepMode::EventDriven) => {
+                Engine::Event(Box::new(EventSimulation::new(*sim)))
+            }
+            (Engine::Event(ev), StepMode::Ticked) => Engine::Ticked(Box::new(ev.into_inner())),
+            (engine, _) => engine,
+        };
     }
 
     /// Total energy transferred grid → OLEVs so far.
@@ -236,16 +318,18 @@ impl CoSimulation {
         let step_key = self.steps as i64;
         let trips_before = self.completed.len();
         let span = self.telemetry.span("cosim.step", step_key);
-        let dt = self.sim.config().step;
+        let dt = self.traffic().config().step;
         // Remember the pre-step speeds for mean-value drain integration.
+        // Sleeping vehicles' speeds are constant by construction, so the
+        // snapshot is exact in either step mode.
         let mut snapshot = core::mem::take(&mut self.scratch_snapshot);
         snapshot.clear();
-        snapshot.extend(self.sim.vehicles().map(|v| (v.id, v.speed)));
+        snapshot.extend(self.traffic().vehicles().map(|v| (v.id, v.speed)));
         for &(id, speed) in &snapshot {
             self.prev_speed.entry(id).or_insert(speed);
         }
-        self.sim.step();
-        let now = self.sim.time();
+        self.engine.advance();
+        let now = self.traffic().time();
 
         // Classify new vehicles, then update every active OLEV battery.
         // `states` is in ascending id order (the simulation iterates its
@@ -253,7 +337,7 @@ impl CoSimulation {
         let mut states = core::mem::take(&mut self.scratch_states);
         states.clear();
         states.extend(
-            self.sim
+            self.traffic()
                 .vehicles()
                 .map(|v| (v.id, v.current_edge(), v.position, v.params.length, v.speed)),
         );
@@ -380,8 +464,8 @@ impl CoSimulation {
 
     /// Runs whole steps until `duration` has elapsed.
     pub fn run_for(&mut self, duration: oes_units::Seconds) {
-        let end = self.sim.time() + duration;
-        while self.sim.time() < end {
+        let end = self.traffic().time() + duration;
+        while self.traffic().time() < end {
             self.step();
         }
     }

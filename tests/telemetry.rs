@@ -187,19 +187,22 @@ fn traffic_journals_are_byte_identical_and_cover_the_index() {
     // The query and clamp counters are mode-independent by the
     // determinism contract: the naive journal carries the same
     // `sim.index.queries`/`sim.index.clamps` lines (only the
-    // indexed-only rebuild lines may differ) and the same physics.
+    // indexed-only rebuild/repair lines may differ) and the same physics.
     let (naive, _, trace_b) = traffic_journal(31, ScanMode::NaiveScan);
     assert_eq!(trace_a, trace_b, "modes must agree bit-for-bit");
     let strip = |j: &str| {
         j.lines()
-            .filter(|l| !l.contains("\"name\":\"sim.index.rebuilds\""))
+            .filter(|l| {
+                !l.contains("\"name\":\"sim.index.rebuilds\"")
+                    && !l.contains("\"name\":\"sim.index.repairs\"")
+            })
             .map(str::to_owned)
             .collect::<Vec<_>>()
     };
     assert_eq!(
         strip(&first),
         strip(&naive),
-        "journals must agree outside rebuild lines"
+        "journals must agree outside rebuild/repair lines"
     );
 }
 

@@ -118,10 +118,7 @@ fn red_wall_is_impermeable() {
             .add_edge(b, c, Meters::new(300.0), MetersPerSecond::new(15.0))
             .unwrap();
         let mut sim = Simulation::new(net, SimulationConfig::default(), 4);
-        sim.add_signal(
-            b,
-            SignalPlan::new(Seconds::ZERO, Seconds::new(1e12), Seconds::ZERO),
-        );
+        sim.add_signal(b, SignalPlan::always_red());
         sim.add_demand(
             PoissonArrivals::new(HourlyCounts::new(vec![demand]), 4),
             vec![e1, e2],
